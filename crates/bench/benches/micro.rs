@@ -1,0 +1,159 @@
+//! Criterion micro-benchmarks for the separate-compilation primitives:
+//! digesting, intrinsic-pid hashing, pickling, compiling, and no-op
+//! manager builds.  One group per table/figure-adjacent cost center; the
+//! `paper_tables` binary produces the paper-shaped tables themselves.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smlsc_core::irm::{Irm, Strategy};
+use smlsc_core::{compile_unit, hash_exports};
+use smlsc_ids::{Digest128, Symbol};
+use smlsc_pickle::{dehydrate, rehydrate, ContextPids, PickleOptions, RehydrateContext};
+use smlsc_statics::elab::{elaborate_unit, ImportEnv};
+use smlsc_workload::{EditKind, Topology, Workload, WorkloadSpec};
+
+fn module_src(funs: usize) -> String {
+    let mut s = String::from("structure M = struct\n  type t = int\n");
+    for f in 0..funs {
+        s.push_str(&format!("  fun f{f} x = x + {f}\n"));
+    }
+    s.push_str("end\n");
+    s
+}
+
+/// Raw digest throughput (the paper's CRC).
+fn bench_digest(c: &mut Criterion) {
+    let data = vec![0xabu8; 4096];
+    c.bench_function("digest128_4k", |b| {
+        b.iter(|| {
+            let mut d = Digest128::new();
+            d.write_bytes(std::hint::black_box(&data));
+            d.finish()
+        })
+    });
+}
+
+/// Clears the derived pids of a unit's own entities, so the hasher does a
+/// genuine first-time traversal (pervasives keep their preset pids).
+fn clear_pids(exports: &smlsc_statics::env::Bindings) {
+    use smlsc_pickle::Entity;
+    for e in smlsc_pickle::reachable_entities(exports) {
+        match &e {
+            Entity::Tycon(t) => {
+                if !matches!(&*t.def.borrow(), smlsc_statics::types::TyconDef::Prim)
+                    && t.name.as_str() != "bool"
+                    && t.name.as_str() != "list"
+                    && t.name.as_str() != "option"
+                {
+                    t.entity_pid.set(None);
+                }
+            }
+            Entity::Str(s) => s.entity_pid.set(None),
+            Entity::Sig(s) => s.entity_pid.set(None),
+            Entity::Fct(f) => f.entity_pid.set(None),
+        }
+    }
+}
+
+/// E1's hash column: intrinsic-pid hashing of an export environment
+/// (first-time hashing, then the cheap re-hash of an already-pidded env —
+/// the cutoff-check cost).
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_exports");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    for funs in [8usize, 64] {
+        let ast = smlsc_syntax::parse_unit(&module_src(funs)).unwrap();
+        let unit = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+        group.bench_with_input(BenchmarkId::new("first", funs), &funs, |b, _| {
+            b.iter(|| {
+                clear_pids(&unit.exports);
+                hash_exports(Symbol::intern("m"), &unit.exports).unwrap()
+            })
+        });
+        hash_exports(Symbol::intern("m"), &unit.exports).unwrap();
+        group.bench_with_input(BenchmarkId::new("rehash", funs), &funs, |b, _| {
+            b.iter(|| hash_exports(Symbol::intern("m"), &unit.exports).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// E1's pickle column and E4's mechanism: dehydrate + rehydrate.
+fn bench_pickle(c: &mut Criterion) {
+    let ast = smlsc_syntax::parse_unit(&module_src(64)).unwrap();
+    let unit = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+    hash_exports(Symbol::intern("m"), &unit.exports).unwrap();
+    let ctx = ContextPids::indexed([]);
+    let mut group = c.benchmark_group("pickle");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group.bench_function("dehydrate_64fn", |b| {
+        b.iter(|| dehydrate(&unit.exports, &ctx, &PickleOptions::default()).unwrap())
+    });
+    let pickled = dehydrate(&unit.exports, &ctx, &PickleOptions::default()).unwrap();
+    let rctx = RehydrateContext::with_pervasives([]);
+    group.bench_function("rehydrate_64fn", |b| {
+        b.iter(|| rehydrate(&pickled.bytes, &rctx).unwrap())
+    });
+    group.finish();
+}
+
+/// Whole-unit compilation (parse + elaborate + hash + pickle).
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_unit");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for funs in [8usize, 64] {
+        let src = module_src(funs);
+        group.bench_with_input(BenchmarkId::from_parameter(funs), &funs, |b, _| {
+            b.iter(|| compile_unit(Symbol::intern("m"), &src, &[]).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// The manager's own overhead: a no-op rebuild and a cutoff rebuild of a
+/// 40-unit project.
+fn bench_manager(c: &mut Criterion) {
+    let mut group = c.benchmark_group("irm");
+    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    let spec = WorkloadSpec {
+        topology: Topology::Library {
+            lib: 8,
+            clients: 32,
+            seed: 11,
+        },
+        funs_per_module: 3,
+        reexport_dep_types: false,
+    };
+    group.bench_function("noop_rebuild_40_units", |b| {
+        let w = Workload::new(spec);
+        let mut irm = Irm::new(Strategy::Cutoff);
+        irm.build(w.project()).unwrap();
+        b.iter(|| {
+            let report = irm.build(w.project()).unwrap();
+            assert!(report.recompiled.is_empty());
+        })
+    });
+    group.bench_function("cutoff_rebuild_after_body_edit", |b| {
+        let mut w = Workload::new(spec);
+        let mut irm = Irm::new(Strategy::Cutoff);
+        irm.build(w.project()).unwrap();
+        let victim = w.most_depended_on();
+        b.iter(|| {
+            w.edit(victim, EditKind::BodyOnly);
+            let report = irm.build(w.project()).unwrap();
+            assert_eq!(report.recompiled.len(), 1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_digest,
+    bench_hash,
+    bench_pickle,
+    bench_compile,
+    bench_manager
+);
+criterion_main!(benches);

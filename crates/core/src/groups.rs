@@ -1,0 +1,273 @@
+//! Groups and libraries (§9).
+//!
+//! The IRM organizes sources into *groups*: a group names its source
+//! files and the other groups (libraries) it uses.  A library may filter
+//! its interface — only listed top-level names are visible to client
+//! groups (internal helpers stay private even though they are ordinary
+//! compilation units).  Dependency analysis then enforces visibility:
+//!
+//! * a unit may use names defined inside its own group;
+//! * a unit may use *exported* names of groups its group `uses`;
+//! * anything else — an unexported library internal, or a name from a
+//!   group not listed in `uses` — is an error naming the offending group.
+//!
+//! Validation happens before compilation; a validated grouped project
+//! lowers to a flat [`Project`] and builds with the ordinary
+//! [`Irm`](crate::irm::Irm)
+//! (cutoff and linkage behave identically — grouping is a namespace
+//! discipline, not a compilation mode).
+
+use std::collections::HashMap;
+
+use smlsc_ids::Symbol;
+
+use crate::compile::analyze_source;
+use crate::irm::Project;
+use crate::CoreError;
+
+/// One group of source files.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The group's name.
+    pub name: Symbol,
+    /// Member files: `(unit name, source text)`.
+    pub files: Vec<(Symbol, String)>,
+    /// Groups whose exports are visible to this group's members.
+    pub uses: Vec<Symbol>,
+    /// Exported top-level names (`None` = everything is exported).
+    pub exports: Option<Vec<Symbol>>,
+}
+
+impl Group {
+    /// A group exporting everything.
+    pub fn new(name: &str) -> Group {
+        Group {
+            name: Symbol::intern(name),
+            files: Vec::new(),
+            uses: Vec::new(),
+            exports: None,
+        }
+    }
+
+    /// Adds a source file.
+    pub fn file(mut self, unit: &str, text: impl Into<String>) -> Group {
+        self.files.push((Symbol::intern(unit), text.into()));
+        self
+    }
+
+    /// Declares a used library group.
+    pub fn uses(mut self, group: &str) -> Group {
+        self.uses.push(Symbol::intern(group));
+        self
+    }
+
+    /// Restricts the exported names (turns the group into a filtered
+    /// library).
+    pub fn exporting(mut self, names: &[&str]) -> Group {
+        self.exports = Some(names.iter().map(|n| Symbol::intern(n)).collect());
+        self
+    }
+}
+
+/// A project organized into groups.
+#[derive(Debug, Clone, Default)]
+pub struct GroupedProject {
+    groups: Vec<Group>,
+}
+
+impl GroupedProject {
+    /// An empty grouped project.
+    pub fn new() -> GroupedProject {
+        GroupedProject::default()
+    }
+
+    /// Adds a group.
+    pub fn group(mut self, g: Group) -> GroupedProject {
+        self.groups.push(g);
+        self
+    }
+
+    /// The groups.
+    pub fn groups(&self) -> &[Group] {
+        &self.groups
+    }
+
+    /// Validates visibility and lowers to a flat [`Project`] for the IRM.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownUnit`] for a `uses` entry naming no group;
+    /// * [`CoreError::DuplicateExport`] for a top-level name defined in
+    ///   two units (anywhere — unit names share one global space);
+    /// * [`CoreError::GroupVisibility`] when a unit references a name it
+    ///   cannot see.
+    pub fn lower(&self) -> Result<Project, CoreError> {
+        // Group membership of every defined top-level name.
+        let mut definer: HashMap<Symbol, (Symbol, Symbol)> = HashMap::new(); // name -> (group, unit)
+        let mut analyses: HashMap<Symbol, (Symbol, Vec<Symbol>)> = HashMap::new(); // unit -> (group, imports)
+        let group_names: Vec<Symbol> = self.groups.iter().map(|g| g.name).collect();
+        for g in &self.groups {
+            for u in &g.uses {
+                if !group_names.contains(u) {
+                    return Err(CoreError::UnknownUnit(*u));
+                }
+            }
+            for (unit, text) in &g.files {
+                let a = analyze_source(*unit, text)?;
+                for name in &a.exports {
+                    if let Some((g2, u2)) = definer.insert(*name, (g.name, *unit)) {
+                        if u2 != *unit {
+                            return Err(CoreError::DuplicateExport {
+                                name: *name,
+                                units: vec![u2, *unit],
+                            });
+                        }
+                        let _ = g2;
+                    }
+                }
+                analyses.insert(*unit, (g.name, a.imports));
+            }
+        }
+        // Visibility check.
+        let exported: HashMap<Symbol, Option<&Vec<Symbol>>> = self
+            .groups
+            .iter()
+            .map(|g| (g.name, g.exports.as_ref()))
+            .collect();
+        for g in &self.groups {
+            for (unit, _) in &g.files {
+                let (_, imports) = &analyses[unit];
+                for import in imports {
+                    let Some((def_group, _)) = definer.get(import) else {
+                        return Err(CoreError::UnresolvedImport {
+                            unit: *unit,
+                            name: *import,
+                        });
+                    };
+                    if *def_group == g.name {
+                        continue; // same group: always visible
+                    }
+                    if !g.uses.contains(def_group) {
+                        return Err(CoreError::GroupVisibility {
+                            unit: *unit,
+                            name: *import,
+                            group: *def_group,
+                            reason: format!(
+                                "group `{}` does not list `{def_group}` in its uses",
+                                g.name
+                            ),
+                        });
+                    }
+                    if let Some(Some(filter)) = exported.get(def_group) {
+                        if !filter.contains(import) {
+                            return Err(CoreError::GroupVisibility {
+                                unit: *unit,
+                                name: *import,
+                                group: *def_group,
+                                reason: format!(
+                                    "library `{def_group}` does not export `{import}`"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Lower.
+        let mut p = Project::new();
+        for g in &self.groups {
+            for (unit, text) in &g.files {
+                p.add(unit.as_str(), text.clone());
+            }
+        }
+        Ok(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irm::{Irm, Strategy};
+
+    fn lib() -> Group {
+        Group::new("collections")
+            .file(
+                "listops",
+                "structure ListOps = struct
+                   fun len [] = 0 | len (_ :: xs) = 1 + len xs
+                 end",
+            )
+            .file(
+                "internal",
+                "structure Internal = struct val debugFlag = 1 end",
+            )
+            .exporting(&["ListOps"])
+    }
+
+    #[test]
+    fn visible_imports_build_and_run() {
+        let gp = GroupedProject::new().group(lib()).group(
+            Group::new("app")
+                .uses("collections")
+                .file("main", "structure Main = struct val n = ListOps.len [1, 2, 3] end"),
+        );
+        let p = gp.lower().expect("validates");
+        let mut irm = Irm::new(Strategy::Cutoff);
+        let (_, env) = irm.execute(&p).expect("builds");
+        assert_eq!(env.len(), 3);
+    }
+
+    #[test]
+    fn unexported_library_internals_are_hidden() {
+        let gp = GroupedProject::new().group(lib()).group(
+            Group::new("app")
+                .uses("collections")
+                .file("main", "structure Main = struct val n = Internal.debugFlag end"),
+        );
+        let err = gp.lower().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("does not export"), "{msg}");
+    }
+
+    #[test]
+    fn unlisted_groups_are_invisible() {
+        let gp = GroupedProject::new().group(lib()).group(
+            Group::new("app") // no `uses`
+                .file("main", "structure Main = struct val n = ListOps.len [] end"),
+        );
+        let err = gp.lower().unwrap_err();
+        assert!(err.to_string().contains("does not list"), "{err}");
+    }
+
+    #[test]
+    fn same_group_sees_internals() {
+        let gp = GroupedProject::new().group(
+            lib().file(
+                "more",
+                "structure More = struct val d = Internal.debugFlag end",
+            ),
+        );
+        assert!(gp.lower().is_ok(), "own group sees unexported units");
+    }
+
+    #[test]
+    fn unknown_used_group_is_reported() {
+        let gp = GroupedProject::new()
+            .group(Group::new("app").uses("nonexistent").file(
+                "main",
+                "structure Main = struct val x = 1 end",
+            ));
+        assert!(gp.lower().is_err());
+    }
+
+    #[test]
+    fn duplicate_names_across_groups_are_rejected() {
+        let gp = GroupedProject::new()
+            .group(Group::new("g1").file("a", "structure X = struct val x = 1 end"))
+            .group(Group::new("g2").file("b", "structure X = struct val x = 2 end"));
+        assert!(matches!(
+            gp.lower(),
+            Err(CoreError::DuplicateExport { .. })
+        ));
+    }
+}

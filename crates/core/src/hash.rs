@@ -1,0 +1,326 @@
+//! Intrinsic pids: hashing exported static environments (§5).
+//!
+//! The export pid of a unit is a 128-bit digest of its digested interface
+//! — *not* of its source text — so:
+//!
+//! * editing comments or whitespace leaves the pid unchanged (the source
+//!   digest changes, the export pid does not);
+//! * editing a function body without changing any exported type leaves
+//!   the pid unchanged — this is what makes **cutoff recompilation**
+//!   possible;
+//! * any observable interface change (new export, changed type, changed
+//!   datatype shape) changes the pid.
+//!
+//! Two subtleties, both from the paper:
+//!
+//! 1. **Provisional pids.**  Entities created by this unit have no pid
+//!    yet — their pids will be *derived from the very hash being
+//!    computed*.  The traversal therefore alpha-converts: the `n`th new
+//!    entity hashes as the number `n` (assigned in prefix-traversal
+//!    order), and after the export hash `H` is known, entity `n` receives
+//!    its real pid `digest(unit, H, n)`.  This also makes the hash
+//!    independent of session stamp numbering.
+//! 2. **Previously compiled entities** (imports, pervasives, re-exports)
+//!    hash by their existing pids, so a unit's interface hash reflects
+//!    the precise identities of the types it re-exports — the
+//!    inter-implementation dependencies of §2 are captured exactly.
+//!
+//! Unlike the paper we also mix the *unit name* into derived entity pids:
+//! two distinct units with structurally identical interfaces then export
+//! equal interface hashes (good for diagnostics) but distinct generative
+//! entities (sound linkage).
+
+use std::collections::HashMap;
+
+use smlsc_dynamics::ir::ConTag;
+use smlsc_ids::{Digest128, Pid, Stamp, Symbol};
+use smlsc_pickle::Entity;
+use smlsc_statics::env::{Bindings, FunctorEnv, SignatureEnv, StructureEnv, ValBind, ValKind};
+use smlsc_statics::types::{Scheme, Tycon, TyconDef, Type};
+
+/// The result of hashing a unit's exports.
+#[derive(Debug, Clone)]
+pub struct HashResult {
+    /// The unit's export pid (its interface identity).
+    pub export_pid: Pid,
+    /// How many new entities received derived pids.
+    pub new_entities: usize,
+}
+
+/// An error during hashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HashError {
+    /// An exported type contains an unsolved unification variable (the
+    /// elaborator's export check should have rejected this unit).
+    UnsolvedType,
+}
+
+impl std::fmt::Display for HashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HashError::UnsolvedType => write!(f, "cannot hash an unsolved unification variable"),
+        }
+    }
+}
+
+impl std::error::Error for HashError {}
+
+// Traversal tags: one byte per construct so different shapes cannot
+// collide by concatenation.
+const T_EXT: u8 = 1;
+const T_PROV_DEF: u8 = 2;
+const T_PROV_REF: u8 = 3;
+const T_PARAM: u8 = 10;
+const T_CON: u8 = 11;
+const T_TUPLE: u8 = 12;
+const T_ARROW: u8 = 13;
+const T_VAL_PLAIN: u8 = 20;
+const T_VAL_CON: u8 = 21;
+const T_VAL_EXN: u8 = 22;
+const T_VAL_PRIM: u8 = 23;
+const T_BINDINGS: u8 = 30;
+const T_TYCON_ABS: u8 = 40;
+const T_TYCON_DATA: u8 = 41;
+const T_TYCON_ALIAS: u8 = 42;
+const T_TYCON_PRIM: u8 = 43;
+const T_STR: u8 = 50;
+const T_SIG: u8 = 51;
+const T_FCT: u8 = 52;
+
+/// Hashes `exports`, computing the unit's export pid and assigning
+/// derived pids to every entity the unit created.
+///
+/// Idempotent in effect: entities that already carry pids are hashed by
+/// pid and never reassigned.
+///
+/// # Errors
+///
+/// [`HashError::UnsolvedType`] if a type is not fully solved.
+pub fn hash_exports(unit_name: Symbol, exports: &Bindings) -> Result<HashResult, HashError> {
+    let mut h = Hasher {
+        d: Digest128::new(),
+        prov: HashMap::new(),
+        entities: Vec::new(),
+    };
+    h.d.write_str("smlsc:export-env");
+    h.bindings(exports)?;
+    let export_pid = h.d.finish_pid();
+    // Replace provisional pids with real ones derived from the hash.
+    for (n, e) in h.entities.iter().enumerate() {
+        let mut d = Digest128::new();
+        d.write_str("smlsc:entity");
+        d.write_str(unit_name.as_str());
+        d.write_pid(export_pid);
+        d.write_u64(n as u64);
+        let pid = d.finish_pid();
+        match e {
+            Entity::Tycon(t) => t.entity_pid.set(Some(pid)),
+            Entity::Str(s) => s.entity_pid.set(Some(pid)),
+            Entity::Sig(s) => s.entity_pid.set(Some(pid)),
+            Entity::Fct(f) => f.entity_pid.set(Some(pid)),
+        }
+    }
+    Ok(HashResult {
+        export_pid,
+        new_entities: h.entities.len(),
+    })
+}
+
+struct Hasher {
+    d: Digest128,
+    prov: HashMap<Stamp, u32>,
+    entities: Vec<Entity>,
+}
+
+impl Hasher {
+    /// Writes the reference header for an entity; returns `true` when the
+    /// definition must be hashed (first provisional encounter).
+    fn entity_ref(&mut self, stamp: Stamp, pid: Option<Pid>, entity: impl FnOnce() -> Entity) -> bool {
+        if let Some(p) = pid {
+            self.d.write_tag(T_EXT);
+            self.d.write_pid(p);
+            return false;
+        }
+        if let Some(&n) = self.prov.get(&stamp) {
+            self.d.write_tag(T_PROV_REF);
+            self.d.write_u64(u64::from(n));
+            return false;
+        }
+        let n = self.entities.len() as u32;
+        self.prov.insert(stamp, n);
+        self.entities.push(entity());
+        self.d.write_tag(T_PROV_DEF);
+        self.d.write_u64(u64::from(n));
+        true
+    }
+
+    fn tycon(&mut self, tc: &std::rc::Rc<Tycon>) -> Result<(), HashError> {
+        if !self.entity_ref(tc.stamp, tc.entity_pid.get(), || Entity::Tycon(tc.clone())) {
+            return Ok(());
+        }
+        self.d.write_str(tc.name.as_str());
+        self.d.write_u64(tc.arity as u64);
+        let def = tc.def.borrow().clone();
+        match def {
+            TyconDef::Prim => self.d.write_tag(T_TYCON_PRIM),
+            TyconDef::Abstract => self.d.write_tag(T_TYCON_ABS),
+            TyconDef::Datatype(info) => {
+                self.d.write_tag(T_TYCON_DATA);
+                self.d.write_u64(info.cons.len() as u64);
+                for c in &info.cons {
+                    self.d.write_str(c.name.as_str());
+                    match &c.arg {
+                        None => self.d.write_tag(0),
+                        Some(t) => {
+                            self.d.write_tag(1);
+                            self.ty(t)?;
+                        }
+                    }
+                }
+            }
+            TyconDef::Alias(t) => {
+                self.d.write_tag(T_TYCON_ALIAS);
+                self.ty(&t)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn structure(&mut self, s: &std::rc::Rc<StructureEnv>) -> Result<(), HashError> {
+        if !self.entity_ref(s.stamp, s.entity_pid.get(), || Entity::Str(s.clone())) {
+            return Ok(());
+        }
+        self.d.write_tag(T_STR);
+        self.bindings(&s.bindings)
+    }
+
+    fn signature(&mut self, s: &std::rc::Rc<SignatureEnv>) -> Result<(), HashError> {
+        if !self.entity_ref(s.stamp, s.entity_pid.get(), || Entity::Sig(s.clone())) {
+            return Ok(());
+        }
+        self.d.write_tag(T_SIG);
+        self.structure(&s.body)?;
+        // Flexible components, by provisional number (alpha-converted).
+        self.d.write_u64(s.bound.len() as u64);
+        for st in &s.bound {
+            let n = self.prov.get(st).copied().unwrap_or(u32::MAX);
+            self.d.write_u64(u64::from(n));
+        }
+        Ok(())
+    }
+
+    fn functor(&mut self, f: &std::rc::Rc<FunctorEnv>) -> Result<(), HashError> {
+        if !self.entity_ref(f.stamp, f.entity_pid.get(), || Entity::Fct(f.clone())) {
+            return Ok(());
+        }
+        self.d.write_tag(T_FCT);
+        self.signature(&f.param_sig)?;
+        self.structure(&f.param_inst)?;
+        self.d.write_u64(f.skolems.len() as u64);
+        for st in &f.skolems {
+            let n = self.prov.get(st).copied().unwrap_or(u32::MAX);
+            self.d.write_u64(u64::from(n));
+        }
+        self.structure(&f.body)
+        // Note: gen_lo/gen_hi are session-local and deliberately not
+        // hashed — the alpha-conversion principle.
+    }
+
+    fn bindings(&mut self, b: &Bindings) -> Result<(), HashError> {
+        self.d.write_tag(T_BINDINGS);
+        self.d.write_u64(b.vals.len() as u64);
+        for (n, vb) in &b.vals {
+            self.d.write_str(n.as_str());
+            self.valbind(vb)?;
+        }
+        self.d.write_u64(b.tycons.len() as u64);
+        for (n, tc) in &b.tycons {
+            self.d.write_str(n.as_str());
+            self.tycon(tc)?;
+        }
+        self.d.write_u64(b.strs.len() as u64);
+        for (n, s) in &b.strs {
+            self.d.write_str(n.as_str());
+            self.structure(s)?;
+        }
+        self.d.write_u64(b.sigs.len() as u64);
+        for (n, s) in &b.sigs {
+            self.d.write_str(n.as_str());
+            self.signature(s)?;
+        }
+        self.d.write_u64(b.fcts.len() as u64);
+        for (n, f) in &b.fcts {
+            self.d.write_str(n.as_str());
+            self.functor(f)?;
+        }
+        Ok(())
+    }
+
+    fn valbind(&mut self, vb: &ValBind) -> Result<(), HashError> {
+        match &vb.kind {
+            ValKind::Plain => self.d.write_tag(T_VAL_PLAIN),
+            ValKind::Exn => self.d.write_tag(T_VAL_EXN),
+            ValKind::Prim(op) => {
+                self.d.write_tag(T_VAL_PRIM);
+                self.d.write_str(op.name());
+            }
+            ValKind::Con { tycon, tag } => {
+                self.d.write_tag(T_VAL_CON);
+                self.tycon(tycon)?;
+                self.contag(tag);
+            }
+        }
+        self.scheme(&vb.scheme)
+    }
+
+    fn contag(&mut self, t: &ConTag) {
+        self.d.write_u64(u64::from(t.tag));
+        self.d.write_u64(u64::from(t.span));
+        self.d.write_tag(u8::from(t.has_arg));
+        self.d.write_str(t.name.as_str());
+    }
+
+    fn scheme(&mut self, s: &Scheme) -> Result<(), HashError> {
+        self.d.write_u64(u64::from(s.arity));
+        self.ty(&s.body)
+    }
+
+    fn ty(&mut self, t: &Type) -> Result<(), HashError> {
+        match t {
+            Type::UVar(uv) => {
+                let link = uv.link.borrow().clone();
+                match link {
+                    Some(t2) => self.ty(&t2),
+                    None => Err(HashError::UnsolvedType),
+                }
+            }
+            Type::Param(i) => {
+                self.d.write_tag(T_PARAM);
+                self.d.write_u64(u64::from(*i));
+                Ok(())
+            }
+            Type::Con(tc, args) => {
+                self.d.write_tag(T_CON);
+                self.tycon(tc)?;
+                self.d.write_u64(args.len() as u64);
+                for a in args {
+                    self.ty(a)?;
+                }
+                Ok(())
+            }
+            Type::Tuple(ts) => {
+                self.d.write_tag(T_TUPLE);
+                self.d.write_u64(ts.len() as u64);
+                for x in ts {
+                    self.ty(x)?;
+                }
+                Ok(())
+            }
+            Type::Arrow(a, b) => {
+                self.d.write_tag(T_ARROW);
+                self.ty(a)?;
+                self.ty(b)
+            }
+        }
+    }
+}

@@ -1,0 +1,571 @@
+//! The Incremental Recompilation Manager (§6, §8).
+//!
+//! The IRM replaces `make`: it analyzes inter-unit dependencies
+//! automatically (free module names, §8), topologically orders the
+//! project, and recompiles only what a strategy deems out of date:
+//!
+//! * [`Strategy::Cutoff`] — the paper's contribution.  A unit recompiles
+//!   iff its own source digest changed or any *import pid* changed; and
+//!   because the export pid is an intrinsic hash of the interface, a
+//!   recompilation that leaves the interface unchanged produces the same
+//!   export pid and the rebuild cascade is cut off right there.
+//! * [`Strategy::Timestamp`] — Unix `make`: rebuild when any
+//!   prerequisite (source or imported bin) is newer than the bin.
+//!   Cascades unconditionally.
+//! * [`Strategy::Classical`] — classical separate compilation: rebuild
+//!   when the source changed or any dependency was rebuilt.  (Same
+//!   cascade as `make`, without clock-skew artifacts.)
+//!
+//! Bin files are kept in an in-memory store (persistable via
+//! [`Irm::save_bins`]/[`Irm::load_bins`]); rehydrated environments are
+//! cached per build so each unit's statenv is read back at most once.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use smlsc_ids::{Pid, Symbol};
+use smlsc_pickle::{rehydrate, RehydrateContext};
+use smlsc_statics::env::Bindings;
+
+use crate::compile::{analyze_source, compile_unit, source_pid, CompileTimings, ImportSource};
+use crate::link::{link_and_execute, DynEnv};
+use crate::unit::BinFile;
+use crate::CoreError;
+
+/// One source file of a project.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Unit name (file stem).
+    pub name: Symbol,
+    /// Source text.
+    pub text: String,
+    /// Virtual modification time.
+    pub mtime: u64,
+}
+
+/// The process-wide virtual clock backing every mtime (file edits and
+/// bin writes), so `make`-style comparisons behave like a real
+/// filesystem: anything written later has a strictly larger mtime.
+pub fn tick() -> u64 {
+    static CLOCK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    CLOCK.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// A project: named source files with virtual mtimes.
+#[derive(Debug, Clone, Default)]
+pub struct Project {
+    files: Vec<SourceFile>,
+}
+
+impl Project {
+    /// An empty project.
+    pub fn new() -> Project {
+        Project::default()
+    }
+
+    /// Adds a file (or replaces one of the same name), stamping it with a
+    /// fresh mtime.
+    pub fn add(&mut self, name: impl Into<String>, text: impl Into<String>) {
+        let name = Symbol::intern(&name.into());
+        let f = SourceFile {
+            name,
+            text: text.into(),
+            mtime: tick(),
+        };
+        if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
+            *existing = f;
+        } else {
+            self.files.push(f);
+        }
+    }
+
+    /// Replaces a file's text, bumping its mtime.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUnit`] when no such file exists.
+    pub fn edit(&mut self, name: &str, text: impl Into<String>) -> Result<(), CoreError> {
+        let name = Symbol::intern(name);
+        let clock = tick();
+        let f = self
+            .files
+            .iter_mut()
+            .find(|f| f.name == name)
+            .ok_or(CoreError::UnknownUnit(name))?;
+        f.text = text.into();
+        f.mtime = clock;
+        Ok(())
+    }
+
+    /// Bumps a file's mtime without changing it (`touch`).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUnit`] when no such file exists.
+    pub fn touch(&mut self, name: &str) -> Result<(), CoreError> {
+        let name = Symbol::intern(name);
+        let clock = tick();
+        let f = self
+            .files
+            .iter_mut()
+            .find(|f| f.name == name)
+            .ok_or(CoreError::UnknownUnit(name))?;
+        f.mtime = clock;
+        Ok(())
+    }
+
+    /// The project's files.
+    pub fn files(&self) -> &[SourceFile] {
+        &self.files
+    }
+
+    /// Looks up a file.
+    pub fn file(&self, name: &str) -> Option<&SourceFile> {
+        let name = Symbol::intern(name);
+        self.files.iter().find(|f| f.name == name)
+    }
+
+    /// Total source lines across the project.
+    pub fn total_lines(&self) -> usize {
+        self.files.iter().map(|f| f.text.lines().count()).sum()
+    }
+}
+
+/// The recompilation strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Cutoff recompilation over intrinsic pids (the paper).
+    Cutoff,
+    /// `make`-style timestamps.
+    Timestamp,
+    /// Classical cascade (source changed or any dependency rebuilt).
+    Classical,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::Cutoff => "cutoff",
+            Strategy::Timestamp => "timestamp",
+            Strategy::Classical => "classical",
+        })
+    }
+}
+
+/// What one [`Irm::build`] did.
+#[derive(Debug, Clone, Default)]
+pub struct BuildReport {
+    /// Units in build (topological) order.
+    pub order: Vec<Symbol>,
+    /// Units that were recompiled.
+    pub recompiled: Vec<Symbol>,
+    /// Units whose bins were reused.
+    pub reused: Vec<Symbol>,
+    /// Aggregate compile-phase timings.
+    pub timings: CompileTimings,
+    /// Time spent rehydrating cached statenvs.
+    pub rehydrate: Duration,
+    /// Elaboration warnings, per unit.
+    pub warnings: Vec<(Symbol, String)>,
+}
+
+impl BuildReport {
+    /// Convenience: did `name` get recompiled?
+    pub fn was_recompiled(&self, name: &str) -> bool {
+        self.recompiled.contains(&Symbol::intern(name))
+    }
+}
+
+/// The manager.
+#[derive(Debug, Default)]
+pub struct Irm {
+    strategy: Option<Strategy>,
+    bins: HashMap<Symbol, BinFile>,
+    /// Dependency-analysis cache keyed by unit, valid while the source
+    /// digest matches.
+    deps_cache: HashMap<Symbol, CachedAnalysis>,
+}
+
+#[derive(Debug, Clone)]
+struct CachedAnalysis {
+    source_pid: Pid,
+    imports: Vec<Symbol>,
+    exports: Vec<Symbol>,
+}
+
+impl Irm {
+    /// A manager with the given strategy.
+    pub fn new(strategy: Strategy) -> Irm {
+        Irm {
+            strategy: Some(strategy),
+            ..Irm::default()
+        }
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy.unwrap_or(Strategy::Cutoff)
+    }
+
+    /// The cached bin for a unit, if any.
+    pub fn bin(&self, name: &str) -> Option<&BinFile> {
+        self.bins.get(&Symbol::intern(name))
+    }
+
+    /// Number of cached bins.
+    pub fn bin_count(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Drops every cached bin (forces a full rebuild).
+    pub fn clear_bins(&mut self) {
+        self.bins.clear();
+        self.deps_cache.clear();
+    }
+
+    /// Overwrites a cached bin — used by tests and the linkage experiment
+    /// to simulate stale or corrupted bin stores.
+    pub fn inject_bin(&mut self, bin: BinFile) {
+        self.bins.insert(bin.unit.name, bin);
+    }
+
+    /// Persists every bin file under `dir` as `<unit>.bin`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] on filesystem failures.
+    pub fn save_bins(&self, dir: &Path) -> Result<(), CoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| CoreError::Io(e.to_string()))?;
+        for (name, bin) in &self.bins {
+            let path = dir.join(format!("{name}.bin"));
+            std::fs::write(&path, bin.to_bytes()).map_err(|e| CoreError::Io(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Loads every `*.bin` under `dir` into the bin store.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] or [`CoreError::CorruptBin`].
+    pub fn load_bins(&mut self, dir: &Path) -> Result<usize, CoreError> {
+        let mut n = 0;
+        let entries = std::fs::read_dir(dir).map_err(|e| CoreError::Io(e.to_string()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| CoreError::Io(e.to_string()))?;
+            if entry.path().extension().is_some_and(|e| e == "bin") {
+                let bytes =
+                    std::fs::read(entry.path()).map_err(|e| CoreError::Io(e.to_string()))?;
+                let bin = BinFile::from_bytes(&bytes)?;
+                self.bins.insert(bin.unit.name, bin);
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Analyzes dependencies and returns the topological build order.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, unresolved or duplicate exports, or an import cycle.
+    pub fn plan(&mut self, project: &Project) -> Result<Vec<Symbol>, CoreError> {
+        let analyses = self.analyze_all(project)?;
+        let exporters = exporters(&analyses)?;
+        topo_order(project, &analyses, &exporters)
+    }
+
+    fn analyze_all(
+        &mut self,
+        project: &Project,
+    ) -> Result<HashMap<Symbol, CachedAnalysis>, CoreError> {
+        let mut out = HashMap::new();
+        for f in project.files() {
+            let sp = source_pid(&f.text);
+            let cached = self.deps_cache.get(&f.name);
+            let a = match cached {
+                Some(c) if c.source_pid == sp => c.clone(),
+                _ => {
+                    let a = analyze_source(f.name, &f.text)?;
+                    let c = CachedAnalysis {
+                        source_pid: sp,
+                        imports: a.imports,
+                        exports: a.exports,
+                    };
+                    self.deps_cache.insert(f.name, c.clone());
+                    c
+                }
+            };
+            out.insert(f.name, a);
+        }
+        Ok(out)
+    }
+
+    /// Builds the project: recompiles what the strategy requires, reuses
+    /// the rest.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`] from analysis or compilation.
+    pub fn build(&mut self, project: &Project) -> Result<BuildReport, CoreError> {
+        let strategy = self.strategy();
+        let analyses = self.analyze_all(project)?;
+        let exporters = exporters(&analyses)?;
+        let order = topo_order(project, &analyses, &exporters)?;
+
+        let mut report = BuildReport {
+            order: order.clone(),
+            ..BuildReport::default()
+        };
+        // Environments materialized this build (fresh or rehydrated).
+        let mut envs: HashMap<Symbol, Rc<Bindings>> = HashMap::new();
+        let mut recompiled_set: HashMap<Symbol, bool> = HashMap::new();
+
+        for name in &order {
+            let file = project
+                .files()
+                .iter()
+                .find(|f| f.name == *name)
+                .expect("ordered units exist");
+            let analysis = &analyses[name];
+            let sp = analysis.source_pid;
+            // Import units in deterministic (sorted-name) slot order.
+            let import_units: Vec<Symbol> = analysis
+                .imports
+                .iter()
+                .map(|n| exporters[n])
+                .collect::<Vec<_>>()
+                .dedup_stable();
+
+            let needs = match strategy {
+                Strategy::Cutoff => {
+                    match self.bins.get(name) {
+                        None => true,
+                        Some(bin) => {
+                            bin.unit.source_pid != sp
+                                || bin.unit.imports.len() != import_units.len()
+                                || bin.unit.imports.iter().zip(&import_units).any(|(e, u)| {
+                                    e.unit != *u
+                                        || Some(e.pid)
+                                            != self.bins.get(u).map(|b| b.unit.export_pid)
+                                })
+                        }
+                    }
+                }
+                Strategy::Timestamp => match self.bins.get(name) {
+                    None => true,
+                    Some(bin) => {
+                        bin.mtime < file.mtime
+                            || import_units.iter().any(|u| {
+                                self.bins.get(u).is_none_or(|b| bin.mtime < b.mtime)
+                            })
+                    }
+                },
+                Strategy::Classical => match self.bins.get(name) {
+                    None => true,
+                    Some(bin) => {
+                        bin.unit.source_pid != sp
+                            || import_units
+                                .iter()
+                                .any(|u| recompiled_set.get(u).copied().unwrap_or(false))
+                    }
+                },
+            };
+
+            if needs {
+                let sources: Vec<ImportSource> = import_units
+                    .iter()
+                    .map(|u| {
+                        let exports = self.force_env(*u, &analyses, &exporters, &mut envs, &mut report)?;
+                        Ok(ImportSource {
+                            unit: *u,
+                            pid: self.bins[u].unit.export_pid,
+                            exports,
+                        })
+                    })
+                    .collect::<Result<_, CoreError>>()?;
+                let out = compile_unit(*name, &file.text, &sources)?;
+                report.timings.accumulate(&out.timings);
+                report
+                    .warnings
+                    .extend(out.warnings.iter().map(|w| (*name, w.to_string())));
+                self.bins.insert(
+                    *name,
+                    BinFile {
+                        unit: out.unit,
+                        mtime: tick(),
+                    },
+                );
+                envs.insert(*name, out.exports);
+                recompiled_set.insert(*name, true);
+                report.recompiled.push(*name);
+            } else {
+                recompiled_set.insert(*name, false);
+                report.reused.push(*name);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Materializes a unit's export environment: live if compiled this
+    /// build, otherwise rehydrated from its bin (once per build).
+    fn force_env(
+        &self,
+        unit: Symbol,
+        analyses: &HashMap<Symbol, CachedAnalysis>,
+        exporters: &HashMap<Symbol, Symbol>,
+        envs: &mut HashMap<Symbol, Rc<Bindings>>,
+        report: &mut BuildReport,
+    ) -> Result<Rc<Bindings>, CoreError> {
+        if let Some(e) = envs.get(&unit) {
+            return Ok(e.clone());
+        }
+        // Rehydrate against the unit's own imports, recursively.
+        let import_units: Vec<Symbol> = analyses[&unit]
+            .imports
+            .iter()
+            .map(|n| exporters[n])
+            .collect::<Vec<_>>()
+            .dedup_stable();
+        let mut ctx_envs = Vec::new();
+        for u in &import_units {
+            ctx_envs.push(self.force_env(*u, analyses, exporters, envs, report)?);
+        }
+        let bin = self
+            .bins
+            .get(&unit)
+            .ok_or(CoreError::UnknownUnit(unit))?;
+        let t0 = Instant::now();
+        let ctx = RehydrateContext::with_pervasives(ctx_envs.iter().map(|e| e.as_ref()));
+        let (env, _) = rehydrate(&bin.unit.env_pickle, &ctx).map_err(|e| CoreError::Pickle {
+            unit,
+            error: e,
+        })?;
+        report.rehydrate += t0.elapsed();
+        envs.insert(unit, env.clone());
+        Ok(env)
+    }
+
+    /// Builds and then links & executes the whole project in topological
+    /// order, returning the populated dynamic environment.
+    ///
+    /// # Errors
+    ///
+    /// Build errors, or a [`LinkError`](crate::link::LinkError) wrapped in
+    /// [`CoreError::Link`].
+    pub fn execute(&mut self, project: &Project) -> Result<(BuildReport, DynEnv), CoreError> {
+        let report = self.build(project)?;
+        let mut env = DynEnv::new();
+        for name in &report.order {
+            let bin = &self.bins[name];
+            link_and_execute(&bin.unit, &mut env).map_err(CoreError::Link)?;
+        }
+        Ok((report, env))
+    }
+}
+
+/// Maps each exported top-level name to the unit exporting it.
+fn exporters(
+    analyses: &HashMap<Symbol, CachedAnalysis>,
+) -> Result<HashMap<Symbol, Symbol>, CoreError> {
+    let mut map: HashMap<Symbol, Symbol> = HashMap::new();
+    let mut units: Vec<&Symbol> = analyses.keys().collect();
+    units.sort_by_key(|s| s.as_str());
+    for unit in units {
+        for name in &analyses[unit].exports {
+            if let Some(prev) = map.insert(*name, *unit) {
+                if prev != *unit {
+                    return Err(CoreError::DuplicateExport {
+                        name: *name,
+                        units: vec![prev, *unit],
+                    });
+                }
+            }
+        }
+    }
+    Ok(map)
+}
+
+/// Topological order over the import graph; imports that resolve to no
+/// project unit are errors, cycles are errors.
+fn topo_order(
+    project: &Project,
+    analyses: &HashMap<Symbol, CachedAnalysis>,
+    exporters: &HashMap<Symbol, Symbol>,
+) -> Result<Vec<Symbol>, CoreError> {
+    // Validate imports first for a precise error.
+    for f in project.files() {
+        for import in &analyses[&f.name].imports {
+            if !exporters.contains_key(import) {
+                return Err(CoreError::UnresolvedImport {
+                    unit: f.name,
+                    name: *import,
+                });
+            }
+        }
+    }
+    let mut order = Vec::new();
+    let mut state: HashMap<Symbol, u8> = HashMap::new(); // 1 = visiting, 2 = done
+    fn visit(
+        unit: Symbol,
+        analyses: &HashMap<Symbol, CachedAnalysis>,
+        exporters: &HashMap<Symbol, Symbol>,
+        state: &mut HashMap<Symbol, u8>,
+        order: &mut Vec<Symbol>,
+        stack: &mut Vec<Symbol>,
+    ) -> Result<(), CoreError> {
+        match state.get(&unit) {
+            Some(2) => return Ok(()),
+            Some(1) => {
+                let mut cycle: Vec<Symbol> = stack.clone();
+                cycle.push(unit);
+                return Err(CoreError::ImportCycle(cycle));
+            }
+            _ => {}
+        }
+        state.insert(unit, 1);
+        stack.push(unit);
+        let mut deps: Vec<Symbol> = analyses[&unit]
+            .imports
+            .iter()
+            .map(|n| exporters[n])
+            .collect();
+        deps.sort_by_key(|s| s.as_str());
+        deps.dedup();
+        for d in deps {
+            if d != unit {
+                visit(d, analyses, exporters, state, order, stack)?;
+            }
+        }
+        stack.pop();
+        state.insert(unit, 2);
+        order.push(unit);
+        Ok(())
+    }
+    let mut units: Vec<Symbol> = project.files().iter().map(|f| f.name).collect();
+    units.sort_by_key(|s| s.as_str());
+    let mut stack = Vec::new();
+    for u in units {
+        visit(u, analyses, exporters, &mut state, &mut order, &mut stack)?;
+    }
+    Ok(order)
+}
+
+/// Order-preserving deduplication for small vectors.
+trait DedupStable {
+    fn dedup_stable(self) -> Self;
+}
+
+impl DedupStable for Vec<Symbol> {
+    fn dedup_stable(self) -> Vec<Symbol> {
+        let mut seen = Vec::new();
+        for s in self {
+            if !seen.contains(&s) {
+                seen.push(s);
+            }
+        }
+        seen
+    }
+}

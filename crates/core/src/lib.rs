@@ -1,0 +1,172 @@
+//! `smlsc-core`: the paper's primary contribution.
+//!
+//! Appel & MacQueen, *Separate Compilation for Standard ML* (PLDI 1994),
+//! reproduced in Rust:
+//!
+//! * [`hash`] — intrinsic pids: 128-bit interface digests with
+//!   provisional-pid alpha conversion (§5);
+//! * [`mod@unit`] — compiled units and bin files
+//!   (`Unit = statenv × code × imports × exports`, §3);
+//! * [`compile`] — the compile pipeline gluing the frontend
+//!   (`smlsc-syntax`, `smlsc-statics`), the hasher and the pickler
+//!   (`smlsc-pickle`) into §3's `compile`;
+//! * [`link`] — type-safe linkage: import/export pid verification before
+//!   execution (§5);
+//! * [`irm`] — the Incremental Recompilation Manager with **cutoff**
+//!   recompilation, plus `make`-timestamp and classical baselines
+//!   (§1, §6, §8);
+//! * [`session`] — the Visible Compiler's interactive
+//!   compile-and-execute loop as a client of the same primitives (§7).
+//!
+//! # Examples
+//!
+//! The headline behaviour — a body edit recompiles one unit, and the
+//! rebuild cascade is cut off because the interface hash is unchanged:
+//!
+//! ```
+//! use smlsc_core::irm::{Irm, Project, Strategy};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut p = Project::new();
+//! p.add("a", "structure A = struct fun f x = x + 1 end");
+//! p.add("b", "structure B = struct val y = A.f 1 end");
+//! let mut irm = Irm::new(Strategy::Cutoff);
+//! irm.build(&p)?;
+//!
+//! // Change A's body without changing its interface:
+//! p.edit("a", "structure A = struct fun f x = x + 2 end")?;
+//! let report = irm.build(&p)?;
+//! assert!(report.was_recompiled("a"));
+//! assert!(!report.was_recompiled("b")); // cutoff!
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod groups;
+pub mod hash;
+pub mod irm;
+pub mod link;
+pub mod session;
+pub mod stdlib;
+pub mod unit;
+
+use std::fmt;
+
+use smlsc_ids::Symbol;
+
+pub use compile::{compile_unit, CompileOutput, CompileTimings, ImportSource};
+pub use groups::{Group, GroupedProject};
+pub use hash::{hash_exports, HashError, HashResult};
+pub use irm::{BuildReport, Irm, Project, Strategy};
+pub use link::{link_and_execute, DynEnv, LinkError};
+pub use session::Session;
+pub use stdlib::{add_stdlib, stdlib_units};
+pub use unit::{BinFile, CompiledUnit, ImportEdge};
+
+/// Any error from the compilation manager.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A source file failed to parse.
+    Parse {
+        /// The unit.
+        unit: Symbol,
+        /// The parser's error.
+        error: smlsc_syntax::ParseError,
+    },
+    /// Elaboration (type checking) failed.
+    Elab {
+        /// The unit.
+        unit: Symbol,
+        /// The elaborator's error.
+        error: smlsc_statics::ElabError,
+    },
+    /// Interface hashing failed.
+    Hash {
+        /// The unit.
+        unit: Symbol,
+        /// The hasher's error.
+        error: HashError,
+    },
+    /// Pickling or unpickling failed.
+    Pickle {
+        /// The unit.
+        unit: Symbol,
+        /// The pickler's error.
+        error: smlsc_pickle::PickleError,
+    },
+    /// A bin file is malformed.
+    CorruptBin(String),
+    /// A unit imports a name no project unit exports.
+    UnresolvedImport {
+        /// The importing unit.
+        unit: Symbol,
+        /// The unresolved module name.
+        name: Symbol,
+    },
+    /// Two units export the same top-level name.
+    DuplicateExport {
+        /// The clashing name.
+        name: Symbol,
+        /// The exporting units.
+        units: Vec<Symbol>,
+    },
+    /// The import graph is cyclic.
+    ImportCycle(Vec<Symbol>),
+    /// No such unit.
+    UnknownUnit(Symbol),
+    /// A unit references a name its group cannot see (§9 libraries).
+    GroupVisibility {
+        /// The offending unit.
+        unit: Symbol,
+        /// The referenced name.
+        name: Symbol,
+        /// The group defining the name.
+        group: Symbol,
+        /// Why it is invisible.
+        reason: String,
+    },
+    /// Linking or execution failed.
+    Link(LinkError),
+    /// Filesystem failure while persisting bins.
+    Io(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse { unit, error } => write!(f, "unit `{unit}`: {error}"),
+            CoreError::Elab { unit, error } => write!(f, "unit `{unit}`: {error}"),
+            CoreError::Hash { unit, error } => write!(f, "unit `{unit}`: {error}"),
+            CoreError::Pickle { unit, error } => write!(f, "unit `{unit}`: {error}"),
+            CoreError::CorruptBin(m) => write!(f, "corrupt bin file: {m}"),
+            CoreError::UnresolvedImport { unit, name } => {
+                write!(f, "unit `{unit}` imports `{name}`, which no unit exports")
+            }
+            CoreError::DuplicateExport { name, units } => {
+                let list: Vec<String> = units.iter().map(|u| format!("`{u}`")).collect();
+                write!(f, "`{name}` is exported by {}", list.join(" and "))
+            }
+            CoreError::ImportCycle(units) => {
+                let list: Vec<String> = units.iter().map(|u| u.to_string()).collect();
+                write!(f, "import cycle: {}", list.join(" -> "))
+            }
+            CoreError::UnknownUnit(u) => write!(f, "unknown unit `{u}`"),
+            CoreError::GroupVisibility {
+                unit,
+                name,
+                group,
+                reason,
+            } => write!(
+                f,
+                "unit `{unit}` cannot use `{name}` from group `{group}`: {reason}"
+            ),
+            CoreError::Link(e) => write!(f, "{e}"),
+            CoreError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

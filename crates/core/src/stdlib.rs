@@ -1,0 +1,276 @@
+//! A small standard library written in mini-SML.
+//!
+//! §9's "libraries" in the flesh: ordinary compilation units (`List`,
+//! `Option`, `Fn`, `Pair`) that projects and interactive sessions pull in
+//! through the same separate-compilation machinery as user code — they
+//! are compiled once, cached as bins, and cut off like everything else.
+
+use crate::irm::Project;
+use crate::session::Session;
+use crate::CoreError;
+
+/// `structure Fn` — function combinators.
+pub const FN_SOURCE: &str = "
+structure Fn = struct
+  fun id x = x
+  fun const x = fn _ => x
+  fun compose f g = fn x => f (g x)
+  fun curry f = fn x => fn y => f (x, y)
+  fun uncurry f = fn (x, y) => f x y
+  fun flip f = fn (x, y) => f (y, x)
+end
+";
+
+/// `structure Option` — option utilities (uses the pervasive
+/// `NONE`/`SOME`).
+pub const OPTION_SOURCE: &str = "
+structure Option = struct
+  exception Option
+  fun isSome (SOME _) = true
+    | isSome NONE = false
+  fun isNone opt = if isSome opt then false else true
+  fun valOf (SOME x) = x
+    | valOf NONE = raise Option
+  fun getOpt (SOME x, _) = x
+    | getOpt (NONE, d) = d
+  fun map f (SOME x) = SOME (f x)
+    | map f NONE = NONE
+  fun andThen f (SOME x) = f x
+    | andThen f NONE = NONE
+  fun filter p (SOME x) = if p x then SOME x else NONE
+    | filter p NONE = NONE
+end
+";
+
+/// `structure List` — list utilities (uses the pervasive `nil`/`::`).
+pub const LIST_SOURCE: &str = "
+structure List = struct
+  exception Empty
+  exception Subscript
+
+  fun null [] = true
+    | null _ = false
+
+  fun hd [] = raise Empty
+    | hd (x :: _) = x
+
+  fun tl [] = raise Empty
+    | tl (_ :: xs) = xs
+
+  fun length l = let
+    fun go acc [] = acc
+      | go acc (_ :: xs) = go (acc + 1) xs
+  in go 0 l end
+
+  fun rev l = let
+    fun go acc [] = acc
+      | go acc (x :: xs) = go (x :: acc) xs
+  in go [] l end
+
+  fun map f [] = []
+    | map f (x :: xs) = f x :: map f xs
+
+  fun filter p [] = []
+    | filter p (x :: xs) = if p x then x :: filter p xs else filter p xs
+
+  fun foldl f acc [] = acc
+    | foldl f acc (x :: xs) = foldl f (f (x, acc)) xs
+
+  fun foldr f acc [] = acc
+    | foldr f acc (x :: xs) = f (x, foldr f acc xs)
+
+  fun exists p [] = false
+    | exists p (x :: xs) = p x orelse exists p xs
+
+  fun all p [] = true
+    | all p (x :: xs) = p x andalso all p xs
+
+  fun append (xs, ys) = xs @ ys
+
+  fun concat [] = []
+    | concat (l :: ls) = l @ concat ls
+
+  fun nth ([], _) = raise Subscript
+    | nth (x :: _, 0) = x
+    | nth (_ :: xs, n) = if n < 0 then raise Subscript else nth (xs, n - 1)
+
+  fun take (_, 0) = []
+    | take ([], _) = raise Subscript
+    | take (x :: xs, n) = x :: take (xs, n - 1)
+
+  fun drop (l, 0) = l
+    | drop ([], _) = raise Subscript
+    | drop (_ :: xs, n) = drop (xs, n - 1)
+
+  fun zip ([], _) = []
+    | zip (_, []) = []
+    | zip (x :: xs, y :: ys) = (x, y) :: zip (xs, ys)
+
+  fun tabulate (n, f) = let
+    fun go i = if i >= n then [] else f i :: go (i + 1)
+  in go 0 end
+
+  fun find p [] = NONE
+    | find p (x :: xs) = if p x then SOME x else find p xs
+end
+";
+
+/// `structure Int` and `structure Str` — wrappers over the compiler
+/// primitives `itos` and `size`.
+pub const INT_STR_SOURCE: &str = "
+structure Int = struct
+  fun toString n = itos n
+  fun abs n = if n < 0 then ~n else n
+  fun min (a, b) = if a < b then a else b
+  fun max (a, b) = if a > b then a else b
+  fun sign n = if n < 0 then ~1 else if n > 0 then 1 else 0
+end
+
+structure Str = struct
+  (* `val`, not `fun`: a `fun size` would shadow the pervasive and
+     recurse into itself. *)
+  val size = fn s => size s
+  fun isEmpty s = size s = 0
+  fun concatWith sep l = let
+    fun go [] = \"\"
+      | go [x] = x
+      | go (x :: xs) = x ^ sep ^ go xs
+  in go l end
+end
+";
+
+/// `structure Pair` — pair utilities.
+pub const PAIR_SOURCE: &str = "
+structure Pair = struct
+  fun fst (x, _) = x
+  fun snd (_, y) = y
+  fun swap (x, y) = (y, x)
+  fun mapFst f (x, y) = (f x, y)
+  fun mapSnd f (x, y) = (x, f y)
+end
+";
+
+/// The standard library units, `(unit name, source)`, dependency-free
+/// and loadable in any order.
+pub fn stdlib_units() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("std_fn", FN_SOURCE),
+        ("std_option", OPTION_SOURCE),
+        ("std_list", LIST_SOURCE),
+        ("std_pair", PAIR_SOURCE),
+        ("std_int_str", INT_STR_SOURCE),
+    ]
+}
+
+/// Adds the standard library sources to a project.
+pub fn add_stdlib(project: &mut Project) {
+    for (name, src) in stdlib_units() {
+        project.add(name, src);
+    }
+}
+
+impl Session {
+    /// Evaluates the standard library into the session (one layer per
+    /// unit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any compile/execute failure (which would indicate a bug
+    /// in the shipped sources — the test suite compiles them).
+    pub fn load_stdlib(&mut self) -> Result<(), CoreError> {
+        for (_, src) in stdlib_units() {
+            self.eval(src)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irm::{Irm, Strategy};
+
+    #[test]
+    fn stdlib_compiles_warning_free() {
+        let mut p = Project::new();
+        add_stdlib(&mut p);
+        let mut irm = Irm::new(Strategy::Cutoff);
+        let report = irm.build(&p).expect("stdlib builds");
+        assert_eq!(report.recompiled.len(), stdlib_units().len());
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn stdlib_usable_from_a_project() {
+        let mut p = Project::new();
+        add_stdlib(&mut p);
+        p.add(
+            "app",
+            "structure App = struct
+               val evens = List.filter (fn x => x mod 2 = 0) (List.tabulate (10, Fn.id))
+               val total = List.foldl (fn (x, acc) => x + acc) 0 evens
+               val third = List.nth (evens, 2)
+               val headOr = Option.getOpt (List.find (fn x => x > 100) evens, ~1)
+               val swapped = Pair.swap (1, 2)
+             end",
+        );
+        let mut irm = Irm::new(Strategy::Cutoff);
+        let (_, env) = irm.execute(&p).expect("runs");
+        let app = env.get(smlsc_ids::Symbol::intern("app")).unwrap();
+        let smlsc_dynamics::value::Value::Record(units) = &app.values else { panic!() };
+        let smlsc_dynamics::value::Value::Record(fields) = &units[0] else { panic!() };
+        // evens = [0,2,4,6,8]; total = 20; third = 4; headOr = ~1.
+        assert_eq!(fields[1], smlsc_dynamics::value::Value::Int(20));
+        assert_eq!(fields[2], smlsc_dynamics::value::Value::Int(4));
+        assert_eq!(fields[3], smlsc_dynamics::value::Value::Int(-1));
+    }
+
+    #[test]
+    fn stdlib_in_a_session() {
+        let mut s = Session::new();
+        s.load_stdlib().expect("loads");
+        s.eval(
+            "structure T = struct
+               val r = List.rev [1, 2, 3]
+               val n = List.length r
+               val v = Option.valOf (SOME 9)
+             end",
+        )
+        .expect("evals");
+        assert_eq!(s.show_value("T", "n").unwrap(), "3");
+        assert_eq!(s.show_value("T", "v").unwrap(), "9");
+        assert_eq!(s.show_value("T", "r").unwrap(), "[3, 2, 1]");
+    }
+
+    #[test]
+    fn stdlib_exceptions_raise_and_catch() {
+        let mut s = Session::new();
+        s.load_stdlib().unwrap();
+        s.eval(
+            "structure T = struct
+               val caught = (List.hd []) handle List.Empty => ~7
+               val sub = (List.nth ([1], 5)) handle List.Subscript => ~8
+               val opt = (Option.valOf NONE) handle Option.Option => ~9
+             end",
+        )
+        .unwrap();
+        assert_eq!(s.show_value("T", "caught").unwrap(), "~7");
+        assert_eq!(s.show_value("T", "sub").unwrap(), "~8");
+        assert_eq!(s.show_value("T", "opt").unwrap(), "~9");
+    }
+
+    #[test]
+    fn stdlib_polymorphism() {
+        let mut s = Session::new();
+        s.load_stdlib().unwrap();
+        s.eval(
+            r#"structure T = struct
+                 val ints = List.map (fn x => x + 1) [1, 2]
+                 val strs = List.map (fn s => s ^ "!") ["a"]
+                 val pairs = List.zip ([1, 2, 3], ["x", "y"])
+               end"#,
+        )
+        .unwrap();
+        assert_eq!(s.show_value("T", "pairs").unwrap(), r#"[(1, "x"), (2, "y")]"#);
+    }
+}

@@ -1,0 +1,116 @@
+//! Compiled units and bin files (§3, §4).
+//!
+//! A [`CompiledUnit`] is the paper's
+//! `Unit = statenv × code × imports × exports`: the dehydrated static
+//! environment, the serialized code object, the list of import pids, and
+//! the export pid.  [`BinFile`] is its on-disk form.
+
+use serde::{Deserialize, Serialize};
+use smlsc_dynamics::ir::Ir;
+use smlsc_ids::{Pid, Symbol};
+
+use crate::CoreError;
+
+/// One import edge: the imported unit's name and the export pid it had
+/// when this unit was compiled.  The linker refuses to run against
+/// anything else (type-safe linkage, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportEdge {
+    /// The imported unit.
+    pub unit: Symbol,
+    /// Its export pid at compile time.
+    pub pid: Pid,
+}
+
+/// A compiled compilation unit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledUnit {
+    /// The unit's name (source file stem).
+    pub name: Symbol,
+    /// Digest of the source text this unit was compiled from.
+    pub source_pid: Pid,
+    /// Imports in slot order (slot `i` feeds `Ir::Import(i)`).
+    pub imports: Vec<ImportEdge>,
+    /// The intrinsic pid of the exported static environment.
+    pub export_pid: Pid,
+    /// The dehydrated exported static environment.
+    pub env_pickle: Vec<u8>,
+    /// The code object.
+    pub code: Ir,
+}
+
+/// A bin file: a compiled unit plus bookkeeping for the recompilation
+/// strategies.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinFile {
+    /// The compiled unit.
+    pub unit: CompiledUnit,
+    /// Virtual modification time of the bin (for the timestamp baseline).
+    pub mtime: u64,
+}
+
+const BIN_MAGIC: &[u8; 8] = b"SMLCBIN1";
+
+impl BinFile {
+    /// Serializes the bin file.
+    ///
+    /// The container is a tiny magic-prefixed JSON envelope; the inner
+    /// static-environment pickle is the custom byte format of
+    /// `smlsc-pickle` (where sharing and stub structure matter).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.unit.env_pickle.len() + 256);
+        out.extend_from_slice(BIN_MAGIC);
+        let json = serde_json::to_vec(self).expect("bin files serialize");
+        out.extend_from_slice(&json);
+        out
+    }
+
+    /// Deserializes a bin file.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptBin`] when the magic or payload is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<BinFile, CoreError> {
+        let payload = bytes
+            .strip_prefix(BIN_MAGIC.as_slice())
+            .ok_or_else(|| CoreError::CorruptBin("bad magic".into()))?;
+        serde_json::from_slice(payload).map_err(|e| CoreError::CorruptBin(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_file_round_trip() {
+        let bin = BinFile {
+            unit: CompiledUnit {
+                name: Symbol::intern("a"),
+                source_pid: Pid::of_bytes(b"src"),
+                imports: vec![ImportEdge {
+                    unit: Symbol::intern("b"),
+                    pid: Pid::of_bytes(b"b-exports"),
+                }],
+                export_pid: Pid::of_bytes(b"a-exports"),
+                env_pickle: vec![1, 2, 3],
+                code: Ir::Int(7),
+            },
+            mtime: 42,
+        };
+        let bytes = bin.to_bytes();
+        let back = BinFile::from_bytes(&bytes).unwrap();
+        assert_eq!(back.mtime, 42);
+        assert_eq!(back.unit.name, Symbol::intern("a"));
+        assert_eq!(back.unit.imports, bin.unit.imports);
+        assert_eq!(back.unit.code, Ir::Int(7));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(
+            BinFile::from_bytes(b"NOTABIN!{}"),
+            Err(CoreError::CorruptBin(_))
+        ));
+    }
+}

@@ -1,0 +1,197 @@
+//! Intrinsic-pid hashing: determinism, alpha-conversion of provisional
+//! pids, sensitivity to exactly the interface and nothing else.
+
+use smlsc_core::hash_exports;
+use smlsc_ids::Symbol;
+use smlsc_statics::elab::{elaborate_unit, ImportEnv, ImportedUnit};
+
+fn export_pid(unit_name: &str, src: &str) -> smlsc_ids::Pid {
+    let ast = smlsc_syntax::parse_unit(src).unwrap();
+    let u = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+    hash_exports(Symbol::intern(unit_name), &u.exports)
+        .unwrap()
+        .export_pid
+}
+
+#[test]
+fn recursive_datatypes_hash_deterministically() {
+    let src = "structure T = struct
+                 datatype t = Leaf | Node of t * t
+                 and u = U of t
+               end";
+    assert_eq!(export_pid("a", src), export_pid("a", src));
+}
+
+#[test]
+fn provisional_pids_alpha_convert_over_stamps() {
+    // The same interface elaborated twice gets entirely different session
+    // stamps; the hash must not see them.  (Each elaboration allocates
+    // fresh stamps from the global counter.)
+    let src = "structure A = struct
+                 datatype d = D of int
+                 type alias = d list
+                 fun f (x : alias) = x
+               end";
+    let p1 = export_pid("u", src);
+    // Burn some stamps in between to shift the counter.
+    let _ = export_pid("other", "structure Z = struct datatype q = Q end");
+    let p2 = export_pid("u", src);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn binding_order_is_part_of_the_interface() {
+    // Order determines the runtime record layout, so it must be hashed.
+    let a = export_pid("u", "structure A = struct val x = 1 val y = 2 end");
+    let b = export_pid("u", "structure A = struct val y = 2 val x = 1 end");
+    assert_ne!(a, b);
+}
+
+#[test]
+fn structure_names_are_part_of_the_interface() {
+    let a = export_pid("u", "structure A = struct val x = 1 end");
+    let b = export_pid("u", "structure B = struct val x = 1 end");
+    assert_ne!(a, b);
+}
+
+#[test]
+fn export_pid_is_independent_of_unit_name() {
+    // The *export* pid is interface-only; the unit name enters only the
+    // derived entity pids.
+    let src = "structure A = struct val x = 1 end";
+    assert_eq!(export_pid("u1", src), export_pid("u2", src));
+}
+
+#[test]
+fn entity_pids_depend_on_unit_name() {
+    let src = "structure A = struct datatype d = D end";
+    let ast = smlsc_syntax::parse_unit(src).unwrap();
+    let u1 = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+    let u2 = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+    hash_exports(Symbol::intern("one"), &u1.exports).unwrap();
+    hash_exports(Symbol::intern("two"), &u2.exports).unwrap();
+    let d1 = u1
+        .exports
+        .str(Symbol::intern("A"))
+        .unwrap()
+        .bindings
+        .tycon(Symbol::intern("d"))
+        .unwrap()
+        .entity_pid
+        .get()
+        .unwrap();
+    let d2 = u2
+        .exports
+        .str(Symbol::intern("A"))
+        .unwrap()
+        .bindings
+        .tycon(Symbol::intern("d"))
+        .unwrap()
+        .entity_pid
+        .get()
+        .unwrap();
+    assert_ne!(d1, d2, "identical interfaces, distinct generative entities");
+}
+
+#[test]
+fn hashing_is_idempotent_in_effect() {
+    let src = "structure A = struct datatype d = D of int val v = D 3 end";
+    let ast = smlsc_syntax::parse_unit(src).unwrap();
+    let u = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+    let first = hash_exports(Symbol::intern("u"), &u.exports).unwrap();
+    assert!(first.new_entities >= 2, "A and d at least");
+    // Second pass: every entity already carries a pid; the traversal now
+    // hashes them as external references, and nothing is reassigned.
+    let second = hash_exports(Symbol::intern("u"), &u.exports).unwrap();
+    assert_eq!(second.new_entities, 0);
+}
+
+#[test]
+fn reexported_entities_keep_their_pids() {
+    // B re-exports A's datatype: the tycon keeps A's entity pid, so B's
+    // hash references it externally (and changing B's body never touches
+    // A's entity identity).
+    let a_ast = smlsc_syntax::parse_unit("structure A = struct datatype d = D end").unwrap();
+    let a = elaborate_unit(&a_ast, &ImportEnv::empty()).unwrap();
+    hash_exports(Symbol::intern("a"), &a.exports).unwrap();
+    let d_pid = a
+        .exports
+        .str(Symbol::intern("A"))
+        .unwrap()
+        .bindings
+        .tycon(Symbol::intern("d"))
+        .unwrap()
+        .entity_pid
+        .get()
+        .unwrap();
+
+    let imports = ImportEnv {
+        units: vec![ImportedUnit {
+            name: Symbol::intern("a"),
+            exports: a.exports.clone(),
+        }],
+        shadowing: false,
+    };
+    let b_ast = smlsc_syntax::parse_unit("structure B = struct structure Re = A end").unwrap();
+    let b = elaborate_unit(&b_ast, &imports).unwrap();
+    hash_exports(Symbol::intern("b"), &b.exports).unwrap();
+    let re_d_pid = b
+        .exports
+        .str(Symbol::intern("B"))
+        .unwrap()
+        .bindings
+        .str(Symbol::intern("Re"))
+        .unwrap()
+        .bindings
+        .tycon(Symbol::intern("d"))
+        .unwrap()
+        .entity_pid
+        .get()
+        .unwrap();
+    assert_eq!(d_pid, re_d_pid, "re-export preserves entity identity");
+}
+
+#[test]
+fn signature_flexibility_is_hashed() {
+    // `type t` (flexible) vs `type t = int` (manifest) are different
+    // interfaces even though both expose a type named t.
+    let a = export_pid(
+        "u",
+        "signature S = sig type t end
+         structure D = struct end",
+    );
+    let b = export_pid(
+        "u",
+        "signature S = sig type t = int end
+         structure D = struct end",
+    );
+    assert_ne!(a, b);
+}
+
+#[test]
+fn functor_parameter_interfaces_are_hashed() {
+    let a = export_pid(
+        "u",
+        "functor F (X : sig val n : int end) = struct val m = X.n end",
+    );
+    let b = export_pid(
+        "u",
+        "functor F (X : sig val n : string end) = struct val m = X.n end",
+    );
+    assert_ne!(a, b);
+}
+
+#[test]
+fn opaque_and_transparent_ascription_hash_differently() {
+    let t = export_pid(
+        "u",
+        "structure A : sig type t val mk : int -> t end =
+           struct type t = int fun mk x = x end",
+    );
+    let o = export_pid(
+        "u",
+        "structure A :> sig type t val mk : int -> t end =
+           struct type t = int fun mk x = x end",
+    );
+    assert_ne!(t, o, "t = int is visible only transparently");
+}

@@ -1,0 +1,205 @@
+//! The runtime intermediate representation.
+//!
+//! Produced by the elaborator (`smlsc-statics`), serialized into bin files
+//! by the compilation manager, and executed by [`crate::eval`].  The IR is
+//! *position-resolved*: identifiers are gone, replaced by `lvar` numbers
+//! and record-slot indices, so executing it requires no environment other
+//! than the vector of import records.
+
+use serde::{Deserialize, Serialize};
+use smlsc_ids::Symbol;
+use smlsc_syntax::ast::PrimOp;
+
+/// A local variable number, unique within one compilation unit's code.
+pub type LVar = u32;
+
+/// Runtime description of a datatype constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConTag {
+    /// This constructor's index within its datatype.
+    pub tag: u32,
+    /// Number of constructors in the datatype (for match diagnostics).
+    pub span: u32,
+    /// Whether the constructor carries an argument.
+    pub has_arg: bool,
+    /// Source name, kept for printing values.
+    pub name: Symbol,
+}
+
+/// One arm of a match: pattern and body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrRule {
+    /// The pattern.
+    pub pat: IrPat,
+    /// The arm's body.
+    pub body: Ir,
+}
+
+/// Position-resolved patterns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IrPat {
+    /// Matches anything, binds nothing.
+    Wild,
+    /// Matches anything, binds the value to an lvar.
+    Var(LVar),
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(String),
+    /// The unit value.
+    Unit,
+    /// Tuple of sub-patterns.
+    Tuple(Vec<IrPat>),
+    /// Datatype constructor (argument pattern present iff `has_arg`).
+    Con(ConTag, Option<Box<IrPat>>),
+    /// Exception constructor pattern.  The embedded expression evaluates
+    /// (at match time) to the constructor's runtime identity; it is always
+    /// a variable/slot access, never effectful.
+    Exn(Box<Ir>, Option<Box<IrPat>>),
+    /// Layered pattern: binds the lvar to the whole value and matches the
+    /// sub-pattern against it.
+    As(LVar, Box<IrPat>),
+}
+
+/// Declarations inside `Let`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum IrDec {
+    /// `val pat = exp`; a match failure raises the primitive `Bind`
+    /// exception.
+    Val(IrPat, Ir),
+    /// Mutually recursive functions: each lvar is bound to a closure over
+    /// an environment containing *all* of the group (knot-tying).
+    Fix(Vec<(LVar, Vec<IrRule>)>),
+    /// A generative exception declaration: binds the lvar to a fresh
+    /// exception constructor every time it executes.
+    Exception {
+        /// Variable bound to the constructor value.
+        lvar: LVar,
+        /// Source name, for printing.
+        name: Symbol,
+        /// Whether the exception carries an argument.
+        has_arg: bool,
+    },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Ir {
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(String),
+    /// The unit value.
+    Unit,
+    /// A local variable.
+    Local(LVar),
+    /// The `i`th import record of the unit (supplied by the linker).
+    Import(u32),
+    /// Positional field selection from a record.
+    Select(Box<Ir>, u32),
+    /// Builds a structure record (module runtime representation).
+    Record(Vec<Ir>),
+    /// Builds a tuple.
+    Tuple(Vec<Ir>),
+    /// Applies a datatype constructor.
+    Con(ConTag, Option<Box<Ir>>),
+    /// A constructor used as a first-class function (eta-expanded).
+    ConFn(ConTag),
+    /// Function application (also applies constructors and exception
+    /// constructors used as functions).
+    App(Box<Ir>, Box<Ir>),
+    /// Primitive operator.
+    Prim(PrimOp, Vec<Ir>),
+    /// `fn match`.
+    Fn(Vec<IrRule>),
+    /// `case`; no arm matching raises the primitive `Match` exception.
+    Case(Box<Ir>, Vec<IrRule>),
+    /// Conditional on a runtime bool (datatype tag 1 = `true`).
+    If(Box<Ir>, Box<Ir>, Box<Ir>),
+    /// Declarations scoped over a body.
+    Let(Vec<IrDec>, Box<Ir>),
+    /// Sequencing; yields the last value.
+    Seq(Vec<Ir>),
+    /// `raise`.
+    Raise(Box<Ir>),
+    /// `handle`; unhandled exceptions re-raise.
+    Handle(Box<Ir>, Vec<IrRule>),
+    /// A functor value: a function from the argument's record to the
+    /// body's record.  Distinct from `Fn` because application re-executes
+    /// generative declarations (fresh exceptions) in the body.
+    Functor {
+        /// lvar bound to the argument record.
+        param: LVar,
+        /// The body, evaluating to the result record.
+        body: Box<Ir>,
+    },
+}
+
+impl Ir {
+    /// Convenience: `Select` chained over a base expression.
+    pub fn select_path(base: Ir, slots: &[u32]) -> Ir {
+        slots
+            .iter()
+            .fold(base, |acc, &s| Ir::Select(Box::new(acc), s))
+    }
+
+    /// Counts IR nodes, used by tests and the bench harness as a rough
+    /// code-size metric.
+    pub fn size(&self) -> usize {
+        fn rules(rs: &[IrRule]) -> usize {
+            rs.iter().map(|r| r.body.size() + 1).sum()
+        }
+        1 + match self {
+            Ir::Int(_) | Ir::Str(_) | Ir::Unit | Ir::Local(_) | Ir::Import(_) | Ir::ConFn(_) => 0,
+            Ir::Select(e, _) | Ir::Raise(e) => e.size(),
+            Ir::Record(es) | Ir::Tuple(es) | Ir::Seq(es) => es.iter().map(Ir::size).sum(),
+            Ir::Con(_, arg) => arg.as_deref().map_or(0, Ir::size),
+            Ir::App(f, a) => f.size() + a.size(),
+            Ir::Prim(_, es) => es.iter().map(Ir::size).sum(),
+            Ir::Fn(rs) => rules(rs),
+            Ir::Case(e, rs) | Ir::Handle(e, rs) => e.size() + rules(rs),
+            Ir::If(a, b, c) => a.size() + b.size() + c.size(),
+            Ir::Let(ds, b) => {
+                b.size()
+                    + ds.iter()
+                        .map(|d| match d {
+                            IrDec::Val(_, e) => e.size() + 1,
+                            IrDec::Fix(fs) => fs.iter().map(|(_, rs)| rules(rs) + 1).sum(),
+                            IrDec::Exception { .. } => 1,
+                        })
+                        .sum::<usize>()
+            }
+            Ir::Functor { body, .. } => body.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_path_builds_nested_selects() {
+        let ir = Ir::select_path(Ir::Import(0), &[1, 2]);
+        let Ir::Select(inner, 2) = ir else { panic!() };
+        let Ir::Select(base, 1) = *inner else { panic!() };
+        assert_eq!(*base, Ir::Import(0));
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let ir = Ir::Prim(PrimOp::Add, vec![Ir::Int(1), Ir::Int(2)]);
+        assert_eq!(ir.size(), 3);
+    }
+
+    #[test]
+    fn ir_serializes_round_trip() {
+        let ir = Ir::Let(
+            vec![IrDec::Val(IrPat::Var(0), Ir::Int(5))],
+            Box::new(Ir::Local(0)),
+        );
+        let json = serde_json::to_string(&ir).unwrap();
+        let back: Ir = serde_json::from_str(&json).unwrap();
+        assert_eq!(ir, back);
+    }
+}

@@ -1,0 +1,47 @@
+//! Dynamic semantics for `smlsc`: the runtime IR, values, and interpreter.
+//!
+//! §3 of the paper factors evaluation into `compile` and `execute`:
+//!
+//! ```text
+//! compile : source × statenv → Unit        (statics + translation)
+//! execute : code × value vector → value vector
+//! ```
+//!
+//! This crate owns the **`code`** half.  A compiled unit's code is an
+//! [`ir::Ir`] term whose free references are *import slots* — positions in
+//! the vector of export records supplied by the linker — exactly the
+//! paper's "the code is a function that takes a vector of import values
+//! and produces a vector of export values".  Code objects are fully
+//! serializable (they are stored in bin files) and contain **no static
+//! addresses**: local variables are numbered `lvar`s (the paper mentions
+//! SML/NJ's "lvar-numbers"), module member access is positional
+//! [`ir::Ir::Select`] against record layouts fixed by the elaborator, and
+//! everything cross-unit flows through import slots.
+//!
+//! The interpreter ([`eval`]) implements the semantics: closures,
+//! generative exceptions (fresh identity per execution, so functor bodies
+//! re-generate their exceptions per application, as SML requires), pattern
+//! matching, and the primitive operators.
+//!
+//! # Examples
+//!
+//! ```
+//! use smlsc_dynamics::{eval::execute, ir::Ir, value::Value};
+//! use smlsc_syntax::ast::PrimOp;
+//!
+//! // code for `1 + 2`, with no imports
+//! let code = Ir::Prim(PrimOp::Add, vec![Ir::Int(1), Ir::Int(2)]);
+//! let v = execute(&code, &[]).unwrap();
+//! assert_eq!(v, Value::Int(3));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod ir;
+pub mod value;
+
+pub use eval::{execute, execute_limited, EvalError};
+pub use ir::{ConTag, Ir, IrDec, IrPat, IrRule, LVar};
+pub use value::Value;

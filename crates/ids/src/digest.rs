@@ -1,0 +1,359 @@
+//! 128-bit content digests and persistent identifiers.
+//!
+//! The paper names interfaces by a 128-bit CRC of the digested static
+//! environment and argues (§5) that at 2¹³ pids the collision probability
+//! is about 2⁻¹⁰², so pids may be treated as intrinsic names.  We keep the
+//! contract (streaming, deterministic, 128 bits, uniform) but use two
+//! independent 64-bit mixing lanes with a strong finalizer instead of a
+//! table-driven CRC; the collision analysis depends only on uniformity and
+//! width, which experiment E2 checks empirically at truncated widths.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 128-bit persistent identifier: the digest of a static environment.
+///
+/// Pids are *intrinsic* names (§5): equal interfaces get equal pids, so
+/// comparing pids implements cutoff recompilation, and the linker's
+/// import/export pid check implements type-safe linkage.
+///
+/// # Examples
+///
+/// ```
+/// use smlsc_ids::{Digest128, Pid};
+/// let mut d = Digest128::new();
+/// d.write_str("val sort : t list -> t list");
+/// let p1 = d.finish_pid();
+///
+/// let mut d = Digest128::new();
+/// d.write_str("val sort : t list -> t list");
+/// assert_eq!(p1, d.finish_pid()); // deterministic
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pid(u128);
+
+impl Pid {
+    /// The all-zero pid, used as a placeholder before hashing completes.
+    pub const NULL: Pid = Pid(0);
+
+    /// Constructs a pid from its raw 128-bit value.
+    pub fn from_raw(v: u128) -> Pid {
+        Pid(v)
+    }
+
+    /// The raw 128-bit value.
+    pub fn as_raw(self) -> u128 {
+        self.0
+    }
+
+    /// Digest of a byte string, as a convenience for source-text pids.
+    pub fn of_bytes(bytes: &[u8]) -> Pid {
+        let mut d = Digest128::new();
+        d.write_bytes(bytes);
+        d.finish_pid()
+    }
+
+    /// Truncates the pid to its low `bits` bits (1..=128).
+    ///
+    /// Used by the collision experiment (E2) to make birthday collisions
+    /// reachable at small widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 128.
+    pub fn truncate(self, bits: u32) -> u128 {
+        assert!((1..=128).contains(&bits), "bits must be in 1..=128");
+        if bits == 128 {
+            self.0
+        } else {
+            self.0 & ((1u128 << bits) - 1)
+        }
+    }
+}
+
+impl fmt::Debug for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pid({:032x})", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+const LANE0_SEED: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a offset basis
+const LANE1_SEED: u64 = 0x9e37_79b9_7f4a_7c15; // golden-ratio increment
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A streaming 128-bit hasher.
+///
+/// Two independent 64-bit lanes are updated per byte (an FNV-1a lane and a
+/// rotate-multiply lane) and cross-mixed by a splitmix64 finalizer; the
+/// result plays the role of the paper's 128-bit CRC.  The hasher also
+/// counts bytes so that distinct-length inputs sharing a prefix digest
+/// differently.
+#[derive(Debug, Clone)]
+pub struct Digest128 {
+    lane0: u64,
+    lane1: u64,
+    len: u64,
+}
+
+impl Digest128 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Digest128 {
+        Digest128 {
+            lane0: LANE0_SEED,
+            lane1: LANE1_SEED,
+            len: 0,
+        }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.lane0 = (self.lane0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            self.lane1 = self
+                .lane1
+                .rotate_left(13)
+                .wrapping_mul(0xff51_afd7_ed55_8ccd)
+                .wrapping_add(u64::from(b));
+        }
+        self.len = self.len.wrapping_add(bytes.len() as u64);
+    }
+
+    /// Absorbs a string (length-prefixed, so `"ab" + "c"` ≠ `"a" + "bc"`).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Absorbs a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a little-endian `u128` (e.g. another pid).
+    pub fn write_u128(&mut self, v: u128) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a single tag byte; used to separate constructor cases so
+    /// that structurally different values cannot collide by concatenation.
+    pub fn write_tag(&mut self, tag: u8) {
+        self.write_bytes(&[tag]);
+    }
+
+    /// Absorbs another pid.
+    pub fn write_pid(&mut self, p: Pid) {
+        self.write_u128(p.as_raw());
+    }
+
+    /// Finishes the digest, producing the raw 128-bit value.
+    pub fn finish(&self) -> u128 {
+        let a = splitmix_finalize(self.lane0 ^ self.len);
+        let b = splitmix_finalize(self.lane1.wrapping_add(self.len));
+        // Cross-mix so each output bit depends on both lanes.
+        let hi = splitmix_finalize(a ^ b.rotate_left(32));
+        let lo = splitmix_finalize(b ^ a.rotate_left(17));
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    /// Finishes the digest as a [`Pid`].
+    pub fn finish_pid(&self) -> Pid {
+        Pid(self.finish())
+    }
+}
+
+impl Default for Digest128 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The birthday-bound collision probability of §5, computed in log₂ space
+/// so it is meaningful even for w = 128.
+///
+/// The paper counts "2¹³ pids, 2²⁶ pairs" — i.e. it bounds by `n²/2^w`
+/// (ordered pairs, a factor-2-conservative birthday bound); we reproduce
+/// that arithmetic: 2¹³ pids at 128 bits ⇒ log₂ p = −102.
+///
+/// # Examples
+///
+/// ```
+/// use smlsc_ids::digest::log2_collision_probability;
+/// let lg = log2_collision_probability(1 << 13, 128);
+/// assert!((lg - (-102.0)).abs() < 1.0);
+/// ```
+pub fn log2_collision_probability(n: u64, width_bits: u32) -> f64 {
+    if n < 2 {
+        return f64::NEG_INFINITY;
+    }
+    2.0 * (n as f64).log2() - f64::from(width_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Digest128::new();
+        a.write_str("hello");
+        a.write_u64(7);
+        let mut b = Digest128::new();
+        b.write_str("hello");
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn length_prefix_separates_concatenations() {
+        let mut a = Digest128::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Digest128::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn empty_input_is_not_null() {
+        assert_ne!(Digest128::new().finish_pid(), Pid::NULL);
+    }
+
+    #[test]
+    fn truncate_masks_low_bits() {
+        let p = Pid::from_raw(u128::MAX);
+        assert_eq!(p.truncate(8), 0xff);
+        assert_eq!(p.truncate(128), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in 1..=128")]
+    fn truncate_zero_panics() {
+        let _ = Pid::from_raw(1).truncate(0);
+    }
+
+    #[test]
+    fn paper_collision_figure() {
+        // §5: "perhaps 2^13 pids ... probability of collision is 2^-102".
+        let lg = log2_collision_probability(1 << 13, 128);
+        assert!((lg + 102.0).abs() < 1.0, "got {lg}");
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0..100_000u64 {
+            let mut d = Digest128::new();
+            d.write_u64(i);
+            assert!(seen.insert(d.finish()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn low_bits_are_uniformish() {
+        // Rough chi-square sanity check on the low byte.
+        let mut counts = [0u32; 256];
+        let n = 256 * 200;
+        for i in 0..n {
+            let mut d = Digest128::new();
+            d.write_u64(i as u64);
+            counts[(d.finish() & 0xff) as usize] += 1;
+        }
+        let expected = (n / 256) as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = f64::from(c) - expected;
+                d * d / expected
+            })
+            .sum();
+        // 255 degrees of freedom; mean 255, sd ~22.6. Allow 6 sigma.
+        assert!(chi2 < 255.0 + 6.0 * 22.6, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let p = Pid::of_bytes(b"x");
+        assert_eq!(p.to_string().len(), 32);
+    }
+
+    #[test]
+    fn tag_bytes_separate_constructors() {
+        let mut a = Digest128::new();
+        a.write_tag(1);
+        a.write_u64(5);
+        let mut b = Digest128::new();
+        b.write_tag(2);
+        b.write_u64(5);
+        assert_ne!(a.finish(), b.finish());
+    }
+}
+
+#[cfg(test)]
+mod avalanche_tests {
+    use super::*;
+
+    /// Flipping one input bit should flip roughly half the output bits —
+    /// the uniformity E2's collision analysis assumes.
+    #[test]
+    fn single_bit_avalanche() {
+        let base = {
+            let mut d = Digest128::new();
+            d.write_u64(0xdead_beef_cafe_f00d);
+            d.finish()
+        };
+        let mut total = 0u32;
+        let trials = 64;
+        for bit in 0..trials {
+            let mut d = Digest128::new();
+            d.write_u64(0xdead_beef_cafe_f00d ^ (1u64 << bit));
+            total += (d.finish() ^ base).count_ones();
+        }
+        let mean = f64::from(total) / f64::from(trials);
+        // Expected 64 of 128 bits; allow a generous band.
+        assert!((44.0..=84.0).contains(&mean), "mean flipped bits = {mean}");
+    }
+
+    /// No trivial relationship between digests of sequential inputs.
+    #[test]
+    fn sequential_inputs_are_uncorrelated() {
+        let mut prev: Option<u128> = None;
+        for i in 0..256u64 {
+            let mut d = Digest128::new();
+            d.write_u64(i);
+            let h = d.finish();
+            if let Some(p) = prev {
+                let diff: u32 = (h ^ p).count_ones();
+                assert!(diff > 20, "digests of {i} and {} too similar", i - 1);
+            }
+            prev = Some(h);
+        }
+    }
+}

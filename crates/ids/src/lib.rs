@@ -1,0 +1,45 @@
+//! Identifiers for the `smlsc` separate-compilation system.
+//!
+//! This crate provides the three kinds of names that Appel & MacQueen's
+//! *Separate Compilation for Standard ML* (PLDI 1994) builds on:
+//!
+//! * [`Symbol`] — interned source-level identifiers (`List`, `sort`, `'a`).
+//! * [`Stamp`] — generative time-stamps attached to every "significant"
+//!   static object (structures, signatures, type constructors, functors).
+//!   Stamps give object *identity* inside one elaboration session and serve
+//!   as indices for the indexed environments of §5 of the paper.
+//! * [`Pid`] — 128-bit *persistent identifiers*: content digests of static
+//!   environments.  Pids are the paper's central device: a unit's export
+//!   interface is named by the hash of its digested static environment, so
+//!   two compilations that produce the same interface produce the same pid,
+//!   and *cutoff recompilation* can stop a rebuild cascade by comparing pids.
+//!
+//! The digest itself lives in [`digest`]: a streaming 128-bit hash with the
+//! same role as the paper's 128-bit CRC, plus truncated-width variants used
+//! by the collision experiments (E2 in `EXPERIMENTS.md`).
+//!
+//! # Examples
+//!
+//! ```
+//! use smlsc_ids::{Symbol, Pid, digest::Digest128};
+//!
+//! let s = Symbol::intern("TopSort");
+//! assert_eq!(s.as_str(), "TopSort");
+//! assert_eq!(s, Symbol::intern("TopSort")); // interned: O(1) equality
+//!
+//! let mut d = Digest128::new();
+//! d.write_str("signature SORT");
+//! let pid: Pid = d.finish_pid();
+//! assert_ne!(pid, Pid::NULL);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod stamp;
+pub mod symbol;
+
+pub use digest::{Digest128, Pid};
+pub use stamp::{Stamp, StampGenerator};
+pub use symbol::Symbol;

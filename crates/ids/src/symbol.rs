@@ -1,0 +1,159 @@
+//! Interned source-level identifiers.
+//!
+//! Every identifier that appears in mini-SML source — value variables,
+//! type constructors, structure/signature/functor names, type variables —
+//! is interned into a global table so that symbols compare and hash in
+//! O(1).  The interner leaks the backing strings (they live for the whole
+//! process), which matches how a compiler session uses them.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// An interned identifier.
+///
+/// Two `Symbol`s are equal iff they intern the same string.  `Symbol` is
+/// `Copy`, 4 bytes, and cheap to hash, so it is used pervasively as a map
+/// key across the compiler.
+///
+/// Serialization round-trips through the string form so pickled data does
+/// not depend on interner numbering (which varies between processes).
+///
+/// # Examples
+///
+/// ```
+/// use smlsc_ids::Symbol;
+/// let a = Symbol::intern("sort");
+/// let b = Symbol::intern("sort");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "sort");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: std::collections::HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: std::collections::HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s`, returning its canonical `Symbol`.
+    pub fn intern(s: &str) -> Symbol {
+        let mut i = interner().lock();
+        if let Some(&ix) = i.map.get(s) {
+            return Symbol(ix);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let ix = u32::try_from(i.strings.len()).expect("interner overflow");
+        i.strings.push(leaked);
+        i.map.insert(leaked, ix);
+        Symbol(ix)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().strings[self.0 as usize]
+    }
+
+    /// Returns `true` if this symbol starts with an uppercase ASCII letter —
+    /// the convention our workload generator uses for module names.
+    pub fn is_capitalized(self) -> bool {
+        self.as_str()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl Serialize for Symbol {
+    fn serialize<S: Serializer>(&self, ser: S) -> Result<S::Ok, S::Error> {
+        ser.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for Symbol {
+    fn deserialize<D: Deserializer<'de>>(de: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(de)?;
+        if s.is_empty() {
+            return Err(D::Error::custom("empty symbol"));
+        }
+        Ok(Symbol::intern(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        let c = Symbol::intern("bar");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "foo");
+        assert_eq!(c.as_str(), "bar");
+    }
+
+    #[test]
+    fn display_matches_source() {
+        let s = Symbol::intern("TopSort");
+        assert_eq!(s.to_string(), "TopSort");
+        assert!(s.is_capitalized());
+        assert!(!Symbol::intern("sort").is_capitalized());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", Symbol::intern("x")), "Symbol(\"x\")");
+    }
+
+    #[test]
+    fn ordering_is_stable_per_symbol() {
+        let a = Symbol::intern("aaa-order");
+        let b = Symbol::intern("bbb-order");
+        // Ordering is by interner index; all we promise is consistency.
+        assert_eq!(a.cmp(&b), a.cmp(&b));
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn many_symbols_do_not_collide() {
+        let syms: Vec<Symbol> = (0..1000).map(|i| Symbol::intern(&format!("s{i}"))).collect();
+        for (i, s) in syms.iter().enumerate() {
+            assert_eq!(s.as_str(), format!("s{i}"));
+        }
+    }
+}

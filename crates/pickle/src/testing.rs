@@ -1,0 +1,32 @@
+//! Test support: assigning placeholder pids.
+//!
+//! Real entity pids are derived from the unit's intrinsic export hash by
+//! `smlsc-core`; tests of the pickler alone use sequential placeholder
+//! pids so dehydration's `MissingPid` precondition is met.
+
+use smlsc_ids::{Digest128, Pid};
+use smlsc_statics::env::Bindings;
+
+use crate::context::{reachable_entities, Entity};
+
+/// Assigns a distinct placeholder pid to every reachable entity that has
+/// none.  Returns how many were assigned.
+pub fn assign_dummy_pids(b: &Bindings) -> usize {
+    let mut n = 0usize;
+    for e in reachable_entities(b) {
+        if e.pid().is_none() {
+            let mut d = Digest128::new();
+            d.write_str("dummy-pid");
+            d.write_u64(e.stamp().as_raw());
+            let pid: Pid = d.finish_pid();
+            match e {
+                Entity::Tycon(t) => t.entity_pid.set(Some(pid)),
+                Entity::Str(s) => s.entity_pid.set(Some(pid)),
+                Entity::Sig(s) => s.entity_pid.set(Some(pid)),
+                Entity::Fct(f) => f.entity_pid.set(Some(pid)),
+            }
+            n += 1;
+        }
+    }
+    n
+}

@@ -1,0 +1,189 @@
+//! Minimal binary wire format: little-endian integers, length-prefixed
+//! strings.  Bin files are self-contained; this module is the only place
+//! that knows the byte layout.
+
+use crate::PickleError;
+
+/// A growable byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A fresh, empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The bytes written so far.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `i64`, little-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u128`, little-endian.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// A cursor over pickled bytes.
+#[derive(Debug)]
+pub struct Reader<'b> {
+    buf: &'b [u8],
+    pos: usize,
+}
+
+impl<'b> Reader<'b> {
+    /// Reads from the start of `buf`.
+    pub fn new(buf: &'b [u8]) -> Reader<'b> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'b [u8], PickleError> {
+        if self.pos + n > self.buf.len() {
+            return Err(PickleError::Corrupt(format!(
+                "unexpected end of pickle at byte {}",
+                self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, PickleError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, PickleError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, PickleError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, PickleError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u128`.
+    pub fn u128(&mut self) -> Result<u128, PickleError> {
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
+        ))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, PickleError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| PickleError::Corrupt("invalid UTF-8 in string".into()))
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, PickleError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_primitives() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(123_456);
+        w.u64(u64::MAX - 5);
+        w.i64(-42);
+        w.u128(u128::MAX / 3);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 5);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = Writer::new();
+        w.u32(10);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn bad_utf8_errors() {
+        let mut w = Writer::new();
+        w.u32(2);
+        // raw invalid bytes for a "string"
+        let mut buf = w.into_bytes();
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        assert!(r.str().is_err());
+    }
+}

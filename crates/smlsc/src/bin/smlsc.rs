@@ -1,0 +1,174 @@
+//! The `smlsc` command-line driver.
+//!
+//! ```text
+//! smlsc build <dir>    incrementally compile every *.sml file in <dir>
+//!                      (bins cached in <dir>/.smlsc-bins)
+//! smlsc run <dir>      build, link, execute, and print the exports
+//! smlsc repl           interactive compile-and-execute session (§7);
+//!                      terminate each input with a line ending in `;;`
+//! ```
+//!
+//! The driver is a thin client of the library — exactly the paper's
+//! architecture, where batch compilation, the interactive loop and user
+//! metaprograms all sit on the same primitives.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+
+use smlsc::core::irm::{Irm, Project, Strategy};
+use smlsc::core::session::Session;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("build") => build(args.get(1).map(String::as_str), false),
+        Some("run") => build(args.get(1).map(String::as_str), true),
+        Some("repl") => repl(),
+        _ => {
+            eprintln!("usage: smlsc build <dir> | smlsc run <dir> | smlsc repl");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn load_project(dir: &Path) -> Result<Project, String> {
+    let mut files: Vec<(String, String, std::time::SystemTime)> = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let path = entry.path();
+        if path.extension().is_some_and(|e| e == "sml") {
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .ok_or_else(|| format!("bad file name {}", path.display()))?
+                .to_owned();
+            let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            files.push((stem, text, mtime));
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no .sml files in {}", dir.display()));
+    }
+    // Deterministic order; real mtimes are irrelevant to cutoff (the
+    // strategy the driver uses), so virtual stamps suffice.
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut p = Project::new();
+    for (name, text, _) in files {
+        p.add(name, text);
+    }
+    Ok(p)
+}
+
+fn build(dir: Option<&str>, run: bool) -> i32 {
+    let Some(dir) = dir else {
+        eprintln!("usage: smlsc {} <dir>", if run { "run" } else { "build" });
+        return 2;
+    };
+    let dir = PathBuf::from(dir);
+    let project = match load_project(&dir) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let bin_dir = dir.join(".smlsc-bins");
+    let mut irm = Irm::new(Strategy::Cutoff);
+    if bin_dir.is_dir() {
+        match irm.load_bins(&bin_dir) {
+            Ok(n) if n > 0 => println!("loaded {n} cached bin(s)"),
+            Ok(_) => {}
+            Err(e) => eprintln!("warning: ignoring bin cache: {e}"),
+        }
+    }
+    let report = match irm.build(&project) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    for (unit, w) in &report.warnings {
+        eprintln!("{unit}: {w}");
+    }
+    println!(
+        "built {} unit(s): {} recompiled, {} reused",
+        report.order.len(),
+        report.recompiled.len(),
+        report.reused.len()
+    );
+    if let Err(e) = irm.save_bins(&bin_dir) {
+        eprintln!("warning: could not persist bins: {e}");
+    }
+    if run {
+        let (_, env) = match irm.execute(&project) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        for unit in &report.order {
+            let linked = env.get(*unit).expect("linked in order");
+            println!("{unit}: export pid {}", linked.export_pid);
+        }
+    }
+    0
+}
+
+fn repl() -> i32 {
+    // The interpreter recurses on the host stack; give the session a
+    // deep one so the depth guard fires before the stack does.
+    std::thread::Builder::new()
+        .stack_size(256 * 1024 * 1024)
+        .spawn(repl_loop)
+        .expect("spawn repl thread")
+        .join()
+        .unwrap_or(1)
+}
+
+fn repl_loop() -> i32 {
+    let stdin = std::io::stdin();
+    let mut session = Session::new();
+    // Keep runaway recursion from hanging the terminal.
+    session.set_step_limit(50_000_000);
+    let mut buffer = String::new();
+    println!("smlsc interactive session — end each input with `;;`, Ctrl-D to exit");
+    print!("- ");
+    let _ = std::io::stdout().flush();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        let trimmed = line.trim_end();
+        if let Some(stripped) = trimmed.strip_suffix(";;") {
+            buffer.push_str(stripped);
+            buffer.push('\n');
+            match session.eval(&buffer) {
+                Ok(out) => {
+                    for w in &out.warnings {
+                        println!("  {w}");
+                    }
+                    for b in &out.bindings {
+                        println!("  {b}");
+                    }
+                    println!("  (unit {}, pid {})", out.unit, out.export_pid);
+                }
+                Err(e) => println!("  error: {e}"),
+            }
+            buffer.clear();
+            print!("- ");
+        } else {
+            buffer.push_str(trimmed);
+            buffer.push('\n');
+            print!("= ");
+        }
+        let _ = std::io::stdout().flush();
+    }
+    println!();
+    0
+}

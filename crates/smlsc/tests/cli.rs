@@ -1,0 +1,106 @@
+//! End-to-end tests of the `smlsc` command-line driver.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn smlsc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_smlsc"))
+}
+
+fn project_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smlsc-cli-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn build_and_rebuild_with_cached_bins() {
+    let dir = project_dir("build");
+    std::fs::write(
+        dir.join("util.sml"),
+        "structure Util = struct fun inc x = x + 1 end",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("main.sml"),
+        "structure Main = struct val v = Util.inc 41 end",
+    )
+    .unwrap();
+
+    let out = smlsc().arg("build").arg(&dir).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 recompiled"), "{stdout}");
+
+    // Second build: cached bins satisfy cutoff.
+    let out = smlsc().arg("build").arg(&dir).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 recompiled, 2 reused"), "{stdout}");
+
+    // Run prints per-unit export pids.
+    let out = smlsc().arg("run").arg(&dir).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("main: export pid"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_reports_errors_with_unit_names() {
+    let dir = project_dir("err");
+    std::fs::write(
+        dir.join("bad.sml"),
+        r#"structure Bad = struct val x = 1 + "s" end"#,
+    )
+    .unwrap();
+    let out = smlsc().arg("build").arg(&dir).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("`bad`"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_surfaces_warnings() {
+    let dir = project_dir("warn");
+    std::fs::write(
+        dir.join("w.sml"),
+        "structure W = struct fun hd (x :: _) = x end",
+    )
+    .unwrap();
+    let out = smlsc().arg("build").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not exhaustive"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn repl_evaluates_and_recovers_from_errors() {
+    let mut child = smlsc()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let stdin = child.stdin.as_mut().unwrap();
+        writeln!(stdin, "structure A = struct val x = 40 + 2 end;;").unwrap();
+        writeln!(stdin, "structure Broken = struct val y = Nope.z end;;").unwrap();
+        writeln!(stdin, "structure B = struct val y = A.x end;;").unwrap();
+    }
+    let out = child.wait_with_output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("structure A : {x : int}"), "{stdout}");
+    assert!(stdout.contains("error:"), "{stdout}");
+    assert!(stdout.contains("structure B : {y : int}"), "{stdout}");
+}
+
+#[test]
+fn usage_on_bad_arguments() {
+    let out = smlsc().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

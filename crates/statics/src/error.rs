@@ -1,0 +1,81 @@
+//! Elaboration errors.
+
+use std::fmt;
+
+use smlsc_syntax::Loc;
+
+/// An error detected during elaboration (type checking, signature
+/// matching, module resolution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    /// What went wrong.
+    pub message: String,
+    /// Best-effort source location.
+    pub loc: Option<Loc>,
+}
+
+impl ElabError {
+    /// Constructs an error without a location.
+    pub fn new(message: impl Into<String>) -> ElabError {
+        ElabError {
+            message: message.into(),
+            loc: None,
+        }
+    }
+
+    /// Attaches a location if none is present.
+    pub fn at(mut self, loc: Loc) -> ElabError {
+        self.loc.get_or_insert(loc);
+        self
+    }
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.loc {
+            Some(loc) => write!(f, "error at {loc}: {}", self.message),
+            None => write!(f, "error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+/// A non-fatal diagnostic (match exhaustiveness/redundancy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabWarning {
+    /// What to tell the user.
+    pub message: String,
+    /// Best-effort source location.
+    pub loc: Option<Loc>,
+}
+
+impl fmt::Display for ElabWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.loc {
+            Some(loc) => write!(f, "warning at {loc}: {}", self.message),
+            None => write!(f, "warning: {}", self.message),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_loc() {
+        let e = ElabError::new("bad");
+        assert_eq!(e.to_string(), "error: bad");
+        let e = e.at(Loc { line: 3, col: 7 });
+        assert_eq!(e.to_string(), "error at 3:7: bad");
+    }
+
+    #[test]
+    fn at_keeps_existing_loc() {
+        let e = ElabError::new("x")
+            .at(Loc { line: 1, col: 1 })
+            .at(Loc { line: 9, col: 9 });
+        assert_eq!(e.loc, Some(Loc { line: 1, col: 1 }));
+    }
+}

@@ -1,0 +1,55 @@
+//! Static semantics for the `smlsc` mini-SML compiler.
+//!
+//! Implements everything the paper's compilation manager presupposes of
+//! the frontend's static half:
+//!
+//! * [`types`] — stamped type constructors, Hindley–Milner inference with
+//!   levels and the value restriction;
+//! * [`mod@env`] — static environments ([`env::Bindings`]) with the
+//!   positional runtime-layout discipline shared with the translator;
+//! * [`pervasive`] — the initial basis (`int`, `bool`, `list`, …) whose
+//!   entities carry preset persistent pids;
+//! * [`realize`] — template realization (one mechanism for signature
+//!   instantiation, matching views, `where type`, and generative functor
+//!   application);
+//! * [`sigmatch`] — signature matching, transparent and opaque;
+//! * [`elab`] — elaboration of whole compilation units to export
+//!   bindings + runtime IR (`compile`'s static half, §3 of the paper).
+//!
+//! # Examples
+//!
+//! Figure 1 of the paper, end to end at the statics level:
+//!
+//! ```
+//! use smlsc_statics::elab::{elaborate_unit, ImportEnv};
+//! let src = r#"
+//!     signature PARTIAL_ORDER = sig
+//!       type elem
+//!       val less : elem * elem -> bool
+//!     end
+//!     structure Factors : PARTIAL_ORDER = struct
+//!       type elem = int
+//!       fun less (i, j) = (j mod i) = 0
+//!     end
+//! "#;
+//! let ast = smlsc_syntax::parse_unit(src).unwrap();
+//! let unit = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+//! assert!(unit.exports.str(smlsc_ids::Symbol::intern("Factors")).is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod elab;
+pub mod env;
+pub mod error;
+pub mod matchcomp;
+pub mod pervasive;
+pub mod realize;
+pub mod sigmatch;
+pub mod types;
+
+pub use elab::{elaborate_unit, ElabUnit, ImportEnv, ImportedUnit};
+pub use env::{Bindings, FunctorEnv, SignatureEnv, StructureEnv, ValBind, ValKind};
+pub use error::{ElabError, ElabWarning};
+pub use types::{Scheme, Tycon, TyconDef, Type};

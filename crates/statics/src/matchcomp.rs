@@ -1,0 +1,344 @@
+//! Match analysis: exhaustiveness and redundancy.
+//!
+//! A usefulness check (in the style of Maranget) over the
+//! position-resolved pattern language: a pattern vector is *useful* with
+//! respect to a matrix if some value matches it and no earlier row.  A
+//! match is inexhaustive iff the all-wildcards vector is still useful
+//! after every rule; a rule is redundant iff it is not useful with
+//! respect to the rules before it.
+//!
+//! The elaborator runs this on every `case`, `fn`, and `fun` match and on
+//! refutable `val` bindings, producing warnings (never errors — SML
+//! semantics raise `Match`/`Bind` at runtime, which the interpreter
+//! implements).  `handle` matches are exempt: falling through re-raises
+//! by design.
+
+use smlsc_dynamics::ir::{ConTag, IrPat, IrRule};
+
+/// The result of analyzing one match.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchAnalysis {
+    /// The match does not cover every value of its type.
+    pub inexhaustive: bool,
+    /// Indices of rules that can never fire.
+    pub redundant: Vec<usize>,
+}
+
+/// Analyzes a match.
+pub fn analyze_match(rules: &[IrRule]) -> MatchAnalysis {
+    let mut analysis = MatchAnalysis::default();
+    let mut matrix: Vec<Vec<IrPat>> = Vec::new();
+    for (i, r) in rules.iter().enumerate() {
+        let row = vec![r.pat.clone()];
+        if !useful(&matrix, &row) {
+            analysis.redundant.push(i);
+        }
+        matrix.push(row);
+    }
+    analysis.inexhaustive = useful(&matrix, &[IrPat::Wild]);
+    analysis
+}
+
+/// True when `pat` matches every value of its type (so a `val` binding
+/// with it cannot raise `Bind`).
+pub fn irrefutable(pat: &IrPat) -> bool {
+    !useful(&[vec![pat.clone()]], &[IrPat::Wild])
+}
+
+/// The head constructor cases a pattern column can discriminate on.
+#[derive(Debug, Clone, PartialEq)]
+enum Head {
+    /// A datatype constructor.
+    Con(ConTag),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal.
+    Str(String),
+    /// The unit value (complete by itself).
+    Unit,
+    /// A tuple of the given width (complete by itself).
+    Tuple(usize),
+    /// An exception constructor (identity only known at runtime; the
+    /// space is open, like literals).
+    Exn(usize),
+}
+
+impl Head {
+    /// Sub-pattern count after specialization.
+    fn arity(&self) -> usize {
+        match self {
+            Head::Con(tag) => usize::from(tag.has_arg),
+            Head::Int(_) | Head::Str(_) | Head::Unit => 0,
+            Head::Tuple(n) => *n,
+            Head::Exn(args) => *args,
+        }
+    }
+}
+
+fn head_of(pat: &IrPat) -> Option<(Head, Vec<IrPat>)> {
+    match pat {
+        IrPat::Wild | IrPat::Var(_) => None,
+        // Layering is transparent for coverage.
+        IrPat::As(_, inner) => head_of(inner),
+        IrPat::Int(n) => Some((Head::Int(*n), vec![])),
+        IrPat::Str(s) => Some((Head::Str(s.clone()), vec![])),
+        IrPat::Unit => Some((Head::Unit, vec![])),
+        IrPat::Tuple(ps) => Some((Head::Tuple(ps.len()), ps.clone())),
+        IrPat::Con(tag, arg) => Some((
+            Head::Con(*tag),
+            arg.iter().map(|p| (**p).clone()).collect(),
+        )),
+        IrPat::Exn(_, arg) => Some((
+            Head::Exn(arg.iter().len()),
+            arg.iter().map(|p| (**p).clone()).collect(),
+        )),
+    }
+}
+
+/// Is `row` useful with respect to `matrix` (can some value match `row`
+/// and none of the matrix rows)?
+fn useful(matrix: &[Vec<IrPat>], row: &[IrPat]) -> bool {
+    if row.is_empty() {
+        return matrix.is_empty();
+    }
+    let first = &row[0];
+    match head_of(first) {
+        Some((head, args)) => {
+            let spec = specialize(matrix, &head);
+            let mut new_row = args;
+            new_row.extend_from_slice(&row[1..]);
+            useful(&spec, &new_row)
+        }
+        None => {
+            // Wildcard: if the matrix's first-column heads form a complete
+            // signature, the wildcard is useful iff it is useful under
+            // some specialization; otherwise check the default matrix.
+            let heads = collect_heads(matrix);
+            if signature_complete(&heads) {
+                heads.into_iter().any(|h| {
+                    let arity = h.arity();
+                    let spec = specialize(matrix, &h);
+                    let mut new_row = vec![IrPat::Wild; arity];
+                    new_row.extend_from_slice(&row[1..]);
+                    useful(&spec, &new_row)
+                })
+            } else {
+                let default = default_matrix(matrix);
+                useful(&default, &row[1..])
+            }
+        }
+    }
+}
+
+fn collect_heads(matrix: &[Vec<IrPat>]) -> Vec<Head> {
+    let mut out: Vec<Head> = Vec::new();
+    for r in matrix {
+        if let Some((h, _)) = head_of(&r[0]) {
+            if !out.contains(&h) {
+                out.push(h);
+            }
+        }
+    }
+    out
+}
+
+/// True when the observed heads cover the whole type.
+fn signature_complete(heads: &[Head]) -> bool {
+    match heads.first() {
+        None => false,
+        Some(Head::Unit) | Some(Head::Tuple(_)) => true, // singleton signatures
+        Some(Head::Int(_)) | Some(Head::Str(_)) | Some(Head::Exn(_)) => false, // open domains
+        Some(Head::Con(tag)) => {
+            let span = tag.span as usize;
+            let mut seen = vec![false; span];
+            for h in heads {
+                if let Head::Con(t) = h {
+                    if (t.tag as usize) < span {
+                        seen[t.tag as usize] = true;
+                    }
+                }
+            }
+            seen.iter().all(|b| *b)
+        }
+    }
+}
+
+/// Specializes the matrix to rows whose first column can match `head`.
+fn specialize(matrix: &[Vec<IrPat>], head: &Head) -> Vec<Vec<IrPat>> {
+    let arity = head.arity();
+    let mut out = Vec::new();
+    for r in matrix {
+        match head_of(&r[0]) {
+            None => {
+                // Wildcard row matches any head.
+                let mut row = vec![IrPat::Wild; arity];
+                row.extend_from_slice(&r[1..]);
+                out.push(row);
+            }
+            Some((h, args)) => {
+                let compatible = match (&h, head) {
+                    (Head::Con(a), Head::Con(b)) => a.tag == b.tag,
+                    (Head::Int(a), Head::Int(b)) => a == b,
+                    (Head::Str(a), Head::Str(b)) => a == b,
+                    (Head::Unit, Head::Unit) => true,
+                    (Head::Tuple(a), Head::Tuple(b)) => a == b,
+                    // Exception identities are runtime values; two
+                    // exception patterns may or may not denote the same
+                    // constructor, so conservatively treat them as
+                    // overlapping (affects redundancy only, and only to
+                    // stay quiet).
+                    (Head::Exn(_), Head::Exn(_)) => true,
+                    _ => false,
+                };
+                if compatible {
+                    let mut row = args;
+                    while row.len() < arity {
+                        row.push(IrPat::Wild);
+                    }
+                    row.truncate(arity);
+                    row.extend_from_slice(&r[1..]);
+                    out.push(row);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rows whose first column is a wildcard, with it removed.
+fn default_matrix(matrix: &[Vec<IrPat>]) -> Vec<Vec<IrPat>> {
+    matrix
+        .iter()
+        .filter(|r| head_of(&r[0]).is_none())
+        .map(|r| r[1..].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smlsc_dynamics::ir::Ir;
+    use smlsc_ids::Symbol;
+
+    fn tag(t: u32, span: u32, has_arg: bool) -> ConTag {
+        ConTag {
+            tag: t,
+            span,
+            has_arg,
+            name: Symbol::intern("c"),
+        }
+    }
+
+    fn rule(pat: IrPat) -> IrRule {
+        IrRule {
+            pat,
+            body: Ir::Unit,
+        }
+    }
+
+    #[test]
+    fn wildcard_is_exhaustive() {
+        let a = analyze_match(&[rule(IrPat::Wild)]);
+        assert!(!a.inexhaustive);
+        assert!(a.redundant.is_empty());
+    }
+
+    #[test]
+    fn variable_is_irrefutable() {
+        assert!(irrefutable(&IrPat::Var(0)));
+        assert!(!irrefutable(&IrPat::Int(3)));
+        assert!(irrefutable(&IrPat::Tuple(vec![IrPat::Var(0), IrPat::Wild])));
+    }
+
+    #[test]
+    fn missing_constructor_is_inexhaustive() {
+        // datatype with 3 constructors; only 2 covered.
+        let a = analyze_match(&[
+            rule(IrPat::Con(tag(0, 3, false), None)),
+            rule(IrPat::Con(tag(1, 3, false), None)),
+        ]);
+        assert!(a.inexhaustive);
+    }
+
+    #[test]
+    fn all_constructors_are_exhaustive() {
+        let a = analyze_match(&[
+            rule(IrPat::Con(tag(0, 2, false), None)),
+            rule(IrPat::Con(tag(1, 2, true), Some(Box::new(IrPat::Wild)))),
+        ]);
+        assert!(!a.inexhaustive);
+        assert!(a.redundant.is_empty());
+    }
+
+    #[test]
+    fn duplicate_rule_is_redundant() {
+        let a = analyze_match(&[
+            rule(IrPat::Con(tag(0, 2, false), None)),
+            rule(IrPat::Con(tag(0, 2, false), None)),
+            rule(IrPat::Con(tag(1, 2, false), None)),
+        ]);
+        assert_eq!(a.redundant, vec![1]);
+        assert!(!a.inexhaustive);
+    }
+
+    #[test]
+    fn rule_after_wildcard_is_redundant() {
+        let a = analyze_match(&[rule(IrPat::Wild), rule(IrPat::Int(3))]);
+        assert_eq!(a.redundant, vec![1]);
+    }
+
+    #[test]
+    fn integer_literals_never_exhaust() {
+        let a = analyze_match(&[rule(IrPat::Int(0)), rule(IrPat::Int(1))]);
+        assert!(a.inexhaustive);
+    }
+
+    #[test]
+    fn tuples_of_exhaustive_columns_are_exhaustive() {
+        // (bool, bool) covered by (_, false), (true, true), (false, true)
+        let t = |b: bool| IrPat::Con(tag(u32::from(b), 2, false), None);
+        let a = analyze_match(&[
+            rule(IrPat::Tuple(vec![IrPat::Wild, t(false)])),
+            rule(IrPat::Tuple(vec![t(true), t(true)])),
+            rule(IrPat::Tuple(vec![t(false), t(true)])),
+        ]);
+        assert!(!a.inexhaustive);
+        assert!(a.redundant.is_empty());
+    }
+
+    #[test]
+    fn tuple_with_hole_is_inexhaustive() {
+        let t = |b: bool| IrPat::Con(tag(u32::from(b), 2, false), None);
+        let a = analyze_match(&[
+            rule(IrPat::Tuple(vec![t(true), t(true)])),
+            rule(IrPat::Tuple(vec![t(false), t(true)])),
+        ]);
+        assert!(a.inexhaustive, "missing (_, false)");
+    }
+
+    #[test]
+    fn nested_list_patterns() {
+        // [] | x :: _  over lists is exhaustive; [] | [x] is not.
+        let nil = || IrPat::Con(tag(0, 2, false), None);
+        let cons =
+            |h: IrPat, t: IrPat| IrPat::Con(tag(1, 2, true), Some(Box::new(IrPat::Tuple(vec![h, t]))));
+        let a = analyze_match(&[rule(nil()), rule(cons(IrPat::Var(0), IrPat::Wild))]);
+        assert!(!a.inexhaustive);
+        let a = analyze_match(&[rule(nil()), rule(cons(IrPat::Var(0), nil()))]);
+        assert!(a.inexhaustive, "missing two-or-more element lists");
+    }
+
+    #[test]
+    fn exception_patterns_stay_open() {
+        // Matching on exceptions can never be exhaustive.
+        let e = IrPat::Exn(Box::new(Ir::Local(0)), None);
+        let a = analyze_match(&[rule(e)]);
+        assert!(a.inexhaustive);
+    }
+
+    #[test]
+    fn unit_pattern_is_exhaustive() {
+        let a = analyze_match(&[rule(IrPat::Unit)]);
+        assert!(!a.inexhaustive);
+    }
+}

@@ -1,0 +1,357 @@
+//! The pervasive (initial) static environment.
+//!
+//! Primitive types (`int`, `string`, `unit`, `exn`) and the built-in
+//! datatypes (`bool`, `list`, `option`) with their constructors.  Each
+//! pervasive tycon's `entity_pid` is preset to a well-known digest so
+//! interfaces that mention them hash identically in every process — they
+//! are the "pids known to the bootstrap loader" of §7.
+//!
+//! Pervasives are thread-local (static objects are `Rc`-shared and carry
+//! interior mutability); every compilation session on one thread shares
+//! the same instance, which is what makes stamped type equality work
+//! across units.
+
+use std::rc::Rc;
+
+use smlsc_dynamics::ir::ConTag;
+use smlsc_ids::{Pid, StampGenerator, Symbol};
+
+use crate::env::{Bindings, ValBind, ValKind};
+use crate::types::{ConDef, DatatypeInfo, Scheme, Tycon, TyconDef, Type};
+
+/// Handles to every pervasive entity.
+#[derive(Debug)]
+pub struct Pervasives {
+    /// `int`
+    pub int: Rc<Tycon>,
+    /// `string`
+    pub string: Rc<Tycon>,
+    /// `unit`
+    pub unit: Rc<Tycon>,
+    /// `exn`
+    pub exn: Rc<Tycon>,
+    /// `bool` (datatype `false | true`)
+    pub bool: Rc<Tycon>,
+    /// `'a list` (datatype `nil | ::`)
+    pub list: Rc<Tycon>,
+    /// `'a option` (datatype `NONE | SOME`)
+    pub option: Rc<Tycon>,
+    /// The initial environment layer.
+    pub bindings: Bindings,
+}
+
+impl Pervasives {
+    /// `int` as a type.
+    pub fn int_ty(&self) -> Type {
+        Type::Con(self.int.clone(), vec![])
+    }
+
+    /// `string` as a type.
+    pub fn string_ty(&self) -> Type {
+        Type::Con(self.string.clone(), vec![])
+    }
+
+    /// `unit` as a type.
+    pub fn unit_ty(&self) -> Type {
+        Type::Con(self.unit.clone(), vec![])
+    }
+
+    /// `exn` as a type.
+    pub fn exn_ty(&self) -> Type {
+        Type::Con(self.exn.clone(), vec![])
+    }
+
+    /// `bool` as a type.
+    pub fn bool_ty(&self) -> Type {
+        Type::Con(self.bool.clone(), vec![])
+    }
+
+    /// `t list` as a type.
+    pub fn list_ty(&self, t: Type) -> Type {
+        Type::Con(self.list.clone(), vec![t])
+    }
+
+    /// The runtime tag of `true` / `false`.
+    pub fn bool_tag(&self, b: bool) -> ConTag {
+        ConTag {
+            tag: u32::from(b),
+            span: 2,
+            has_arg: false,
+            name: Symbol::intern(if b { "true" } else { "false" }),
+        }
+    }
+
+    /// The runtime tag of `nil`.
+    pub fn nil_tag(&self) -> ConTag {
+        ConTag {
+            tag: 0,
+            span: 2,
+            has_arg: false,
+            name: Symbol::intern("nil"),
+        }
+    }
+
+    /// The runtime tag of `::`.
+    pub fn cons_tag(&self) -> ConTag {
+        ConTag {
+            tag: 1,
+            span: 2,
+            has_arg: true,
+            name: Symbol::intern("::"),
+        }
+    }
+
+    /// Looks up a pervasive tycon by its preset pid, for the pickler's
+    /// rehydration of primitive references.
+    pub fn tycon_by_pid(&self, pid: Pid) -> Option<Rc<Tycon>> {
+        [
+            &self.int,
+            &self.string,
+            &self.unit,
+            &self.exn,
+            &self.bool,
+            &self.list,
+            &self.option,
+        ]
+        .into_iter()
+        .find(|tc| tc.entity_pid.get() == Some(pid))
+        .cloned()
+    }
+}
+
+fn prim_pid(name: &str) -> Pid {
+    Pid::of_bytes(format!("smlsc:pervasive:{name}").as_bytes())
+}
+
+fn prim(g: &mut StampGenerator, name: &str) -> Rc<Tycon> {
+    let tc = Tycon::new(g.fresh(), Symbol::intern(name), 0, TyconDef::Prim);
+    tc.entity_pid.set(Some(prim_pid(name)));
+    tc
+}
+
+fn build() -> Rc<Pervasives> {
+    let mut g = StampGenerator::new();
+    let int = prim(&mut g, "int");
+    let string = prim(&mut g, "string");
+    let unit = prim(&mut g, "unit");
+    let exn = prim(&mut g, "exn");
+
+    // datatype bool = false | true
+    let bool_tc = Tycon::new(
+        g.fresh(),
+        Symbol::intern("bool"),
+        0,
+        TyconDef::Datatype(DatatypeInfo {
+            cons: vec![
+                ConDef {
+                    name: Symbol::intern("false"),
+                    arg: None,
+                },
+                ConDef {
+                    name: Symbol::intern("true"),
+                    arg: None,
+                },
+            ],
+        }),
+    );
+    bool_tc.entity_pid.set(Some(prim_pid("bool")));
+
+    // datatype 'a list = nil | :: of 'a * 'a list
+    let list_tc = Tycon::new(g.fresh(), Symbol::intern("list"), 1, TyconDef::Abstract);
+    let list_arg = Type::Tuple(vec![
+        Type::Param(0),
+        Type::Con(list_tc.clone(), vec![Type::Param(0)]),
+    ]);
+    *list_tc.def.borrow_mut() = TyconDef::Datatype(DatatypeInfo {
+        cons: vec![
+            ConDef {
+                name: Symbol::intern("nil"),
+                arg: None,
+            },
+            ConDef {
+                name: Symbol::intern("::"),
+                arg: Some(list_arg),
+            },
+        ],
+    });
+    list_tc.entity_pid.set(Some(prim_pid("list")));
+
+    // datatype 'a option = NONE | SOME of 'a
+    let option_tc = Tycon::new(g.fresh(), Symbol::intern("option"), 1, TyconDef::Abstract);
+    *option_tc.def.borrow_mut() = TyconDef::Datatype(DatatypeInfo {
+        cons: vec![
+            ConDef {
+                name: Symbol::intern("NONE"),
+                arg: None,
+            },
+            ConDef {
+                name: Symbol::intern("SOME"),
+                arg: Some(Type::Param(0)),
+            },
+        ],
+    });
+    option_tc.entity_pid.set(Some(prim_pid("option")));
+
+    let mut b = Bindings::new();
+    for tc in [&int, &string, &unit, &exn, &bool_tc, &list_tc, &option_tc] {
+        b.tycons.push((tc.name, tc.clone()));
+    }
+
+    // Constructor value bindings.
+    let con = |tycon: &Rc<Tycon>, tag: u32, span: u32, name: &str, scheme: Scheme| {
+        (
+            Symbol::intern(name),
+            ValBind {
+                kind: ValKind::Con {
+                    tycon: tycon.clone(),
+                    tag: ConTag {
+                        tag,
+                        span,
+                        has_arg: matches!(scheme.body, Type::Arrow(..)),
+                        name: Symbol::intern(name),
+                    },
+                },
+                scheme,
+            },
+        )
+    };
+    let bool_ty = Type::Con(bool_tc.clone(), vec![]);
+    let list_p = Type::Con(list_tc.clone(), vec![Type::Param(0)]);
+    let option_p = Type::Con(option_tc.clone(), vec![Type::Param(0)]);
+    b.vals.push(con(
+        &bool_tc,
+        0,
+        2,
+        "false",
+        Scheme::mono(bool_ty.clone()),
+    ));
+    b.vals.push(con(&bool_tc, 1, 2, "true", Scheme::mono(bool_ty)));
+    b.vals.push(con(
+        &list_tc,
+        0,
+        2,
+        "nil",
+        Scheme {
+            arity: 1,
+            body: list_p.clone(),
+        },
+    ));
+    b.vals.push(con(
+        &list_tc,
+        1,
+        2,
+        "::",
+        Scheme {
+            arity: 1,
+            body: Type::Arrow(
+                Box::new(Type::Tuple(vec![Type::Param(0), list_p.clone()])),
+                Box::new(list_p),
+            ),
+        },
+    ));
+    b.vals.push(con(
+        &option_tc,
+        0,
+        2,
+        "NONE",
+        Scheme {
+            arity: 1,
+            body: option_p.clone(),
+        },
+    ));
+    // Primitive values.
+    let int_ty = Type::Con(int.clone(), vec![]);
+    let string_ty = Type::Con(string.clone(), vec![]);
+    b.vals.push((
+        Symbol::intern("itos"),
+        ValBind {
+            scheme: Scheme::mono(Type::Arrow(
+                Box::new(int_ty.clone()),
+                Box::new(string_ty.clone()),
+            )),
+            kind: ValKind::Prim(smlsc_syntax::ast::PrimOp::ItoS),
+        },
+    ));
+    b.vals.push((
+        Symbol::intern("size"),
+        ValBind {
+            scheme: Scheme::mono(Type::Arrow(Box::new(string_ty), Box::new(int_ty))),
+            kind: ValKind::Prim(smlsc_syntax::ast::PrimOp::Size),
+        },
+    ));
+    b.vals.push(con(
+        &option_tc,
+        1,
+        2,
+        "SOME",
+        Scheme {
+            arity: 1,
+            body: Type::Arrow(Box::new(Type::Param(0)), Box::new(option_p)),
+        },
+    ));
+
+    Rc::new(Pervasives {
+        int,
+        string,
+        unit,
+        exn,
+        bool: bool_tc,
+        list: list_tc,
+        option: option_tc,
+        bindings: b,
+    })
+}
+
+thread_local! {
+    static PERVASIVES: Rc<Pervasives> = build();
+}
+
+/// The pervasive environment for this thread.
+pub fn pervasives() -> Rc<Pervasives> {
+    PERVASIVES.with(Rc::clone)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pervasive_pids_are_preset_and_stable() {
+        let p = pervasives();
+        let pid = p.int.entity_pid.get().unwrap();
+        assert_eq!(pid, prim_pid("int"));
+        assert_eq!(p.tycon_by_pid(pid).unwrap().stamp, p.int.stamp);
+    }
+
+    #[test]
+    fn same_thread_shares_instances() {
+        let a = pervasives();
+        let b = pervasives();
+        assert!(Rc::ptr_eq(&a.int, &b.int));
+    }
+
+    #[test]
+    fn constructors_are_bound() {
+        let p = pervasives();
+        for name in ["true", "false", "nil", "::", "NONE", "SOME"] {
+            let vb = p.bindings.val(Symbol::intern(name)).unwrap();
+            assert!(matches!(vb.kind, ValKind::Con { .. }), "{name}");
+        }
+    }
+
+    #[test]
+    fn cons_scheme_shape() {
+        let p = pervasives();
+        let vb = p.bindings.val(Symbol::intern("::")).unwrap();
+        assert_eq!(vb.scheme.arity, 1);
+        assert!(matches!(vb.scheme.body, Type::Arrow(..)));
+    }
+
+    #[test]
+    fn list_is_a_recursive_datatype() {
+        let p = pervasives();
+        let info = p.list.datatype_info().unwrap();
+        assert_eq!(info.cons.len(), 2);
+        assert_eq!(info.cons[1].name.as_str(), "::");
+    }
+}

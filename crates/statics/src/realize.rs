@@ -1,0 +1,279 @@
+//! Realization: rewriting environment templates.
+//!
+//! One mechanism serves four jobs:
+//!
+//! * **signature instantiation** — fresh skolem tycons for a functor
+//!   parameter or an opaque ascription;
+//! * **signature matching views** — flexible stamps realized to the
+//!   actual structure's tycons (transparency: the realized view exposes
+//!   the actual types, which is how Figure 1's `FSort.t = int` becomes
+//!   visible);
+//! * **functor application** — skolems realized to the argument's tycons
+//!   and every stamp in the body's generative range refreshed (SML
+//!   generativity: each application mints fresh datatypes);
+//! * **`where type`** — a single flexible stamp realized to a manifest
+//!   abbreviation.
+//!
+//! The rewrite is: a stamp in the `map` becomes its target; a stamp inside
+//! the generative range `[lo, hi)` is cloned with a fresh stamp (memoized,
+//! cycles handled by allocating the clone before descending into its
+//! definition); anything else — created *before* the range, hence unable
+//! to reference anything inside it — is shared untouched.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use smlsc_ids::{Stamp, StampGenerator};
+
+use crate::env::{Bindings, StructureEnv, ValBind, ValKind};
+use crate::types::{ConDef, DatatypeInfo, Scheme, Tycon, TyconDef, Type};
+
+/// A realization pass over a template.
+#[derive(Debug)]
+pub struct Realizer {
+    /// Flexible/skolem stamps and their realizations.
+    pub map: HashMap<Stamp, Rc<Tycon>>,
+    /// Raw-stamp generative range `[lo, hi)`.
+    pub lo: u64,
+    /// See `lo`.
+    pub hi: u64,
+    memo_tycon: HashMap<Stamp, Rc<Tycon>>,
+    memo_str: HashMap<Stamp, Rc<StructureEnv>>,
+    stamper: StampGenerator,
+}
+
+impl Realizer {
+    /// Creates a realizer over the generative range `[lo, hi)` with the
+    /// given flexible-stamp realizations.
+    pub fn new(map: HashMap<Stamp, Rc<Tycon>>, lo: u64, hi: u64) -> Realizer {
+        Realizer {
+            map,
+            lo,
+            hi,
+            memo_tycon: HashMap::new(),
+            memo_str: HashMap::new(),
+            stamper: StampGenerator::new(),
+        }
+    }
+
+    fn in_range(&self, s: Stamp) -> bool {
+        let r = s.as_raw();
+        self.lo <= r && r < self.hi
+    }
+
+    /// The fresh tycon a generative-range stamp was cloned to (after the
+    /// fact); used to recover new bound-stamp lists.
+    pub fn cloned_tycon(&self, old: Stamp) -> Option<&Rc<Tycon>> {
+        self.memo_tycon.get(&old)
+    }
+
+    /// Realizes a tycon reference.
+    pub fn tycon(&mut self, tc: &Rc<Tycon>) -> Rc<Tycon> {
+        if let Some(target) = self.map.get(&tc.stamp) {
+            return target.clone();
+        }
+        if let Some(done) = self.memo_tycon.get(&tc.stamp) {
+            return done.clone();
+        }
+        if !self.in_range(tc.stamp) {
+            return tc.clone();
+        }
+        // Clone with a fresh stamp.  Allocate the shell first so that
+        // recursive datatypes terminate, then fill the definition.
+        let fresh = Tycon::new(self.stamper.fresh(), tc.name, tc.arity, TyconDef::Abstract);
+        self.memo_tycon.insert(tc.stamp, fresh.clone());
+        let def = tc.def.borrow().clone();
+        let new_def = match def {
+            TyconDef::Prim => TyconDef::Prim,
+            TyconDef::Abstract => TyconDef::Abstract,
+            TyconDef::Alias(body) => TyconDef::Alias(self.ty(&body)),
+            TyconDef::Datatype(info) => TyconDef::Datatype(DatatypeInfo {
+                cons: info
+                    .cons
+                    .iter()
+                    .map(|c| ConDef {
+                        name: c.name,
+                        arg: c.arg.as_ref().map(|t| self.ty(t)),
+                    })
+                    .collect(),
+            }),
+        };
+        *fresh.def.borrow_mut() = new_def;
+        fresh
+    }
+
+    /// Realizes a type.
+    pub fn ty(&mut self, t: &Type) -> Type {
+        match t {
+            Type::UVar(uv) => {
+                let link = uv.link.borrow().clone();
+                match link {
+                    Some(t2) => self.ty(&t2),
+                    None => t.clone(),
+                }
+            }
+            Type::Param(i) => Type::Param(*i),
+            Type::Con(tc, args) => {
+                let tc2 = self.tycon(tc);
+                Type::Con(tc2, args.iter().map(|a| self.ty(a)).collect())
+            }
+            Type::Tuple(ts) => Type::Tuple(ts.iter().map(|t| self.ty(t)).collect()),
+            Type::Arrow(a, b) => Type::Arrow(Box::new(self.ty(a)), Box::new(self.ty(b))),
+        }
+    }
+
+    /// Realizes a scheme.
+    pub fn scheme(&mut self, s: &Scheme) -> Scheme {
+        Scheme {
+            arity: s.arity,
+            body: self.ty(&s.body),
+        }
+    }
+
+    /// Realizes a value binding.
+    pub fn valbind(&mut self, vb: &ValBind) -> ValBind {
+        ValBind {
+            scheme: self.scheme(&vb.scheme),
+            kind: match &vb.kind {
+                ValKind::Plain => ValKind::Plain,
+                ValKind::Exn => ValKind::Exn,
+                ValKind::Prim(op) => ValKind::Prim(*op),
+                ValKind::Con { tycon, tag } => ValKind::Con {
+                    tycon: self.tycon(tycon),
+                    tag: *tag,
+                },
+            },
+        }
+    }
+
+    /// Realizes a structure.
+    ///
+    /// Structures outside the generative range are shared; inside it they
+    /// are rebuilt with fresh stamps (each functor application / ascription
+    /// yields a generatively new structure).
+    pub fn structure(&mut self, s: &Rc<StructureEnv>) -> Rc<StructureEnv> {
+        if let Some(done) = self.memo_str.get(&s.stamp) {
+            return done.clone();
+        }
+        if !self.in_range(s.stamp) {
+            return s.clone();
+        }
+        let bindings = self.bindings(&s.bindings);
+        let fresh = StructureEnv::new(self.stamper.fresh(), bindings);
+        self.memo_str.insert(s.stamp, fresh.clone());
+        fresh
+    }
+
+    /// Realizes a record of bindings.
+    pub fn bindings(&mut self, b: &Bindings) -> Bindings {
+        Bindings {
+            vals: b
+                .vals
+                .iter()
+                .map(|(n, vb)| (*n, self.valbind(vb)))
+                .collect(),
+            tycons: b
+                .tycons
+                .iter()
+                .map(|(n, tc)| (*n, self.tycon(tc)))
+                .collect(),
+            strs: b
+                .strs
+                .iter()
+                .map(|(n, s)| (*n, self.structure(s)))
+                .collect(),
+            // Signatures and functors inside generative ranges only occur
+            // at the unit level, which is never realized; share them.
+            sigs: b.sigs.clone(),
+            fcts: b.fcts.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pervasive::pervasives;
+    use smlsc_ids::Symbol;
+
+    #[test]
+    fn external_tycons_are_shared() {
+        let p = pervasives();
+        let mut r = Realizer::new(HashMap::new(), u64::MAX - 1, u64::MAX);
+        let got = r.tycon(&p.int);
+        assert!(Rc::ptr_eq(&got, &p.int));
+    }
+
+    #[test]
+    fn mapped_stamps_are_replaced() {
+        let p = pervasives();
+        let mut g = StampGenerator::new();
+        let flex = Tycon::new(g.fresh(), Symbol::intern("t"), 0, TyconDef::Abstract);
+        let mut map = HashMap::new();
+        map.insert(flex.stamp, p.int.clone());
+        let mut r = Realizer::new(map, 0, 0);
+        let t = Type::Con(flex, vec![]);
+        let got = r.ty(&t);
+        assert!(matches!(got, Type::Con(tc, _) if tc.stamp == p.int.stamp));
+    }
+
+    #[test]
+    fn generative_range_clones_fresh() {
+        let lo = StampGenerator::peek_raw();
+        let mut g = StampGenerator::new();
+        let dt = Tycon::new(
+            g.fresh(),
+            Symbol::intern("t"),
+            0,
+            TyconDef::Datatype(DatatypeInfo { cons: vec![] }),
+        );
+        let hi = StampGenerator::peek_raw();
+        let mut r = Realizer::new(HashMap::new(), lo, hi);
+        let c1 = r.tycon(&dt);
+        let c2 = r.tycon(&dt);
+        assert!(Rc::ptr_eq(&c1, &c2), "memoized within one pass");
+        assert_ne!(c1.stamp, dt.stamp, "fresh stamp");
+        let mut r2 = Realizer::new(HashMap::new(), lo, hi);
+        let c3 = r2.tycon(&dt);
+        assert_ne!(c3.stamp, c1.stamp, "fresh per pass");
+    }
+
+    #[test]
+    fn recursive_datatype_clone_terminates() {
+        let lo = StampGenerator::peek_raw();
+        let mut g = StampGenerator::new();
+        let dt = Tycon::new(g.fresh(), Symbol::intern("t"), 0, TyconDef::Abstract);
+        *dt.def.borrow_mut() = TyconDef::Datatype(DatatypeInfo {
+            cons: vec![
+                ConDef {
+                    name: Symbol::intern("Leaf"),
+                    arg: None,
+                },
+                ConDef {
+                    name: Symbol::intern("Node"),
+                    arg: Some(Type::Con(dt.clone(), vec![])),
+                },
+            ],
+        });
+        let hi = StampGenerator::peek_raw();
+        let mut r = Realizer::new(HashMap::new(), lo, hi);
+        let c = r.tycon(&dt);
+        // The clone's recursive occurrence points at the clone itself.
+        let info = c.datatype_info().unwrap();
+        let Some(Type::Con(inner, _)) = &info.cons[1].arg else { panic!() };
+        assert_eq!(inner.stamp, c.stamp);
+    }
+
+    #[test]
+    fn structures_in_range_get_fresh_stamps() {
+        let lo = StampGenerator::peek_raw();
+        let mut g = StampGenerator::new();
+        let s = StructureEnv::new(g.fresh(), Bindings::new());
+        let hi = StampGenerator::peek_raw();
+        let mut r = Realizer::new(HashMap::new(), lo, hi);
+        let s2 = r.structure(&s);
+        assert_ne!(s2.stamp, s.stamp);
+        let s3 = r.structure(&s);
+        assert!(Rc::ptr_eq(&s2, &s3));
+    }
+}

@@ -1,0 +1,753 @@
+//! End-to-end tests: parse → elaborate → execute, within and across
+//! compilation units.
+
+use std::rc::Rc;
+
+use smlsc_dynamics::eval::execute;
+use smlsc_dynamics::value::Value;
+use smlsc_ids::Symbol;
+use smlsc_statics::elab::{elaborate_unit, ElabUnit, ImportEnv, ImportedUnit};
+use smlsc_statics::env::{str_slot, val_slot, Bindings};
+
+fn compile(src: &str, imports: &ImportEnv) -> Result<ElabUnit, String> {
+    let ast = smlsc_syntax::parse_unit(src).map_err(|e| e.to_string())?;
+    elaborate_unit(&ast, imports).map_err(|e| e.to_string())
+}
+
+fn compile_ok(src: &str, imports: &ImportEnv) -> ElabUnit {
+    compile(src, imports).unwrap_or_else(|e| panic!("{e}\nsource: {src}"))
+}
+
+fn run(src: &str) -> (ElabUnit, Value) {
+    let unit = compile_ok(src, &ImportEnv::empty());
+    let v = execute(&unit.code, &[]).expect("execution succeeds");
+    (unit, v)
+}
+
+/// Fetches `Str.member` from a unit's export record.
+fn member(unit: &ElabUnit, export: &Value, str_name: &str, val_name: &str) -> Value {
+    let Value::Record(units) = export else { panic!("export not a record") };
+    let s = Symbol::intern(str_name);
+    let slot = str_slot(&unit.exports, s).expect("structure slot") as usize;
+    let Value::Record(fields) = &units[slot] else { panic!("structure not a record") };
+    let b = &unit.exports.str(s).unwrap().bindings;
+    let vslot = val_slot(b, Symbol::intern(val_name)).expect("value slot") as usize;
+    fields[vslot].clone()
+}
+
+#[test]
+fn simple_structure_value() {
+    let (unit, v) = run("structure A = struct val x = 40 + 2 end");
+    assert_eq!(member(&unit, &v, "A", "x"), Value::Int(42));
+}
+
+#[test]
+fn functions_and_recursion() {
+    let (unit, v) = run(
+        "structure M = struct
+           fun fact n = if n = 0 then 1 else n * fact (n - 1)
+           val result = fact 6
+         end",
+    );
+    assert_eq!(member(&unit, &v, "M", "result"), Value::Int(720));
+}
+
+#[test]
+fn mutual_recursion() {
+    let (unit, v) = run(
+        "structure M = struct
+           fun isEven n = if n = 0 then true else isOdd (n - 1)
+           and isOdd n = if n = 0 then false else isEven (n - 1)
+           val a = isEven 10
+           val b = isOdd 10
+         end",
+    );
+    assert_eq!(member(&unit, &v, "M", "a"), Value::bool(true));
+    assert_eq!(member(&unit, &v, "M", "b"), Value::bool(false));
+}
+
+#[test]
+fn datatypes_and_pattern_matching() {
+    let (unit, v) = run(
+        "structure T = struct
+           datatype tree = Leaf | Node of tree * int * tree
+           fun sum Leaf = 0
+             | sum (Node (l, n, r)) = sum l + n + sum r
+           val total = sum (Node (Node (Leaf, 1, Leaf), 2, Node (Leaf, 3, Leaf)))
+         end",
+    );
+    assert_eq!(member(&unit, &v, "T", "total"), Value::Int(6));
+}
+
+#[test]
+fn polymorphic_map_at_two_types() {
+    let (unit, v) = run(
+        r#"structure M = struct
+             fun map f [] = []
+               | map f (x :: xs) = f x :: map f xs
+             val ints = map (fn x => x + 1) [1, 2, 3]
+             val strs = map (fn s => s ^ "!") ["a", "b"]
+           end"#,
+    );
+    assert_eq!(
+        member(&unit, &v, "M", "ints"),
+        Value::list(vec![Value::Int(2), Value::Int(3), Value::Int(4)])
+    );
+    assert_eq!(
+        member(&unit, &v, "M", "strs"),
+        Value::list(vec![Value::Str("a!".into()), Value::Str("b!".into())])
+    );
+}
+
+#[test]
+fn figure_one_transparent_functor_application() {
+    // The paper's Figure 1: because signature matching is transparent,
+    // FSort.t = int is visible, so clients can apply FSort.sort directly
+    // to an int list.
+    let (unit, v) = run(
+        "signature PARTIAL_ORDER = sig
+           type elem
+           val less : elem * elem -> bool
+         end
+         signature SORT = sig
+           type t
+           val sort : t list -> t list
+         end
+         functor TopSort (P : PARTIAL_ORDER) : SORT = struct
+           type t = P.elem
+           fun insert (x, []) = [x]
+             | insert (x, y :: ys) =
+                 if P.less (x, y) then x :: y :: ys else y :: insert (x, ys)
+           fun sort [] = []
+             | sort (x :: xs) = insert (x, sort xs)
+         end
+         structure Factors : PARTIAL_ORDER = struct
+           type elem = int
+           fun less (i, j) = (j mod i) = 0
+         end
+         structure FSort : SORT = TopSort(Factors)
+         structure Client = struct
+           (* FSort.t must be int, transparently. *)
+           val sorted = FSort.sort [4, 2, 8]
+           val asInt = case sorted of x :: _ => x + 0 | [] => 0
+         end",
+    );
+    assert_eq!(
+        member(&unit, &v, "Client", "sorted"),
+        Value::list(vec![Value::Int(2), Value::Int(4), Value::Int(8)])
+    );
+}
+
+#[test]
+fn opaque_ascription_hides_the_type() {
+    let ok = compile(
+        "structure A :> sig type t val mk : int -> t val get : t -> int end =
+           struct type t = int fun mk x = x fun get x = x end
+         structure B = struct val y = A.get (A.mk 3) end",
+        &ImportEnv::empty(),
+    );
+    assert!(ok.is_ok(), "{ok:?}");
+    let bad = compile(
+        "structure A :> sig type t val mk : int -> t end =
+           struct type t = int fun mk x = x end
+         structure B = struct val y = A.mk 3 + 1 end",
+        &ImportEnv::empty(),
+    );
+    let msg = bad.unwrap_err();
+    assert!(msg.contains("unify"), "{msg}");
+}
+
+#[test]
+fn transparent_ascription_keeps_the_type() {
+    // With `:` instead of `:>`, t = int remains visible.
+    compile_ok(
+        "structure A : sig type t val mk : int -> t end =
+           struct type t = int fun mk x = x end
+         structure B = struct val y = A.mk 3 + 1 end",
+        &ImportEnv::empty(),
+    );
+}
+
+#[test]
+fn ascription_narrows_bindings() {
+    let bad = compile(
+        "structure A : sig val x : int end = struct val x = 1 val hidden = 2 end
+         structure B = struct val y = A.hidden end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.unwrap_err().contains("no value"), "hidden must be gone");
+}
+
+#[test]
+fn signature_mismatch_reports_missing_value() {
+    let bad = compile(
+        "structure A : sig val x : int val y : int end = struct val x = 1 end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.unwrap_err().contains("missing value"), "error names y");
+}
+
+#[test]
+fn signature_mismatch_reports_wrong_type() {
+    let bad = compile(
+        r#"structure A : sig val x : int end = struct val x = "s" end"#,
+        &ImportEnv::empty(),
+    );
+    assert!(bad.unwrap_err().contains("spec requires"));
+}
+
+#[test]
+fn functor_generativity() {
+    // Each application of F mints a fresh datatype t; mixing them is a
+    // type error.
+    let bad = compile(
+        "functor F (X : sig end) = struct datatype t = C of int fun un (C n) = n end
+         structure E = struct end
+         structure A = F(E)
+         structure B = F(E)
+         structure Mix = struct val x = B.un (A.C 1) end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.is_err(), "generative datatypes must not mix");
+    // But using one application consistently is fine.
+    compile_ok(
+        "functor F (X : sig end) = struct datatype t = C of int fun un (C n) = n end
+         structure E = struct end
+         structure A = F(E)
+         structure Use = struct val x = A.un (A.C 1) end",
+        &ImportEnv::empty(),
+    );
+}
+
+#[test]
+fn exceptions_across_structures() {
+    let (unit, v) = run(
+        "structure E = struct
+           exception Empty
+           fun hd [] = raise Empty
+             | hd (x :: _) = x
+         end
+         structure U = struct
+           val ok = E.hd [7, 8]
+           val caught = (E.hd []) handle E.Empty => 99
+         end",
+    );
+    assert_eq!(member(&unit, &v, "U", "ok"), Value::Int(7));
+    assert_eq!(member(&unit, &v, "U", "caught"), Value::Int(99));
+}
+
+#[test]
+fn exception_with_payload() {
+    let (unit, v) = run(
+        r#"structure E = struct
+             exception Fail of string
+             fun go 0 = raise Fail "zero"
+               | go n = n
+             val msg = (go 0; "no") handle Fail s => s
+           end"#,
+    );
+    assert_eq!(member(&unit, &v, "E", "msg"), Value::Str("zero".into()));
+}
+
+#[test]
+fn open_splices_bindings() {
+    let (unit, v) = run(
+        "structure A = struct val x = 10 datatype d = D of int end
+         structure B = struct
+           open A
+           val y = x + 1
+           val z = case D 5 of D n => n
+         end",
+    );
+    assert_eq!(member(&unit, &v, "B", "y"), Value::Int(11));
+    assert_eq!(member(&unit, &v, "B", "z"), Value::Int(5));
+}
+
+#[test]
+fn local_hides_helpers() {
+    let (unit, v) = run(
+        "structure A = struct
+           local
+             fun helper x = x * 2
+           in
+             val visible = helper 21
+           end
+         end",
+    );
+    assert_eq!(member(&unit, &v, "A", "visible"), Value::Int(42));
+    let bad = compile(
+        "structure A = struct
+           local fun helper x = x in val v = helper 1 end
+         end
+         structure B = struct val y = A.helper end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.is_err(), "helper must not be exported");
+}
+
+#[test]
+fn nested_structures() {
+    let (unit, v) = run(
+        "structure A = struct
+           structure Inner = struct val x = 5 end
+           val y = Inner.x + 1
+         end
+         structure B = struct val z = A.Inner.x + A.y end",
+    );
+    assert_eq!(member(&unit, &v, "B", "z"), Value::Int(11));
+}
+
+#[test]
+fn where_type_makes_manifest() {
+    compile_ok(
+        "signature S = sig type t val mk : int -> t end
+         structure A : S where type t = int = struct type t = int fun mk x = x end
+         structure B = struct val y = A.mk 3 + 1 end",
+        &ImportEnv::empty(),
+    );
+}
+
+#[test]
+fn include_extends_signatures() {
+    compile_ok(
+        "signature BASE = sig val x : int end
+         signature EXT = sig include BASE val y : int end
+         structure A : EXT = struct val x = 1 val y = 2 end",
+        &ImportEnv::empty(),
+    );
+    let bad = compile(
+        "signature BASE = sig val x : int end
+         signature EXT = sig include BASE val y : int end
+         structure A : EXT = struct val y = 2 end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.is_err());
+}
+
+#[test]
+fn value_restriction() {
+    // `val id2 = mkid ()` is expansive: it must not generalize, so using
+    // it at two different types is an error.
+    let bad = compile(
+        r#"structure A = struct
+             fun mkid () = fn x => x
+             val id2 = mkid ()
+             val a = id2 1
+             val b = id2 "s"
+           end"#,
+        &ImportEnv::empty(),
+    );
+    assert!(bad.is_err(), "value restriction must reject");
+    // The eta-expanded version is a value, hence polymorphic.
+    compile_ok(
+        r#"structure A = struct
+             fun mkid () = fn x => x
+             val id2 = fn x => (fn y => y) x
+             val a = id2 1
+             val b = id2 "s"
+           end"#,
+        &ImportEnv::empty(),
+    );
+}
+
+#[test]
+fn unresolved_export_monomorphism_is_an_error() {
+    // id2's type never gets pinned; exporting it with a free uvar is an
+    // error at the unit boundary.
+    let bad = compile(
+        "structure A = struct
+           fun mkid () = fn x => x
+           val id2 = mkid ()
+         end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.unwrap_err().contains("unresolved type variable"));
+}
+
+#[test]
+fn cross_unit_import_and_execution() {
+    let a = compile_ok(
+        "structure A = struct val x = 20 fun double n = n * 2 end",
+        &ImportEnv::empty(),
+    );
+    let a_val = execute(&a.code, &[]).unwrap();
+    let imports = ImportEnv {
+        units: vec![ImportedUnit {
+            name: Symbol::intern("a"),
+            exports: a.exports.clone(),
+        }],
+        shadowing: false,
+    };
+    let b = compile_ok(
+        "structure B = struct val y = A.double A.x + 2 end",
+        &imports,
+    );
+    let b_val = execute(&b.code, &[a_val]).unwrap();
+    assert_eq!(member(&b, &b_val, "B", "y"), Value::Int(42));
+}
+
+#[test]
+fn cross_unit_functor_application() {
+    let lib = compile_ok(
+        "signature NUM = sig val n : int end
+         functor AddOne (X : NUM) = struct val n = X.n + 1 end",
+        &ImportEnv::empty(),
+    );
+    let lib_val = execute(&lib.code, &[]).unwrap();
+    let imports = ImportEnv {
+        units: vec![ImportedUnit {
+            name: Symbol::intern("lib"),
+            exports: lib.exports.clone(),
+        }],
+        shadowing: false,
+    };
+    let client = compile_ok(
+        "structure Base : NUM = struct val n = 41 end
+         structure Inc = AddOne(Base)
+         structure Out = struct val result = Inc.n end",
+        &imports,
+    );
+    let v = execute(&client.code, &[lib_val]).unwrap();
+    assert_eq!(member(&client, &v, "Out", "result"), Value::Int(42));
+}
+
+#[test]
+fn cross_unit_datatype_sharing() {
+    let a = compile_ok(
+        "structure Shape = struct
+           datatype shape = Circle of int | Square of int
+           fun area (Circle r) = 3 * r * r
+             | area (Square s) = s * s
+         end",
+        &ImportEnv::empty(),
+    );
+    let a_val = execute(&a.code, &[]).unwrap();
+    let imports = ImportEnv {
+        units: vec![ImportedUnit {
+            name: Symbol::intern("shape"),
+            exports: a.exports.clone(),
+        }],
+        shadowing: false,
+    };
+    let b = compile_ok(
+        "structure Use = struct
+           val c = Shape.area (Shape.Circle 2)
+           val s = Shape.area (Shape.Square 3)
+         end",
+        &imports,
+    );
+    let v = execute(&b.code, &[a_val]).unwrap();
+    assert_eq!(member(&b, &v, "Use", "c"), Value::Int(12));
+    assert_eq!(member(&b, &v, "Use", "s"), Value::Int(9));
+}
+
+#[test]
+fn ambiguous_import_is_an_error() {
+    let mk = |src| {
+        let u = compile_ok(src, &ImportEnv::empty());
+        u.exports.clone()
+    };
+    let e1: Rc<Bindings> = mk("structure X = struct val a = 1 end");
+    let e2: Rc<Bindings> = mk("structure X = struct val a = 2 end");
+    let imports = ImportEnv {
+        units: vec![
+            ImportedUnit {
+                name: Symbol::intern("u1"),
+                exports: e1,
+            },
+            ImportedUnit {
+                name: Symbol::intern("u2"),
+                exports: e2,
+            },
+        ],
+        shadowing: false,
+    };
+    let bad = compile("structure B = struct val y = X.a end", &imports);
+    assert!(bad.unwrap_err().contains("more than one"));
+}
+
+#[test]
+fn shadowing_within_a_structure() {
+    let (unit, v) = run(
+        "structure A = struct
+           val x = 1
+           val x = x + 1
+           val x = x * 10
+         end",
+    );
+    assert_eq!(member(&unit, &v, "A", "x"), Value::Int(20));
+}
+
+#[test]
+fn functor_body_uses_param_substructure() {
+    let (unit, v) = run(
+        "signature HAS = sig structure Inner : sig val n : int end end
+         functor F (X : HAS) = struct val m = X.Inner.n + 1 end
+         structure Arg : HAS = struct
+           structure Inner = struct val n = 9 end
+         end
+         structure R = F(Arg)
+         structure Out = struct val result = R.m end",
+    );
+    assert_eq!(member(&unit, &v, "Out", "result"), Value::Int(10));
+}
+
+#[test]
+fn type_abbreviations() {
+    compile_ok(
+        "structure A = struct
+           type point = int * int
+           fun fst ((x, _) : point) = x
+           val p : point = (3, 4)
+           val x = fst p + 1
+         end",
+        &ImportEnv::empty(),
+    );
+}
+
+#[test]
+fn parametric_type_abbreviation() {
+    compile_ok(
+        "structure A = struct
+           type 'a pair = 'a * 'a
+           fun dup (x : int) : int pair = (x, x)
+         end",
+        &ImportEnv::empty(),
+    );
+}
+
+#[test]
+fn handle_uncaught_propagates() {
+    let unit = compile_ok(
+        "structure A = struct
+           exception Boom
+           val x : int = raise Boom
+         end",
+        &ImportEnv::empty(),
+    );
+    let err = execute(&unit.code, &[]).unwrap_err();
+    assert!(err.to_string().contains("Boom"), "{err}");
+}
+
+#[test]
+fn str_let_scoping() {
+    let (unit, v) = run(
+        "structure A = let
+           structure H = struct val x = 21 end
+         in
+           struct val y = H.x * 2 end
+         end",
+    );
+    assert_eq!(member(&unit, &v, "A", "y"), Value::Int(42));
+}
+
+#[test]
+fn option_pervasives() {
+    let (unit, v) = run(
+        "structure A = struct
+           fun fromOpt (SOME x) = x
+             | fromOpt NONE = 0
+           val a = fromOpt (SOME 5)
+           val b = fromOpt NONE
+         end",
+    );
+    assert_eq!(member(&unit, &v, "A", "a"), Value::Int(5));
+    assert_eq!(member(&unit, &v, "A", "b"), Value::Int(0));
+}
+
+#[test]
+fn string_operations() {
+    let (unit, v) = run(
+        r#"structure S = struct
+             val hello = "hello" ^ " " ^ "world"
+             val cmp = "abc" < "abd"
+           end"#,
+    );
+    assert_eq!(
+        member(&unit, &v, "S", "hello"),
+        Value::Str("hello world".into())
+    );
+    assert_eq!(member(&unit, &v, "S", "cmp"), Value::bool(true));
+}
+
+#[test]
+fn higher_order_functions() {
+    let (unit, v) = run(
+        "structure H = struct
+           fun compose f g = fn x => f (g x)
+           fun twice f = compose f f
+           val r = twice (fn x => x * 3) 2
+         end",
+    );
+    assert_eq!(member(&unit, &v, "H", "r"), Value::Int(18));
+}
+
+#[test]
+fn list_append_and_patterns() {
+    let (unit, v) = run(
+        "structure L = struct
+           fun rev [] = []
+             | rev (x :: xs) = rev xs @ [x]
+           val r = rev [1, 2, 3]
+         end",
+    );
+    assert_eq!(
+        member(&unit, &v, "L", "r"),
+        Value::list(vec![Value::Int(3), Value::Int(2), Value::Int(1)])
+    );
+}
+
+#[test]
+fn opaque_functor_result_hides() {
+    let bad = compile(
+        "signature S = sig type t val mk : int -> t end
+         functor F (X : sig end) :> S = struct type t = int fun mk x = x end
+         structure E = struct end
+         structure A = F(E)
+         structure B = struct val y = A.mk 1 + 1 end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.is_err(), "opaque result must hide t");
+}
+
+#[test]
+fn datatype_spec_in_signature_stays_transparent() {
+    let (unit, v) = run(
+        "signature S = sig
+           datatype color = Red | Green | Blue
+           val favorite : color
+         end
+         structure C : S = struct
+           datatype color = Red | Green | Blue
+           val favorite = Green
+         end
+         structure U = struct
+           val isGreen = case C.favorite of C.Green => true | _ => false
+         end",
+    );
+    assert_eq!(member(&unit, &v, "U", "isGreen"), Value::bool(true));
+}
+
+#[test]
+fn as_patterns_bind_the_whole_value() {
+    let (unit, v) = run(
+        "structure A = struct
+           fun firstTwo (l as (x :: _)) = (x, l)
+             | firstTwo [] = (0, [])
+           val (hd1, whole) = firstTwo [7, 8, 9]
+           val len = let fun go acc [] = acc | go acc (_ :: t) = go (acc + 1) t
+                     in go 0 whole end
+         end",
+    );
+    assert_eq!(member(&unit, &v, "A", "hd1"), Value::Int(7));
+    assert_eq!(member(&unit, &v, "A", "len"), Value::Int(3));
+}
+
+#[test]
+fn as_pattern_duplicate_name_is_rejected() {
+    let bad = compile(
+        "structure A = struct fun f (x as (x :: _)) = x end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.unwrap_err().contains("duplicate variable"), "dup");
+}
+
+#[test]
+fn where_type_on_a_nested_path() {
+    compile_ok(
+        "signature WRAP = sig
+           structure Inner : sig type t val mk : int -> t end
+         end
+         structure W : WRAP where type Inner.t = int = struct
+           structure Inner = struct type t = int fun mk x = x end
+         end
+         structure Use = struct val v = W.Inner.mk 3 + 1 end",
+        &ImportEnv::empty(),
+    );
+    // Without the `where type`, Inner.t stays abstract in the view.
+    let bad = compile(
+        "signature WRAP = sig
+           structure Inner : sig type t val mk : int -> t end
+         end
+         structure W : WRAP = struct
+           structure Inner = struct type t = int fun mk x = x end
+         end
+         structure Use = struct val v = W.Inner.mk 3 + 1 end",
+        &ImportEnv::empty(),
+    );
+    // Transparent ascription realizes Inner.t to int, so this still
+    // compiles; opaque must not.
+    assert!(bad.is_ok());
+    let opaque = compile(
+        "signature WRAP = sig
+           structure Inner : sig type t val mk : int -> t end
+         end
+         structure W :> WRAP = struct
+           structure Inner = struct type t = int fun mk x = x end
+         end
+         structure Use = struct val v = W.Inner.mk 3 + 1 end",
+        &ImportEnv::empty(),
+    );
+    assert!(opaque.is_err(), "opaque nested type must stay abstract");
+}
+
+#[test]
+fn two_functors_sharing_one_named_signature() {
+    let (unit, v) = run(
+        "signature CELL = sig val n : int end
+         functor AddOne (C : CELL) = struct val n = C.n + 1 end
+         functor Double (C : CELL) = struct val n = C.n * 2 end
+         structure Base : CELL = struct val n = 10 end
+         structure A = AddOne(Base)
+         structure D = Double(Base)
+         structure Chain = Double(AddOne(Base))
+         structure Out = struct val a = A.n val d = D.n val c = Chain.n end",
+    );
+    assert_eq!(member(&unit, &v, "Out", "a"), Value::Int(11));
+    assert_eq!(member(&unit, &v, "Out", "d"), Value::Int(20));
+    assert_eq!(member(&unit, &v, "Out", "c"), Value::Int(22));
+}
+
+#[test]
+fn functor_result_used_as_functor_argument() {
+    // Nested application in one expression: F(G(X)).
+    let (unit, v) = run(
+        "signature S = sig val v : int end
+         functor Inc (X : S) = struct val v = X.v + 1 end
+         structure Zero : S = struct val v = 0 end
+         structure Three = Inc(Inc(Inc(Zero)))
+         structure Out = struct val r = Three.v end",
+    );
+    assert_eq!(member(&unit, &v, "Out", "r"), Value::Int(3));
+}
+
+#[test]
+fn include_shared_base_signature() {
+    compile_ok(
+        "signature BASE = sig type t val zero : t end
+         signature RING = sig include BASE val add : t * t -> t end
+         signature FIELD = sig include BASE val mul : t * t -> t end
+         structure IntRing : RING = struct
+           type t = int val zero = 0 fun add (a, b) = a + b
+         end
+         structure IntField : FIELD = struct
+           type t = int val zero = 0 fun mul (a, b) = a * b
+         end",
+        &ImportEnv::empty(),
+    );
+}
+
+#[test]
+fn opaque_ascription_inside_functor_body() {
+    let bad = compile(
+        "functor Make (X : sig end) = struct
+           structure Hidden :> sig type t val mk : int -> t end = struct
+             type t = int
+             fun mk x = x
+           end
+           val leak = Hidden.mk 1 + 1
+         end",
+        &ImportEnv::empty(),
+    );
+    assert!(bad.is_err(), "opacity holds inside functor bodies too");
+}

@@ -1,0 +1,165 @@
+//! Warning-surface tests: exhaustiveness and redundancy diagnostics from
+//! whole-unit elaboration.
+
+use smlsc_statics::elab::{elaborate_unit, ImportEnv};
+
+fn warnings(src: &str) -> Vec<String> {
+    let ast = smlsc_syntax::parse_unit(src).unwrap();
+    let u = elaborate_unit(&ast, &ImportEnv::empty()).unwrap_or_else(|e| panic!("{e}"));
+    u.warnings.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn exhaustive_function_is_quiet() {
+    let w = warnings(
+        "structure A = struct
+           fun len [] = 0
+             | len (_ :: xs) = 1 + len xs
+         end",
+    );
+    assert!(w.is_empty(), "{w:?}");
+}
+
+#[test]
+fn missing_nil_case_warns() {
+    let w = warnings(
+        "structure A = struct
+           fun hd (x :: _) = x
+         end",
+    );
+    assert_eq!(w.len(), 1, "{w:?}");
+    assert!(w[0].contains("not exhaustive"), "{w:?}");
+    assert!(w[0].contains("`hd`"), "{w:?}");
+}
+
+#[test]
+fn redundant_rule_warns() {
+    let w = warnings(
+        "structure A = struct
+           fun f 0 = 1
+             | f _ = 2
+             | f 3 = 4
+         end",
+    );
+    assert!(w.iter().any(|m| m.contains("redundant")), "{w:?}");
+}
+
+#[test]
+fn case_on_datatype_missing_constructor() {
+    let w = warnings(
+        "structure A = struct
+           datatype t = X | Y | Z
+           fun g v = case v of X => 1 | Y => 2
+         end",
+    );
+    assert!(w.iter().any(|m| m.contains("not exhaustive")), "{w:?}");
+}
+
+#[test]
+fn full_datatype_case_is_quiet() {
+    let w = warnings(
+        "structure A = struct
+           datatype t = X | Y of int
+           fun g v = case v of X => 1 | Y n => n
+         end",
+    );
+    assert!(w.is_empty(), "{w:?}");
+}
+
+#[test]
+fn refutable_val_binding_warns() {
+    let w = warnings(
+        "structure A = struct
+           val x :: _ = [1, 2]
+         end",
+    );
+    assert!(w.iter().any(|m| m.contains("refutable")), "{w:?}");
+}
+
+#[test]
+fn irrefutable_tuple_binding_is_quiet() {
+    let w = warnings(
+        "structure A = struct
+           val (a, b) = (1, 2)
+           val c = a + b
+         end",
+    );
+    assert!(w.is_empty(), "{w:?}");
+}
+
+#[test]
+fn handle_is_never_checked() {
+    let w = warnings(
+        "structure A = struct
+           exception E
+           val x = (raise E) handle E => 1
+         end",
+    );
+    assert!(w.is_empty(), "handle falls through by design: {w:?}");
+}
+
+#[test]
+fn option_patterns() {
+    let w = warnings(
+        "structure A = struct
+           fun get (SOME x) = x
+             | get NONE = 0
+         end",
+    );
+    assert!(w.is_empty(), "{w:?}");
+    let w = warnings(
+        "structure A = struct
+           fun get (SOME x) = x
+         end",
+    );
+    assert!(w.iter().any(|m| m.contains("not exhaustive")), "{w:?}");
+}
+
+#[test]
+fn multi_parameter_clauses_are_analyzed_jointly() {
+    let w = warnings(
+        "structure A = struct
+           fun both true true = 1
+             | both false _ = 2
+             | both _ false = 3
+         end",
+    );
+    assert!(w.is_empty(), "covers all four combinations: {w:?}");
+    let w = warnings(
+        "structure A = struct
+           fun both true true = 1
+             | both false false = 2
+         end",
+    );
+    assert!(w.iter().any(|m| m.contains("not exhaustive")), "{w:?}");
+}
+
+#[test]
+fn warnings_do_not_block_compilation() {
+    // A unit with warnings still compiles and its exports are intact.
+    let ast = smlsc_syntax::parse_unit(
+        "structure A = struct fun hd (x :: _) = x end",
+    )
+    .unwrap();
+    let u = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
+    assert!(!u.warnings.is_empty());
+    assert!(u.exports.str(smlsc_ids::Symbol::intern("A")).is_some());
+}
+
+#[test]
+fn as_patterns_are_transparent_for_exhaustiveness() {
+    // `l as (x :: _)` covers exactly the cons case.
+    let w = warnings(
+        "structure A = struct
+           fun f (l as (_ :: _)) = l
+             | f [] = []
+         end",
+    );
+    assert!(w.is_empty(), "{w:?}");
+    let w = warnings(
+        "structure A = struct
+           fun f (l as (_ :: _)) = l
+         end",
+    );
+    assert!(w.iter().any(|m| m.contains("not exhaustive")), "{w:?}");
+}

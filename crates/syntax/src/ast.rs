@@ -1,0 +1,572 @@
+//! Abstract syntax for the mini-SML core and module languages.
+//!
+//! All AST types derive `Serialize`/`Deserialize`: the elaborated AST is
+//! the "code" component of a compiled unit (§3 of the paper factors a unit
+//! into `statenv × code × imports × exports`), and code objects are written
+//! into bin files by the compilation manager.
+
+use serde::{Deserialize, Serialize};
+use smlsc_ids::Symbol;
+
+use crate::Loc;
+
+/// A possibly-qualified identifier `A.B.x`.
+///
+/// `qualifiers` holds the structure path (`A`, `B`) and `last` the final
+/// component (`x`).  An unqualified name has an empty qualifier list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    /// Structure components, outermost first.
+    pub qualifiers: Vec<Symbol>,
+    /// The final identifier.
+    pub last: Symbol,
+}
+
+impl Path {
+    /// An unqualified path.
+    pub fn simple(sym: Symbol) -> Path {
+        Path {
+            qualifiers: Vec::new(),
+            last: sym,
+        }
+    }
+
+    /// The root of the path: the first qualifier if any, otherwise `last`.
+    ///
+    /// For a compilation unit this is the name that must be found in the
+    /// environment — i.e. the unit-level import when not locally bound.
+    pub fn root(&self) -> Symbol {
+        self.qualifiers.first().copied().unwrap_or(self.last)
+    }
+
+    /// True if the path has no qualifiers.
+    pub fn is_simple(&self) -> bool {
+        self.qualifiers.is_empty()
+    }
+}
+
+impl std::fmt::Display for Path {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for q in &self.qualifiers {
+            write!(f, "{q}.")?;
+        }
+        write!(f, "{}", self.last)
+    }
+}
+
+/// Type expressions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ty {
+    /// A type variable `'a`.
+    Var(Symbol),
+    /// A (possibly nullary) type-constructor application: `int`,
+    /// `'a list`, `(int, string) pair`, `A.t`.
+    Con(Path, Vec<Ty>),
+    /// A tuple type `t1 * t2 * ...` (two or more components).
+    Tuple(Vec<Ty>),
+    /// A function type `t1 -> t2`.
+    Arrow(Box<Ty>, Box<Ty>),
+}
+
+/// Constant literals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lit {
+    /// Integer constant (SML `~` negation is folded in by the parser).
+    Int(i64),
+    /// String constant.
+    Str(String),
+    /// `()`.
+    Unit,
+}
+
+/// Patterns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pat {
+    /// `_`
+    Wild,
+    /// A variable binding, or a nullary constructor if the name is one in
+    /// scope (resolved during elaboration, as in SML).
+    Var(Path),
+    /// Constant pattern.
+    Lit(Lit),
+    /// Tuple pattern `(p1, p2, ...)`.
+    Tuple(Vec<Pat>),
+    /// Constructor application pattern `C p` or `x :: xs`.
+    Con(Path, Box<Pat>),
+    /// List pattern `[p1, p2]` (sugar for `::`/`nil`, kept for fidelity of
+    /// error messages; desugared in elaboration).
+    List(Vec<Pat>),
+    /// Type-ascribed pattern `p : ty`.
+    Ascribe(Box<Pat>, Ty),
+    /// Layered pattern `x as p`: binds `x` to the whole value while also
+    /// matching `p`.
+    As(Symbol, Box<Pat>),
+}
+
+/// A `match` arm: `pat => exp`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// The pattern.
+    pub pat: Pat,
+    /// The right-hand side.
+    pub exp: Exp,
+}
+
+/// Primitive binary operators, resolved from infix syntax by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `div`
+    Div,
+    /// `mod`
+    Mod,
+    /// `^` string concatenation
+    Concat,
+    /// `=` polymorphic-ish equality (restricted to equality types in elaboration)
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// unary `~` (negation); parser emits it with a single operand
+    Neg,
+    /// `@` list append
+    Append,
+    /// `itos` — integer to string (pervasive value, not infix syntax)
+    ItoS,
+    /// `size` — string length (pervasive value, not infix syntax)
+    Size,
+}
+
+impl PrimOp {
+    /// Source spelling of the operator.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "div",
+            PrimOp::Mod => "mod",
+            PrimOp::Concat => "^",
+            PrimOp::Eq => "=",
+            PrimOp::Neq => "<>",
+            PrimOp::Lt => "<",
+            PrimOp::Le => "<=",
+            PrimOp::Gt => ">",
+            PrimOp::Ge => ">=",
+            PrimOp::Neg => "~",
+            PrimOp::Append => "@",
+            PrimOp::ItoS => "itos",
+            PrimOp::Size => "size",
+        }
+    }
+
+    /// Inverse of [`PrimOp::name`] (used by the bin-file pickler).
+    pub fn from_name(name: &str) -> Option<PrimOp> {
+        [
+            PrimOp::Add,
+            PrimOp::Sub,
+            PrimOp::Mul,
+            PrimOp::Div,
+            PrimOp::Mod,
+            PrimOp::Concat,
+            PrimOp::Eq,
+            PrimOp::Neq,
+            PrimOp::Lt,
+            PrimOp::Le,
+            PrimOp::Gt,
+            PrimOp::Ge,
+            PrimOp::Neg,
+            PrimOp::Append,
+            PrimOp::ItoS,
+            PrimOp::Size,
+        ]
+        .into_iter()
+        .find(|op| op.name() == name)
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Exp {
+    /// Constant.
+    Lit(Lit),
+    /// Variable or constructor reference.
+    Var(Path),
+    /// Tuple `(e1, e2, ...)` (two or more components).
+    Tuple(Vec<Exp>),
+    /// List `[e1, e2, ...]`.
+    List(Vec<Exp>),
+    /// Application `e1 e2`.
+    App(Box<Exp>, Box<Exp>),
+    /// Primitive operator application.
+    Prim(PrimOp, Vec<Exp>),
+    /// `andalso` (short-circuit; not expressible as an application).
+    Andalso(Box<Exp>, Box<Exp>),
+    /// `orelse`.
+    Orelse(Box<Exp>, Box<Exp>),
+    /// `fn match`.
+    Fn(Vec<Rule>),
+    /// `let decs in exp end`.
+    Let(Vec<Dec>, Box<Exp>),
+    /// `if e1 then e2 else e3`.
+    If(Box<Exp>, Box<Exp>, Box<Exp>),
+    /// `case e of match`.
+    Case(Box<Exp>, Vec<Rule>),
+    /// `raise e`.
+    Raise(Box<Exp>),
+    /// `e handle match`.
+    Handle(Box<Exp>, Vec<Rule>),
+    /// `(e1; e2; ...; en)` — evaluate all, yield the last.
+    Seq(Vec<Exp>),
+    /// `e : ty`.
+    Ascribe(Box<Exp>, Ty),
+}
+
+/// One clause of a `fun` definition: `f p1 ... pn [: ty] = e`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Clause {
+    /// Curried parameter patterns (at least one).
+    pub params: Vec<Pat>,
+    /// Optional result-type annotation.
+    pub result_ty: Option<Ty>,
+    /// The clause body.
+    pub body: Exp,
+}
+
+/// One function in a `fun ... and ...` group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunBind {
+    /// The function name.
+    pub name: Symbol,
+    /// Its clauses (all with the same arity).
+    pub clauses: Vec<Clause>,
+    /// Location of the binding, for error messages.
+    pub loc: Loc,
+}
+
+/// One datatype in a `datatype ... and ...` group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatBind {
+    /// Bound type variables `('a, 'b)`.
+    pub tyvars: Vec<Symbol>,
+    /// The type name.
+    pub name: Symbol,
+    /// Constructors with optional argument types.
+    pub cons: Vec<(Symbol, Option<Ty>)>,
+}
+
+/// Core-language declarations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dec {
+    /// `val pat = exp`.
+    Val {
+        /// The binding pattern.
+        pat: Pat,
+        /// The bound expression.
+        exp: Exp,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `fun f ... and g ...` (mutually recursive).
+    Fun(Vec<FunBind>),
+    /// `type ('a) t = ty` — a type abbreviation.
+    Type {
+        /// Bound type variables.
+        tyvars: Vec<Symbol>,
+        /// The type name.
+        name: Symbol,
+        /// The definition.
+        def: Ty,
+    },
+    /// `datatype ... and ...` (generative).
+    Datatype(Vec<DatBind>),
+    /// `exception E [of ty]`.
+    Exception {
+        /// The exception constructor name.
+        name: Symbol,
+        /// Optional argument type.
+        arg: Option<Ty>,
+    },
+    /// `local decs in decs end`.
+    Local(Vec<Dec>, Vec<Dec>),
+    /// `open Path` — splice a structure's bindings into scope.
+    Open(Vec<Path>),
+}
+
+/// Signature expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SigExp {
+    /// A named signature.
+    Var(Symbol),
+    /// `sig specs end`.
+    Sig(Vec<Spec>),
+    /// `sigexp where type tyvars path = ty`.
+    WhereType {
+        /// The constrained signature.
+        base: Box<SigExp>,
+        /// Bound type variables of the definition.
+        tyvars: Vec<Symbol>,
+        /// Path, within the signature, of the type being defined.
+        ty_path: Path,
+        /// The manifest definition.
+        def: Ty,
+    },
+}
+
+/// Specifications inside `sig ... end`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Spec {
+    /// `val x : ty`.
+    Val(Symbol, Ty),
+    /// `type ('a) t` (abstract) or `type ('a) t = ty` (manifest).
+    Type {
+        /// Bound type variables.
+        tyvars: Vec<Symbol>,
+        /// The type name.
+        name: Symbol,
+        /// `Some` for a manifest type, `None` for abstract.
+        def: Option<Ty>,
+    },
+    /// `datatype` specification (fully transparent).
+    Datatype(Vec<DatBind>),
+    /// `exception E [of ty]`.
+    Exception(Symbol, Option<Ty>),
+    /// `structure X : sigexp`.
+    Structure(Symbol, SigExp),
+    /// `include sigexp`.
+    Include(SigExp),
+}
+
+/// Structure expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrExp {
+    /// A structure path `A.B`.
+    Var(Path),
+    /// `struct strdecs end`.
+    Struct(Vec<StrDec>),
+    /// `strexp : sigexp` (transparent) or `strexp :> sigexp` (opaque).
+    Ascribe {
+        /// The constrained structure.
+        str: Box<StrExp>,
+        /// The ascribed signature.
+        sig: SigExp,
+        /// `true` for `:>`.
+        opaque: bool,
+    },
+    /// Functor application `F(strexp)`.
+    App(Symbol, Box<StrExp>),
+    /// `let strdecs in strexp end`.
+    Let(Vec<StrDec>, Box<StrExp>),
+}
+
+/// Declarations that may appear inside `struct ... end`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StrDec {
+    /// A core declaration.
+    Core(Dec),
+    /// `structure X [: S | :> S] = strexp`.
+    Structure {
+        /// The structure name.
+        name: Symbol,
+        /// Optional ascription.
+        constraint: Option<(SigExp, bool)>,
+        /// The definition.
+        def: StrExp,
+        /// Source location.
+        loc: Loc,
+    },
+}
+
+/// Top-level (unit-level) bindings.
+///
+/// Following the paper's recommendation (footnote 4), compilation units
+/// contain structures, functors, and signatures but no top-level core
+/// declarations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TopDec {
+    /// `signature S = sigexp`.
+    Signature {
+        /// The signature name.
+        name: Symbol,
+        /// The definition.
+        def: SigExp,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `structure X [: S | :> S] = strexp`.
+    Structure {
+        /// The structure name.
+        name: Symbol,
+        /// Optional ascription.
+        constraint: Option<(SigExp, bool)>,
+        /// The definition.
+        def: StrExp,
+        /// Source location.
+        loc: Loc,
+    },
+    /// `functor F (P : S) [: S' | :> S'] = strexp`.
+    Functor {
+        /// The functor name.
+        name: Symbol,
+        /// The formal parameter name.
+        param: Symbol,
+        /// The parameter signature.
+        param_sig: SigExp,
+        /// Optional result ascription.
+        result: Option<(SigExp, bool)>,
+        /// The body.
+        body: StrExp,
+        /// Source location.
+        loc: Loc,
+    },
+}
+
+impl TopDec {
+    /// The name bound by this declaration.
+    pub fn name(&self) -> Symbol {
+        match self {
+            TopDec::Signature { name, .. }
+            | TopDec::Structure { name, .. }
+            | TopDec::Functor { name, .. } => *name,
+        }
+    }
+}
+
+/// A parsed compilation unit: the contents of one source file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitAst {
+    /// The unit's module-level bindings, in source order.
+    pub decs: Vec<TopDec>,
+}
+
+impl UnitAst {
+    /// Names bound at the top level of this unit (its exports).
+    pub fn bound_names(&self) -> Vec<Symbol> {
+        self.decs.iter().map(TopDec::name).collect()
+    }
+
+    /// Resets every source location to the default.  Locations are
+    /// diagnostic metadata; stripping them makes ASTs comparable across
+    /// print/re-parse round trips.
+    pub fn strip_locs(&mut self) {
+        for d in &mut self.decs {
+            strip_topdec(d);
+        }
+    }
+}
+
+fn strip_topdec(d: &mut TopDec) {
+    match d {
+        TopDec::Signature { loc, .. } => *loc = Loc::default(),
+        TopDec::Structure { loc, def, .. } => {
+            *loc = Loc::default();
+            strip_strexp(def);
+        }
+        TopDec::Functor { loc, body, .. } => {
+            *loc = Loc::default();
+            strip_strexp(body);
+        }
+    }
+}
+
+fn strip_strexp(s: &mut StrExp) {
+    match s {
+        StrExp::Var(_) => {}
+        StrExp::Struct(decs) => {
+            for d in decs {
+                strip_strdec(d);
+            }
+        }
+        StrExp::Ascribe { str, .. } => strip_strexp(str),
+        StrExp::App(_, arg) => strip_strexp(arg),
+        StrExp::Let(decs, body) => {
+            for d in decs {
+                strip_strdec(d);
+            }
+            strip_strexp(body);
+        }
+    }
+}
+
+fn strip_strdec(d: &mut StrDec) {
+    match d {
+        StrDec::Core(dec) => strip_dec(dec),
+        StrDec::Structure { loc, def, .. } => {
+            *loc = Loc::default();
+            strip_strexp(def);
+        }
+    }
+}
+
+fn strip_dec(d: &mut Dec) {
+    match d {
+        Dec::Val { loc, exp, .. } => {
+            *loc = Loc::default();
+            strip_exp(exp);
+        }
+        Dec::Fun(fbs) => {
+            for fb in fbs {
+                fb.loc = Loc::default();
+                for cl in &mut fb.clauses {
+                    strip_exp(&mut cl.body);
+                }
+            }
+        }
+        Dec::Type { .. } | Dec::Datatype(_) | Dec::Exception { .. } | Dec::Open(_) => {}
+        Dec::Local(h, v) => {
+            for d in h.iter_mut().chain(v.iter_mut()) {
+                strip_dec(d);
+            }
+        }
+    }
+}
+
+fn strip_exp(e: &mut Exp) {
+    match e {
+        Exp::Lit(_) | Exp::Var(_) => {}
+        Exp::Tuple(es) | Exp::List(es) | Exp::Seq(es) | Exp::Prim(_, es) => {
+            for x in es {
+                strip_exp(x);
+            }
+        }
+        Exp::App(a, b) | Exp::Andalso(a, b) | Exp::Orelse(a, b) => {
+            strip_exp(a);
+            strip_exp(b);
+        }
+        Exp::Fn(rules) => {
+            for r in rules {
+                strip_exp(&mut r.exp);
+            }
+        }
+        Exp::Let(decs, body) => {
+            for d in decs {
+                strip_dec(d);
+            }
+            strip_exp(body);
+        }
+        Exp::If(a, b, c) => {
+            strip_exp(a);
+            strip_exp(b);
+            strip_exp(c);
+        }
+        Exp::Case(s, rules) | Exp::Handle(s, rules) => {
+            strip_exp(s);
+            for r in rules {
+                strip_exp(&mut r.exp);
+            }
+        }
+        Exp::Raise(x) | Exp::Ascribe(x, _) => strip_exp(x),
+    }
+}

@@ -1,0 +1,62 @@
+//! Mini-Standard-ML frontend: lexer, parser, AST, and import analysis.
+//!
+//! The paper's separate-compilation machinery presupposes a Standard ML
+//! module language: signatures, structures and functors with *transparent*
+//! signature matching (§2, Figure 1), over a core language rich enough to
+//! give modules real bodies.  This crate implements the syntax half of that
+//! frontend for a substantial ML subset:
+//!
+//! * **core language** — integer/string/bool/unit literals, tuples, lists,
+//!   `fn`/`let`/`if`/`case`/`raise`/`handle`, clausal `fun` definitions
+//!   with pattern matching, `val`, `type`, `datatype`, `exception`,
+//!   `local`, `open`, and the standard infix operators at SML precedences;
+//! * **module language** — `signature`, `structure`, `functor` bindings,
+//!   `sig`/`struct` expressions, transparent (`:`) and opaque (`:>`)
+//!   ascription, functor application, `include`, and `where type`;
+//! * **compilation units** — a source file parses to a [`ast::UnitAst`],
+//!   a sequence of module-level bindings (the paper's recommendation —
+//!   footnote 4 — that separately compiled units contain structures,
+//!   functors and signatures but no top-level core bindings);
+//! * **import analysis** ([`deps`]) — the free module names of a unit,
+//!   which is how the IRM discovers inter-unit dependencies without
+//!   makefiles (§8).
+//!
+//! # Examples
+//!
+//! ```
+//! let src = r#"
+//!     signature S = sig val x : int end
+//!     structure A : S = struct val x = 1 end
+//! "#;
+//! let unit = smlsc_syntax::parse_unit(src).expect("parses");
+//! assert_eq!(unit.decs.len(), 2);
+//! assert!(smlsc_syntax::deps::free_module_names(&unit).is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod deps;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::UnitAst;
+pub use parser::{parse_unit, ParseError};
+
+/// A source location (1-based line and column), carried on tokens and
+/// reported in parse and elaboration errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct Loc {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Loc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}

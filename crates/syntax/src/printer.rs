@@ -1,0 +1,646 @@
+//! Pretty-printer for mini-SML.
+//!
+//! Produces concrete syntax that re-parses to the *same* AST.  Output is
+//! conservatively parenthesized: parentheses never appear in the AST, so
+//! extra ones are free, and they make the printer's correctness
+//! (`parse ∘ print = id`) easy to maintain — a property the test suite
+//! checks on both hand-written and generated programs.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a compilation unit.
+pub fn print_unit(u: &UnitAst) -> String {
+    let mut p = Printer::default();
+    for d in &u.decs {
+        p.topdec(d);
+        p.out.push('\n');
+    }
+    p.out
+}
+
+/// Renders one expression (parenthesized as needed to stand alone).
+pub fn print_exp(e: &Exp) -> String {
+    let mut p = Printer::default();
+    p.exp(e);
+    p.out
+}
+
+/// Renders one type.
+pub fn print_ty(t: &Ty) -> String {
+    let mut p = Printer::default();
+    p.ty(t);
+    p.out
+}
+
+/// Renders one pattern.
+pub fn print_pat(pat: &Pat) -> String {
+    let mut p = Printer::default();
+    p.pat(pat);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn nl(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn word(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    // ----- types ----------------------------------------------------------
+
+    fn ty(&mut self, t: &Ty) {
+        match t {
+            Ty::Var(v) => {
+                let _ = write!(self.out, "'{v}");
+            }
+            Ty::Con(path, args) => match args.len() {
+                0 => {
+                    let _ = write!(self.out, "{path}");
+                }
+                1 => {
+                    self.word("(");
+                    self.ty(&args[0]);
+                    let _ = write!(self.out, ") {path}");
+                }
+                _ => {
+                    self.word("(");
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.word(", ");
+                        }
+                        self.ty(a);
+                    }
+                    let _ = write!(self.out, ") {path}");
+                }
+            },
+            Ty::Tuple(ts) => {
+                self.word("(");
+                for (i, x) in ts.iter().enumerate() {
+                    if i > 0 {
+                        self.word(" * ");
+                    }
+                    // Tuple components are at "ty_app" level; wrap.
+                    self.word("(");
+                    self.ty(x);
+                    self.word(")");
+                }
+                self.word(")");
+            }
+            Ty::Arrow(a, b) => {
+                self.word("(");
+                self.ty(a);
+                self.word(" -> ");
+                self.ty(b);
+                self.word(")");
+            }
+        }
+    }
+
+    // ----- patterns ---------------------------------------------------------
+
+    fn pat(&mut self, p: &Pat) {
+        match p {
+            Pat::Wild => self.word("_"),
+            Pat::Var(path) => {
+                let _ = write!(self.out, "{path}");
+            }
+            Pat::Lit(l) => self.lit(l),
+            Pat::Tuple(ps) => {
+                self.word("(");
+                for (i, x) in ps.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.pat(x);
+                }
+                self.word(")");
+            }
+            Pat::List(ps) => {
+                self.word("[");
+                for (i, x) in ps.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.pat(x);
+                }
+                self.word("]");
+            }
+            Pat::Con(path, arg) => {
+                if path.is_simple() && path.last.as_str() == "::" {
+                    // Print infix so it re-parses through the cons rule.
+                    if let Pat::Tuple(parts) = arg.as_ref() {
+                        if parts.len() == 2 {
+                            self.word("(");
+                            self.word("(");
+                            self.pat(&parts[0]);
+                            self.word(") :: (");
+                            self.pat(&parts[1]);
+                            self.word(")");
+                            self.word(")");
+                            return;
+                        }
+                    }
+                }
+                self.word("(");
+                let _ = write!(self.out, "{path} ");
+                self.word("(");
+                self.pat(arg);
+                self.word(")");
+                self.word(")");
+            }
+            Pat::Ascribe(inner, ty) => {
+                self.word("(");
+                self.pat(inner);
+                self.word(" : ");
+                self.ty(ty);
+                self.word(")");
+            }
+            Pat::As(name, inner) => {
+                self.word("(");
+                let _ = write!(self.out, "{name} as ");
+                self.pat(inner);
+                self.word(")");
+            }
+        }
+    }
+
+    fn lit(&mut self, l: &Lit) {
+        match l {
+            Lit::Int(n) => {
+                if *n < 0 {
+                    let _ = write!(self.out, "~{}", n.unsigned_abs());
+                } else {
+                    let _ = write!(self.out, "{n}");
+                }
+            }
+            Lit::Str(s) => {
+                self.out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        '\t' => self.out.push_str("\\t"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            Lit::Unit => self.word("()"),
+        }
+    }
+
+    // ----- expressions --------------------------------------------------------
+
+    fn exp(&mut self, e: &Exp) {
+        match e {
+            Exp::Lit(l) => self.lit(l),
+            Exp::Var(path) => {
+                let _ = write!(self.out, "{path}");
+            }
+            Exp::Tuple(es) => {
+                self.word("(");
+                for (i, x) in es.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.exp(x);
+                }
+                self.word(")");
+            }
+            Exp::List(es) => {
+                self.word("[");
+                for (i, x) in es.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    self.exp(x);
+                }
+                self.word("]");
+            }
+            Exp::App(f, a) => {
+                // `x :: xs` parses to an application of the `::`
+                // constructor; print it back infix (there is no `op`
+                // syntax in the subset to name `::` in prefix position).
+                if let Exp::Var(p) = f.as_ref() {
+                    if p.is_simple() && p.last.as_str() == "::" {
+                        if let Exp::Tuple(parts) = a.as_ref() {
+                            if parts.len() == 2 {
+                                self.word("((");
+                                self.exp(&parts[0]);
+                                self.word(") :: (");
+                                self.exp(&parts[1]);
+                                self.word("))");
+                                return;
+                            }
+                        }
+                    }
+                }
+                self.word("(");
+                self.exp(f);
+                self.word(") (");
+                self.exp(a);
+                self.word(")");
+            }
+            Exp::Prim(op, args) => match op {
+                PrimOp::Neg => {
+                    self.word("~(");
+                    self.exp(&args[0]);
+                    self.word(")");
+                }
+                _ => {
+                    self.word("(");
+                    self.exp(&args[0]);
+                    let _ = write!(self.out, " {} ", op.name());
+                    self.exp(&args[1]);
+                    self.word(")");
+                }
+            },
+            Exp::Andalso(a, b) => {
+                self.word("(");
+                self.exp(a);
+                self.word(" andalso ");
+                self.exp(b);
+                self.word(")");
+            }
+            Exp::Orelse(a, b) => {
+                self.word("(");
+                self.exp(a);
+                self.word(" orelse ");
+                self.exp(b);
+                self.word(")");
+            }
+            Exp::Fn(rules) => {
+                self.word("(fn ");
+                self.rules(rules);
+                self.word(")");
+            }
+            Exp::Let(decs, body) => {
+                self.word("let");
+                self.indent += 1;
+                for d in decs {
+                    self.nl();
+                    self.dec(d);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.word("in ");
+                self.exp(body);
+                self.word(" end");
+            }
+            Exp::If(c, t, f) => {
+                self.word("(if ");
+                self.exp(c);
+                self.word(" then ");
+                self.exp(t);
+                self.word(" else ");
+                self.exp(f);
+                self.word(")");
+            }
+            Exp::Case(scrut, rules) => {
+                self.word("(case ");
+                self.exp(scrut);
+                self.word(" of ");
+                self.rules(rules);
+                self.word(")");
+            }
+            Exp::Raise(x) => {
+                self.word("(raise ");
+                self.exp(x);
+                self.word(")");
+            }
+            Exp::Handle(x, rules) => {
+                self.word("((");
+                self.exp(x);
+                self.word(") handle ");
+                self.rules(rules);
+                self.word(")");
+            }
+            Exp::Seq(es) => {
+                self.word("(");
+                for (i, x) in es.iter().enumerate() {
+                    if i > 0 {
+                        self.word("; ");
+                    }
+                    self.exp(x);
+                }
+                self.word(")");
+            }
+            Exp::Ascribe(x, ty) => {
+                self.word("(");
+                self.exp(x);
+                self.word(" : ");
+                self.ty(ty);
+                self.word(")");
+            }
+        }
+    }
+
+    fn rules(&mut self, rules: &[Rule]) {
+        for (i, r) in rules.iter().enumerate() {
+            if i > 0 {
+                self.word(" | ");
+            }
+            self.pat(&r.pat);
+            self.word(" => ");
+            // Arm bodies are parenthesized by their own printers except
+            // bare atoms, which cannot swallow a `|`.
+            self.exp(&r.exp);
+        }
+    }
+
+    // ----- declarations -----------------------------------------------------
+
+    fn dec(&mut self, d: &Dec) {
+        match d {
+            Dec::Val { pat, exp, .. } => {
+                self.word("val ");
+                self.pat(pat);
+                self.word(" = ");
+                self.exp(exp);
+            }
+            Dec::Fun(fbs) => {
+                for (i, fb) in fbs.iter().enumerate() {
+                    self.word(if i == 0 { "fun " } else { " and " });
+                    for (j, cl) in fb.clauses.iter().enumerate() {
+                        if j > 0 {
+                            self.word(" | ");
+                        }
+                        let _ = write!(self.out, "{} ", fb.name);
+                        for p in &cl.params {
+                            // Clause params are at atomic-pattern level.
+                            self.word("(");
+                            self.pat(p);
+                            self.word(") ");
+                        }
+                        if let Some(ty) = &cl.result_ty {
+                            self.word(": ");
+                            self.ty(ty);
+                            self.word(" ");
+                        }
+                        self.word("= ");
+                        self.exp(&cl.body);
+                    }
+                }
+            }
+            Dec::Type { tyvars, name, def } => {
+                self.word("type ");
+                self.tyvarseq(tyvars);
+                let _ = write!(self.out, "{name} = ");
+                self.ty(def);
+            }
+            Dec::Datatype(dbs) => self.datbinds(dbs),
+            Dec::Exception { name, arg } => {
+                let _ = write!(self.out, "exception {name}");
+                if let Some(t) = arg {
+                    self.word(" of ");
+                    self.ty(t);
+                }
+            }
+            Dec::Local(hidden, visible) => {
+                self.word("local");
+                self.indent += 1;
+                for d in hidden {
+                    self.nl();
+                    self.dec(d);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.word("in");
+                self.indent += 1;
+                for d in visible {
+                    self.nl();
+                    self.dec(d);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.word("end");
+            }
+            Dec::Open(paths) => {
+                self.word("open");
+                for p in paths {
+                    let _ = write!(self.out, " {p}");
+                }
+            }
+        }
+    }
+
+    fn tyvarseq(&mut self, tyvars: &[smlsc_ids::Symbol]) {
+        match tyvars.len() {
+            0 => {}
+            1 => {
+                let _ = write!(self.out, "'{} ", tyvars[0]);
+            }
+            _ => {
+                self.word("(");
+                for (i, v) in tyvars.iter().enumerate() {
+                    if i > 0 {
+                        self.word(", ");
+                    }
+                    let _ = write!(self.out, "'{v}");
+                }
+                self.word(") ");
+            }
+        }
+    }
+
+    fn datbinds(&mut self, dbs: &[DatBind]) {
+        for (i, db) in dbs.iter().enumerate() {
+            self.word(if i == 0 { "datatype " } else { " and " });
+            self.tyvarseq(&db.tyvars);
+            let _ = write!(self.out, "{} = ", db.name);
+            for (j, (cname, arg)) in db.cons.iter().enumerate() {
+                if j > 0 {
+                    self.word(" | ");
+                }
+                let _ = write!(self.out, "{cname}");
+                if let Some(t) = arg {
+                    self.word(" of ");
+                    self.ty(t);
+                }
+            }
+        }
+    }
+
+    // ----- modules ------------------------------------------------------------
+
+    fn sigexp(&mut self, s: &SigExp) {
+        match s {
+            SigExp::Var(name) => {
+                let _ = write!(self.out, "{name}");
+            }
+            SigExp::Sig(specs) => {
+                self.word("sig");
+                self.indent += 1;
+                for sp in specs {
+                    self.nl();
+                    self.spec(sp);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.word("end");
+            }
+            SigExp::WhereType {
+                base,
+                tyvars,
+                ty_path,
+                def,
+            } => {
+                self.sigexp(base);
+                self.word(" where type ");
+                self.tyvarseq(tyvars);
+                let _ = write!(self.out, "{ty_path} = ");
+                self.ty(def);
+            }
+        }
+    }
+
+    fn spec(&mut self, s: &Spec) {
+        match s {
+            Spec::Val(name, ty) => {
+                let _ = write!(self.out, "val {name} : ");
+                self.ty(ty);
+            }
+            Spec::Type { tyvars, name, def } => {
+                self.word("type ");
+                self.tyvarseq(tyvars);
+                let _ = write!(self.out, "{name}");
+                if let Some(t) = def {
+                    self.word(" = ");
+                    self.ty(t);
+                }
+            }
+            Spec::Datatype(dbs) => self.datbinds(dbs),
+            Spec::Exception(name, arg) => {
+                let _ = write!(self.out, "exception {name}");
+                if let Some(t) = arg {
+                    self.word(" of ");
+                    self.ty(t);
+                }
+            }
+            Spec::Structure(name, sig) => {
+                let _ = write!(self.out, "structure {name} : ");
+                self.sigexp(sig);
+            }
+            Spec::Include(sig) => {
+                self.word("include ");
+                self.sigexp(sig);
+            }
+        }
+    }
+
+    fn strexp(&mut self, s: &StrExp) {
+        match s {
+            StrExp::Var(path) => {
+                let _ = write!(self.out, "{path}");
+            }
+            StrExp::Struct(decs) => {
+                self.word("struct");
+                self.indent += 1;
+                for d in decs {
+                    self.nl();
+                    self.strdec(d);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.word("end");
+            }
+            StrExp::Ascribe { str, sig, opaque } => {
+                self.strexp(str);
+                self.word(if *opaque { " :> " } else { " : " });
+                self.sigexp(sig);
+            }
+            StrExp::App(f, arg) => {
+                let _ = write!(self.out, "{f}(");
+                self.strexp(arg);
+                self.word(")");
+            }
+            StrExp::Let(decs, body) => {
+                self.word("let");
+                self.indent += 1;
+                for d in decs {
+                    self.nl();
+                    self.strdec(d);
+                }
+                self.indent -= 1;
+                self.nl();
+                self.word("in ");
+                self.strexp(body);
+                self.word(" end");
+            }
+        }
+    }
+
+    fn strdec(&mut self, d: &StrDec) {
+        match d {
+            StrDec::Core(dec) => self.dec(dec),
+            StrDec::Structure {
+                name,
+                constraint,
+                def,
+                ..
+            } => self.structure_binding(name, constraint.as_ref(), def),
+        }
+    }
+
+    fn structure_binding(
+        &mut self,
+        name: &smlsc_ids::Symbol,
+        constraint: Option<&(SigExp, bool)>,
+        def: &StrExp,
+    ) {
+        let _ = write!(self.out, "structure {name}");
+        if let Some((sig, opaque)) = constraint {
+            self.word(if *opaque { " :> " } else { " : " });
+            self.sigexp(sig);
+        }
+        self.word(" = ");
+        self.strexp(def);
+    }
+
+    fn topdec(&mut self, d: &TopDec) {
+        match d {
+            TopDec::Signature { name, def, .. } => {
+                let _ = write!(self.out, "signature {name} = ");
+                self.sigexp(def);
+            }
+            TopDec::Structure {
+                name,
+                constraint,
+                def,
+                ..
+            } => self.structure_binding(name, constraint.as_ref(), def),
+            TopDec::Functor {
+                name,
+                param,
+                param_sig,
+                result,
+                body,
+                ..
+            } => {
+                let _ = write!(self.out, "functor {name} ({param} : ");
+                self.sigexp(param_sig);
+                self.word(")");
+                if let Some((sig, opaque)) = result {
+                    self.word(if *opaque { " :> " } else { " : " });
+                    self.sigexp(sig);
+                }
+                self.word(" = ");
+                self.strexp(body);
+            }
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! `parse ∘ print = id` — on a hand-written corpus and on
+//! proptest-generated ASTs.
+
+use proptest::prelude::*;
+use smlsc_ids::Symbol;
+use smlsc_syntax::ast::*;
+use smlsc_syntax::printer::print_unit;
+use smlsc_syntax::{parse_unit, Loc};
+
+fn roundtrip(src: &str) {
+    let mut once = parse_unit(src).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"));
+    once.strip_locs();
+    let printed = print_unit(&once);
+    let mut twice =
+        parse_unit(&printed).unwrap_or_else(|e| panic!("{e}\nprinted:\n{printed}"));
+    twice.strip_locs();
+    assert_eq!(once, twice, "printed form:\n{printed}");
+}
+
+#[test]
+fn corpus_roundtrips() {
+    for src in [
+        "structure A = struct val x = 1 end",
+        "structure A = struct val x = 1 + 2 * 3 - 4 end",
+        "structure A = struct fun f x y = f y x and g z = f z z end",
+        "structure L = struct
+           fun map f [] = []
+             | map f (x :: xs) = f x :: map f xs
+           fun rev l = let fun go acc [] = acc | go acc (x :: xs) = go (x :: acc) xs
+                       in go [] l end
+         end",
+        r#"structure S = struct
+             datatype 'a tree = Leaf | Node of 'a tree * 'a * 'a tree
+             exception Bad of string
+             fun find _ Leaf = NONE
+               | find k (Node (l, x, r)) =
+                   if k = x then SOME x
+                   else if k < x then find k l else find k r
+             val caught = (raise Bad "x") handle Bad s => s
+             val seq = (1; 2; 3)
+             val b = 1 < 2 andalso 2 < 3 orelse false
+           end"#,
+        "signature S = sig
+           type t
+           type ('a, 'b) pair = 'a * 'b
+           val f : t -> (int, string) pair list
+           datatype d = A | B of int
+           exception E of string
+           structure Inner : sig val n : int end
+         end
+         functor F (X : S) :> S = struct
+           type t = X.t
+           type ('a, 'b) pair = 'a * 'b
+           fun f x = X.f x
+           datatype d = A | B of int
+           exception E of string
+           structure Inner = struct val n = 1 end
+         end",
+        "structure A = let structure H = struct val v = 9 end in struct open H val w = v end end",
+        "signature T = sig type t end
+         structure C : T where type t = int = struct type t = int end",
+        "structure N = struct
+           local
+             fun help x = ~x
+           in
+             val out = help 3
+             type alias = int * (int -> int)
+           end
+         end",
+        "structure L2 = struct
+           fun dup (l as (x :: _)) = x :: l
+             | dup other = other
+         end",
+        "structure P = struct
+           val tup = (1, \"two\", (3, 4))
+           val (a, b) = (1, 2)
+           val _ = a
+           val l = [1, 2] @ [3]
+           val c : int = case l of [] => 0 | x :: _ => x
+         end",
+    ] {
+        roundtrip(src);
+    }
+}
+
+// ----- generated ASTs ------------------------------------------------------
+
+fn ident(pool: &'static [&'static str]) -> impl Strategy<Value = Symbol> {
+    (0..pool.len()).prop_map(move |i| Symbol::intern(pool[i]))
+}
+
+fn var_name() -> impl Strategy<Value = Symbol> {
+    ident(&["x", "y", "zed", "acc", "n1", "fooBar"])
+}
+
+fn ty_name() -> impl Strategy<Value = Symbol> {
+    ident(&["int", "string", "bool"])
+}
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![
+        ty_name().prop_map(|n| Ty::Con(Path::simple(n), vec![])),
+        ident(&["a", "b"]).prop_map(Ty::Var),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Ty::Arrow(Box::new(a), Box::new(b))),
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Ty::Tuple),
+            inner.prop_map(|t| Ty::Con(Path::simple(Symbol::intern("list")), vec![t])),
+        ]
+    })
+}
+
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        any::<i32>().prop_map(|n| Lit::Int(i64::from(n))),
+        "[a-z 0-9]{0,8}".prop_map(Lit::Str),
+        Just(Lit::Unit),
+    ]
+}
+
+fn arb_pat() -> impl Strategy<Value = Pat> {
+    let leaf = prop_oneof![
+        Just(Pat::Wild),
+        var_name().prop_map(|v| Pat::Var(Path::simple(v))),
+        arb_lit().prop_map(Pat::Lit),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Pat::Tuple),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Pat::List),
+            (inner.clone(), arb_ty()).prop_map(|(p, t)| Pat::Ascribe(Box::new(p), t)),
+        ]
+    })
+}
+
+fn arb_exp() -> impl Strategy<Value = Exp> {
+    let leaf = prop_oneof![
+        arb_lit().prop_map(Exp::Lit),
+        var_name().prop_map(|v| Exp::Var(Path::simple(v))),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        let rule = (arb_pat(), inner.clone())
+            .prop_map(|(pat, exp)| Rule { pat, exp })
+            .boxed();
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..3).prop_map(Exp::Tuple),
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Exp::List),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Exp::Seq),
+            (inner.clone(), inner.clone())
+                .prop_map(|(f, a)| Exp::App(Box::new(f), Box::new(a))),
+            (
+                prop_oneof![
+                    Just(PrimOp::Add),
+                    Just(PrimOp::Sub),
+                    Just(PrimOp::Mul),
+                    Just(PrimOp::Div),
+                    Just(PrimOp::Eq),
+                    Just(PrimOp::Lt),
+                    Just(PrimOp::Concat),
+                    Just(PrimOp::Append),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Exp::Prim(op, vec![a, b])),
+            inner
+                .clone()
+                .prop_map(|a| Exp::Prim(PrimOp::Neg, vec![a])),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Exp::Andalso(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Exp::Orelse(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| Exp::If(Box::new(a), Box::new(b), Box::new(c))),
+            proptest::collection::vec(rule.clone(), 1..3).prop_map(Exp::Fn),
+            (inner.clone(), proptest::collection::vec(rule.clone(), 1..3))
+                .prop_map(|(s, rs)| Exp::Case(Box::new(s), rs)),
+            (inner.clone(), proptest::collection::vec(rule, 1..2))
+                .prop_map(|(s, rs)| Exp::Handle(Box::new(s), rs)),
+            inner.clone().prop_map(|e| Exp::Raise(Box::new(e))),
+            (inner.clone(), arb_ty()).prop_map(|(e, t)| Exp::Ascribe(Box::new(e), t)),
+        ]
+    })
+}
+
+fn arb_dec() -> impl Strategy<Value = Dec> {
+    prop_oneof![
+        (arb_pat(), arb_exp()).prop_map(|(pat, exp)| Dec::Val {
+            pat,
+            exp,
+            loc: Loc::default(),
+        }),
+        (ident(&["f", "g", "loop"]), arb_pat(), arb_exp()).prop_map(|(name, p, body)| {
+            Dec::Fun(vec![FunBind {
+                name,
+                clauses: vec![Clause {
+                    params: vec![p],
+                    result_ty: None,
+                    body,
+                }],
+                loc: Loc::default(),
+            }])
+        }),
+        (ident(&["t", "u"]), arb_ty()).prop_map(|(name, def)| Dec::Type {
+            tyvars: vec![],
+            name,
+            def,
+        }),
+        (ident(&["E1", "E2"]), proptest::option::of(arb_ty()))
+            .prop_map(|(name, arg)| Dec::Exception { name, arg }),
+    ]
+}
+
+fn arb_unit() -> impl Strategy<Value = UnitAst> {
+    proptest::collection::vec(
+        (
+            ident(&["A", "B", "C", "Mod"]),
+            proptest::collection::vec(arb_dec(), 0..4),
+        ),
+        1..3,
+    )
+    .prop_map(|strs| UnitAst {
+        decs: strs
+            .into_iter()
+            .map(|(name, decs)| TopDec::Structure {
+                name,
+                constraint: None,
+                def: StrExp::Struct(decs.into_iter().map(StrDec::Core).collect()),
+                loc: Loc::default(),
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing any generated unit and re-parsing yields the same AST.
+    #[test]
+    fn generated_units_roundtrip(unit in arb_unit()) {
+        let printed = print_unit(&unit);
+        let mut back = parse_unit(&printed)
+            .unwrap_or_else(|e| panic!("{e}\nprinted:\n{printed}"));
+        back.strip_locs();
+        let reprinted = print_unit(&back);
+        prop_assert_eq!(unit, back, "printed:\n{}", reprinted);
+    }
+}
+
+// Reuse the AST generators to check the elaborator is total: generated
+// programs may well be ill-typed, but elaboration must return `Ok` or
+// `Err`, never panic or hang.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn elaborator_is_total_on_generated_asts(unit in arb_unit()) {
+        let _ = smlsc_statics::elab::elaborate_unit(
+            &unit,
+            &smlsc_statics::elab::ImportEnv::empty(),
+        );
+    }
+
+    /// And on re-parsed printed programs (exercises the parser output
+    /// path rather than the generator's shapes).
+    #[test]
+    fn elaborator_is_total_on_printed_programs(unit in arb_unit()) {
+        let printed = print_unit(&unit);
+        if let Ok(ast) = parse_unit(&printed) {
+            let _ = smlsc_statics::elab::elaborate_unit(
+                &ast,
+                &smlsc_statics::elab::ImportEnv::empty(),
+            );
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Synthetic mini-SML project generation.
+//!
+//! The paper's measurements were taken over the SML/NJ compiler's own
+//! sources (≈65,000 lines, ≈200 units).  We cannot ship that tree, so
+//! this crate generates parametric module graphs with the properties the
+//! experiments depend on:
+//!
+//! * every module has a **signature** and a transparently ascribed
+//!   structure, so interfaces are first-class;
+//! * modules **call into their imports**, so dependencies are real
+//!   (changing an import's interface genuinely breaks dependents);
+//! * the three edit classes the paper reasons about are generable
+//!   mechanically: comment-only, body-only (interface-preserving), and
+//!   interface-changing ([`EditKind`]);
+//! * module size is tunable ([`WorkloadSpec::funs_per_module`]) so total
+//!   line counts comparable to the paper's corpus can be produced.
+//!
+//! # Examples
+//!
+//! ```
+//! use smlsc_workload::{Topology, Workload, WorkloadSpec, EditKind};
+//! let mut w = Workload::new(WorkloadSpec {
+//!     topology: Topology::Chain { n: 5 },
+//!     funs_per_module: 3,
+//!     reexport_dep_types: false,
+//! });
+//! assert_eq!(w.module_count(), 5);
+//! w.edit(0, EditKind::BodyOnly); // M0's behaviour changes, interface doesn't
+//! assert!(w.project().file("M0").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smlsc_core::irm::Project;
+
+/// The shape of the module dependency graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `M0 ← M1 ← … ← M(n-1)`: each module imports its predecessor.
+    Chain {
+        /// Number of modules.
+        n: usize,
+    },
+    /// A complete tree: each internal node imports its children; module 0
+    /// is the root (the final consumer).
+    Tree {
+        /// Tree depth (levels below the root).
+        depth: usize,
+        /// Children per node.
+        branching: usize,
+    },
+    /// Dense layers: one base module, `depth` layers of `width` modules
+    /// each importing the whole previous layer, and one top module.
+    Diamond {
+        /// Modules per layer.
+        width: usize,
+        /// Number of layers.
+        depth: usize,
+    },
+    /// A library chain of `lib` modules plus `clients` modules, each
+    /// importing 1–3 random library modules (seeded).
+    Library {
+        /// Library-chain length.
+        lib: usize,
+        /// Number of clients.
+        clients: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Graph shape.
+    pub topology: Topology,
+    /// Bulk functions per module (controls lines of code).
+    pub funs_per_module: usize,
+    /// When `true`, each module re-exports its first dependency's `tagty`
+    /// (`val relay : M<d>.tagty`), so type-changing edits propagate
+    /// *through* interfaces and legitimately cascade; when `false`,
+    /// interfaces only mention pervasive types and every cascade stops at
+    /// the direct dependents under cutoff.
+    pub reexport_dep_types: bool,
+}
+
+impl WorkloadSpec {
+    /// A reasonable default over the given topology.
+    pub fn with_topology(topology: Topology) -> WorkloadSpec {
+        WorkloadSpec {
+            topology,
+            funs_per_module: 4,
+            reexport_dep_types: false,
+        }
+    }
+}
+
+/// The three edit classes of the paper's recompilation analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditKind {
+    /// Changes only a comment: source digest changes, interface doesn't.
+    CommentOnly,
+    /// Changes a function body: behaviour changes, interface doesn't.
+    BodyOnly,
+    /// Adds a new exported value: the interface grows.
+    InterfaceAdd,
+    /// Changes the type of an exported value that dependents re-export,
+    /// so the change propagates through their interfaces too.
+    InterfaceChangeType,
+}
+
+/// Per-module mutable state driving deterministic regeneration.
+#[derive(Debug, Clone, Default)]
+struct ModState {
+    comment_salt: u64,
+    body_salt: u64,
+    extra_exports: u64,
+    wide_tag: bool,
+}
+
+/// A generated project plus the state needed to apply edits.
+#[derive(Debug)]
+pub struct Workload {
+    spec: WorkloadSpec,
+    deps: Vec<Vec<usize>>,
+    states: Vec<ModState>,
+    project: Project,
+}
+
+impl Workload {
+    /// Generates a fresh workload.
+    pub fn new(spec: WorkloadSpec) -> Workload {
+        let deps = dependencies(spec.topology);
+        let states = vec![ModState::default(); deps.len()];
+        let mut project = Project::new();
+        for i in 0..deps.len() {
+            project.add(module_name(i), module_source(i, &deps[i], &spec, &states[i]));
+        }
+        Workload {
+            spec,
+            deps,
+            states,
+            project,
+        }
+    }
+
+    /// The generated project.
+    pub fn project(&self) -> &Project {
+        &self.project
+    }
+
+    /// Number of modules.
+    pub fn module_count(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// The dependency lists (module index → imported module indices).
+    pub fn deps(&self) -> &[Vec<usize>] {
+        &self.deps
+    }
+
+    /// Total source lines.
+    pub fn total_lines(&self) -> usize {
+        self.project.total_lines()
+    }
+
+    /// Applies an edit to module `i`, regenerating its source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn edit(&mut self, i: usize, kind: EditKind) {
+        let st = &mut self.states[i];
+        match kind {
+            EditKind::CommentOnly => st.comment_salt += 1,
+            EditKind::BodyOnly => st.body_salt += 1,
+            EditKind::InterfaceAdd => st.extra_exports += 1,
+            EditKind::InterfaceChangeType => st.wide_tag = !st.wide_tag,
+        }
+        let src = module_source(i, &self.deps[i], &self.spec, &self.states[i]);
+        self.project
+            .edit(&module_name(i), src)
+            .expect("module exists");
+    }
+
+    /// Index of a module with no dependents (a "root" consumer), if any.
+    pub fn leaf_consumer(&self) -> Option<usize> {
+        let n = self.deps.len();
+        (0..n).find(|i| !self.deps.iter().any(|d| d.contains(i)))
+    }
+
+    /// Index of the module with the most *transitive* dependents — the
+    /// worst place to edit.  Ties break toward the lowest index.
+    pub fn most_depended_on(&self) -> usize {
+        let n = self.deps.len();
+        let mut best = (0usize, 0usize);
+        for i in 0..n {
+            let count = self.transitive_dependents(i).len();
+            if count > best.1 {
+                best = (i, count);
+            }
+        }
+        best.0
+    }
+
+    /// Every module that (transitively) imports `i`.
+    pub fn transitive_dependents(&self, i: usize) -> Vec<usize> {
+        let n = self.deps.len();
+        let mut affected = vec![false; n];
+        affected[i] = true;
+        // Repeat until fixpoint; the graph is a DAG so this terminates.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (j, deps) in self.deps.iter().enumerate() {
+                if !affected[j] && deps.iter().any(|d| affected[*d]) {
+                    affected[j] = true;
+                    changed = true;
+                }
+            }
+        }
+        (0..n).filter(|j| *j != i && affected[*j]).collect()
+    }
+}
+
+/// The canonical module name for index `i`.
+pub fn module_name(i: usize) -> String {
+    format!("M{i}")
+}
+
+fn dependencies(topology: Topology) -> Vec<Vec<usize>> {
+    match topology {
+        Topology::Chain { n } => (0..n)
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect(),
+        Topology::Tree { depth, branching } => {
+            // Level order: node i's children are i*b+1 ..= i*b+b.
+            let n = if branching <= 1 {
+                depth + 1
+            } else {
+                (branching.pow(depth as u32 + 1) - 1) / (branching - 1)
+            };
+            (0..n)
+                .map(|i| {
+                    (1..=branching)
+                        .map(|k| i * branching + k)
+                        .filter(|&c| c < n)
+                        .collect()
+                })
+                .collect()
+        }
+        Topology::Diamond { width, depth } => {
+            // Index 0: base.  Layer l (1-based) occupies
+            // 1 + (l-1)*width .. 1 + l*width.  Last index: top.
+            let n = 2 + width * depth;
+            (0..n)
+                .map(|i| {
+                    if i == 0 {
+                        vec![]
+                    } else if i == n - 1 {
+                        // Top imports the last layer.
+                        ((1 + width * (depth - 1))..(1 + width * depth)).collect()
+                    } else {
+                        let layer = (i - 1) / width + 1;
+                        if layer == 1 {
+                            vec![0]
+                        } else {
+                            ((1 + width * (layer - 2))..(1 + width * (layer - 1))).collect()
+                        }
+                    }
+                })
+                .collect()
+        }
+        Topology::Library { lib, clients, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut deps: Vec<Vec<usize>> = (0..lib)
+                .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+                .collect();
+            for _ in 0..clients {
+                let k = rng.gen_range(1..=3.min(lib));
+                let mut d = Vec::new();
+                while d.len() < k {
+                    let c = rng.gen_range(0..lib);
+                    if !d.contains(&c) {
+                        d.push(c);
+                    }
+                }
+                d.sort_unstable();
+                deps.push(d);
+            }
+            deps
+        }
+    }
+}
+
+/// Renders module `i`'s source.
+fn module_source(i: usize, deps: &[usize], spec: &WorkloadSpec, st: &ModState) -> String {
+    let name = module_name(i);
+    let tag_ty = if st.wide_tag { "string" } else { "int" };
+    let tag_val = if st.wide_tag {
+        format!("\"m{i}\"")
+    } else {
+        format!("{i}")
+    };
+    let mut s = String::new();
+    if st.comment_salt > 0 {
+        s.push_str(&format!(
+            "(* revision {} of module {name}: comments only *)\n",
+            st.comment_salt
+        ));
+    }
+    // Signature.
+    s.push_str(&format!("signature {name}_SIG = sig\n"));
+    s.push_str("  type t = int\n");
+    if spec.reexport_dep_types {
+        s.push_str(&format!("  type tagty = {tag_ty}\n"));
+    }
+    s.push_str("  val mk : int -> t\n");
+    s.push_str("  val get : t -> int\n");
+    if spec.reexport_dep_types {
+        s.push_str("  val tag : tagty\n");
+        if let Some(d0) = deps.first() {
+            // Re-export the dependency's tag type by *path*, so a type
+            // change there flows through this interface without touching
+            // this source file.
+            s.push_str(&format!("  val relay : {}.tagty\n", module_name(*d0)));
+        }
+    } else {
+        s.push_str(&format!("  val tag : {tag_ty}\n"));
+    }
+    if !deps.is_empty() {
+        s.push_str("  val sumDeps : int\n");
+    }
+    for f in 0..spec.funs_per_module {
+        s.push_str(&format!("  val f{f} : int -> int\n"));
+    }
+    for e in 0..st.extra_exports {
+        s.push_str(&format!("  val extra{e} : int\n"));
+    }
+    s.push_str("end\n");
+    // Structure.
+    s.push_str(&format!("structure {name} : {name}_SIG = struct\n"));
+    s.push_str("  type t = int\n");
+    if spec.reexport_dep_types {
+        s.push_str(&format!("  type tagty = {tag_ty}\n"));
+    }
+    s.push_str(&format!("  fun mk x = x + {}\n", st.body_salt % 17));
+    s.push_str("  fun get x = x\n");
+    s.push_str(&format!("  val tag = {tag_val}\n"));
+    if spec.reexport_dep_types {
+        if let Some(d0) = deps.first() {
+            s.push_str(&format!("  val relay = {}.tag\n", module_name(*d0)));
+        }
+    }
+    if !deps.is_empty() {
+        // Reference *every* declared dependency, so the source-level
+        // import graph matches the topology exactly.
+        let terms: Vec<String> = deps
+            .iter()
+            .map(|d| format!("{}.get ({}.mk 1)", module_name(*d), module_name(*d)))
+            .collect();
+        s.push_str(&format!("  val sumDeps = {}\n", terms.join(" + ")));
+    }
+    for f in 0..spec.funs_per_module {
+        let salt = (st.body_salt + f as u64) % 23;
+        // Bulk functions spread their calls across the dependency list.
+        let call = if deps.is_empty() {
+            "x".to_string()
+        } else {
+            let d = deps[f % deps.len()];
+            format!("{}.get ({}.mk x)", module_name(d), module_name(d))
+        };
+        s.push_str(&format!("  fun f{f} x = {call} + {salt} + {f}\n"));
+    }
+    for e in 0..st.extra_exports {
+        s.push_str(&format!("  val extra{e} = {e}\n"));
+    }
+    s.push_str("end\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let w = Workload::new(WorkloadSpec {
+            topology: Topology::Chain { n: 4 },
+            funs_per_module: 1,
+            reexport_dep_types: false,
+        });
+        assert_eq!(w.module_count(), 4);
+        assert_eq!(w.deps()[0], Vec::<usize>::new());
+        assert_eq!(w.deps()[3], vec![2]);
+        assert_eq!(w.leaf_consumer(), Some(3));
+        assert_eq!(w.most_depended_on(), 0);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let w = Workload::new(WorkloadSpec {
+            topology: Topology::Tree {
+                depth: 2,
+                branching: 2,
+            },
+            funs_per_module: 1,
+            reexport_dep_types: false,
+        });
+        assert_eq!(w.module_count(), 7);
+        assert_eq!(w.deps()[0], vec![1, 2]);
+        assert_eq!(w.deps()[2], vec![5, 6]);
+        assert!(w.deps()[6].is_empty());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let w = Workload::new(WorkloadSpec {
+            topology: Topology::Diamond { width: 3, depth: 2 },
+            funs_per_module: 1,
+            reexport_dep_types: false,
+        });
+        assert_eq!(w.module_count(), 8);
+        assert_eq!(w.deps()[1], vec![0]);
+        assert_eq!(w.deps()[4], vec![1, 2, 3]);
+        assert_eq!(w.deps()[7], vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn library_is_seeded_and_acyclic() {
+        let a = dependencies(Topology::Library {
+            lib: 10,
+            clients: 20,
+            seed: 7,
+        });
+        let b = dependencies(Topology::Library {
+            lib: 10,
+            clients: 20,
+            seed: 7,
+        });
+        assert_eq!(a, b, "same seed, same graph");
+        for (i, deps) in a.iter().enumerate().skip(10) {
+            for d in deps {
+                assert!(*d < 10, "client {i} must import library modules only");
+            }
+        }
+    }
+
+    #[test]
+    fn edits_change_the_right_things() {
+        let mut w = Workload::new(WorkloadSpec {
+            topology: Topology::Chain { n: 2 },
+            funs_per_module: 2,
+            reexport_dep_types: false,
+        });
+        let before = w.project().file("M0").unwrap().text.clone();
+        w.edit(0, EditKind::CommentOnly);
+        let after = w.project().file("M0").unwrap().text.clone();
+        assert_ne!(before, after);
+        assert!(after.contains("revision 1"));
+
+        w.edit(0, EditKind::InterfaceAdd);
+        assert!(w.project().file("M0").unwrap().text.contains("extra0"));
+
+        w.edit(0, EditKind::InterfaceChangeType);
+        assert!(w.project().file("M0").unwrap().text.contains("tag : string"));
+    }
+
+    #[test]
+    fn line_counts_scale_with_funs() {
+        let small = Workload::new(WorkloadSpec {
+            topology: Topology::Chain { n: 3 },
+            funs_per_module: 2,
+            reexport_dep_types: false,
+        });
+        let big = Workload::new(WorkloadSpec {
+            topology: Topology::Chain { n: 3 },
+            funs_per_module: 40,
+            reexport_dep_types: false,
+        });
+        assert!(big.total_lines() > 3 * small.total_lines());
+    }
+}

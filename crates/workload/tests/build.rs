@@ -1,0 +1,119 @@
+//! Generated workloads must actually compile, execute, and exhibit the
+//! cascade shapes the experiments rely on.
+
+use smlsc_core::irm::{Irm, Strategy};
+use smlsc_workload::{EditKind, Topology, Workload, WorkloadSpec};
+
+fn spec(topology: Topology) -> WorkloadSpec {
+    WorkloadSpec {
+        topology,
+        funs_per_module: 3,
+        reexport_dep_types: false,
+    }
+}
+
+#[test]
+fn every_topology_builds_and_executes() {
+    for topo in [
+        Topology::Chain { n: 6 },
+        Topology::Tree {
+            depth: 2,
+            branching: 2,
+        },
+        Topology::Diamond { width: 3, depth: 2 },
+        Topology::Library {
+            lib: 5,
+            clients: 8,
+            seed: 42,
+        },
+    ] {
+        let w = Workload::new(spec(topo));
+        let mut irm = Irm::new(Strategy::Cutoff);
+        let (report, env) = irm.execute(w.project()).unwrap_or_else(|e| {
+            panic!("workload {topo:?} failed: {e}");
+        });
+        assert_eq!(report.recompiled.len(), w.module_count());
+        assert_eq!(env.len(), w.module_count());
+    }
+}
+
+#[test]
+fn edit_kinds_produce_expected_cascades_on_a_chain() {
+    let mut w = Workload::new(spec(Topology::Chain { n: 8 }));
+    let mut cutoff = Irm::new(Strategy::Cutoff);
+    let mut make = Irm::new(Strategy::Timestamp);
+    cutoff.build(w.project()).unwrap();
+    make.build(w.project()).unwrap();
+
+    // Comment-only edit at the root: cutoff 1, make 8.
+    w.edit(0, EditKind::CommentOnly);
+    assert_eq!(cutoff.build(w.project()).unwrap().recompiled.len(), 1);
+    assert_eq!(make.build(w.project()).unwrap().recompiled.len(), 8);
+
+    // Body edit at the root: cutoff 1.
+    w.edit(0, EditKind::BodyOnly);
+    assert_eq!(cutoff.build(w.project()).unwrap().recompiled.len(), 1);
+
+    // Interface-add at the root: cutoff recompiles the root and its
+    // single direct dependent, then cuts off.
+    w.edit(0, EditKind::InterfaceAdd);
+    assert_eq!(cutoff.build(w.project()).unwrap().recompiled.len(), 2);
+}
+
+#[test]
+fn type_change_cascades_fully_when_interfaces_relay_types() {
+    let mut w = Workload::new(WorkloadSpec {
+        topology: Topology::Chain { n: 6 },
+        funs_per_module: 2,
+        reexport_dep_types: true,
+    });
+    let mut cutoff = Irm::new(Strategy::Cutoff);
+    cutoff.build(w.project()).unwrap();
+    w.edit(0, EditKind::InterfaceChangeType);
+    let report = cutoff.build(w.project()).unwrap();
+    assert_eq!(
+        report.recompiled.len(),
+        6,
+        "tagty flows through every relay: {:?}",
+        report.recompiled
+    );
+    // A body edit still cuts off immediately in the same configuration.
+    w.edit(0, EditKind::BodyOnly);
+    assert_eq!(cutoff.build(w.project()).unwrap().recompiled.len(), 1);
+}
+
+#[test]
+fn diamond_cascade_counts() {
+    let mut w = Workload::new(spec(Topology::Diamond { width: 4, depth: 3 }));
+    let n = w.module_count();
+    let mut cutoff = Irm::new(Strategy::Cutoff);
+    let mut classical = Irm::new(Strategy::Classical);
+    cutoff.build(w.project()).unwrap();
+    classical.build(w.project()).unwrap();
+    // Base body edit: cutoff 1, classical everything downstream of base.
+    w.edit(0, EditKind::BodyOnly);
+    assert_eq!(cutoff.build(w.project()).unwrap().recompiled.len(), 1);
+    assert_eq!(classical.build(w.project()).unwrap().recompiled.len(), n);
+}
+
+#[test]
+fn transitive_dependents_match_classical_recompiles() {
+    let w0 = Workload::new(spec(Topology::Library {
+        lib: 6,
+        clients: 10,
+        seed: 3,
+    }));
+    let victim = w0.most_depended_on();
+    let expected = w0.transitive_dependents(victim).len() + 1;
+
+    let mut w = Workload::new(spec(Topology::Library {
+        lib: 6,
+        clients: 10,
+        seed: 3,
+    }));
+    let mut classical = Irm::new(Strategy::Classical);
+    classical.build(w.project()).unwrap();
+    w.edit(victim, EditKind::BodyOnly);
+    let report = classical.build(w.project()).unwrap();
+    assert_eq!(report.recompiled.len(), expected);
+}

@@ -1,0 +1,69 @@
+//! Type-safe linkage (§5): the "makefile bug" that cannot happen.
+//!
+//! Under timestamp-based building, clock skew (or a missing makefile
+//! dependency) can leave a dependent's bin stale after an interface
+//! change; classical systems would link the inconsistent program and
+//! crash at runtime.  Here the linker compares the import pid recorded in
+//! the bin with the current export pid and refuses.  Under cutoff the
+//! same skew is harmless because mtimes are never consulted.
+//!
+//! Run with `cargo run --example makefile_bug`.
+
+use smlsc::core::irm::{Irm, Project, Strategy};
+use smlsc::core::unit::BinFile;
+
+fn project() -> Project {
+    let mut p = Project::new();
+    p.add("config", "structure Config = struct val limit = 10 end");
+    p.add(
+        "engine",
+        "structure Engine = struct fun run x = if x < Config.limit then x else Config.limit end",
+    );
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- timestamp manager + clock skew ---
+    let mut make = Irm::new(Strategy::Timestamp);
+    let mut p = project();
+    make.build(&p)?;
+
+    // Interface change: limit is renamed.
+    p.edit(
+        "config",
+        "structure Config = struct val maxValue = 10 val limit = 10 end",
+    )?;
+    // Clock skew: engine's bin claims to be newer than everything.
+    let mut skewed: BinFile = make.bin("engine").expect("built").clone();
+    skewed.mtime = u64::MAX;
+    make.inject_bin(skewed.clone());
+
+    match make.execute(&p) {
+        Err(e) => println!("timestamp build with clock skew: REFUSED BY LINKER\n  {e}\n"),
+        Ok(_) => println!("unexpected: stale program linked!"),
+    }
+
+    // --- cutoff manager, same skew ---
+    let mut cutoff = Irm::new(Strategy::Cutoff);
+    let mut p = project();
+    cutoff.build(&p)?;
+    p.edit(
+        "config",
+        "structure Config = struct val maxValue = 10 val limit = 10 end",
+    )?;
+    let mut skewed: BinFile = cutoff.bin("engine").expect("built").clone();
+    skewed.mtime = u64::MAX;
+    cutoff.inject_bin(skewed);
+
+    let (report, _env) = cutoff.execute(&p)?;
+    println!(
+        "cutoff build with the same skew: recompiled {:?} and linked cleanly",
+        report
+            .recompiled
+            .iter()
+            .map(|s| s.as_str())
+            .collect::<Vec<_>>()
+    );
+    println!("(cutoff never consults mtimes; the changed import pid forces the rebuild)");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! The Visible Compiler (§7): the interactive read-eval-print loop as a
+//! client of the separate-compilation primitives.
+//!
+//! Every input is compiled as an anonymous unit against the layered
+//! static environments of previous inputs, hashed, executed, and layered.
+//! Run with `cargo run --example visible_compiler`.
+
+use smlsc::core::session::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::new();
+
+    let inputs = [
+        "structure Acc = struct
+           fun fold f acc [] = acc
+             | fold f acc (x :: xs) = fold f (f (acc, x)) xs
+         end",
+        "structure Stats = struct
+           fun total l = Acc.fold (fn (a, x) => a + x) 0 l
+           fun count l = Acc.fold (fn (a, _) => a + 1) 0 l
+         end",
+        "structure Run = struct
+           val xs = [10, 20, 30, 42]
+           val sum = Stats.total xs
+           val n = Stats.count xs
+         end",
+        // Shadowing: a new Stats layer; old Run keeps its values.
+        "structure Stats = struct
+           fun total l = Acc.fold (fn (a, x) => a + x * 2) 0 l
+           fun count l = Acc.fold (fn (a, _) => a + 1) 0 l
+         end",
+        "structure Run2 = struct
+           val sum = Stats.total [1, 2, 3]
+         end",
+    ];
+
+    for (i, src) in inputs.iter().enumerate() {
+        let out = session.eval(src)?;
+        println!("[{i}] unit {} (export pid {})", out.unit, out.export_pid);
+        for b in &out.bindings {
+            println!("    {b}");
+        }
+    }
+
+    println!();
+    println!("Run.sum  = {}", session.show_value("Run", "sum")?);
+    println!("Run.n    = {}", session.show_value("Run", "n")?);
+    println!("Run2.sum = {} (uses the shadowing Stats)", session.show_value("Run2", "sum")?);
+
+    // Errors leave the session intact.
+    let err = session
+        .eval("structure Broken = struct val x = Stats.missing end")
+        .unwrap_err();
+    println!("\nrejected input: {err}");
+    println!("session still has {} layers", session.len());
+
+    // §6's future work, implemented: load *binary* compiled units from
+    // the IRM into a fresh interactive session.
+    use smlsc::core::irm::{Irm, Project, Strategy};
+    let mut project = Project::new();
+    project.add("geom", "structure Geom = struct fun sq x = x * x end");
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut s2 = smlsc::core::session::Session::new();
+    s2.load_compiled(&mut irm, &project)?;
+    s2.eval("structure Use = struct val v = Geom.sq 9 end")?;
+    println!(
+        "\nloaded compiled bins into a session: Use.v = {}",
+        s2.show_value("Use", "v")?
+    );
+    Ok(())
+}

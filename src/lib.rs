@@ -1,0 +1,1 @@
+//! Root integration package; see the `smlsc` umbrella crate.

@@ -1,0 +1,256 @@
+//! Whole-system integration: a project evolving over many builds, with
+//! the invariant that incremental (cutoff) building is observationally
+//! equivalent to building from scratch.
+
+use smlsc::core::irm::{Irm, Project, Strategy};
+use smlsc::core::DynEnv;
+use smlsc::dynamics::value::Value;
+use smlsc::ids::Symbol;
+
+/// Renders every unit's export record, for cross-build comparison.
+fn snapshot(env: &DynEnv, units: &[&str]) -> Vec<String> {
+    units
+        .iter()
+        .map(|u| {
+            let linked = env.get(Symbol::intern(u)).expect("linked");
+            format!("{u}: {}", render(&linked.values))
+        })
+        .collect()
+}
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Record(fields) => {
+            let inner: Vec<String> = fields.iter().map(render).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        other => other.to_string(),
+    }
+}
+
+fn assert_equivalent_to_clean_build(irm: &mut Irm, p: &Project, units: &[&str]) {
+    let (_, incremental) = irm.execute(p).expect("incremental build");
+    let mut fresh = Irm::new(Strategy::Cutoff);
+    let (_, clean) = fresh.execute(p).expect("clean build");
+    assert_eq!(
+        snapshot(&incremental, units),
+        snapshot(&clean, units),
+        "incremental and clean builds must agree"
+    );
+}
+
+#[test]
+fn long_lived_project_evolution() {
+    let units = ["geometry", "shapes", "report"];
+    let mut p = Project::new();
+    p.add(
+        "geometry",
+        "structure Geometry = struct
+           fun abs x = if x < 0 then ~x else x
+           fun max (a, b) = if a > b then a else b
+           fun area (w, h) = abs w * abs h
+         end",
+    );
+    p.add(
+        "shapes",
+        "signature SHAPE = sig
+           type t
+           val make : int * int -> t
+           val size : t -> int
+         end
+         structure Rect :> SHAPE = struct
+           type t = int * int
+           fun make (w, h) = (w, h)
+           fun size (w, h) = Geometry.area (w, h)
+         end",
+    );
+    p.add(
+        "report",
+        "structure Report = struct
+           val shapes = [Rect.make (2, 3), Rect.make (4, 5), Rect.make (1, 10)]
+           fun total [] = 0
+             | total (s :: ss) = Rect.size s + total ss
+           val sum = total shapes
+           val biggest = Geometry.max (Rect.size (Rect.make (9, 9)), sum)
+         end",
+    );
+
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let (report, env) = irm.execute(&p).unwrap();
+    assert_eq!(report.recompiled.len(), 3);
+    // sum = 6 + 20 + 10 = 36; biggest = max(81, 36) = 81.
+    let rep = env.get(Symbol::intern("report")).unwrap();
+    let Value::Record(top) = &rep.values else { panic!() };
+    let Value::Record(fields) = &top[0] else { panic!() };
+    // slots: shapes(0), total(1, a closure), sum(2), biggest(3)
+    assert_eq!(fields[2], Value::Int(36));
+    assert_eq!(fields[3], Value::Int(81));
+
+    // Evolution 1: optimize geometry's body.
+    p.edit(
+        "geometry",
+        "structure Geometry = struct
+           fun abs x = if x < 0 then 0 - x else x
+           fun max (a, b) = if a > b then a else b
+           fun area (w, h) = abs (w * h)
+         end",
+    )
+    .unwrap();
+    let rep1 = irm.build(&p).unwrap();
+    assert_eq!(rep1.recompiled.len(), 1, "{:?}", rep1.recompiled);
+    assert_equivalent_to_clean_build(&mut irm, &p, &units);
+
+    // Evolution 2: widen shapes' interface (new exported function).
+    p.edit(
+        "shapes",
+        "signature SHAPE = sig
+           type t
+           val make : int * int -> t
+           val size : t -> int
+           val double : t -> t
+         end
+         structure Rect :> SHAPE = struct
+           type t = int * int
+           fun make (w, h) = (w, h)
+           fun size (w, h) = Geometry.area (w, h)
+           fun double (w, h) = (w * 2, h)
+         end",
+    )
+    .unwrap();
+    let rep2 = irm.build(&p).unwrap();
+    // shapes changed interface; report uses it, so both recompile.
+    assert!(rep2.was_recompiled("shapes"));
+    assert!(rep2.was_recompiled("report"));
+    assert!(!rep2.was_recompiled("geometry"));
+    assert_equivalent_to_clean_build(&mut irm, &p, &units);
+
+    // Evolution 3: report starts using the new capability.
+    p.edit(
+        "report",
+        "structure Report = struct
+           val shapes = [Rect.double (Rect.make (2, 3)), Rect.make (4, 5)]
+           fun total [] = 0
+             | total (s :: ss) = Rect.size s + total ss
+           val sum = total shapes
+           val biggest = Geometry.max (sum, 0)
+         end",
+    )
+    .unwrap();
+    let rep3 = irm.build(&p).unwrap();
+    assert_eq!(rep3.recompiled.len(), 1);
+    let (_, env) = irm.execute(&p).unwrap();
+    let rep = env.get(Symbol::intern("report")).unwrap();
+    let Value::Record(top) = &rep.values else { panic!() };
+    let Value::Record(fields) = &top[0] else { panic!() };
+    // sum = (4*3) + (4*5) = 32; slot layout as above
+    assert_eq!(fields[2], Value::Int(32));
+}
+
+#[test]
+fn adding_and_removing_units_mid_project() {
+    let mut p = Project::new();
+    p.add("a", "structure A = struct val x = 1 end");
+    p.add("b", "structure B = struct val y = A.x + 1 end");
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(&p).unwrap();
+
+    // A new unit slots in without rebuilding the others.
+    p.add("c", "structure C = struct val z = B.y * A.x end");
+    let report = irm.build(&p).unwrap();
+    assert_eq!(report.recompiled, vec![Symbol::intern("c")]);
+    let (_, env) = irm.execute(&p).unwrap();
+    assert_eq!(env.len(), 3);
+}
+
+#[test]
+fn opaque_library_boundary_survives_rebuilds() {
+    // An opaque key type: clients cannot forge it, and this stays true
+    // across cached rebuilds (the rehydrated abstract tycon keeps its
+    // identity and its opacity).
+    let mut p = Project::new();
+    p.add(
+        "keys",
+        "structure Key :> sig
+           type key
+           val make : int -> key
+           val value : key -> int
+         end = struct
+           type key = int
+           fun make n = n * 2
+           fun value k = k div 2
+         end",
+    );
+    p.add(
+        "user",
+        "structure User = struct val v = Key.value (Key.make 21) end",
+    );
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.execute(&p).unwrap();
+
+    // A client trying to treat key as int must fail even when keys comes
+    // from a cached bin.
+    p.add("evil", "structure Evil = struct val forged = Key.make 1 + 1 end");
+    let err = irm.build(&p).unwrap_err();
+    assert!(err.to_string().contains("unify"), "{err}");
+
+    // Remove the offender (simulate deleting the file) and keep going.
+    let mut p2 = Project::new();
+    p2.add(
+        "keys",
+        "structure Key :> sig
+           type key
+           val make : int -> key
+           val value : key -> int
+         end = struct
+           type key = int
+           fun make n = n * 2
+           fun value k = k div 2
+         end",
+    );
+    p2.add(
+        "user",
+        "structure User = struct val v = Key.value (Key.make 21) end",
+    );
+    // keys/user unchanged: reuse both bins (note: same sources).
+    let report = irm.build(&p2).unwrap();
+    assert!(report.recompiled.is_empty(), "{:?}", report.recompiled);
+}
+
+#[test]
+fn deep_chain_executes_correctly_after_partial_rebuilds() {
+    let n = 20;
+    let mut p = Project::new();
+    p.add("M0", "structure M0 = struct fun step x = x + 1 end");
+    for i in 1..n {
+        p.add(
+            format!("M{i}"),
+            format!(
+                "structure M{i} = struct fun step x = M{}.step x + 1 end",
+                i - 1
+            ),
+        );
+    }
+    p.add(
+        "top",
+        format!("structure Top = struct val out = M{}.step 0 end", n - 1),
+    );
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let (_, env) = irm.execute(&p).unwrap();
+    let top = env.get(Symbol::intern("top")).unwrap();
+    let Value::Record(units) = &top.values else { panic!() };
+    let Value::Record(fields) = &units[0] else { panic!() };
+    assert_eq!(fields[0], Value::Int(n as i64));
+
+    // Change the middle of the chain (body only) and re-execute.
+    p.edit(
+        "M10",
+        "structure M10 = struct fun step x = M9.step x + 2 end",
+    )
+    .unwrap();
+    let (report, env) = irm.execute(&p).unwrap();
+    assert_eq!(report.recompiled.len(), 1);
+    let top = env.get(Symbol::intern("top")).unwrap();
+    let Value::Record(units) = &top.values else { panic!() };
+    let Value::Record(fields) = &units[0] else { panic!() };
+    assert_eq!(fields[0], Value::Int(n as i64 + 1));
+}

@@ -1,0 +1,102 @@
+//! §9 groups/libraries exercised end to end: a filtered library shared by
+//! two application groups, built incrementally with cutoff.
+
+use smlsc::core::groups::{Group, GroupedProject};
+use smlsc::core::irm::{Irm, Strategy};
+use smlsc::ids::Symbol;
+
+fn project() -> GroupedProject {
+    GroupedProject::new()
+        .group(
+            Group::new("mathlib")
+                .file(
+                    "arith",
+                    "structure Arith = struct
+                       fun pow (b, 0) = 1
+                         | pow (b, n) = b * pow (b, n - 1)
+                     end",
+                )
+                .file(
+                    "arith_internal",
+                    "structure ArithTables = struct val magic = 17 end",
+                )
+                .exporting(&["Arith"]),
+        )
+        .group(
+            Group::new("render")
+                .uses("mathlib")
+                .file(
+                    "scale",
+                    "structure Scale = struct fun area s = Arith.pow (s, 2) end",
+                ),
+        )
+        .group(
+            Group::new("physics")
+                .uses("mathlib")
+                .file(
+                    "energy",
+                    "structure Energy = struct fun cube v = Arith.pow (v, 3) end",
+                ),
+        )
+}
+
+#[test]
+fn grouped_project_builds_and_executes() {
+    let flat = project().lower().expect("visibility holds");
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let (report, env) = irm.execute(&flat).unwrap();
+    assert_eq!(report.recompiled.len(), 4);
+    let scale = env.get(Symbol::intern("scale")).unwrap();
+    let smlsc::dynamics::value::Value::Record(units) = &scale.values else { panic!() };
+    let smlsc::dynamics::value::Value::Record(fields) = &units[0] else { panic!() };
+    // Closures only (area) — verify presence rather than value.
+    assert_eq!(fields.len(), 1);
+}
+
+#[test]
+fn grouped_rebuilds_cut_off_across_group_boundaries() {
+    let flat = project().lower().unwrap();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(&flat).unwrap();
+    // Body edit inside the library: clients in both groups are cut off.
+    let mut edited = flat.clone();
+    edited
+        .edit(
+            "arith",
+            "structure Arith = struct
+               fun pow (b, 0) = 1
+                 | pow (b, n) = if n mod 2 = 0 then pow (b * b, n div 2)
+                                else b * pow (b, n - 1)
+             end",
+        )
+        .unwrap();
+    let report = irm.build(&edited).unwrap();
+    assert_eq!(
+        report.recompiled,
+        vec![Symbol::intern("arith")],
+        "fast-exponentiation rewrite is interface-preserving"
+    );
+}
+
+#[test]
+fn library_filter_blocks_clients_but_not_members() {
+    // A client group reaching for the unexported table module fails at
+    // validation with a message naming the library.
+    let bad = GroupedProject::new()
+        .group(
+            Group::new("mathlib")
+                .file("arith", "structure Arith = struct val one = 1 end")
+                .file(
+                    "arith_internal",
+                    "structure ArithTables = struct val magic = 17 end",
+                )
+                .exporting(&["Arith"]),
+        )
+        .group(Group::new("render").uses("mathlib").file(
+            "scale",
+            "structure Scale = struct val m = ArithTables.magic end",
+        ));
+    let err = bad.lower().unwrap_err().to_string();
+    assert!(err.contains("mathlib"), "{err}");
+    assert!(err.contains("does not export"), "{err}");
+}

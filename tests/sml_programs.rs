@@ -1,0 +1,203 @@
+//! Realistic mini-SML programs, compiled and executed through the full
+//! pipeline — the kind of code the paper's users would have written.
+
+use smlsc::core::irm::{Irm, Project, Strategy};
+use smlsc::core::stdlib::add_stdlib;
+use smlsc::dynamics::value::Value;
+use smlsc::ids::Symbol;
+
+fn run(p: &Project) -> smlsc::core::DynEnv {
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let (_, env) = irm.execute(p).unwrap_or_else(|e| panic!("{e}"));
+    env
+}
+
+fn field(env: &smlsc::core::DynEnv, unit: &str, str_slot: usize, val_slot: usize) -> Value {
+    let linked = env.get(Symbol::intern(unit)).expect("linked");
+    let Value::Record(units) = &linked.values else { panic!() };
+    let Value::Record(fields) = &units[str_slot] else { panic!() };
+    fields[val_slot].clone()
+}
+
+#[test]
+fn binary_search_tree_via_functor() {
+    let mut p = Project::new();
+    p.add(
+        "ord",
+        "signature ORDERED = sig
+           type t
+           val compare : t * t -> int   (* <0, 0, >0 *)
+         end
+         structure IntOrd : ORDERED = struct
+           type t = int
+           fun compare (a, b) = a - b
+         end",
+    );
+    p.add(
+        "bst",
+        "functor Bst (K : ORDERED) = struct
+           datatype tree = Leaf | Node of tree * K.t * tree
+           val empty = Leaf
+           fun insert (Leaf, k) = Node (Leaf, k, Leaf)
+             | insert (t as Node (l, x, r), k) =
+                 if K.compare (k, x) < 0 then Node (insert (l, k), x, r)
+                 else if K.compare (k, x) > 0 then Node (l, x, insert (r, k))
+                 else t
+           fun member (Leaf, _) = false
+             | member (Node (l, x, r), k) =
+                 if K.compare (k, x) < 0 then member (l, k)
+                 else if K.compare (k, x) > 0 then member (r, k)
+                 else true
+           fun inorder Leaf = []
+             | inorder (Node (l, x, r)) = inorder l @ (x :: inorder r)
+           fun fromList l = let
+             fun go (acc, []) = acc
+               | go (acc, k :: ks) = go (insert (acc, k), ks)
+           in go (empty, l) end
+         end",
+    );
+    p.add(
+        "use_bst",
+        "structure IntTree = Bst(IntOrd)
+         structure Demo = struct
+           val t = IntTree.fromList [5, 3, 8, 1, 4, 8, 3]
+           val sorted = IntTree.inorder t
+           val has4 = IntTree.member (t, 4)
+           val has9 = IntTree.member (t, 9)
+         end",
+    );
+    let env = run(&p);
+    // use_bst exports IntTree (slot 0) and Demo (slot 1).
+    assert_eq!(
+        field(&env, "use_bst", 1, 1),
+        Value::list(vec![
+            Value::Int(1),
+            Value::Int(3),
+            Value::Int(4),
+            Value::Int(5),
+            Value::Int(8)
+        ])
+    );
+    assert_eq!(field(&env, "use_bst", 1, 2), Value::bool(true));
+    assert_eq!(field(&env, "use_bst", 1, 3), Value::bool(false));
+}
+
+#[test]
+fn expression_evaluator_with_environments() {
+    let mut p = Project::new();
+    add_stdlib(&mut p);
+    p.add(
+        "expr",
+        r#"structure Expr = struct
+             datatype exp =
+               Num of int
+             | Var of string
+             | Add of exp * exp
+             | Mul of exp * exp
+             | Let of string * exp * exp
+
+             exception Unbound of string
+
+             fun lookup (name, []) = raise Unbound name
+               | lookup (name, (n, v) :: rest) =
+                   if n = name then v else lookup (name, rest)
+
+             fun eval env (Num n) = n
+               | eval env (Var x) = lookup (x, env)
+               | eval env (Add (a, b)) = eval env a + eval env b
+               | eval env (Mul (a, b)) = eval env a * eval env b
+               | eval env (Let (x, e, body)) =
+                   eval ((x, eval env e) :: env) body
+           end"#,
+    );
+    p.add(
+        "calc",
+        r#"structure Calc = struct
+             open Expr
+             (* let x = 3 in let y = x * 4 in x + y *)
+             val program =
+               Let ("x", Num 3,
+                 Let ("y", Mul (Var "x", Num 4),
+                   Add (Var "x", Var "y")))
+             val result = eval [] program
+             val oops = (eval [] (Var "ghost")) handle Unbound _ => ~1
+           end"#,
+    );
+    let env = run(&p);
+    // Calc's slots: Unbound, lookup, eval (spliced by `open Expr`), then
+    // program, result, oops.
+    assert_eq!(field(&env, "calc", 0, 4), Value::Int(15));
+    assert_eq!(field(&env, "calc", 0, 5), Value::Int(-1));
+}
+
+#[test]
+fn polymorphic_queue_behind_an_opaque_signature() {
+    let mut p = Project::new();
+    p.add(
+        "queue",
+        "structure Queue :> sig
+           type 'a queue
+           val empty : 'a queue
+           val push : 'a * 'a queue -> 'a queue
+           val pop : 'a queue -> ('a * 'a queue) option
+         end = struct
+           type 'a queue = 'a list * 'a list
+           val empty = ([], [])
+           fun push (x, (front, back)) = (front, x :: back)
+           fun rev l = let fun go acc [] = acc | go acc (x :: xs) = go (x :: acc) xs
+                       in go [] l end
+           fun pop ([], []) = NONE
+             | pop ([], back) = pop (rev back, [])
+             | pop (x :: front, back) = SOME (x, (front, back))
+         end",
+    );
+    p.add(
+        "use_queue",
+        "structure Demo = struct
+           val q = Queue.push (3, Queue.push (2, Queue.push (1, Queue.empty)))
+           val (first, q2) = case Queue.pop q of SOME r => r | NONE => (0, Queue.empty)
+           val (second, _) = case Queue.pop q2 of SOME r => r | NONE => (0, Queue.empty)
+         end",
+    );
+    let env = run(&p);
+    assert_eq!(field(&env, "use_queue", 0, 1), Value::Int(1), "FIFO order");
+    assert_eq!(field(&env, "use_queue", 0, 3), Value::Int(2));
+}
+
+#[test]
+fn editing_the_bst_rebalancing_cuts_off() {
+    // The BST project, then a body-only change to `insert` (different
+    // tie-breaking) — only `bst` recompiles.
+    let mut p = Project::new();
+    p.add(
+        "ord",
+        "signature ORDERED = sig type t val compare : t * t -> int end
+         structure IntOrd : ORDERED = struct type t = int fun compare (a, b) = a - b end",
+    );
+    p.add(
+        "bst",
+        "functor Bst (K : ORDERED) = struct
+           datatype tree = Leaf | Node of tree * K.t * tree
+           fun insert (Leaf, k) = Node (Leaf, k, Leaf)
+             | insert (t as Node (l, x, r), k) =
+                 if K.compare (k, x) < 0 then Node (insert (l, k), x, r)
+                 else Node (l, x, insert (r, k))
+         end",
+    );
+    p.add("use_bst", "structure T = Bst(IntOrd)");
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(&p).unwrap();
+    p.edit(
+        "bst",
+        "functor Bst (K : ORDERED) = struct
+           datatype tree = Leaf | Node of tree * K.t * tree
+           fun insert (Leaf, k) = Node (Leaf, k, Leaf)
+             | insert (t as Node (l, x, r), k) =
+                 if K.compare (k, x) > 0 then Node (l, x, insert (r, k))
+                 else Node (insert (l, k), x, r)
+         end",
+    )
+    .unwrap();
+    let report = irm.build(&p).unwrap();
+    assert_eq!(report.recompiled.len(), 1, "{:?}", report.recompiled);
+}
