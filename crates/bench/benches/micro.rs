@@ -61,7 +61,9 @@ fn clear_pids(exports: &smlsc_statics::env::Bindings) {
 /// the cutoff-check cost).
 fn bench_hash(c: &mut Criterion) {
     let mut group = c.benchmark_group("hash_exports");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     for funs in [8usize, 64] {
         let ast = smlsc_syntax::parse_unit(&module_src(funs)).unwrap();
         let unit = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
@@ -86,7 +88,9 @@ fn bench_pickle(c: &mut Criterion) {
     hash_exports(Symbol::intern("m"), &unit.exports).unwrap();
     let ctx = ContextPids::indexed([]);
     let mut group = c.benchmark_group("pickle");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
     group.bench_function("dehydrate_64fn", |b| {
         b.iter(|| dehydrate(&unit.exports, &ctx, &PickleOptions::default()).unwrap())
     });
@@ -101,7 +105,9 @@ fn bench_pickle(c: &mut Criterion) {
 /// Whole-unit compilation (parse + elaborate + hash + pickle).
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_unit");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for funs in [8usize, 64] {
         let src = module_src(funs);
         group.bench_with_input(BenchmarkId::from_parameter(funs), &funs, |b, _| {
@@ -115,7 +121,9 @@ fn bench_compile(c: &mut Criterion) {
 /// 40-unit project.
 fn bench_manager(c: &mut Criterion) {
     let mut group = c.benchmark_group("irm");
-    group.measurement_time(Duration::from_secs(3)).sample_size(10);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(10);
     let spec = WorkloadSpec {
         topology: Topology::Library {
             lib: 8,

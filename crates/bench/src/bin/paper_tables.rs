@@ -10,7 +10,10 @@
 
 use std::time::Instant;
 
-use smlsc_bench::{ms, paper_scale, pct, recompiles_after_edit, time_full_build};
+use smlsc_bench::{
+    histogram_row, ms, paper_scale, pct, recompiles_after_edit, time_full_build,
+    time_full_build_with_telemetry,
+};
 use smlsc_core::irm::{Irm, Project, Strategy};
 use smlsc_core::unit::BinFile;
 use smlsc_ids::digest::log2_collision_probability;
@@ -63,12 +66,21 @@ fn e1_manager_overhead(full: bool) {
         "workload: {} units, {} source lines{}",
         w.module_count(),
         w.total_lines(),
-        if full { " (paper scale)" } else { " (use --full for ~65k lines)" }
+        if full {
+            " (paper scale)"
+        } else {
+            " (use --full for ~65k lines)"
+        }
     );
-    let (mut irm, report, total) = time_full_build(&w, Strategy::Cutoff);
+    let (mut irm, report, total, telemetry) = time_full_build_with_telemetry(&w, Strategy::Cutoff);
     let t = &report.timings;
     println!("{:<28} {:>10} {:>8}", "phase", "time(ms)", "share");
-    println!("{:<28} {:>10} {:>8}", "parse", ms(t.parse), pct(t.parse, total));
+    println!(
+        "{:<28} {:>10} {:>8}",
+        "parse",
+        ms(t.parse),
+        pct(t.parse, total)
+    );
     println!(
         "{:<28} {:>10} {:>8}",
         "elaborate (typecheck+translate)",
@@ -88,6 +100,26 @@ fn e1_manager_overhead(full: bool) {
         pct(t.dehydrate, total)
     );
     println!("{:<28} {:>10} {:>8}", "total build", ms(total), "100%");
+
+    // Real per-unit distributions from the trace collector — aggregate
+    // sums above hide the tail; the paper's per-unit claims live here.
+    println!("\nper-unit phase histograms (µs):");
+    println!(
+        "{:<20} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "span", "count", "p50", "p90", "p99", "max"
+    );
+    for name in [
+        "compile.parse",
+        "compile.elaborate",
+        "compile.hash",
+        "compile.dehydrate",
+        "pickle.dehydrate",
+        "irm.analyze",
+    ] {
+        if let Some(row) = histogram_row(&telemetry, name) {
+            println!("{row}");
+        }
+    }
 
     // Incremental rebuild: rehydration cost of cached statenvs.
     let mut w2 = paper_scale(funs);
@@ -128,13 +160,14 @@ fn e2_collisions() {
                 }
             }
             let expected = (n as f64) * (n as f64) / 2f64.powi(width as i32);
-            println!("{:>6} {:>8} {:>12} {:>12.2}", width, n, collisions, expected);
+            println!(
+                "{:>6} {:>8} {:>12} {:>12.2}",
+                width, n, collisions, expected
+            );
         }
     }
     let lg = log2_collision_probability(1 << 13, 128);
-    println!(
-        "at 128 bits with 2^13 pids: log2 P(collision) = {lg:.0}  (paper: -102)"
-    );
+    println!("at 128 bits with 2^13 pids: log2 P(collision) = {lg:.0}  (paper: -102)");
     // Sanity at full width over real interfaces: all export pids of a
     // 200-unit workload are distinct.
     let w = paper_scale(2);
@@ -176,7 +209,11 @@ fn e3_cutoff_vs_baselines() {
     for relay in [false, true] {
         println!(
             "\n-- interfaces {} dependency types --",
-            if relay { "RELAY (re-export)" } else { "do not mention" }
+            if relay {
+                "RELAY (re-export)"
+            } else {
+                "do not mention"
+            }
         );
         println!(
             "{:<14} {:<12} {:>7} {:>8} {:>10} {:>10}",
@@ -221,8 +258,12 @@ fn e4_sharing() {
         let ast = smlsc_syntax::parse_unit(&src).expect("parses");
         let unit = elaborate_unit(&ast, &ImportEnv::empty()).expect("elaborates");
         smlsc_pickle::testing::assign_dummy_pids(&unit.exports);
-        let shared = dehydrate(&unit.exports, &ContextPids::indexed([]), &PickleOptions::default())
-            .expect("pickles");
+        let shared = dehydrate(
+            &unit.exports,
+            &ContextPids::indexed([]),
+            &PickleOptions::default(),
+        )
+        .expect("pickles");
         let unshared = dehydrate(
             &unit.exports,
             &ContextPids::indexed([]),
@@ -270,8 +311,7 @@ fn e5_indexed_contexts() {
         },
     )
     .expect("elaborates");
-    smlsc_core::hash_exports(smlsc_ids::Symbol::intern("client"), &client.exports)
-        .expect("hashes");
+    smlsc_core::hash_exports(smlsc_ids::Symbol::intern("client"), &client.exports).expect("hashes");
     let real = collect_external_pids([dep.exports.as_ref()]);
 
     println!(
@@ -321,10 +361,7 @@ fn e6_type_safe_linkage() {
         );
         p
     };
-    println!(
-        "{:<12} {:<28} {:<10}",
-        "strategy", "scenario", "outcome"
-    );
+    println!("{:<12} {:<28} {:<10}", "strategy", "scenario", "outcome");
     for strategy in [Strategy::Timestamp, Strategy::Cutoff] {
         let mut irm = Irm::new(strategy);
         let mut p = build();

@@ -8,6 +8,7 @@
 use std::time::{Duration, Instant};
 
 use smlsc_core::irm::{Irm, Strategy};
+use smlsc_core::trace;
 use smlsc_workload::{EditKind, Topology, Workload, WorkloadSpec};
 
 /// A generated workload together with the knobs used to build it.
@@ -35,12 +36,47 @@ pub fn paper_scale(funs: usize) -> Workload {
 }
 
 /// Times one full build of a fresh manager over `w`.
-pub fn time_full_build(w: &Workload, strategy: Strategy) -> (Irm, smlsc_core::BuildReport, Duration) {
+pub fn time_full_build(
+    w: &Workload,
+    strategy: Strategy,
+) -> (Irm, smlsc_core::BuildReport, Duration) {
     let mut irm = Irm::new(strategy);
     let t0 = Instant::now();
     let report = irm.build(w.project()).expect("workload builds");
     let total = t0.elapsed();
     (irm, report, total)
+}
+
+/// Like [`time_full_build`], but with a telemetry [`trace::Collector`]
+/// installed for the duration of the build, so callers can report real
+/// per-phase duration histograms instead of just aggregate sums.
+pub fn time_full_build_with_telemetry(
+    w: &Workload,
+    strategy: Strategy,
+) -> (Irm, smlsc_core::BuildReport, Duration, trace::Collector) {
+    let collector = trace::Collector::new();
+    collector.install();
+    let mut irm = Irm::new(strategy);
+    let t0 = Instant::now();
+    let report = irm.build(w.project()).expect("workload builds");
+    let total = t0.elapsed();
+    trace::uninstall();
+    (irm, report, total, collector)
+}
+
+/// One formatted row of a per-phase histogram table: `count`, quantiles
+/// and max in µs, or `None` when the phase never ran.
+pub fn histogram_row(collector: &trace::Collector, name: &str) -> Option<String> {
+    let h = collector.histogram(name)?;
+    Some(format!(
+        "{:<20} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        name,
+        h.count(),
+        h.quantile_us(0.50),
+        h.quantile_us(0.90),
+        h.quantile_us(0.99),
+        h.max_us()
+    ))
 }
 
 /// Units recompiled after applying `kind` at `victim` under `strategy`.

@@ -9,6 +9,7 @@ use smlsc_pickle::{collect_external_pids, dehydrate, ContextPids, PickleOptions}
 use smlsc_statics::elab::{elaborate_unit, ImportEnv, ImportedUnit};
 use smlsc_statics::env::Bindings;
 use smlsc_syntax::{deps::free_module_names, parse_unit};
+use smlsc_trace::{self as trace, names};
 
 use crate::hash::hash_exports;
 use crate::unit::{CompiledUnit, ImportEdge};
@@ -85,13 +86,17 @@ pub fn compile_unit(
     imports: &[ImportSource],
 ) -> Result<CompileOutput, CoreError> {
     let t0 = Instant::now();
-    let ast = parse_unit(source).map_err(|e| CoreError::Parse {
-        unit: name,
-        error: e,
-    })?;
+    let ast = {
+        let _span = trace::span(names::SPAN_PARSE).field("unit", name.as_str());
+        parse_unit(source).map_err(|e| CoreError::Parse {
+            unit: name,
+            error: e,
+        })?
+    };
     let parse = t0.elapsed();
 
     let t0 = Instant::now();
+    let elab_span = trace::span(names::SPAN_ELABORATE).field("unit", name.as_str());
     let import_env = ImportEnv {
         units: imports
             .iter()
@@ -106,16 +111,21 @@ pub fn compile_unit(
         unit: name,
         error: e,
     })?;
+    drop(elab_span);
     let elaborate = t0.elapsed();
 
     let t0 = Instant::now();
-    let hash = hash_exports(name, &elab.exports).map_err(|e| CoreError::Hash {
-        unit: name,
-        error: e,
-    })?;
+    let hash = {
+        let _span = trace::span(names::SPAN_HASH).field("unit", name.as_str());
+        hash_exports(name, &elab.exports).map_err(|e| CoreError::Hash {
+            unit: name,
+            error: e,
+        })?
+    };
     let hash_time = t0.elapsed();
 
     let t0 = Instant::now();
+    let dehydrate_span = trace::span(names::SPAN_DEHYDRATE).field("unit", name.as_str());
     let external = collect_external_pids(imports.iter().map(|i| i.exports.as_ref()));
     let pickle = dehydrate(
         &elab.exports,
@@ -126,6 +136,10 @@ pub fn compile_unit(
         unit: name,
         error: e,
     })?;
+    drop(dehydrate_span);
+    trace::counter(names::PICKLE_NODES, pickle.stats.nodes as u64);
+    trace::counter(names::PICKLE_STUBS, pickle.stats.stubs as u64);
+    trace::counter(names::PICKLE_BACKREFS, pickle.stats.backrefs as u64);
     let dehydrate_time = t0.elapsed();
 
     Ok(CompileOutput {

@@ -164,9 +164,7 @@ impl GroupedProject {
                                 unit: *unit,
                                 name: *import,
                                 group: *def_group,
-                                reason: format!(
-                                    "library `{def_group}` does not export `{import}`"
-                                ),
+                                reason: format!("library `{def_group}` does not export `{import}`"),
                             });
                         }
                     }
@@ -206,11 +204,13 @@ mod tests {
 
     #[test]
     fn visible_imports_build_and_run() {
-        let gp = GroupedProject::new().group(lib()).group(
-            Group::new("app")
-                .uses("collections")
-                .file("main", "structure Main = struct val n = ListOps.len [1, 2, 3] end"),
-        );
+        let gp =
+            GroupedProject::new()
+                .group(lib())
+                .group(Group::new("app").uses("collections").file(
+                    "main",
+                    "structure Main = struct val n = ListOps.len [1, 2, 3] end",
+                ));
         let p = gp.lower().expect("validates");
         let mut irm = Irm::new(Strategy::Cutoff);
         let (_, env) = irm.execute(&p).expect("builds");
@@ -219,11 +219,13 @@ mod tests {
 
     #[test]
     fn unexported_library_internals_are_hidden() {
-        let gp = GroupedProject::new().group(lib()).group(
-            Group::new("app")
-                .uses("collections")
-                .file("main", "structure Main = struct val n = Internal.debugFlag end"),
-        );
+        let gp =
+            GroupedProject::new()
+                .group(lib())
+                .group(Group::new("app").uses("collections").file(
+                    "main",
+                    "structure Main = struct val n = Internal.debugFlag end",
+                ));
         let err = gp.lower().unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("does not export"), "{msg}");
@@ -241,22 +243,20 @@ mod tests {
 
     #[test]
     fn same_group_sees_internals() {
-        let gp = GroupedProject::new().group(
-            lib().file(
-                "more",
-                "structure More = struct val d = Internal.debugFlag end",
-            ),
-        );
+        let gp = GroupedProject::new().group(lib().file(
+            "more",
+            "structure More = struct val d = Internal.debugFlag end",
+        ));
         assert!(gp.lower().is_ok(), "own group sees unexported units");
     }
 
     #[test]
     fn unknown_used_group_is_reported() {
-        let gp = GroupedProject::new()
-            .group(Group::new("app").uses("nonexistent").file(
-                "main",
-                "structure Main = struct val x = 1 end",
-            ));
+        let gp = GroupedProject::new().group(
+            Group::new("app")
+                .uses("nonexistent")
+                .file("main", "structure Main = struct val x = 1 end"),
+        );
         assert!(gp.lower().is_err());
     }
 
@@ -265,9 +265,6 @@ mod tests {
         let gp = GroupedProject::new()
             .group(Group::new("g1").file("a", "structure X = struct val x = 1 end"))
             .group(Group::new("g2").file("b", "structure X = struct val x = 2 end"));
-        assert!(matches!(
-            gp.lower(),
-            Err(CoreError::DuplicateExport { .. })
-        ));
+        assert!(matches!(gp.lower(), Err(CoreError::DuplicateExport { .. })));
     }
 }

@@ -135,7 +135,12 @@ struct Hasher {
 impl Hasher {
     /// Writes the reference header for an entity; returns `true` when the
     /// definition must be hashed (first provisional encounter).
-    fn entity_ref(&mut self, stamp: Stamp, pid: Option<Pid>, entity: impl FnOnce() -> Entity) -> bool {
+    fn entity_ref(
+        &mut self,
+        stamp: Stamp,
+        pid: Option<Pid>,
+        entity: impl FnOnce() -> Entity,
+    ) -> bool {
         if let Some(p) = pid {
             self.d.write_tag(T_EXT);
             self.d.write_pid(p);

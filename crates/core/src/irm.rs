@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 use smlsc_ids::{Pid, Symbol};
 use smlsc_pickle::{rehydrate, RehydrateContext};
 use smlsc_statics::env::Bindings;
+use smlsc_trace::{self as trace, names, RebuildDecision};
 
 use crate::compile::{analyze_source, compile_unit, source_pid, CompileTimings, ImportSource};
 use crate::link::{link_and_execute, DynEnv};
@@ -45,12 +46,37 @@ pub struct SourceFile {
     pub mtime: u64,
 }
 
+static CLOCK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn wall_nanos() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
 /// The process-wide virtual clock backing every mtime (file edits and
 /// bin writes), so `make`-style comparisons behave like a real
 /// filesystem: anything written later has a strictly larger mtime.
+///
+/// Stamps are `max(previous + 1, wall clock in ns since the epoch)`:
+/// strictly increasing (so virtual `tick()` ordering is a reliable
+/// tie-break) yet comparable with real file mtimes threaded in via
+/// [`observe`]/[`Project::add_with_mtime`], which is what lets
+/// [`Strategy::Timestamp`] work against sources loaded from disk.
 pub fn tick() -> u64 {
-    static CLOCK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
-    CLOCK.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    use std::sync::atomic::Ordering::Relaxed;
+    let now = wall_nanos();
+    let prev = CLOCK
+        .fetch_update(Relaxed, Relaxed, |p| Some(p.saturating_add(1).max(now)))
+        .expect("clock update closure never returns None");
+    prev.saturating_add(1).max(now)
+}
+
+/// Advances the virtual clock to at least `mtime`, so stamps issued
+/// after observing an external mtime (a real file) compare as later.
+pub fn observe(mtime: u64) {
+    CLOCK.fetch_max(mtime, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// A project: named source files with virtual mtimes.
@@ -79,6 +105,42 @@ impl Project {
         } else {
             self.files.push(f);
         }
+    }
+
+    /// Adds a file stamped with an externally observed mtime (nanoseconds
+    /// since the epoch, e.g. a real file's modification time).  The
+    /// virtual clock is advanced past `mtime` so later stamps (bin
+    /// writes, edits) still compare as newer.
+    pub fn add_with_mtime(&mut self, name: impl Into<String>, text: impl Into<String>, mtime: u64) {
+        observe(mtime);
+        let name = Symbol::intern(&name.into());
+        let f = SourceFile {
+            name,
+            text: text.into(),
+            mtime,
+        };
+        if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
+            *existing = f;
+        } else {
+            self.files.push(f);
+        }
+    }
+
+    /// Removes a file from the project.  Any bins referencing it become
+    /// stale; the next build re-resolves imports and errors if something
+    /// still imports its exports.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownUnit`] when no such file exists.
+    pub fn remove(&mut self, name: &str) -> Result<(), CoreError> {
+        let name = Symbol::intern(name);
+        let before = self.files.len();
+        self.files.retain(|f| f.name != name);
+        if self.files.len() == before {
+            return Err(CoreError::UnknownUnit(name));
+        }
+        Ok(())
     }
 
     /// Replaces a file's text, bumping its mtime.
@@ -134,9 +196,10 @@ impl Project {
 }
 
 /// The recompilation strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Strategy {
     /// Cutoff recompilation over intrinsic pids (the paper).
+    #[default]
     Cutoff,
     /// `make`-style timestamps.
     Timestamp,
@@ -154,15 +217,36 @@ impl std::fmt::Display for Strategy {
     }
 }
 
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    /// Parses the same names [`Display`](std::fmt::Display) emits.
+    fn from_str(s: &str) -> Result<Strategy, String> {
+        match s {
+            "cutoff" => Ok(Strategy::Cutoff),
+            "timestamp" => Ok(Strategy::Timestamp),
+            "classical" => Ok(Strategy::Classical),
+            other => Err(format!(
+                "unknown strategy `{other}` (expected cutoff, timestamp, or classical)"
+            )),
+        }
+    }
+}
+
 /// What one [`Irm::build`] did.
 #[derive(Debug, Clone, Default)]
 pub struct BuildReport {
+    /// The strategy that made the decisions.
+    pub strategy: Strategy,
     /// Units in build (topological) order.
     pub order: Vec<Symbol>,
     /// Units that were recompiled.
     pub recompiled: Vec<Symbol>,
     /// Units whose bins were reused.
     pub reused: Vec<Symbol>,
+    /// Why each unit was recompiled or reused, in build order — the
+    /// causal chain behind `smlsc build --explain`.
+    pub decisions: Vec<(Symbol, RebuildDecision)>,
     /// Aggregate compile-phase timings.
     pub timings: CompileTimings,
     /// Time spent rehydrating cached statenvs.
@@ -175,6 +259,24 @@ impl BuildReport {
     /// Convenience: did `name` get recompiled?
     pub fn was_recompiled(&self, name: &str) -> bool {
         self.recompiled.contains(&Symbol::intern(name))
+    }
+
+    /// The decision recorded for `name`, if it was in the build.
+    pub fn decision_for(&self, name: &str) -> Option<&RebuildDecision> {
+        let name = Symbol::intern(name);
+        self.decisions
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, d)| d)
+    }
+
+    /// The decision kinds in build order (`name`, `kind`) — handy for
+    /// asserting exact causal sequences in tests.
+    pub fn decision_kinds(&self) -> Vec<(String, &'static str)> {
+        self.decisions
+            .iter()
+            .map(|(n, d)| (n.as_str().to_string(), d.kind()))
+            .collect()
     }
 }
 
@@ -237,10 +339,13 @@ impl Irm {
     ///
     /// [`CoreError::Io`] on filesystem failures.
     pub fn save_bins(&self, dir: &Path) -> Result<(), CoreError> {
+        let _span = trace::span("irm.save_bins").field("bins", self.bins.len());
         std::fs::create_dir_all(dir).map_err(|e| CoreError::Io(e.to_string()))?;
         for (name, bin) in &self.bins {
             let path = dir.join(format!("{name}.bin"));
-            std::fs::write(&path, bin.to_bytes()).map_err(|e| CoreError::Io(e.to_string()))?;
+            let bytes = bin.to_bytes();
+            trace::counter(names::BIN_BYTES_WRITTEN, bytes.len() as u64);
+            std::fs::write(&path, bytes).map_err(|e| CoreError::Io(e.to_string()))?;
         }
         Ok(())
     }
@@ -251,6 +356,7 @@ impl Irm {
     ///
     /// [`CoreError::Io`] or [`CoreError::CorruptBin`].
     pub fn load_bins(&mut self, dir: &Path) -> Result<usize, CoreError> {
+        let _span = trace::span("irm.load_bins");
         let mut n = 0;
         let entries = std::fs::read_dir(dir).map_err(|e| CoreError::Io(e.to_string()))?;
         for entry in entries {
@@ -258,6 +364,7 @@ impl Irm {
             if entry.path().extension().is_some_and(|e| e == "bin") {
                 let bytes =
                     std::fs::read(entry.path()).map_err(|e| CoreError::Io(e.to_string()))?;
+                trace::counter(names::BIN_BYTES_READ, bytes.len() as u64);
                 let bin = BinFile::from_bytes(&bytes)?;
                 self.bins.insert(bin.unit.name, bin);
                 n += 1;
@@ -286,8 +393,13 @@ impl Irm {
             let sp = source_pid(&f.text);
             let cached = self.deps_cache.get(&f.name);
             let a = match cached {
-                Some(c) if c.source_pid == sp => c.clone(),
+                Some(c) if c.source_pid == sp => {
+                    trace::counter(names::DEPS_CACHE_HITS, 1);
+                    c.clone()
+                }
                 _ => {
+                    trace::counter(names::DEPS_CACHE_MISSES, 1);
+                    let _span = trace::span(names::SPAN_ANALYZE).field("unit", f.name.as_str());
                     let a = analyze_source(f.name, &f.text)?;
                     let c = CachedAnalysis {
                         source_pid: sp,
@@ -314,8 +426,12 @@ impl Irm {
         let analyses = self.analyze_all(project)?;
         let exporters = exporters(&analyses)?;
         let order = topo_order(project, &analyses, &exporters)?;
+        let _build_span = trace::span(names::SPAN_BUILD)
+            .field("strategy", strategy)
+            .field("units", order.len());
 
         let mut report = BuildReport {
+            strategy,
             order: order.clone(),
             ..BuildReport::default()
         };
@@ -339,46 +455,27 @@ impl Irm {
                 .collect::<Vec<_>>()
                 .dedup_stable();
 
-            let needs = match strategy {
-                Strategy::Cutoff => {
-                    match self.bins.get(name) {
-                        None => true,
-                        Some(bin) => {
-                            bin.unit.source_pid != sp
-                                || bin.unit.imports.len() != import_units.len()
-                                || bin.unit.imports.iter().zip(&import_units).any(|(e, u)| {
-                                    e.unit != *u
-                                        || Some(e.pid)
-                                            != self.bins.get(u).map(|b| b.unit.export_pid)
-                                })
-                        }
-                    }
+            let decision = self.decide(strategy, *name, file, sp, &import_units, &recompiled_set);
+            trace::event("irm.decision")
+                .field("unit", name.as_str())
+                .field("kind", decision.kind());
+            let needs = decision.requires_recompile();
+            if needs {
+                trace::counter(names::UNITS_COMPILED, 1);
+            } else {
+                trace::counter(names::UNITS_REUSED, 1);
+                if matches!(decision, RebuildDecision::CutOff { .. }) {
+                    trace::counter(names::CUTOFF_HITS, 1);
                 }
-                Strategy::Timestamp => match self.bins.get(name) {
-                    None => true,
-                    Some(bin) => {
-                        bin.mtime < file.mtime
-                            || import_units.iter().any(|u| {
-                                self.bins.get(u).is_none_or(|b| bin.mtime < b.mtime)
-                            })
-                    }
-                },
-                Strategy::Classical => match self.bins.get(name) {
-                    None => true,
-                    Some(bin) => {
-                        bin.unit.source_pid != sp
-                            || import_units
-                                .iter()
-                                .any(|u| recompiled_set.get(u).copied().unwrap_or(false))
-                    }
-                },
-            };
+            }
+            report.decisions.push((*name, decision));
 
             if needs {
                 let sources: Vec<ImportSource> = import_units
                     .iter()
                     .map(|u| {
-                        let exports = self.force_env(*u, &analyses, &exporters, &mut envs, &mut report)?;
+                        let exports =
+                            self.force_env(*u, &analyses, &exporters, &mut envs, &mut report)?;
                         Ok(ImportSource {
                             unit: *u,
                             pid: self.bins[u].unit.export_pid,
@@ -409,6 +506,114 @@ impl Irm {
         Ok(report)
     }
 
+    /// Applies `strategy` to one unit and returns the causal verdict.
+    ///
+    /// Checks are ordered most-direct-cause-first, so the recorded
+    /// decision names the *proximate* reason: own source before imports,
+    /// import identity before import pids, pid change before cutoff.
+    fn decide(
+        &self,
+        strategy: Strategy,
+        name: Symbol,
+        file: &SourceFile,
+        sp: Pid,
+        import_units: &[Symbol],
+        recompiled_set: &HashMap<Symbol, bool>,
+    ) -> RebuildDecision {
+        let Some(bin) = self.bins.get(&name) else {
+            return RebuildDecision::NewUnit;
+        };
+        let rebuilt = |u: &Symbol| recompiled_set.get(u).copied().unwrap_or(false);
+        match strategy {
+            Strategy::Cutoff => {
+                if bin.unit.source_pid != sp {
+                    return RebuildDecision::SourceChanged {
+                        old: bin.unit.source_pid.to_string(),
+                        new: sp.to_string(),
+                    };
+                }
+                // Import identity drift: an export moved to a different
+                // unit without this source changing.  The slot's pid
+                // necessarily refers to something else now.
+                let old_units: Vec<Symbol> = bin.unit.imports.iter().map(|e| e.unit).collect();
+                if old_units != import_units {
+                    let n = old_units.len().max(import_units.len());
+                    for i in 0..n {
+                        let old = old_units.get(i);
+                        let new = import_units.get(i);
+                        if old != new {
+                            let import = new.or(old).expect("one side exists");
+                            return RebuildDecision::ImportPidChanged {
+                                import: import.as_str().to_string(),
+                                old: bin
+                                    .unit
+                                    .imports
+                                    .get(i)
+                                    .map_or_else(|| "none".to_string(), |e| e.pid.to_string()),
+                                new: new.and_then(|u| self.bins.get(u)).map_or_else(
+                                    || "none".to_string(),
+                                    |b| b.unit.export_pid.to_string(),
+                                ),
+                            };
+                        }
+                    }
+                }
+                for (e, u) in bin.unit.imports.iter().zip(import_units) {
+                    let current = self.bins.get(u).map(|b| b.unit.export_pid);
+                    if Some(e.pid) != current {
+                        return RebuildDecision::ImportPidChanged {
+                            import: u.as_str().to_string(),
+                            old: e.pid.to_string(),
+                            new: current.map_or_else(|| "none".to_string(), |p| p.to_string()),
+                        };
+                    }
+                }
+                // All pids line up.  If an import *was* recompiled this
+                // build, that is precisely the paper's cutoff.
+                if let Some(u) = import_units.iter().find(|u| rebuilt(u)) {
+                    return RebuildDecision::CutOff {
+                        import: u.as_str().to_string(),
+                        export_pid: self.bins[u].unit.export_pid.to_string(),
+                    };
+                }
+                RebuildDecision::Reused
+            }
+            Strategy::Timestamp => {
+                // `make` semantics: compare stamps only.  Old/new in the
+                // decision are mtimes, not pids.
+                if bin.mtime < file.mtime {
+                    return RebuildDecision::SourceChanged {
+                        old: bin.mtime.to_string(),
+                        new: file.mtime.to_string(),
+                    };
+                }
+                if let Some(u) = import_units
+                    .iter()
+                    .find(|u| self.bins.get(u).is_none_or(|b| bin.mtime < b.mtime))
+                {
+                    return RebuildDecision::DependencyRebuilt {
+                        import: u.as_str().to_string(),
+                    };
+                }
+                RebuildDecision::Reused
+            }
+            Strategy::Classical => {
+                if bin.unit.source_pid != sp {
+                    return RebuildDecision::SourceChanged {
+                        old: bin.unit.source_pid.to_string(),
+                        new: sp.to_string(),
+                    };
+                }
+                if let Some(u) = import_units.iter().find(|u| rebuilt(u)) {
+                    return RebuildDecision::DependencyRebuilt {
+                        import: u.as_str().to_string(),
+                    };
+                }
+                RebuildDecision::Reused
+            }
+        }
+    }
+
     /// Materializes a unit's export environment: live if compiled this
     /// build, otherwise rehydrated from its bin (once per build).
     fn force_env(
@@ -420,8 +625,10 @@ impl Irm {
         report: &mut BuildReport,
     ) -> Result<Rc<Bindings>, CoreError> {
         if let Some(e) = envs.get(&unit) {
+            trace::counter(names::ENV_CACHE_HITS, 1);
             return Ok(e.clone());
         }
+        trace::counter(names::ENV_CACHE_MISSES, 1);
         // Rehydrate against the unit's own imports, recursively.
         let import_units: Vec<Symbol> = analyses[&unit]
             .imports
@@ -433,16 +640,14 @@ impl Irm {
         for u in &import_units {
             ctx_envs.push(self.force_env(*u, analyses, exporters, envs, report)?);
         }
-        let bin = self
-            .bins
-            .get(&unit)
-            .ok_or(CoreError::UnknownUnit(unit))?;
+        let bin = self.bins.get(&unit).ok_or(CoreError::UnknownUnit(unit))?;
         let t0 = Instant::now();
+        let _span = trace::span(names::SPAN_REHYDRATE).field("unit", unit.as_str());
         let ctx = RehydrateContext::with_pervasives(ctx_envs.iter().map(|e| e.as_ref()));
-        let (env, _) = rehydrate(&bin.unit.env_pickle, &ctx).map_err(|e| CoreError::Pickle {
-            unit,
-            error: e,
-        })?;
+        let (env, stats) = rehydrate(&bin.unit.env_pickle, &ctx)
+            .map_err(|e| CoreError::Pickle { unit, error: e })?;
+        trace::counter(names::REHYDRATE_NODES, stats.nodes as u64);
+        trace::counter(names::REHYDRATE_STUBS, stats.stubs as u64);
         report.rehydrate += t0.elapsed();
         envs.insert(unit, env.clone());
         Ok(env)

@@ -63,6 +63,8 @@ pub use hash::{hash_exports, HashError, HashResult};
 pub use irm::{BuildReport, Irm, Project, Strategy};
 pub use link::{link_and_execute, DynEnv, LinkError};
 pub use session::Session;
+pub use smlsc_trace as trace;
+pub use smlsc_trace::RebuildDecision;
 pub use stdlib::{add_stdlib, stdlib_units};
 pub use unit::{BinFile, CompiledUnit, ImportEdge};
 

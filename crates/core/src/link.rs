@@ -138,6 +138,7 @@ pub fn verify_imports(unit: &CompiledUnit, env: &DynEnv) -> Result<(), LinkError
 ///
 /// Any [`LinkError`]; on error the environment is unchanged.
 pub fn link_and_execute(unit: &CompiledUnit, env: &mut DynEnv) -> Result<Value, LinkError> {
+    let _span = smlsc_trace::span("link.execute").field("unit", unit.name.as_str());
     verify_imports(unit, env)?;
     let imports: Vec<Value> = unit
         .imports
@@ -158,8 +159,8 @@ pub fn link_and_execute(unit: &CompiledUnit, env: &mut DynEnv) -> Result<Value, 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smlsc_dynamics::ir::Ir;
     use crate::unit::ImportEdge;
+    use smlsc_dynamics::ir::Ir;
 
     fn unit(name: &str, imports: Vec<ImportEdge>, code: Ir) -> CompiledUnit {
         CompiledUnit {

@@ -93,6 +93,7 @@ impl Session {
     /// is unchanged on error.
     pub fn eval(&mut self, source: &str) -> Result<EvalOutcome, CoreError> {
         let name = Symbol::intern(&format!("it{}", self.counter));
+        let _span = smlsc_trace::span("session.eval").field("unit", name.as_str());
         let ast = parse_unit(source).map_err(|e| CoreError::Parse {
             unit: name,
             error: e,
@@ -166,7 +167,11 @@ impl Session {
                 .unit
                 .imports
                 .iter()
-                .map(|e| envs.get(&e.unit).cloned().ok_or(CoreError::UnknownUnit(e.unit)))
+                .map(|e| {
+                    envs.get(&e.unit)
+                        .cloned()
+                        .ok_or(CoreError::UnknownUnit(e.unit))
+                })
                 .collect::<Result<_, _>>()?;
             let ctx = smlsc_pickle::RehydrateContext::with_pervasives(
                 ctx_envs.iter().map(|e| e.as_ref()),
@@ -217,12 +222,18 @@ impl Session {
         let sname = Symbol::intern(structure);
         let mname = Symbol::intern(member);
         for layer in self.layers.iter().rev() {
-            let Some(str_env) = layer.exports.str(sname) else { continue };
+            let Some(str_env) = layer.exports.str(sname) else {
+                continue;
+            };
             let Some(str_slot) = smlsc_statics::env::str_slot(&layer.exports, sname) else {
                 continue;
             };
-            let Value::Record(units) = &layer.values else { continue };
-            let Value::Record(fields) = &units[str_slot as usize] else { continue };
+            let Value::Record(units) = &layer.values else {
+                continue;
+            };
+            let Value::Record(fields) = &units[str_slot as usize] else {
+                continue;
+            };
             let Some(vslot) = smlsc_statics::env::val_slot(&str_env.bindings, mname) else {
                 continue;
             };

@@ -217,8 +217,12 @@ mod tests {
         let mut irm = Irm::new(Strategy::Cutoff);
         let (_, env) = irm.execute(&p).expect("runs");
         let app = env.get(smlsc_ids::Symbol::intern("app")).unwrap();
-        let smlsc_dynamics::value::Value::Record(units) = &app.values else { panic!() };
-        let smlsc_dynamics::value::Value::Record(fields) = &units[0] else { panic!() };
+        let smlsc_dynamics::value::Value::Record(units) = &app.values else {
+            panic!()
+        };
+        let smlsc_dynamics::value::Value::Record(fields) = &units[0] else {
+            panic!()
+        };
         // evens = [0,2,4,6,8]; total = 20; third = 4; headOr = ~1.
         assert_eq!(fields[1], smlsc_dynamics::value::Value::Int(20));
         assert_eq!(fields[2], smlsc_dynamics::value::Value::Int(4));
@@ -271,6 +275,9 @@ mod tests {
                end"#,
         )
         .unwrap();
-        assert_eq!(s.show_value("T", "pairs").unwrap(), r#"[(1, "x"), (2, "y")]"#);
+        assert_eq!(
+            s.show_value("T", "pairs").unwrap(),
+            r#"[(1, "x"), (2, "y")]"#
+        );
     }
 }

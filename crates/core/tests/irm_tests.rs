@@ -10,7 +10,10 @@ use smlsc_ids::{Pid, Symbol};
 fn chain_project() -> Project {
     // a <- b <- c <- d : a linear dependency chain.
     let mut p = Project::new();
-    p.add("a", "structure A = struct fun f x = x + 1 val base = 10 end");
+    p.add(
+        "a",
+        "structure A = struct fun f x = x + 1 val base = 10 end",
+    );
     p.add("b", "structure B = struct val y = A.f A.base end");
     p.add("c", "structure C = struct val z = B.y * 2 end");
     p.add("d", "structure D = struct val w = C.z + 1 end");
@@ -78,8 +81,11 @@ fn body_edit_cutoff_stops_at_the_edited_unit() {
     let mut p = chain_project();
     irm.build(&p).unwrap();
     // f's behaviour changes but its type does not.
-    p.edit("a", "structure A = struct fun f x = x + 100 val base = 10 end")
-        .unwrap();
+    p.edit(
+        "a",
+        "structure A = struct fun f x = x + 100 val base = 10 end",
+    )
+    .unwrap();
     let report = irm.build(&p).unwrap();
     assert_eq!(report.recompiled, vec![Symbol::intern("a")]);
 }
@@ -89,8 +95,11 @@ fn body_edit_classical_cascades() {
     let mut irm = Irm::new(Strategy::Classical);
     let mut p = chain_project();
     irm.build(&p).unwrap();
-    p.edit("a", "structure A = struct fun f x = x + 100 val base = 10 end")
-        .unwrap();
+    p.edit(
+        "a",
+        "structure A = struct fun f x = x + 100 val base = 10 end",
+    )
+    .unwrap();
     let report = irm.build(&p).unwrap();
     assert_eq!(report.recompiled.len(), 4);
 }
@@ -134,7 +143,8 @@ fn type_propagating_interface_edit_cascades_even_under_cutoff() {
     irm.build(&p).unwrap();
     // v : int becomes v : string; the new type flows through b's
     // inferred interface into c.
-    p.edit("a", r#"structure A = struct val v = "s" end"#).unwrap();
+    p.edit("a", r#"structure A = struct val v = "s" end"#)
+        .unwrap();
     let report = irm.build(&p).unwrap();
     assert_eq!(report.recompiled.len(), 3, "{:?}", report.recompiled);
 }
@@ -198,19 +208,30 @@ fn execution_produces_correct_values_and_stays_correct_after_cutoff() {
     let (_, env) = irm.execute(&p).unwrap();
     // D.w = ((f(10) = 11) * 2) + 1 = 23
     let d = env.get(Symbol::intern("d")).unwrap();
-    let smlsc_dynamics::value::Value::Record(units) = &d.values else { panic!() };
-    let smlsc_dynamics::value::Value::Record(fields) = &units[0] else { panic!() };
+    let smlsc_dynamics::value::Value::Record(units) = &d.values else {
+        panic!()
+    };
+    let smlsc_dynamics::value::Value::Record(fields) = &units[0] else {
+        panic!()
+    };
     assert_eq!(fields[0], smlsc_dynamics::value::Value::Int(23));
 
     // Body edit, rebuild (cutoff reuses b..d bins), re-execute: the new
     // behaviour must flow through even though b..d were not recompiled.
-    p.edit("a", "structure A = struct fun f x = x + 2 val base = 10 end")
-        .unwrap();
+    p.edit(
+        "a",
+        "structure A = struct fun f x = x + 2 val base = 10 end",
+    )
+    .unwrap();
     let (report, env) = irm.execute(&p).unwrap();
     assert_eq!(report.recompiled.len(), 1);
     let d = env.get(Symbol::intern("d")).unwrap();
-    let smlsc_dynamics::value::Value::Record(units) = &d.values else { panic!() };
-    let smlsc_dynamics::value::Value::Record(fields) = &units[0] else { panic!() };
+    let smlsc_dynamics::value::Value::Record(units) = &d.values else {
+        panic!()
+    };
+    let smlsc_dynamics::value::Value::Record(fields) = &units[0] else {
+        panic!()
+    };
     assert_eq!(fields[0], smlsc_dynamics::value::Value::Int(25));
 }
 
@@ -295,7 +316,9 @@ fn makefile_bug_is_caught_by_the_type_safe_linker() {
     skewed.mtime = u64::MAX;
     irm.inject_bin(skewed);
     let err = irm.execute(&p).unwrap_err();
-    let CoreError::Link(e) = err else { panic!("expected a link error, got {err}") };
+    let CoreError::Link(e) = err else {
+        panic!("expected a link error, got {err}")
+    };
     assert!(e.to_string().contains("stale"), "{e}");
 
     // Under cutoff the same skew is harmless: mtimes are never consulted,
@@ -431,6 +454,226 @@ fn cross_unit_functor_project_executes() {
     assert_eq!(report.recompiled.len(), 1, "{:?}", report.recompiled);
 }
 
+// ----- rebuild decisions (the --explain record) --------------------------
+
+/// The `(unit, kind)` pairs of a report, for exact sequence assertions.
+fn kinds(report: &smlsc_core::BuildReport) -> Vec<(String, &'static str)> {
+    report.decision_kinds()
+}
+
+fn pairs(v: &[(&str, &'static str)]) -> Vec<(String, &'static str)> {
+    v.iter().map(|(n, k)| ((*n).to_string(), *k)).collect()
+}
+
+#[test]
+fn decisions_on_first_build_are_all_new_unit() {
+    for strategy in [Strategy::Cutoff, Strategy::Timestamp, Strategy::Classical] {
+        let mut irm = Irm::new(strategy);
+        let p = chain_project();
+        let report = irm.build(&p).unwrap();
+        assert_eq!(report.strategy, strategy);
+        assert_eq!(
+            kinds(&report),
+            pairs(&[
+                ("a", "new_unit"),
+                ("b", "new_unit"),
+                ("c", "new_unit"),
+                ("d", "new_unit"),
+            ]),
+            "{strategy}"
+        );
+    }
+}
+
+#[test]
+fn comment_edit_decision_sequences_per_strategy() {
+    let edit = "(* a helpful comment *) structure A = struct fun f x = x + 1 val base = 10 end";
+    let expect = |strategy| match strategy {
+        // The paper's cutoff: a's interface survives the recompile, so b
+        // is cut off and c, d never even see a rebuilt import.
+        Strategy::Cutoff => pairs(&[
+            ("a", "source_changed"),
+            ("b", "cutoff"),
+            ("c", "reused"),
+            ("d", "reused"),
+        ]),
+        // The baselines cascade to the end of the chain.
+        Strategy::Timestamp | Strategy::Classical => pairs(&[
+            ("a", "source_changed"),
+            ("b", "dependency_rebuilt"),
+            ("c", "dependency_rebuilt"),
+            ("d", "dependency_rebuilt"),
+        ]),
+    };
+    for strategy in [Strategy::Cutoff, Strategy::Timestamp, Strategy::Classical] {
+        let mut irm = Irm::new(strategy);
+        let mut p = chain_project();
+        irm.build(&p).unwrap();
+        p.edit("a", edit).unwrap();
+        let report = irm.build(&p).unwrap();
+        assert_eq!(kinds(&report), expect(strategy), "{strategy}");
+    }
+}
+
+#[test]
+fn comment_edit_cutoff_records_the_unchanged_export_pid() {
+    use smlsc_core::RebuildDecision;
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = chain_project();
+    irm.build(&p).unwrap();
+    let a_pid = irm.bin("a").unwrap().unit.export_pid;
+    p.edit(
+        "a",
+        "(* a helpful comment *) structure A = struct fun f x = x + 1 val base = 10 end",
+    )
+    .unwrap();
+    let report = irm.build(&p).unwrap();
+    // The cutoff decision names the rebuilt import and proves its export
+    // pid survived — the full causal chain of the paper's claim.
+    let Some(RebuildDecision::CutOff { import, export_pid }) = report.decision_for("b") else {
+        panic!("expected CutOff for b, got {:?}", report.decision_for("b"));
+    };
+    assert_eq!(import, "a");
+    assert_eq!(*export_pid, a_pid.to_string());
+    assert_eq!(irm.bin("a").unwrap().unit.export_pid, a_pid);
+}
+
+#[test]
+fn interface_edit_decision_cascade_under_cutoff() {
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = chain_project();
+    irm.build(&p).unwrap();
+    // A new export: a's interface (and export pid) changes; b must see
+    // the changed import pid; b's own interface survives, so c is cut
+    // off and d is untouched.
+    p.edit(
+        "a",
+        r#"structure A = struct fun f x = x + 1 val base = 10 val extra = "new" end"#,
+    )
+    .unwrap();
+    let report = irm.build(&p).unwrap();
+    assert_eq!(
+        kinds(&report),
+        pairs(&[
+            ("a", "source_changed"),
+            ("b", "import_pid_changed"),
+            ("c", "cutoff"),
+            ("d", "reused"),
+        ])
+    );
+}
+
+#[test]
+fn new_unit_decision_leaves_existing_units_reused() {
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = chain_project();
+    irm.build(&p).unwrap();
+    p.add("e", "structure E = struct val q = D.w + 1 end");
+    let report = irm.build(&p).unwrap();
+    assert_eq!(
+        kinds(&report),
+        pairs(&[
+            ("a", "reused"),
+            ("b", "reused"),
+            ("c", "reused"),
+            ("d", "reused"),
+            ("e", "new_unit"),
+        ])
+    );
+}
+
+#[test]
+fn deleting_a_leaf_drops_it_from_the_build() {
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = chain_project();
+    irm.build(&p).unwrap();
+    p.remove("d").unwrap();
+    let report = irm.build(&p).unwrap();
+    assert_eq!(
+        kinds(&report),
+        pairs(&[("a", "reused"), ("b", "reused"), ("c", "reused")])
+    );
+    assert!(report.decision_for("d").is_none());
+    assert!(p.remove("nope").is_err());
+}
+
+#[test]
+fn deleting_a_dependency_is_an_unresolved_import() {
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = chain_project();
+    irm.build(&p).unwrap();
+    // d still imports C; removing c must fail the next build's import
+    // resolution rather than silently reusing stale bins.
+    p.remove("c").unwrap();
+    let err = irm.build(&p).unwrap_err();
+    assert!(matches!(err, CoreError::UnresolvedImport { .. }), "{err}");
+}
+
+#[test]
+fn external_mtimes_thread_into_timestamp_builds() {
+    // Sources stamped with "real" wall-clock mtimes (nanoseconds): the
+    // bins written by the build must still come out newer, so a no-op
+    // rebuild reuses everything even under the timestamp strategy.
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos() as u64;
+    let mut p = Project::new();
+    p.add_with_mtime("a", "structure A = struct val n = 1 end", now - 1_000_000);
+    p.add_with_mtime("b", "structure B = struct val m = A.n + 1 end", now);
+    let mut irm = Irm::new(Strategy::Timestamp);
+    irm.build(&p).unwrap();
+    let report = irm.build(&p).unwrap();
+    assert!(report.recompiled.is_empty(), "{:?}", kinds(&report));
+    // An edit (virtual tick, now past the wall clock) still triggers.
+    p.edit("a", "structure A = struct val n = 2 end").unwrap();
+    let report = irm.build(&p).unwrap();
+    assert_eq!(report.recompiled.len(), 2, "{:?}", kinds(&report));
+}
+
+#[test]
+fn build_telemetry_counts_cutoffs_and_cache_traffic() {
+    use smlsc_core::trace;
+    let collector = trace::Collector::new();
+    collector.install();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = chain_project();
+    irm.build(&p).unwrap();
+    p.edit(
+        "a",
+        "(* a helpful comment *) structure A = struct fun f x = x + 1 val base = 10 end",
+    )
+    .unwrap();
+    irm.build(&p).unwrap();
+    trace::uninstall();
+
+    assert_eq!(collector.counter(trace::names::UNITS_COMPILED), 5); // 4 + a
+    assert_eq!(collector.counter(trace::names::CUTOFF_HITS), 1); // b
+    assert_eq!(collector.counter(trace::names::UNITS_REUSED), 3); // b, c, d
+                                                                  // Second build re-analyzed only the edited source.
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_MISSES), 5);
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_HITS), 3);
+    // Per-unit compile phases produced histograms.
+    assert_eq!(
+        collector
+            .histogram(trace::names::SPAN_PARSE)
+            .unwrap()
+            .count(),
+        5
+    );
+    assert_eq!(
+        collector
+            .histogram(trace::names::SPAN_BUILD)
+            .unwrap()
+            .count(),
+        2
+    );
+    // And the whole thing exports as a Chrome trace.
+    let chrome = collector.chrome_trace_json();
+    assert!(chrome.contains(r#""name":"irm.build""#), "{chrome}");
+    assert!(chrome.contains(r#""name":"compile.elaborate""#), "{chrome}");
+}
+
 // ----- the Visible Compiler session -------------------------------------
 
 #[test]
@@ -455,7 +698,11 @@ fn session_reports_bindings_and_pids() {
         .eval("structure M = struct fun id x = x val n = 3 end")
         .unwrap();
     assert_eq!(out.bindings.len(), 1);
-    assert!(out.bindings[0].contains("structure M"), "{:?}", out.bindings);
+    assert!(
+        out.bindings[0].contains("structure M"),
+        "{:?}",
+        out.bindings
+    );
     assert!(out.bindings[0].contains("n : int"), "{:?}", out.bindings);
     assert_ne!(out.export_pid, Pid::NULL);
     // Same interface evaluated again hashes identically even though the
@@ -471,7 +718,9 @@ fn session_reports_bindings_and_pids() {
 fn session_errors_leave_state_intact() {
     let mut s = Session::new();
     s.eval("structure A = struct val x = 1 end").unwrap();
-    assert!(s.eval("structure B = struct val y = A.missing end").is_err());
+    assert!(s
+        .eval("structure B = struct val y = A.missing end")
+        .is_err());
     assert_eq!(s.len(), 1);
     // Still usable.
     s.eval("structure C = struct val z = A.x end").unwrap();
@@ -535,7 +784,10 @@ fn primitives_survive_bin_roundtrip() {
     // back usable from the bin cache.
     let dir = std::env::temp_dir().join(format!("smlsc-prim-{}", std::process::id()));
     let mut p = Project::new();
-    p.add("lib", "structure Lib = struct val toS = itos val strLen = size end");
+    p.add(
+        "lib",
+        "structure Lib = struct val toS = itos val strLen = size end",
+    );
     p.add(
         "use",
         r#"structure Use = struct val s = Lib.toS 7 val n = Lib.strLen "abc" end"#,
@@ -575,7 +827,8 @@ fn session_loads_compiled_units_through_the_irm() {
         .unwrap();
     let mut s2 = Session::new();
     let _ = s2.load_compiled(&mut irm, &p).unwrap();
-    s2.eval("structure Check = struct val v = Lib.triple 5 end").unwrap();
+    s2.eval("structure Check = struct val v = Lib.triple 5 end")
+        .unwrap();
     assert_eq!(s2.show_value("Check", "v").unwrap(), "16");
 }
 

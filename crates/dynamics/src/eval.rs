@@ -92,12 +92,12 @@ pub fn execute(code: &Ir, imports: &[Value]) -> Result<Value, EvalError> {
 /// would otherwise overflow before any step budget is spent) — a guard
 /// for interactive use, where an accidental `fun loop x = loop x` should
 /// not take down the session.
-pub fn execute_limited(
-    code: &Ir,
-    imports: &[Value],
-    max_steps: u64,
-) -> Result<Value, EvalError> {
-    let max_depth = if max_steps == u64::MAX { u64::MAX } else { 4_000 };
+pub fn execute_limited(code: &Ir, imports: &[Value], max_steps: u64) -> Result<Value, EvalError> {
+    let max_depth = if max_steps == u64::MAX {
+        u64::MAX
+    } else {
+        4_000
+    };
     let mut ev = Evaluator {
         imports,
         steps: 0,
@@ -145,9 +145,7 @@ impl<'a> Evaluator<'a> {
             Ir::Int(n) => Ok(Value::Int(*n)),
             Ir::Str(s) => Ok(Value::Str(Rc::from(s.as_str()))),
             Ir::Unit => Ok(Value::Unit),
-            Ir::Local(v) => {
-                lookup(env, *v).ok_or_else(|| self.broken(format!("unbound lvar {v}")))
-            }
+            Ir::Local(v) => lookup(env, *v).ok_or_else(|| self.broken(format!("unbound lvar {v}"))),
             Ir::Import(i) => self
                 .imports
                 .get(*i as usize)
@@ -420,7 +418,11 @@ impl<'a> Evaluator<'a> {
         if args.len() != arity {
             return Err(self.broken(format!("primitive {} arity {}", op.name(), args.len())));
         }
-        let b = if arity == 2 { Some(args.pop().expect("arity 2")) } else { None };
+        let b = if arity == 2 {
+            Some(args.pop().expect("arity 2"))
+        } else {
+            None
+        };
         let a = args.pop().expect("arity >= 1");
         match op {
             Neg => match a {
@@ -493,8 +495,7 @@ impl<'a> Evaluator<'a> {
                 }
             }
             Append => {
-                let (Some(mut xs), Some(ys)) =
-                    (a.as_list(), b.as_ref().and_then(Value::as_list))
+                let (Some(mut xs), Some(ys)) = (a.as_list(), b.as_ref().and_then(Value::as_list))
                 else {
                     return Err(self.broken("@ on non-lists"));
                 };
@@ -520,10 +521,19 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(run(Ir::Prim(PrimOp::Add, vec![int(2), int(3)])), Value::Int(5));
-        assert_eq!(run(Ir::Prim(PrimOp::Mul, vec![int(4), int(5)])), Value::Int(20));
+        assert_eq!(
+            run(Ir::Prim(PrimOp::Add, vec![int(2), int(3)])),
+            Value::Int(5)
+        );
+        assert_eq!(
+            run(Ir::Prim(PrimOp::Mul, vec![int(4), int(5)])),
+            Value::Int(20)
+        );
         assert_eq!(run(Ir::Prim(PrimOp::Neg, vec![int(7)])), Value::Int(-7));
-        assert_eq!(run(Ir::Prim(PrimOp::Mod, vec![int(7), int(3)])), Value::Int(1));
+        assert_eq!(
+            run(Ir::Prim(PrimOp::Mod, vec![int(7), int(3)])),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -593,7 +603,9 @@ mod tests {
         );
         let a = run(ir.clone());
         let b = run(ir);
-        let (Value::Exn(pa), Value::Exn(pb)) = (a, b) else { panic!() };
+        let (Value::Exn(pa), Value::Exn(pb)) = (a, b) else {
+            panic!()
+        };
         assert!(!Rc::ptr_eq(&pa.con, &pb.con));
     }
 
@@ -695,10 +707,7 @@ mod tests {
 
     #[test]
     fn val_bind_failure_raises_bind() {
-        let ir = Ir::Let(
-            vec![IrDec::Val(IrPat::Int(1), int(2))],
-            Box::new(int(0)),
-        );
+        let ir = Ir::Let(vec![IrDec::Val(IrPat::Int(1), int(2))], Box::new(int(0)));
         let err = execute(&ir, &[]).unwrap_err();
         assert!(matches!(err, EvalError::UncaughtException(ref m) if m.contains("Bind")));
     }
@@ -743,7 +752,9 @@ mod tests {
             name: Symbol::intern("SOME"),
         };
         let ir = Ir::App(Box::new(Ir::ConFn(some)), Box::new(int(9)));
-        let Value::Data { arg: Some(a), .. } = run(ir) else { panic!() };
+        let Value::Data { arg: Some(a), .. } = run(ir) else {
+            panic!()
+        };
         assert_eq!(*a, Value::Int(9));
     }
 
@@ -779,17 +790,27 @@ mod tests {
             vec![IrDec::Val(IrPat::Var(2), fct)],
             Box::new(Ir::Tuple(vec![
                 Ir::Select(
-                    Box::new(Ir::App(Box::new(Ir::Local(2)), Box::new(Ir::Record(vec![])))),
+                    Box::new(Ir::App(
+                        Box::new(Ir::Local(2)),
+                        Box::new(Ir::Record(vec![])),
+                    )),
                     0,
                 ),
                 Ir::Select(
-                    Box::new(Ir::App(Box::new(Ir::Local(2)), Box::new(Ir::Record(vec![])))),
+                    Box::new(Ir::App(
+                        Box::new(Ir::Local(2)),
+                        Box::new(Ir::Record(vec![])),
+                    )),
                     0,
                 ),
             ])),
         );
-        let Value::Tuple(pair) = run(ir) else { panic!() };
-        let (Value::Exn(a), Value::Exn(b)) = (&pair[0], &pair[1]) else { panic!() };
+        let Value::Tuple(pair) = run(ir) else {
+            panic!()
+        };
+        let (Value::Exn(a), Value::Exn(b)) = (&pair[0], &pair[1]) else {
+            panic!()
+        };
         assert!(!Rc::ptr_eq(&a.con, &b.con));
     }
 
@@ -853,7 +874,13 @@ mod tests {
     #[test]
     fn euclidean_div_mod() {
         // SML div/mod round toward negative infinity.
-        assert_eq!(run(Ir::Prim(PrimOp::Div, vec![int(-7), int(2)])), Value::Int(-4));
-        assert_eq!(run(Ir::Prim(PrimOp::Mod, vec![int(-7), int(2)])), Value::Int(1));
+        assert_eq!(
+            run(Ir::Prim(PrimOp::Div, vec![int(-7), int(2)])),
+            Value::Int(-4)
+        );
+        assert_eq!(
+            run(Ir::Prim(PrimOp::Mod, vec![int(-7), int(2)])),
+            Value::Int(1)
+        );
     }
 }

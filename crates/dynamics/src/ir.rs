@@ -182,7 +182,9 @@ mod tests {
     fn select_path_builds_nested_selects() {
         let ir = Ir::select_path(Ir::Import(0), &[1, 2]);
         let Ir::Select(inner, 2) = ir else { panic!() };
-        let Ir::Select(base, 1) = *inner else { panic!() };
+        let Ir::Select(base, 1) = *inner else {
+            panic!()
+        };
         assert_eq!(*base, Ir::Import(0));
     }
 

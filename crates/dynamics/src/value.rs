@@ -227,10 +227,7 @@ impl Value {
                 }
                 Some(true)
             }
-            (
-                Value::Data { con: c1, arg: a1 },
-                Value::Data { con: c2, arg: a2 },
-            ) => {
+            (Value::Data { con: c1, arg: a1 }, Value::Data { con: c2, arg: a2 }) => {
                 if c1.tag != c2.tag {
                     return Some(false);
                 }

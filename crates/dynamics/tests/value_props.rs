@@ -17,8 +17,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            proptest::collection::vec(inner.clone(), 2..4)
-                .prop_map(|vs| Value::Tuple(Rc::new(vs))),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(|vs| Value::Tuple(Rc::new(vs))),
             proptest::collection::vec(inner, 0..4).prop_map(Value::list),
         ]
     })

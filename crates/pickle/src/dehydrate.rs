@@ -100,6 +100,7 @@ pub fn dehydrate(
     context: &ContextPids,
     opts: &PickleOptions,
 ) -> Result<Pickle, PickleError> {
+    let span = smlsc_trace::span("pickle.dehydrate");
     let mut d = Dehydrator {
         w: Writer::new(),
         context,
@@ -115,6 +116,11 @@ pub fn dehydrate(
     d.w.u32(MAGIC);
     d.w.u32(VERSION);
     d.bindings(exports)?;
+    drop(
+        span.field("nodes", d.stats.nodes)
+            .field("stubs", d.stats.stubs)
+            .field("backrefs", d.stats.backrefs),
+    );
     Ok(Pickle {
         stats: d.stats,
         bytes: d.w.into_bytes(),

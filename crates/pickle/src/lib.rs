@@ -53,7 +53,9 @@ pub mod wire;
 
 use std::fmt;
 
-pub use context::{collect_external_pids, reachable_entities, ContextPids, Entity, RehydrateContext};
+pub use context::{
+    collect_external_pids, reachable_entities, ContextPids, Entity, RehydrateContext,
+};
 pub use dehydrate::{dehydrate, DehydrateStats, Pickle, PickleOptions};
 pub use rehydrate::{rehydrate, RehydrateStats};
 
@@ -81,7 +83,10 @@ impl fmt::Display for PickleError {
                 write!(f, "cannot pickle an unsolved unification variable")
             }
             PickleError::MissingPid(kind) => {
-                write!(f, "{kind} has no persistent pid; hash the unit before pickling")
+                write!(
+                    f,
+                    "{kind} has no persistent pid; hash the unit before pickling"
+                )
             }
             PickleError::UnknownStub(pid) => {
                 write!(f, "stub {pid} is not in the rehydration context")

@@ -44,6 +44,7 @@ pub fn rehydrate(
     bytes: &[u8],
     context: &RehydrateContext,
 ) -> Result<(Rc<Bindings>, RehydrateStats), PickleError> {
+    let span = smlsc_trace::span("pickle.rehydrate").field("bytes", bytes.len());
     let mut r = Rehydrator {
         r: Reader::new(bytes),
         context,
@@ -61,6 +62,10 @@ pub fn rehydrate(
         return Err(PickleError::Corrupt("unsupported version".into()));
     }
     let b = r.bindings()?;
+    drop(
+        span.field("nodes", r.stats.nodes)
+            .field("stubs", r.stats.stubs),
+    );
     Ok((Rc::new(b), r.stats))
 }
 
@@ -347,9 +352,8 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
             KIND_EXN => ValKind::Exn,
             KIND_PRIM => {
                 let name = self.r.str()?;
-                let op = smlsc_syntax::ast::PrimOp::from_name(&name).ok_or_else(|| {
-                    PickleError::Corrupt(format!("unknown primitive `{name}`"))
-                })?;
+                let op = smlsc_syntax::ast::PrimOp::from_name(&name)
+                    .ok_or_else(|| PickleError::Corrupt(format!("unknown primitive `{name}`")))?;
                 ValKind::Prim(op)
             }
             KIND_CON => {

@@ -106,17 +106,23 @@ impl<'b> Reader<'b> {
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> Result<u32, PickleError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> Result<u64, PickleError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads an `i64`.
     pub fn i64(&mut self) -> Result<i64, PickleError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a `u128`.

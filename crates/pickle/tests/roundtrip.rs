@@ -6,10 +6,10 @@ use std::rc::Rc;
 
 use smlsc_dynamics::eval::execute;
 use smlsc_ids::Symbol;
+use smlsc_pickle::testing::assign_dummy_pids;
 use smlsc_pickle::{
     dehydrate, rehydrate, ContextPids, PickleError, PickleOptions, RehydrateContext,
 };
-use smlsc_pickle::testing::assign_dummy_pids;
 use smlsc_statics::elab::{elaborate_unit, ElabUnit, ImportEnv, ImportedUnit};
 use smlsc_statics::env::Bindings;
 
@@ -21,15 +21,22 @@ fn compile(src: &str, imports: &ImportEnv) -> ElabUnit {
 }
 
 fn roundtrip(exports: &Bindings) -> Rc<Bindings> {
-    let p = dehydrate(exports, &ContextPids::indexed([]), &PickleOptions::default())
-        .expect("dehydrate");
+    let p = dehydrate(
+        exports,
+        &ContextPids::indexed([]),
+        &PickleOptions::default(),
+    )
+    .expect("dehydrate");
     let (b, _) = rehydrate(&p.bytes, &RehydrateContext::with_pervasives([])).expect("rehydrate");
     b
 }
 
 #[test]
 fn simple_structure_roundtrip() {
-    let u = compile("structure A = struct val x = 1 fun f y = y + x end", &ImportEnv::empty());
+    let u = compile(
+        "structure A = struct val x = 1 fun f y = y + x end",
+        &ImportEnv::empty(),
+    );
     let b = roundtrip(&u.exports);
     let a = b.str(Symbol::intern("A")).unwrap();
     assert!(a.bindings.val(Symbol::intern("x")).is_some());
@@ -47,8 +54,12 @@ fn recursive_datatype_roundtrip() {
     let tc = t.bindings.tycon(Symbol::intern("tree")).unwrap();
     let info = tc.datatype_info().unwrap();
     // The recursive occurrence must point back at the same rebuilt tycon.
-    let Some(smlsc_statics::types::Type::Tuple(ts)) = &info.cons[1].arg else { panic!() };
-    let smlsc_statics::types::Type::Con(inner, _) = &ts[0] else { panic!() };
+    let Some(smlsc_statics::types::Type::Tuple(ts)) = &info.cons[1].arg else {
+        panic!()
+    };
+    let smlsc_statics::types::Type::Con(inner, _) = &ts[0] else {
+        panic!()
+    };
     assert_eq!(inner.stamp, tc.stamp);
 }
 
@@ -80,14 +91,21 @@ fn sharing_is_preserved() {
     let smlsc_statics::types::Type::Arrow(arg, _) = f.scheme.body.head_normalize() else {
         panic!()
     };
-    let smlsc_statics::types::Type::Con(tc, _) = arg.head_normalize() else { panic!() };
+    let smlsc_statics::types::Type::Con(tc, _) = arg.head_normalize() else {
+        panic!()
+    };
     assert_eq!(tc.stamp, a_tc.stamp, "sharing lost in pickle");
 }
 
 #[test]
 fn pervasives_become_stubs() {
     let u = compile("structure A = struct val x = 1 end", &ImportEnv::empty());
-    let p = dehydrate(&u.exports, &ContextPids::indexed([]), &PickleOptions::default()).unwrap();
+    let p = dehydrate(
+        &u.exports,
+        &ContextPids::indexed([]),
+        &PickleOptions::default(),
+    )
+    .unwrap();
     assert!(p.stats.stubs >= 1, "int should be a stub: {:?}", p.stats);
 }
 
@@ -117,7 +135,9 @@ fn rehydrated_signature_still_matches() {
     // Execute across the boundary too.
     let lib_val = execute(&lib.code, &[]).unwrap();
     let v = execute(&client.code, &[lib_val]).unwrap();
-    let smlsc_dynamics::value::Value::Record(_) = v else { panic!() };
+    let smlsc_dynamics::value::Value::Record(_) = v else {
+        panic!()
+    };
 }
 
 #[test]
@@ -164,7 +184,9 @@ fn cross_unit_stub_resolution() {
         .tycon(Symbol::intern("d"))
         .unwrap()
         .clone();
-    let smlsc_statics::types::Type::Con(tc, _) = y.scheme.body.head_normalize() else { panic!() };
+    let smlsc_statics::types::Type::Con(tc, _) = y.scheme.body.head_normalize() else {
+        panic!()
+    };
     assert_eq!(tc.stamp, a_tc.stamp);
 }
 
@@ -200,8 +222,12 @@ fn missing_pid_is_rejected() {
     let ast = smlsc_syntax::parse_unit("structure A = struct datatype d = D end").unwrap();
     let u = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
     // No pids assigned.
-    let err = dehydrate(&u.exports, &ContextPids::indexed([]), &PickleOptions::default())
-        .unwrap_err();
+    let err = dehydrate(
+        &u.exports,
+        &ContextPids::indexed([]),
+        &PickleOptions::default(),
+    )
+    .unwrap_err();
     assert!(matches!(err, PickleError::MissingPid(_)), "{err}");
 }
 
@@ -210,7 +236,12 @@ fn corrupt_bytes_are_rejected() {
     let err = rehydrate(&[1, 2, 3], &RehydrateContext::with_pervasives([])).unwrap_err();
     assert!(matches!(err, PickleError::Corrupt(_)));
     let u = compile("structure A = struct val x = 1 end", &ImportEnv::empty());
-    let p = dehydrate(&u.exports, &ContextPids::indexed([]), &PickleOptions::default()).unwrap();
+    let p = dehydrate(
+        &u.exports,
+        &ContextPids::indexed([]),
+        &PickleOptions::default(),
+    )
+    .unwrap();
     let mut bytes = p.bytes.clone();
     bytes.truncate(bytes.len() / 2);
     assert!(rehydrate(&bytes, &RehydrateContext::with_pervasives([])).is_err());
@@ -229,8 +260,12 @@ fn sharing_off_blows_up_size() {
         ));
     }
     let u = compile(&src, &ImportEnv::empty());
-    let shared = dehydrate(&u.exports, &ContextPids::indexed([]), &PickleOptions::default())
-        .unwrap();
+    let shared = dehydrate(
+        &u.exports,
+        &ContextPids::indexed([]),
+        &PickleOptions::default(),
+    )
+    .unwrap();
     let unshared = dehydrate(
         &u.exports,
         &ContextPids::indexed([]),
@@ -306,9 +341,16 @@ fn polymorphic_schemes_roundtrip() {
     );
     let b = roundtrip(&u.exports);
     let l = b.str(Symbol::intern("L")).unwrap();
-    assert_eq!(l.bindings.val(Symbol::intern("id")).unwrap().scheme.arity, 1);
     assert_eq!(
-        l.bindings.val(Symbol::intern("const")).unwrap().scheme.arity,
+        l.bindings.val(Symbol::intern("id")).unwrap().scheme.arity,
+        1
+    );
+    assert_eq!(
+        l.bindings
+            .val(Symbol::intern("const"))
+            .unwrap()
+            .scheme
+            .arity,
         2
     );
 }
@@ -347,7 +389,12 @@ fn dehydrate_stats_are_consistent() {
          structure B = struct val y = A.x val z = A.D 2 end",
         &ImportEnv::empty(),
     );
-    let p = dehydrate(&u.exports, &ContextPids::indexed([]), &PickleOptions::default()).unwrap();
+    let p = dehydrate(
+        &u.exports,
+        &ContextPids::indexed([]),
+        &PickleOptions::default(),
+    )
+    .unwrap();
     // A, B, d are internal nodes; d is shared (backref); int is a stub.
     assert!(p.stats.nodes >= 3, "{:?}", p.stats);
     assert!(p.stats.backrefs >= 1, "{:?}", p.stats);
@@ -381,8 +428,12 @@ fn functor_chains_survive_rehydration() {
     let client = elaborate_unit(&client_ast, &imports).expect("chains elaborate");
     let lib_val = execute(&lib.code, &[]).unwrap();
     let v = execute(&client.code, &[lib_val]).unwrap();
-    let smlsc_dynamics::value::Value::Record(units) = v else { panic!() };
-    let smlsc_dynamics::value::Value::Record(out) = &units[2] else { panic!() };
+    let smlsc_dynamics::value::Value::Record(units) = v else {
+        panic!()
+    };
+    let smlsc_dynamics::value::Value::Record(out) = &units[2] else {
+        panic!()
+    };
     assert_eq!(out[0], smlsc_dynamics::value::Value::Int(12));
 }
 
@@ -415,8 +466,12 @@ fn rehydrated_datatype_constructors_pattern_match() {
     let client = elaborate_unit(&ast, &imports).expect("elaborates");
     let lib_val = execute(&lib.code, &[]).unwrap();
     let v = execute(&client.code, &[lib_val]).unwrap();
-    let smlsc_dynamics::value::Value::Record(units) = v else { panic!() };
-    let smlsc_dynamics::value::Value::Record(u) = &units[0] else { panic!() };
+    let smlsc_dynamics::value::Value::Record(units) = v else {
+        panic!()
+    };
+    let smlsc_dynamics::value::Value::Record(u) = &units[0] else {
+        panic!()
+    };
     assert_eq!(u[1], smlsc_dynamics::value::Value::Int(3));
     assert_eq!(u[2], smlsc_dynamics::value::Value::Int(12));
 }

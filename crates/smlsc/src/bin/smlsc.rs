@@ -6,6 +6,15 @@
 //! smlsc run <dir>      build, link, execute, and print the exports
 //! smlsc repl           interactive compile-and-execute session (§7);
 //!                      terminate each input with a line ending in `;;`
+//!
+//! build/run options:
+//!   --strategy <s>     recompilation strategy: cutoff (default),
+//!                      timestamp, or classical
+//!   --explain          print why each unit was recompiled or reused
+//!   --stats            print a JSON telemetry report (counters and
+//!                      per-phase duration histograms) to stdout
+//!   --trace-out <f>    write a Chrome trace-event JSON file (load it in
+//!                      chrome://tracing or https://ui.perfetto.dev)
 //! ```
 //!
 //! The driver is a thin client of the library — exactly the paper's
@@ -17,15 +26,75 @@ use std::path::{Path, PathBuf};
 
 use smlsc::core::irm::{Irm, Project, Strategy};
 use smlsc::core::session::Session;
+use smlsc::core::trace;
+
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl\noptions: --strategy <cutoff|timestamp|classical>  --explain  --stats  --trace-out <file>";
+
+/// Options for `smlsc build` / `smlsc run`.
+#[derive(Default)]
+struct BuildOpts {
+    dir: Option<String>,
+    strategy: Strategy,
+    explain: bool,
+    stats: bool,
+    trace_out: Option<PathBuf>,
+}
+
+impl BuildOpts {
+    /// Parses the arguments after the subcommand.  `Err` is a message for
+    /// stderr (usage errors exit with code 2).
+    fn parse(args: &[String]) -> Result<BuildOpts, String> {
+        let mut opts = BuildOpts::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut take = |flag: &str| -> Result<String, String> {
+                match arg.strip_prefix(&format!("{flag}=")) {
+                    Some(v) => Ok(v.to_string()),
+                    None => it
+                        .next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} requires a value")),
+                }
+            };
+            if arg == "--strategy" || arg.starts_with("--strategy=") {
+                opts.strategy = take("--strategy")?.parse()?;
+            } else if arg == "--trace-out" || arg.starts_with("--trace-out=") {
+                opts.trace_out = Some(PathBuf::from(take("--trace-out")?));
+            } else if arg == "--explain" {
+                opts.explain = true;
+            } else if arg == "--stats" {
+                opts.stats = true;
+            } else if arg.starts_with('-') {
+                return Err(format!("unknown option `{arg}`"));
+            } else if opts.dir.is_none() {
+                opts.dir = Some(arg.clone());
+            } else {
+                return Err(format!("unexpected argument `{arg}`"));
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Telemetry is collected only when an exporter will consume it.
+    fn wants_collector(&self) -> bool {
+        self.stats || self.trace_out.is_some()
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some("build") => build(args.get(1).map(String::as_str), false),
-        Some("run") => build(args.get(1).map(String::as_str), true),
+        Some(cmd @ ("build" | "run")) => match BuildOpts::parse(&args[1..]) {
+            Ok(opts) => build(opts, cmd == "run"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                2
+            }
+        },
         Some("repl") => repl(),
         _ => {
-            eprintln!("usage: smlsc build <dir> | smlsc run <dir> | smlsc repl");
+            eprintln!("{USAGE}");
             2
         }
     };
@@ -55,22 +124,35 @@ fn load_project(dir: &Path) -> Result<Project, String> {
     if files.is_empty() {
         return Err(format!("no .sml files in {}", dir.display()));
     }
-    // Deterministic order; real mtimes are irrelevant to cutoff (the
-    // strategy the driver uses), so virtual stamps suffice.
+    // Deterministic order.  Real mtimes are threaded into the project
+    // (nanoseconds since the epoch) so `--strategy timestamp` compares
+    // sources against cached bins the way `make` would; the virtual
+    // clock is advanced past each so later stamps still sort after.
     files.sort_by(|a, b| a.0.cmp(&b.0));
     let mut p = Project::new();
-    for (name, text, _) in files {
-        p.add(name, text);
+    for (name, text, mtime) in files {
+        let nanos = mtime
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0);
+        p.add_with_mtime(name, text, nanos);
     }
     Ok(p)
 }
 
-fn build(dir: Option<&str>, run: bool) -> i32 {
-    let Some(dir) = dir else {
-        eprintln!("usage: smlsc {} <dir>", if run { "run" } else { "build" });
+fn build(opts: BuildOpts, run: bool) -> i32 {
+    let Some(dir) = &opts.dir else {
+        eprintln!(
+            "usage: smlsc {} [options] <dir>",
+            if run { "run" } else { "build" }
+        );
         return 2;
     };
     let dir = PathBuf::from(dir);
+    let collector = opts.wants_collector().then(trace::Collector::new);
+    if let Some(c) = &collector {
+        c.install();
+    }
     let project = match load_project(&dir) {
         Ok(p) => p,
         Err(e) => {
@@ -79,7 +161,7 @@ fn build(dir: Option<&str>, run: bool) -> i32 {
         }
     };
     let bin_dir = dir.join(".smlsc-bins");
-    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut irm = Irm::new(opts.strategy);
     if bin_dir.is_dir() {
         match irm.load_bins(&bin_dir) {
             Ok(n) if n > 0 => println!("loaded {n} cached bin(s)"),
@@ -98,11 +180,17 @@ fn build(dir: Option<&str>, run: bool) -> i32 {
         eprintln!("{unit}: {w}");
     }
     println!(
-        "built {} unit(s): {} recompiled, {} reused",
+        "built {} unit(s) [{}]: {} recompiled, {} reused",
         report.order.len(),
+        report.strategy,
         report.recompiled.len(),
         report.reused.len()
     );
+    if opts.explain {
+        for (unit, decision) in &report.decisions {
+            println!("  {unit}: {decision}");
+        }
+    }
     if let Err(e) = irm.save_bins(&bin_dir) {
         eprintln!("warning: could not persist bins: {e}");
     }
@@ -117,6 +205,21 @@ fn build(dir: Option<&str>, run: bool) -> i32 {
         for unit in &report.order {
             let linked = env.get(*unit).expect("linked in order");
             println!("{unit}: export pid {}", linked.export_pid);
+        }
+    }
+    if let Some(c) = &collector {
+        trace::uninstall();
+        if let Some(path) = &opts.trace_out {
+            match std::fs::write(path, c.chrome_trace_json()) {
+                Ok(()) => println!("trace written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: could not write {}: {e}", path.display());
+                    return 1;
+                }
+            }
+        }
+        if opts.stats {
+            println!("{}", c.stats_json());
         }
     }
     0

@@ -14,6 +14,7 @@
 //! | [`dynamics`] | Runtime IR, values, the `execute` interpreter |
 //! | [`pickle`] | Dehydration/rehydration of static environments |
 //! | [`core`] | Intrinsic-pid hashing, units, type-safe linkage, the IRM, sessions |
+//! | [`trace`] | Structured spans, build telemetry, rebuild-decision records |
 //! | [`workload`] | Synthetic module-graph generation for experiments |
 //!
 //! # Quickstart
@@ -48,4 +49,5 @@ pub use smlsc_ids as ids;
 pub use smlsc_pickle as pickle;
 pub use smlsc_statics as statics;
 pub use smlsc_syntax as syntax;
+pub use smlsc_trace as trace;
 pub use smlsc_workload as workload;

@@ -104,3 +104,147 @@ fn usage_on_bad_arguments() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage"), "{stderr}");
 }
+
+#[test]
+fn strategy_flag_selects_and_reports_the_strategy() {
+    let dir = project_dir("strategy");
+    std::fs::write(dir.join("a.sml"), "structure A = struct val x = 1 end").unwrap();
+
+    let out = smlsc()
+        .args(["build", "--strategy", "classical"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[classical]"), "{stdout}");
+
+    // Default is the paper's cutoff.
+    let out = smlsc().arg("build").arg(&dir).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("[cutoff]"), "{stdout}");
+
+    // A bogus strategy is a usage error.
+    let out = smlsc()
+        .args(["build", "--strategy", "frobnicate"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown strategy"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_prints_causal_decision_chains() {
+    let dir = project_dir("explain");
+    std::fs::write(
+        dir.join("util.sml"),
+        "structure Util = struct fun inc x = x + 1 end",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("main.sml"),
+        "structure Main = struct val v = Util.inc 41 end",
+    )
+    .unwrap();
+
+    let out = smlsc()
+        .args(["build", "--explain"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("util: compiled: new unit"), "{stdout}");
+    assert!(stdout.contains("main: compiled: new unit"), "{stdout}");
+
+    // A comment-only edit: util's source pid changes, its export pid does
+    // not, so --explain shows the dependent cut off with the pid intact.
+    std::fs::write(
+        dir.join("util.sml"),
+        "(* comment *) structure Util = struct fun inc x = x + 1 end",
+    )
+    .unwrap();
+    let out = smlsc()
+        .args(["build", "--explain"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("util: recompiled: source changed"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("main: cut off: import `util`") && stdout.contains("unchanged"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn trace_out_writes_chrome_trace_events() {
+    let dir = project_dir("trace");
+    std::fs::write(dir.join("a.sml"), "structure A = struct val x = 1 end").unwrap();
+    std::fs::write(dir.join("b.sml"), "structure B = struct val y = A.x end").unwrap();
+    let trace_file = dir.join("trace.json");
+
+    let out = smlsc()
+        .args(["build", "--trace-out"])
+        .arg(&trace_file)
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let trace = std::fs::read_to_string(&trace_file).unwrap();
+    assert!(
+        trace.starts_with('[') && trace.trim_end().ends_with(']'),
+        "{trace}"
+    );
+    for needle in [
+        r#""ph":"X""#,
+        r#""name":"irm.build""#,
+        r#""name":"compile.parse""#,
+        r#""name":"compile.elaborate""#,
+        r#""name":"compile.hash""#,
+        r#""name":"compile.dehydrate""#,
+        r#""pid":1"#,
+    ] {
+        assert!(trace.contains(needle), "missing {needle} in {trace}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_emits_counters_and_phase_histograms() {
+    let dir = project_dir("stats");
+    std::fs::write(dir.join("a.sml"), "structure A = struct val x = 1 end").unwrap();
+
+    let out = smlsc()
+        .args(["build", "--stats"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let json_line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("a JSON stats line");
+    for needle in [
+        r#""counters""#,
+        r#""irm.units_compiled":1"#,
+        r#""histograms""#,
+        r#""compile.parse":{"count":1"#,
+        r#""p99_us""#,
+    ] {
+        assert!(
+            json_line.contains(needle),
+            "missing {needle} in {json_line}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

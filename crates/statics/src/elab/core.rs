@@ -39,12 +39,7 @@ impl<'a> Elaborator<'a> {
                     .map(|i| Type::Param(*i))
                     .ok_or_else(|| ElabError::new(format!("unbound type variable `'{name}`"))),
                 TyvarMode::UVars => {
-                    if let Some(t) = self
-                        .tyvars
-                        .iter()
-                        .rev()
-                        .find_map(|scope| scope.get(name))
-                    {
+                    if let Some(t) = self.tyvars.iter().rev().find_map(|scope| scope.get(name)) {
                         return Ok(t.clone());
                     }
                     let t = Type::fresh(self.level);
@@ -207,10 +202,7 @@ impl<'a> Elaborator<'a> {
                 let res = Type::fresh(self.level);
                 let irrules = self.elab_rules(rules, &arg, &res)?;
                 self.check_match("fn expression", &irrules);
-                Ok((
-                    Type::Arrow(Box::new(arg), Box::new(res)),
-                    Ir::Fn(irrules),
-                ))
+                Ok((Type::Arrow(Box::new(arg), Box::new(res)), Ir::Fn(irrules)))
             }
             Exp::Let(decs, body) => {
                 self.frames.push(super::Frame::default());
@@ -422,10 +414,7 @@ impl<'a> Elaborator<'a> {
                                     "constructor `{path}` expects an argument in patterns"
                                 )));
                             }
-                            return Ok((
-                                vb.scheme.instantiate(self.level),
-                                IrPat::Con(*tag, None),
-                            ));
+                            return Ok((vb.scheme.instantiate(self.level), IrPat::Con(*tag, None)));
                         }
                         ValKind::Exn => {
                             let t = vb.scheme.instantiate(self.level);
@@ -437,10 +426,7 @@ impl<'a> Elaborator<'a> {
                             let acc = access.ok_or_else(|| {
                                 ElabError::new(format!("exception `{path}` has no runtime access"))
                             })?;
-                            return Ok((
-                                self.perv.exn_ty(),
-                                IrPat::Exn(Box::new(acc.ir()), None),
-                            ));
+                            return Ok((self.perv.exn_ty(), IrPat::Exn(Box::new(acc.ir()), None)));
                         }
                         ValKind::Plain | ValKind::Prim(_) => {}
                     }
@@ -481,12 +467,9 @@ impl<'a> Elaborator<'a> {
                 }
                 let nil = self.perv.nil_tag();
                 let cons = self.perv.cons_tag();
-                let pat = irs
-                    .into_iter()
-                    .rev()
-                    .fold(IrPat::Con(nil, None), |acc, x| {
-                        IrPat::Con(cons, Some(Box::new(IrPat::Tuple(vec![x, acc]))))
-                    });
+                let pat = irs.into_iter().rev().fold(IrPat::Con(nil, None), |acc, x| {
+                    IrPat::Con(cons, Some(Box::new(IrPat::Tuple(vec![x, acc]))))
+                });
                 Ok((self.perv.list_ty(elem), pat))
             }
             Pat::Con(path, argp) => {
@@ -523,9 +506,9 @@ impl<'a> Elaborator<'a> {
                             IrPat::Exn(Box::new(acc.ir()), Some(Box::new(irp))),
                         ))
                     }
-                    ValKind::Plain | ValKind::Prim(_) => Err(ElabError::new(format!(
-                        "`{path}` is not a constructor"
-                    ))),
+                    ValKind::Plain | ValKind::Prim(_) => {
+                        Err(ElabError::new(format!("`{path}` is not a constructor")))
+                    }
                 }
             }
             Pat::Ascribe(p, ty) => {
@@ -619,10 +602,7 @@ impl<'a> Elaborator<'a> {
                     None => (Scheme::mono(exn), false),
                     Some(ty) => {
                         let at = self.elab_ty(ty, &TyvarMode::Params(&empty))?;
-                        (
-                            Scheme::mono(Type::Arrow(Box::new(at), Box::new(exn))),
-                            true,
-                        )
+                        (Scheme::mono(Type::Arrow(Box::new(at), Box::new(exn))), true)
                     }
                 };
                 let lv = self.fresh_lvar();
@@ -743,9 +723,7 @@ impl<'a> Elaborator<'a> {
         self.tyvars.pop();
         self.level -= 1;
         let compiled = compiled?;
-        out.push(IrDec::Fix(
-            lvars.iter().copied().zip(compiled).collect(),
-        ));
+        out.push(IrDec::Fix(lvars.iter().copied().zip(compiled).collect()));
         for ((fb, ty), lv) in fbs.iter().zip(&fn_tys).zip(&lvars) {
             let scheme = generalize(self.level, ty);
             self.cur_frame().vals.push((
@@ -783,12 +761,9 @@ impl<'a> Elaborator<'a> {
         // Curried: t1 -> t2 -> ... -> res
         let param_tys: Vec<Type> = (0..arity).map(|_| Type::fresh(self.level)).collect();
         let res = Type::fresh(self.level);
-        let full = param_tys
-            .iter()
-            .rev()
-            .fold(res.clone(), |acc, t| {
-                Type::Arrow(Box::new(t.clone()), Box::new(acc))
-            });
+        let full = param_tys.iter().rev().fold(res.clone(), |acc, t| {
+            Type::Arrow(Box::new(t.clone()), Box::new(acc))
+        });
         unify(fn_ty, &full).map_err(|e| self.unify_err(e))?;
         let mut case_rules = Vec::new();
         for cl in &fb.clauses {

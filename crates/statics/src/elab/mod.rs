@@ -329,7 +329,10 @@ impl<'a> Elaborator<'a> {
         }
         for q in components {
             let sub = cur.bindings.str(q).ok_or_else(|| {
-                ElabError::new(format!("structure `{}` has no substructure `{q}`", cur_name(&cur)))
+                ElabError::new(format!(
+                    "structure `{}` has no substructure `{q}`",
+                    cur_name(&cur)
+                ))
             })?;
             let slot = str_slot(&cur.bindings, q)
                 .ok_or_else(|| ElabError::new("internal: substructure without slot"))?;
@@ -372,9 +375,10 @@ impl<'a> Elaborator<'a> {
             return Err(ElabError::new(format!("unbound variable `{name}`")));
         }
         let (str_env, acc) = self.lookup_prefix(path)?;
-        let vb = str_env.bindings.val(path.last).ok_or_else(|| {
-            ElabError::new(format!("structure has no value `{}`", path.last))
-        })?;
+        let vb = str_env
+            .bindings
+            .val(path.last)
+            .ok_or_else(|| ElabError::new(format!("structure has no value `{}`", path.last)))?;
         let access = match vb.kind {
             ValKind::Con { .. } | ValKind::Prim(_) => None,
             ValKind::Plain | ValKind::Exn => {
@@ -518,8 +522,12 @@ fn build_view_record(
                     base.field(s).ir()
                 } else {
                     let inner = el.fresh_lvar();
-                    let body =
-                        build_view_record(el, &astr.bindings, &vstr.bindings, &Access::Local(inner))?;
+                    let body = build_view_record(
+                        el,
+                        &astr.bindings,
+                        &vstr.bindings,
+                        &Access::Local(inner),
+                    )?;
                     Ir::Let(
                         vec![IrDec::Val(
                             smlsc_dynamics::ir::IrPat::Var(inner),

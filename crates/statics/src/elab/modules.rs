@@ -15,7 +15,7 @@ use crate::env::{FunctorEnv, SignatureEnv, StructureEnv, ValBind, ValKind};
 use crate::error::ElabError;
 use crate::realize::Realizer;
 use crate::sigmatch::{instantiate, match_structure};
-use crate::types::{Scheme, Tycon, Type, TyconDef};
+use crate::types::{Scheme, Tycon, TyconDef, Type};
 
 use super::core::TyvarMode;
 use super::{coerce_ir, Access, Elaborator, Frame};
@@ -137,16 +137,13 @@ impl<'a> Elaborator<'a> {
 
     // ----- structure expressions -------------------------------------------
 
-    pub(crate) fn elab_strexp(
-        &mut self,
-        se: &StrExp,
-    ) -> Result<(Rc<StructureEnv>, Ir), ElabError> {
+    pub(crate) fn elab_strexp(&mut self, se: &StrExp) -> Result<(Rc<StructureEnv>, Ir), ElabError> {
         match se {
             StrExp::Var(path) => {
                 let (env, access) = self.lookup_str_path(path)?;
-                let ir = access
-                    .map(|a| a.ir())
-                    .ok_or_else(|| ElabError::new(format!("structure `{path}` has no runtime value")))?;
+                let ir = access.map(|a| a.ir()).ok_or_else(|| {
+                    ElabError::new(format!("structure `{path}` has no runtime value"))
+                })?;
                 Ok((env, ir))
             }
             StrExp::Struct(decs) => {
@@ -194,9 +191,9 @@ impl<'a> Elaborator<'a> {
                 }
                 let mut r = Realizer::new(map, fct.gen_lo, fct.gen_hi);
                 let result = r.structure(&fct.body);
-                let fir = faccess
-                    .map(|a| a.ir())
-                    .ok_or_else(|| ElabError::new(format!("functor `{fname}` has no runtime value")))?;
+                let fir = faccess.map(|a| a.ir()).ok_or_else(|| {
+                    ElabError::new(format!("functor `{fname}` has no runtime value"))
+                })?;
                 Ok((result, Ir::App(Box::new(fir), Box::new(carg))))
             }
             StrExp::Let(decs, body) => {
@@ -274,13 +271,9 @@ impl<'a> Elaborator<'a> {
                 // Locate the constrained tycon inside the template.
                 let mut cur = base_sig.body.clone();
                 for q in &ty_path.qualifiers {
-                    cur = cur
-                        .bindings
-                        .str(*q)
-                        .cloned()
-                        .ok_or_else(|| {
-                            ElabError::new(format!("`where type`: no substructure `{q}`"))
-                        })?;
+                    cur = cur.bindings.str(*q).cloned().ok_or_else(|| {
+                        ElabError::new(format!("`where type`: no substructure `{q}`"))
+                    })?;
                 }
                 let tc = cur.bindings.tycon(ty_path.last).cloned().ok_or_else(|| {
                     ElabError::new(format!("`where type`: no type `{}`", ty_path.last))

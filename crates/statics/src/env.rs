@@ -10,8 +10,8 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use smlsc_dynamics::ir::ConTag;
-use smlsc_syntax::ast::PrimOp;
 use smlsc_ids::{Pid, Stamp, Symbol};
+use smlsc_syntax::ast::PrimOp;
 
 use crate::types::{Scheme, Tycon};
 
@@ -67,27 +67,47 @@ impl Bindings {
 
     /// Looks up a value (last binding wins).
     pub fn val(&self, name: Symbol) -> Option<&ValBind> {
-        self.vals.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v)
+        self.vals
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 
     /// Looks up a type constructor.
     pub fn tycon(&self, name: Symbol) -> Option<&Rc<Tycon>> {
-        self.tycons.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v)
+        self.tycons
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 
     /// Looks up a substructure.
     pub fn str(&self, name: Symbol) -> Option<&Rc<StructureEnv>> {
-        self.strs.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v)
+        self.strs
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 
     /// Looks up a signature.
     pub fn sig(&self, name: Symbol) -> Option<&Rc<SignatureEnv>> {
-        self.sigs.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v)
+        self.sigs
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 
     /// Looks up a functor.
     pub fn fct(&self, name: Symbol) -> Option<&Rc<FunctorEnv>> {
-        self.fcts.iter().rev().find(|(n, _)| *n == name).map(|(_, v)| v)
+        self.fcts
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
     }
 
     /// True if nothing is bound.
@@ -263,7 +283,7 @@ pub fn fct_slot(b: &Bindings, name: Symbol) -> Option<u32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::{Type, TyconDef};
+    use crate::types::{TyconDef, Type};
     use smlsc_ids::StampGenerator;
 
     fn plain_val() -> ValBind {
@@ -299,7 +319,10 @@ mod tests {
         let slots = runtime_slots(&b);
         assert_eq!(
             slots,
-            vec![Slot::Val(Symbol::intern("x")), Slot::Val(Symbol::intern("y"))]
+            vec![
+                Slot::Val(Symbol::intern("x")),
+                Slot::Val(Symbol::intern("y"))
+            ]
         );
         assert_eq!(val_slot(&b, Symbol::intern("y")), Some(1));
         assert_eq!(val_slot(&b, Symbol::intern("C")), None);
@@ -309,13 +332,18 @@ mod tests {
     fn layout_orders_vals_then_strs_then_fcts() {
         let mut g = StampGenerator::new();
         let mut b = Bindings::new();
-        b.strs
-            .push((Symbol::intern("S"), StructureEnv::new(g.fresh(), Bindings::new())));
+        b.strs.push((
+            Symbol::intern("S"),
+            StructureEnv::new(g.fresh(), Bindings::new()),
+        ));
         b.vals.push((Symbol::intern("x"), plain_val()));
         let slots = runtime_slots(&b);
         assert_eq!(
             slots,
-            vec![Slot::Val(Symbol::intern("x")), Slot::Str(Symbol::intern("S"))]
+            vec![
+                Slot::Val(Symbol::intern("x")),
+                Slot::Str(Symbol::intern("S"))
+            ]
         );
         assert_eq!(str_slot(&b, Symbol::intern("S")), Some(1));
     }

@@ -84,10 +84,9 @@ fn head_of(pat: &IrPat) -> Option<(Head, Vec<IrPat>)> {
         IrPat::Str(s) => Some((Head::Str(s.clone()), vec![])),
         IrPat::Unit => Some((Head::Unit, vec![])),
         IrPat::Tuple(ps) => Some((Head::Tuple(ps.len()), ps.clone())),
-        IrPat::Con(tag, arg) => Some((
-            Head::Con(*tag),
-            arg.iter().map(|p| (**p).clone()).collect(),
-        )),
+        IrPat::Con(tag, arg) => {
+            Some((Head::Con(*tag), arg.iter().map(|p| (**p).clone()).collect()))
+        }
         IrPat::Exn(_, arg) => Some((
             Head::Exn(arg.iter().len()),
             arg.iter().map(|p| (**p).clone()).collect(),
@@ -320,8 +319,9 @@ mod tests {
     fn nested_list_patterns() {
         // [] | x :: _  over lists is exhaustive; [] | [x] is not.
         let nil = || IrPat::Con(tag(0, 2, false), None);
-        let cons =
-            |h: IrPat, t: IrPat| IrPat::Con(tag(1, 2, true), Some(Box::new(IrPat::Tuple(vec![h, t]))));
+        let cons = |h: IrPat, t: IrPat| {
+            IrPat::Con(tag(1, 2, true), Some(Box::new(IrPat::Tuple(vec![h, t]))))
+        };
         let a = analyze_match(&[rule(nil()), rule(cons(IrPat::Var(0), IrPat::Wild))]);
         assert!(!a.inexhaustive);
         let a = analyze_match(&[rule(nil()), rule(cons(IrPat::Var(0), nil()))]);

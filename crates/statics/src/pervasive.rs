@@ -218,14 +218,10 @@ fn build() -> Rc<Pervasives> {
     let bool_ty = Type::Con(bool_tc.clone(), vec![]);
     let list_p = Type::Con(list_tc.clone(), vec![Type::Param(0)]);
     let option_p = Type::Con(option_tc.clone(), vec![Type::Param(0)]);
-    b.vals.push(con(
-        &bool_tc,
-        0,
-        2,
-        "false",
-        Scheme::mono(bool_ty.clone()),
-    ));
-    b.vals.push(con(&bool_tc, 1, 2, "true", Scheme::mono(bool_ty)));
+    b.vals
+        .push(con(&bool_tc, 0, 2, "false", Scheme::mono(bool_ty.clone())));
+    b.vals
+        .push(con(&bool_tc, 1, 2, "true", Scheme::mono(bool_ty)));
     b.vals.push(con(
         &list_tc,
         0,

@@ -260,7 +260,9 @@ mod tests {
         let c = r.tycon(&dt);
         // The clone's recursive occurrence points at the clone itself.
         let info = c.datatype_info().unwrap();
-        let Some(Type::Con(inner, _)) = &info.cons[1].arg else { panic!() };
+        let Some(Type::Con(inner, _)) = &info.cons[1].arg else {
+            panic!()
+        };
         assert_eq!(inner.stamp, c.stamp);
     }
 

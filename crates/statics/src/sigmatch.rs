@@ -64,7 +64,13 @@ pub fn match_structure(
 ) -> Result<MatchOk, ElabError> {
     let bound: HashSet<Stamp> = sig.bound.iter().copied().collect();
     let mut realization = HashMap::new();
-    discover(&sig.body.bindings, &actual.bindings, &bound, &mut realization, "")?;
+    discover(
+        &sig.body.bindings,
+        &actual.bindings,
+        &bound,
+        &mut realization,
+        "",
+    )?;
 
     // Realize the template with the discovered realization.
     let mut r = Realizer::new(realization.clone(), sig.lo, sig.hi);
@@ -126,9 +132,11 @@ fn discover(
                     )));
                 };
                 if tinfo.cons.len() != ainfo.cons.len()
-                    || tinfo.cons.iter().zip(&ainfo.cons).any(|(t, a)| {
-                        t.name != a.name || t.arg.is_some() != a.arg.is_some()
-                    })
+                    || tinfo
+                        .cons
+                        .iter()
+                        .zip(&ainfo.cons)
+                        .any(|(t, a)| t.name != a.name || t.arg.is_some() != a.arg.is_some())
                 {
                     return Err(ElabError::new(format!(
                         "signature mismatch: datatype `{}` has different constructors",
@@ -278,10 +286,7 @@ mod tests {
             arity: 1,
             body: Type::Arrow(Box::new(Type::Param(0)), Box::new(Type::Param(0))),
         };
-        let mono = Scheme::mono(Type::Arrow(
-            Box::new(p.int_ty()),
-            Box::new(p.int_ty()),
-        ));
+        let mono = Scheme::mono(Type::Arrow(Box::new(p.int_ty()), Box::new(p.int_ty())));
         assert!(scheme_matches(&id, &mono));
         // And not the other way around.
         assert!(!scheme_matches(&mono, &id));

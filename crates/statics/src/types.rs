@@ -234,7 +234,10 @@ pub fn subst_params(body: &Type, args: &[Type]) -> Type {
             .cloned()
             .unwrap_or_else(|| body.clone()),
         Type::UVar(_) => body.clone(),
-        Type::Con(tc, ts) => Type::Con(tc.clone(), ts.iter().map(|t| subst_params(t, args)).collect()),
+        Type::Con(tc, ts) => Type::Con(
+            tc.clone(),
+            ts.iter().map(|t| subst_params(t, args)).collect(),
+        ),
         Type::Tuple(ts) => Type::Tuple(ts.iter().map(|t| subst_params(t, args)).collect()),
         Type::Arrow(a, b) => Type::Arrow(
             Box::new(subst_params(a, args)),
@@ -593,10 +596,7 @@ mod tests {
             TyconDef::Alias(Type::Tuple(vec![Type::Param(0), Type::Param(0)])),
         );
         let a = Type::Con(pair, vec![Type::Con(int.clone(), vec![])]);
-        let b = Type::Tuple(vec![
-            Type::Con(int.clone(), vec![]),
-            Type::Con(int, vec![]),
-        ]);
+        let b = Type::Tuple(vec![Type::Con(int.clone(), vec![]), Type::Con(int, vec![])]);
         assert!(unify(&a, &b).is_ok());
     }
 

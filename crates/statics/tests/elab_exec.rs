@@ -26,10 +26,14 @@ fn run(src: &str) -> (ElabUnit, Value) {
 
 /// Fetches `Str.member` from a unit's export record.
 fn member(unit: &ElabUnit, export: &Value, str_name: &str, val_name: &str) -> Value {
-    let Value::Record(units) = export else { panic!("export not a record") };
+    let Value::Record(units) = export else {
+        panic!("export not a record")
+    };
     let s = Symbol::intern(str_name);
     let slot = str_slot(&unit.exports, s).expect("structure slot") as usize;
-    let Value::Record(fields) = &units[slot] else { panic!("structure not a record") };
+    let Value::Record(fields) = &units[slot] else {
+        panic!("structure not a record")
+    };
     let b = &unit.exports.str(s).unwrap().bindings;
     let vslot = val_slot(b, Symbol::intern(val_name)).expect("value slot") as usize;
     fields[vslot].clone()
@@ -43,52 +47,44 @@ fn simple_structure_value() {
 
 #[test]
 fn functions_and_recursion() {
-    let (unit, v) = run(
-        "structure M = struct
+    let (unit, v) = run("structure M = struct
            fun fact n = if n = 0 then 1 else n * fact (n - 1)
            val result = fact 6
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "M", "result"), Value::Int(720));
 }
 
 #[test]
 fn mutual_recursion() {
-    let (unit, v) = run(
-        "structure M = struct
+    let (unit, v) = run("structure M = struct
            fun isEven n = if n = 0 then true else isOdd (n - 1)
            and isOdd n = if n = 0 then false else isEven (n - 1)
            val a = isEven 10
            val b = isOdd 10
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "M", "a"), Value::bool(true));
     assert_eq!(member(&unit, &v, "M", "b"), Value::bool(false));
 }
 
 #[test]
 fn datatypes_and_pattern_matching() {
-    let (unit, v) = run(
-        "structure T = struct
+    let (unit, v) = run("structure T = struct
            datatype tree = Leaf | Node of tree * int * tree
            fun sum Leaf = 0
              | sum (Node (l, n, r)) = sum l + n + sum r
            val total = sum (Node (Node (Leaf, 1, Leaf), 2, Node (Leaf, 3, Leaf)))
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "T", "total"), Value::Int(6));
 }
 
 #[test]
 fn polymorphic_map_at_two_types() {
-    let (unit, v) = run(
-        r#"structure M = struct
+    let (unit, v) = run(r#"structure M = struct
              fun map f [] = []
                | map f (x :: xs) = f x :: map f xs
              val ints = map (fn x => x + 1) [1, 2, 3]
              val strs = map (fn s => s ^ "!") ["a", "b"]
-           end"#,
-    );
+           end"#);
     assert_eq!(
         member(&unit, &v, "M", "ints"),
         Value::list(vec![Value::Int(2), Value::Int(3), Value::Int(4)])
@@ -104,8 +100,7 @@ fn figure_one_transparent_functor_application() {
     // The paper's Figure 1: because signature matching is transparent,
     // FSort.t = int is visible, so clients can apply FSort.sort directly
     // to an int list.
-    let (unit, v) = run(
-        "signature PARTIAL_ORDER = sig
+    let (unit, v) = run("signature PARTIAL_ORDER = sig
            type elem
            val less : elem * elem -> bool
          end
@@ -130,8 +125,7 @@ fn figure_one_transparent_functor_application() {
            (* FSort.t must be int, transparently. *)
            val sorted = FSort.sort [4, 2, 8]
            val asInt = case sorted of x :: _ => x + 0 | [] => 0
-         end",
-    );
+         end");
     assert_eq!(
         member(&unit, &v, "Client", "sorted"),
         Value::list(vec![Value::Int(2), Value::Int(4), Value::Int(8)])
@@ -221,8 +215,7 @@ fn functor_generativity() {
 
 #[test]
 fn exceptions_across_structures() {
-    let (unit, v) = run(
-        "structure E = struct
+    let (unit, v) = run("structure E = struct
            exception Empty
            fun hd [] = raise Empty
              | hd (x :: _) = x
@@ -230,50 +223,43 @@ fn exceptions_across_structures() {
          structure U = struct
            val ok = E.hd [7, 8]
            val caught = (E.hd []) handle E.Empty => 99
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "U", "ok"), Value::Int(7));
     assert_eq!(member(&unit, &v, "U", "caught"), Value::Int(99));
 }
 
 #[test]
 fn exception_with_payload() {
-    let (unit, v) = run(
-        r#"structure E = struct
+    let (unit, v) = run(r#"structure E = struct
              exception Fail of string
              fun go 0 = raise Fail "zero"
                | go n = n
              val msg = (go 0; "no") handle Fail s => s
-           end"#,
-    );
+           end"#);
     assert_eq!(member(&unit, &v, "E", "msg"), Value::Str("zero".into()));
 }
 
 #[test]
 fn open_splices_bindings() {
-    let (unit, v) = run(
-        "structure A = struct val x = 10 datatype d = D of int end
+    let (unit, v) = run("structure A = struct val x = 10 datatype d = D of int end
          structure B = struct
            open A
            val y = x + 1
            val z = case D 5 of D n => n
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "B", "y"), Value::Int(11));
     assert_eq!(member(&unit, &v, "B", "z"), Value::Int(5));
 }
 
 #[test]
 fn local_hides_helpers() {
-    let (unit, v) = run(
-        "structure A = struct
+    let (unit, v) = run("structure A = struct
            local
              fun helper x = x * 2
            in
              val visible = helper 21
            end
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "A", "visible"), Value::Int(42));
     let bad = compile(
         "structure A = struct
@@ -287,13 +273,11 @@ fn local_hides_helpers() {
 
 #[test]
 fn nested_structures() {
-    let (unit, v) = run(
-        "structure A = struct
+    let (unit, v) = run("structure A = struct
            structure Inner = struct val x = 5 end
            val y = Inner.x + 1
          end
-         structure B = struct val z = A.Inner.x + A.y end",
-    );
+         structure B = struct val z = A.Inner.x + A.y end");
     assert_eq!(member(&unit, &v, "B", "z"), Value::Int(11));
 }
 
@@ -468,13 +452,11 @@ fn ambiguous_import_is_an_error() {
 
 #[test]
 fn shadowing_within_a_structure() {
-    let (unit, v) = run(
-        "structure A = struct
+    let (unit, v) = run("structure A = struct
            val x = 1
            val x = x + 1
            val x = x * 10
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "A", "x"), Value::Int(20));
 }
 
@@ -531,38 +513,32 @@ fn handle_uncaught_propagates() {
 
 #[test]
 fn str_let_scoping() {
-    let (unit, v) = run(
-        "structure A = let
+    let (unit, v) = run("structure A = let
            structure H = struct val x = 21 end
          in
            struct val y = H.x * 2 end
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "A", "y"), Value::Int(42));
 }
 
 #[test]
 fn option_pervasives() {
-    let (unit, v) = run(
-        "structure A = struct
+    let (unit, v) = run("structure A = struct
            fun fromOpt (SOME x) = x
              | fromOpt NONE = 0
            val a = fromOpt (SOME 5)
            val b = fromOpt NONE
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "A", "a"), Value::Int(5));
     assert_eq!(member(&unit, &v, "A", "b"), Value::Int(0));
 }
 
 #[test]
 fn string_operations() {
-    let (unit, v) = run(
-        r#"structure S = struct
+    let (unit, v) = run(r#"structure S = struct
              val hello = "hello" ^ " " ^ "world"
              val cmp = "abc" < "abd"
-           end"#,
-    );
+           end"#);
     assert_eq!(
         member(&unit, &v, "S", "hello"),
         Value::Str("hello world".into())
@@ -572,25 +548,21 @@ fn string_operations() {
 
 #[test]
 fn higher_order_functions() {
-    let (unit, v) = run(
-        "structure H = struct
+    let (unit, v) = run("structure H = struct
            fun compose f g = fn x => f (g x)
            fun twice f = compose f f
            val r = twice (fn x => x * 3) 2
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "H", "r"), Value::Int(18));
 }
 
 #[test]
 fn list_append_and_patterns() {
-    let (unit, v) = run(
-        "structure L = struct
+    let (unit, v) = run("structure L = struct
            fun rev [] = []
              | rev (x :: xs) = rev xs @ [x]
            val r = rev [1, 2, 3]
-         end",
-    );
+         end");
     assert_eq!(
         member(&unit, &v, "L", "r"),
         Value::list(vec![Value::Int(3), Value::Int(2), Value::Int(1)])
@@ -612,8 +584,7 @@ fn opaque_functor_result_hides() {
 
 #[test]
 fn datatype_spec_in_signature_stays_transparent() {
-    let (unit, v) = run(
-        "signature S = sig
+    let (unit, v) = run("signature S = sig
            datatype color = Red | Green | Blue
            val favorite : color
          end
@@ -623,22 +594,19 @@ fn datatype_spec_in_signature_stays_transparent() {
          end
          structure U = struct
            val isGreen = case C.favorite of C.Green => true | _ => false
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "U", "isGreen"), Value::bool(true));
 }
 
 #[test]
 fn as_patterns_bind_the_whole_value() {
-    let (unit, v) = run(
-        "structure A = struct
+    let (unit, v) = run("structure A = struct
            fun firstTwo (l as (x :: _)) = (x, l)
              | firstTwo [] = (0, [])
            val (hd1, whole) = firstTwo [7, 8, 9]
            val len = let fun go acc [] = acc | go acc (_ :: t) = go (acc + 1) t
                      in go 0 whole end
-         end",
-    );
+         end");
     assert_eq!(member(&unit, &v, "A", "hd1"), Value::Int(7));
     assert_eq!(member(&unit, &v, "A", "len"), Value::Int(3));
 }
@@ -693,16 +661,14 @@ fn where_type_on_a_nested_path() {
 
 #[test]
 fn two_functors_sharing_one_named_signature() {
-    let (unit, v) = run(
-        "signature CELL = sig val n : int end
+    let (unit, v) = run("signature CELL = sig val n : int end
          functor AddOne (C : CELL) = struct val n = C.n + 1 end
          functor Double (C : CELL) = struct val n = C.n * 2 end
          structure Base : CELL = struct val n = 10 end
          structure A = AddOne(Base)
          structure D = Double(Base)
          structure Chain = Double(AddOne(Base))
-         structure Out = struct val a = A.n val d = D.n val c = Chain.n end",
-    );
+         structure Out = struct val a = A.n val d = D.n val c = Chain.n end");
     assert_eq!(member(&unit, &v, "Out", "a"), Value::Int(11));
     assert_eq!(member(&unit, &v, "Out", "d"), Value::Int(20));
     assert_eq!(member(&unit, &v, "Out", "c"), Value::Int(22));
@@ -711,13 +677,11 @@ fn two_functors_sharing_one_named_signature() {
 #[test]
 fn functor_result_used_as_functor_argument() {
     // Nested application in one expression: F(G(X)).
-    let (unit, v) = run(
-        "signature S = sig val v : int end
+    let (unit, v) = run("signature S = sig val v : int end
          functor Inc (X : S) = struct val v = X.v + 1 end
          structure Zero : S = struct val v = 0 end
          structure Three = Inc(Inc(Inc(Zero)))
-         structure Out = struct val r = Three.v end",
-    );
+         structure Out = struct val r = Three.v end");
     assert_eq!(member(&unit, &v, "Out", "r"), Value::Int(3));
 }
 

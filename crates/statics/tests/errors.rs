@@ -43,7 +43,9 @@ fn unbound_functor() {
 
 #[test]
 fn tycon_arity_mismatch() {
-    let m = err("structure A = struct type t = int list list val x = fn (y : (int, string) list) => y end");
+    let m = err(
+        "structure A = struct type t = int list list val x = fn (y : (int, string) list) => y end",
+    );
     assert!(m.contains("expects 1 argument"), "{m}");
 }
 
@@ -55,23 +57,19 @@ fn unbound_tyvar_in_datatype() {
 
 #[test]
 fn nullary_constructor_applied_in_pattern() {
-    let m = err(
-        "structure A = struct
+    let m = err("structure A = struct
            datatype t = C
            fun f (C x) = x
-         end",
-    );
+         end");
     assert!(m.contains("takes no argument"), "{m}");
 }
 
 #[test]
 fn unary_constructor_bare_in_pattern() {
-    let m = err(
-        "structure A = struct
+    let m = err("structure A = struct
            datatype t = C of int
            fun f C = 1
-         end",
-    );
+         end");
     assert!(m.contains("expects an argument"), "{m}");
 }
 
@@ -84,7 +82,10 @@ fn duplicate_pattern_variable() {
 #[test]
 fn qualified_name_cannot_bind() {
     let m = err("structure A = struct val B.x = 1 end");
-    assert!(m.contains("cannot bind") || m.contains("not a constructor"), "{m}");
+    assert!(
+        m.contains("cannot bind") || m.contains("not a constructor"),
+        "{m}"
+    );
 }
 
 #[test]
@@ -119,29 +120,23 @@ fn raise_requires_exn() {
 
 #[test]
 fn where_type_on_manifest_type_is_rejected() {
-    let m = err(
-        "signature S = sig type t = int end
-         structure A : S where type t = string = struct type t = int end",
-    );
+    let m = err("signature S = sig type t = int end
+         structure A : S where type t = string = struct type t = int end");
     assert!(m.contains("not flexible"), "{m}");
 }
 
 #[test]
 fn where_type_arity_mismatch() {
-    let m = err(
-        "signature S = sig type 'a t end
-         structure A : S where type t = int = struct type 'a t = int end",
-    );
+    let m = err("signature S = sig type 'a t end
+         structure A : S where type t = int = struct type 'a t = int end");
     assert!(m.contains("arity mismatch"), "{m}");
 }
 
 #[test]
 fn functor_argument_mismatch_names_the_functor() {
-    let m = err(
-        "signature S = sig val n : int end
+    let m = err("signature S = sig val n : int end
          functor F (X : S) = struct end
-         structure Bad = F(struct val wrong = 1 end)",
-    );
+         structure Bad = F(struct val wrong = 1 end)");
     assert!(m.contains("functor `F`"), "{m}");
     assert!(m.contains("missing value `n`"), "{m}");
 }
@@ -163,56 +158,47 @@ fn missing_type_in_signature_match() {
 
 #[test]
 fn datatype_spec_requires_same_constructors() {
-    let m = err(
-        "signature S = sig datatype d = X | Y end
-         structure A : S = struct datatype d = X | Z end",
-    );
+    let m = err("signature S = sig datatype d = X | Y end
+         structure A : S = struct datatype d = X | Z end");
     assert!(m.contains("different constructors"), "{m}");
 }
 
 #[test]
 fn datatype_spec_requires_a_datatype() {
-    let m = err(
-        "signature S = sig datatype d = X end
-         structure A : S = struct type d = int val X = 1 end",
-    );
+    let m = err("signature S = sig datatype d = X end
+         structure A : S = struct type d = int val X = 1 end");
     assert!(m.contains("must be a datatype"), "{m}");
 }
 
 #[test]
 fn exception_spec_requires_exception() {
-    let m = err(
-        "signature S = sig exception E end
-         structure A : S = struct val E = 1 end",
-    );
+    let m = err("signature S = sig exception E end
+         structure A : S = struct val E = 1 end");
     assert!(m.contains("must be an exception"), "{m}");
 }
 
 #[test]
 fn constructor_spec_requires_constructor() {
-    let m = err(
-        "signature S = sig datatype d = C end
+    let m = err("signature S = sig datatype d = C end
          structure Impl = struct datatype d = C end
-         structure A : S = struct type d = int val C = 1 end",
+         structure A : S = struct type d = int val C = 1 end");
+    assert!(
+        m.contains("must be a datatype") || m.contains("constructor"),
+        "{m}"
     );
-    assert!(m.contains("must be a datatype") || m.contains("constructor"), "{m}");
 }
 
 #[test]
 fn errors_carry_locations() {
-    let ast = smlsc_syntax::parse_unit(
-        "structure A = struct\n  val x = 1\n  val y = missing\nend",
-    )
-    .unwrap();
+    let ast = smlsc_syntax::parse_unit("structure A = struct\n  val x = 1\n  val y = missing\nend")
+        .unwrap();
     let e = elaborate_unit(&ast, &ImportEnv::empty()).unwrap_err();
     assert!(e.loc.is_some(), "{e}");
 }
 
 #[test]
 fn arity_of_applied_structure_member() {
-    let m = err(
-        "structure A = struct type t = int end
-         structure B = struct val f = fn (x : int A.t) => x end",
-    );
+    let m = err("structure A = struct type t = int end
+         structure B = struct val f = fn (x : int A.t) => x end");
     assert!(m.contains("expects 0 argument"), "{m}");
 }

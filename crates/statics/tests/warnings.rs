@@ -137,10 +137,7 @@ fn multi_parameter_clauses_are_analyzed_jointly() {
 #[test]
 fn warnings_do_not_block_compilation() {
     // A unit with warnings still compiles and its exports are intact.
-    let ast = smlsc_syntax::parse_unit(
-        "structure A = struct fun hd (x :: _) = x end",
-    )
-    .unwrap();
+    let ast = smlsc_syntax::parse_unit("structure A = struct fun hd (x :: _) = x end").unwrap();
     let u = elaborate_unit(&ast, &ImportEnv::empty()).unwrap();
     assert!(!u.warnings.is_empty());
     assert!(u.exports.str(smlsc_ids::Symbol::intern("A")).is_some());

@@ -423,10 +423,7 @@ mod tests {
 
     #[test]
     fn signature_reference_is_an_import() {
-        assert_eq!(
-            free("structure B : S = struct val y = 1 end"),
-            vec!["S"]
-        );
+        assert_eq!(free("structure B : S = struct val y = 1 end"), vec!["S"]);
     }
 
     #[test]
@@ -446,10 +443,7 @@ mod tests {
 
     #[test]
     fn functor_parameter_shadows() {
-        assert!(free(
-            "functor F (P : sig val x : int end) = struct val y = P.x end"
-        )
-        .is_empty());
+        assert!(free("functor F (P : sig val x : int end) = struct val y = P.x end").is_empty());
     }
 
     #[test]
@@ -457,9 +451,7 @@ mod tests {
         // P free in the second functor? No — each binds its own P; but the
         // reference to Q escapes.
         assert_eq!(
-            free(
-                "functor F (P : sig val x : int end) = struct val y = P.x + Q.z end"
-            ),
+            free("functor F (P : sig val x : int end) = struct val y = P.x + Q.z end"),
             vec!["Q"]
         );
     }
@@ -474,10 +466,7 @@ mod tests {
 
     #[test]
     fn open_is_an_import() {
-        assert_eq!(
-            free("structure B = struct open A val y = x end"),
-            vec!["A"]
-        );
+        assert_eq!(free("structure B = struct open A val y = x end"), vec!["A"]);
     }
 
     #[test]

@@ -572,9 +572,7 @@ impl<'s> Lexer<'s> {
                     Some('t') => s.push('\t'),
                     Some('\\') => s.push('\\'),
                     Some('"') => s.push('"'),
-                    other => {
-                        return Err(self.err(format!("unsupported string escape {other:?}")))
-                    }
+                    other => return Err(self.err(format!("unsupported string escape {other:?}"))),
                 },
                 Some('\n') => return Err(self.err("newline in string literal")),
                 Some(c) => s.push(c),

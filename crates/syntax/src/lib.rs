@@ -47,7 +47,9 @@ pub use parser::{parse_unit, ParseError};
 
 /// A source location (1-based line and column), carried on tokens and
 /// reported in parse and elaboration errors.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Loc {
     /// 1-based line number.
     pub line: u32,

@@ -237,7 +237,9 @@ impl Parser {
                 SigExp::Sig(specs)
             }
             Tok::Ident(_) => SigExp::Var(self.ident()?),
-            other => return Err(self.err(format!("expected a signature expression, found {other}"))),
+            other => {
+                return Err(self.err(format!("expected a signature expression, found {other}")))
+            }
         };
         // `where type tyvars path = ty`, possibly chained.
         while self.at(&Tok::Where) {
@@ -350,7 +352,9 @@ impl Parser {
                     StrExp::Var(self.path()?)
                 }
             }
-            other => return Err(self.err(format!("expected a structure expression, found {other}"))),
+            other => {
+                return Err(self.err(format!("expected a structure expression, found {other}")))
+            }
         };
         loop {
             if self.eat(&Tok::Colon) {
@@ -888,12 +892,7 @@ impl Parser {
     fn starts_atexp(&self) -> bool {
         matches!(
             self.cur(),
-            Tok::Ident(_)
-                | Tok::Int(_)
-                | Tok::Str(_)
-                | Tok::LParen
-                | Tok::LBracket
-                | Tok::Let
+            Tok::Ident(_) | Tok::Int(_) | Tok::Str(_) | Tok::LParen | Tok::LBracket | Tok::Let
         )
     }
 
@@ -1031,7 +1030,11 @@ mod tests {
                structure Inner : sig val y : int end
              end",
         );
-        let TopDec::Signature { def: SigExp::Sig(specs), .. } = &u.decs[0] else {
+        let TopDec::Signature {
+            def: SigExp::Sig(specs),
+            ..
+        } = &u.decs[0]
+        else {
             panic!("expected signature");
         };
         assert_eq!(specs.len(), 7);
@@ -1065,7 +1068,10 @@ mod tests {
         assert_eq!(u.decs.len(), 5);
         assert!(matches!(
             &u.decs[4],
-            TopDec::Structure { def: StrExp::App(..), .. }
+            TopDec::Structure {
+                def: StrExp::App(..),
+                ..
+            }
         ));
     }
 
@@ -1077,10 +1083,16 @@ mod tests {
                  | len (x :: xs) = 1 + len xs
              end",
         );
-        let TopDec::Structure { def: StrExp::Struct(ds), .. } = &u.decs[0] else {
+        let TopDec::Structure {
+            def: StrExp::Struct(ds),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let StrDec::Core(Dec::Fun(fbs)) = &ds[0] else { panic!() };
+        let StrDec::Core(Dec::Fun(fbs)) = &ds[0] else {
+            panic!()
+        };
         assert_eq!(fbs[0].clauses.len(), 2);
     }
 
@@ -1099,10 +1111,16 @@ mod tests {
     #[test]
     fn infix_precedence() {
         let u = parse("structure A = struct val x = 1 + 2 * 3 end");
-        let TopDec::Structure { def: StrExp::Struct(ds), .. } = &u.decs[0] else {
+        let TopDec::Structure {
+            def: StrExp::Struct(ds),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let StrDec::Core(Dec::Val { exp, .. }) = &ds[0] else { panic!() };
+        let StrDec::Core(Dec::Val { exp, .. }) = &ds[0] else {
+            panic!()
+        };
         // 1 + (2 * 3)
         let Exp::Prim(PrimOp::Add, args) = exp else {
             panic!("expected +, got {exp:?}")
@@ -1113,10 +1131,16 @@ mod tests {
     #[test]
     fn cons_is_right_associative() {
         let u = parse("structure A = struct val x = 1 :: 2 :: [] end");
-        let TopDec::Structure { def: StrExp::Struct(ds), .. } = &u.decs[0] else {
+        let TopDec::Structure {
+            def: StrExp::Struct(ds),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let StrDec::Core(Dec::Val { exp, .. }) = &ds[0] else { panic!() };
+        let StrDec::Core(Dec::Val { exp, .. }) = &ds[0] else {
+            panic!()
+        };
         let Exp::App(f, arg) = exp else { panic!() };
         assert!(matches!(**f, Exp::Var(_)));
         let Exp::Tuple(elems) = &**arg else { panic!() };
@@ -1126,30 +1150,48 @@ mod tests {
     #[test]
     fn arrow_types_are_right_associative() {
         let u = parse("signature S = sig val f : int -> int -> int end");
-        let TopDec::Signature { def: SigExp::Sig(specs), .. } = &u.decs[0] else {
+        let TopDec::Signature {
+            def: SigExp::Sig(specs),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let Spec::Val(_, Ty::Arrow(_, rhs)) = &specs[0] else { panic!() };
+        let Spec::Val(_, Ty::Arrow(_, rhs)) = &specs[0] else {
+            panic!()
+        };
         assert!(matches!(**rhs, Ty::Arrow(..)));
     }
 
     #[test]
     fn tuple_types_bind_tighter_than_arrow() {
         let u = parse("signature S = sig val f : int * int -> bool end");
-        let TopDec::Signature { def: SigExp::Sig(specs), .. } = &u.decs[0] else {
+        let TopDec::Signature {
+            def: SigExp::Sig(specs),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let Spec::Val(_, Ty::Arrow(lhs, _)) = &specs[0] else { panic!() };
+        let Spec::Val(_, Ty::Arrow(lhs, _)) = &specs[0] else {
+            panic!()
+        };
         assert!(matches!(**lhs, Ty::Tuple(_)));
     }
 
     #[test]
     fn postfix_type_constructors() {
         let u = parse("signature S = sig val x : int list list end");
-        let TopDec::Signature { def: SigExp::Sig(specs), .. } = &u.decs[0] else {
+        let TopDec::Signature {
+            def: SigExp::Sig(specs),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let Spec::Val(_, Ty::Con(p, args)) = &specs[0] else { panic!() };
+        let Spec::Val(_, Ty::Con(p, args)) = &specs[0] else {
+            panic!()
+        };
         assert_eq!(p.last, Symbol::intern("list"));
         assert!(matches!(&args[0], Ty::Con(p2, _) if p2.last == Symbol::intern("list")));
     }
@@ -1157,19 +1199,31 @@ mod tests {
     #[test]
     fn multi_arg_type_constructor() {
         let u = parse("signature S = sig type ('a, 'b) pair val x : (int, string) pair end");
-        let TopDec::Signature { def: SigExp::Sig(specs), .. } = &u.decs[0] else {
+        let TopDec::Signature {
+            def: SigExp::Sig(specs),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let Spec::Type { tyvars, .. } = &specs[0] else { panic!() };
+        let Spec::Type { tyvars, .. } = &specs[0] else {
+            panic!()
+        };
         assert_eq!(tyvars.len(), 2);
-        let Spec::Val(_, Ty::Con(_, args)) = &specs[1] else { panic!() };
+        let Spec::Val(_, Ty::Con(_, args)) = &specs[1] else {
+            panic!()
+        };
         assert_eq!(args.len(), 2);
     }
 
     #[test]
     fn opaque_ascription() {
         let u = parse("structure A :> sig type t end = struct type t = int end");
-        let TopDec::Structure { constraint: Some((_, opaque)), .. } = &u.decs[0] else {
+        let TopDec::Structure {
+            constraint: Some((_, opaque)),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
         assert!(opaque);
@@ -1178,7 +1232,10 @@ mod tests {
     #[test]
     fn where_type() {
         let u = parse("structure A : sig type t end where type t = int = struct type t = int end");
-        let TopDec::Structure { constraint: Some((SigExp::WhereType { .. }, _)), .. } = &u.decs[0]
+        let TopDec::Structure {
+            constraint: Some((SigExp::WhereType { .. }, _)),
+            ..
+        } = &u.decs[0]
         else {
             panic!("expected where type")
         };
@@ -1204,7 +1261,12 @@ mod tests {
             "signature S = sig type t end
              functor F (X : S) : S = struct type t = X.t end",
         );
-        let TopDec::Functor { result: Some(_), .. } = &u.decs[1] else { panic!() };
+        let TopDec::Functor {
+            result: Some(_), ..
+        } = &u.decs[1]
+        else {
+            panic!()
+        };
     }
 
     #[test]
@@ -1216,10 +1278,18 @@ mod tests {
     #[test]
     fn qualified_paths() {
         let u = parse("structure B = struct val y = A.Inner.x + 1 end");
-        let TopDec::Structure { def: StrExp::Struct(ds), .. } = &u.decs[0] else {
+        let TopDec::Structure {
+            def: StrExp::Struct(ds),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let StrDec::Core(Dec::Val { exp: Exp::Prim(_, args), .. }) = &ds[0] else {
+        let StrDec::Core(Dec::Val {
+            exp: Exp::Prim(_, args),
+            ..
+        }) = &ds[0]
+        else {
             panic!()
         };
         let Exp::Var(p) = &args[0] else { panic!() };
@@ -1244,10 +1314,16 @@ mod tests {
     #[test]
     fn andalso_orelse_shortcircuit_forms() {
         let u = parse("structure A = struct val b = 1 < 2 andalso 2 < 3 orelse 3 < 4 end");
-        let TopDec::Structure { def: StrExp::Struct(ds), .. } = &u.decs[0] else {
+        let TopDec::Structure {
+            def: StrExp::Struct(ds),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
-        let StrDec::Core(Dec::Val { exp, .. }) = &ds[0] else { panic!() };
+        let StrDec::Core(Dec::Val { exp, .. }) = &ds[0] else {
+            panic!()
+        };
         assert!(matches!(exp, Exp::Orelse(..)));
     }
 
@@ -1265,7 +1341,11 @@ mod tests {
     #[test]
     fn functor_application_of_path_arg() {
         let u = parse("structure C = F(A.B)");
-        let TopDec::Structure { def: StrExp::App(f, arg), .. } = &u.decs[0] else {
+        let TopDec::Structure {
+            def: StrExp::App(f, arg),
+            ..
+        } = &u.decs[0]
+        else {
             panic!()
         };
         assert_eq!(*f, Symbol::intern("F"));

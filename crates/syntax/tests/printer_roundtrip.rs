@@ -11,8 +11,7 @@ fn roundtrip(src: &str) {
     let mut once = parse_unit(src).unwrap_or_else(|e| panic!("{e}\nsource:\n{src}"));
     once.strip_locs();
     let printed = print_unit(&once);
-    let mut twice =
-        parse_unit(&printed).unwrap_or_else(|e| panic!("{e}\nprinted:\n{printed}"));
+    let mut twice = parse_unit(&printed).unwrap_or_else(|e| panic!("{e}\nprinted:\n{printed}"));
     twice.strip_locs();
     assert_eq!(once, twice, "printed form:\n{printed}");
 }
@@ -104,8 +103,7 @@ fn arb_ty() -> impl Strategy<Value = Ty> {
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Ty::Arrow(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::Arrow(Box::new(a), Box::new(b))),
             proptest::collection::vec(inner.clone(), 2..3).prop_map(Ty::Tuple),
             inner.prop_map(|t| Ty::Con(Path::simple(Symbol::intern("list")), vec![t])),
         ]
@@ -148,8 +146,7 @@ fn arb_exp() -> impl Strategy<Value = Exp> {
             proptest::collection::vec(inner.clone(), 2..3).prop_map(Exp::Tuple),
             proptest::collection::vec(inner.clone(), 0..3).prop_map(Exp::List),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(Exp::Seq),
-            (inner.clone(), inner.clone())
-                .prop_map(|(f, a)| Exp::App(Box::new(f), Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(f, a)| Exp::App(Box::new(f), Box::new(a))),
             (
                 prop_oneof![
                     Just(PrimOp::Add),
@@ -165,15 +162,15 @@ fn arb_exp() -> impl Strategy<Value = Exp> {
                 inner.clone()
             )
                 .prop_map(|(op, a, b)| Exp::Prim(op, vec![a, b])),
-            inner
-                .clone()
-                .prop_map(|a| Exp::Prim(PrimOp::Neg, vec![a])),
+            inner.clone().prop_map(|a| Exp::Prim(PrimOp::Neg, vec![a])),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Exp::Andalso(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Exp::Orelse(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(a, b, c)| Exp::If(Box::new(a), Box::new(b), Box::new(c))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Exp::Orelse(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| Exp::If(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
             proptest::collection::vec(rule.clone(), 1..3).prop_map(Exp::Fn),
             (inner.clone(), proptest::collection::vec(rule.clone(), 1..3))
                 .prop_map(|(s, rs)| Exp::Case(Box::new(s), rs)),

@@ -1,0 +1,96 @@
+//! Chrome trace-event exporter.
+//!
+//! Emits the JSON *array* format understood by `chrome://tracing` and
+//! Perfetto (<https://ui.perfetto.dev>): one `ph:"X"` complete event per
+//! span (with `ts`/`dur` in microseconds) and one `ph:"i"` instant event
+//! per trace event.  Span fields land in `args` so they show up in the
+//! selection panel.
+
+use crate::json;
+use crate::sink::{CollectedEvent, CollectedSpan};
+
+/// The process id reported in trace events; there is only one process.
+const PID: u64 = 1;
+
+fn args_json(fields: &[(String, String)]) -> String {
+    let mut o = json::Obj::new();
+    for (k, v) in fields {
+        o.str(k, v);
+    }
+    o.finish()
+}
+
+fn span_json(s: &CollectedSpan) -> String {
+    let mut o = json::Obj::new();
+    o.str("name", s.name)
+        .str("ph", "X")
+        .u64("ts", s.ts_us)
+        .u64("dur", s.dur_us)
+        .u64("pid", PID)
+        .u64("tid", s.tid)
+        .raw("args", &args_json(&s.fields));
+    o.finish()
+}
+
+fn event_json(e: &CollectedEvent) -> String {
+    let mut o = json::Obj::new();
+    o.str("name", e.name)
+        .str("ph", "i")
+        .u64("ts", e.ts_us)
+        .u64("pid", PID)
+        .u64("tid", e.tid)
+        .str("s", "t")
+        .raw("args", &args_json(&e.fields));
+    o.finish()
+}
+
+/// Renders spans and events as one Chrome trace-event JSON array, sorted
+/// by timestamp so viewers need no preprocessing.
+pub(crate) fn trace_json(spans: &[CollectedSpan], events: &[CollectedEvent]) -> String {
+    let mut entries: Vec<(u64, String)> = spans
+        .iter()
+        .map(|s| (s.ts_us, span_json(s)))
+        .chain(events.iter().map(|e| (e.ts_us, event_json(e))))
+        .collect();
+    entries.sort_by_key(|(ts, _)| *ts);
+    json::array(entries.into_iter().map(|(_, j)| j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_events_render_sorted() {
+        let spans = vec![CollectedSpan {
+            name: "compile.parse",
+            ts_us: 10,
+            dur_us: 5,
+            depth: 1,
+            tid: 1,
+            fields: vec![("unit".to_string(), "a".to_string())],
+        }];
+        let events = vec![CollectedEvent {
+            name: "decided",
+            ts_us: 3,
+            tid: 1,
+            fields: vec![],
+        }];
+        let out = trace_json(&spans, &events);
+        assert!(out.starts_with('[') && out.ends_with(']'), "{out}");
+        // The earlier event sorts first.
+        let first_event = out.find(r#""name":"decided""#).unwrap();
+        let first_span = out.find(r#""name":"compile.parse""#).unwrap();
+        assert!(first_event < first_span, "{out}");
+        assert!(
+            out.contains(r#""ph":"X","ts":10,"dur":5,"pid":1,"tid":1"#),
+            "{out}"
+        );
+        assert!(out.contains(r#""args":{"unit":"a"}"#), "{out}");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_array() {
+        assert_eq!(trace_json(&[], &[]), "[]");
+    }
+}

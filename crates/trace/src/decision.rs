@@ -1,0 +1,170 @@
+//! Rebuild decisions: the per-unit verdict of a recompilation strategy.
+//!
+//! Every unit visited by a build gets exactly one [`RebuildDecision`],
+//! recording *why* it was recompiled or reused.  `smlsc build --explain`
+//! prints them as a causal chain; tests assert exact decision sequences
+//! per strategy.  Pids are carried as preformatted strings (the trace
+//! crate is deliberately ignorant of the pid representation).
+
+use crate::json;
+use std::fmt;
+
+/// Why a unit was (or was not) recompiled in one build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebuildDecision {
+    /// No bin existed for this unit: first compile.
+    NewUnit,
+    /// The unit's own source changed (source pid differs).
+    SourceChanged {
+        /// Source pid of the previous bin.
+        old: String,
+        /// Source pid of the current source.
+        new: String,
+    },
+    /// An imported unit's export pid changed, so this unit's view of the
+    /// world changed and it must be recompiled.
+    ImportPidChanged {
+        /// The import whose interface changed.
+        import: String,
+        /// Its previous export pid.
+        old: String,
+        /// Its new export pid.
+        new: String,
+    },
+    /// A dependency was recompiled; under a non-cutoff strategy
+    /// (classical/timestamp) that alone forces recompilation, without
+    /// consulting export pids.
+    DependencyRebuilt {
+        /// The recompiled import that triggered this.
+        import: String,
+    },
+    /// A dependency was recompiled but produced an identical export pid;
+    /// the cutoff strategy proves this unit's inputs are unchanged and
+    /// skips it.
+    CutOff {
+        /// The recompiled import whose interface survived.
+        import: String,
+        /// That import's (unchanged) export pid.
+        export_pid: String,
+    },
+    /// Nothing relevant changed; the existing bin is reused as-is.
+    Reused,
+}
+
+impl RebuildDecision {
+    /// True when this decision causes a recompile.
+    pub fn requires_recompile(&self) -> bool {
+        match self {
+            RebuildDecision::NewUnit
+            | RebuildDecision::SourceChanged { .. }
+            | RebuildDecision::ImportPidChanged { .. }
+            | RebuildDecision::DependencyRebuilt { .. } => true,
+            RebuildDecision::CutOff { .. } | RebuildDecision::Reused => false,
+        }
+    }
+
+    /// Short machine-readable tag (stable; used in JSON and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RebuildDecision::NewUnit => "new_unit",
+            RebuildDecision::SourceChanged { .. } => "source_changed",
+            RebuildDecision::ImportPidChanged { .. } => "import_pid_changed",
+            RebuildDecision::DependencyRebuilt { .. } => "dependency_rebuilt",
+            RebuildDecision::CutOff { .. } => "cutoff",
+            RebuildDecision::Reused => "reused",
+        }
+    }
+
+    /// Renders this decision as a JSON object (kind plus variant fields).
+    pub fn to_json(&self) -> String {
+        let mut o = json::Obj::new();
+        o.str("kind", self.kind());
+        match self {
+            RebuildDecision::NewUnit | RebuildDecision::Reused => {}
+            RebuildDecision::SourceChanged { old, new } => {
+                o.str("old", old).str("new", new);
+            }
+            RebuildDecision::ImportPidChanged { import, old, new } => {
+                o.str("import", import).str("old", old).str("new", new);
+            }
+            RebuildDecision::DependencyRebuilt { import } => {
+                o.str("import", import);
+            }
+            RebuildDecision::CutOff { import, export_pid } => {
+                o.str("import", import).str("export_pid", export_pid);
+            }
+        }
+        o.finish()
+    }
+}
+
+impl fmt::Display for RebuildDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuildDecision::NewUnit => write!(f, "compiled: new unit (no bin on record)"),
+            RebuildDecision::SourceChanged { old, new } => {
+                write!(f, "recompiled: source changed (pid {old} -> {new})")
+            }
+            RebuildDecision::ImportPidChanged { import, old, new } => write!(
+                f,
+                "recompiled: interface of import `{import}` changed (pid {old} -> {new})"
+            ),
+            RebuildDecision::DependencyRebuilt { import } => write!(
+                f,
+                "recompiled: import `{import}` was rebuilt (strategy does not compare pids)"
+            ),
+            RebuildDecision::CutOff { import, export_pid } => write!(
+                f,
+                "cut off: import `{import}` was rebuilt but its export pid {export_pid} is unchanged"
+            ),
+            RebuildDecision::Reused => write!(f, "reused: no relevant change"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recompile_classification() {
+        assert!(RebuildDecision::NewUnit.requires_recompile());
+        assert!(RebuildDecision::SourceChanged {
+            old: "a".into(),
+            new: "b".into()
+        }
+        .requires_recompile());
+        assert!(!RebuildDecision::Reused.requires_recompile());
+        assert!(!RebuildDecision::CutOff {
+            import: "m".into(),
+            export_pid: "p".into()
+        }
+        .requires_recompile());
+    }
+
+    #[test]
+    fn display_is_causal() {
+        let d = RebuildDecision::CutOff {
+            import: "lexer".into(),
+            export_pid: "deadbeef".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("lexer"), "{s}");
+        assert!(s.contains("deadbeef"), "{s}");
+        assert!(s.contains("unchanged"), "{s}");
+    }
+
+    #[test]
+    fn json_round_shape() {
+        let d = RebuildDecision::ImportPidChanged {
+            import: "ast".into(),
+            old: "1".into(),
+            new: "2".into(),
+        };
+        assert_eq!(
+            d.to_json(),
+            r#"{"kind":"import_pid_changed","import":"ast","old":"1","new":"2"}"#
+        );
+        assert_eq!(RebuildDecision::Reused.to_json(), r#"{"kind":"reused"}"#);
+    }
+}

@@ -1,0 +1,197 @@
+//! Log-scale duration histograms.
+//!
+//! Fixed power-of-two buckets over microseconds: bucket 0 holds samples
+//! of 0 µs, bucket *i* (i ≥ 1) holds samples in `[2^(i-1), 2^i)` µs.
+//! Forty buckets reach 2³⁹ µs ≈ 6.4 days, far beyond any build phase;
+//! larger samples clamp into the last bucket.  Fixed buckets make
+//! histograms mergeable across builds and trivially serializable.
+
+use std::time::Duration;
+
+/// Number of buckets; the last bucket absorbs everything ≥ 2³⁸ µs.
+pub const BUCKETS: usize = 40;
+
+/// A log-scale histogram of durations, with count/total/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    total_us: u64,
+    min_us: u64,
+    max_us: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            total_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+/// The bucket a sample of `us` microseconds falls into.
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound (µs) of bucket `i`.
+fn bucket_upper_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        self.count += 1;
+        self.total_us = self.total_us.saturating_add(us);
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+        self.buckets[bucket_index(us)] += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.total_us = self.total_us.saturating_add(other.total_us);
+        self.min_us = self.min_us.min(other.min_us);
+        self.max_us = self.max_us.max(other.max_us);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, µs.
+    pub fn total_us(&self) -> u64 {
+        self.total_us
+    }
+
+    /// Smallest sample, µs (0 when empty).
+    pub fn min_us(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_us
+        }
+    }
+
+    /// Largest sample, µs.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Mean sample, µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile (0.0–1.0) in µs: the inclusive upper
+    /// bound of the bucket containing the target rank, clamped to the
+    /// observed max.  Resolution is the bucket width (a factor of two).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound µs, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper_us(i), n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper_us(0), 0);
+        assert_eq!(bucket_upper_us(1), 1);
+        assert_eq!(bucket_upper_us(10), 1023);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        for us in [0u64, 1, 10, 100, 1000, 1000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total_us(), 2111);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.max_us(), 1000);
+        assert_eq!(h.mean_us(), 351);
+        // Median rank 3 → the 10 µs sample's bucket [8,15].
+        assert_eq!(h.quantile_us(0.5), 15);
+        // p100 clamps to the observed max.
+        assert_eq!(h.quantile_us(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_is_calm() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_us(), 0);
+        assert_eq!(h.quantile_us(0.99), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_micros(5));
+        let mut b = Histogram::new();
+        b.record(Duration::from_micros(500));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min_us(), 5);
+        assert_eq!(a.max_us(), 500);
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+}

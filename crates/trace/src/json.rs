@@ -1,0 +1,115 @@
+//! A minimal JSON writer — just enough for the exporters, keeping this
+//! crate dependency-free.  Only object/array/string/u64 shapes are
+//! needed; all keys and values the exporters emit are ASCII-safe after
+//! escaping.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding
+/// quotes).
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `"s"` with escaping.
+pub(crate) fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+/// A growable `{...}` object writer.
+pub(crate) struct Obj {
+    buf: String,
+    first: bool,
+}
+
+impl Obj {
+    pub(crate) fn new() -> Obj {
+        Obj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(&string(k));
+        self.buf.push(':');
+    }
+
+    /// Adds `"k": <raw>` where `raw` is already-valid JSON.
+    pub(crate) fn raw(&mut self, k: &str, raw: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(raw);
+        self
+    }
+
+    pub(crate) fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&string(v));
+        self
+    }
+
+    pub(crate) fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    pub(crate) fn finish(&mut self) -> String {
+        let mut s = std::mem::take(&mut self.buf);
+        s.push('}');
+        s
+    }
+}
+
+/// Joins already-valid JSON values into `[...]`.
+pub(crate) fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn objects_and_arrays() {
+        let mut o = Obj::new();
+        o.str("name", "x").u64("n", 3).raw("inner", "[1,2]");
+        assert_eq!(o.finish(), r#"{"name":"x","n":3,"inner":[1,2]}"#);
+        assert_eq!(array(["1".to_string(), "2".to_string()]), "[1,2]");
+        assert_eq!(array(std::iter::empty::<String>()), "[]");
+    }
+}

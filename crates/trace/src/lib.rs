@@ -1,0 +1,337 @@
+//! `smlsc-trace`: structured spans, counters, histograms and
+//! rebuild-decision records for the smlsc pipeline.
+//!
+//! The paper's claim — cutoff recompilation avoids cascading rebuilds
+//! because export pids are intrinsic interface hashes — is only auditable
+//! if the build can *explain itself*: which phase cost what, why each
+//! unit was (or was not) recompiled, and how the caches behaved.  This
+//! crate is that substrate:
+//!
+//! * **Spans and events** ([`span`], [`event`]) with key/value fields and
+//!   a thread-local span stack.  Instrumentation is always compiled in;
+//!   with no sink installed (the default) a span is a single
+//!   thread-local boolean read — no clock reads, no allocation.
+//! * **Pluggable sinks** ([`Sink`]): the null sink (default),
+//!   [`Collector`] (aggregates spans into per-name log-scale duration
+//!   [`Histogram`]s plus counters, and replays them as Chrome
+//!   trace-event JSON or a JSON stats report), and [`StderrSink`]
+//!   (pretty-printer for interactive debugging).
+//! * **Counters and durations** ([`counter`], [`duration`]) for pipeline
+//!   metrics: units compiled, cutoff hits, dependency-cache and
+//!   rehydration-cache hits/misses, bin bytes, pickle node/stub/backref
+//!   counts (canonical names in [`names`]).
+//! * **[`RebuildDecision`]**: the per-unit verdict of a recompilation
+//!   strategy (`SourceChanged`, `ImportPidChanged`, `CutOff`, …), the
+//!   record behind `smlsc build --explain`'s causal chains.
+//!
+//! Sinks are installed *per thread* ([`install`]/[`uninstall`]); the
+//! pipeline is single-threaded by design (environments are `Rc`-shared),
+//! so each build thread owns its telemetry.
+//!
+//! # Examples
+//!
+//! ```
+//! use smlsc_trace as trace;
+//!
+//! let collector = trace::Collector::new();
+//! collector.install();
+//! {
+//!     let _build = trace::span("build").field("units", 2);
+//!     trace::counter(trace::names::UNITS_COMPILED, 2);
+//!     trace::duration("phase.parse", std::time::Duration::from_micros(250));
+//! }
+//! trace::uninstall();
+//!
+//! assert_eq!(collector.counter(trace::names::UNITS_COMPILED), 2);
+//! assert_eq!(collector.histogram("build").unwrap().count(), 1);
+//! let chrome = collector.chrome_trace_json();
+//! assert!(chrome.starts_with('['));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod decision;
+pub mod histogram;
+pub(crate) mod json;
+pub mod names;
+pub mod sink;
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+pub use decision::RebuildDecision;
+pub use histogram::Histogram;
+pub use sink::{Collector, EventRecord, NullSink, Sink, SpanRecord, StderrSink};
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static STATE: RefCell<Option<ThreadState>> = const { RefCell::new(None) };
+    static THREAD_TAG: Cell<u64> = const { Cell::new(0) };
+}
+
+struct ThreadState {
+    sink: Box<dyn Sink>,
+    depth: usize,
+}
+
+/// A small dense id for the current thread (1, 2, 3, … in first-use
+/// order), used as the `tid` of emitted records.
+fn thread_tag() -> u64 {
+    THREAD_TAG.with(|t| {
+        let mut tag = t.get();
+        if tag == 0 {
+            static NEXT: AtomicU64 = AtomicU64::new(1);
+            tag = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(tag);
+        }
+        tag
+    })
+}
+
+/// Installs `sink` as the current thread's sink, enabling tracing on
+/// this thread.  Replaces any previously installed sink.
+///
+/// Sinks must not themselves call back into this crate's recording API
+/// (spans emitted from inside a sink are dropped).
+pub fn install(sink: Box<dyn Sink>) {
+    STATE.with(|s| *s.borrow_mut() = Some(ThreadState { sink, depth: 0 }));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Removes the current thread's sink, restoring the zero-cost null
+/// behaviour.
+pub fn uninstall() {
+    ENABLED.with(|e| e.set(false));
+    STATE.with(|s| *s.borrow_mut() = None);
+}
+
+/// True when a sink is installed on this thread.
+pub fn enabled() -> bool {
+    ENABLED.with(Cell::get)
+}
+
+/// Runs `f` with `sink` installed, uninstalling afterwards (also on
+/// panic-free early return paths; panics propagate with the sink left
+/// installed).
+pub fn with_sink<R>(sink: Box<dyn Sink>, f: impl FnOnce() -> R) -> R {
+    install(sink);
+    let r = f();
+    uninstall();
+    r
+}
+
+/// An in-flight span; records itself to the sink when dropped.
+///
+/// Obtained from [`span`].  With no sink installed this is inert.
+#[must_use = "a span measures the scope it is bound to; bind it to a named local"]
+pub struct Span {
+    active: Option<SpanInner>,
+}
+
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, String)>,
+}
+
+/// Opens a span.  Bind the result to a local (`let _span = …`); the span
+/// ends — and is recorded — when the guard drops.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { active: None };
+    }
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            st.depth += 1;
+        }
+    });
+    Span {
+        active: Some(SpanInner {
+            name,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Span {
+    /// Attaches a key/value field (rendered via `Display`).
+    pub fn field(mut self, key: &'static str, value: impl fmt::Display) -> Self {
+        if let Some(inner) = &mut self.active {
+            inner.fields.push((key, value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.active.take() else {
+            return;
+        };
+        let dur = inner.start.elapsed();
+        let tid = thread_tag();
+        STATE.with(|s| {
+            if let Some(st) = s.borrow_mut().as_mut() {
+                st.depth = st.depth.saturating_sub(1);
+                let record = SpanRecord {
+                    name: inner.name,
+                    start: inner.start,
+                    dur,
+                    depth: st.depth,
+                    tid,
+                    fields: inner.fields,
+                };
+                st.sink.span(&record);
+            }
+        });
+    }
+}
+
+/// An in-flight event; records itself when dropped.  Obtained from
+/// [`event`].
+pub struct Event {
+    active: Option<EventInner>,
+}
+
+struct EventInner {
+    name: &'static str,
+    fields: Vec<(&'static str, String)>,
+}
+
+/// Emits an instantaneous event (recorded when the returned handle
+/// drops, so fields can be chained on).
+pub fn event(name: &'static str) -> Event {
+    if !enabled() {
+        return Event { active: None };
+    }
+    Event {
+        active: Some(EventInner {
+            name,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+impl Event {
+    /// Attaches a key/value field (rendered via `Display`).
+    pub fn field(mut self, key: &'static str, value: impl fmt::Display) -> Self {
+        if let Some(inner) = &mut self.active {
+            inner.fields.push((key, value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for Event {
+    fn drop(&mut self) {
+        let Some(inner) = self.active.take() else {
+            return;
+        };
+        let tid = thread_tag();
+        STATE.with(|s| {
+            if let Some(st) = s.borrow_mut().as_mut() {
+                let record = EventRecord {
+                    name: inner.name,
+                    at: Instant::now(),
+                    depth: st.depth,
+                    tid,
+                    fields: inner.fields,
+                };
+                st.sink.event(&record);
+            }
+        });
+    }
+}
+
+/// Adds `delta` to the named counter.
+pub fn counter(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            st.sink.counter(name, delta);
+        }
+    });
+}
+
+/// Records a duration sample into the named histogram (for costs
+/// measured externally; spans feed their own name's histogram
+/// automatically).
+pub fn duration(name: &'static str, d: Duration) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| {
+        if let Some(st) = s.borrow_mut().as_mut() {
+            st.sink.duration(name, d);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_inert() {
+        assert!(!enabled());
+        let s = span("nothing").field("k", 1);
+        assert!(s.active.is_none());
+        drop(s);
+        counter("c", 1);
+        duration("d", Duration::from_micros(5));
+    }
+
+    #[test]
+    fn collector_sees_spans_counters_durations() {
+        let c = Collector::new();
+        with_sink(Box::new(c.clone()), || {
+            {
+                let _outer = span("outer").field("unit", "a");
+                let _inner = span("inner");
+            }
+            event("decided").field("verdict", "reused");
+            counter("hits", 2);
+            counter("hits", 3);
+            duration("phase", Duration::from_micros(123));
+        });
+        assert!(!enabled());
+        assert_eq!(c.counter("hits"), 5);
+        assert_eq!(c.histogram("outer").unwrap().count(), 1);
+        assert_eq!(c.histogram("inner").unwrap().count(), 1);
+        assert_eq!(c.histogram("phase").unwrap().count(), 1);
+        let spans = c.spans();
+        assert_eq!(spans.len(), 2);
+        // Inner closed first, at depth 1; outer at depth 0.
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[1].fields, vec![("unit".to_string(), "a".to_string())]);
+        assert_eq!(c.events().len(), 1);
+    }
+
+    #[test]
+    fn uninstall_mid_span_is_safe() {
+        let c = Collector::new();
+        install(Box::new(c.clone()));
+        let s = span("orphan");
+        uninstall();
+        drop(s); // sink is gone; the record is discarded without panicking
+        assert_eq!(c.spans().len(), 0);
+    }
+
+    #[test]
+    fn stderr_sink_does_not_panic() {
+        with_sink(Box::new(StderrSink::default()), || {
+            let _s = span("demo").field("unit", "x");
+            counter("c", 1);
+        });
+    }
+}

@@ -1,0 +1,54 @@
+//! Canonical counter and span names used across the pipeline.
+//!
+//! Keeping them in one module prevents drift between the code that
+//! increments a counter and the code (tests, exporters, bench tables)
+//! that reads it back by name.
+
+/// Units compiled (recompiled or first-compiled) during a build.
+pub const UNITS_COMPILED: &str = "irm.units_compiled";
+/// Units reused untouched (bin valid, no import pid changed).
+pub const UNITS_REUSED: &str = "irm.units_reused";
+/// Cutoff hits: a dependency recompiled but its export pid was unchanged,
+/// so the dependent was *not* recompiled.
+pub const CUTOFF_HITS: &str = "irm.cutoff_hits";
+
+/// Dependency-analysis cache hits (source pid unchanged).
+pub const DEPS_CACHE_HITS: &str = "irm.deps_cache_hits";
+/// Dependency-analysis cache misses (new or changed source).
+pub const DEPS_CACHE_MISSES: &str = "irm.deps_cache_misses";
+
+/// Rehydration environment-cache hits (same export pid already forced).
+pub const ENV_CACHE_HITS: &str = "irm.env_cache_hits";
+/// Rehydration environment-cache misses.
+pub const ENV_CACHE_MISSES: &str = "irm.env_cache_misses";
+
+/// Bytes written by `save_bins`.
+pub const BIN_BYTES_WRITTEN: &str = "irm.bin_bytes_written";
+/// Bytes read by `load_bins`.
+pub const BIN_BYTES_READ: &str = "irm.bin_bytes_read";
+
+/// Nodes visited while dehydrating (pickling) export environments.
+pub const PICKLE_NODES: &str = "pickle.nodes";
+/// Import stubs emitted while dehydrating.
+pub const PICKLE_STUBS: &str = "pickle.stubs";
+/// Back-references emitted while dehydrating (structure sharing).
+pub const PICKLE_BACKREFS: &str = "pickle.backrefs";
+/// Nodes rebuilt while rehydrating (unpickling).
+pub const REHYDRATE_NODES: &str = "pickle.rehydrate_nodes";
+/// Import stubs resolved while rehydrating.
+pub const REHYDRATE_STUBS: &str = "pickle.rehydrate_stubs";
+
+/// Span: one whole `Irm::build` call.
+pub const SPAN_BUILD: &str = "irm.build";
+/// Span: dependency analysis of one unit.
+pub const SPAN_ANALYZE: &str = "irm.analyze";
+/// Span: rehydrating one unit's exports.
+pub const SPAN_REHYDRATE: &str = "irm.rehydrate";
+/// Span: parse phase of one unit's compile.
+pub const SPAN_PARSE: &str = "compile.parse";
+/// Span: elaborate phase of one unit's compile.
+pub const SPAN_ELABORATE: &str = "compile.elaborate";
+/// Span: interface-hash phase of one unit's compile.
+pub const SPAN_HASH: &str = "compile.hash";
+/// Span: dehydrate phase of one unit's compile.
+pub const SPAN_DEHYDRATE: &str = "compile.dehydrate";

@@ -1,0 +1,117 @@
+//! End-to-end tests for smlsc-trace: span nesting, collector exports,
+//! and the shape of the Chrome trace / stats JSON.
+
+use smlsc_trace as trace;
+use std::time::Duration;
+
+#[test]
+fn collector_end_to_end_exports() {
+    let c = trace::Collector::new();
+    trace::with_sink(Box::new(c.clone()), || {
+        let _build = trace::span(trace::names::SPAN_BUILD).field("units", 2);
+        for unit in ["a", "b"] {
+            let _parse = trace::span(trace::names::SPAN_PARSE).field("unit", unit);
+            trace::counter(trace::names::UNITS_COMPILED, 1);
+        }
+        drop(trace::event("cutoff").field("unit", "c"));
+        trace::duration("phase.link", Duration::from_micros(42));
+    });
+
+    assert_eq!(c.counter(trace::names::UNITS_COMPILED), 2);
+    assert_eq!(c.histogram(trace::names::SPAN_PARSE).unwrap().count(), 2);
+    assert_eq!(c.histogram("phase.link").unwrap().count(), 1);
+
+    // Chrome export: a JSON array whose entries carry the complete-event
+    // shape (name/ph/ts/dur/pid/tid/args).
+    let chrome = c.chrome_trace_json();
+    assert!(chrome.starts_with('[') && chrome.ends_with(']'));
+    assert!(chrome.contains(r#""name":"irm.build""#), "{chrome}");
+    assert!(chrome.contains(r#""ph":"X""#), "{chrome}");
+    assert!(chrome.contains(r#""ph":"i""#), "{chrome}");
+    assert!(chrome.contains(r#""args":{"unit":"a"}"#), "{chrome}");
+    assert_eq!(chrome.matches(r#""ph":"X""#).count(), 3); // build + 2 parses
+
+    // Stats export: counters and histograms by name.
+    let stats = c.stats_json();
+    assert!(stats.contains(r#""irm.units_compiled":2"#), "{stats}");
+    assert!(stats.contains(r#""compile.parse":{"count":2"#), "{stats}");
+    assert!(stats.contains(r#""spans":3"#), "{stats}");
+    assert!(stats.contains(r#""events":1"#), "{stats}");
+}
+
+#[test]
+fn span_depth_reflects_nesting() {
+    let c = trace::Collector::new();
+    trace::with_sink(Box::new(c.clone()), || {
+        let _a = trace::span("a");
+        {
+            let _b = trace::span("b");
+            let _c = trace::span("c");
+        }
+    });
+    let spans = c.spans();
+    let depth_of = |name: &str| spans.iter().find(|s| s.name == name).unwrap().depth;
+    assert_eq!(depth_of("a"), 0);
+    assert_eq!(depth_of("b"), 1);
+    assert_eq!(depth_of("c"), 2);
+}
+
+#[test]
+fn null_path_records_nothing_and_is_reentrant() {
+    // No sink: everything is inert, including field construction.
+    let s = trace::span("x").field("k", "v");
+    drop(s);
+    trace::counter("n", 1);
+
+    // Install, uninstall, reinstall: the collector only sees the middle.
+    let c = trace::Collector::new();
+    c.install();
+    trace::counter("n", 1);
+    trace::uninstall();
+    trace::counter("n", 10);
+    assert_eq!(c.counter("n"), 1);
+}
+
+#[test]
+fn decisions_have_stable_kinds() {
+    use trace::RebuildDecision as D;
+    let all = [
+        D::NewUnit,
+        D::SourceChanged {
+            old: "1".into(),
+            new: "2".into(),
+        },
+        D::ImportPidChanged {
+            import: "m".into(),
+            old: "1".into(),
+            new: "2".into(),
+        },
+        D::DependencyRebuilt { import: "m".into() },
+        D::CutOff {
+            import: "m".into(),
+            export_pid: "p".into(),
+        },
+        D::Reused,
+    ];
+    let kinds: Vec<&str> = all.iter().map(|d| d.kind()).collect();
+    assert_eq!(
+        kinds,
+        [
+            "new_unit",
+            "source_changed",
+            "import_pid_changed",
+            "dependency_rebuilt",
+            "cutoff",
+            "reused"
+        ]
+    );
+    let recompiles: Vec<bool> = all.iter().map(|d| d.requires_recompile()).collect();
+    assert_eq!(recompiles, [true, true, true, true, false, false]);
+    // Each decision renders as one line of causal prose and one JSON object.
+    for d in &all {
+        assert!(!d.to_string().is_empty());
+        assert!(d
+            .to_json()
+            .starts_with(&format!(r#"{{"kind":"{}""#, d.kind())));
+    }
+}

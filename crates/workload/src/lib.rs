@@ -137,7 +137,10 @@ impl Workload {
         let states = vec![ModState::default(); deps.len()];
         let mut project = Project::new();
         for i in 0..deps.len() {
-            project.add(module_name(i), module_source(i, &deps[i], &spec, &states[i]));
+            project.add(
+                module_name(i),
+                module_source(i, &deps[i], &spec, &states[i]),
+            );
         }
         Workload {
             spec,
@@ -466,7 +469,12 @@ mod tests {
         assert!(w.project().file("M0").unwrap().text.contains("extra0"));
 
         w.edit(0, EditKind::InterfaceChangeType);
-        assert!(w.project().file("M0").unwrap().text.contains("tag : string"));
+        assert!(w
+            .project()
+            .file("M0")
+            .unwrap()
+            .text
+            .contains("tag : string"));
     }
 
     #[test]

@@ -19,7 +19,10 @@ fn fresh() -> Workload {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("workload: 50 modules, {} source lines\n", fresh().total_lines());
+    println!(
+        "workload: 50 modules, {} source lines\n",
+        fresh().total_lines()
+    );
     println!(
         "{:<22} {:>8} {:>10} {:>10}",
         "edit", "cutoff", "timestamp", "classical"
@@ -41,10 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let report = irm.build(w.project())?;
             row.push(report.recompiled.len());
         }
-        println!(
-            "{:<22} {:>8} {:>10} {:>10}",
-            label, row[0], row[1], row[2]
-        );
+        println!("{:<22} {:>8} {:>10} {:>10}", label, row[0], row[1], row[2]);
     }
 
     println!("\n(units recompiled after editing the most-depended-on module)");

@@ -37,11 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "compiled {} units in order {:?}",
         report.recompiled.len(),
-        report
-            .order
-            .iter()
-            .map(|s| s.as_str())
-            .collect::<Vec<_>>()
+        report.order.iter().map(|s| s.as_str()).collect::<Vec<_>>()
     );
     print_main(&env);
 
@@ -98,8 +94,12 @@ fn print_main(env: &smlsc::core::DynEnv) {
     let main = env
         .get(smlsc::ids::Symbol::intern("main"))
         .expect("main is linked");
-    let Value::Record(units) = &main.values else { return };
-    let Value::Record(fields) = &units[0] else { return };
+    let Value::Record(units) = &main.values else {
+        return;
+    };
+    let Value::Record(fields) = &units[0] else {
+        return;
+    };
     // Slots: data, avg (in declaration order).
     println!("Main.avg = {}", fields[1]);
 }

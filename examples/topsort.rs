@@ -64,9 +64,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let fsort = env.get(Symbol::intern("fsort")).expect("linked");
-    let Value::Record(units) = &fsort.values else { unreachable!() };
+    let Value::Record(units) = &fsort.values else {
+        unreachable!()
+    };
     // fsort's export record: FSort (slot 0), Demo (slot 1).
-    let Value::Record(demo) = &units[1] else { unreachable!() };
+    let Value::Record(demo) = &units[1] else {
+        unreachable!()
+    };
     println!("Demo.input  = {}", demo[0]);
     println!("Demo.sorted = {} (ordered by divisibility)", demo[1]);
 

@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("Run.sum  = {}", session.show_value("Run", "sum")?);
     println!("Run.n    = {}", session.show_value("Run", "n")?);
-    println!("Run2.sum = {} (uses the shadowing Stats)", session.show_value("Run2", "sum")?);
+    println!(
+        "Run2.sum = {} (uses the shadowing Stats)",
+        session.show_value("Run2", "sum")?
+    );
 
     // Errors leave the session intact.
     let err = session

@@ -80,8 +80,12 @@ fn long_lived_project_evolution() {
     assert_eq!(report.recompiled.len(), 3);
     // sum = 6 + 20 + 10 = 36; biggest = max(81, 36) = 81.
     let rep = env.get(Symbol::intern("report")).unwrap();
-    let Value::Record(top) = &rep.values else { panic!() };
-    let Value::Record(fields) = &top[0] else { panic!() };
+    let Value::Record(top) = &rep.values else {
+        panic!()
+    };
+    let Value::Record(fields) = &top[0] else {
+        panic!()
+    };
     // slots: shapes(0), total(1, a closure), sum(2), biggest(3)
     assert_eq!(fields[2], Value::Int(36));
     assert_eq!(fields[3], Value::Int(81));
@@ -140,8 +144,12 @@ fn long_lived_project_evolution() {
     assert_eq!(rep3.recompiled.len(), 1);
     let (_, env) = irm.execute(&p).unwrap();
     let rep = env.get(Symbol::intern("report")).unwrap();
-    let Value::Record(top) = &rep.values else { panic!() };
-    let Value::Record(fields) = &top[0] else { panic!() };
+    let Value::Record(top) = &rep.values else {
+        panic!()
+    };
+    let Value::Record(fields) = &top[0] else {
+        panic!()
+    };
     // sum = (4*3) + (4*5) = 32; slot layout as above
     assert_eq!(fields[2], Value::Int(32));
 }
@@ -189,7 +197,10 @@ fn opaque_library_boundary_survives_rebuilds() {
 
     // A client trying to treat key as int must fail even when keys comes
     // from a cached bin.
-    p.add("evil", "structure Evil = struct val forged = Key.make 1 + 1 end");
+    p.add(
+        "evil",
+        "structure Evil = struct val forged = Key.make 1 + 1 end",
+    );
     let err = irm.build(&p).unwrap_err();
     assert!(err.to_string().contains("unify"), "{err}");
 
@@ -237,8 +248,12 @@ fn deep_chain_executes_correctly_after_partial_rebuilds() {
     let mut irm = Irm::new(Strategy::Cutoff);
     let (_, env) = irm.execute(&p).unwrap();
     let top = env.get(Symbol::intern("top")).unwrap();
-    let Value::Record(units) = &top.values else { panic!() };
-    let Value::Record(fields) = &units[0] else { panic!() };
+    let Value::Record(units) = &top.values else {
+        panic!()
+    };
+    let Value::Record(fields) = &units[0] else {
+        panic!()
+    };
     assert_eq!(fields[0], Value::Int(n as i64));
 
     // Change the middle of the chain (body only) and re-execute.
@@ -250,7 +265,11 @@ fn deep_chain_executes_correctly_after_partial_rebuilds() {
     let (report, env) = irm.execute(&p).unwrap();
     assert_eq!(report.recompiled.len(), 1);
     let top = env.get(Symbol::intern("top")).unwrap();
-    let Value::Record(units) = &top.values else { panic!() };
-    let Value::Record(fields) = &units[0] else { panic!() };
+    let Value::Record(units) = &top.values else {
+        panic!()
+    };
+    let Value::Record(fields) = &units[0] else {
+        panic!()
+    };
     assert_eq!(fields[0], Value::Int(n as i64 + 1));
 }

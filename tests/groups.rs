@@ -22,22 +22,14 @@ fn project() -> GroupedProject {
                 )
                 .exporting(&["Arith"]),
         )
-        .group(
-            Group::new("render")
-                .uses("mathlib")
-                .file(
-                    "scale",
-                    "structure Scale = struct fun area s = Arith.pow (s, 2) end",
-                ),
-        )
-        .group(
-            Group::new("physics")
-                .uses("mathlib")
-                .file(
-                    "energy",
-                    "structure Energy = struct fun cube v = Arith.pow (v, 3) end",
-                ),
-        )
+        .group(Group::new("render").uses("mathlib").file(
+            "scale",
+            "structure Scale = struct fun area s = Arith.pow (s, 2) end",
+        ))
+        .group(Group::new("physics").uses("mathlib").file(
+            "energy",
+            "structure Energy = struct fun cube v = Arith.pow (v, 3) end",
+        ))
 }
 
 #[test]
@@ -47,8 +39,12 @@ fn grouped_project_builds_and_executes() {
     let (report, env) = irm.execute(&flat).unwrap();
     assert_eq!(report.recompiled.len(), 4);
     let scale = env.get(Symbol::intern("scale")).unwrap();
-    let smlsc::dynamics::value::Value::Record(units) = &scale.values else { panic!() };
-    let smlsc::dynamics::value::Value::Record(fields) = &units[0] else { panic!() };
+    let smlsc::dynamics::value::Value::Record(units) = &scale.values else {
+        panic!()
+    };
+    let smlsc::dynamics::value::Value::Record(fields) = &units[0] else {
+        panic!()
+    };
     // Closures only (area) — verify presence rather than value.
     assert_eq!(fields.len(), 1);
 }

@@ -14,8 +14,12 @@ fn run(p: &Project) -> smlsc::core::DynEnv {
 
 fn field(env: &smlsc::core::DynEnv, unit: &str, str_slot: usize, val_slot: usize) -> Value {
     let linked = env.get(Symbol::intern(unit)).expect("linked");
-    let Value::Record(units) = &linked.values else { panic!() };
-    let Value::Record(fields) = &units[str_slot] else { panic!() };
+    let Value::Record(units) = &linked.values else {
+        panic!()
+    };
+    let Value::Record(fields) = &units[str_slot] else {
+        panic!()
+    };
     fields[val_slot].clone()
 }
 
