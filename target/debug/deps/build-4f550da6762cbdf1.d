@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/build-4f550da6762cbdf1.d: crates/workload/tests/build.rs
+
+/root/repo/target/debug/deps/build-4f550da6762cbdf1: crates/workload/tests/build.rs
+
+crates/workload/tests/build.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-60086bdcff069182.d: crates/smlsc/tests/cli.rs
+
+/root/repo/target/debug/deps/libcli-60086bdcff069182.rmeta: crates/smlsc/tests/cli.rs
+
+crates/smlsc/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_smlsc=placeholder:smlsc

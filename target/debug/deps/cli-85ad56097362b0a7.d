@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-85ad56097362b0a7.d: crates/smlsc/tests/cli.rs
+
+/root/repo/target/debug/deps/cli-85ad56097362b0a7: crates/smlsc/tests/cli.rs
+
+crates/smlsc/tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_smlsc=/root/repo/target/debug/smlsc

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-e7e37651155ac3d8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-e7e37651155ac3d8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

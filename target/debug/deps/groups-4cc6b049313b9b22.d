@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/groups-4cc6b049313b9b22.d: tests/groups.rs
+
+/root/repo/target/debug/deps/groups-4cc6b049313b9b22: tests/groups.rs
+
+tests/groups.rs:

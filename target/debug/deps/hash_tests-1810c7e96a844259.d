@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hash_tests-1810c7e96a844259.d: crates/core/tests/hash_tests.rs
+
+/root/repo/target/debug/deps/hash_tests-1810c7e96a844259: crates/core/tests/hash_tests.rs
+
+crates/core/tests/hash_tests.rs:

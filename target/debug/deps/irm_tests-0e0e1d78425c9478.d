@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/irm_tests-0e0e1d78425c9478.d: crates/core/tests/irm_tests.rs
+
+/root/repo/target/debug/deps/irm_tests-0e0e1d78425c9478: crates/core/tests/irm_tests.rs
+
+crates/core/tests/irm_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/irm_tests-44613c9df5720b75.d: crates/core/tests/irm_tests.rs
+
+/root/repo/target/debug/deps/irm_tests-44613c9df5720b75: crates/core/tests/irm_tests.rs
+
+crates/core/tests/irm_tests.rs:

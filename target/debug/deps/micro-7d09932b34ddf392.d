@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-7d09932b34ddf392.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-7d09932b34ddf392.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-35fdcd2f387c3cbc.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-35fdcd2f387c3cbc: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

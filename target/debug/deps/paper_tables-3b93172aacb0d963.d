@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-3b93172aacb0d963.d: crates/bench/src/bin/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-3b93172aacb0d963.rmeta: crates/bench/src/bin/paper_tables.rs Cargo.toml
+
+crates/bench/src/bin/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

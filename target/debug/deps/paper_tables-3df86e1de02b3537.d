@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-3df86e1de02b3537.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/paper_tables-3df86e1de02b3537: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-ae751339ec1b795e.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/libpaper_tables-ae751339ec1b795e.rmeta: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

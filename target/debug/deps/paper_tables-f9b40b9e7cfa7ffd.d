@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_tables-f9b40b9e7cfa7ffd.d: crates/bench/src/bin/paper_tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_tables-f9b40b9e7cfa7ffd.rmeta: crates/bench/src/bin/paper_tables.rs Cargo.toml
+
+crates/bench/src/bin/paper_tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-f9c341c7f16d5f16.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/libpaper_tables-f9c341c7f16d5f16.rmeta: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

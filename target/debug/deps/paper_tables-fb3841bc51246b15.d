@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_tables-fb3841bc51246b15.d: crates/bench/src/bin/paper_tables.rs
+
+/root/repo/target/debug/deps/libpaper_tables-fb3841bc51246b15.rmeta: crates/bench/src/bin/paper_tables.rs
+
+crates/bench/src/bin/paper_tables.rs:

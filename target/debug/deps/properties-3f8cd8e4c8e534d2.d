@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3f8cd8e4c8e534d2.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3f8cd8e4c8e534d2: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-13591e0e8a36eb01.d: crates/pickle/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-13591e0e8a36eb01: crates/pickle/tests/roundtrip.rs
+
+crates/pickle/tests/roundtrip.rs:

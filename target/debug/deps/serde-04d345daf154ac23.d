@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-04d345daf154ac23.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-04d345daf154ac23.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

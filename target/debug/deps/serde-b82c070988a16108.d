@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-b82c070988a16108.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b82c070988a16108.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-b82c070988a16108.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-0f765d5a1a7caa50.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0f765d5a1a7caa50.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-0f765d5a1a7caa50.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c91bb0042fece770.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-c91bb0042fece770.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sml_programs-1d81b1cd28656ea9.d: tests/sml_programs.rs
+
+/root/repo/target/debug/deps/sml_programs-1d81b1cd28656ea9: tests/sml_programs.rs
+
+tests/sml_programs.rs:

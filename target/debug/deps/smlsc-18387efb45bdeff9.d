@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-18387efb45bdeff9.d: crates/smlsc/src/bin/smlsc.rs
+
+/root/repo/target/debug/deps/smlsc-18387efb45bdeff9: crates/smlsc/src/bin/smlsc.rs
+
+crates/smlsc/src/bin/smlsc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-2b1e6360630b32b4.d: crates/smlsc/src/bin/smlsc.rs
+
+/root/repo/target/debug/deps/smlsc-2b1e6360630b32b4: crates/smlsc/src/bin/smlsc.rs
+
+crates/smlsc/src/bin/smlsc.rs:

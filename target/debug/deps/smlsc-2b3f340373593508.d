@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smlsc-2b3f340373593508.d: crates/smlsc/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc-2b3f340373593508.rmeta: crates/smlsc/src/lib.rs Cargo.toml
+
+crates/smlsc/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

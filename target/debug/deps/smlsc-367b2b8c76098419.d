@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-367b2b8c76098419.d: crates/smlsc/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc-367b2b8c76098419.rmeta: crates/smlsc/src/lib.rs
+
+crates/smlsc/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-4da202b218a76842.d: crates/smlsc/src/bin/smlsc.rs
+
+/root/repo/target/debug/deps/libsmlsc-4da202b218a76842.rmeta: crates/smlsc/src/bin/smlsc.rs
+
+crates/smlsc/src/bin/smlsc.rs:

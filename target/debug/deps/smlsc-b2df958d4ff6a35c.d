@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-b2df958d4ff6a35c.d: crates/smlsc/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc-b2df958d4ff6a35c.rmeta: crates/smlsc/src/lib.rs
+
+crates/smlsc/src/lib.rs:

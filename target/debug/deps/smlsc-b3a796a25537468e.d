@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-b3a796a25537468e.d: crates/smlsc/src/bin/smlsc.rs
+
+/root/repo/target/debug/deps/libsmlsc-b3a796a25537468e.rmeta: crates/smlsc/src/bin/smlsc.rs
+
+crates/smlsc/src/bin/smlsc.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smlsc-be7baef1e4d0d725.d: crates/smlsc/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc-be7baef1e4d0d725.rlib: crates/smlsc/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc-be7baef1e4d0d725.rmeta: crates/smlsc/src/lib.rs
+
+crates/smlsc/src/lib.rs:

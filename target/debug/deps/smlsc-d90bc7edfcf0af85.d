@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-d90bc7edfcf0af85.d: crates/smlsc/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc-d90bc7edfcf0af85.rmeta: crates/smlsc/src/lib.rs
+
+crates/smlsc/src/lib.rs:

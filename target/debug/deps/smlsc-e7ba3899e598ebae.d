@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-e7ba3899e598ebae.d: crates/smlsc/src/bin/smlsc.rs
+
+/root/repo/target/debug/deps/libsmlsc-e7ba3899e598ebae.rmeta: crates/smlsc/src/bin/smlsc.rs
+
+crates/smlsc/src/bin/smlsc.rs:

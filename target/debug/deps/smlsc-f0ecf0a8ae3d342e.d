@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc-f0ecf0a8ae3d342e.d: crates/smlsc/src/lib.rs
+
+/root/repo/target/debug/deps/smlsc-f0ecf0a8ae3d342e: crates/smlsc/src/lib.rs
+
+crates/smlsc/src/lib.rs:

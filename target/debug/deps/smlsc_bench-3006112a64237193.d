@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_bench-3006112a64237193.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_bench-3006112a64237193.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_bench-83766ef60b8b9483.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/smlsc_bench-83766ef60b8b9483: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

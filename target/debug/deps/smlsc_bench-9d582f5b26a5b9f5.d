@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_bench-9d582f5b26a5b9f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_bench-9d582f5b26a5b9f5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

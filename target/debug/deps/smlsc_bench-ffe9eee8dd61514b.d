@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smlsc_bench-ffe9eee8dd61514b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_bench-ffe9eee8dd61514b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_bench-ffe9eee8dd61514b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

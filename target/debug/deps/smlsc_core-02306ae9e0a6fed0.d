@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smlsc_core-02306ae9e0a6fed0.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs
+
+/root/repo/target/debug/deps/libsmlsc_core-02306ae9e0a6fed0.rlib: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs
+
+/root/repo/target/debug/deps/libsmlsc_core-02306ae9e0a6fed0.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/groups.rs:
+crates/core/src/hash.rs:
+crates/core/src/irm.rs:
+crates/core/src/link.rs:
+crates/core/src/session.rs:
+crates/core/src/stdlib.rs:
+crates/core/src/unit.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smlsc_core-1e384bea17944de5.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs
+
+/root/repo/target/debug/deps/libsmlsc_core-1e384bea17944de5.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/groups.rs:
+crates/core/src/hash.rs:
+crates/core/src/irm.rs:
+crates/core/src/link.rs:
+crates/core/src/session.rs:
+crates/core/src/stdlib.rs:
+crates/core/src/unit.rs:

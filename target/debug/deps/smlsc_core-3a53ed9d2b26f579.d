@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smlsc_core-3a53ed9d2b26f579.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs
+
+/root/repo/target/debug/deps/smlsc_core-3a53ed9d2b26f579: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/groups.rs:
+crates/core/src/hash.rs:
+crates/core/src/irm.rs:
+crates/core/src/link.rs:
+crates/core/src/session.rs:
+crates/core/src/stdlib.rs:
+crates/core/src/unit.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/smlsc_core-9bbd1d576d413688.d: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_core-9bbd1d576d413688.rmeta: crates/core/src/lib.rs crates/core/src/compile.rs crates/core/src/groups.rs crates/core/src/hash.rs crates/core/src/irm.rs crates/core/src/link.rs crates/core/src/session.rs crates/core/src/stdlib.rs crates/core/src/unit.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compile.rs:
+crates/core/src/groups.rs:
+crates/core/src/hash.rs:
+crates/core/src/irm.rs:
+crates/core/src/link.rs:
+crates/core/src/session.rs:
+crates/core/src/stdlib.rs:
+crates/core/src/unit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

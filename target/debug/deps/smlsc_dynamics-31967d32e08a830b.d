@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smlsc_dynamics-31967d32e08a830b.d: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs
+
+/root/repo/target/debug/deps/smlsc_dynamics-31967d32e08a830b: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/eval.rs:
+crates/dynamics/src/ir.rs:
+crates/dynamics/src/value.rs:

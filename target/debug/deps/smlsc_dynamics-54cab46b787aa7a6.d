@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smlsc_dynamics-54cab46b787aa7a6.d: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_dynamics-54cab46b787aa7a6.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs Cargo.toml
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/eval.rs:
+crates/dynamics/src/ir.rs:
+crates/dynamics/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

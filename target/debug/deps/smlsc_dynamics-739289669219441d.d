@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smlsc_dynamics-739289669219441d.d: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs
+
+/root/repo/target/debug/deps/libsmlsc_dynamics-739289669219441d.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/eval.rs:
+crates/dynamics/src/ir.rs:
+crates/dynamics/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smlsc_dynamics-b5e3b4634f28c70d.d: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs
+
+/root/repo/target/debug/deps/libsmlsc_dynamics-b5e3b4634f28c70d.rlib: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs
+
+/root/repo/target/debug/deps/libsmlsc_dynamics-b5e3b4634f28c70d.rmeta: crates/dynamics/src/lib.rs crates/dynamics/src/eval.rs crates/dynamics/src/ir.rs crates/dynamics/src/value.rs
+
+crates/dynamics/src/lib.rs:
+crates/dynamics/src/eval.rs:
+crates/dynamics/src/ir.rs:
+crates/dynamics/src/value.rs:

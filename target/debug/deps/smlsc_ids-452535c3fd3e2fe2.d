@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smlsc_ids-452535c3fd3e2fe2.d: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs
+
+/root/repo/target/debug/deps/libsmlsc_ids-452535c3fd3e2fe2.rlib: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs
+
+/root/repo/target/debug/deps/libsmlsc_ids-452535c3fd3e2fe2.rmeta: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs
+
+crates/ids/src/lib.rs:
+crates/ids/src/digest.rs:
+crates/ids/src/stamp.rs:
+crates/ids/src/symbol.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smlsc_ids-c492131fa24ff098.d: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs
+
+/root/repo/target/debug/deps/libsmlsc_ids-c492131fa24ff098.rmeta: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs
+
+crates/ids/src/lib.rs:
+crates/ids/src/digest.rs:
+crates/ids/src/stamp.rs:
+crates/ids/src/symbol.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smlsc_ids-e99918259d973756.d: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs
+
+/root/repo/target/debug/deps/smlsc_ids-e99918259d973756: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs
+
+crates/ids/src/lib.rs:
+crates/ids/src/digest.rs:
+crates/ids/src/stamp.rs:
+crates/ids/src/symbol.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smlsc_ids-ff6188101842d435.d: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_ids-ff6188101842d435.rmeta: crates/ids/src/lib.rs crates/ids/src/digest.rs crates/ids/src/stamp.rs crates/ids/src/symbol.rs Cargo.toml
+
+crates/ids/src/lib.rs:
+crates/ids/src/digest.rs:
+crates/ids/src/stamp.rs:
+crates/ids/src/symbol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

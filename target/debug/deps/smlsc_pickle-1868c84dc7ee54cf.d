@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smlsc_pickle-1868c84dc7ee54cf.d: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+/root/repo/target/debug/deps/libsmlsc_pickle-1868c84dc7ee54cf.rmeta: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/context.rs:
+crates/pickle/src/dehydrate.rs:
+crates/pickle/src/rehydrate.rs:
+crates/pickle/src/testing.rs:
+crates/pickle/src/wire.rs:

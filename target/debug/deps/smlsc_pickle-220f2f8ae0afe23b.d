@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smlsc_pickle-220f2f8ae0afe23b.d: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+/root/repo/target/debug/deps/libsmlsc_pickle-220f2f8ae0afe23b.rmeta: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/context.rs:
+crates/pickle/src/dehydrate.rs:
+crates/pickle/src/rehydrate.rs:
+crates/pickle/src/testing.rs:
+crates/pickle/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smlsc_pickle-55ab573ad08c54a4.d: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+/root/repo/target/debug/deps/libsmlsc_pickle-55ab573ad08c54a4.rlib: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+/root/repo/target/debug/deps/libsmlsc_pickle-55ab573ad08c54a4.rmeta: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/context.rs:
+crates/pickle/src/dehydrate.rs:
+crates/pickle/src/rehydrate.rs:
+crates/pickle/src/testing.rs:
+crates/pickle/src/wire.rs:

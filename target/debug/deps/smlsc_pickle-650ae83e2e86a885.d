@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smlsc_pickle-650ae83e2e86a885.d: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_pickle-650ae83e2e86a885.rmeta: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs Cargo.toml
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/context.rs:
+crates/pickle/src/dehydrate.rs:
+crates/pickle/src/rehydrate.rs:
+crates/pickle/src/testing.rs:
+crates/pickle/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

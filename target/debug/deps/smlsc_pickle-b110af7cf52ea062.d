@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smlsc_pickle-b110af7cf52ea062.d: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+/root/repo/target/debug/deps/smlsc_pickle-b110af7cf52ea062: crates/pickle/src/lib.rs crates/pickle/src/context.rs crates/pickle/src/dehydrate.rs crates/pickle/src/rehydrate.rs crates/pickle/src/testing.rs crates/pickle/src/wire.rs
+
+crates/pickle/src/lib.rs:
+crates/pickle/src/context.rs:
+crates/pickle/src/dehydrate.rs:
+crates/pickle/src/rehydrate.rs:
+crates/pickle/src/testing.rs:
+crates/pickle/src/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smlsc_repo-2f5f4b31870fce70.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_repo-2f5f4b31870fce70.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

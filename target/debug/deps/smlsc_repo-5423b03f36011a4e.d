@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_repo-5423b03f36011a4e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_repo-5423b03f36011a4e.rmeta: src/lib.rs
+
+src/lib.rs:

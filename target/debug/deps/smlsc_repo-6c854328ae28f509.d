@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smlsc_repo-6c854328ae28f509.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_repo-6c854328ae28f509.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_repo-6c854328ae28f509.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_repo-95c4d05ff0ed1b5a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_repo-95c4d05ff0ed1b5a.rmeta: src/lib.rs
+
+src/lib.rs:

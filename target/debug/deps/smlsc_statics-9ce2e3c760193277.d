@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smlsc_statics-9ce2e3c760193277.d: crates/statics/src/lib.rs crates/statics/src/elab/mod.rs crates/statics/src/elab/core.rs crates/statics/src/elab/modules.rs crates/statics/src/env.rs crates/statics/src/error.rs crates/statics/src/matchcomp.rs crates/statics/src/pervasive.rs crates/statics/src/realize.rs crates/statics/src/sigmatch.rs crates/statics/src/types.rs
+
+/root/repo/target/debug/deps/libsmlsc_statics-9ce2e3c760193277.rmeta: crates/statics/src/lib.rs crates/statics/src/elab/mod.rs crates/statics/src/elab/core.rs crates/statics/src/elab/modules.rs crates/statics/src/env.rs crates/statics/src/error.rs crates/statics/src/matchcomp.rs crates/statics/src/pervasive.rs crates/statics/src/realize.rs crates/statics/src/sigmatch.rs crates/statics/src/types.rs
+
+crates/statics/src/lib.rs:
+crates/statics/src/elab/mod.rs:
+crates/statics/src/elab/core.rs:
+crates/statics/src/elab/modules.rs:
+crates/statics/src/env.rs:
+crates/statics/src/error.rs:
+crates/statics/src/matchcomp.rs:
+crates/statics/src/pervasive.rs:
+crates/statics/src/realize.rs:
+crates/statics/src/sigmatch.rs:
+crates/statics/src/types.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/smlsc_statics-aab22294872489c4.d: crates/statics/src/lib.rs crates/statics/src/elab/mod.rs crates/statics/src/elab/core.rs crates/statics/src/elab/modules.rs crates/statics/src/env.rs crates/statics/src/error.rs crates/statics/src/matchcomp.rs crates/statics/src/pervasive.rs crates/statics/src/realize.rs crates/statics/src/sigmatch.rs crates/statics/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_statics-aab22294872489c4.rmeta: crates/statics/src/lib.rs crates/statics/src/elab/mod.rs crates/statics/src/elab/core.rs crates/statics/src/elab/modules.rs crates/statics/src/env.rs crates/statics/src/error.rs crates/statics/src/matchcomp.rs crates/statics/src/pervasive.rs crates/statics/src/realize.rs crates/statics/src/sigmatch.rs crates/statics/src/types.rs Cargo.toml
+
+crates/statics/src/lib.rs:
+crates/statics/src/elab/mod.rs:
+crates/statics/src/elab/core.rs:
+crates/statics/src/elab/modules.rs:
+crates/statics/src/env.rs:
+crates/statics/src/error.rs:
+crates/statics/src/matchcomp.rs:
+crates/statics/src/pervasive.rs:
+crates/statics/src/realize.rs:
+crates/statics/src/sigmatch.rs:
+crates/statics/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smlsc_syntax-23f20c75d9936f81.d: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/deps.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/printer.rs
+
+/root/repo/target/debug/deps/libsmlsc_syntax-23f20c75d9936f81.rmeta: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/deps.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/printer.rs
+
+crates/syntax/src/lib.rs:
+crates/syntax/src/ast.rs:
+crates/syntax/src/deps.rs:
+crates/syntax/src/lexer.rs:
+crates/syntax/src/parser.rs:
+crates/syntax/src/printer.rs:

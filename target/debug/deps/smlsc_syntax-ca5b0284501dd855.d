@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smlsc_syntax-ca5b0284501dd855.d: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/deps.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/printer.rs
+
+/root/repo/target/debug/deps/libsmlsc_syntax-ca5b0284501dd855.rlib: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/deps.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/printer.rs
+
+/root/repo/target/debug/deps/libsmlsc_syntax-ca5b0284501dd855.rmeta: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/deps.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/printer.rs
+
+crates/syntax/src/lib.rs:
+crates/syntax/src/ast.rs:
+crates/syntax/src/deps.rs:
+crates/syntax/src/lexer.rs:
+crates/syntax/src/parser.rs:
+crates/syntax/src/printer.rs:

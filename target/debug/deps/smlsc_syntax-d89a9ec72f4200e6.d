@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smlsc_syntax-d89a9ec72f4200e6.d: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/deps.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/printer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_syntax-d89a9ec72f4200e6.rmeta: crates/syntax/src/lib.rs crates/syntax/src/ast.rs crates/syntax/src/deps.rs crates/syntax/src/lexer.rs crates/syntax/src/parser.rs crates/syntax/src/printer.rs Cargo.toml
+
+crates/syntax/src/lib.rs:
+crates/syntax/src/ast.rs:
+crates/syntax/src/deps.rs:
+crates/syntax/src/lexer.rs:
+crates/syntax/src/parser.rs:
+crates/syntax/src/printer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smlsc_trace-12ae18d777a315b4.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/smlsc_trace-12ae18d777a315b4: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/decision.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/json.rs:
+crates/trace/src/names.rs:
+crates/trace/src/sink.rs:

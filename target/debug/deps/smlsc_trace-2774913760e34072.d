@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smlsc_trace-2774913760e34072.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libsmlsc_trace-2774913760e34072.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/decision.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/json.rs:
+crates/trace/src/names.rs:
+crates/trace/src/sink.rs:

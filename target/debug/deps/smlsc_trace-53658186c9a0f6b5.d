@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smlsc_trace-53658186c9a0f6b5.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_trace-53658186c9a0f6b5.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/decision.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/json.rs:
+crates/trace/src/names.rs:
+crates/trace/src/sink.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

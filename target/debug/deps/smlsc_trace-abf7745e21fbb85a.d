@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smlsc_trace-abf7745e21fbb85a.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libsmlsc_trace-abf7745e21fbb85a.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs
+
+/root/repo/target/debug/deps/libsmlsc_trace-abf7745e21fbb85a.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/decision.rs crates/trace/src/histogram.rs crates/trace/src/json.rs crates/trace/src/names.rs crates/trace/src/sink.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/decision.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/json.rs:
+crates/trace/src/names.rs:
+crates/trace/src/sink.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smlsc_workload-2d66a78e6e457db4.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_workload-2d66a78e6e457db4.rlib: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_workload-2d66a78e6e457db4.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_workload-2f75ad10c6fa7c6c.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_workload-2f75ad10c6fa7c6c.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

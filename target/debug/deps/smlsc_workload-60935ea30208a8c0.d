@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_workload-60935ea30208a8c0.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/libsmlsc_workload-60935ea30208a8c0.rmeta: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smlsc_workload-c2b59c182c6313ab.d: crates/workload/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmlsc_workload-c2b59c182c6313ab.rmeta: crates/workload/src/lib.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

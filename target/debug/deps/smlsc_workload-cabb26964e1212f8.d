@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smlsc_workload-cabb26964e1212f8.d: crates/workload/src/lib.rs
+
+/root/repo/target/debug/deps/smlsc_workload-cabb26964e1212f8: crates/workload/src/lib.rs
+
+crates/workload/src/lib.rs:

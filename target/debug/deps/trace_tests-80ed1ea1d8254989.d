@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tests-80ed1ea1d8254989.d: crates/trace/tests/trace_tests.rs
+
+/root/repo/target/debug/deps/trace_tests-80ed1ea1d8254989: crates/trace/tests/trace_tests.rs
+
+crates/trace/tests/trace_tests.rs:

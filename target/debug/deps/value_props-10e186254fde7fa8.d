@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/value_props-10e186254fde7fa8.d: crates/dynamics/tests/value_props.rs
+
+/root/repo/target/debug/deps/value_props-10e186254fde7fa8: crates/dynamics/tests/value_props.rs
+
+crates/dynamics/tests/value_props.rs:

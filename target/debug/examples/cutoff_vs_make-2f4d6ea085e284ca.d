@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cutoff_vs_make-2f4d6ea085e284ca.d: examples/cutoff_vs_make.rs
+
+/root/repo/target/debug/examples/cutoff_vs_make-2f4d6ea085e284ca: examples/cutoff_vs_make.rs
+
+examples/cutoff_vs_make.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/functorized_style-5a9e2eae395a93a7.d: examples/functorized_style.rs
+
+/root/repo/target/debug/examples/functorized_style-5a9e2eae395a93a7: examples/functorized_style.rs
+
+examples/functorized_style.rs:

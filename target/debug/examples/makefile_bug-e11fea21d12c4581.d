@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/makefile_bug-e11fea21d12c4581.d: examples/makefile_bug.rs
+
+/root/repo/target/debug/examples/makefile_bug-e11fea21d12c4581: examples/makefile_bug.rs
+
+examples/makefile_bug.rs:

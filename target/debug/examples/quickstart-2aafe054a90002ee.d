@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2aafe054a90002ee.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2aafe054a90002ee: examples/quickstart.rs
+
+examples/quickstart.rs:

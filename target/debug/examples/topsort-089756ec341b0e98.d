@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topsort-089756ec341b0e98.d: examples/topsort.rs
+
+/root/repo/target/debug/examples/topsort-089756ec341b0e98: examples/topsort.rs
+
+examples/topsort.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/visible_compiler-d922960d89cf7dbd.d: examples/visible_compiler.rs
+
+/root/repo/target/debug/examples/visible_compiler-d922960d89cf7dbd: examples/visible_compiler.rs
+
+examples/visible_compiler.rs:
