@@ -41,7 +41,7 @@ fn clear_pids(exports: &smlsc_statics::env::Bindings) {
     for e in smlsc_pickle::reachable_entities(exports) {
         match &e {
             Entity::Tycon(t) => {
-                if !matches!(&*t.def.borrow(), smlsc_statics::types::TyconDef::Prim)
+                if !matches!(&*t.def.read(), smlsc_statics::types::TyconDef::Prim)
                     && t.name.as_str() != "bool"
                     && t.name.as_str() != "list"
                     && t.name.as_str() != "option"

@@ -1,0 +1,128 @@
+//! Wavefront-scheduler scaling: cold builds at jobs ∈ {1, 2, 4, 8}.
+//!
+//! ```text
+//! cargo run --release -p smlsc-bench --bin parallel_scaling
+//! cargo run --release -p smlsc-bench --bin parallel_scaling -- --funs 20 --out BENCH_parallel.json
+//! ```
+//!
+//! For each wide workload the table reports the cold-build wall clock at
+//! every worker count, the speedup over `jobs=1`, and two ceilings the
+//! observed speedup is bounded by: the DAG's (`units / critical_path`)
+//! and the host's (available CPU parallelism).  Results are written to
+//! `BENCH_parallel.json`.
+
+use std::time::Duration;
+
+use smlsc_bench::{critical_path, ms, time_cold_build_jobs, workload};
+use smlsc_core::irm::Strategy;
+use smlsc_workload::Topology;
+
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+const RUNS: usize = 3;
+
+struct Row {
+    jobs: usize,
+    best: Duration,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut funs = 12usize;
+    let mut out = String::from("BENCH_parallel.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--funs" => funs = it.next().and_then(|v| v.parse().ok()).expect("--funs <n>"),
+            "--out" => out = it.next().expect("--out <file>").clone(),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let workloads: [(&str, Topology); 3] = [
+        ("diamond(8x4)", Topology::Diamond { width: 8, depth: 4 }),
+        (
+            "diamond(16x2)",
+            Topology::Diamond {
+                width: 16,
+                depth: 2,
+            },
+        ),
+        (
+            "tree(d3 b4)",
+            Topology::Tree {
+                depth: 3,
+                branching: 4,
+            },
+        ),
+    ];
+
+    println!("== parallel wavefront scaling (cold builds, best of {RUNS}) ==");
+    println!("host parallelism: {host} (observed speedup is capped by min(jobs, {host}))");
+    let mut json_workloads = Vec::new();
+    for (name, topo) in workloads {
+        let w = workload(topo, funs, false);
+        let units = w.module_count();
+        let cp = critical_path(&w);
+        let ceiling = units as f64 / cp as f64;
+        println!(
+            "\n{name}: {units} units, {} lines, critical path {cp} (DAG ceiling {ceiling:.1}x)",
+            w.total_lines()
+        );
+        println!("{:>6} {:>12} {:>9}", "jobs", "cold(ms)", "speedup");
+
+        let mut rows: Vec<Row> = Vec::new();
+        let mut baseline_report = None;
+        for jobs in JOBS {
+            let mut best = Duration::MAX;
+            for _ in 0..RUNS {
+                let (report, t) = time_cold_build_jobs(&w, Strategy::Cutoff, jobs);
+                best = best.min(t);
+                // Scaling must not change what was built.
+                assert_eq!(report.recompiled.len(), units, "cold build compiles all");
+                match &baseline_report {
+                    None => baseline_report = Some(report),
+                    Some(base) => assert_eq!(
+                        base.decision_kinds(),
+                        report.decision_kinds(),
+                        "decisions must be identical at jobs={jobs}"
+                    ),
+                }
+            }
+            rows.push(Row { jobs, best });
+        }
+        let base = rows[0].best;
+        for r in &rows {
+            println!(
+                "{:>6} {:>12} {:>8.2}x",
+                r.jobs,
+                ms(r.best),
+                base.as_secs_f64() / r.best.as_secs_f64().max(1e-9)
+            );
+        }
+
+        let results: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"{{"jobs":{},"cold_ms":{},"speedup":{:.3}}}"#,
+                    r.jobs,
+                    ms(r.best),
+                    base.as_secs_f64() / r.best.as_secs_f64().max(1e-9)
+                )
+            })
+            .collect();
+        json_workloads.push(format!(
+            r#"{{"name":"{name}","units":{units},"lines":{},"critical_path":{cp},"dag_ceiling":{ceiling:.2},"results":[{}]}}"#,
+            w.total_lines(),
+            results.join(",")
+        ));
+    }
+
+    let json = format!(
+        r#"{{"bench":"parallel_wavefront_scaling","funs_per_module":{funs},"runs_per_point":{RUNS},"host_parallelism":{host},"workloads":[{}]}}"#,
+        json_workloads.join(",")
+    );
+    std::fs::write(&out, &json).expect("write benchmark output");
+    println!("\nresults written to {out}");
+}

@@ -1,7 +1,7 @@
 //! The compile pipeline: parse → dependency analysis → elaborate → hash →
 //! dehydrate (§3's `compile`, with §5's hashing and §4's pickling).
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use smlsc_ids::{Pid, Symbol};
@@ -23,7 +23,7 @@ pub struct ImportSource {
     /// Its current export pid.
     pub pid: Pid,
     /// Its (rehydrated or freshly compiled) export environment.
-    pub exports: Rc<Bindings>,
+    pub exports: Arc<Bindings>,
 }
 
 /// Wall-clock cost of each phase of one compilation — the measurements
@@ -62,7 +62,7 @@ pub struct CompileOutput {
     /// The compiled unit (ready to write to a bin file).
     pub unit: CompiledUnit,
     /// The export environment, live, for same-session dependents.
-    pub exports: Rc<Bindings>,
+    pub exports: Arc<Bindings>,
     /// Phase timings.
     pub timings: CompileTimings,
     /// Elaboration warnings (inexhaustive/redundant matches).

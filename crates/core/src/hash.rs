@@ -159,13 +159,13 @@ impl Hasher {
         true
     }
 
-    fn tycon(&mut self, tc: &std::rc::Rc<Tycon>) -> Result<(), HashError> {
+    fn tycon(&mut self, tc: &std::sync::Arc<Tycon>) -> Result<(), HashError> {
         if !self.entity_ref(tc.stamp, tc.entity_pid.get(), || Entity::Tycon(tc.clone())) {
             return Ok(());
         }
         self.d.write_str(tc.name.as_str());
         self.d.write_u64(tc.arity as u64);
-        let def = tc.def.borrow().clone();
+        let def = tc.def.read().clone();
         match def {
             TyconDef::Prim => self.d.write_tag(T_TYCON_PRIM),
             TyconDef::Abstract => self.d.write_tag(T_TYCON_ABS),
@@ -191,7 +191,7 @@ impl Hasher {
         Ok(())
     }
 
-    fn structure(&mut self, s: &std::rc::Rc<StructureEnv>) -> Result<(), HashError> {
+    fn structure(&mut self, s: &std::sync::Arc<StructureEnv>) -> Result<(), HashError> {
         if !self.entity_ref(s.stamp, s.entity_pid.get(), || Entity::Str(s.clone())) {
             return Ok(());
         }
@@ -199,7 +199,7 @@ impl Hasher {
         self.bindings(&s.bindings)
     }
 
-    fn signature(&mut self, s: &std::rc::Rc<SignatureEnv>) -> Result<(), HashError> {
+    fn signature(&mut self, s: &std::sync::Arc<SignatureEnv>) -> Result<(), HashError> {
         if !self.entity_ref(s.stamp, s.entity_pid.get(), || Entity::Sig(s.clone())) {
             return Ok(());
         }
@@ -214,7 +214,7 @@ impl Hasher {
         Ok(())
     }
 
-    fn functor(&mut self, f: &std::rc::Rc<FunctorEnv>) -> Result<(), HashError> {
+    fn functor(&mut self, f: &std::sync::Arc<FunctorEnv>) -> Result<(), HashError> {
         if !self.entity_ref(f.stamp, f.entity_pid.get(), || Entity::Fct(f.clone())) {
             return Ok(());
         }
@@ -293,7 +293,7 @@ impl Hasher {
     fn ty(&mut self, t: &Type) -> Result<(), HashError> {
         match t {
             Type::UVar(uv) => {
-                let link = uv.link.borrow().clone();
+                let link = uv.link.read().clone();
                 match link {
                     Some(t2) => self.ty(&t2),
                     None => Err(HashError::UnsolvedType),

@@ -19,10 +19,24 @@
 //! Bin files are kept in an in-memory store (persistable via
 //! [`Irm::save_bins`]/[`Irm::load_bins`]); rehydrated environments are
 //! cached per build so each unit's statenv is read back at most once.
+//!
+//! # Parallel wavefront builds
+//!
+//! [`Irm::build_with_jobs`] runs the same schedule on a worker pool: a
+//! unit's decide/compile task is dispatched the moment every import's
+//! export environment has settled, so independent subtrees of the
+//! analysis DAG compile concurrently.  The scheduler is a thin layer —
+//! in-degree counters over the topological order, a task channel, and
+//! per-unit once-cells holding settled export environments — and it
+//! produces **bit-identical results to the sequential path**: the same
+//! export pids, the same [`RebuildDecision`] per unit, and a
+//! [`BuildReport`] in topological order regardless of completion order.
+//! `jobs <= 1` takes the sequential loop verbatim.
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use smlsc_ids::{Pid, Symbol};
@@ -416,7 +430,8 @@ impl Irm {
     }
 
     /// Builds the project: recompiles what the strategy requires, reuses
-    /// the rest.
+    /// the rest.  Single-threaded; [`Irm::build_with_jobs`] runs the same
+    /// schedule on a worker pool.
     ///
     /// # Errors
     ///
@@ -429,6 +444,10 @@ impl Irm {
         let _build_span = trace::span(names::SPAN_BUILD)
             .field("strategy", strategy)
             .field("units", order.len());
+        // Index files once; the loop below must not rescan the project
+        // per unit (that made large builds quadratic).
+        let file_index: HashMap<Symbol, &SourceFile> =
+            project.files().iter().map(|f| (f.name, f)).collect();
 
         let mut report = BuildReport {
             strategy,
@@ -436,15 +455,11 @@ impl Irm {
             ..BuildReport::default()
         };
         // Environments materialized this build (fresh or rehydrated).
-        let mut envs: HashMap<Symbol, Rc<Bindings>> = HashMap::new();
+        let mut envs: HashMap<Symbol, Arc<Bindings>> = HashMap::new();
         let mut recompiled_set: HashMap<Symbol, bool> = HashMap::new();
 
         for name in &order {
-            let file = project
-                .files()
-                .iter()
-                .find(|f| f.name == *name)
-                .expect("ordered units exist");
+            let file = file_index[name];
             let analysis = &analyses[name];
             let sp = analysis.source_pid;
             // Import units in deterministic (sorted-name) slot order.
@@ -455,7 +470,20 @@ impl Irm {
                 .collect::<Vec<_>>()
                 .dedup_stable();
 
-            let decision = self.decide(strategy, *name, file, sp, &import_units, &recompiled_set);
+            let decision = decide_unit(
+                strategy,
+                file,
+                sp,
+                &import_units,
+                self.bins.get(name),
+                &|u| {
+                    self.bins.get(&u).map(|b| ImportFacts {
+                        export_pid: b.unit.export_pid,
+                        mtime: b.mtime,
+                        rebuilt: recompiled_set.get(&u).copied().unwrap_or(false),
+                    })
+                },
+            );
             trace::event("irm.decision")
                 .field("unit", name.as_str())
                 .field("kind", decision.kind());
@@ -506,111 +534,224 @@ impl Irm {
         Ok(report)
     }
 
-    /// Applies `strategy` to one unit and returns the causal verdict.
+    /// Builds the project on up to `jobs` worker threads, dispatching a
+    /// unit the moment all of its imports have settled (a *wavefront*
+    /// over the analysis DAG).
     ///
-    /// Checks are ordered most-direct-cause-first, so the recorded
-    /// decision names the *proximate* reason: own source before imports,
-    /// import identity before import pids, pid change before cutoff.
-    fn decide(
-        &self,
-        strategy: Strategy,
-        name: Symbol,
-        file: &SourceFile,
-        sp: Pid,
-        import_units: &[Symbol],
-        recompiled_set: &HashMap<Symbol, bool>,
-    ) -> RebuildDecision {
-        let Some(bin) = self.bins.get(&name) else {
-            return RebuildDecision::NewUnit;
-        };
-        let rebuilt = |u: &Symbol| recompiled_set.get(u).copied().unwrap_or(false);
-        match strategy {
-            Strategy::Cutoff => {
-                if bin.unit.source_pid != sp {
-                    return RebuildDecision::SourceChanged {
-                        old: bin.unit.source_pid.to_string(),
-                        new: sp.to_string(),
-                    };
+    /// Decisions, export pids and the report are identical to
+    /// [`Irm::build`] for any `jobs`: a unit's verdict depends only on
+    /// its own old bin and the final state of its imports, both of which
+    /// are fixed before the unit is dispatched.  `jobs <= 1` runs the
+    /// sequential loop itself.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`] from analysis or compilation.  On error the bin
+    /// store is updated exactly as the sequential build would have left
+    /// it: every unit topologically before the first (lowest-index)
+    /// failing unit is merged, nothing at or after it is.
+    pub fn build_with_jobs(
+        &mut self,
+        project: &Project,
+        jobs: usize,
+    ) -> Result<BuildReport, CoreError> {
+        if jobs <= 1 {
+            return self.build(project);
+        }
+        self.build_parallel(project, jobs)
+    }
+
+    fn build_parallel(&mut self, project: &Project, jobs: usize) -> Result<BuildReport, CoreError> {
+        let strategy = self.strategy();
+        let analyses = self.analyze_all(project)?;
+        let exporters = exporters(&analyses)?;
+        let order = topo_order(project, &analyses, &exporters)?;
+        let n = order.len();
+        let workers = jobs.min(n.max(1));
+        let _build_span = trace::span(names::SPAN_BUILD)
+            .field("strategy", strategy)
+            .field("units", n)
+            .field("jobs", workers);
+
+        let file_index: HashMap<Symbol, &SourceFile> =
+            project.files().iter().map(|f| (f.name, f)).collect();
+        let index_of: HashMap<Symbol, usize> =
+            order.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        // Deduped import units per topo slot, and the same as indices.
+        let import_units: Vec<Vec<Symbol>> = order
+            .iter()
+            .map(|name| {
+                analyses[name]
+                    .imports
+                    .iter()
+                    .map(|n| exporters[n])
+                    .collect::<Vec<_>>()
+                    .dedup_stable()
+            })
+            .collect();
+        let import_idx: Vec<Vec<usize>> = import_units
+            .iter()
+            .map(|us| us.iter().map(|u| index_of[u]).collect())
+            .collect();
+
+        // The longest import chain bounds wall-clock time no matter how
+        // many workers run; total/critical is the DAG's speedup ceiling.
+        let mut chain = vec![1usize; n];
+        for i in 0..n {
+            for &d in &import_idx[i] {
+                chain[i] = chain[i].max(chain[d] + 1);
+            }
+        }
+        let critical_path = chain.into_iter().max().unwrap_or(0);
+        trace::counter(names::CRITICAL_PATH, critical_path as u64);
+        trace::event(names::BUILD_PARALLELISM)
+            .field("critical_path", critical_path)
+            .field("units", n)
+            .field("jobs", workers);
+
+        let outcomes: Vec<OnceLock<Result<TaskOutcome, CoreError>>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        {
+            let envs: Vec<EnvSlot> = (0..n).map(|_| OnceLock::new()).collect();
+            let shared = ParallelShared {
+                strategy,
+                order: &order,
+                file_index: &file_index,
+                index_of: &index_of,
+                analyses: &analyses,
+                import_units: &import_units,
+                import_idx: &import_idx,
+                old_bins: &self.bins,
+                envs: &envs,
+                outcomes: &outcomes,
+            };
+
+            let mut indegree: Vec<usize> = import_idx.iter().map(Vec::len).collect();
+            let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+            for (i, deps) in import_idx.iter().enumerate() {
+                for &d in deps {
+                    dependents[d].push(i);
                 }
-                // Import identity drift: an export moved to a different
-                // unit without this source changing.  The slot's pid
-                // necessarily refers to something else now.
-                let old_units: Vec<Symbol> = bin.unit.imports.iter().map(|e| e.unit).collect();
-                if old_units != import_units {
-                    let n = old_units.len().max(import_units.len());
-                    for i in 0..n {
-                        let old = old_units.get(i);
-                        let new = import_units.get(i);
-                        if old != new {
-                            let import = new.or(old).expect("one side exists");
-                            return RebuildDecision::ImportPidChanged {
-                                import: import.as_str().to_string(),
-                                old: bin
-                                    .unit
-                                    .imports
-                                    .get(i)
-                                    .map_or_else(|| "none".to_string(), |e| e.pid.to_string()),
-                                new: new.and_then(|u| self.bins.get(u)).map_or_else(
-                                    || "none".to_string(),
-                                    |b| b.unit.export_pid.to_string(),
-                                ),
-                            };
+            }
+
+            let (task_tx, task_rx) = mpsc::channel::<usize>();
+            let task_rx = Arc::new(Mutex::new(task_rx));
+            let (done_tx, done_rx) = mpsc::channel::<(usize, bool)>();
+
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    let task_rx = Arc::clone(&task_rx);
+                    let done_tx = done_tx.clone();
+                    let sink = trace::fork_current();
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        if let Some(sink) = sink {
+                            trace::install(sink);
+                        }
+                        {
+                            let _worker_span = trace::span(names::SPAN_WORKER).field("worker", w);
+                            loop {
+                                let msg = {
+                                    let rx = task_rx.lock().unwrap_or_else(|e| e.into_inner());
+                                    rx.recv()
+                                };
+                                let Ok(i) = msg else { break };
+                                let res = shared.run_task(i);
+                                let ok = res.is_ok();
+                                let _ = shared.outcomes[i].set(res);
+                                if done_tx.send((i, ok)).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                        trace::uninstall();
+                    });
+                }
+                drop(done_tx);
+
+                // Coordinator: dispatch the in-degree-0 wavefront, then
+                // release dependents as completions arrive.  After the
+                // first error, only units topologically *before* the
+                // lowest failing index are still dispatched — exactly
+                // the set the sequential loop would have processed.
+                let mut inflight = 0usize;
+                let mut min_err: Option<usize> = None;
+                for (i, deg) in indegree.iter().enumerate() {
+                    if *deg == 0 && task_tx.send(i).is_ok() {
+                        inflight += 1;
+                    }
+                }
+                while inflight > 0 {
+                    let Ok((i, ok)) = done_rx.recv() else {
+                        break; // a worker died; scope propagates its panic
+                    };
+                    inflight -= 1;
+                    if !ok {
+                        min_err = Some(min_err.map_or(i, |k| k.min(i)));
+                        continue;
+                    }
+                    for &d in &dependents[i] {
+                        indegree[d] -= 1;
+                        if indegree[d] == 0
+                            && min_err.is_none_or(|k| d < k)
+                            && task_tx.send(d).is_ok()
+                        {
+                            inflight += 1;
                         }
                     }
                 }
-                for (e, u) in bin.unit.imports.iter().zip(import_units) {
-                    let current = self.bins.get(u).map(|b| b.unit.export_pid);
-                    if Some(e.pid) != current {
-                        return RebuildDecision::ImportPidChanged {
-                            import: u.as_str().to_string(),
-                            old: e.pid.to_string(),
-                            new: current.map_or_else(|| "none".to_string(), |p| p.to_string()),
-                        };
+                drop(task_tx); // hang up; workers drain and exit
+            });
+        }
+
+        // Merge in topological order — the report is deterministic no
+        // matter which worker finished when.
+        let mut report = BuildReport {
+            strategy,
+            order: order.clone(),
+            ..BuildReport::default()
+        };
+        let mut failure: Option<CoreError> = None;
+        // The lowest failing topo index; the sequential loop would have
+        // stopped there, so everything before it merges and it reports.
+        let limit = outcomes
+            .iter()
+            .position(|slot| matches!(slot.get(), Some(Err(_))))
+            .unwrap_or(n);
+        for (i, slot) in outcomes.into_iter().enumerate() {
+            let Some(res) = slot.into_inner() else {
+                continue; // gated off by an earlier failure
+            };
+            match res {
+                Ok(out) => {
+                    if i >= limit {
+                        continue; // completed past the error point
+                    }
+                    let name = order[i];
+                    report.decisions.push((name, out.decision));
+                    match out.new_bin {
+                        Some(bin) => {
+                            self.bins.insert(name, bin);
+                            report.recompiled.push(name);
+                        }
+                        None => report.reused.push(name),
+                    }
+                    report.timings.accumulate(&out.timings);
+                    report
+                        .warnings
+                        .extend(out.warnings.into_iter().map(|w| (name, w)));
+                    report.rehydrate += out.rehydrate;
+                }
+                Err(e) => {
+                    if i == limit && failure.is_none() {
+                        failure = Some(e);
                     }
                 }
-                // All pids line up.  If an import *was* recompiled this
-                // build, that is precisely the paper's cutoff.
-                if let Some(u) = import_units.iter().find(|u| rebuilt(u)) {
-                    return RebuildDecision::CutOff {
-                        import: u.as_str().to_string(),
-                        export_pid: self.bins[u].unit.export_pid.to_string(),
-                    };
-                }
-                RebuildDecision::Reused
             }
-            Strategy::Timestamp => {
-                // `make` semantics: compare stamps only.  Old/new in the
-                // decision are mtimes, not pids.
-                if bin.mtime < file.mtime {
-                    return RebuildDecision::SourceChanged {
-                        old: bin.mtime.to_string(),
-                        new: file.mtime.to_string(),
-                    };
-                }
-                if let Some(u) = import_units
-                    .iter()
-                    .find(|u| self.bins.get(u).is_none_or(|b| bin.mtime < b.mtime))
-                {
-                    return RebuildDecision::DependencyRebuilt {
-                        import: u.as_str().to_string(),
-                    };
-                }
-                RebuildDecision::Reused
-            }
-            Strategy::Classical => {
-                if bin.unit.source_pid != sp {
-                    return RebuildDecision::SourceChanged {
-                        old: bin.unit.source_pid.to_string(),
-                        new: sp.to_string(),
-                    };
-                }
-                if let Some(u) = import_units.iter().find(|u| rebuilt(u)) {
-                    return RebuildDecision::DependencyRebuilt {
-                        import: u.as_str().to_string(),
-                    };
-                }
-                RebuildDecision::Reused
-            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(report),
         }
     }
 
@@ -621,9 +762,9 @@ impl Irm {
         unit: Symbol,
         analyses: &HashMap<Symbol, CachedAnalysis>,
         exporters: &HashMap<Symbol, Symbol>,
-        envs: &mut HashMap<Symbol, Rc<Bindings>>,
+        envs: &mut HashMap<Symbol, Arc<Bindings>>,
         report: &mut BuildReport,
-    ) -> Result<Rc<Bindings>, CoreError> {
+    ) -> Result<Arc<Bindings>, CoreError> {
         if let Some(e) = envs.get(&unit) {
             trace::counter(names::ENV_CACHE_HITS, 1);
             return Ok(e.clone());
@@ -661,13 +802,320 @@ impl Irm {
     /// Build errors, or a [`LinkError`](crate::link::LinkError) wrapped in
     /// [`CoreError::Link`].
     pub fn execute(&mut self, project: &Project) -> Result<(BuildReport, DynEnv), CoreError> {
-        let report = self.build(project)?;
+        self.execute_with_jobs(project, 1)
+    }
+
+    /// [`Irm::execute`] with the build phase on `jobs` workers (linking
+    /// and execution stay sequential — they are effectful and ordered).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Irm::execute`].
+    pub fn execute_with_jobs(
+        &mut self,
+        project: &Project,
+        jobs: usize,
+    ) -> Result<(BuildReport, DynEnv), CoreError> {
+        let report = self.build_with_jobs(project, jobs)?;
         let mut env = DynEnv::new();
         for name in &report.order {
             let bin = &self.bins[name];
             link_and_execute(&bin.unit, &mut env).map_err(CoreError::Link)?;
         }
         Ok((report, env))
+    }
+}
+
+/// What a strategy may consult about one import: the import's *current*
+/// bin state as of the dependent's decision point.  Imports settle
+/// before their dependents in both the sequential and the wavefront
+/// schedule, so these facts are final — which is exactly why cutoff
+/// decisions are order-independent and the parallel build is
+/// deterministic.
+#[derive(Debug, Clone, Copy)]
+struct ImportFacts {
+    export_pid: Pid,
+    mtime: u64,
+    rebuilt: bool,
+}
+
+/// Applies `strategy` to one unit and returns the causal verdict.
+///
+/// Checks are ordered most-direct-cause-first, so the recorded decision
+/// names the *proximate* reason: own source before imports, import
+/// identity before import pids, pid change before cutoff.
+///
+/// Shared by the sequential loop and the wavefront workers; the only
+/// inputs are the unit's old bin and the per-import facts closure, so
+/// both schedules decide identically by construction.
+fn decide_unit(
+    strategy: Strategy,
+    file: &SourceFile,
+    sp: Pid,
+    import_units: &[Symbol],
+    own_bin: Option<&BinFile>,
+    facts: &dyn Fn(Symbol) -> Option<ImportFacts>,
+) -> RebuildDecision {
+    let Some(bin) = own_bin else {
+        return RebuildDecision::NewUnit;
+    };
+    let rebuilt = |u: &Symbol| facts(*u).is_some_and(|f| f.rebuilt);
+    match strategy {
+        Strategy::Cutoff => {
+            if bin.unit.source_pid != sp {
+                return RebuildDecision::SourceChanged {
+                    old: bin.unit.source_pid.to_string(),
+                    new: sp.to_string(),
+                };
+            }
+            // Import identity drift: an export moved to a different
+            // unit without this source changing.  The slot's pid
+            // necessarily refers to something else now.
+            let old_units: Vec<Symbol> = bin.unit.imports.iter().map(|e| e.unit).collect();
+            if old_units != import_units {
+                let n = old_units.len().max(import_units.len());
+                for i in 0..n {
+                    let old = old_units.get(i);
+                    let new = import_units.get(i);
+                    if old != new {
+                        let import = new.or(old).expect("one side exists");
+                        return RebuildDecision::ImportPidChanged {
+                            import: import.as_str().to_string(),
+                            old: bin
+                                .unit
+                                .imports
+                                .get(i)
+                                .map_or_else(|| "none".to_string(), |e| e.pid.to_string()),
+                            new: new
+                                .and_then(|u| facts(*u))
+                                .map_or_else(|| "none".to_string(), |f| f.export_pid.to_string()),
+                        };
+                    }
+                }
+            }
+            for (e, u) in bin.unit.imports.iter().zip(import_units) {
+                let current = facts(*u).map(|f| f.export_pid);
+                if Some(e.pid) != current {
+                    return RebuildDecision::ImportPidChanged {
+                        import: u.as_str().to_string(),
+                        old: e.pid.to_string(),
+                        new: current.map_or_else(|| "none".to_string(), |p| p.to_string()),
+                    };
+                }
+            }
+            // All pids line up.  If an import *was* recompiled this
+            // build, that is precisely the paper's cutoff.
+            if let Some(u) = import_units.iter().find(|u| rebuilt(u)) {
+                return RebuildDecision::CutOff {
+                    import: u.as_str().to_string(),
+                    export_pid: facts(*u)
+                        .map_or_else(|| "none".to_string(), |f| f.export_pid.to_string()),
+                };
+            }
+            RebuildDecision::Reused
+        }
+        Strategy::Timestamp => {
+            // `make` semantics: compare stamps only.  Old/new in the
+            // decision are mtimes, not pids.
+            if bin.mtime < file.mtime {
+                return RebuildDecision::SourceChanged {
+                    old: bin.mtime.to_string(),
+                    new: file.mtime.to_string(),
+                };
+            }
+            if let Some(u) = import_units
+                .iter()
+                .find(|u| facts(**u).is_none_or(|f| bin.mtime < f.mtime))
+            {
+                return RebuildDecision::DependencyRebuilt {
+                    import: u.as_str().to_string(),
+                };
+            }
+            RebuildDecision::Reused
+        }
+        Strategy::Classical => {
+            if bin.unit.source_pid != sp {
+                return RebuildDecision::SourceChanged {
+                    old: bin.unit.source_pid.to_string(),
+                    new: sp.to_string(),
+                };
+            }
+            if let Some(u) = import_units.iter().find(|u| rebuilt(u)) {
+                return RebuildDecision::DependencyRebuilt {
+                    import: u.as_str().to_string(),
+                };
+            }
+            RebuildDecision::Reused
+        }
+    }
+}
+
+/// A settled export environment (or the error that settling produced),
+/// published at most once per unit per parallel build.
+type EnvSlot = OnceLock<Result<Arc<Bindings>, CoreError>>;
+
+/// What one wavefront task resolved to; merged into the bin store and
+/// the report in topological order by the coordinator.
+#[derive(Debug)]
+struct TaskOutcome {
+    decision: RebuildDecision,
+    /// `Some` iff the unit recompiled.
+    new_bin: Option<BinFile>,
+    timings: CompileTimings,
+    warnings: Vec<String>,
+    rehydrate: Duration,
+}
+
+/// Read-only build state shared by every wavefront worker.
+struct ParallelShared<'a> {
+    strategy: Strategy,
+    order: &'a [Symbol],
+    file_index: &'a HashMap<Symbol, &'a SourceFile>,
+    index_of: &'a HashMap<Symbol, usize>,
+    analyses: &'a HashMap<Symbol, CachedAnalysis>,
+    import_units: &'a [Vec<Symbol>],
+    import_idx: &'a [Vec<usize>],
+    /// The bin store as of the start of the build.  New bins live in
+    /// `outcomes` until the coordinator merges them, so old state stays
+    /// readable (a unit's *own* decision reads its pre-build bin).
+    old_bins: &'a HashMap<Symbol, BinFile>,
+    envs: &'a [EnvSlot],
+    outcomes: &'a [OnceLock<Result<TaskOutcome, CoreError>>],
+}
+
+impl ParallelShared<'_> {
+    /// Current facts about a unit: its fresh bin if it recompiled this
+    /// build, else its old bin.  Only called for *completed* units (the
+    /// scheduler dispatches a unit after all its imports finish), so the
+    /// outcome slot read is never racy.
+    fn facts(&self, u: Symbol) -> Option<ImportFacts> {
+        if let Some(&j) = self.index_of.get(&u) {
+            if let Some(Ok(out)) = self.outcomes[j].get() {
+                if let Some(b) = &out.new_bin {
+                    return Some(ImportFacts {
+                        export_pid: b.unit.export_pid,
+                        mtime: b.mtime,
+                        rebuilt: true,
+                    });
+                }
+            }
+        }
+        self.old_bins.get(&u).map(|b| ImportFacts {
+            export_pid: b.unit.export_pid,
+            mtime: b.mtime,
+            rebuilt: false,
+        })
+    }
+
+    /// Decide-then-maybe-compile for one unit, on a worker thread.
+    fn run_task(&self, i: usize) -> Result<TaskOutcome, CoreError> {
+        let name = self.order[i];
+        let file = self.file_index[&name];
+        let sp = self.analyses[&name].source_pid;
+        let units = &self.import_units[i];
+        let _task = trace::span(names::SPAN_TASK).field("unit", name.as_str());
+
+        let decision = decide_unit(
+            self.strategy,
+            file,
+            sp,
+            units,
+            self.old_bins.get(&name),
+            &|u| self.facts(u),
+        );
+        trace::event("irm.decision")
+            .field("unit", name.as_str())
+            .field("kind", decision.kind());
+        if !decision.requires_recompile() {
+            trace::counter(names::UNITS_REUSED, 1);
+            if matches!(decision, RebuildDecision::CutOff { .. }) {
+                trace::counter(names::CUTOFF_HITS, 1);
+            }
+            return Ok(TaskOutcome {
+                decision,
+                new_bin: None,
+                timings: CompileTimings::default(),
+                warnings: Vec::new(),
+                rehydrate: Duration::ZERO,
+            });
+        }
+        trace::counter(names::UNITS_COMPILED, 1);
+        let mut rehydrate = Duration::ZERO;
+        let sources: Vec<ImportSource> = self.import_idx[i]
+            .iter()
+            .zip(units)
+            .map(|(&j, &u)| {
+                let exports = self.force_env(j, &mut rehydrate)?;
+                let pid = self
+                    .facts(u)
+                    .map(|f| f.export_pid)
+                    .expect("imports settle before dependents dispatch");
+                Ok(ImportSource {
+                    unit: u,
+                    pid,
+                    exports,
+                })
+            })
+            .collect::<Result<_, CoreError>>()?;
+        let out = compile_unit(name, &file.text, &sources)?;
+        // Publish the export environment *before* the completion signal,
+        // so a dependent never rehydrates a freshly compiled unit.
+        let _ = self.envs[i].set(Ok(out.exports.clone()));
+        Ok(TaskOutcome {
+            decision,
+            new_bin: Some(BinFile {
+                unit: out.unit,
+                mtime: tick(),
+            }),
+            timings: out.timings,
+            warnings: out.warnings.iter().map(|w| w.to_string()).collect(),
+            rehydrate,
+        })
+    }
+
+    /// Materializes a unit's export environment: the live compile result
+    /// if it recompiled this build, else rehydrated from its (old ==
+    /// current) bin.  Settled at most once per build; racing readers
+    /// block on the cell, and the wait-for graph follows import edges of
+    /// an acyclic DAG, so no deadlock.
+    fn force_env(
+        &self,
+        j: usize,
+        rehydrate_acc: &mut Duration,
+    ) -> Result<Arc<Bindings>, CoreError> {
+        if let Some(r) = self.envs[j].get() {
+            trace::counter(names::ENV_CACHE_HITS, 1);
+            return r.clone();
+        }
+        trace::counter(names::ENV_CACHE_MISSES, 1);
+        self.envs[j]
+            .get_or_init(|| self.rehydrate_env(j, rehydrate_acc))
+            .clone()
+    }
+
+    /// Rehydrates a *reused* unit's pickled exports against its imports'
+    /// settled environments.  Recompiled units never reach here: their
+    /// slots are published eagerly at compile time, before any dependent
+    /// is dispatched.
+    fn rehydrate_env(&self, j: usize, acc: &mut Duration) -> Result<Arc<Bindings>, CoreError> {
+        let unit = self.order[j];
+        let mut ctx_envs = Vec::new();
+        for &d in &self.import_idx[j] {
+            ctx_envs.push(self.force_env(d, acc)?);
+        }
+        let bin = self
+            .old_bins
+            .get(&unit)
+            .ok_or(CoreError::UnknownUnit(unit))?;
+        let t0 = Instant::now();
+        let _span = trace::span(names::SPAN_REHYDRATE).field("unit", unit.as_str());
+        let ctx = RehydrateContext::with_pervasives(ctx_envs.iter().map(|e| e.as_ref()));
+        let (env, stats) = rehydrate(&bin.unit.env_pickle, &ctx)
+            .map_err(|e| CoreError::Pickle { unit, error: e })?;
+        trace::counter(names::REHYDRATE_NODES, stats.nodes as u64);
+        trace::counter(names::REHYDRATE_STUBS, stats.stubs as u64);
+        *acc += t0.elapsed();
+        Ok(env)
     }
 }
 

@@ -69,7 +69,7 @@ pub use stdlib::{add_stdlib, stdlib_units};
 pub use unit::{BinFile, CompiledUnit, ImportEdge};
 
 /// Any error from the compilation manager.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum CoreError {
     /// A source file failed to parse.
     Parse {

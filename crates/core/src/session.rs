@@ -8,7 +8,7 @@
 //! (later layers shadow earlier ones).  Nothing in the loop bypasses
 //! `compile`/`hash`/`execute`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_dynamics::value::Value;
 use smlsc_ids::{Pid, Symbol};
@@ -26,7 +26,7 @@ use crate::CoreError;
 #[derive(Debug, Clone)]
 struct Layer {
     name: Symbol,
-    exports: Rc<Bindings>,
+    exports: Arc<Bindings>,
     values: Value,
 }
 
@@ -158,12 +158,12 @@ impl Session {
     ) -> Result<Vec<Symbol>, CoreError> {
         use std::collections::HashMap;
         let report = irm.build(project)?;
-        let mut envs: HashMap<Symbol, Rc<Bindings>> = HashMap::new();
+        let mut envs: HashMap<Symbol, Arc<Bindings>> = HashMap::new();
         let mut vals: HashMap<Symbol, Value> = HashMap::new();
         let mut dyn_env = crate::link::DynEnv::new();
         for name in &report.order {
             let bin = irm.bin(name.as_str()).expect("built units have bins");
-            let ctx_envs: Vec<Rc<Bindings>> = bin
+            let ctx_envs: Vec<Arc<Bindings>> = bin
                 .unit
                 .imports
                 .iter()

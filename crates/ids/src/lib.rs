@@ -37,9 +37,11 @@
 #![warn(missing_docs)]
 
 pub mod digest;
+pub mod pid_cell;
 pub mod stamp;
 pub mod symbol;
 
 pub use digest::{Digest128, Pid};
+pub use pid_cell::PidCell;
 pub use stamp::{Stamp, StampGenerator};
 pub use symbol::Symbol;

@@ -1,0 +1,68 @@
+//! A thread-safe, late-filled pid slot.
+//!
+//! Static entities (tycons, structures, signatures, functors) are born
+//! without a persistent identity; the compilation manager fills the pid
+//! when the entity is first exported (§5).  The slot used to be a
+//! `Cell<Option<Pid>>`, which kept environments `!Sync`; [`PidCell`]
+//! offers the same get/set surface over a mutex so shared environments
+//! can cross threads.
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+use crate::Pid;
+
+/// A mutable, shareable `Option<Pid>` slot.
+pub struct PidCell(Mutex<Option<Pid>>);
+
+impl PidCell {
+    /// A cell holding `value`.
+    pub fn new(value: Option<Pid>) -> PidCell {
+        PidCell(Mutex::new(value))
+    }
+
+    /// The current pid, if one has been assigned.
+    pub fn get(&self) -> Option<Pid> {
+        *self.0.lock()
+    }
+
+    /// Assigns (or clears) the pid.
+    pub fn set(&self, value: Option<Pid>) {
+        *self.0.lock() = value;
+    }
+}
+
+impl Default for PidCell {
+    fn default() -> PidCell {
+        PidCell::new(None)
+    }
+}
+
+impl fmt::Debug for PidCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PidCell({:?})", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let c = PidCell::new(None);
+        assert_eq!(c.get(), None);
+        let pid = Pid::of_bytes(b"x");
+        c.set(Some(pid));
+        assert_eq!(c.get(), Some(pid));
+        c.set(None);
+        assert_eq!(c.get(), None);
+    }
+
+    #[test]
+    fn is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<PidCell>();
+    }
+}

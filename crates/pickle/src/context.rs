@@ -2,7 +2,7 @@
 //! (pid → entity resolution) — the paper's indexed environments (§5).
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_ids::{Pid, Stamp};
 use smlsc_statics::env::{Bindings, FunctorEnv, SignatureEnv, StructureEnv, ValKind};
@@ -13,13 +13,13 @@ use smlsc_statics::types::{Tycon, TyconDef, Type};
 #[derive(Debug, Clone)]
 pub enum Entity {
     /// A type constructor.
-    Tycon(Rc<Tycon>),
+    Tycon(Arc<Tycon>),
     /// A structure.
-    Str(Rc<StructureEnv>),
+    Str(Arc<StructureEnv>),
     /// A signature.
-    Sig(Rc<SignatureEnv>),
+    Sig(Arc<SignatureEnv>),
     /// A functor.
-    Fct(Rc<FunctorEnv>),
+    Fct(Arc<FunctorEnv>),
 }
 
 impl Entity {
@@ -82,12 +82,12 @@ impl Walker {
         }
     }
 
-    fn tycon(&mut self, tc: &Rc<Tycon>) {
+    fn tycon(&mut self, tc: &Arc<Tycon>) {
         if !self.seen.insert(tc.stamp) {
             return;
         }
         self.out.push(Entity::Tycon(tc.clone()));
-        let def = tc.def.borrow().clone();
+        let def = tc.def.read().clone();
         match def {
             TyconDef::Prim | TyconDef::Abstract => {}
             TyconDef::Alias(t) => self.ty(&t),
@@ -101,7 +101,7 @@ impl Walker {
         }
     }
 
-    fn structure(&mut self, s: &Rc<StructureEnv>) {
+    fn structure(&mut self, s: &Arc<StructureEnv>) {
         if !self.seen.insert(s.stamp) {
             return;
         }
@@ -109,7 +109,7 @@ impl Walker {
         self.bindings(&s.bindings);
     }
 
-    fn signature(&mut self, s: &Rc<SignatureEnv>) {
+    fn signature(&mut self, s: &Arc<SignatureEnv>) {
         if !self.seen.insert(s.stamp) {
             return;
         }
@@ -117,7 +117,7 @@ impl Walker {
         self.structure(&s.body);
     }
 
-    fn functor(&mut self, f: &Rc<FunctorEnv>) {
+    fn functor(&mut self, f: &Arc<FunctorEnv>) {
         if !self.seen.insert(f.stamp) {
             return;
         }
@@ -130,7 +130,7 @@ impl Walker {
     fn ty(&mut self, t: &Type) {
         match t {
             Type::UVar(uv) => {
-                let link = uv.link.borrow().clone();
+                let link = uv.link.read().clone();
                 if let Some(t2) = link {
                     self.ty(&t2);
                 }
@@ -285,7 +285,7 @@ mod tests {
     use super::*;
     use smlsc_statics::elab::{elaborate_unit, ImportEnv};
 
-    fn exports(src: &str) -> Rc<Bindings> {
+    fn exports(src: &str) -> Arc<Bindings> {
         let ast = smlsc_syntax::parse_unit(src).unwrap();
         elaborate_unit(&ast, &ImportEnv::empty()).unwrap().exports
     }

@@ -202,7 +202,7 @@ impl<'a> Dehydrator<'a> {
         self.in_progress.insert(tc.stamp);
         self.w.str(tc.name.as_str());
         self.w.u32(tc.arity as u32);
-        let def = tc.def.borrow().clone();
+        let def = tc.def.read().clone();
         match def {
             // A primitive here means a pervasive whose pid was somehow not
             // in the context; treat as corrupt setup.
@@ -340,7 +340,7 @@ impl<'a> Dehydrator<'a> {
     fn ty(&mut self, t: &Type) -> Result<(), PickleError> {
         match t {
             Type::UVar(uv) => {
-                let link = uv.link.borrow().clone();
+                let link = uv.link.read().clone();
                 match link {
                     Some(t2) => self.ty(&t2),
                     None => Err(PickleError::UnsolvedType),

@@ -8,8 +8,8 @@
 //! templates, so instantiation and application behave identically to the
 //! session that produced the pickle.
 
-use std::cell::Cell;
-use std::rc::Rc;
+use smlsc_ids::PidCell;
+use std::sync::Arc;
 
 use smlsc_dynamics::ir::ConTag;
 use smlsc_ids::{Pid, StampGenerator, Symbol};
@@ -43,7 +43,7 @@ pub struct RehydrateStats {
 pub fn rehydrate(
     bytes: &[u8],
     context: &RehydrateContext,
-) -> Result<(Rc<Bindings>, RehydrateStats), PickleError> {
+) -> Result<(Arc<Bindings>, RehydrateStats), PickleError> {
     let span = smlsc_trace::span("pickle.rehydrate").field("bytes", bytes.len());
     let mut r = Rehydrator {
         r: Reader::new(bytes),
@@ -66,16 +66,16 @@ pub fn rehydrate(
         span.field("nodes", r.stats.nodes)
             .field("stubs", r.stats.stubs),
     );
-    Ok((Rc::new(b), r.stats))
+    Ok((Arc::new(b), r.stats))
 }
 
 struct Rehydrator<'a, 'b> {
     r: Reader<'b>,
     context: &'a RehydrateContext,
-    tycons: Vec<Rc<Tycon>>,
-    strs: Vec<Rc<StructureEnv>>,
-    sigs: Vec<Rc<SignatureEnv>>,
-    fcts: Vec<Rc<FunctorEnv>>,
+    tycons: Vec<Arc<Tycon>>,
+    strs: Vec<Arc<StructureEnv>>,
+    sigs: Vec<Arc<SignatureEnv>>,
+    fcts: Vec<Arc<FunctorEnv>>,
     stamper: StampGenerator,
     stats: RehydrateStats,
 }
@@ -100,7 +100,7 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
         Ok(Symbol::intern(&self.r.str()?))
     }
 
-    fn tycon(&mut self) -> Result<Rc<Tycon>, PickleError> {
+    fn tycon(&mut self) -> Result<Arc<Tycon>, PickleError> {
         match self.head()? {
             RefHead::Stub(pid) => {
                 self.stats.stubs += 1;
@@ -148,13 +148,13 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
                     DEF_ALIAS => TyconDef::Alias(self.ty()?),
                     t => return Err(PickleError::Corrupt(format!("bad def tag {t}"))),
                 };
-                *tc.def.borrow_mut() = def;
+                *tc.def.write() = def;
                 Ok(tc)
             }
         }
     }
 
-    fn structure(&mut self) -> Result<Rc<StructureEnv>, PickleError> {
+    fn structure(&mut self) -> Result<Arc<StructureEnv>, PickleError> {
         match self.head()? {
             RefHead::Stub(pid) => {
                 self.stats.stubs += 1;
@@ -185,7 +185,7 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
         }
     }
 
-    fn signature(&mut self) -> Result<Rc<SignatureEnv>, PickleError> {
+    fn signature(&mut self) -> Result<Arc<SignatureEnv>, PickleError> {
         match self.head()? {
             RefHead::Stub(pid) => {
                 self.stats.stubs += 1;
@@ -204,9 +204,9 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
                 self.stats.nodes += 1;
                 let ix = self.sigs.len();
                 // Placeholder; replaced after the body is read.
-                self.sigs.push(Rc::new(SignatureEnv {
+                self.sigs.push(Arc::new(SignatureEnv {
                     stamp: self.stamper.fresh(),
-                    entity_pid: Cell::new(None),
+                    entity_pid: PidCell::new(None),
                     bound: Vec::new(),
                     body: StructureEnv::new(self.stamper.fresh(), Bindings::new()),
                     lo: 0,
@@ -225,9 +225,9 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
                     bound.push(tc.stamp);
                 }
                 let hi = StampGenerator::peek_raw();
-                let s = Rc::new(SignatureEnv {
+                let s = Arc::new(SignatureEnv {
                     stamp: self.sigs[ix].stamp,
-                    entity_pid: Cell::new(Some(pid)),
+                    entity_pid: PidCell::new(Some(pid)),
                     bound,
                     body,
                     lo,
@@ -239,7 +239,7 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
         }
     }
 
-    fn functor(&mut self) -> Result<Rc<FunctorEnv>, PickleError> {
+    fn functor(&mut self) -> Result<Arc<FunctorEnv>, PickleError> {
         match self.head()? {
             RefHead::Stub(pid) => {
                 self.stats.stubs += 1;
@@ -259,13 +259,13 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
                 let ix = self.fcts.len();
                 let stamp = self.stamper.fresh();
                 // Placeholder for numbering; replaced below.
-                self.fcts.push(Rc::new(FunctorEnv {
+                self.fcts.push(Arc::new(FunctorEnv {
                     stamp,
-                    entity_pid: Cell::new(None),
+                    entity_pid: PidCell::new(None),
                     param_name: Symbol::intern("?"),
-                    param_sig: Rc::new(SignatureEnv {
+                    param_sig: Arc::new(SignatureEnv {
                         stamp,
-                        entity_pid: Cell::new(None),
+                        entity_pid: PidCell::new(None),
                         bound: Vec::new(),
                         body: StructureEnv::new(stamp, Bindings::new()),
                         lo: 0,
@@ -293,9 +293,9 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
                 }
                 let body = self.structure()?;
                 let gen_hi = StampGenerator::peek_raw();
-                let f = Rc::new(FunctorEnv {
+                let f = Arc::new(FunctorEnv {
                     stamp,
-                    entity_pid: Cell::new(Some(pid)),
+                    entity_pid: PidCell::new(Some(pid)),
                     param_name,
                     param_sig,
                     param_inst,

@@ -2,7 +2,7 @@
 //! semantics of static environments, including sharing, recursion,
 //! signatures, functors, and cross-unit stubs.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_dynamics::eval::execute;
 use smlsc_ids::Symbol;
@@ -20,7 +20,7 @@ fn compile(src: &str, imports: &ImportEnv) -> ElabUnit {
     u
 }
 
-fn roundtrip(exports: &Bindings) -> Rc<Bindings> {
+fn roundtrip(exports: &Bindings) -> Arc<Bindings> {
     let p = dehydrate(
         exports,
         &ContextPids::indexed([]),

@@ -10,6 +10,8 @@
 //! build/run options:
 //!   --strategy <s>     recompilation strategy: cutoff (default),
 //!                      timestamp, or classical
+//!   --jobs <n>         compile up to <n> units in parallel (default:
+//!                      available CPU parallelism; 1 = sequential)
 //!   --explain          print why each unit was recompiled or reused
 //!   --stats            print a JSON telemetry report (counters and
 //!                      per-phase duration histograms) to stdout
@@ -28,13 +30,14 @@ use smlsc::core::irm::{Irm, Project, Strategy};
 use smlsc::core::session::Session;
 use smlsc::core::trace;
 
-const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl\noptions: --strategy <cutoff|timestamp|classical>  --explain  --stats  --trace-out <file>";
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --explain  --stats  --trace-out <file>";
 
 /// Options for `smlsc build` / `smlsc run`.
 #[derive(Default)]
 struct BuildOpts {
     dir: Option<String>,
     strategy: Strategy,
+    jobs: Option<usize>,
     explain: bool,
     stats: bool,
     trace_out: Option<PathBuf>,
@@ -58,6 +61,15 @@ impl BuildOpts {
             };
             if arg == "--strategy" || arg.starts_with("--strategy=") {
                 opts.strategy = take("--strategy")?.parse()?;
+            } else if arg == "--jobs" || arg.starts_with("--jobs=") {
+                let v = take("--jobs")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a positive integer, got `{v}`"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                opts.jobs = Some(n);
             } else if arg == "--trace-out" || arg.starts_with("--trace-out=") {
                 opts.trace_out = Some(PathBuf::from(take("--trace-out")?));
             } else if arg == "--explain" {
@@ -78,6 +90,16 @@ impl BuildOpts {
     /// Telemetry is collected only when an exporter will consume it.
     fn wants_collector(&self) -> bool {
         self.stats || self.trace_out.is_some()
+    }
+
+    /// The worker count: `--jobs` if given, else the machine's available
+    /// parallelism (1 when that cannot be determined).
+    fn effective_jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     }
 }
 
@@ -169,7 +191,8 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
             Err(e) => eprintln!("warning: ignoring bin cache: {e}"),
         }
     }
-    let report = match irm.build(&project) {
+    let jobs = opts.effective_jobs();
+    let report = match irm.build_with_jobs(&project, jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -195,7 +218,7 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
         eprintln!("warning: could not persist bins: {e}");
     }
     if run {
-        let (_, env) = match irm.execute(&project) {
+        let (_, env) = match irm.execute_with_jobs(&project, jobs) {
             Ok(x) => x,
             Err(e) => {
                 eprintln!("error: {e}");

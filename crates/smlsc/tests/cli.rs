@@ -46,6 +46,67 @@ fn build_and_rebuild_with_cached_bins() {
 }
 
 #[test]
+fn jobs_flag_builds_in_parallel_with_identical_results() {
+    let dir = project_dir("jobs");
+    std::fs::write(
+        dir.join("base.sml"),
+        "structure Base = struct val n = 10 end",
+    )
+    .unwrap();
+    for m in ["a", "b", "c", "d"] {
+        std::fs::write(
+            dir.join(format!("mid_{m}.sml")),
+            format!("structure Mid_{m} = struct val v = Base.n + 1 end"),
+        )
+        .unwrap();
+    }
+    std::fs::write(
+        dir.join("top.sml"),
+        "structure Top = struct val s = Mid_a.v + Mid_b.v + Mid_c.v + Mid_d.v end",
+    )
+    .unwrap();
+
+    let out = smlsc()
+        .args(["build", "--jobs", "4"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("6 recompiled"), "{stdout}");
+
+    // The bins written by the parallel build satisfy a sequential cutoff
+    // rebuild completely — the pids must be identical.
+    let out = smlsc()
+        .args(["build", "--jobs", "1"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 recompiled, 6 reused"), "{stdout}");
+
+    // And run works under parallelism too.
+    let out = smlsc()
+        .args(["run", "--jobs", "3"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top: export pid"), "{stdout}");
+
+    // --jobs 0 is a usage error.
+    let out = smlsc()
+        .args(["build", "--jobs", "0"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs must be at least 1"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn build_reports_errors_with_unit_names() {
     let dir = project_dir("err");
     std::fs::write(

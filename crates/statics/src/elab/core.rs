@@ -1,7 +1,7 @@
 //! Core-language elaboration: expressions, patterns, declarations.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_dynamics::ir::{ConTag, Ir, IrDec, IrPat, IrRule, LVar};
 use smlsc_ids::Symbol;
@@ -654,7 +654,7 @@ impl<'a> Elaborator<'a> {
     /// member accesses from the structure's access.
     pub(crate) fn open_structure(
         &mut self,
-        str_env: &Rc<crate::env::StructureEnv>,
+        str_env: &Arc<crate::env::StructureEnv>,
         access: Option<Access>,
     ) -> Result<(), ElabError> {
         let b = &str_env.bindings;
@@ -837,7 +837,7 @@ impl<'a> Elaborator<'a> {
         &mut self,
         dbs: &[DatBind],
         mut bound: Option<&mut Vec<smlsc_ids::Stamp>>,
-    ) -> Result<Vec<Rc<Tycon>>, ElabError> {
+    ) -> Result<Vec<Arc<Tycon>>, ElabError> {
         // Phase 1: allocate all tycons so constructors can reference the
         // whole group.
         let mut tycons = Vec::new();
@@ -874,7 +874,7 @@ impl<'a> Elaborator<'a> {
                 });
             }
             let span = cons.len() as u32;
-            *tc.def.borrow_mut() = TyconDef::Datatype(DatatypeInfo { cons: cons.clone() });
+            *tc.def.write() = TyconDef::Datatype(DatatypeInfo { cons: cons.clone() });
             // Bind the constructors as values.
             let params: Vec<Type> = (0..db.tyvars.len() as u32).map(Type::Param).collect();
             let data_ty = Type::Con(tc.clone(), params);

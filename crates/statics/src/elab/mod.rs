@@ -11,7 +11,7 @@ mod core;
 mod modules;
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_dynamics::ir::{Ir, IrDec, LVar};
 use smlsc_ids::{StampGenerator, Symbol};
@@ -32,7 +32,7 @@ pub struct ImportedUnit {
     /// The unit's name (file stem), for error messages.
     pub name: Symbol,
     /// The unit's exported bindings (rehydrated from its bin file).
-    pub exports: Rc<Bindings>,
+    pub exports: Arc<Bindings>,
 }
 
 /// The compilation context: every import, in slot order.
@@ -58,7 +58,7 @@ impl ImportEnv {
 #[derive(Debug)]
 pub struct ElabUnit {
     /// The unit's exported static environment.
-    pub exports: Rc<Bindings>,
+    pub exports: Arc<Bindings>,
     /// The unit's code: evaluates to its export record given one import
     /// record per [`ImportEnv`] slot.
     pub code: Ir,
@@ -107,7 +107,7 @@ pub fn elaborate_unit(unit: &UnitAst, imports: &ImportEnv) -> Result<ElabUnit, E
     check_exports_resolved(&bindings)?;
     let record = frame.record_ir(&bindings)?;
     Ok(ElabUnit {
-        exports: Rc::new(bindings),
+        exports: Arc::new(bindings),
         code: Ir::Let(irdecs, Box::new(record)),
         warnings: el.warnings,
     })
@@ -147,7 +147,7 @@ pub enum Access {
     /// An import slot's export record.
     Import(u32),
     /// A record field of another access.
-    Select(Rc<Access>, u32),
+    Select(Arc<Access>, u32),
 }
 
 impl Access {
@@ -162,7 +162,7 @@ impl Access {
 
     /// Selects a field.
     pub fn field(&self, slot: u32) -> Access {
-        Access::Select(Rc::new(self.clone()), slot)
+        Access::Select(Arc::new(self.clone()), slot)
     }
 }
 
@@ -171,10 +171,10 @@ impl Access {
 #[derive(Debug, Default)]
 pub(crate) struct Frame {
     pub vals: Vec<(Symbol, ValBind, Option<Access>)>,
-    pub tycons: Vec<(Symbol, Rc<Tycon>)>,
-    pub strs: Vec<(Symbol, Rc<StructureEnv>, Option<Access>)>,
-    pub sigs: Vec<(Symbol, Rc<SignatureEnv>)>,
-    pub fcts: Vec<(Symbol, Rc<FunctorEnv>, Option<Access>)>,
+    pub tycons: Vec<(Symbol, Arc<Tycon>)>,
+    pub strs: Vec<(Symbol, Arc<StructureEnv>, Option<Access>)>,
+    pub sigs: Vec<(Symbol, Arc<SignatureEnv>)>,
+    pub fcts: Vec<(Symbol, Arc<FunctorEnv>, Option<Access>)>,
 }
 
 impl Frame {
@@ -226,7 +226,7 @@ impl Frame {
 
 pub(crate) struct Elaborator<'a> {
     pub imports: &'a ImportEnv,
-    pub perv: Rc<Pervasives>,
+    pub perv: Arc<Pervasives>,
     pub stamper: StampGenerator,
     pub frames: Vec<Frame>,
     pub next_lvar: LVar,
@@ -301,7 +301,7 @@ impl<'a> Elaborator<'a> {
     pub fn lookup_str_root(
         &self,
         name: Symbol,
-    ) -> Result<(Rc<StructureEnv>, Option<Access>), ElabError> {
+    ) -> Result<(Arc<StructureEnv>, Option<Access>), ElabError> {
         for frame in self.frames.iter().rev() {
             if let Some((_, s, a)) = frame.strs.iter().rev().find(|(n, _, _)| *n == name) {
                 return Ok((s.clone(), a.clone()));
@@ -321,7 +321,7 @@ impl<'a> Elaborator<'a> {
     pub fn lookup_str_path(
         &self,
         path: &Path,
-    ) -> Result<(Rc<StructureEnv>, Option<Access>), ElabError> {
+    ) -> Result<(Arc<StructureEnv>, Option<Access>), ElabError> {
         let (mut cur, mut acc) = self.lookup_str_root(path.root())?;
         let mut components: Vec<Symbol> = path.qualifiers.iter().skip(1).copied().collect();
         if !path.is_simple() {
@@ -344,7 +344,7 @@ impl<'a> Elaborator<'a> {
 
     /// Resolves the structure prefix of a qualified path (everything but
     /// `last`).
-    fn lookup_prefix(&self, path: &Path) -> Result<(Rc<StructureEnv>, Option<Access>), ElabError> {
+    fn lookup_prefix(&self, path: &Path) -> Result<(Arc<StructureEnv>, Option<Access>), ElabError> {
         let (mut cur, mut acc) = self.lookup_str_root(path.qualifiers[0])?;
         for q in &path.qualifiers[1..] {
             let sub = cur.bindings.str(*q).ok_or_else(|| {
@@ -397,7 +397,7 @@ impl<'a> Elaborator<'a> {
         Ok((vb.clone(), access))
     }
 
-    pub fn lookup_tycon(&self, path: &Path) -> Result<Rc<Tycon>, ElabError> {
+    pub fn lookup_tycon(&self, path: &Path) -> Result<Arc<Tycon>, ElabError> {
         if path.is_simple() {
             let name = path.last;
             for frame in self.frames.iter().rev() {
@@ -418,7 +418,7 @@ impl<'a> Elaborator<'a> {
             .ok_or_else(|| ElabError::new(format!("structure has no type `{}`", path.last)))
     }
 
-    pub fn lookup_sig(&self, name: Symbol) -> Result<Rc<SignatureEnv>, ElabError> {
+    pub fn lookup_sig(&self, name: Symbol) -> Result<Arc<SignatureEnv>, ElabError> {
         for frame in self.frames.iter().rev() {
             if let Some((_, s)) = frame.sigs.iter().rev().find(|(n, _)| *n == name) {
                 return Ok(s.clone());
@@ -437,7 +437,7 @@ impl<'a> Elaborator<'a> {
         hit.ok_or_else(|| ElabError::new(format!("unbound signature `{name}`")))
     }
 
-    pub fn lookup_fct(&self, name: Symbol) -> Result<(Rc<FunctorEnv>, Option<Access>), ElabError> {
+    pub fn lookup_fct(&self, name: Symbol) -> Result<(Arc<FunctorEnv>, Option<Access>), ElabError> {
         for frame in self.frames.iter().rev() {
             if let Some((_, f, a)) = frame.fcts.iter().rev().find(|(n, _, _)| *n == name) {
                 return Ok((f.clone(), a.clone()));

@@ -5,7 +5,7 @@
 //! opaque ascription, and generative functor application.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_dynamics::ir::{Ir, IrDec, IrPat};
 use smlsc_ids::{StampGenerator, Symbol};
@@ -110,9 +110,9 @@ impl<'a> Elaborator<'a> {
             benv = m.view;
         }
         let gen_hi = StampGenerator::peek_raw();
-        let fenv = Rc::new(FunctorEnv {
+        let fenv = Arc::new(FunctorEnv {
             stamp: self.stamper.fresh(),
-            entity_pid: std::cell::Cell::new(None),
+            entity_pid: smlsc_ids::PidCell::new(None),
             param_name: param,
             param_sig: sig,
             param_inst,
@@ -137,7 +137,10 @@ impl<'a> Elaborator<'a> {
 
     // ----- structure expressions -------------------------------------------
 
-    pub(crate) fn elab_strexp(&mut self, se: &StrExp) -> Result<(Rc<StructureEnv>, Ir), ElabError> {
+    pub(crate) fn elab_strexp(
+        &mut self,
+        se: &StrExp,
+    ) -> Result<(Arc<StructureEnv>, Ir), ElabError> {
         match se {
             StrExp::Var(path) => {
                 let (env, access) = self.lookup_str_path(path)?;
@@ -234,7 +237,7 @@ impl<'a> Elaborator<'a> {
 
     // ----- signature expressions ---------------------------------------------
 
-    pub(crate) fn elab_sigexp(&mut self, se: &SigExp) -> Result<Rc<SignatureEnv>, ElabError> {
+    pub(crate) fn elab_sigexp(&mut self, se: &SigExp) -> Result<Arc<SignatureEnv>, ElabError> {
         match se {
             SigExp::Var(name) => self.lookup_sig(*name),
             SigExp::Sig(specs) => {
@@ -252,9 +255,9 @@ impl<'a> Elaborator<'a> {
                 result?;
                 let body = StructureEnv::new(self.stamper.fresh(), frame.to_bindings());
                 let hi = StampGenerator::peek_raw();
-                Ok(Rc::new(SignatureEnv {
+                Ok(Arc::new(SignatureEnv {
                     stamp: self.stamper.fresh(),
-                    entity_pid: std::cell::Cell::new(None),
+                    entity_pid: smlsc_ids::PidCell::new(None),
                     bound,
                     body,
                     lo,
@@ -313,9 +316,9 @@ impl<'a> Elaborator<'a> {
                     .map(|s| r.cloned_tycon(*s).map(|t| t.stamp).unwrap_or(*s))
                     .collect();
                 let hi = StampGenerator::peek_raw();
-                Ok(Rc::new(SignatureEnv {
+                Ok(Arc::new(SignatureEnv {
                     stamp: self.stamper.fresh(),
-                    entity_pid: std::cell::Cell::new(None),
+                    entity_pid: smlsc_ids::PidCell::new(None),
                     bound: new_bound,
                     body: new_body,
                     lo,

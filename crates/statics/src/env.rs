@@ -6,11 +6,11 @@
 //! prefix-order traversal) and because a module's *runtime record layout*
 //! is derived positionally from its bindings (see [`runtime_slots`]).
 
-use std::cell::Cell;
-use std::rc::Rc;
+use smlsc_ids::PidCell;
+use std::sync::Arc;
 
 use smlsc_dynamics::ir::ConTag;
-use smlsc_ids::{Pid, Stamp, Symbol};
+use smlsc_ids::{Stamp, Symbol};
 use smlsc_syntax::ast::PrimOp;
 
 use crate::types::{Scheme, Tycon};
@@ -24,7 +24,7 @@ pub enum ValKind {
     /// via its tag.
     Con {
         /// The datatype it belongs to.
-        tycon: Rc<Tycon>,
+        tycon: Arc<Tycon>,
         /// Runtime tag information.
         tag: ConTag,
     },
@@ -50,13 +50,13 @@ pub struct Bindings {
     /// Value bindings in insertion order.
     pub vals: Vec<(Symbol, ValBind)>,
     /// Type constructors.
-    pub tycons: Vec<(Symbol, Rc<Tycon>)>,
+    pub tycons: Vec<(Symbol, Arc<Tycon>)>,
     /// Substructures.
-    pub strs: Vec<(Symbol, Rc<StructureEnv>)>,
+    pub strs: Vec<(Symbol, Arc<StructureEnv>)>,
     /// Signatures (unit-level only; structures cannot contain them).
-    pub sigs: Vec<(Symbol, Rc<SignatureEnv>)>,
+    pub sigs: Vec<(Symbol, Arc<SignatureEnv>)>,
     /// Functors.
-    pub fcts: Vec<(Symbol, Rc<FunctorEnv>)>,
+    pub fcts: Vec<(Symbol, Arc<FunctorEnv>)>,
 }
 
 impl Bindings {
@@ -75,7 +75,7 @@ impl Bindings {
     }
 
     /// Looks up a type constructor.
-    pub fn tycon(&self, name: Symbol) -> Option<&Rc<Tycon>> {
+    pub fn tycon(&self, name: Symbol) -> Option<&Arc<Tycon>> {
         self.tycons
             .iter()
             .rev()
@@ -84,7 +84,7 @@ impl Bindings {
     }
 
     /// Looks up a substructure.
-    pub fn str(&self, name: Symbol) -> Option<&Rc<StructureEnv>> {
+    pub fn str(&self, name: Symbol) -> Option<&Arc<StructureEnv>> {
         self.strs
             .iter()
             .rev()
@@ -93,7 +93,7 @@ impl Bindings {
     }
 
     /// Looks up a signature.
-    pub fn sig(&self, name: Symbol) -> Option<&Rc<SignatureEnv>> {
+    pub fn sig(&self, name: Symbol) -> Option<&Arc<SignatureEnv>> {
         self.sigs
             .iter()
             .rev()
@@ -102,7 +102,7 @@ impl Bindings {
     }
 
     /// Looks up a functor.
-    pub fn fct(&self, name: Symbol) -> Option<&Rc<FunctorEnv>> {
+    pub fn fct(&self, name: Symbol) -> Option<&Arc<FunctorEnv>> {
         self.fcts
             .iter()
             .rev()
@@ -131,17 +131,17 @@ pub struct StructureEnv {
     /// Generative identity.
     pub stamp: Stamp,
     /// Persistent identity, filled at first export.
-    pub entity_pid: Cell<Option<Pid>>,
+    pub entity_pid: PidCell,
     /// The members.
     pub bindings: Bindings,
 }
 
 impl StructureEnv {
     /// Allocates a structure environment.
-    pub fn new(stamp: Stamp, bindings: Bindings) -> Rc<StructureEnv> {
-        Rc::new(StructureEnv {
+    pub fn new(stamp: Stamp, bindings: Bindings) -> Arc<StructureEnv> {
+        Arc::new(StructureEnv {
             stamp,
-            entity_pid: Cell::new(None),
+            entity_pid: PidCell::new(None),
             bindings,
         })
     }
@@ -155,12 +155,12 @@ pub struct SignatureEnv {
     /// Generative identity of the signature itself.
     pub stamp: Stamp,
     /// Persistent identity, filled at first export.
-    pub entity_pid: Cell<Option<Pid>>,
+    pub entity_pid: PidCell,
     /// Stamps of the flexible components (abstract types and datatype
     /// specs), in template traversal order.
     pub bound: Vec<Stamp>,
     /// The template.
-    pub body: Rc<StructureEnv>,
+    pub body: Arc<StructureEnv>,
     /// Raw-stamp range `[lo, hi)` of the template's own entities; realizing
     /// the template regenerates exactly this range (external references
     /// stay shared).
@@ -181,17 +181,17 @@ pub struct FunctorEnv {
     /// Generative identity.
     pub stamp: Stamp,
     /// Persistent identity, filled at first export.
-    pub entity_pid: Cell<Option<Pid>>,
+    pub entity_pid: PidCell,
     /// The formal parameter name (for error messages).
     pub param_name: Symbol,
     /// The parameter signature.
-    pub param_sig: Rc<SignatureEnv>,
+    pub param_sig: Arc<SignatureEnv>,
     /// The skolemized parameter instance the body saw.
-    pub param_inst: Rc<StructureEnv>,
+    pub param_inst: Arc<StructureEnv>,
     /// Skolem stamps, parallel to `param_sig.bound`.
     pub skolems: Vec<Stamp>,
     /// The body template (references skolems and generative stamps).
-    pub body: Rc<StructureEnv>,
+    pub body: Arc<StructureEnv>,
     /// Raw-stamp range `[gen_lo, gen_hi)` of entities generated while
     /// elaborating the body; these are refreshed per application.
     pub gen_lo: u64,
@@ -280,6 +280,18 @@ pub fn fct_slot(b: &Bindings, name: Symbol) -> Option<u32> {
         .map(|i| i as u32)
 }
 
+// `Bindings` crosses build-worker threads in the IRM's parallel
+// scheduler; this fails to compile if any component regresses to a
+// single-threaded cell.
+#[allow(dead_code)]
+fn assert_bindings_shareable() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Bindings>();
+    assert_send_sync::<StructureEnv>();
+    assert_send_sync::<SignatureEnv>();
+    assert_send_sync::<FunctorEnv>();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,7 +305,7 @@ mod tests {
         }
     }
 
-    fn con_val(tycon: Rc<Tycon>) -> ValBind {
+    fn con_val(tycon: Arc<Tycon>) -> ValBind {
         ValBind {
             scheme: Scheme::mono(Type::fresh(0)),
             kind: ValKind::Con {

@@ -6,12 +6,12 @@
 //! interfaces that mention them hash identically in every process — they
 //! are the "pids known to the bootstrap loader" of §7.
 //!
-//! Pervasives are thread-local (static objects are `Rc`-shared and carry
-//! interior mutability); every compilation session on one thread shares
-//! the same instance, which is what makes stamped type equality work
-//! across units.
+//! Pervasives are a process-wide singleton: every compilation — on any
+//! build-worker thread — shares the same instance, which is what makes
+//! stamped type equality work across units (and across threads when the
+//! IRM builds the project in parallel).
 
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
 
 use smlsc_dynamics::ir::ConTag;
 use smlsc_ids::{Pid, StampGenerator, Symbol};
@@ -23,19 +23,19 @@ use crate::types::{ConDef, DatatypeInfo, Scheme, Tycon, TyconDef, Type};
 #[derive(Debug)]
 pub struct Pervasives {
     /// `int`
-    pub int: Rc<Tycon>,
+    pub int: Arc<Tycon>,
     /// `string`
-    pub string: Rc<Tycon>,
+    pub string: Arc<Tycon>,
     /// `unit`
-    pub unit: Rc<Tycon>,
+    pub unit: Arc<Tycon>,
     /// `exn`
-    pub exn: Rc<Tycon>,
+    pub exn: Arc<Tycon>,
     /// `bool` (datatype `false | true`)
-    pub bool: Rc<Tycon>,
+    pub bool: Arc<Tycon>,
     /// `'a list` (datatype `nil | ::`)
-    pub list: Rc<Tycon>,
+    pub list: Arc<Tycon>,
     /// `'a option` (datatype `NONE | SOME`)
-    pub option: Rc<Tycon>,
+    pub option: Arc<Tycon>,
     /// The initial environment layer.
     pub bindings: Bindings,
 }
@@ -103,7 +103,7 @@ impl Pervasives {
 
     /// Looks up a pervasive tycon by its preset pid, for the pickler's
     /// rehydration of primitive references.
-    pub fn tycon_by_pid(&self, pid: Pid) -> Option<Rc<Tycon>> {
+    pub fn tycon_by_pid(&self, pid: Pid) -> Option<Arc<Tycon>> {
         [
             &self.int,
             &self.string,
@@ -123,13 +123,13 @@ fn prim_pid(name: &str) -> Pid {
     Pid::of_bytes(format!("smlsc:pervasive:{name}").as_bytes())
 }
 
-fn prim(g: &mut StampGenerator, name: &str) -> Rc<Tycon> {
+fn prim(g: &mut StampGenerator, name: &str) -> Arc<Tycon> {
     let tc = Tycon::new(g.fresh(), Symbol::intern(name), 0, TyconDef::Prim);
     tc.entity_pid.set(Some(prim_pid(name)));
     tc
 }
 
-fn build() -> Rc<Pervasives> {
+fn build() -> Arc<Pervasives> {
     let mut g = StampGenerator::new();
     let int = prim(&mut g, "int");
     let string = prim(&mut g, "string");
@@ -162,7 +162,7 @@ fn build() -> Rc<Pervasives> {
         Type::Param(0),
         Type::Con(list_tc.clone(), vec![Type::Param(0)]),
     ]);
-    *list_tc.def.borrow_mut() = TyconDef::Datatype(DatatypeInfo {
+    *list_tc.def.write() = TyconDef::Datatype(DatatypeInfo {
         cons: vec![
             ConDef {
                 name: Symbol::intern("nil"),
@@ -178,7 +178,7 @@ fn build() -> Rc<Pervasives> {
 
     // datatype 'a option = NONE | SOME of 'a
     let option_tc = Tycon::new(g.fresh(), Symbol::intern("option"), 1, TyconDef::Abstract);
-    *option_tc.def.borrow_mut() = TyconDef::Datatype(DatatypeInfo {
+    *option_tc.def.write() = TyconDef::Datatype(DatatypeInfo {
         cons: vec![
             ConDef {
                 name: Symbol::intern("NONE"),
@@ -198,7 +198,7 @@ fn build() -> Rc<Pervasives> {
     }
 
     // Constructor value bindings.
-    let con = |tycon: &Rc<Tycon>, tag: u32, span: u32, name: &str, scheme: Scheme| {
+    let con = |tycon: &Arc<Tycon>, tag: u32, span: u32, name: &str, scheme: Scheme| {
         (
             Symbol::intern(name),
             ValBind {
@@ -286,7 +286,7 @@ fn build() -> Rc<Pervasives> {
         },
     ));
 
-    Rc::new(Pervasives {
+    Arc::new(Pervasives {
         int,
         string,
         unit,
@@ -298,13 +298,11 @@ fn build() -> Rc<Pervasives> {
     })
 }
 
-thread_local! {
-    static PERVASIVES: Rc<Pervasives> = build();
-}
+static PERVASIVES: OnceLock<Arc<Pervasives>> = OnceLock::new();
 
-/// The pervasive environment for this thread.
-pub fn pervasives() -> Rc<Pervasives> {
-    PERVASIVES.with(Rc::clone)
+/// The process-wide pervasive environment.
+pub fn pervasives() -> Arc<Pervasives> {
+    PERVASIVES.get_or_init(build).clone()
 }
 
 #[cfg(test)]
@@ -320,10 +318,13 @@ mod tests {
     }
 
     #[test]
-    fn same_thread_shares_instances() {
+    fn all_threads_share_instances() {
         let a = pervasives();
         let b = pervasives();
-        assert!(Rc::ptr_eq(&a.int, &b.int));
+        assert!(Arc::ptr_eq(&a.int, &b.int));
+        let c = std::thread::spawn(pervasives).join().unwrap();
+        assert!(Arc::ptr_eq(&a.int, &c.int));
+        assert_eq!(a.int.stamp, c.int.stamp);
     }
 
     #[test]

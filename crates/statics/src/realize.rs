@@ -21,7 +21,7 @@
 //! to reference anything inside it — is shared untouched.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_ids::{Stamp, StampGenerator};
 
@@ -32,20 +32,20 @@ use crate::types::{ConDef, DatatypeInfo, Scheme, Tycon, TyconDef, Type};
 #[derive(Debug)]
 pub struct Realizer {
     /// Flexible/skolem stamps and their realizations.
-    pub map: HashMap<Stamp, Rc<Tycon>>,
+    pub map: HashMap<Stamp, Arc<Tycon>>,
     /// Raw-stamp generative range `[lo, hi)`.
     pub lo: u64,
     /// See `lo`.
     pub hi: u64,
-    memo_tycon: HashMap<Stamp, Rc<Tycon>>,
-    memo_str: HashMap<Stamp, Rc<StructureEnv>>,
+    memo_tycon: HashMap<Stamp, Arc<Tycon>>,
+    memo_str: HashMap<Stamp, Arc<StructureEnv>>,
     stamper: StampGenerator,
 }
 
 impl Realizer {
     /// Creates a realizer over the generative range `[lo, hi)` with the
     /// given flexible-stamp realizations.
-    pub fn new(map: HashMap<Stamp, Rc<Tycon>>, lo: u64, hi: u64) -> Realizer {
+    pub fn new(map: HashMap<Stamp, Arc<Tycon>>, lo: u64, hi: u64) -> Realizer {
         Realizer {
             map,
             lo,
@@ -63,12 +63,12 @@ impl Realizer {
 
     /// The fresh tycon a generative-range stamp was cloned to (after the
     /// fact); used to recover new bound-stamp lists.
-    pub fn cloned_tycon(&self, old: Stamp) -> Option<&Rc<Tycon>> {
+    pub fn cloned_tycon(&self, old: Stamp) -> Option<&Arc<Tycon>> {
         self.memo_tycon.get(&old)
     }
 
     /// Realizes a tycon reference.
-    pub fn tycon(&mut self, tc: &Rc<Tycon>) -> Rc<Tycon> {
+    pub fn tycon(&mut self, tc: &Arc<Tycon>) -> Arc<Tycon> {
         if let Some(target) = self.map.get(&tc.stamp) {
             return target.clone();
         }
@@ -82,7 +82,7 @@ impl Realizer {
         // recursive datatypes terminate, then fill the definition.
         let fresh = Tycon::new(self.stamper.fresh(), tc.name, tc.arity, TyconDef::Abstract);
         self.memo_tycon.insert(tc.stamp, fresh.clone());
-        let def = tc.def.borrow().clone();
+        let def = tc.def.read().clone();
         let new_def = match def {
             TyconDef::Prim => TyconDef::Prim,
             TyconDef::Abstract => TyconDef::Abstract,
@@ -98,7 +98,7 @@ impl Realizer {
                     .collect(),
             }),
         };
-        *fresh.def.borrow_mut() = new_def;
+        *fresh.def.write() = new_def;
         fresh
     }
 
@@ -106,7 +106,7 @@ impl Realizer {
     pub fn ty(&mut self, t: &Type) -> Type {
         match t {
             Type::UVar(uv) => {
-                let link = uv.link.borrow().clone();
+                let link = uv.link.read().clone();
                 match link {
                     Some(t2) => self.ty(&t2),
                     None => t.clone(),
@@ -151,7 +151,7 @@ impl Realizer {
     /// Structures outside the generative range are shared; inside it they
     /// are rebuilt with fresh stamps (each functor application / ascription
     /// yields a generatively new structure).
-    pub fn structure(&mut self, s: &Rc<StructureEnv>) -> Rc<StructureEnv> {
+    pub fn structure(&mut self, s: &Arc<StructureEnv>) -> Arc<StructureEnv> {
         if let Some(done) = self.memo_str.get(&s.stamp) {
             return done.clone();
         }
@@ -201,7 +201,7 @@ mod tests {
         let p = pervasives();
         let mut r = Realizer::new(HashMap::new(), u64::MAX - 1, u64::MAX);
         let got = r.tycon(&p.int);
-        assert!(Rc::ptr_eq(&got, &p.int));
+        assert!(Arc::ptr_eq(&got, &p.int));
     }
 
     #[test]
@@ -231,7 +231,7 @@ mod tests {
         let mut r = Realizer::new(HashMap::new(), lo, hi);
         let c1 = r.tycon(&dt);
         let c2 = r.tycon(&dt);
-        assert!(Rc::ptr_eq(&c1, &c2), "memoized within one pass");
+        assert!(Arc::ptr_eq(&c1, &c2), "memoized within one pass");
         assert_ne!(c1.stamp, dt.stamp, "fresh stamp");
         let mut r2 = Realizer::new(HashMap::new(), lo, hi);
         let c3 = r2.tycon(&dt);
@@ -243,7 +243,7 @@ mod tests {
         let lo = StampGenerator::peek_raw();
         let mut g = StampGenerator::new();
         let dt = Tycon::new(g.fresh(), Symbol::intern("t"), 0, TyconDef::Abstract);
-        *dt.def.borrow_mut() = TyconDef::Datatype(DatatypeInfo {
+        *dt.def.write() = TyconDef::Datatype(DatatypeInfo {
             cons: vec![
                 ConDef {
                     name: Symbol::intern("Leaf"),
@@ -276,6 +276,6 @@ mod tests {
         let s2 = r.structure(&s);
         assert_ne!(s2.stamp, s.stamp);
         let s3 = r.structure(&s);
-        assert!(Rc::ptr_eq(&s2, &s3));
+        assert!(Arc::ptr_eq(&s2, &s3));
     }
 }

@@ -8,7 +8,7 @@
 //! (`:>`) instead instantiates the signature freshly, hiding them.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_ids::{Stamp, Symbol};
 
@@ -21,16 +21,16 @@ use crate::types::{unify, Scheme, Tycon, TyconDef, Type};
 #[derive(Debug)]
 pub struct MatchOk {
     /// Realization of the signature's bound stamps.
-    pub realization: HashMap<Stamp, Rc<Tycon>>,
+    pub realization: HashMap<Stamp, Arc<Tycon>>,
     /// The constrained view of the structure (layout = template layout).
-    pub view: Rc<StructureEnv>,
+    pub view: Arc<StructureEnv>,
 }
 
 /// Instantiates a signature with fresh (skolem) tycons.
 ///
 /// Returns the instance structure and the skolem stamps parallel to
 /// `sig.bound`.  Used for functor parameters and opaque ascription.
-pub fn instantiate(sig: &SignatureEnv) -> (Rc<StructureEnv>, Vec<Stamp>) {
+pub fn instantiate(sig: &SignatureEnv) -> (Arc<StructureEnv>, Vec<Stamp>) {
     let mut r = Realizer::new(HashMap::new(), sig.lo, sig.hi);
     let inst = r.structure(&sig.body);
     let skolems = sig
@@ -58,8 +58,8 @@ pub fn instantiate(sig: &SignatureEnv) -> (Rc<StructureEnv>, Vec<Stamp>) {
 /// Returns an [`ElabError`] naming the first missing or mismatched
 /// component.
 pub fn match_structure(
-    actual: &Rc<StructureEnv>,
-    sig: &Rc<SignatureEnv>,
+    actual: &Arc<StructureEnv>,
+    sig: &Arc<SignatureEnv>,
     opaque: bool,
 ) -> Result<MatchOk, ElabError> {
     let bound: HashSet<Stamp> = sig.bound.iter().copied().collect();
@@ -104,7 +104,7 @@ fn discover(
     template: &Bindings,
     actual: &Bindings,
     bound: &HashSet<Stamp>,
-    realization: &mut HashMap<Stamp, Rc<Tycon>>,
+    realization: &mut HashMap<Stamp, Arc<Tycon>>,
     prefix: &str,
 ) -> Result<(), ElabError> {
     for (name, ttc) in &template.tycons {
@@ -123,7 +123,7 @@ fn discover(
                     ttc.arity
                 )));
             }
-            if let TyconDef::Datatype(tinfo) = &*ttc.def.borrow() {
+            if let TyconDef::Datatype(tinfo) = &*ttc.def.read() {
                 // A datatype spec additionally pins the constructors.
                 let Some(ainfo) = atc.datatype_info() else {
                     return Err(ElabError::new(format!(
@@ -227,7 +227,7 @@ fn check(view: &Bindings, actual: &Bindings, prefix: &str) -> Result<(), ElabErr
 
 /// Type-constructor equality up to alias expansion, checked by applying
 /// both to the same rigid parameters.
-pub fn tycon_equal(a: &Rc<Tycon>, b: &Rc<Tycon>) -> bool {
+pub fn tycon_equal(a: &Arc<Tycon>, b: &Arc<Tycon>) -> bool {
     if a.stamp == b.stamp {
         return true;
     }

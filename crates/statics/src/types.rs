@@ -7,12 +7,12 @@
 //! export hash).  Inference is standard Hindley–Milner with level-based
 //! generalization and the SML value restriction.
 
-use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use smlsc_ids::{Pid, Stamp, Symbol};
+use parking_lot::RwLock;
+use smlsc_ids::{PidCell, Stamp, Symbol};
 
 /// How a type constructor is defined.
 #[derive(Debug, Clone)]
@@ -47,10 +47,11 @@ pub struct ConDef {
 
 /// A stamped type constructor.
 ///
-/// The definition lives in a `RefCell` because recursive datatypes are
-/// built in two phases (allocate the tycon, then fill its constructors,
-/// which mention it) — and the pickler rebuilds cyclic structure the same
-/// way.
+/// The definition lives in a lock because recursive datatypes are built
+/// in two phases (allocate the tycon, then fill its constructors, which
+/// mention it) — and the pickler rebuilds cyclic structure the same way.
+/// It is an `RwLock` (not a `RefCell`) so environments can be shared
+/// across build-worker threads.
 pub struct Tycon {
     /// Generative identity.
     pub stamp: Stamp,
@@ -59,17 +60,17 @@ pub struct Tycon {
     /// Number of type parameters.
     pub arity: usize,
     /// The definition.
-    pub def: RefCell<TyconDef>,
+    pub def: RwLock<TyconDef>,
     /// Persistent identity, assigned when the tycon is first exported
     /// (pre-set for pervasives so they hash identically everywhere).
-    pub entity_pid: Cell<Option<Pid>>,
+    pub entity_pid: PidCell,
 }
 
 impl fmt::Debug for Tycon {
     /// Shallow: recursive datatypes make the definition graph cyclic, so
     /// `Debug` prints only the identity and the definition's kind.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let kind = match &*self.def.borrow() {
+        let kind = match &*self.def.read() {
             TyconDef::Prim => "prim",
             TyconDef::Abstract => "abstract",
             TyconDef::Datatype(_) => "datatype",
@@ -85,24 +86,24 @@ impl fmt::Debug for Tycon {
 
 impl Tycon {
     /// Allocates a tycon.
-    pub fn new(stamp: Stamp, name: Symbol, arity: usize, def: TyconDef) -> Rc<Tycon> {
-        Rc::new(Tycon {
+    pub fn new(stamp: Stamp, name: Symbol, arity: usize, def: TyconDef) -> Arc<Tycon> {
+        Arc::new(Tycon {
             stamp,
             name,
             arity,
-            def: RefCell::new(def),
-            entity_pid: Cell::new(None),
+            def: RwLock::new(def),
+            entity_pid: PidCell::new(None),
         })
     }
 
     /// True if this tycon is a datatype.
     pub fn is_datatype(&self) -> bool {
-        matches!(&*self.def.borrow(), TyconDef::Datatype(_))
+        matches!(&*self.def.read(), TyconDef::Datatype(_))
     }
 
     /// The datatype info, if this is a datatype.
     pub fn datatype_info(&self) -> Option<DatatypeInfo> {
-        match &*self.def.borrow() {
+        match &*self.def.read() {
             TyconDef::Datatype(d) => Some(d.clone()),
             _ => None,
         }
@@ -115,9 +116,21 @@ pub struct UVar {
     /// Display/debug identity.
     pub id: u64,
     /// Binding level for generalization.
-    pub level: Cell<u32>,
+    pub level: AtomicU32,
     /// The solution, once unified.
-    pub link: RefCell<Option<Type>>,
+    pub link: RwLock<Option<Type>>,
+}
+
+impl UVar {
+    /// The current binding level.
+    pub fn level(&self) -> u32 {
+        self.level.load(Ordering::Relaxed)
+    }
+
+    /// Lowers (or raises) the binding level.
+    pub fn set_level(&self, level: u32) {
+        self.level.store(level, Ordering::Relaxed);
+    }
 }
 
 static NEXT_UVAR: AtomicU64 = AtomicU64::new(1);
@@ -126,13 +139,13 @@ static NEXT_UVAR: AtomicU64 = AtomicU64::new(1);
 #[derive(Debug, Clone)]
 pub enum Type {
     /// A unification variable.
-    UVar(Rc<UVar>),
+    UVar(Arc<UVar>),
     /// A bound variable: index into the enclosing [`Scheme`], alias body,
     /// or constructor definition.
     Param(u32),
     /// Constructor application (primitives and nullary constructors
     /// included).
-    Con(Rc<Tycon>, Vec<Type>),
+    Con(Arc<Tycon>, Vec<Type>),
     /// Tuple type (the empty tuple is not used; `unit` is a prim tycon).
     Tuple(Vec<Type>),
     /// Function type.
@@ -142,10 +155,10 @@ pub enum Type {
 impl Type {
     /// A fresh unification variable at `level`.
     pub fn fresh(level: u32) -> Type {
-        Type::UVar(Rc::new(UVar {
+        Type::UVar(Arc::new(UVar {
             id: NEXT_UVAR.fetch_add(1, Ordering::Relaxed),
-            level: Cell::new(level),
-            link: RefCell::new(None),
+            level: AtomicU32::new(level),
+            link: RwLock::new(None),
         }))
     }
 
@@ -154,14 +167,14 @@ impl Type {
     pub fn head_normalize(&self) -> Type {
         match self {
             Type::UVar(uv) => {
-                let link = uv.link.borrow().clone();
+                let link = uv.link.read().clone();
                 match link {
                     Some(t) => t.head_normalize(),
                     None => self.clone(),
                 }
             }
             Type::Con(tc, args) => {
-                let expanded = match &*tc.def.borrow() {
+                let expanded = match &*tc.def.read() {
                     TyconDef::Alias(body) => Some(subst_params(body, args)),
                     _ => None,
                 };
@@ -179,7 +192,7 @@ impl Type {
     pub fn zonk(&self) -> Type {
         match self {
             Type::UVar(uv) => {
-                let link = uv.link.borrow().clone();
+                let link = uv.link.read().clone();
                 match link {
                     Some(t) => t.zonk(),
                     None => self.clone(),
@@ -194,14 +207,14 @@ impl Type {
 
     /// Collects unsolved unification variables (after zonking callers
     /// usually want this to be empty for exports).
-    pub fn free_uvars(&self, out: &mut Vec<Rc<UVar>>) {
+    pub fn free_uvars(&self, out: &mut Vec<Arc<UVar>>) {
         match self {
             Type::UVar(uv) => {
-                let link = uv.link.borrow().clone();
+                let link = uv.link.read().clone();
                 match link {
                     Some(t) => t.free_uvars(out),
                     None => {
-                        if !out.iter().any(|v| Rc::ptr_eq(v, uv)) {
+                        if !out.iter().any(|v| Arc::ptr_eq(v, uv)) {
                             out.push(uv.clone());
                         }
                     }
@@ -315,13 +328,13 @@ pub fn unify(a: &Type, b: &Type) -> Result<(), UnifyError> {
     let a = a.head_normalize();
     let b = b.head_normalize();
     match (&a, &b) {
-        (Type::UVar(ua), Type::UVar(ub)) if Rc::ptr_eq(ua, ub) => Ok(()),
+        (Type::UVar(ua), Type::UVar(ub)) if Arc::ptr_eq(ua, ub) => Ok(()),
         (Type::UVar(uv), other) | (other, Type::UVar(uv)) => {
             if occurs(uv, other) {
                 return Err(mismatch(&a, &b, Some("occurs check")));
             }
-            lower_levels(uv.level.get(), other);
-            *uv.link.borrow_mut() = Some(other.clone());
+            lower_levels(uv.level(), other);
+            *uv.link.write() = Some(other.clone());
             Ok(())
         }
         (Type::Param(i), Type::Param(j)) if i == j => Ok(()),
@@ -354,13 +367,13 @@ pub fn unify(a: &Type, b: &Type) -> Result<(), UnifyError> {
     }
 }
 
-fn occurs(uv: &Rc<UVar>, t: &Type) -> bool {
+fn occurs(uv: &Arc<UVar>, t: &Type) -> bool {
     match t {
         Type::UVar(other) => {
-            if Rc::ptr_eq(uv, other) {
+            if Arc::ptr_eq(uv, other) {
                 return true;
             }
-            let link = other.link.borrow().clone();
+            let link = other.link.read().clone();
             match link {
                 Some(t2) => occurs(uv, &t2),
                 None => false,
@@ -378,12 +391,12 @@ fn occurs(uv: &Rc<UVar>, t: &Type) -> bool {
 fn lower_levels(level: u32, t: &Type) {
     match t {
         Type::UVar(uv) => {
-            let link = uv.link.borrow().clone();
+            let link = uv.link.read().clone();
             match link {
                 Some(t2) => lower_levels(level, &t2),
                 None => {
-                    if uv.level.get() > level {
-                        uv.level.set(level);
+                    if uv.level() > level {
+                        uv.set_level(level);
                     }
                 }
             }
@@ -409,10 +422,10 @@ fn lower_levels(level: u32, t: &Type) {
 /// Generalizes `t` over every unsolved variable at a level deeper than
 /// `level`, producing a scheme.
 pub fn generalize(level: u32, t: &Type) -> Scheme {
-    let mut vars: Vec<Rc<UVar>> = Vec::new();
+    let mut vars: Vec<Arc<UVar>> = Vec::new();
     collect_generalizable(level, t, &mut vars);
     for (i, uv) in vars.iter().enumerate() {
-        *uv.link.borrow_mut() = Some(Type::Param(i as u32));
+        *uv.link.write() = Some(Type::Param(i as u32));
     }
     Scheme {
         arity: vars.len() as u32,
@@ -420,14 +433,14 @@ pub fn generalize(level: u32, t: &Type) -> Scheme {
     }
 }
 
-fn collect_generalizable(level: u32, t: &Type, out: &mut Vec<Rc<UVar>>) {
+fn collect_generalizable(level: u32, t: &Type, out: &mut Vec<Arc<UVar>>) {
     match t {
         Type::UVar(uv) => {
-            let link = uv.link.borrow().clone();
+            let link = uv.link.read().clone();
             match link {
                 Some(t2) => collect_generalizable(level, &t2, out),
                 None => {
-                    if uv.level.get() > level && !out.iter().any(|v| Rc::ptr_eq(v, uv)) {
+                    if uv.level() > level && !out.iter().any(|v| Arc::ptr_eq(v, uv)) {
                         out.push(uv.clone());
                     }
                 }
@@ -529,7 +542,7 @@ mod tests {
     use super::*;
     use smlsc_ids::StampGenerator;
 
-    fn prim(name: &str) -> Rc<Tycon> {
+    fn prim(name: &str) -> Arc<Tycon> {
         Tycon::new(
             StampGenerator::global_fresh(),
             Symbol::intern(name),

@@ -1,7 +1,7 @@
 //! End-to-end tests: parse → elaborate → execute, within and across
 //! compilation units.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use smlsc_dynamics::eval::execute;
 use smlsc_dynamics::value::Value;
@@ -431,8 +431,8 @@ fn ambiguous_import_is_an_error() {
         let u = compile_ok(src, &ImportEnv::empty());
         u.exports.clone()
     };
-    let e1: Rc<Bindings> = mk("structure X = struct val a = 1 end");
-    let e2: Rc<Bindings> = mk("structure X = struct val a = 2 end");
+    let e1: Arc<Bindings> = mk("structure X = struct val a = 1 end");
+    let e2: Arc<Bindings> = mk("structure X = struct val a = 2 end");
     let imports = ImportEnv {
         units: vec![
             ImportedUnit {

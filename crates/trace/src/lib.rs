@@ -24,9 +24,13 @@
 //!   strategy (`SourceChanged`, `ImportPidChanged`, `CutOff`, …), the
 //!   record behind `smlsc build --explain`'s causal chains.
 //!
-//! Sinks are installed *per thread* ([`install`]/[`uninstall`]); the
-//! pipeline is single-threaded by design (environments are `Rc`-shared),
-//! so each build thread owns its telemetry.
+//! Sinks are installed *per thread* ([`install`]/[`uninstall`]), so each
+//! thread owns its telemetry.  Parallel builds propagate the installed
+//! sink onto their workers with [`fork_current`]: a sink that supports
+//! multi-threaded use (like [`Collector`], whose state is shared behind
+//! an `Arc<Mutex>`) hands out a `Send`-able handle feeding the same
+//! destination, and every worker's spans land in one place, tagged with
+//! a per-thread `tid`.
 //!
 //! # Examples
 //!
@@ -112,6 +116,17 @@ pub fn uninstall() {
 /// True when a sink is installed on this thread.
 pub fn enabled() -> bool {
     ENABLED.with(Cell::get)
+}
+
+/// A `Send`-able handle to the current thread's sink, for [`install`]ing
+/// on a worker thread so its records reach the same destination.  `None`
+/// when no sink is installed or the sink does not support multi-threaded
+/// use (see [`Sink::fork`]).
+pub fn fork_current() -> Option<Box<dyn Sink + Send>> {
+    if !enabled() {
+        return None;
+    }
+    STATE.with(|s| s.borrow().as_ref().and_then(|st| st.sink.fork()))
 }
 
 /// Runs `f` with `sink` installed, uninstalling afterwards (also on
@@ -328,8 +343,33 @@ mod tests {
     }
 
     #[test]
+    fn forked_collector_feeds_the_same_store() {
+        let c = Collector::new();
+        c.install();
+        let forked = fork_current().expect("collector forks");
+        std::thread::spawn(move || {
+            install(forked);
+            {
+                let _s = span("worker.span");
+            }
+            counter("worker.count", 7);
+            uninstall();
+        })
+        .join()
+        .unwrap();
+        uninstall();
+        assert_eq!(c.counter("worker.count"), 7);
+        let spans = c.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "worker.span");
+        assert!(spans[0].tid > 0);
+        // With nothing installed there is nothing to fork.
+        assert!(fork_current().is_none());
+    }
+
+    #[test]
     fn stderr_sink_does_not_panic() {
-        with_sink(Box::new(StderrSink::default()), || {
+        with_sink(Box::new(StderrSink), || {
             let _s = span("demo").field("unit", "x");
             counter("c", 1);
         });

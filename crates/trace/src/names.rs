@@ -38,8 +38,21 @@ pub const REHYDRATE_NODES: &str = "pickle.rehydrate_nodes";
 /// Import stubs resolved while rehydrating.
 pub const REHYDRATE_STUBS: &str = "pickle.rehydrate_stubs";
 
+/// Critical-path length of the analysis DAG (longest import chain, in
+/// units) — with `build.parallelism`, the ceiling on wavefront speedup.
+pub const CRITICAL_PATH: &str = "irm.critical_path";
+
+/// Event: one per parallel build, with `critical_path`, `units` and
+/// `jobs` fields — total units over critical-path length is the maximum
+/// parallel speedup the DAG admits.
+pub const BUILD_PARALLELISM: &str = "build.parallelism";
+
 /// Span: one whole `Irm::build` call.
 pub const SPAN_BUILD: &str = "irm.build";
+/// Span: one wavefront worker's lifetime within a parallel build.
+pub const SPAN_WORKER: &str = "irm.worker";
+/// Span: one unit's decide/compile task on a wavefront worker.
+pub const SPAN_TASK: &str = "irm.task";
 /// Span: dependency analysis of one unit.
 pub const SPAN_ANALYZE: &str = "irm.analyze";
 /// Span: rehydrating one unit's exports.

@@ -60,6 +60,13 @@ pub trait Sink {
     fn counter(&self, name: &'static str, delta: u64);
     /// An externally measured duration sample.
     fn duration(&self, name: &'static str, d: Duration);
+    /// A `Send`-able handle feeding the same destination, for installing
+    /// on a worker thread (see [`fork_current`](crate::fork_current)).
+    /// `None` (the default) means the sink is single-threaded and workers
+    /// run untraced.
+    fn fork(&self) -> Option<Box<dyn Sink + Send>> {
+        None
+    }
 }
 
 /// Discards everything.
@@ -71,6 +78,9 @@ impl Sink for NullSink {
     fn event(&self, _: &EventRecord) {}
     fn counter(&self, _: &'static str, _: u64) {}
     fn duration(&self, _: &'static str, _: Duration) {}
+    fn fork(&self) -> Option<Box<dyn Sink + Send>> {
+        Some(Box::new(NullSink))
+    }
 }
 
 /// A span retained by a [`Collector`], timestamped relative to the
@@ -290,6 +300,10 @@ impl Sink for Collector {
     fn duration(&self, name: &'static str, d: Duration) {
         self.lock().histograms.entry(name).or_default().record(d);
     }
+
+    fn fork(&self) -> Option<Box<dyn Sink + Send>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 fn duration_us(d: Duration) -> u64 {
@@ -332,6 +346,10 @@ impl Sink for StderrSink {
     fn counter(&self, _: &'static str, _: u64) {}
 
     fn duration(&self, _: &'static str, _: Duration) {}
+
+    fn fork(&self) -> Option<Box<dyn Sink + Send>> {
+        Some(Box::new(StderrSink))
+    }
 }
 
 #[cfg(test)]

@@ -3,6 +3,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> no tracked build artifacts"
+if git ls-files -- 'target/' | grep -q .; then
+  echo "error: build artifacts under target/ are tracked; git rm -r --cached target/" >&2
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -14,5 +20,15 @@ cargo build --release --workspace
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+echo "==> parallel equivalence (wavefront scheduler, jobs > 1)"
+cargo test -q --test parallel
+
+echo "==> smlsc build --jobs 4 smoke"
+d=$(mktemp -d)
+trap 'rm -rf "$d"' EXIT
+printf 'structure Util = struct fun inc x = x + 1 end\n' > "$d/util.sml"
+printf 'structure Main = struct val v = Util.inc 41 end\n' > "$d/main.sml"
+./target/release/smlsc build --jobs 4 --explain "$d"
 
 echo "ci: all green"

@@ -1,0 +1,66 @@
+//! Functional mini-stub of rand (offline dev aid): splitmix64-backed
+//! StdRng with just enough of the 0.8 API surface for this workspace.
+//! NOT the real rand stream — local runs only; never shipped.
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: u64,
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut rngs::StdRng) -> T;
+}
+
+macro_rules! range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let span = (self.end - self.start) as u64;
+                assert!(span > 0, "empty range");
+                self.start + (next_u64(&mut rng.state) % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut rngs::StdRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                let span = (e - s) as u64 + 1;
+                s + (next_u64(&mut rng.state) % span) as $t
+            }
+        }
+    )*};
+}
+
+range_impls!(usize, u64, u32, i32, i64);
+
+pub trait Rng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+}
+
+impl Rng for rngs::StdRng {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}

@@ -1,0 +1,496 @@
+//! Functional mini-serde (offline dev aid): a self-describing [`Value`]
+//! data model with `Serialize`/`Deserialize` traits whose provided
+//! methods route through it.  Just enough of the real serde surface for
+//! this workspace — derived impls override `to_value`/`from_value`,
+//! hand-written impls override `serialize`/`deserialize` — NOT real
+//! serde; local builds only, never shipped.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every value passes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `()`, `None`, JSON `null`.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// Any unsigned integer.
+    UInt(u128),
+    /// Any negative integer.
+    Int(i128),
+    /// A float.
+    Float(f64),
+    /// A string (also `char`).
+    Str(String),
+    /// A sequence: `Vec`, tuples, tuple structs/variants.
+    Seq(Vec<Value>),
+    /// Named fields of a struct or struct variant.
+    Map(Vec<(String, Value)>),
+    /// An enum variant and its payload (`Unit` when none).
+    Variant(String, Box<Value>),
+}
+
+const UNIT_VALUE: Value = Value::Unit;
+
+impl Value {
+    /// A variant value (codegen convenience).
+    pub fn variant(name: &str, payload: Value) -> Value {
+        Value::Variant(name.to_string(), Box::new(payload))
+    }
+
+    /// The fields of a map, or an error naming `what`.
+    pub fn as_map(&self, what: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(m) => Ok(m),
+            other => Err(Error::custom(format!(
+                "{what}: expected map, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The elements of a sequence of exactly `n` items.
+    pub fn as_seq_n(&self, n: usize, what: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(s) if s.len() == n => Ok(s),
+            other => Err(Error::custom(format!(
+                "{what}: expected {n}-element seq, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The elements of a sequence of any length.
+    pub fn as_seq(&self, what: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(s) => Ok(s),
+            other => Err(Error::custom(format!(
+                "{what}: expected seq, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The string payload.
+    pub fn as_str(&self, what: &str) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::custom(format!(
+                "{what}: expected string, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self, what: &str) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "{what}: expected bool, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as an unsigned integer.
+    pub fn as_u128(&self, what: &str) -> Result<u128, Error> {
+        match self {
+            Value::UInt(v) => Ok(*v),
+            Value::Int(v) if *v >= 0 => Ok(*v as u128),
+            other => Err(Error::custom(format!(
+                "{what}: expected unsigned int, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as a signed integer.
+    pub fn as_i128(&self, what: &str) -> Result<i128, Error> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::UInt(v) if *v <= i128::MAX as u128 => Ok(*v as i128),
+            other => Err(Error::custom(format!(
+                "{what}: expected int, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The value as a float.
+    pub fn as_f64(&self, what: &str) -> Result<f64, Error> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::UInt(v) => Ok(*v as f64),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(Error::custom(format!(
+                "{what}: expected float, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Looks up a struct field by name.
+    pub fn map_get<'a>(m: &'a [(String, Value)], key: &str) -> Result<&'a Value, Error> {
+        m.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field `{key}`")))
+    }
+
+    /// The variant name and payload.  JSON loses the `Variant`
+    /// constructor, so one-entry maps and bare strings are accepted too.
+    pub fn as_variant(&self, what: &str) -> Result<(&str, &Value), Error> {
+        match self {
+            Value::Variant(n, p) => Ok((n, p)),
+            Value::Map(m) if m.len() == 1 => Ok((&m[0].0, &m[0].1)),
+            Value::Str(s) => Ok((s, &UNIT_VALUE)),
+            other => Err(Error::custom(format!(
+                "{what}: expected variant, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The one error type of the mini-serde stack.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+impl de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl Error {
+    /// A free-form error.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A serializable value.  Implement `serialize` (streaming style, as in
+/// real serde) or `to_value` (what the derive emits); each defaults to
+/// the other.
+pub trait Serialize {
+    /// Streams `self` into `serializer`.
+    fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        S: Serializer,
+    {
+        serializer.serialize_value(self.to_value())
+    }
+
+    /// `self` in the data model.
+    fn to_value(&self) -> Value {
+        match self.serialize(ValueSerializer) {
+            Ok(v) => v,
+            Err(e) => panic!("infallible value serialization failed: {e}"),
+        }
+    }
+}
+
+/// A sink for serialized values.
+pub trait Serializer: Sized {
+    /// Result of successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error: ser::Error;
+    /// Writes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+    /// Writes an unsigned integer.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    /// Writes a whole data-model value.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The serializer behind `to_value`: it just returns the value.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_str(self, v: &str) -> Result<Value, Error> {
+        Ok(Value::Str(v.to_string()))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Value, Error> {
+        Ok(Value::UInt(u128::from(v)))
+    }
+    fn serialize_value(self, v: Value) -> Result<Value, Error> {
+        Ok(v)
+    }
+}
+
+/// A source of data-model values.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error: de::Error;
+    /// The next value.
+    fn value(self) -> Result<Value, Self::Error>;
+}
+
+/// A deserializable value.  Implement `deserialize` (as in real serde)
+/// or `from_value` (what the derive emits); each defaults to the other.
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` from a deserializer.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let v = deserializer.value()?;
+        Self::from_value(&v).map_err(<D::Error as de::Error>::custom)
+    }
+
+    /// Reads `Self` out of the data model.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Self::deserialize(ValueDeserializer(v.clone()))
+    }
+}
+
+/// The deserializer behind `from_value`: it just yields the value.
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+    fn value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+pub mod ser {
+    //! Serialization-side error plumbing.
+    use std::fmt;
+    /// Errors a serializer can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// A free-form error.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    //! Deserialization-side error plumbing.
+    use std::fmt;
+    /// Errors a deserializer can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// A free-form error.
+        fn custom<T: fmt::Display>(msg: T) -> Self;
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_u128(stringify!($t))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i128;
+                if v >= 0 { Value::UInt(v as u128) } else { Value::Int(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = v.as_i128(stringify!($t))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(v.as_f64(stringify!($t))? as $t)
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool("bool")
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str("char")?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected one char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_str("String")?.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    fn from_value(_: &Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq("Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::rc::Rc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(std::rc::Rc::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(std::sync::Arc::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Unit,
+            Some(t) => t.to_value(),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Unit => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:ident/$i:tt),+))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<'de, $($n: Deserialize<'de>),+> Deserialize<'de> for ($($n,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const N: usize = 0 $(+ { let _ = $i; 1 })+;
+                let s = v.as_seq_n(N, "tuple")?;
+                Ok(($($n::from_value(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(u128::from_value(&u128::MAX.to_value()).unwrap(), u128::MAX);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        let v: Vec<(u32, String)> = vec![(1, "a".into())];
+        assert_eq!(Vec::<(u32, String)>::from_value(&v.to_value()).unwrap(), v);
+    }
+}

@@ -1,0 +1,365 @@
+//! Functional mini serde derive (offline dev aid): parses the item's
+//! token stream directly (no syn/quote) and emits `to_value` /
+//! `from_value` impls against the mini-serde `Value` data model.
+//! Handles non-generic structs (named, tuple, unit) and enums with
+//! unit / tuple / struct variants — the shapes this workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a `#[derive]` input parses to.
+enum Item {
+    /// `struct S { a: A, b: B }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct S(A, B);` — arity only.
+    TupleStruct { name: String, arity: usize },
+    /// `struct S;`
+    UnitStruct { name: String },
+    /// `enum E { ... }`
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Consumes leading `#[...]` attribute pairs.
+fn skip_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        toks.next(); // the [...] group
+    }
+}
+
+/// Consumes `pub` / `pub(crate)` / `pub(in ...)` if present.
+fn skip_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Splits a field-list token stream on top-level commas, tracking
+/// angle-bracket depth so `Vec<(A, B)>`-style commas don't split.
+fn split_top_level_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in ts {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(tt);
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+/// Field names of a `{ ... }` struct body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    split_top_level_commas(body)
+        .into_iter()
+        .map(|field| {
+            let mut toks = field.into_iter().peekable();
+            skip_attrs(&mut toks);
+            skip_vis(&mut toks);
+            match toks.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde mini-derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde mini-derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde mini-derive: expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde mini-derive: generic type `{name}` unsupported");
+    }
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: split_top_level_commas(g.stream()).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde mini-derive: bad struct body: {other:?}"),
+        },
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde mini-derive: bad enum body: {other:?}"),
+            };
+            let variants = split_top_level_commas(body)
+                .into_iter()
+                .map(|vt| {
+                    let mut toks = vt.into_iter().peekable();
+                    skip_attrs(&mut toks);
+                    let vname = match toks.next() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde mini-derive: expected variant name, got {other:?}"),
+                    };
+                    let shape = match toks.next() {
+                        None => VariantShape::Unit,
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            VariantShape::Tuple(split_top_level_commas(g.stream()).len())
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantShape::Named(named_fields(g.stream()))
+                        }
+                        other => panic!("serde mini-derive: bad variant shape: {other:?}"),
+                    };
+                    Variant { name: vname, shape }
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde mini-derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn ser_body(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { fields, .. } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Map(::std::vec![{entries}])")
+        }
+        Item::TupleStruct { arity: 1, .. } => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Item::TupleStruct { arity, .. } => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Item::UnitStruct { .. } => "::serde::Value::Unit".to_string(),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::variant(\"{vn}\", ::serde::Value::Unit)"
+                        ),
+                        VariantShape::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Value::variant(\
+                             \"{vn}\", ::serde::Serialize::to_value(f0))"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let binds = (0..*n)
+                                .map(|i| format!("f{i}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::variant(\
+                                 \"{vn}\", ::serde::Value::Seq(::std::vec![{items}]))"
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::variant(\
+                                 \"{vn}\", ::serde::Value::Map(::std::vec![{entries}]))"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",\n            ");
+            format!("match self {{\n            {arms}\n        }}")
+        }
+    }
+}
+
+fn de_body(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::Value::map_get(m, \"{f}\")?)?"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let m = v.as_map(\"{name}\")?;\n        \
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let inits = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let s = v.as_seq_n({arity}, \"{name}\")?;\n        \
+                 ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Item::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn})")
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(payload)?))"
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let inits = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{vn}\" => {{ \
+                                 let s = payload.as_seq_n({n}, \"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn}({inits})) }}"
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::Value::map_get(m, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "\"{vn}\" => {{ \
+                                 let m = payload.as_map(\"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }}"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",\n            ");
+            format!(
+                "let (tag, payload) = v.as_variant(\"{name}\")?;\n        \
+                 let _ = payload;\n        \
+                 match tag {{\n            {arms},\n            \
+                 other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant {name}::{{other}}\")))\n        }}"
+            )
+        }
+    }
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item_name(&item);
+    let body = ser_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n    \
+             fn to_value(&self) -> ::serde::Value {{\n        \
+                 {body}\n    \
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = item_name(&item);
+    let body = de_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n    \
+             fn from_value(v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n        \
+                 {body}\n    \
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,373 @@
+//! Functional mini serde_json (offline dev aid): renders and parses
+//! real JSON through the mini-serde `Value` data model.  Integers keep
+//! full 128-bit precision (pids!); floats only appear if a type uses
+//! them.  NOT real serde_json; local builds only, never shipped.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value, ValueSerializer};
+
+/// JSON encode/decode error.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Unit => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(n) => out.push_str(&n.to_string()),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_escaped(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+        Value::Variant(name, payload) => {
+            out.push('{');
+            write_escaped(name, out);
+            out.push(':');
+            write_value(payload, out);
+            out.push('}');
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(bytes: &'a [u8]) -> Parser<'a> {
+        Parser { bytes, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| Error("unexpected end of input".into()))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| Error("unterminated string".into()))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("short \\u escape".into()))?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u escape".into()))?,
+                            );
+                        }
+                        other => return Err(Error(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                b if b < 0x80 => out.push(b as char),
+                // Multi-byte UTF-8: collect the full sequence.
+                b => {
+                    let len = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| Error("truncated utf-8".into()))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| Error(e.to_string()))?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| Error(e.to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(e.to_string()))
+        } else if let Some(neg) = text.strip_prefix('-') {
+            neg.parse::<i128>()
+                .map(|n| Value::Int(-n))
+                .map_err(|e| Error(e.to_string()))
+        } else {
+            text.parse::<u128>()
+                .map(Value::UInt)
+                .map_err(|e| Error(e.to_string()))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'n' => self.literal("null", Value::Unit),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        other => {
+                            return Err(Error(format!("bad array separator `{}`", other as char)))
+                        }
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        other => {
+                            return Err(Error(format!("bad object separator `{}`", other as char)))
+                        }
+                    }
+                }
+            }
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error(format!(
+                "unexpected `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+}
+
+/// Parses a JSON document into the data model.
+pub fn parse_value(bytes: &[u8]) -> Result<Value, Error> {
+    let mut p = Parser::new(bytes);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing garbage at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+fn value_of<T: ?Sized + Serialize>(value: &T) -> Result<Value, Error> {
+    value
+        .serialize(ValueSerializer)
+        .map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes to JSON bytes.
+pub fn to_vec<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serializes to a JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value_of(value)?, &mut out);
+    Ok(out)
+}
+
+/// Serializes to a JSON string (same compact form; pretty-printing is
+/// not worth carrying in the offline stub).
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Deserializes from JSON bytes.
+pub fn from_slice<'a, T: Deserialize<'a>>(v: &'a [u8]) -> Result<T, Error> {
+    let value = parse_value(v)?;
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+/// Deserializes from a JSON string.
+pub fn from_str<'a, T: Deserialize<'a>>(s: &'a str) -> Result<T, Error> {
+    from_slice(s.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_values() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(u64::MAX)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, format!("[1,null,{}]", u64::MAX));
+        let back: Vec<Option<u64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let s = "a\"b\\c\nd\u{1F600}é".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn u128_precision_is_exact() {
+        let n = u128::MAX - 12345;
+        let json = to_string(&n).unwrap();
+        let back: u128 = from_str(&json).unwrap();
+        assert_eq!(back, n);
+    }
+}
