@@ -1,0 +1,185 @@
+//! Artifact-store warmth: what a shared store buys a cold session.
+//!
+//! ```text
+//! cargo run --release -p smlsc-bench --bin store_warmth
+//! cargo run --release -p smlsc-bench --bin store_warmth -- --funs 12 --out BENCH_store.json
+//! ```
+//!
+//! Four measurements per workload, each a *cold session* (fresh manager,
+//! no bins):
+//!
+//! 1. `cold_ms` — no store at all: compile everything (the baseline);
+//! 2. `publish_ms` — empty store attached: compile everything *and*
+//!    publish every object (the write overhead);
+//! 3. `warm_ms` — warm store attached: zero compiles, every unit
+//!    rehydrated from the store (the payoff);
+//! 4. `shared_hits` — a *different* project overlapping this one in its
+//!    first half hits the store for exactly the shared prefix.
+//!
+//! Plus the cost of a size-capped GC sweep over the populated store.
+//! Results are written to `BENCH_store.json`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smlsc_bench::{ms, workload};
+use smlsc_core::irm::{Irm, Project, Strategy};
+use smlsc_core::store::{GcConfig, Store};
+use smlsc_workload::{module_name, Topology};
+
+const RUNS: usize = 3;
+
+fn fresh_store(tag: &str) -> (PathBuf, Arc<Store>) {
+    let root = std::env::temp_dir().join(format!("smlsc-bench-store-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let store = Arc::new(Store::open(&root).expect("open bench store"));
+    (root, store)
+}
+
+/// Best-of-`RUNS` cold-session build; `store` is attached when given.
+/// Returns (best wall clock, store hits, compiles) of the last run.
+fn time_cold(
+    project: &Project,
+    store: Option<&Arc<Store>>,
+    reset: impl Fn(),
+) -> (Duration, usize, usize) {
+    let mut best = Duration::MAX;
+    let mut hits = 0;
+    let mut compiles = 0;
+    for _ in 0..RUNS {
+        reset();
+        let mut irm = match store {
+            Some(s) => Irm::with_store(Strategy::Cutoff, Arc::clone(s)),
+            None => Irm::new(Strategy::Cutoff),
+        };
+        let t0 = Instant::now();
+        let report = irm.build(project).expect("bench build");
+        best = best.min(t0.elapsed());
+        hits = report.store_hits.len();
+        compiles = report.recompiled.len();
+    }
+    (best, hits, compiles)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut funs = 8usize;
+    let mut out = String::from("BENCH_store.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--funs" => funs = it.next().and_then(|v| v.parse().ok()).expect("--funs <n>"),
+            "--out" => out = it.next().expect("--out <file>").clone(),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let workloads: [(&str, Topology); 3] = [
+        ("chain(24)", Topology::Chain { n: 24 }),
+        ("diamond(8x4)", Topology::Diamond { width: 8, depth: 4 }),
+        (
+            "tree(d3 b4)",
+            Topology::Tree {
+                depth: 3,
+                branching: 4,
+            },
+        ),
+    ];
+
+    println!("== artifact-store warmth (cold sessions, best of {RUNS}) ==");
+    let mut json_rows = Vec::new();
+    for (name, topo) in workloads {
+        let w = workload(topo, funs, false);
+        let project = w.project();
+        let units = w.module_count();
+
+        // 1. Baseline: no store.
+        let (cold, _, cold_compiles) = time_cold(project, None, || {});
+        assert_eq!(cold_compiles, units);
+
+        // 2. Publish overhead: every run starts from an *empty* store.
+        let (root, store) = fresh_store(name.split('(').next().unwrap_or("w"));
+        let (publish, _, _) = time_cold(project, Some(&store), || {
+            store.clear().expect("clear bench store");
+        });
+
+        // 3. Warm store: populate once, then measure all-hit sessions.
+        store.clear().expect("clear bench store");
+        Irm::with_store(Strategy::Cutoff, Arc::clone(&store))
+            .build(project)
+            .expect("warming build");
+        let (warm, warm_hits, warm_compiles) = time_cold(project, Some(&store), || {});
+        assert_eq!(warm_hits, units, "warm session must be all store hits");
+        assert_eq!(warm_compiles, 0, "warm session must compile nothing");
+
+        // 4. Cross-project sharing: a second project containing a
+        // dependency-closed half of this one's units (same text, same
+        // deps) hits the store for every one of them.
+        let mut included: Vec<usize> = Vec::new();
+        for (i, deps) in w.deps().iter().enumerate() {
+            if included.len() >= units / 2 {
+                break;
+            }
+            if deps.iter().all(|d| included.contains(d)) {
+                included.push(i);
+            }
+        }
+        let shared = included.len();
+        let mut other = Project::new();
+        for &i in &included {
+            let name = module_name(i);
+            let f = project.file(&name).expect("workload module exists");
+            other.add(name, &f.text);
+        }
+        let mut irm = Irm::with_store(Strategy::Cutoff, Arc::clone(&store));
+        let report = irm.build(&other).expect("cross-project build");
+        let shared_hits = report.store_hits.len();
+        assert_eq!(shared_hits, shared, "shared units must all hit the store");
+
+        // 5. GC sweep over the populated store, capped to half its size.
+        let bytes = store.stats().expect("stats").bytes;
+        let t0 = Instant::now();
+        let gc = store
+            .gc(&GcConfig {
+                max_bytes: Some(bytes / 2),
+                max_age: None,
+            })
+            .expect("gc");
+        let gc_time = t0.elapsed();
+
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        println!("\n{name}: {units} units, {} lines", w.total_lines());
+        println!(
+            "  cold {} ms | cold+publish {} ms | warm-store {} ms ({speedup:.1}x vs cold)",
+            ms(cold),
+            ms(publish),
+            ms(warm)
+        );
+        println!(
+            "  cross-project: {shared_hits}/{shared} shared units from store; gc: evicted {} of {} in {} ms",
+            gc.evicted,
+            gc.examined,
+            ms(gc_time)
+        );
+
+        json_rows.push(format!(
+            r#"{{"name":"{name}","units":{units},"lines":{},"cold_ms":{},"cold_publish_ms":{},"warm_store_ms":{},"warm_speedup":{speedup:.3},"warm_store_hits":{warm_hits},"shared_units":{shared},"shared_hits":{shared_hits},"gc_examined":{},"gc_evicted":{},"gc_ms":{}}}"#,
+            w.total_lines(),
+            ms(cold),
+            ms(publish),
+            ms(warm),
+            gc.examined,
+            gc.evicted,
+            ms(gc_time)
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    let json = format!(
+        r#"{{"bench":"store_warmth","funs_per_module":{funs},"runs_per_point":{RUNS},"workloads":[{}]}}"#,
+        json_rows.join(",")
+    );
+    std::fs::write(&out, &json).expect("write benchmark output");
+    println!("\nresults written to {out}");
+}

@@ -20,6 +20,22 @@
 //! [`Irm::save_bins`]/[`Irm::load_bins`]); rehydrated environments are
 //! cached per build so each unit's statenv is read back at most once.
 //!
+//! # The shared artifact store
+//!
+//! When a [`Store`] is attached ([`Irm::set_store`]), every *recompile*
+//! verdict first probes it: a unit's compilation result is fully
+//! determined by its source pid plus the export pids of its imports
+//! (the paper's intrinsic-pid insight read as a cache key), so a
+//! digest-verified object found under that key **is** the compile
+//! result and is rehydrated instead of compiled — including on a cold
+//! session with no local bins at all.  Every fresh compile publishes
+//! its bin back under the same key, so projects, sessions, and
+//! concurrent builds (threads and processes) share one cache.  A store
+//! probe that fails verification is quarantined by the store and the
+//! unit compiles transparently; a fetched bin that does not match the
+//! requesting unit (same key, different file stem) is rejected the
+//! same way.
+//!
 //! # Parallel wavefront builds
 //!
 //! [`Irm::build_with_jobs`] runs the same schedule on a worker pool: a
@@ -33,8 +49,8 @@
 //! [`BuildReport`] in topological order regardless of completion order.
 //! `jobs <= 1` takes the sequential loop verbatim.
 
-use std::collections::HashMap;
-use std::path::Path;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -42,11 +58,12 @@ use std::time::{Duration, Instant};
 use smlsc_ids::{Pid, Symbol};
 use smlsc_pickle::{rehydrate, RehydrateContext};
 use smlsc_statics::env::Bindings;
+use smlsc_store::Store;
 use smlsc_trace::{self as trace, names, RebuildDecision};
 
 use crate::compile::{analyze_source, compile_unit, source_pid, CompileTimings, ImportSource};
 use crate::link::{link_and_execute, DynEnv};
-use crate::unit::BinFile;
+use crate::unit::{BinFile, BIN_FORMAT_VERSION};
 use crate::CoreError;
 
 /// One source file of a project.
@@ -258,6 +275,9 @@ pub struct BuildReport {
     pub recompiled: Vec<Symbol>,
     /// Units whose bins were reused.
     pub reused: Vec<Symbol>,
+    /// Units whose recompile verdict was satisfied by the shared
+    /// artifact store (rehydrated, not compiled).
+    pub store_hits: Vec<Symbol>,
     /// Why each unit was recompiled or reused, in build order — the
     /// causal chain behind `smlsc build --explain`.
     pub decisions: Vec<(Symbol, RebuildDecision)>,
@@ -273,6 +293,11 @@ impl BuildReport {
     /// Convenience: did `name` get recompiled?
     pub fn was_recompiled(&self, name: &str) -> bool {
         self.recompiled.contains(&Symbol::intern(name))
+    }
+
+    /// Convenience: was `name` served from the shared artifact store?
+    pub fn was_store_hit(&self, name: &str) -> bool {
+        self.store_hits.contains(&Symbol::intern(name))
     }
 
     /// The decision recorded for `name`, if it was in the build.
@@ -294,6 +319,16 @@ impl BuildReport {
     }
 }
 
+/// What [`Irm::load_bins`] found on disk.
+#[derive(Debug, Default)]
+pub struct BinLoadOutcome {
+    /// Bins loaded successfully.
+    pub loaded: usize,
+    /// Per-file failures (corrupt or unreadable), skipped so the rest
+    /// of the cache still loads; the affected units recompile.
+    pub corrupt: Vec<(PathBuf, CoreError)>,
+}
+
 /// The manager.
 #[derive(Debug, Default)]
 pub struct Irm {
@@ -302,6 +337,11 @@ pub struct Irm {
     /// Dependency-analysis cache keyed by unit, valid while the source
     /// digest matches.
     deps_cache: HashMap<Symbol, CachedAnalysis>,
+    /// The shared artifact store, if attached.
+    store: Option<Arc<Store>>,
+    /// Units whose in-memory bin differs (or may differ) from what
+    /// `save_bins` last persisted; everything else skips its write.
+    dirty: HashSet<Symbol>,
 }
 
 #[derive(Debug, Clone)]
@@ -318,6 +358,26 @@ impl Irm {
             strategy: Some(strategy),
             ..Irm::default()
         }
+    }
+
+    /// A manager with the given strategy and a shared artifact store.
+    pub fn with_store(strategy: Strategy, store: Arc<Store>) -> Irm {
+        Irm {
+            strategy: Some(strategy),
+            store: Some(store),
+            ..Irm::default()
+        }
+    }
+
+    /// Attaches a shared artifact store; subsequent builds probe it on
+    /// every recompile verdict and publish every fresh compile back.
+    pub fn set_store(&mut self, store: Arc<Store>) {
+        self.store = Some(store);
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// The active strategy.
@@ -339,52 +399,81 @@ impl Irm {
     pub fn clear_bins(&mut self) {
         self.bins.clear();
         self.deps_cache.clear();
+        self.dirty.clear();
     }
 
     /// Overwrites a cached bin — used by tests and the linkage experiment
     /// to simulate stale or corrupted bin stores.
     pub fn inject_bin(&mut self, bin: BinFile) {
+        self.dirty.insert(bin.unit.name);
         self.bins.insert(bin.unit.name, bin);
     }
 
     /// Persists every bin file under `dir` as `<unit>.bin`.
     ///
+    /// Each bin is staged to a temp file and `rename(2)`d into place, so
+    /// a crash mid-save can tear no `.bin`; bins unchanged since they
+    /// were loaded or last saved are skipped entirely, so a no-op save
+    /// after a fully cached build does no per-unit I/O.
+    ///
     /// # Errors
     ///
     /// [`CoreError::Io`] on filesystem failures.
-    pub fn save_bins(&self, dir: &Path) -> Result<(), CoreError> {
+    pub fn save_bins(&mut self, dir: &Path) -> Result<(), CoreError> {
         let _span = trace::span("irm.save_bins").field("bins", self.bins.len());
         std::fs::create_dir_all(dir).map_err(|e| CoreError::Io(e.to_string()))?;
         for (name, bin) in &self.bins {
             let path = dir.join(format!("{name}.bin"));
+            if !self.dirty.contains(name) && path.is_file() {
+                continue;
+            }
             let bytes = bin.to_bytes();
             trace::counter(names::BIN_BYTES_WRITTEN, bytes.len() as u64);
-            std::fs::write(&path, bytes).map_err(|e| CoreError::Io(e.to_string()))?;
+            let tmp = dir.join(format!("{name}.bin.tmp-{}", std::process::id()));
+            std::fs::write(&tmp, bytes).map_err(|e| CoreError::Io(e.to_string()))?;
+            if let Err(e) = std::fs::rename(&tmp, &path) {
+                std::fs::remove_file(&tmp).ok();
+                return Err(CoreError::Io(e.to_string()));
+            }
         }
+        self.dirty.clear();
         Ok(())
     }
 
-    /// Loads every `*.bin` under `dir` into the bin store.
+    /// Loads every `*.bin` under `dir` into the bin store.  A corrupt
+    /// or unreadable individual bin does not poison the load: it is
+    /// reported in [`BinLoadOutcome::corrupt`], skipped, and the unit
+    /// simply recompiles on the next build.
     ///
     /// # Errors
     ///
-    /// [`CoreError::Io`] or [`CoreError::CorruptBin`].
-    pub fn load_bins(&mut self, dir: &Path) -> Result<usize, CoreError> {
+    /// [`CoreError::Io`] when `dir` itself cannot be listed.
+    pub fn load_bins(&mut self, dir: &Path) -> Result<BinLoadOutcome, CoreError> {
         let _span = trace::span("irm.load_bins");
-        let mut n = 0;
+        let mut out = BinLoadOutcome::default();
         let entries = std::fs::read_dir(dir).map_err(|e| CoreError::Io(e.to_string()))?;
         for entry in entries {
             let entry = entry.map_err(|e| CoreError::Io(e.to_string()))?;
-            if entry.path().extension().is_some_and(|e| e == "bin") {
-                let bytes =
-                    std::fs::read(entry.path()).map_err(|e| CoreError::Io(e.to_string()))?;
-                trace::counter(names::BIN_BYTES_READ, bytes.len() as u64);
-                let bin = BinFile::from_bytes(&bytes)?;
-                self.bins.insert(bin.unit.name, bin);
-                n += 1;
+            if entry.path().extension().is_none_or(|e| e != "bin") {
+                continue;
+            }
+            let loaded = std::fs::read(entry.path())
+                .map_err(|e| CoreError::Io(e.to_string()))
+                .and_then(|bytes| {
+                    trace::counter(names::BIN_BYTES_READ, bytes.len() as u64);
+                    BinFile::from_bytes(&bytes)
+                });
+            match loaded {
+                Ok(bin) => {
+                    // What we just read *is* the on-disk state: clean.
+                    self.dirty.remove(&bin.unit.name);
+                    self.bins.insert(bin.unit.name, bin);
+                    out.loaded += 1;
+                }
+                Err(e) => out.corrupt.push((entry.path(), e)),
             }
         }
-        Ok(n)
+        Ok(out)
     }
 
     /// Analyzes dependencies and returns the topological build order.
@@ -484,10 +573,39 @@ impl Irm {
                     })
                 },
             );
+            let needs = decision.requires_recompile();
+
+            // A recompile verdict first probes the shared artifact
+            // store: the cache key is the unit's exact compile inputs,
+            // so a verified object under it is the compile result.
+            let store_key = match (&self.store, needs) {
+                (Some(_), true) => self.store_key_for(sp, &import_units),
+                _ => None,
+            };
+            if let Some(key) = store_key {
+                if let Some(bin) = self.try_store_fetch(key, *name, sp, &import_units) {
+                    let decision = RebuildDecision::StoreHit {
+                        key: key.to_string(),
+                        cause: Box::new(decision),
+                    };
+                    trace::event("irm.decision")
+                        .field("unit", name.as_str())
+                        .field("kind", decision.kind());
+                    report.decisions.push((*name, decision));
+                    self.dirty.insert(*name);
+                    self.bins.insert(*name, bin);
+                    // For dependents a store hit is a rebuild: their
+                    // own verdicts compare pids exactly as they would
+                    // after a compile.
+                    recompiled_set.insert(*name, true);
+                    report.store_hits.push(*name);
+                    continue;
+                }
+            }
+
             trace::event("irm.decision")
                 .field("unit", name.as_str())
                 .field("kind", decision.kind());
-            let needs = decision.requires_recompile();
             if needs {
                 trace::counter(names::UNITS_COMPILED, 1);
             } else {
@@ -516,11 +634,21 @@ impl Irm {
                 report
                     .warnings
                     .extend(out.warnings.iter().map(|w| (*name, w.to_string())));
+                // Publish in canonical (mtime-zero) form so identical
+                // compiles publish bit-identical objects, then stamp.
+                let bin = BinFile {
+                    unit: out.unit,
+                    mtime: 0,
+                };
+                if let (Some(store), Some(key)) = (&self.store, store_key) {
+                    publish_to_store(store, key, &bin);
+                }
+                self.dirty.insert(*name);
                 self.bins.insert(
                     *name,
                     BinFile {
-                        unit: out.unit,
                         mtime: tick(),
+                        ..bin
                     },
                 );
                 envs.insert(*name, out.exports);
@@ -532,6 +660,47 @@ impl Irm {
             }
         }
         Ok(report)
+    }
+
+    /// The artifact-store key for compiling a unit whose imports have
+    /// all settled in the bin store; `None` when any import bin is
+    /// missing (only possible mid-failure).
+    fn store_key_for(&self, sp: Pid, import_units: &[Symbol]) -> Option<Pid> {
+        let mut pids = Vec::with_capacity(import_units.len());
+        for u in import_units {
+            pids.push(self.bins.get(u)?.unit.export_pid);
+        }
+        Some(smlsc_store::cache_key(sp, &pids, BIN_FORMAT_VERSION))
+    }
+
+    /// Fetches and validates a store object for one unit.  Returns the
+    /// re-stamped bin on success; on a digest failure the store has
+    /// already quarantined the object, and on a semantic mismatch
+    /// (valid object, different unit) the fetch is simply rejected —
+    /// either way the caller compiles.
+    fn try_store_fetch(
+        &self,
+        key: Pid,
+        name: Symbol,
+        sp: Pid,
+        import_units: &[Symbol],
+    ) -> Option<BinFile> {
+        let store = self.store.as_deref()?;
+        let bytes = store.get(key)?;
+        match BinFile::from_bytes(&bytes) {
+            Ok(mut bin)
+                if store_bin_matches(&bin, name, sp, import_units, &|u| {
+                    self.bins.get(&u).map(|b| b.unit.export_pid)
+                }) =>
+            {
+                bin.mtime = tick();
+                Some(bin)
+            }
+            _ => {
+                trace::event(names::STORE_REJECT_EVENT).field("unit", name.as_str());
+                None
+            }
+        }
     }
 
     /// Builds the project on up to `jobs` worker threads, dispatching a
@@ -622,6 +791,7 @@ impl Irm {
                 import_units: &import_units,
                 import_idx: &import_idx,
                 old_bins: &self.bins,
+                store: self.store.as_deref(),
                 envs: &envs,
                 outcomes: &outcomes,
             };
@@ -732,7 +902,12 @@ impl Irm {
                     match out.new_bin {
                         Some(bin) => {
                             self.bins.insert(name, bin);
-                            report.recompiled.push(name);
+                            self.dirty.insert(name);
+                            if out.from_store {
+                                report.store_hits.push(name);
+                            } else {
+                                report.recompiled.push(name);
+                            }
                         }
                         None => report.reused.push(name),
                     }
@@ -950,6 +1125,42 @@ fn decide_unit(
     }
 }
 
+/// Semantic validation of a fetched store object: the digest already
+/// matched (the store checked it), but the cache key does not encode
+/// the unit *name*, so identical source under a different file stem
+/// hits the same slot.  The object is only usable if it is literally
+/// the unit we are about to compile — same name, same source pid, and
+/// the same import edges slot for slot.
+fn store_bin_matches(
+    bin: &BinFile,
+    name: Symbol,
+    sp: Pid,
+    import_units: &[Symbol],
+    export_pid_of: &dyn Fn(Symbol) -> Option<Pid>,
+) -> bool {
+    bin.unit.name == name
+        && bin.unit.source_pid == sp
+        && bin.unit.imports.len() == import_units.len()
+        && bin
+            .unit
+            .imports
+            .iter()
+            .zip(import_units)
+            .all(|(edge, &u)| edge.unit == u && export_pid_of(u) == Some(edge.pid))
+}
+
+/// Publishes a freshly compiled bin to the artifact store in canonical
+/// form (`mtime == 0`, so identical compiles are bit-identical).
+/// Best-effort: a full or unwritable store must never fail the build.
+fn publish_to_store(store: &Store, key: Pid, bin: &BinFile) {
+    debug_assert_eq!(bin.mtime, 0, "store objects are published canonical");
+    if let Err(e) = store.put(key, &bin.to_bytes()) {
+        trace::event("store.put_failed")
+            .field("unit", bin.unit.name.as_str())
+            .field("error", e.to_string());
+    }
+}
+
 /// A settled export environment (or the error that settling produced),
 /// published at most once per unit per parallel build.
 type EnvSlot = OnceLock<Result<Arc<Bindings>, CoreError>>;
@@ -959,8 +1170,10 @@ type EnvSlot = OnceLock<Result<Arc<Bindings>, CoreError>>;
 #[derive(Debug)]
 struct TaskOutcome {
     decision: RebuildDecision,
-    /// `Some` iff the unit recompiled.
+    /// `Some` iff the unit recompiled or was rehydrated from the store.
     new_bin: Option<BinFile>,
+    /// The new bin came from the artifact store, not a compile.
+    from_store: bool,
     timings: CompileTimings,
     warnings: Vec<String>,
     rehydrate: Duration,
@@ -979,6 +1192,9 @@ struct ParallelShared<'a> {
     /// `outcomes` until the coordinator merges them, so old state stays
     /// readable (a unit's *own* decision reads its pre-build bin).
     old_bins: &'a HashMap<Symbol, BinFile>,
+    /// The shared artifact store, probed before compiling and published
+    /// to after (same protocol as the sequential loop).
+    store: Option<&'a Store>,
     envs: &'a [EnvSlot],
     outcomes: &'a [OnceLock<Result<TaskOutcome, CoreError>>],
 }
@@ -1023,10 +1239,10 @@ impl ParallelShared<'_> {
             self.old_bins.get(&name),
             &|u| self.facts(u),
         );
-        trace::event("irm.decision")
-            .field("unit", name.as_str())
-            .field("kind", decision.kind());
         if !decision.requires_recompile() {
+            trace::event("irm.decision")
+                .field("unit", name.as_str())
+                .field("kind", decision.kind());
             trace::counter(names::UNITS_REUSED, 1);
             if matches!(decision, RebuildDecision::CutOff { .. }) {
                 trace::counter(names::CUTOFF_HITS, 1);
@@ -1034,11 +1250,61 @@ impl ParallelShared<'_> {
             return Ok(TaskOutcome {
                 decision,
                 new_bin: None,
+                from_store: false,
                 timings: CompileTimings::default(),
                 warnings: Vec::new(),
                 rehydrate: Duration::ZERO,
             });
         }
+
+        // Recompile verdict: probe the shared artifact store first.
+        // Imports have all settled (the scheduler guarantees it), so
+        // the cache key is computable from their current export pids.
+        let store_key = self.store.and_then(|_| {
+            let mut pids = Vec::with_capacity(units.len());
+            for &u in units {
+                pids.push(self.facts(u)?.export_pid);
+            }
+            Some(smlsc_store::cache_key(sp, &pids, BIN_FORMAT_VERSION))
+        });
+        if let (Some(store), Some(key)) = (self.store, store_key) {
+            if let Some(bytes) = store.get(key) {
+                match BinFile::from_bytes(&bytes) {
+                    Ok(mut bin)
+                        if store_bin_matches(&bin, name, sp, units, &|u| {
+                            self.facts(u).map(|f| f.export_pid)
+                        }) =>
+                    {
+                        bin.mtime = tick();
+                        let decision = RebuildDecision::StoreHit {
+                            key: key.to_string(),
+                            cause: Box::new(decision),
+                        };
+                        trace::event("irm.decision")
+                            .field("unit", name.as_str())
+                            .field("kind", decision.kind());
+                        // No eager env publication: dependents that need
+                        // the exports rehydrate them from this bin via
+                        // `rehydrate_env`, exactly like a reused unit.
+                        return Ok(TaskOutcome {
+                            decision,
+                            new_bin: Some(bin),
+                            from_store: true,
+                            timings: CompileTimings::default(),
+                            warnings: Vec::new(),
+                            rehydrate: Duration::ZERO,
+                        });
+                    }
+                    _ => {
+                        trace::event(names::STORE_REJECT_EVENT).field("unit", name.as_str());
+                    }
+                }
+            }
+        }
+
+        trace::event("irm.decision")
+            .field("unit", name.as_str())
+            .field("kind", decision.kind());
         trace::counter(names::UNITS_COMPILED, 1);
         let mut rehydrate = Duration::ZERO;
         let sources: Vec<ImportSource> = self.import_idx[i]
@@ -1061,12 +1327,20 @@ impl ParallelShared<'_> {
         // Publish the export environment *before* the completion signal,
         // so a dependent never rehydrates a freshly compiled unit.
         let _ = self.envs[i].set(Ok(out.exports.clone()));
+        let bin = BinFile {
+            unit: out.unit,
+            mtime: 0,
+        };
+        if let (Some(store), Some(key)) = (self.store, store_key) {
+            publish_to_store(store, key, &bin);
+        }
         Ok(TaskOutcome {
             decision,
             new_bin: Some(BinFile {
-                unit: out.unit,
                 mtime: tick(),
+                ..bin
             }),
+            from_store: false,
             timings: out.timings,
             warnings: out.warnings.iter().map(|w| w.to_string()).collect(),
             rehydrate,
@@ -1093,20 +1367,27 @@ impl ParallelShared<'_> {
             .clone()
     }
 
-    /// Rehydrates a *reused* unit's pickled exports against its imports'
-    /// settled environments.  Recompiled units never reach here: their
-    /// slots are published eagerly at compile time, before any dependent
-    /// is dispatched.
+    /// Rehydrates a *reused or store-hit* unit's pickled exports against
+    /// its imports' settled environments.  Compiled units never reach
+    /// here: their slots are published eagerly at compile time, before
+    /// any dependent is dispatched.  Store hits, like reuses, rehydrate
+    /// lazily — but from the freshly fetched bin in the unit's outcome
+    /// slot (on a cold session there is no old bin at all), which is
+    /// safe to read because dependents only dispatch after it settles.
     fn rehydrate_env(&self, j: usize, acc: &mut Duration) -> Result<Arc<Bindings>, CoreError> {
         let unit = self.order[j];
         let mut ctx_envs = Vec::new();
         for &d in &self.import_idx[j] {
             ctx_envs.push(self.force_env(d, acc)?);
         }
-        let bin = self
-            .old_bins
-            .get(&unit)
-            .ok_or(CoreError::UnknownUnit(unit))?;
+        let new_bin = match self.outcomes[j].get() {
+            Some(Ok(out)) => out.new_bin.as_ref(),
+            _ => None,
+        };
+        let bin = match new_bin.or_else(|| self.old_bins.get(&unit)) {
+            Some(b) => b,
+            None => return Err(CoreError::UnknownUnit(unit)),
+        };
         let t0 = Instant::now();
         let _span = trace::span(names::SPAN_REHYDRATE).field("unit", unit.as_str());
         let ctx = RehydrateContext::with_pervasives(ctx_envs.iter().map(|e| e.as_ref()));

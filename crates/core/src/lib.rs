@@ -63,10 +63,11 @@ pub use hash::{hash_exports, HashError, HashResult};
 pub use irm::{BuildReport, Irm, Project, Strategy};
 pub use link::{link_and_execute, DynEnv, LinkError};
 pub use session::Session;
+pub use smlsc_store as store;
 pub use smlsc_trace as trace;
 pub use smlsc_trace::RebuildDecision;
 pub use stdlib::{add_stdlib, stdlib_units};
-pub use unit::{BinFile, CompiledUnit, ImportEdge};
+pub use unit::{BinFile, CompiledUnit, ImportEdge, BIN_FORMAT_VERSION};
 
 /// Any error from the compilation manager.
 #[derive(Debug, Clone)]

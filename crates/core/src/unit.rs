@@ -51,6 +51,12 @@ pub struct BinFile {
 
 const BIN_MAGIC: &[u8; 8] = b"SMLCBIN1";
 
+/// Version of the bin-file container format (mirrored by the trailing
+/// digit of the magic).  Artifact-store cache keys fold this in, so
+/// bumping it when [`BinFile`]'s serialization changes invalidates
+/// every shared-store entry instead of misreading it.
+pub const BIN_FORMAT_VERSION: u32 = 1;
+
 impl BinFile {
     /// Serializes the bin file.
     ///

@@ -283,8 +283,9 @@ fn bins_persist_across_manager_instances() {
     irm.save_bins(&dir).unwrap();
 
     let mut irm2 = Irm::new(Strategy::Cutoff);
-    let loaded = irm2.load_bins(&dir).unwrap();
-    assert_eq!(loaded, 4);
+    let outcome = irm2.load_bins(&dir).unwrap();
+    assert_eq!(outcome.loaded, 4);
+    assert!(outcome.corrupt.is_empty());
     let report = irm2.build(&p).unwrap();
     assert!(
         report.recompiled.is_empty(),

@@ -2,21 +2,33 @@
 //!
 //! ```text
 //! smlsc build <dir>    incrementally compile every *.sml file in <dir>
-//!                      (bins cached in <dir>/.smlsc-bins)
+//!                      (bins cached in <dir>/.smlsc-bins by default)
 //! smlsc run <dir>      build, link, execute, and print the exports
 //! smlsc repl           interactive compile-and-execute session (§7);
 //!                      terminate each input with a line ending in `;;`
+//! smlsc cache <op>     manage a shared artifact store: stats | gc |
+//!                      verify | clear
 //!
 //! build/run options:
 //!   --strategy <s>     recompilation strategy: cutoff (default),
 //!                      timestamp, or classical
 //!   --jobs <n>         compile up to <n> units in parallel (default:
 //!                      available CPU parallelism; 1 = sequential)
+//!   --bin-dir <dir>    where per-project bins live (default:
+//!                      <dir>/.smlsc-bins)
+//!   --store <dir>      shared content-addressed artifact store; compiles
+//!                      publish to it, recompile verdicts probe it first
+//!                      (default: the SMLSC_STORE environment variable)
 //!   --explain          print why each unit was recompiled or reused
 //!   --stats            print a JSON telemetry report (counters and
 //!                      per-phase duration histograms) to stdout
 //!   --trace-out <f>    write a Chrome trace-event JSON file (load it in
 //!                      chrome://tracing or https://ui.perfetto.dev)
+//!
+//! cache options:
+//!   --store <dir>          the store to operate on (or SMLSC_STORE)
+//!   --max-bytes <n>        gc: evict LRU objects until the store fits
+//!   --max-age-secs <n>     gc: evict objects unused for longer than this
 //! ```
 //!
 //! The driver is a thin client of the library — exactly the paper's
@@ -25,12 +37,24 @@
 
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
 
 use smlsc::core::irm::{Irm, Project, Strategy};
 use smlsc::core::session::Session;
+use smlsc::core::store::{GcConfig, Store};
 use smlsc::core::trace;
 
-const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --explain  --stats  --trace-out <file>";
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --bin-dir <dir>  --store <dir>  --explain  --stats  --trace-out <file>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>";
+
+/// Resolves the store directory: an explicit `--store` wins, else the
+/// `SMLSC_STORE` environment variable (ignored when empty).
+fn resolve_store(flag: &Option<String>) -> Option<PathBuf> {
+    flag.clone()
+        .or_else(|| std::env::var("SMLSC_STORE").ok())
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
 
 /// Options for `smlsc build` / `smlsc run`.
 #[derive(Default)]
@@ -38,6 +62,8 @@ struct BuildOpts {
     dir: Option<String>,
     strategy: Strategy,
     jobs: Option<usize>,
+    bin_dir: Option<PathBuf>,
+    store: Option<String>,
     explain: bool,
     stats: bool,
     trace_out: Option<PathBuf>,
@@ -72,6 +98,10 @@ impl BuildOpts {
                 opts.jobs = Some(n);
             } else if arg == "--trace-out" || arg.starts_with("--trace-out=") {
                 opts.trace_out = Some(PathBuf::from(take("--trace-out")?));
+            } else if arg == "--bin-dir" || arg.starts_with("--bin-dir=") {
+                opts.bin_dir = Some(PathBuf::from(take("--bin-dir")?));
+            } else if arg == "--store" || arg.starts_with("--store=") {
+                opts.store = Some(take("--store")?);
             } else if arg == "--explain" {
                 opts.explain = true;
             } else if arg == "--stats" {
@@ -115,6 +145,7 @@ fn main() {
             }
         },
         Some("repl") => repl(),
+        Some("cache") => cache(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -182,12 +213,35 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
             return 1;
         }
     };
-    let bin_dir = dir.join(".smlsc-bins");
+    let bin_dir = opts
+        .bin_dir
+        .clone()
+        .unwrap_or_else(|| dir.join(".smlsc-bins"));
     let mut irm = Irm::new(opts.strategy);
+    if let Some(store_dir) = resolve_store(&opts.store) {
+        match Store::open(&store_dir) {
+            Ok(store) => irm.set_store(Arc::new(store)),
+            Err(e) => {
+                // A requested-but-unusable store is a hard error: the
+                // user asked for shared caching and silently building
+                // without it would hide misconfiguration.
+                eprintln!("error: cannot open store {}: {e}", store_dir.display());
+                return 1;
+            }
+        }
+    }
     if bin_dir.is_dir() {
         match irm.load_bins(&bin_dir) {
-            Ok(n) if n > 0 => println!("loaded {n} cached bin(s)"),
-            Ok(_) => {}
+            Ok(outcome) => {
+                // A corrupt bin downgrades that unit to a recompile;
+                // the build continues with whatever loaded cleanly.
+                for (path, e) in &outcome.corrupt {
+                    eprintln!("warning: ignoring corrupt bin {}: {e}", path.display());
+                }
+                if outcome.loaded > 0 {
+                    println!("loaded {} cached bin(s)", outcome.loaded);
+                }
+            }
             Err(e) => eprintln!("warning: ignoring bin cache: {e}"),
         }
     }
@@ -202,12 +256,18 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
     for (unit, w) in &report.warnings {
         eprintln!("{unit}: {w}");
     }
+    let store_suffix = if irm.store().is_some() {
+        format!(", {} from store", report.store_hits.len())
+    } else {
+        String::new()
+    };
     println!(
-        "built {} unit(s) [{}]: {} recompiled, {} reused",
+        "built {} unit(s) [{}]: {} recompiled, {} reused{}",
         report.order.len(),
         report.strategy,
         report.recompiled.len(),
-        report.reused.len()
+        report.reused.len(),
+        store_suffix
     );
     if opts.explain {
         for (unit, decision) in &report.decisions {
@@ -246,6 +306,124 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
         }
     }
     0
+}
+
+/// `smlsc cache <stats|gc|verify|clear>`: operate on a shared store.
+fn cache(args: &[String]) -> i32 {
+    let Some(op) = args.first().map(String::as_str) else {
+        eprintln!("usage: smlsc cache <stats|gc|verify|clear> [--store <dir>] [--max-bytes <n>] [--max-age-secs <n>]");
+        return 2;
+    };
+    let mut store_flag: Option<String> = None;
+    let mut config = GcConfig::default();
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            match arg.strip_prefix(&format!("{flag}=")) {
+                Some(v) => Ok(v.to_string()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value")),
+            }
+        };
+        let parsed = if arg == "--store" || arg.starts_with("--store=") {
+            take("--store").map(|v| store_flag = Some(v))
+        } else if arg == "--max-bytes" || arg.starts_with("--max-bytes=") {
+            take("--max-bytes").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_bytes = Some(n))
+                    .map_err(|_| format!("--max-bytes expects an integer, got `{v}`"))
+            })
+        } else if arg == "--max-age-secs" || arg.starts_with("--max-age-secs=") {
+            take("--max-age-secs").and_then(|v| {
+                v.parse()
+                    .map(|n| config.max_age = Some(Duration::from_secs(n)))
+                    .map_err(|_| format!("--max-age-secs expects an integer, got `{v}`"))
+            })
+        } else {
+            Err(format!("unknown option `{arg}`"))
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    }
+    let Some(store_dir) = resolve_store(&store_flag) else {
+        eprintln!("error: no store given (use --store <dir> or set SMLSC_STORE)");
+        return 2;
+    };
+    let store = match Store::open(&store_dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot open store {}: {e}", store_dir.display());
+            return 1;
+        }
+    };
+    match op {
+        "stats" => match store.stats() {
+            Ok(s) => {
+                println!(
+                    "store {}: {} object(s), {} bytes, {} quarantined, journal {} bytes",
+                    store_dir.display(),
+                    s.objects,
+                    s.bytes,
+                    s.quarantined,
+                    s.journal_bytes
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        "gc" => match store.gc(&config) {
+            Ok(r) => {
+                println!(
+                    "gc: examined {} object(s), evicted {}, {} -> {} bytes, purged {} quarantined",
+                    r.examined, r.evicted, r.bytes_before, r.bytes_after, r.quarantine_purged
+                );
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        "verify" => match store.verify() {
+            Ok(r) => {
+                println!(
+                    "verify: checked {} object(s), {} corrupt",
+                    r.checked,
+                    r.corrupt.len()
+                );
+                for key in &r.corrupt {
+                    println!("  quarantined {key}");
+                }
+                i32::from(!r.corrupt.is_empty())
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        "clear" => match store.clear() {
+            Ok(n) => {
+                println!("cleared {n} object(s)");
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        other => {
+            eprintln!("error: unknown cache operation `{other}`");
+            eprintln!("usage: smlsc cache <stats|gc|verify|clear>");
+            2
+        }
+    }
 }
 
 fn repl() -> i32 {

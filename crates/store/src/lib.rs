@@ -1,0 +1,480 @@
+//! `smlsc-store`: a content-addressed, shared, crash-safe artifact
+//! store for compiled units.
+//!
+//! The paper's intrinsic pids (§5) are exactly cache keys: a unit's
+//! compilation result is fully determined by its source digest plus the
+//! export pids of its imports, so compiled bins can be shared across
+//! projects, sessions, and concurrent builds.  This crate is that share
+//! point — a directory any number of builders (threads *and* processes)
+//! read and write simultaneously:
+//!
+//! * **Cache keys** ([`cache_key`]): `digest(key-schema ‖ bin-format
+//!   version ‖ source pid ‖ sorted import export-pids)`.  Equal keys
+//!   mean equal compile inputs, so an object found under a key *is* the
+//!   compile result.
+//! * **Fanout layout**: objects live at `objects/<aa>/<rest>.obj` where
+//!   `aa` is the first two hex digits of the key — bounded directory
+//!   sizes at production object counts.
+//! * **Atomic publication**: writers stage into `tmp/` and `rename(2)`
+//!   into place, so readers never observe a torn object and concurrent
+//!   identical publishes are idempotent.
+//! * **Advisory locking** ([`lock`]): per-key lock files serialize
+//!   publish/evict races across processes; stale locks (crashed owners)
+//!   are broken by age.
+//! * **Digest verification on every read**: each object embeds a digest
+//!   of its payload; a mismatch (bit rot, torn write from a pre-atomic
+//!   writer) moves the object to `quarantine/` and reports a miss — the
+//!   caller recompiles transparently and the store never serves corrupt
+//!   bytes.
+//! * **Journal-driven LRU GC** ([`journal`], [`gc`]): an append-only
+//!   access journal records puts and hits; [`Store::gc`] evicts by age
+//!   and least-recent-access size pressure, then compacts the journal.
+//!   The journal is advisory — a torn tail line (crash mid-append) is
+//!   skipped and the object scan remains the ground truth.
+//!
+//! # Examples
+//!
+//! ```
+//! use smlsc_ids::Pid;
+//! use smlsc_store::{cache_key, Store};
+//!
+//! let dir = std::env::temp_dir().join(format!("smlsc-store-doc-{}", std::process::id()));
+//! let store = Store::open(&dir).unwrap();
+//! let key = cache_key(Pid::of_bytes(b"source"), &[Pid::of_bytes(b"import")], 1);
+//! assert!(store.get(key).is_none());
+//! store.put(key, b"compiled unit bytes").unwrap();
+//! assert_eq!(store.get(key).as_deref(), Some(&b"compiled unit bytes"[..]));
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gc;
+pub mod journal;
+pub mod lock;
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use smlsc_ids::{Digest128, Pid};
+use smlsc_trace::{self as trace, names};
+
+pub use gc::{GcConfig, GcReport, StoreStats, VerifyReport};
+pub use journal::{Journal, JournalOp};
+pub use lock::LockGuard;
+
+/// Version of the key derivation itself; bumping it invalidates every
+/// key without touching on-disk objects.
+pub const KEY_SCHEMA_VERSION: u32 = 1;
+
+/// Version of the store's on-disk layout, recorded in a `VERSION` file
+/// at the root; a store of a different layout version refuses to open.
+pub const LAYOUT_VERSION: u32 = 1;
+
+/// Magic prefix of every object file.
+const OBJ_MAGIC: &[u8; 8] = b"SMLSTOR1";
+
+/// How old a lock file must be before it is presumed abandoned (its
+/// owner crashed) and broken.
+const LOCK_STALE: Duration = Duration::from_secs(10);
+
+/// How long an acquirer spins on a held lock before giving up.
+const LOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Derives the cache key for one unit compilation: the digest of the
+/// key-schema version, the consumer's bin-format version, the unit's
+/// source pid, and the *sorted* export pids of its imports.
+///
+/// Sorting makes the key independent of import slot order; the slot
+/// assignment itself is a function of the source text, which the source
+/// pid already covers.
+pub fn cache_key(source_pid: Pid, import_export_pids: &[Pid], format_version: u32) -> Pid {
+    let mut d = Digest128::new();
+    d.write_tag(0xC5);
+    d.write_u64(u64::from(KEY_SCHEMA_VERSION));
+    d.write_u64(u64::from(format_version));
+    d.write_pid(source_pid);
+    let mut pids = import_export_pids.to_vec();
+    pids.sort_unstable();
+    d.write_u64(pids.len() as u64);
+    for p in pids {
+        d.write_pid(p);
+    }
+    d.finish_pid()
+}
+
+/// Nanoseconds since the Unix epoch (0 if the clock is unset).
+pub(crate) fn now_nanos() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Any error from the artifact store.
+#[derive(Debug, Clone)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error message.
+        error: String,
+    },
+    /// The store directory has an incompatible layout version.
+    LayoutVersion {
+        /// The version found on disk.
+        found: String,
+        /// The version this build expects.
+        expected: u32,
+    },
+    /// A lock could not be acquired before the timeout.
+    LockTimeout(PathBuf),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            StoreError::LayoutVersion { found, expected } => write!(
+                f,
+                "store layout version `{found}` is not the supported `{expected}`"
+            ),
+            StoreError::LockTimeout(p) => {
+                write!(f, "timed out waiting for lock {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+pub(crate) fn io_err(path: &Path, e: impl fmt::Display) -> StoreError {
+    StoreError::Io {
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    }
+}
+
+/// A content-addressed artifact store rooted at a directory.
+///
+/// Cheap to clone conceptually (it holds only paths); open one per
+/// process and share it behind an `Arc` across builder threads.
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    journal: Journal,
+}
+
+impl Store {
+    /// Opens (creating if necessary) the store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures, or
+    /// [`StoreError::LayoutVersion`] when `root` holds a store of an
+    /// incompatible layout.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let root = root.into();
+        for sub in ["objects", "tmp", "locks", "quarantine"] {
+            let dir = root.join(sub);
+            std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        }
+        let version_file = root.join("VERSION");
+        match std::fs::read_to_string(&version_file) {
+            Ok(v) => {
+                if v.trim() != LAYOUT_VERSION.to_string() {
+                    return Err(StoreError::LayoutVersion {
+                        found: v.trim().to_string(),
+                        expected: LAYOUT_VERSION,
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                std::fs::write(&version_file, format!("{LAYOUT_VERSION}\n"))
+                    .map_err(|e| io_err(&version_file, e))?;
+            }
+            Err(e) => return Err(io_err(&version_file, e)),
+        }
+        let journal = Journal::new(root.join("journal.log"));
+        Ok(Store { root, journal })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The store's access journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    pub(crate) fn objects_dir(&self) -> PathBuf {
+        self.root.join("objects")
+    }
+
+    pub(crate) fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// The object path for a key: two-level fanout on the first two hex
+    /// digits, bounding any one directory's entry count.
+    pub fn object_path(&self, key: Pid) -> PathBuf {
+        let hex = key_hex(key);
+        self.objects_dir()
+            .join(&hex[..2])
+            .join(format!("{}.obj", &hex[2..]))
+    }
+
+    fn lock_path(&self, name: &str) -> PathBuf {
+        self.root.join("locks").join(format!("{name}.lock"))
+    }
+
+    /// Acquires the advisory lock guarding one key's publish/evict
+    /// critical section.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::LockTimeout`] if a (live) holder never releases.
+    pub fn key_lock(&self, key: Pid) -> Result<LockGuard, StoreError> {
+        lock::acquire(&self.lock_path(&key_hex(key)), LOCK_STALE, LOCK_TIMEOUT)
+    }
+
+    /// Acquires the store-wide lock serializing GC/clear sweeps.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::LockTimeout`] if a (live) holder never releases.
+    pub fn gc_lock(&self) -> Result<LockGuard, StoreError> {
+        lock::acquire(&self.lock_path("gc"), LOCK_STALE, LOCK_TIMEOUT)
+    }
+
+    /// True when an object is present under `key` (no verification).
+    pub fn contains(&self, key: Pid) -> bool {
+        self.object_path(key).is_file()
+    }
+
+    /// Fetches the payload stored under `key`, verifying its embedded
+    /// digest.
+    ///
+    /// Returns `None` — a miss — when no object exists, when any
+    /// filesystem read fails, or when verification fails; a failed
+    /// verification also moves the object to `quarantine/` so it is
+    /// never served (or re-read) again.  The caller's contract is
+    /// simply: a `Some` payload is bit-exact what some publisher
+    /// [`Store::put`].
+    pub fn get(&self, key: Pid) -> Option<Vec<u8>> {
+        let _span = trace::span(names::SPAN_STORE_GET);
+        let path = self.object_path(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                trace::counter(names::STORE_MISSES, 1);
+                return None;
+            }
+        };
+        match decode_object(&bytes) {
+            Some(payload) => {
+                trace::counter(names::STORE_HITS, 1);
+                trace::counter(names::STORE_BYTES_READ, payload.len() as u64);
+                self.journal
+                    .append(JournalOp::Get, &key_hex(key), payload.len() as u64);
+                Some(payload.to_vec())
+            }
+            None => {
+                self.quarantine(key);
+                trace::counter(names::STORE_MISSES, 1);
+                None
+            }
+        }
+    }
+
+    /// Publishes `payload` under `key`: stages the enveloped object in
+    /// `tmp/`, fsyncs it, and renames it into place under the per-key
+    /// lock.  Returns `false` when an object was already present (the
+    /// publish was a no-op).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] or [`StoreError::LockTimeout`].
+    pub fn put(&self, key: Pid, payload: &[u8]) -> Result<bool, StoreError> {
+        let _span = trace::span(names::SPAN_STORE_PUT);
+        let hex = key_hex(key);
+        let final_path = self.object_path(key);
+        let _lock = self.key_lock(key)?;
+        if final_path.is_file() {
+            // An identical publish already landed (equal keys ⇒ equal
+            // compile inputs); keep the incumbent.
+            return Ok(false);
+        }
+        let fan_dir = final_path.parent().expect("object paths have a fan dir");
+        std::fs::create_dir_all(fan_dir).map_err(|e| io_err(fan_dir, e))?;
+        let tmp = self
+            .root
+            .join("tmp")
+            .join(format!("{hex}.{}.{}", std::process::id(), tmp_seq()));
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(OBJ_MAGIC).map_err(|e| io_err(&tmp, e))?;
+            f.write_all(&Pid::of_bytes(payload).as_raw().to_le_bytes())
+                .map_err(|e| io_err(&tmp, e))?;
+            f.write_all(payload).map_err(|e| io_err(&tmp, e))?;
+            f.sync_all().map_err(|e| io_err(&tmp, e))?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &final_path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(io_err(&final_path, e));
+        }
+        trace::counter(names::STORE_BYTES_WRITTEN, payload.len() as u64);
+        self.journal
+            .append(JournalOp::Put, &hex, payload.len() as u64);
+        Ok(true)
+    }
+
+    /// Moves the object under `key` (if any) into `quarantine/`,
+    /// stamping the quarantined file with the time so repeat offenders
+    /// do not collide.  Best-effort: failures fall back to deleting the
+    /// object so it can never be served.
+    pub fn quarantine(&self, key: Pid) {
+        let hex = key_hex(key);
+        let path = self.object_path(key);
+        let _lock = self.key_lock(key).ok();
+        if !path.is_file() {
+            return;
+        }
+        trace::counter(names::STORE_QUARANTINED, 1);
+        trace::event(names::STORE_QUARANTINE_EVENT).field("key", &hex);
+        let dest = self
+            .quarantine_dir()
+            .join(format!("{hex}.{}.obj", now_nanos()));
+        if std::fs::rename(&path, &dest).is_err() {
+            std::fs::remove_file(&path).ok();
+        }
+        self.journal.append(JournalOp::Quarantine, &hex, 0);
+    }
+}
+
+/// The 32-hex-digit form of a key.
+pub fn key_hex(key: Pid) -> String {
+    format!("{:032x}", key.as_raw())
+}
+
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique staging suffix (pid alone is not enough: builder
+/// threads publish concurrently).
+fn tmp_seq() -> u64 {
+    TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Validates an object envelope, returning the payload iff the magic
+/// matches and the embedded digest equals the payload's digest.
+fn decode_object(bytes: &[u8]) -> Option<&[u8]> {
+    let rest = bytes.strip_prefix(OBJ_MAGIC.as_slice())?;
+    if rest.len() < 16 {
+        return None;
+    }
+    let (digest_bytes, payload) = rest.split_at(16);
+    let stored = u128::from_le_bytes(digest_bytes.try_into().ok()?);
+    if Pid::of_bytes(payload).as_raw() != stored {
+        return None;
+    }
+    Some(payload)
+}
+
+/// Verifies one object file's envelope in place (used by `verify` and
+/// GC integrity sweeps).
+pub(crate) fn object_file_is_valid(path: &Path) -> bool {
+    match std::fs::read(path) {
+        Ok(bytes) => decode_object(&bytes).is_some(),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "smlsc-store-unit-{tag}-{}-{}",
+            std::process::id(),
+            tmp_seq()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn key_is_order_independent_but_content_sensitive() {
+        let s = Pid::of_bytes(b"source");
+        let a = Pid::of_bytes(b"a");
+        let b = Pid::of_bytes(b"b");
+        assert_eq!(cache_key(s, &[a, b], 1), cache_key(s, &[b, a], 1));
+        assert_ne!(cache_key(s, &[a, b], 1), cache_key(s, &[a], 1));
+        assert_ne!(cache_key(s, &[a, b], 1), cache_key(s, &[a, b], 2));
+        assert_ne!(
+            cache_key(s, &[a, b], 1),
+            cache_key(Pid::of_bytes(b"other"), &[a, b], 1)
+        );
+    }
+
+    #[test]
+    fn put_get_round_trip_and_idempotent_publish() {
+        let root = tmp_root("roundtrip");
+        let store = Store::open(&root).unwrap();
+        let key = Pid::of_bytes(b"k");
+        assert!(!store.contains(key));
+        assert!(store.put(key, b"payload").unwrap());
+        assert!(
+            !store.put(key, b"payload").unwrap(),
+            "second put is a no-op"
+        );
+        assert!(store.contains(key));
+        assert_eq!(store.get(key).as_deref(), Some(&b"payload"[..]));
+        // Staging area is drained after publication.
+        let tmp_entries = std::fs::read_dir(root.join("tmp")).unwrap().count();
+        assert_eq!(tmp_entries, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn corrupt_object_is_quarantined_not_served() {
+        let root = tmp_root("quarantine");
+        let store = Store::open(&root).unwrap();
+        let key = Pid::of_bytes(b"k");
+        store.put(key, b"payload").unwrap();
+        // Flip a payload bit behind the store's back.
+        let path = store.object_path(key);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(store.get(key).is_none(), "corrupt object must miss");
+        assert!(!store.contains(key), "corrupt object must be removed");
+        let quarantined = std::fs::read_dir(root.join("quarantine")).unwrap().count();
+        assert_eq!(quarantined, 1);
+        // The slot is usable again.
+        assert!(store.put(key, b"payload").unwrap());
+        assert_eq!(store.get(key).as_deref(), Some(&b"payload"[..]));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn version_mismatch_refuses_to_open() {
+        let root = tmp_root("version");
+        Store::open(&root).unwrap();
+        std::fs::write(root.join("VERSION"), "999\n").unwrap();
+        assert!(matches!(
+            Store::open(&root),
+            Err(StoreError::LayoutVersion { .. })
+        ));
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

@@ -1,0 +1,157 @@
+//! Advisory file locks shared by threads and processes.
+//!
+//! A lock is a file created with `O_CREAT|O_EXCL` (`create_new`) — the
+//! one primitive that is atomic on every platform and filesystem std
+//! reaches.  Whoever creates the file owns the lock; dropping the guard
+//! removes it.  Crash safety comes from *staleness*: a lock file whose
+//! mtime is older than a bound is presumed abandoned (its owner died
+//! mid-critical-section) and is broken by the next acquirer.  Critical
+//! sections guarded here are short — a rename or an unlink — so a live
+//! owner never looks stale.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+use crate::{io_err, StoreError};
+
+/// An acquired advisory lock; released (the lock file unlinked) on drop.
+#[derive(Debug)]
+pub struct LockGuard {
+    path: PathBuf,
+}
+
+impl LockGuard {
+    /// The lock file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Acquires the lock at `path`, breaking locks older than
+/// `stale_after`, giving up after `timeout`.
+///
+/// # Errors
+///
+/// [`StoreError::LockTimeout`] when a live holder outlasts `timeout`;
+/// [`StoreError::Io`] when the lock file cannot be created for any
+/// reason other than contention.
+pub fn acquire(
+    path: &Path,
+    stale_after: Duration,
+    timeout: Duration,
+) -> Result<LockGuard, StoreError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+        {
+            Ok(mut f) => {
+                use std::io::Write as _;
+                let _ = writeln!(f, "{}", std::process::id());
+                return Ok(LockGuard {
+                    path: path.to_path_buf(),
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                if lock_is_stale(path, stale_after) {
+                    // The owner crashed; break the lock and retry.  A
+                    // racing breaker is fine — both remove, one of the
+                    // subsequent create_new calls wins.
+                    std::fs::remove_file(path).ok();
+                    continue;
+                }
+                if Instant::now() >= deadline {
+                    return Err(StoreError::LockTimeout(path.to_path_buf()));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // The locks directory itself is missing (fresh root or
+                // concurrent clear); recreate and retry.
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent).map_err(|err| io_err(parent, err))?;
+                }
+            }
+            Err(e) => return Err(io_err(path, e)),
+        }
+    }
+}
+
+/// True when the lock file's mtime is older than `stale_after` (a
+/// vanished file is "stale" too: the next create_new attempt decides).
+fn lock_is_stale(path: &Path, stale_after: Duration) -> bool {
+    match std::fs::metadata(path).and_then(|m| m.modified()) {
+        Ok(mtime) => SystemTime::now()
+            .duration_since(mtime)
+            .is_ok_and(|age| age > stale_after),
+        Err(_) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_lock(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smlsc-lock-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("t.lock")
+    }
+
+    #[test]
+    fn exclusive_within_and_released_on_drop() {
+        let path = tmp_lock("excl");
+        std::fs::remove_file(&path).ok();
+        let g = acquire(&path, Duration::from_secs(10), Duration::from_secs(5)).unwrap();
+        // A second acquirer times out while the guard is alive.
+        let err = acquire(&path, Duration::from_secs(10), Duration::from_millis(30));
+        assert!(matches!(err, Err(StoreError::LockTimeout(_))));
+        drop(g);
+        // And succeeds after release.
+        let g2 = acquire(&path, Duration::from_secs(10), Duration::from_secs(5)).unwrap();
+        drop(g2);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn stale_lock_is_broken() {
+        let path = tmp_lock("stale");
+        std::fs::remove_file(&path).ok();
+        std::fs::write(&path, "dead-owner").unwrap();
+        // stale_after of zero: any existing lock is presumed abandoned.
+        let g = acquire(&path, Duration::ZERO, Duration::from_secs(5)).unwrap();
+        drop(g);
+    }
+
+    #[test]
+    fn contended_threads_serialize() {
+        let path = tmp_lock("contend");
+        std::fs::remove_file(&path).ok();
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let path = path.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let _g = acquire(&path, Duration::from_secs(10), Duration::from_secs(30))
+                            .unwrap();
+                        // Non-atomic read-modify-write under the lock.
+                        let v = counter.load(std::sync::atomic::Ordering::SeqCst);
+                        std::thread::yield_now();
+                        counter.store(v + 1, std::sync::atomic::Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 80);
+    }
+}

@@ -49,6 +49,15 @@ pub enum RebuildDecision {
     },
     /// Nothing relevant changed; the existing bin is reused as-is.
     Reused,
+    /// The strategy demanded a recompile, but a shared artifact store
+    /// held a verified object for the unit's exact compile inputs; the
+    /// unit was rehydrated from the store instead of being compiled.
+    StoreHit {
+        /// The cache key the store satisfied.
+        key: String,
+        /// The verdict that would otherwise have caused a compile.
+        cause: Box<RebuildDecision>,
+    },
 }
 
 impl RebuildDecision {
@@ -59,7 +68,9 @@ impl RebuildDecision {
             | RebuildDecision::SourceChanged { .. }
             | RebuildDecision::ImportPidChanged { .. }
             | RebuildDecision::DependencyRebuilt { .. } => true,
-            RebuildDecision::CutOff { .. } | RebuildDecision::Reused => false,
+            RebuildDecision::CutOff { .. }
+            | RebuildDecision::Reused
+            | RebuildDecision::StoreHit { .. } => false,
         }
     }
 
@@ -72,6 +83,7 @@ impl RebuildDecision {
             RebuildDecision::DependencyRebuilt { .. } => "dependency_rebuilt",
             RebuildDecision::CutOff { .. } => "cutoff",
             RebuildDecision::Reused => "reused",
+            RebuildDecision::StoreHit { .. } => "store_hit",
         }
     }
 
@@ -92,6 +104,9 @@ impl RebuildDecision {
             }
             RebuildDecision::CutOff { import, export_pid } => {
                 o.str("import", import).str("export_pid", export_pid);
+            }
+            RebuildDecision::StoreHit { key, cause } => {
+                o.str("key", key).str("cause", cause.kind());
             }
         }
         o.finish()
@@ -118,6 +133,9 @@ impl fmt::Display for RebuildDecision {
                 "cut off: import `{import}` was rebuilt but its export pid {export_pid} is unchanged"
             ),
             RebuildDecision::Reused => write!(f, "reused: no relevant change"),
+            RebuildDecision::StoreHit { key, cause } => {
+                write!(f, "from store (key {key}), instead of: {cause}")
+            }
         }
     }
 }

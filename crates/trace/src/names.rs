@@ -27,6 +27,26 @@ pub const BIN_BYTES_WRITTEN: &str = "irm.bin_bytes_written";
 /// Bytes read by `load_bins`.
 pub const BIN_BYTES_READ: &str = "irm.bin_bytes_read";
 
+/// Artifact-store hits: a recompile verdict satisfied by a verified
+/// store object instead of a compile.
+pub const STORE_HITS: &str = "store.hit";
+/// Artifact-store misses (no object, unreadable, or failed verification).
+pub const STORE_MISSES: &str = "store.miss";
+/// Objects evicted by store garbage collection.
+pub const STORE_EVICTIONS: &str = "store.evict";
+/// Payload bytes served by verified store reads.
+pub const STORE_BYTES_READ: &str = "store.bytes_read";
+/// Payload bytes published into the store.
+pub const STORE_BYTES_WRITTEN: &str = "store.bytes_written";
+/// Objects that failed digest verification and were quarantined.
+pub const STORE_QUARANTINED: &str = "store.quarantined";
+/// Event: one per quarantined object, with its `key`.
+pub const STORE_QUARANTINE_EVENT: &str = "store.quarantine";
+/// Event: a store object matched the key but failed semantic validation
+/// against the requesting unit (e.g. a different unit name); treated as
+/// a miss without quarantining.
+pub const STORE_REJECT_EVENT: &str = "store.reject";
+
 /// Nodes visited while dehydrating (pickling) export environments.
 pub const PICKLE_NODES: &str = "pickle.nodes";
 /// Import stubs emitted while dehydrating.
@@ -65,3 +85,9 @@ pub const SPAN_ELABORATE: &str = "compile.elaborate";
 pub const SPAN_HASH: &str = "compile.hash";
 /// Span: dehydrate phase of one unit's compile.
 pub const SPAN_DEHYDRATE: &str = "compile.dehydrate";
+/// Span: one artifact-store probe (read + verify).
+pub const SPAN_STORE_GET: &str = "store.get";
+/// Span: one artifact-store publication (stage + fsync + rename).
+pub const SPAN_STORE_PUT: &str = "store.put";
+/// Span: one store garbage-collection sweep.
+pub const SPAN_STORE_GC: &str = "store.gc";

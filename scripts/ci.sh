@@ -24,11 +24,33 @@ cargo test -q --workspace
 echo "==> parallel equivalence (wavefront scheduler, jobs > 1)"
 cargo test -q --test parallel
 
+echo "==> corruption recovery + concurrent store sharing"
+cargo test -q --test corruption
+cargo test -q --test store_concurrency
+cargo test -q -p smlsc --test cache_cli
+
 echo "==> smlsc build --jobs 4 smoke"
 d=$(mktemp -d)
 trap 'rm -rf "$d"' EXIT
 printf 'structure Util = struct fun inc x = x + 1 end\n' > "$d/util.sml"
 printf 'structure Main = struct val v = Util.inc 41 end\n' > "$d/main.sml"
 ./target/release/smlsc build --jobs 4 --explain "$d"
+
+echo "==> artifact-store two-pass cache smoke"
+# Pass 1 populates the store; wiping the project's bins makes pass 2 a
+# cold session that must be served entirely from the store: the stats
+# JSON shows store hits and no unit compiles at all.
+store="$d/store"
+rm -rf "$d/.smlsc-bins"   # the --jobs smoke above already built this dir
+./target/release/smlsc build --store "$store" "$d"
+rm -rf "$d/.smlsc-bins"
+stats=$(./target/release/smlsc build --stats --store "$store" "$d" | grep '^{')
+echo "$stats" | grep -q '"store.hit":2' \
+  || { echo "error: warm-store rebuild was not all store hits: $stats" >&2; exit 1; }
+if echo "$stats" | grep -q '"irm.units_compiled"'; then
+  echo "error: warm-store rebuild compiled units: $stats" >&2; exit 1
+fi
+./target/release/smlsc cache verify --store "$store"
+./target/release/smlsc cache stats --store "$store"
 
 echo "ci: all green"

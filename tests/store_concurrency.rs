@@ -1,0 +1,135 @@
+//! Concurrent builders sharing one artifact store: in-process threads
+//! racing on the same keys must leave a consistent store and agree on
+//! every export pid.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use smlsc_core::irm::{Irm, Project, Strategy};
+use smlsc_core::store::{GcConfig, Store};
+use smlsc_ids::Pid;
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smlsc-conc-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn project() -> Project {
+    let mut p = Project::new();
+    p.add("base", "structure Base = struct val n = 10 end");
+    for m in ["a", "b", "c", "d"] {
+        p.add(
+            format!("mid_{m}"),
+            format!("structure Mid_{m} = struct val v = Base.n + 1 end"),
+        );
+    }
+    p.add(
+        "top",
+        "structure Top = struct val s = Mid_a.v + Mid_b.v + Mid_c.v + Mid_d.v end",
+    );
+    p
+}
+
+const UNITS: [&str; 6] = ["base", "mid_a", "mid_b", "mid_c", "mid_d", "top"];
+
+fn export_pids(irm: &Irm) -> Vec<(String, Pid)> {
+    let mut pids: Vec<(String, Pid)> = UNITS
+        .iter()
+        .map(|n| (n.to_string(), irm.bin(n).unwrap().unit.export_pid))
+        .collect();
+    pids.sort();
+    pids
+}
+
+#[test]
+fn racing_cold_builders_share_one_store_consistently() {
+    let root = temp_store("race");
+    let store = Arc::new(Store::open(&root).unwrap());
+
+    // Several cold sessions build the same project at once, all racing
+    // to publish the same six keys. Whoever loses a race either finds
+    // the object already present or fetches it; nobody corrupts it.
+    let sessions: Vec<Irm> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|j| {
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let p = project();
+                    let mut irm = Irm::with_store(Strategy::Cutoff, store);
+                    irm.build_with_jobs(&p, 1 + j % 3).unwrap();
+                    irm
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // All sessions agree on every pid.
+    let reference = export_pids(&sessions[0]);
+    for irm in &sessions[1..] {
+        assert_eq!(export_pids(irm), reference);
+    }
+
+    // The store holds exactly one object per unit, all valid.
+    let stats = store.stats().unwrap();
+    assert_eq!(stats.objects, UNITS.len());
+    let verify = store.verify().unwrap();
+    assert_eq!(verify.checked, UNITS.len());
+    assert!(verify.corrupt.is_empty(), "{:?}", verify.corrupt);
+
+    // No stray staging or lock files survive.
+    let leftovers = |sub: &str| std::fs::read_dir(root.join(sub)).unwrap().count();
+    assert_eq!(leftovers("tmp"), 0, "staging files leaked");
+    assert_eq!(leftovers("locks"), 0, "lock files leaked");
+
+    // A final cold session rides entirely on the contested store.
+    let mut cold = Irm::with_store(Strategy::Cutoff, Arc::clone(&store));
+    let report = cold.build(&project()).unwrap();
+    assert!(report.recompiled.is_empty(), "{:?}", report.recompiled);
+    assert_eq!(report.store_hits.len(), UNITS.len());
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn gc_during_use_never_serves_a_corrupt_or_stale_object() {
+    let root = temp_store("gc");
+    let store = Arc::new(Store::open(&root).unwrap());
+
+    // Warm the store, then run builders and a capped GC concurrently.
+    let mut warm = Irm::with_store(Strategy::Cutoff, Arc::clone(&store));
+    warm.build(&project()).unwrap();
+    let reference = export_pids(&warm);
+
+    std::thread::scope(|scope| {
+        let gc_store = Arc::clone(&store);
+        scope.spawn(move || {
+            for _ in 0..5 {
+                // Tight cap: evicts most of the store every sweep.
+                gc_store
+                    .gc(&GcConfig {
+                        max_bytes: Some(256),
+                        max_age: None,
+                    })
+                    .unwrap();
+                std::thread::yield_now();
+            }
+        });
+        for _ in 0..2 {
+            let store = Arc::clone(&store);
+            let reference = reference.clone();
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let mut irm = Irm::with_store(Strategy::Cutoff, Arc::clone(&store));
+                    irm.build(&project()).unwrap();
+                    assert_eq!(export_pids(&irm), reference);
+                }
+            });
+        }
+    });
+
+    // Whatever survived eviction is intact.
+    let verify = store.verify().unwrap();
+    assert!(verify.corrupt.is_empty(), "{:?}", verify.corrupt);
+    std::fs::remove_dir_all(&root).ok();
+}
