@@ -48,6 +48,26 @@
 //! export pids, the same [`RebuildDecision`] per unit, and a
 //! [`BuildReport`] in topological order regardless of completion order.
 //! `jobs <= 1` takes the sequential loop verbatim.
+//!
+//! # Fault tolerance
+//!
+//! Builds survive bad units and bad infrastructure:
+//!
+//! * **Keep-going scheduling** ([`FailurePolicy::KeepGoing`], `smlsc
+//!   build -k`): a failing unit fails, its transitive dependents are
+//!   marked [`UnitOutcome::Skipped`] with the imports that blocked
+//!   them, and every independent unit still builds — in both the
+//!   sequential and the wavefront schedule, with identical failed and
+//!   skipped sets (the skip closure is a pure function of the failed
+//!   set over the import DAG).
+//! * **Panic isolation**: each unit's fallible work runs under a
+//!   [`std::panic::catch_unwind`] guard.  A compiler panic becomes
+//!   [`CoreError::Internal`] for that one unit (payload captured into
+//!   an `irm.unit_panic` trace event); the build — and in parallel
+//!   builds, the worker pool — keeps running.
+//! * **Fault points**: `compile.unit`, `bin.save` and `bin.load` are
+//!   named `smlsc_faults` injection points, so chaos suites can
+//!   deterministically fail, tear, stall or crash any unit.
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
@@ -55,6 +75,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use smlsc_faults::{self as faults, points, FaultKind};
 use smlsc_ids::{Pid, Symbol};
 use smlsc_pickle::{rehydrate, RehydrateContext};
 use smlsc_statics::env::Bindings;
@@ -264,6 +285,42 @@ impl std::str::FromStr for Strategy {
     }
 }
 
+/// How a build responds to a failing unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Stop at the first failure in topological order (the default):
+    /// the build returns the error and the bin store is left exactly as
+    /// the sequential loop would have left it at that point.
+    #[default]
+    FailFast,
+    /// `make -k`: a failing unit fails, its transitive dependents are
+    /// skipped, and every independent unit still builds.  The build
+    /// returns `Ok` with failures and skips recorded in the report.
+    KeepGoing,
+}
+
+/// What happened to one unit in a build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UnitOutcome {
+    /// Compiled fresh.
+    Compiled,
+    /// Reused as-is (no recompile needed).
+    Reused,
+    /// Recompile verdict satisfied by the shared artifact store.
+    StoreHit,
+    /// The unit's compile failed.
+    Failed {
+        /// The rendered [`CoreError`] (the error itself is in
+        /// [`BuildReport::failed`]).
+        error: String,
+    },
+    /// Not attempted: a direct import failed or was itself skipped.
+    Skipped {
+        /// The direct imports that blocked it, in import order.
+        blocked_on: Vec<Symbol>,
+    },
+}
+
 /// What one [`Irm::build`] did.
 #[derive(Debug, Clone, Default)]
 pub struct BuildReport {
@@ -287,6 +344,15 @@ pub struct BuildReport {
     pub rehydrate: Duration,
     /// Elaboration warnings, per unit.
     pub warnings: Vec<(Symbol, String)>,
+    /// Per-unit outcome in build order — including, under
+    /// [`FailurePolicy::KeepGoing`], failed and skipped units.
+    pub outcomes: Vec<(Symbol, UnitOutcome)>,
+    /// Units whose compile failed, with the error.  Populated only by
+    /// keep-going builds; fail-fast builds return the error instead.
+    pub failed: Vec<(Symbol, CoreError)>,
+    /// Units never attempted because a transitive import failed
+    /// (keep-going builds).
+    pub skipped: Vec<Symbol>,
 }
 
 impl BuildReport {
@@ -316,6 +382,27 @@ impl BuildReport {
             .iter()
             .map(|(n, d)| (n.as_str().to_string(), d.kind()))
             .collect()
+    }
+
+    /// Did every unit build?  `false` iff a keep-going build recorded
+    /// any failure or skip.
+    pub fn succeeded(&self) -> bool {
+        self.failed.is_empty() && self.skipped.is_empty()
+    }
+
+    /// The outcome recorded for `name`, if it was in the build.
+    pub fn outcome_for(&self, name: &str) -> Option<&UnitOutcome> {
+        let name = Symbol::intern(name);
+        self.outcomes
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, o)| o)
+    }
+
+    /// True when any recorded failure is an internal (compiler-bug)
+    /// error — the CLI maps these to a distinct exit code.
+    pub fn any_internal_failure(&self) -> bool {
+        self.failed.iter().any(|(_, e)| e.is_internal())
     }
 }
 
@@ -421,19 +508,41 @@ impl Irm {
     /// [`CoreError::Io`] on filesystem failures.
     pub fn save_bins(&mut self, dir: &Path) -> Result<(), CoreError> {
         let _span = trace::span("irm.save_bins").field("bins", self.bins.len());
-        std::fs::create_dir_all(dir).map_err(|e| CoreError::Io(e.to_string()))?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
         for (name, bin) in &self.bins {
             let path = dir.join(format!("{name}.bin"));
             if !self.dirty.contains(name) && path.is_file() {
                 continue;
             }
             let bytes = bin.to_bytes();
+            if faults::active() {
+                match faults::check(points::BIN_SAVE, name.as_str()) {
+                    Some(FaultKind::Io) => {
+                        return Err(bin_io(
+                            *name,
+                            &path,
+                            faults::io_error(points::BIN_SAVE, name.as_str()),
+                        ));
+                    }
+                    Some(FaultKind::Torn) => {
+                        // A crash mid-write by a non-atomic writer: the
+                        // final path keeps a prefix and the save
+                        // "succeeds".  `load_bins` must catch it.
+                        let keep = bytes.len() / 2;
+                        std::fs::write(&path, &bytes[..keep])
+                            .map_err(|e| bin_io(*name, &path, e))?;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
             trace::counter(names::BIN_BYTES_WRITTEN, bytes.len() as u64);
             let tmp = dir.join(format!("{name}.bin.tmp-{}", std::process::id()));
-            std::fs::write(&tmp, bytes).map_err(|e| CoreError::Io(e.to_string()))?;
+            std::fs::write(&tmp, bytes).map_err(|e| bin_io(*name, &tmp, e))?;
             if let Err(e) = std::fs::rename(&tmp, &path) {
                 std::fs::remove_file(&tmp).ok();
-                return Err(CoreError::Io(e.to_string()));
+                return Err(bin_io(*name, &path, e));
             }
         }
         self.dirty.clear();
@@ -451,18 +560,41 @@ impl Irm {
     pub fn load_bins(&mut self, dir: &Path) -> Result<BinLoadOutcome, CoreError> {
         let _span = trace::span("irm.load_bins");
         let mut out = BinLoadOutcome::default();
-        let entries = std::fs::read_dir(dir).map_err(|e| CoreError::Io(e.to_string()))?;
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
         for entry in entries {
-            let entry = entry.map_err(|e| CoreError::Io(e.to_string()))?;
-            if entry.path().extension().is_none_or(|e| e != "bin") {
+            let entry = entry.map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "bin") {
                 continue;
             }
-            let loaded = std::fs::read(entry.path())
-                .map_err(|e| CoreError::Io(e.to_string()))
-                .and_then(|bytes| {
-                    trace::counter(names::BIN_BYTES_READ, bytes.len() as u64);
-                    BinFile::from_bytes(&bytes)
-                });
+            let stem = path
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let unit = Symbol::intern(&stem);
+            let fault = if faults::active() {
+                faults::check(points::BIN_LOAD, &stem)
+            } else {
+                None
+            };
+            let loaded = if matches!(fault, Some(FaultKind::Io)) {
+                Err(bin_io(
+                    unit,
+                    &path,
+                    faults::io_error(points::BIN_LOAD, &stem),
+                ))
+            } else {
+                std::fs::read(&path)
+                    .map_err(|e| bin_io(unit, &path, e))
+                    .and_then(|mut bytes| {
+                        if matches!(fault, Some(FaultKind::Torn)) {
+                            bytes.truncate(bytes.len() * 2 / 3);
+                        }
+                        trace::counter(names::BIN_BYTES_READ, bytes.len() as u64);
+                        BinFile::from_bytes(&bytes)
+                    })
+            };
             match loaded {
                 Ok(bin) => {
                     // What we just read *is* the on-disk state: clean.
@@ -470,7 +602,13 @@ impl Irm {
                     self.bins.insert(bin.unit.name, bin);
                     out.loaded += 1;
                 }
-                Err(e) => out.corrupt.push((entry.path(), e)),
+                Err(e) => {
+                    trace::counter(names::BIN_CORRUPT, 1);
+                    trace::event("irm.bin_corrupt")
+                        .field("path", path.display())
+                        .field("error", &e);
+                    out.corrupt.push((path, e));
+                }
             }
         }
         Ok(out)
@@ -519,13 +657,21 @@ impl Irm {
     }
 
     /// Builds the project: recompiles what the strategy requires, reuses
-    /// the rest.  Single-threaded; [`Irm::build_with_jobs`] runs the same
-    /// schedule on a worker pool.
+    /// the rest.  Single-threaded, fail-fast; [`Irm::build_with`] is the
+    /// general entry point (workers, failure policy).
     ///
     /// # Errors
     ///
     /// Any [`CoreError`] from analysis or compilation.
     pub fn build(&mut self, project: &Project) -> Result<BuildReport, CoreError> {
+        self.build_sequential(project, FailurePolicy::FailFast)
+    }
+
+    fn build_sequential(
+        &mut self,
+        project: &Project,
+        policy: FailurePolicy,
+    ) -> Result<BuildReport, CoreError> {
         let strategy = self.strategy();
         let analyses = self.analyze_all(project)?;
         let exporters = exporters(&analyses)?;
@@ -546,6 +692,11 @@ impl Irm {
         // Environments materialized this build (fresh or rehydrated).
         let mut envs: HashMap<Symbol, Arc<Bindings>> = HashMap::new();
         let mut recompiled_set: HashMap<Symbol, bool> = HashMap::new();
+        // Units that failed or were skipped so far (keep-going).  A unit
+        // with any direct import in here is skipped — which, applied in
+        // topological order, makes this exactly the failed set plus its
+        // transitive dependent closure.
+        let mut failed_or_skipped: HashSet<Symbol> = HashSet::new();
 
         for name in &order {
             let file = file_index[name];
@@ -558,6 +709,19 @@ impl Irm {
                 .map(|n| exporters[n])
                 .collect::<Vec<_>>()
                 .dedup_stable();
+
+            if !failed_or_skipped.is_empty() {
+                let blocked_on: Vec<Symbol> = import_units
+                    .iter()
+                    .copied()
+                    .filter(|u| failed_or_skipped.contains(u))
+                    .collect();
+                if !blocked_on.is_empty() {
+                    record_skip(&mut report, *name, blocked_on);
+                    failed_or_skipped.insert(*name);
+                    continue;
+                }
+            }
 
             let decision = decide_unit(
                 strategy,
@@ -582,8 +746,41 @@ impl Irm {
                 (Some(_), true) => self.store_key_for(sp, &import_units),
                 _ => None,
             };
-            if let Some(key) = store_key {
-                if let Some(bin) = self.try_store_fetch(key, *name, sp, &import_units) {
+
+            // The fallible section — store probe, import environments,
+            // the compile itself — runs under a per-unit panic guard: a
+            // compiler bug fails this unit, not the whole build.
+            let step = isolate_unit(*name, || {
+                if let Some(key) = store_key {
+                    if let Some(bin) = self.try_store_fetch(key, *name, sp, &import_units) {
+                        return Ok(SeqStep::FromStore { key, bin });
+                    }
+                }
+                if !needs {
+                    return Ok(SeqStep::Reused);
+                }
+                let sources: Vec<ImportSource> = import_units
+                    .iter()
+                    .map(|u| {
+                        let exports =
+                            self.force_env(*u, &analyses, &exporters, &mut envs, &mut report)?;
+                        let pid = self
+                            .bins
+                            .get(u)
+                            .map(|b| b.unit.export_pid)
+                            .ok_or(CoreError::UnknownUnit(*u))?;
+                        Ok(ImportSource {
+                            unit: *u,
+                            pid,
+                            exports,
+                        })
+                    })
+                    .collect::<Result<_, CoreError>>()?;
+                compile_unit_injected(*name, &file.text, &sources).map(SeqStep::Compiled)
+            });
+
+            match step {
+                Ok(SeqStep::FromStore { key, bin }) => {
                     let decision = RebuildDecision::StoreHit {
                         key: key.to_string(),
                         cause: Box::new(decision),
@@ -599,64 +796,60 @@ impl Irm {
                     // after a compile.
                     recompiled_set.insert(*name, true);
                     report.store_hits.push(*name);
-                    continue;
+                    report.outcomes.push((*name, UnitOutcome::StoreHit));
                 }
-            }
-
-            trace::event("irm.decision")
-                .field("unit", name.as_str())
-                .field("kind", decision.kind());
-            if needs {
-                trace::counter(names::UNITS_COMPILED, 1);
-            } else {
-                trace::counter(names::UNITS_REUSED, 1);
-                if matches!(decision, RebuildDecision::CutOff { .. }) {
-                    trace::counter(names::CUTOFF_HITS, 1);
+                Ok(SeqStep::Reused) => {
+                    trace::event("irm.decision")
+                        .field("unit", name.as_str())
+                        .field("kind", decision.kind());
+                    trace::counter(names::UNITS_REUSED, 1);
+                    if matches!(decision, RebuildDecision::CutOff { .. }) {
+                        trace::counter(names::CUTOFF_HITS, 1);
+                    }
+                    report.decisions.push((*name, decision));
+                    recompiled_set.insert(*name, false);
+                    report.reused.push(*name);
+                    report.outcomes.push((*name, UnitOutcome::Reused));
                 }
-            }
-            report.decisions.push((*name, decision));
-
-            if needs {
-                let sources: Vec<ImportSource> = import_units
-                    .iter()
-                    .map(|u| {
-                        let exports =
-                            self.force_env(*u, &analyses, &exporters, &mut envs, &mut report)?;
-                        Ok(ImportSource {
-                            unit: *u,
-                            pid: self.bins[u].unit.export_pid,
-                            exports,
-                        })
-                    })
-                    .collect::<Result<_, CoreError>>()?;
-                let out = compile_unit(*name, &file.text, &sources)?;
-                report.timings.accumulate(&out.timings);
-                report
-                    .warnings
-                    .extend(out.warnings.iter().map(|w| (*name, w.to_string())));
-                // Publish in canonical (mtime-zero) form so identical
-                // compiles publish bit-identical objects, then stamp.
-                let bin = BinFile {
-                    unit: out.unit,
-                    mtime: 0,
-                };
-                if let (Some(store), Some(key)) = (&self.store, store_key) {
-                    publish_to_store(store, key, &bin);
+                Ok(SeqStep::Compiled(out)) => {
+                    trace::event("irm.decision")
+                        .field("unit", name.as_str())
+                        .field("kind", decision.kind());
+                    trace::counter(names::UNITS_COMPILED, 1);
+                    report.decisions.push((*name, decision));
+                    report.timings.accumulate(&out.timings);
+                    report
+                        .warnings
+                        .extend(out.warnings.iter().map(|w| (*name, w.to_string())));
+                    // Publish in canonical (mtime-zero) form so identical
+                    // compiles publish bit-identical objects, then stamp.
+                    let bin = BinFile {
+                        unit: out.unit,
+                        mtime: 0,
+                    };
+                    if let (Some(store), Some(key)) = (&self.store, store_key) {
+                        publish_to_store(store, key, &bin);
+                    }
+                    self.dirty.insert(*name);
+                    self.bins.insert(
+                        *name,
+                        BinFile {
+                            mtime: tick(),
+                            ..bin
+                        },
+                    );
+                    envs.insert(*name, out.exports);
+                    recompiled_set.insert(*name, true);
+                    report.recompiled.push(*name);
+                    report.outcomes.push((*name, UnitOutcome::Compiled));
                 }
-                self.dirty.insert(*name);
-                self.bins.insert(
-                    *name,
-                    BinFile {
-                        mtime: tick(),
-                        ..bin
-                    },
-                );
-                envs.insert(*name, out.exports);
-                recompiled_set.insert(*name, true);
-                report.recompiled.push(*name);
-            } else {
-                recompiled_set.insert(*name, false);
-                report.reused.push(*name);
+                Err(e) => match policy {
+                    FailurePolicy::FailFast => return Err(e),
+                    FailurePolicy::KeepGoing => {
+                        record_failure(&mut report, *name, e);
+                        failed_or_skipped.insert(*name);
+                    }
+                },
             }
         }
         Ok(report)
@@ -724,13 +917,39 @@ impl Irm {
         project: &Project,
         jobs: usize,
     ) -> Result<BuildReport, CoreError> {
-        if jobs <= 1 {
-            return self.build(project);
-        }
-        self.build_parallel(project, jobs)
+        self.build_with(project, jobs, FailurePolicy::FailFast)
     }
 
-    fn build_parallel(&mut self, project: &Project, jobs: usize) -> Result<BuildReport, CoreError> {
+    /// The general build entry point: up to `jobs` workers under
+    /// `policy`.  For any `jobs`, the report (decisions, outcomes,
+    /// failed and skipped sets, export pids) is identical to the
+    /// sequential build under the same policy.
+    ///
+    /// # Errors
+    ///
+    /// Analysis errors (parse, unresolved import, cycle) always fail the
+    /// build — there is no per-unit scope to confine them to.  Compile
+    /// failures fail the build only under [`FailurePolicy::FailFast`];
+    /// under [`FailurePolicy::KeepGoing`] they are recorded in
+    /// [`BuildReport::failed`] and the build returns `Ok`.
+    pub fn build_with(
+        &mut self,
+        project: &Project,
+        jobs: usize,
+        policy: FailurePolicy,
+    ) -> Result<BuildReport, CoreError> {
+        if jobs <= 1 {
+            return self.build_sequential(project, policy);
+        }
+        self.build_parallel(project, jobs, policy)
+    }
+
+    fn build_parallel(
+        &mut self,
+        project: &Project,
+        jobs: usize,
+        policy: FailurePolicy,
+    ) -> Result<BuildReport, CoreError> {
         let strategy = self.strategy();
         let analyses = self.analyze_all(project)?;
         let exporters = exporters(&analyses)?;
@@ -826,7 +1045,10 @@ impl Irm {
                                     rx.recv()
                                 };
                                 let Ok(i) = msg else { break };
-                                let res = shared.run_task(i);
+                                // The per-unit panic guard: a panicking
+                                // compiler fails this unit, never the
+                                // worker (the pool survives and drains).
+                                let res = isolate_unit(shared.order[i], || shared.run_task(i));
                                 let ok = res.is_ok();
                                 let _ = shared.outcomes[i].set(res);
                                 if done_tx.send((i, ok)).is_err() {
@@ -840,12 +1062,23 @@ impl Irm {
                 drop(done_tx);
 
                 // Coordinator: dispatch the in-degree-0 wavefront, then
-                // release dependents as completions arrive.  After the
-                // first error, only units topologically *before* the
-                // lowest failing index are still dispatched — exactly
-                // the set the sequential loop would have processed.
+                // release dependents as completions arrive.
+                //
+                // Fail-fast: after the first error, only units
+                // topologically *before* the lowest failing index are
+                // still dispatched — exactly the set the sequential
+                // loop would have processed.
+                //
+                // Keep-going: a failure *poisons* its dependents.
+                // Poisoned units are never dispatched; they complete
+                // synthetically right here (poisoning their own
+                // dependents in turn) so in-degrees keep draining and
+                // every independent unit still runs.  Their outcome
+                // slots stay empty — the merge phase reads an empty
+                // slot as "skipped".
                 let mut inflight = 0usize;
                 let mut min_err: Option<usize> = None;
+                let mut blocked = vec![false; n];
                 for (i, deg) in indegree.iter().enumerate() {
                     if *deg == 0 && task_tx.send(i).is_ok() {
                         inflight += 1;
@@ -856,17 +1089,39 @@ impl Irm {
                         break; // a worker died; scope propagates its panic
                     };
                     inflight -= 1;
-                    if !ok {
-                        min_err = Some(min_err.map_or(i, |k| k.min(i)));
-                        continue;
-                    }
-                    for &d in &dependents[i] {
-                        indegree[d] -= 1;
-                        if indegree[d] == 0
-                            && min_err.is_none_or(|k| d < k)
-                            && task_tx.send(d).is_ok()
-                        {
-                            inflight += 1;
+                    match policy {
+                        FailurePolicy::FailFast => {
+                            if !ok {
+                                min_err = Some(min_err.map_or(i, |k| k.min(i)));
+                                continue;
+                            }
+                            for &d in &dependents[i] {
+                                indegree[d] -= 1;
+                                if indegree[d] == 0
+                                    && min_err.is_none_or(|k| d < k)
+                                    && task_tx.send(d).is_ok()
+                                {
+                                    inflight += 1;
+                                }
+                            }
+                        }
+                        FailurePolicy::KeepGoing => {
+                            let mut worklist: Vec<(usize, bool)> = vec![(i, !ok)];
+                            while let Some((u, poison)) = worklist.pop() {
+                                for &d in &dependents[u] {
+                                    if poison {
+                                        blocked[d] = true;
+                                    }
+                                    indegree[d] -= 1;
+                                    if indegree[d] == 0 {
+                                        if blocked[d] {
+                                            worklist.push((d, true));
+                                        } else if task_tx.send(d).is_ok() {
+                                            inflight += 1;
+                                        }
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -881,53 +1136,105 @@ impl Irm {
             order: order.clone(),
             ..BuildReport::default()
         };
-        let mut failure: Option<CoreError> = None;
-        // The lowest failing topo index; the sequential loop would have
-        // stopped there, so everything before it merges and it reports.
-        let limit = outcomes
-            .iter()
-            .position(|slot| matches!(slot.get(), Some(Err(_))))
-            .unwrap_or(n);
-        for (i, slot) in outcomes.into_iter().enumerate() {
-            let Some(res) = slot.into_inner() else {
-                continue; // gated off by an earlier failure
-            };
-            match res {
-                Ok(out) => {
-                    if i >= limit {
-                        continue; // completed past the error point
-                    }
-                    let name = order[i];
-                    report.decisions.push((name, out.decision));
-                    match out.new_bin {
-                        Some(bin) => {
-                            self.bins.insert(name, bin);
-                            self.dirty.insert(name);
-                            if out.from_store {
-                                report.store_hits.push(name);
-                            } else {
-                                report.recompiled.push(name);
+        match policy {
+            FailurePolicy::FailFast => {
+                let mut failure: Option<CoreError> = None;
+                // The lowest failing topo index; the sequential loop
+                // would have stopped there, so everything before it
+                // merges and it reports.
+                let limit = outcomes
+                    .iter()
+                    .position(|slot| matches!(slot.get(), Some(Err(_))))
+                    .unwrap_or(n);
+                for (i, slot) in outcomes.into_iter().enumerate() {
+                    let Some(res) = slot.into_inner() else {
+                        continue; // gated off by an earlier failure
+                    };
+                    match res {
+                        Ok(out) => {
+                            if i >= limit {
+                                continue; // completed past the error point
+                            }
+                            self.merge_outcome(order[i], out, &mut report);
+                        }
+                        Err(e) => {
+                            if i == limit && failure.is_none() {
+                                failure = Some(e);
                             }
                         }
-                        None => report.reused.push(name),
                     }
-                    report.timings.accumulate(&out.timings);
-                    report
-                        .warnings
-                        .extend(out.warnings.into_iter().map(|w| (name, w)));
-                    report.rehydrate += out.rehydrate;
                 }
-                Err(e) => {
-                    if i == limit && failure.is_none() {
-                        failure = Some(e);
-                    }
+                match failure {
+                    Some(e) => Err(e),
+                    None => Ok(report),
                 }
             }
+            FailurePolicy::KeepGoing => {
+                // Failed units have `Err` slots; poisoned units were
+                // never dispatched and have *empty* slots.  Walking in
+                // topological order, a skipped unit's blockers (direct
+                // imports in the failed-or-skipped set) have always
+                // been classified already — the same closure the
+                // sequential loop computes.
+                let mut failed_or_skipped: HashSet<Symbol> = HashSet::new();
+                for (i, slot) in outcomes.into_iter().enumerate() {
+                    let name = order[i];
+                    match slot.into_inner() {
+                        Some(Ok(out)) => self.merge_outcome(name, out, &mut report),
+                        Some(Err(e)) => {
+                            record_failure(&mut report, name, e);
+                            failed_or_skipped.insert(name);
+                        }
+                        None => {
+                            let blocked_on: Vec<Symbol> = import_units[i]
+                                .iter()
+                                .copied()
+                                .filter(|u| failed_or_skipped.contains(u))
+                                .collect();
+                            record_skip(&mut report, name, blocked_on);
+                            failed_or_skipped.insert(name);
+                        }
+                    }
+                }
+                Ok(report)
+            }
         }
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(report),
+    }
+
+    /// Merges one completed wavefront task into the bin store and the
+    /// report; always called in topological order.
+    fn merge_outcome(&mut self, name: Symbol, out: TaskOutcome, report: &mut BuildReport) {
+        let TaskOutcome {
+            decision,
+            new_bin,
+            from_store,
+            timings,
+            warnings,
+            rehydrate,
+        } = out;
+        report.decisions.push((name, decision));
+        match new_bin {
+            Some(bin) => {
+                self.bins.insert(name, bin);
+                self.dirty.insert(name);
+                if from_store {
+                    report.store_hits.push(name);
+                    report.outcomes.push((name, UnitOutcome::StoreHit));
+                } else {
+                    report.recompiled.push(name);
+                    report.outcomes.push((name, UnitOutcome::Compiled));
+                }
+            }
+            None => {
+                report.reused.push(name);
+                report.outcomes.push((name, UnitOutcome::Reused));
+            }
         }
+        report.timings.accumulate(&timings);
+        report
+            .warnings
+            .extend(warnings.into_iter().map(|w| (name, w)));
+        report.rehydrate += rehydrate;
     }
 
     /// Materializes a unit's export environment: live if compiled this
@@ -994,7 +1301,7 @@ impl Irm {
         let report = self.build_with_jobs(project, jobs)?;
         let mut env = DynEnv::new();
         for name in &report.order {
-            let bin = &self.bins[name];
+            let bin = self.bins.get(name).ok_or(CoreError::UnknownUnit(*name))?;
             link_and_execute(&bin.unit, &mut env).map_err(CoreError::Link)?;
         }
         Ok((report, env))
@@ -1147,6 +1454,110 @@ fn store_bin_matches(
             .iter()
             .zip(import_units)
             .all(|(edge, &u)| edge.unit == u && export_pid_of(u) == Some(edge.pid))
+}
+
+/// What the fallible section of one sequential unit resolved to.
+enum SeqStep {
+    /// No recompile needed; the existing bin stands.
+    Reused,
+    /// The recompile verdict was satisfied by the artifact store.
+    FromStore { key: Pid, bin: BinFile },
+    /// A fresh compile.
+    Compiled(crate::compile::CompileOutput),
+}
+
+/// Runs one unit's fallible work under a panic guard: a panicking
+/// compiler fails *that unit* with [`CoreError::Internal`] — payload
+/// captured into an `irm.unit_panic` trace event — instead of tearing
+/// down the build or, in parallel builds, the worker pool.
+pub(crate) fn isolate_unit<T>(
+    name: Symbol,
+    f: impl FnOnce() -> Result<T, CoreError>,
+) -> Result<T, CoreError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let message = panic_message(payload.as_ref());
+            trace::event(names::UNIT_PANIC_EVENT)
+                .field("unit", name.as_str())
+                .field("payload", &message);
+            Err(CoreError::Internal {
+                unit: name,
+                message,
+            })
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// [`compile_unit`] behind the `compile.unit` fault point.  An injected
+/// `panic` unwinds out of the check itself (and is caught by the unit's
+/// panic guard); `io`/`torn` become a plain per-unit failure.
+fn compile_unit_injected(
+    name: Symbol,
+    source: &str,
+    sources: &[ImportSource],
+) -> Result<crate::compile::CompileOutput, CoreError> {
+    if faults::active() && faults::check(points::COMPILE_UNIT, name.as_str()).is_some() {
+        return Err(CoreError::Injected {
+            unit: name,
+            point: points::COMPILE_UNIT,
+        });
+    }
+    compile_unit(name, source, sources)
+}
+
+/// Records one failed unit (keep-going): counter, event, report entry.
+fn record_failure(report: &mut BuildReport, name: Symbol, error: CoreError) {
+    trace::counter(names::UNITS_FAILED, 1);
+    trace::event("irm.unit_failed")
+        .field("unit", name.as_str())
+        .field("error", &error);
+    report.outcomes.push((
+        name,
+        UnitOutcome::Failed {
+            error: error.to_string(),
+        },
+    ));
+    report.failed.push((name, error));
+}
+
+/// Records one skipped unit (keep-going): a synthesized
+/// [`RebuildDecision::Skipped`] naming the direct imports that blocked
+/// it, so `--explain` shows the causal chain of a failure too.
+fn record_skip(report: &mut BuildReport, name: Symbol, blocked_on: Vec<Symbol>) {
+    trace::counter(names::UNITS_SKIPPED, 1);
+    let decision = RebuildDecision::Skipped {
+        blocked_on: blocked_on.iter().map(|u| u.as_str().to_string()).collect(),
+    };
+    trace::event("irm.decision")
+        .field("unit", name.as_str())
+        .field("kind", decision.kind());
+    report.decisions.push((name, decision));
+    report
+        .outcomes
+        .push((name, UnitOutcome::Skipped { blocked_on }));
+    report.skipped.push(name);
+}
+
+/// A typed bin-file IO error naming both the unit and the path.
+fn bin_io(unit: Symbol, path: &Path, e: impl std::fmt::Display) -> CoreError {
+    CoreError::BinIo {
+        unit,
+        path: path.to_path_buf(),
+        error: e.to_string(),
+    }
 }
 
 /// Publishes a freshly compiled bin to the artifact store in canonical
@@ -1305,17 +1716,22 @@ impl ParallelShared<'_> {
         trace::event("irm.decision")
             .field("unit", name.as_str())
             .field("kind", decision.kind());
-        trace::counter(names::UNITS_COMPILED, 1);
         let mut rehydrate = Duration::ZERO;
         let sources: Vec<ImportSource> = self.import_idx[i]
             .iter()
             .zip(units)
             .map(|(&j, &u)| {
                 let exports = self.force_env(j, &mut rehydrate)?;
-                let pid = self
-                    .facts(u)
-                    .map(|f| f.export_pid)
-                    .expect("imports settle before dependents dispatch");
+                // Imports settle before dependents dispatch; a missing
+                // bin here is a scheduler bug, reported as such rather
+                // than panicking the worker.
+                let pid =
+                    self.facts(u)
+                        .map(|f| f.export_pid)
+                        .ok_or_else(|| CoreError::Internal {
+                            unit: name,
+                            message: format!("import `{u}` has no settled bin at dispatch"),
+                        })?;
                 Ok(ImportSource {
                     unit: u,
                     pid,
@@ -1323,7 +1739,8 @@ impl ParallelShared<'_> {
                 })
             })
             .collect::<Result<_, CoreError>>()?;
-        let out = compile_unit(name, &file.text, &sources)?;
+        let out = compile_unit_injected(name, &file.text, &sources)?;
+        trace::counter(names::UNITS_COMPILED, 1);
         // Publish the export environment *before* the completion signal,
         // so a dependent never rehydrates a freshly compiled unit.
         let _ = self.envs[i].set(Ok(out.exports.clone()));

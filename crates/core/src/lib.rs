@@ -60,7 +60,7 @@ use smlsc_ids::Symbol;
 pub use compile::{compile_unit, CompileOutput, CompileTimings, ImportSource};
 pub use groups::{Group, GroupedProject};
 pub use hash::{hash_exports, HashError, HashResult};
-pub use irm::{BuildReport, Irm, Project, Strategy};
+pub use irm::{BuildReport, FailurePolicy, Irm, Project, Strategy, UnitOutcome};
 pub use link::{link_and_execute, DynEnv, LinkError};
 pub use session::Session;
 pub use smlsc_store as store;
@@ -135,6 +135,47 @@ pub enum CoreError {
     Link(LinkError),
     /// Filesystem failure while persisting bins.
     Io(String),
+    /// Filesystem failure on one unit's bin file, naming both the unit
+    /// and the path so keep-going reports can pinpoint it.
+    BinIo {
+        /// The unit whose bin was being read or written.
+        unit: Symbol,
+        /// The bin file involved.
+        path: std::path::PathBuf,
+        /// The underlying error message.
+        error: String,
+    },
+    /// The compiler itself failed on this unit — a caught panic or a
+    /// broken invariant.  A bug in smlsc, never in the user's source;
+    /// the unit (and its dependents) fail, the build machinery survives.
+    Internal {
+        /// The unit being compiled when the panic fired.
+        unit: Symbol,
+        /// The panic payload (or invariant description).
+        message: String,
+    },
+    /// A deterministically injected fault (chaos testing only).
+    Injected {
+        /// The unit at which the fault fired.
+        unit: Symbol,
+        /// The fault point name (e.g. `compile.unit`).
+        point: &'static str,
+    },
+}
+
+impl CoreError {
+    /// True for internal-error-class failures (caught compiler panics,
+    /// broken invariants): bugs in smlsc, not in the user's source.
+    /// The CLI maps these to their own exit code.
+    pub fn is_internal(&self) -> bool {
+        matches!(self, CoreError::Internal { .. })
+    }
+
+    /// True for store/filesystem IO-class failures; the CLI maps these
+    /// to their own exit code, distinct from source errors.
+    pub fn is_io(&self) -> bool {
+        matches!(self, CoreError::Io(_) | CoreError::BinIo { .. })
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -168,6 +209,15 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Link(e) => write!(f, "{e}"),
             CoreError::Io(m) => write!(f, "io error: {m}"),
+            CoreError::BinIo { unit, path, error } => {
+                write!(f, "unit `{unit}`: bin file {}: {error}", path.display())
+            }
+            CoreError::Internal { unit, message } => {
+                write!(f, "unit `{unit}`: internal compiler error: {message}")
+            }
+            CoreError::Injected { unit, point } => {
+                write!(f, "unit `{unit}`: injected fault at `{point}`")
+            }
         }
     }
 }

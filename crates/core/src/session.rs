@@ -94,33 +94,42 @@ impl Session {
     pub fn eval(&mut self, source: &str) -> Result<EvalOutcome, CoreError> {
         let name = Symbol::intern(&format!("it{}", self.counter));
         let _span = smlsc_trace::span("session.eval").field("unit", name.as_str());
-        let ast = parse_unit(source).map_err(|e| CoreError::Parse {
-            unit: name,
-            error: e,
+        // The whole compile-and-execute pipeline runs under the same
+        // per-unit panic guard as IRM builds: a compiler bug fails this
+        // one input with `CoreError::Internal` and the session — its
+        // state untouched — keeps accepting input.
+        let (elab, hash, values) = crate::irm::isolate_unit(name, || {
+            let ast = parse_unit(source).map_err(|e| CoreError::Parse {
+                unit: name,
+                error: e,
+            })?;
+            let imports = ImportEnv {
+                units: self
+                    .layers
+                    .iter()
+                    .map(|l| ImportedUnit {
+                        name: l.name,
+                        exports: l.exports.clone(),
+                    })
+                    .collect(),
+                shadowing: true,
+            };
+            let elab = elaborate_unit(&ast, &imports).map_err(|e| CoreError::Elab {
+                unit: name,
+                error: e,
+            })?;
+            let hash = hash_exports(name, &elab.exports).map_err(|e| CoreError::Hash {
+                unit: name,
+                error: e,
+            })?;
+            let import_values: Vec<Value> = self.layers.iter().map(|l| l.values.clone()).collect();
+            let limit = self.step_limit.unwrap_or(u64::MAX);
+            let values = smlsc_dynamics::eval::execute_limited(&elab.code, &import_values, limit)
+                .map_err(|e| {
+                CoreError::Link(crate::link::LinkError::Execution(e.to_string()))
+            })?;
+            Ok((elab, hash, values))
         })?;
-        let imports = ImportEnv {
-            units: self
-                .layers
-                .iter()
-                .map(|l| ImportedUnit {
-                    name: l.name,
-                    exports: l.exports.clone(),
-                })
-                .collect(),
-            shadowing: true,
-        };
-        let elab = elaborate_unit(&ast, &imports).map_err(|e| CoreError::Elab {
-            unit: name,
-            error: e,
-        })?;
-        let hash = hash_exports(name, &elab.exports).map_err(|e| CoreError::Hash {
-            unit: name,
-            error: e,
-        })?;
-        let import_values: Vec<Value> = self.layers.iter().map(|l| l.values.clone()).collect();
-        let limit = self.step_limit.unwrap_or(u64::MAX);
-        let values = smlsc_dynamics::eval::execute_limited(&elab.code, &import_values, limit)
-            .map_err(|e| CoreError::Link(crate::link::LinkError::Execution(e.to_string())))?;
         let bindings = describe_bindings(&elab.exports);
         let warnings = elab.warnings.iter().map(ToString::to_string).collect();
         self.counter += 1;

@@ -14,16 +14,26 @@
 //!                      timestamp, or classical
 //!   --jobs <n>         compile up to <n> units in parallel (default:
 //!                      available CPU parallelism; 1 = sequential)
+//!   --keep-going, -k   on a unit failure, keep compiling every unit
+//!                      that does not depend on it; dependents are
+//!                      reported as skipped
 //!   --bin-dir <dir>    where per-project bins live (default:
 //!                      <dir>/.smlsc-bins)
 //!   --store <dir>      shared content-addressed artifact store; compiles
 //!                      publish to it, recompile verdicts probe it first
 //!                      (default: the SMLSC_STORE environment variable)
+//!   --inject-faults <spec>  install a deterministic fault plan for
+//!                      chaos testing (or the SMLSC_FAULTS environment
+//!                      variable); see the README for the grammar
 //!   --explain          print why each unit was recompiled or reused
 //!   --stats            print a JSON telemetry report (counters and
 //!                      per-phase duration histograms) to stdout
 //!   --trace-out <f>    write a Chrome trace-event JSON file (load it in
 //!                      chrome://tracing or https://ui.perfetto.dev)
+//!
+//! Exit codes: 0 success; 1 source/compile failure; 2 usage error;
+//! 3 internal error (a caught compiler panic); 4 store or filesystem
+//! IO failure.
 //!
 //! cache options:
 //!   --store <dir>          the store to operate on (or SMLSC_STORE)
@@ -40,12 +50,45 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
-use smlsc::core::irm::{Irm, Project, Strategy};
+use smlsc::core::irm::{FailurePolicy, Irm, Project, Strategy, UnitOutcome};
 use smlsc::core::session::Session;
 use smlsc::core::store::{GcConfig, Store};
-use smlsc::core::trace;
+use smlsc::core::{trace, BuildReport, CoreError};
 
-const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --bin-dir <dir>  --store <dir>  --explain  --stats  --trace-out <file>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>";
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --explain  --stats  --trace-out <file>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
+
+/// Exit codes (documented in the README): distinguishing "your source
+/// is wrong" from "the compiler broke" from "the disk/store broke".
+const EXIT_OK: i32 = 0;
+const EXIT_COMPILE: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_INTERNAL: i32 = 3;
+const EXIT_IO: i32 = 4;
+
+/// Maps a build error to its exit code class.
+fn exit_code_for(e: &CoreError) -> i32 {
+    if e.is_internal() {
+        EXIT_INTERNAL
+    } else if e.is_io() {
+        EXIT_IO
+    } else {
+        EXIT_COMPILE
+    }
+}
+
+/// The exit code for a finished keep-going build: internal errors
+/// dominate, then IO, then plain compile failures.
+fn exit_code_for_report(report: &BuildReport) -> i32 {
+    if report.succeeded() {
+        EXIT_OK
+    } else if report.any_internal_failure() {
+        EXIT_INTERNAL
+    } else if report.failed.iter().any(|(_, e)| e.is_io()) {
+        EXIT_IO
+    } else {
+        EXIT_COMPILE
+    }
+}
 
 /// Resolves the store directory: an explicit `--store` wins, else the
 /// `SMLSC_STORE` environment variable (ignored when empty).
@@ -56,14 +99,32 @@ fn resolve_store(flag: &Option<String>) -> Option<PathBuf> {
         .map(PathBuf::from)
 }
 
+/// Installs the deterministic fault plan from `--inject-faults` (wins)
+/// or the `SMLSC_FAULTS` environment variable.  No-op when neither is
+/// set; a malformed spec is a usage error.
+fn install_faults(flag: &Option<String>) -> Result<(), String> {
+    let spec = flag
+        .clone()
+        .or_else(|| std::env::var("SMLSC_FAULTS").ok())
+        .filter(|s| !s.is_empty());
+    if let Some(spec) = spec {
+        let plan = smlsc::faults::FaultPlan::parse(&spec)
+            .map_err(|e| format!("--inject-faults/SMLSC_FAULTS: {e}"))?;
+        smlsc::faults::install_global(plan);
+    }
+    Ok(())
+}
+
 /// Options for `smlsc build` / `smlsc run`.
 #[derive(Default)]
 struct BuildOpts {
     dir: Option<String>,
     strategy: Strategy,
     jobs: Option<usize>,
+    keep_going: bool,
     bin_dir: Option<PathBuf>,
     store: Option<String>,
+    inject_faults: Option<String>,
     explain: bool,
     stats: bool,
     trace_out: Option<PathBuf>,
@@ -102,6 +163,10 @@ impl BuildOpts {
                 opts.bin_dir = Some(PathBuf::from(take("--bin-dir")?));
             } else if arg == "--store" || arg.starts_with("--store=") {
                 opts.store = Some(take("--store")?);
+            } else if arg == "--inject-faults" || arg.starts_with("--inject-faults=") {
+                opts.inject_faults = Some(take("--inject-faults")?);
+            } else if arg == "--keep-going" || arg == "-k" {
+                opts.keep_going = true;
             } else if arg == "--explain" {
                 opts.explain = true;
             } else if arg == "--stats" {
@@ -199,8 +264,12 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
             "usage: smlsc {} [options] <dir>",
             if run { "run" } else { "build" }
         );
-        return 2;
+        return EXIT_USAGE;
     };
+    if let Err(e) = install_faults(&opts.inject_faults) {
+        eprintln!("error: {e}");
+        return EXIT_USAGE;
+    }
     let dir = PathBuf::from(dir);
     let collector = opts.wants_collector().then(trace::Collector::new);
     if let Some(c) = &collector {
@@ -210,7 +279,7 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
-            return 1;
+            return EXIT_COMPILE;
         }
     };
     let bin_dir = opts
@@ -226,7 +295,7 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
                 // user asked for shared caching and silently building
                 // without it would hide misconfiguration.
                 eprintln!("error: cannot open store {}: {e}", store_dir.display());
-                return 1;
+                return EXIT_IO;
             }
         }
     }
@@ -246,28 +315,56 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
         }
     }
     let jobs = opts.effective_jobs();
-    let report = match irm.build_with_jobs(&project, jobs) {
+    let policy = if opts.keep_going {
+        FailurePolicy::KeepGoing
+    } else {
+        FailurePolicy::FailFast
+    };
+    let report = match irm.build_with(&project, jobs, policy) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
-            return 1;
+            return exit_code_for(&e);
         }
     };
     for (unit, w) in &report.warnings {
         eprintln!("{unit}: {w}");
+    }
+    // `CoreError`'s Display already names the unit.
+    for (_, e) in &report.failed {
+        eprintln!("error: {e}");
+    }
+    for (unit, outcome) in &report.outcomes {
+        if let UnitOutcome::Skipped { blocked_on } = outcome {
+            let imports: Vec<String> = blocked_on.iter().map(|u| format!("`{u}`")).collect();
+            eprintln!(
+                "skipped `{unit}`: blocked on failed import(s) {}",
+                imports.join(", ")
+            );
+        }
     }
     let store_suffix = if irm.store().is_some() {
         format!(", {} from store", report.store_hits.len())
     } else {
         String::new()
     };
+    let failure_suffix = if report.succeeded() {
+        String::new()
+    } else {
+        format!(
+            ", {} failed, {} skipped",
+            report.failed.len(),
+            report.skipped.len()
+        )
+    };
     println!(
-        "built {} unit(s) [{}]: {} recompiled, {} reused{}",
+        "built {} unit(s) [{}]: {} recompiled, {} reused{}{}",
         report.order.len(),
         report.strategy,
         report.recompiled.len(),
         report.reused.len(),
-        store_suffix
+        store_suffix,
+        failure_suffix
     );
     if opts.explain {
         for (unit, decision) in &report.decisions {
@@ -277,18 +374,20 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
     if let Err(e) = irm.save_bins(&bin_dir) {
         eprintln!("warning: could not persist bins: {e}");
     }
-    if run {
+    if run && report.succeeded() {
         let (_, env) = match irm.execute_with_jobs(&project, jobs) {
             Ok(x) => x,
             Err(e) => {
                 eprintln!("error: {e}");
-                return 1;
+                return exit_code_for(&e);
             }
         };
         for unit in &report.order {
             let linked = env.get(*unit).expect("linked in order");
             println!("{unit}: export pid {}", linked.export_pid);
         }
+    } else if run {
+        eprintln!("error: not running: the build did not complete");
     }
     if let Some(c) = &collector {
         trace::uninstall();
@@ -297,7 +396,7 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
                 Ok(()) => println!("trace written to {}", path.display()),
                 Err(e) => {
                     eprintln!("error: could not write {}: {e}", path.display());
-                    return 1;
+                    return EXIT_IO;
                 }
             }
         }
@@ -305,7 +404,7 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
             println!("{}", c.stats_json());
         }
     }
-    0
+    exit_code_for_report(&report)
 }
 
 /// `smlsc cache <stats|gc|verify|clear>`: operate on a shared store.
@@ -351,13 +450,17 @@ fn cache(args: &[String]) -> i32 {
     }
     let Some(store_dir) = resolve_store(&store_flag) else {
         eprintln!("error: no store given (use --store <dir> or set SMLSC_STORE)");
-        return 2;
+        return EXIT_USAGE;
     };
+    if let Err(e) = install_faults(&None) {
+        eprintln!("error: {e}");
+        return EXIT_USAGE;
+    }
     let store = match Store::open(&store_dir) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot open store {}: {e}", store_dir.display());
-            return 1;
+            return EXIT_IO;
         }
     };
     match op {
@@ -375,7 +478,7 @@ fn cache(args: &[String]) -> i32 {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                1
+                EXIT_IO
             }
         },
         "gc" => match store.gc(&config) {
@@ -388,7 +491,7 @@ fn cache(args: &[String]) -> i32 {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                1
+                EXIT_IO
             }
         },
         "verify" => match store.verify() {
@@ -405,7 +508,7 @@ fn cache(args: &[String]) -> i32 {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                1
+                EXIT_IO
             }
         },
         "clear" => match store.clear() {
@@ -415,7 +518,7 @@ fn cache(args: &[String]) -> i32 {
             }
             Err(e) => {
                 eprintln!("error: {e}");
-                1
+                EXIT_IO
             }
         },
         other => {

@@ -15,6 +15,7 @@
 //! | [`pickle`] | Dehydration/rehydration of static environments |
 //! | [`core`] | Intrinsic-pid hashing, units, type-safe linkage, the IRM, sessions |
 //! | [`trace`] | Structured spans, build telemetry, rebuild-decision records |
+//! | [`faults`] | Deterministic fault injection for chaos testing |
 //! | [`workload`] | Synthetic module-graph generation for experiments |
 //!
 //! # Quickstart
@@ -45,6 +46,7 @@
 
 pub use smlsc_core as core;
 pub use smlsc_dynamics as dynamics;
+pub use smlsc_faults as faults;
 pub use smlsc_ids as ids;
 pub use smlsc_pickle as pickle;
 pub use smlsc_statics as statics;

@@ -309,3 +309,161 @@ fn stats_emits_counters_and_phase_histograms() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn exit_codes_distinguish_failure_classes() {
+    // 1: the user's source is wrong.
+    let dir = project_dir("exit-compile");
+    std::fs::write(
+        dir.join("bad.sml"),
+        r#"structure Bad = struct val x = 1 + "s" end"#,
+    )
+    .unwrap();
+    let out = smlsc().arg("build").arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // 3: the compiler itself broke (here: an injected panic).
+    let out = smlsc()
+        .args(["build", "--inject-faults", "compile.unit=panic(bad)"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("internal compiler error"), "{stderr}");
+
+    // 4: the store cannot be opened (its root is a regular file).
+    let blocker = dir.join("not-a-store");
+    std::fs::write(&blocker, "x").unwrap();
+    let out = smlsc()
+        .args(["build", "--store"])
+        .arg(&blocker)
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+
+    // 2: a malformed fault spec is a usage error.
+    let out = smlsc()
+        .args(["build", "--inject-faults", "frobnicate=explode"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_going_builds_past_a_failure_and_reports_skips() {
+    let dir = project_dir("keep-going");
+    std::fs::write(dir.join("ok.sml"), "structure Ok = struct val x = 1 end").unwrap();
+    std::fs::write(
+        dir.join("bad.sml"),
+        r#"structure Bad = struct val y = 1 + "s" end"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("uses_bad.sml"),
+        "structure Uses_bad = struct val z = Bad.y end",
+    )
+    .unwrap();
+
+    let out = smlsc()
+        .args(["build", "--keep-going", "--jobs", "4"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stdout.contains("1 failed, 1 skipped"), "{stdout}");
+    assert!(stderr.contains("`bad`"), "{stderr}");
+    assert!(
+        stderr.contains("skipped `uses_bad`") && stderr.contains("blocked on"),
+        "{stderr}"
+    );
+
+    // The independent unit's bin was persisted: a fixed rebuild reuses it.
+    std::fs::write(dir.join("bad.sml"), "structure Bad = struct val y = 2 end").unwrap();
+    let out = smlsc().args(["build", "-k"]).arg(&dir).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 recompiled, 1 reused"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn explain_shows_skipped_decisions() {
+    let dir = project_dir("explain-skip");
+    std::fs::write(
+        dir.join("bad.sml"),
+        r#"structure Bad = struct val y = 1 + "s" end"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("child.sml"),
+        "structure Child = struct val z = Bad.y end",
+    )
+    .unwrap();
+    let out = smlsc()
+        .args(["build", "-k", "--explain"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("child: skipped: blocked on failed import(s) `bad`"),
+        "{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_surface_fault_and_quarantine_counters() {
+    let dir = project_dir("chaos-stats");
+    let store = dir.join("store");
+    std::fs::write(dir.join("a.sml"), "structure A = struct val x = 1 end").unwrap();
+
+    // Every publish is torn: the store ends up with corrupt objects,
+    // and the counters prove the faults fired.
+    let out = smlsc()
+        .args(["build", "--stats", "--inject-faults", "store.publish=torn"])
+        .arg("--store")
+        .arg(&store)
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(r#""faults.injected""#), "{stdout}");
+
+    // A fresh builder (cold bins, faults off, via SMLSC_FAULTS unset)
+    // probes the store, catches the torn object by digest, and
+    // quarantines it — visible in the stats counters.
+    let bins2 = dir.join("bins2");
+    let out = smlsc()
+        .args(["build", "--stats"])
+        .arg("--bin-dir")
+        .arg(&bins2)
+        .arg("--store")
+        .arg(&store)
+        .arg(&dir)
+        .env_remove("SMLSC_FAULTS")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(r#""store.quarantined":1"#), "{stdout}");
+
+    // `cache verify` then reports a consistent store (the torn object
+    // was already quarantined; the republished one is sound).
+    let out = smlsc()
+        .args(["cache", "verify"])
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -31,6 +31,17 @@
 //!   and least-recent-access size pressure, then compacts the journal.
 //!   The journal is advisory — a torn tail line (crash mid-append) is
 //!   skipped and the object scan remains the ground truth.
+//! * **Retry and graceful degradation**: transient publish failures are
+//!   retried with jittered exponential backoff under a [`RetryPolicy`]
+//!   deadline; after enough *consecutive* failures the store flips into
+//!   a degraded no-store mode (one warning, `store.degraded` counter)
+//!   where `get` misses and `put` no-ops instantly — a broken or
+//!   read-only cache never blocks a build, it just stops helping.
+//!
+//! Every IO boundary is also a named fault point (`store.publish`,
+//! `store.fetch`, `store.lock` — see `smlsc_faults::points`), so chaos
+//! suites can deterministically inject IO errors, torn writes, delays
+//! and crashes to prove the guarantees above.
 //!
 //! # Examples
 //!
@@ -57,9 +68,10 @@ pub mod lock;
 use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
+use smlsc_faults::{self as faults, points, FaultKind};
 use smlsc_ids::{Digest128, Pid};
 use smlsc_trace::{self as trace, names};
 
@@ -84,6 +96,34 @@ const LOCK_STALE: Duration = Duration::from_secs(10);
 
 /// How long an acquirer spins on a held lock before giving up.
 const LOCK_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How many *consecutive* store failures (after retries) flip the store
+/// into degraded no-store mode.
+const DEGRADE_AFTER: u32 = 3;
+
+/// Bounded retry with jittered exponential backoff for transient store
+/// IO (failed publishes, lock contention past its own timeout).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts, counting the first (so `1` means no retry).
+    pub attempts: u32,
+    /// Initial backoff between attempts; doubled each retry and
+    /// decorated with a sub-millisecond deterministic jitter.
+    pub base_delay: Duration,
+    /// Overall deadline across all attempts of one operation; once the
+    /// next backoff would cross it, the last error is returned as-is.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(2),
+            deadline: Duration::from_millis(250),
+        }
+    }
+}
 
 /// Derives the cache key for one unit compilation: the digest of the
 /// key-schema version, the consumer's bin-format version, the unit's
@@ -168,6 +208,14 @@ pub(crate) fn io_err(path: &Path, e: impl fmt::Display) -> StoreError {
 pub struct Store {
     root: PathBuf,
     journal: Journal,
+    retry: RetryPolicy,
+    degrade_after: u32,
+    /// Consecutive failures since the last success; resets on success.
+    failures: AtomicU32,
+    /// Latched once `failures` reaches `degrade_after`; a degraded
+    /// store answers every `get` with a miss and every `put` with a
+    /// no-op, for the rest of its lifetime.
+    degraded: AtomicBool,
 }
 
 impl Store {
@@ -201,12 +249,57 @@ impl Store {
             Err(e) => return Err(io_err(&version_file, e)),
         }
         let journal = Journal::new(root.join("journal.log"));
-        Ok(Store { root, journal })
+        Ok(Store {
+            root,
+            journal,
+            retry: RetryPolicy::default(),
+            degrade_after: DEGRADE_AFTER,
+            failures: AtomicU32::new(0),
+            degraded: AtomicBool::new(false),
+        })
     }
 
     /// The store's root directory.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Overrides the transient-IO retry policy (call before sharing the
+    /// store across threads).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Overrides how many consecutive failures flip the store into
+    /// degraded mode (call before sharing the store across threads).
+    pub fn set_degrade_after(&mut self, n: u32) {
+        self.degrade_after = n.max(1);
+    }
+
+    /// True once the store has given up on itself: repeated IO or lock
+    /// failures latched it into a no-store mode where reads miss and
+    /// writes no-op.  Builds proceed correctly, just without sharing.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    fn note_success(&self) {
+        self.failures.store(0, Ordering::Relaxed);
+    }
+
+    fn note_failure(&self) {
+        let n = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if n >= self.degrade_after && !self.degraded.swap(true, Ordering::SeqCst) {
+            trace::counter(names::STORE_DEGRADED, 1);
+            trace::event("store.degrade")
+                .field("root", self.root.display())
+                .field("failures", n);
+            eprintln!(
+                "warning: artifact store {} disabled after {n} consecutive failure(s); \
+                 continuing without it",
+                self.root.display()
+            );
+        }
     }
 
     /// The store's access journal.
@@ -270,16 +363,40 @@ impl Store {
     /// [`Store::put`].
     pub fn get(&self, key: Pid) -> Option<Vec<u8>> {
         let _span = trace::span(names::SPAN_STORE_GET);
+        if self.is_degraded() {
+            trace::counter(names::STORE_MISSES, 1);
+            return None;
+        }
         let path = self.object_path(key);
-        let bytes = match std::fs::read(&path) {
+        let fault = if faults::active() {
+            faults::check(points::STORE_FETCH, &key_hex(key))
+        } else {
+            None
+        };
+        if matches!(fault, Some(FaultKind::Io)) {
+            trace::counter(names::STORE_MISSES, 1);
+            self.note_failure();
+            return None;
+        }
+        let mut bytes = match std::fs::read(&path) {
             Ok(b) => b,
-            Err(_) => {
+            Err(e) => {
                 trace::counter(names::STORE_MISSES, 1);
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    // Present-but-unreadable is a health signal; a
+                    // plain miss is not.
+                    self.note_failure();
+                }
                 return None;
             }
         };
+        if matches!(fault, Some(FaultKind::Torn)) {
+            // Model a torn read: hand verification a truncated object.
+            bytes.truncate(bytes.len() * 2 / 3);
+        }
         match decode_object(&bytes) {
             Some(payload) => {
+                self.note_success();
                 trace::counter(names::STORE_HITS, 1);
                 trace::counter(names::STORE_BYTES_READ, payload.len() as u64);
                 self.journal
@@ -287,6 +404,9 @@ impl Store {
                 Some(payload.to_vec())
             }
             None => {
+                // Corruption is the *object's* fault, not the store's:
+                // quarantine it, report a miss, and leave the health
+                // counter alone.
                 self.quarantine(key);
                 trace::counter(names::STORE_MISSES, 1);
                 None
@@ -304,15 +424,63 @@ impl Store {
     /// [`StoreError::Io`] or [`StoreError::LockTimeout`].
     pub fn put(&self, key: Pid, payload: &[u8]) -> Result<bool, StoreError> {
         let _span = trace::span(names::SPAN_STORE_PUT);
+        if self.is_degraded() {
+            return Ok(false);
+        }
         let hex = key_hex(key);
+        let deadline = Instant::now() + self.retry.deadline;
+        let mut backoff = self.retry.base_delay;
+        let mut attempt = 1u32;
+        loop {
+            match self.publish_once(key, &hex, payload) {
+                Ok(published) => {
+                    self.note_success();
+                    return Ok(published);
+                }
+                Err(e) => {
+                    if attempt >= self.retry.attempts || Instant::now() + backoff > deadline {
+                        self.note_failure();
+                        return Err(e);
+                    }
+                    trace::counter(names::STORE_RETRIES, 1);
+                    trace::event("store.retry")
+                        .field("key", &hex)
+                        .field("attempt", attempt)
+                        .field("error", &e);
+                    std::thread::sleep(backoff + lock::jitter());
+                    backoff *= 2;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// One publication attempt: stage, fsync, rename under the per-key
+    /// lock.  Split out of [`Store::put`] so the retry loop wraps the
+    /// whole critical section, lock acquisition included.
+    fn publish_once(&self, key: Pid, hex: &str, payload: &[u8]) -> Result<bool, StoreError> {
         let final_path = self.object_path(key);
+        if faults::active() {
+            match faults::check(points::STORE_PUBLISH, hex) {
+                Some(FaultKind::Io) => {
+                    return Err(io_err(
+                        &final_path,
+                        faults::io_error(points::STORE_PUBLISH, hex),
+                    ));
+                }
+                Some(FaultKind::Torn) => return self.publish_torn(key, hex, payload),
+                _ => {}
+            }
+        }
         let _lock = self.key_lock(key)?;
         if final_path.is_file() {
             // An identical publish already landed (equal keys ⇒ equal
             // compile inputs); keep the incumbent.
             return Ok(false);
         }
-        let fan_dir = final_path.parent().expect("object paths have a fan dir");
+        let fan_dir = final_path
+            .parent()
+            .ok_or_else(|| io_err(&final_path, "object path has no fan directory"))?;
         std::fs::create_dir_all(fan_dir).map_err(|e| io_err(fan_dir, e))?;
         let tmp = self
             .root
@@ -332,7 +500,33 @@ impl Store {
         }
         trace::counter(names::STORE_BYTES_WRITTEN, payload.len() as u64);
         self.journal
-            .append(JournalOp::Put, &hex, payload.len() as u64);
+            .append(JournalOp::Put, hex, payload.len() as u64);
+        Ok(true)
+    }
+
+    /// Models a non-atomic publisher dying mid-write: the *final* path
+    /// receives a truncated envelope and the publish reports success —
+    /// silent corruption.  Digest verification on the next read must
+    /// catch it and quarantine the object; nothing here helps it.
+    fn publish_torn(&self, key: Pid, hex: &str, payload: &[u8]) -> Result<bool, StoreError> {
+        let final_path = self.object_path(key);
+        let fan_dir = final_path
+            .parent()
+            .ok_or_else(|| io_err(&final_path, "object path has no fan directory"))?;
+        std::fs::create_dir_all(fan_dir).map_err(|e| io_err(fan_dir, e))?;
+        let mut envelope = Vec::with_capacity(OBJ_MAGIC.len() + 16 + payload.len());
+        envelope.extend_from_slice(OBJ_MAGIC);
+        envelope.extend_from_slice(&Pid::of_bytes(payload).as_raw().to_le_bytes());
+        envelope.extend_from_slice(payload);
+        let keep = if payload.is_empty() {
+            OBJ_MAGIC.len() / 2
+        } else {
+            OBJ_MAGIC.len() + 16 + payload.len() / 2
+        };
+        envelope.truncate(keep);
+        std::fs::write(&final_path, &envelope).map_err(|e| io_err(&final_path, e))?;
+        self.journal
+            .append(JournalOp::Put, hex, payload.len() as u64);
         Ok(true)
     }
 
@@ -463,6 +657,84 @@ mod tests {
         // The slot is usable again.
         assert!(store.put(key, b"payload").unwrap());
         assert_eq!(store.get(key).as_deref(), Some(&b"payload"[..]));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn injected_transient_publish_fault_is_retried_and_masked() {
+        let root = tmp_root("retry");
+        let store = Store::open(&root).unwrap();
+        let key = Pid::of_bytes(b"k");
+        let collector = trace::Collector::new();
+        collector.install();
+        {
+            // Exactly one IO fault: the first attempt fails, the retry
+            // succeeds, and the caller never sees an error.
+            let plan = faults::FaultPlan::default()
+                .with(faults::FaultRule::new(points::STORE_PUBLISH, FaultKind::Io).times(1));
+            let _faults = faults::install_scoped(plan);
+            assert!(store.put(key, b"payload").unwrap());
+        }
+        trace::uninstall();
+        assert_eq!(store.get(key).as_deref(), Some(&b"payload"[..]));
+        assert!(!store.is_degraded());
+        assert!(collector.counter(names::STORE_RETRIES) >= 1);
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn torn_publish_is_caught_and_quarantined_on_read() {
+        let root = tmp_root("torn");
+        let store = Store::open(&root).unwrap();
+        let key = Pid::of_bytes(b"k");
+        {
+            let plan = faults::FaultPlan::default()
+                .with(faults::FaultRule::new(points::STORE_PUBLISH, FaultKind::Torn).times(1));
+            let _faults = faults::install_scoped(plan);
+            // The torn publish *reports success* — silent corruption.
+            assert!(store.put(key, b"payload").unwrap());
+        }
+        assert!(store.contains(key), "the torn object landed on disk");
+        assert!(store.get(key).is_none(), "corrupt object must miss");
+        assert!(!store.contains(key), "and must be quarantined");
+        let quarantined = std::fs::read_dir(root.join("quarantine")).unwrap().count();
+        assert_eq!(quarantined, 1);
+        // The slot heals on the next publish.
+        assert!(store.put(key, b"payload").unwrap());
+        assert_eq!(store.get(key).as_deref(), Some(&b"payload"[..]));
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    #[test]
+    fn persistent_faults_degrade_store_without_failing_callers() {
+        let root = tmp_root("degrade");
+        let mut store = Store::open(&root).unwrap();
+        store.set_degrade_after(3);
+        let key = Pid::of_bytes(b"k");
+        store.put(key, b"payload").unwrap();
+        let collector = trace::Collector::new();
+        collector.install();
+        {
+            // Every fetch fails: the store must latch degraded after
+            // three consecutive failures, then stop touching disk.
+            let plan = faults::FaultPlan::default()
+                .with(faults::FaultRule::new(points::STORE_FETCH, FaultKind::Io));
+            let _faults = faults::install_scoped(plan);
+            for _ in 0..3 {
+                assert!(store.get(key).is_none());
+            }
+            assert!(store.is_degraded());
+            // Degraded puts are instant no-ops — no object appears even
+            // though the publish path itself is healthy.
+            let other = Pid::of_bytes(b"other");
+            assert!(!store.put(other, b"new").unwrap());
+            assert!(!store.object_path(other).exists());
+            // Degraded gets miss without consulting the fault plan (the
+            // object is intact on disk but the store has given up).
+            assert!(store.get(key).is_none());
+        }
+        trace::uninstall();
+        assert_eq!(collector.counter(names::STORE_DEGRADED), 1);
         std::fs::remove_dir_all(&root).ok();
     }
 

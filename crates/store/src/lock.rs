@@ -8,9 +8,20 @@
 //! mid-critical-section) and is broken by the next acquirer.  Critical
 //! sections guarded here are short — a rename or an unlink — so a live
 //! owner never looks stale.
+//!
+//! Contention is retried with bounded exponential backoff plus a small
+//! deterministic jitter (so a herd of waiters does not re-collide in
+//! lockstep), up to the caller's timeout.  The [`points::STORE_LOCK`]
+//! fault point fires *while the lock file exists and before the guard
+//! is constructed*, so an injected panic models exactly an owner that
+//! crashes mid-critical-section and leaks its lock file.
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant, SystemTime};
+
+use smlsc_faults::{self as faults, points, FaultKind};
+use smlsc_trace::{self as trace, names};
 
 use crate::{io_err, StoreError};
 
@@ -33,6 +44,20 @@ impl Drop for LockGuard {
     }
 }
 
+/// Ceiling for the contention backoff between acquisition attempts.
+const MAX_BACKOFF: Duration = Duration::from_millis(50);
+
+static JITTER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A small deterministic jitter (0–1023 µs) decorrelating concurrent
+/// waiters without a clock or RNG dependency.
+pub(crate) fn jitter() -> Duration {
+    let n = JITTER_SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut x = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 29;
+    Duration::from_micros(x % 1024)
+}
+
 /// Acquires the lock at `path`, breaking locks older than
 /// `stale_after`, giving up after `timeout`.
 ///
@@ -40,13 +65,15 @@ impl Drop for LockGuard {
 ///
 /// [`StoreError::LockTimeout`] when a live holder outlasts `timeout`;
 /// [`StoreError::Io`] when the lock file cannot be created for any
-/// reason other than contention.
+/// reason other than contention.  Both errors name the lock file, so a
+/// caller's report can say *which key's* critical section was stuck.
 pub fn acquire(
     path: &Path,
     stale_after: Duration,
     timeout: Duration,
 ) -> Result<LockGuard, StoreError> {
     let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_millis(2);
     loop {
         match std::fs::OpenOptions::new()
             .write(true)
@@ -56,6 +83,23 @@ pub fn acquire(
             Ok(mut f) => {
                 use std::io::Write as _;
                 let _ = writeln!(f, "{}", std::process::id());
+                drop(f);
+                // The fault point sits inside the critical section: the
+                // lock file exists but no guard will release it yet.  A
+                // `panic` here is a crashed owner; an `io` is a failed
+                // acquisition that must not leak the file.
+                // (`Torn` has no meaning for a lock file and is ignored.)
+                if faults::active() {
+                    if let Some(FaultKind::Io) =
+                        faults::check(points::STORE_LOCK, &path.to_string_lossy())
+                    {
+                        std::fs::remove_file(path).ok();
+                        return Err(io_err(
+                            path,
+                            faults::io_error(points::STORE_LOCK, &path.to_string_lossy()),
+                        ));
+                    }
+                }
                 return Ok(LockGuard {
                     path: path.to_path_buf(),
                 });
@@ -65,13 +109,17 @@ pub fn acquire(
                     // The owner crashed; break the lock and retry.  A
                     // racing breaker is fine — both remove, one of the
                     // subsequent create_new calls wins.
+                    trace::counter(names::STORE_LOCK_BROKEN, 1);
+                    trace::event("store.lock_break").field("path", path.display());
                     std::fs::remove_file(path).ok();
                     continue;
                 }
                 if Instant::now() >= deadline {
                     return Err(StoreError::LockTimeout(path.to_path_buf()));
                 }
-                std::thread::sleep(Duration::from_millis(2));
+                trace::counter(names::STORE_RETRIES, 1);
+                std::thread::sleep(backoff.min(MAX_BACKOFF) + jitter());
+                backoff = (backoff * 2).min(MAX_BACKOFF);
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 // The locks directory itself is missing (fresh root or
@@ -99,11 +147,12 @@ fn lock_is_stale(path: &Path, stale_after: Duration) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use smlsc_faults::{FaultPlan, FaultRule};
 
     fn tmp_lock(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("smlsc-lock-{tag}-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        dir.join("t.lock")
+        dir.join(format!("{tag}.lock"))
     }
 
     #[test]
@@ -129,6 +178,92 @@ mod tests {
         // stale_after of zero: any existing lock is presumed abandoned.
         let g = acquire(&path, Duration::ZERO, Duration::from_secs(5)).unwrap();
         drop(g);
+    }
+
+    /// The crashed-owner scenario, driven end to end by an injected
+    /// panic instead of sleeps or hand-written lock files: builder A
+    /// dies *inside* the critical section (the fault point fires after
+    /// `create_new`, before the guard exists), leaking its lock file;
+    /// builder B presumes the owner dead and proceeds by breaking it.
+    #[test]
+    fn crashed_owner_lock_is_broken_and_second_builder_proceeds() {
+        let path = tmp_lock("crash");
+        std::fs::remove_file(&path).ok();
+        let collector = trace::Collector::new();
+        collector.install();
+        {
+            let plan = FaultPlan::default().with(
+                FaultRule::new(points::STORE_LOCK, FaultKind::Panic)
+                    .filtered("crash")
+                    .times(1),
+            );
+            let _faults = faults::install_scoped(plan);
+            let crashed = std::panic::catch_unwind(|| {
+                acquire(&path, Duration::from_secs(10), Duration::from_secs(5))
+            });
+            assert!(crashed.is_err(), "owner must crash mid-critical-section");
+            assert!(path.exists(), "the crashed owner leaks its lock file");
+
+            // The second builder breaks the abandoned lock (presumed
+            // dead immediately under a zero staleness bound) and wins.
+            let g = acquire(&path, Duration::ZERO, Duration::from_secs(5))
+                .expect("second builder proceeds past the crashed owner");
+            drop(g);
+            assert!(!path.exists());
+        }
+        trace::uninstall();
+        assert_eq!(collector.counter(names::STORE_LOCK_BROKEN), 1);
+    }
+
+    /// A slow (but alive) holder — delayed by an injected fault inside
+    /// the critical section — is *waited out*, never broken: the second
+    /// builder blocks on contention backoff and acquires after release.
+    #[test]
+    fn delayed_live_holder_is_waited_out_not_broken() {
+        let path = tmp_lock("slow");
+        std::fs::remove_file(&path).ok();
+        let collector = trace::Collector::new();
+        collector.install();
+        let released = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        {
+            let plan = FaultPlan::default().with(
+                FaultRule::new(
+                    points::STORE_LOCK,
+                    FaultKind::Delay(Duration::from_millis(40)),
+                )
+                .filtered("slow")
+                .times(1),
+            );
+            let _faults = faults::install_scoped(plan);
+            std::thread::scope(|s| {
+                let released_a = released.clone();
+                let path_a = path.clone();
+                s.spawn(move || {
+                    // Holds the lock through the injected 40ms stall.
+                    let g =
+                        acquire(&path_a, Duration::from_secs(10), Duration::from_secs(5)).unwrap();
+                    released_a.store(true, std::sync::atomic::Ordering::SeqCst);
+                    drop(g);
+                });
+                // Give A a head start into the critical section, then
+                // contend with a generous staleness bound: B must wait.
+                while !path.exists() {
+                    std::hint::spin_loop();
+                }
+                let g = acquire(&path, Duration::from_secs(10), Duration::from_secs(5)).unwrap();
+                assert!(
+                    released.load(std::sync::atomic::Ordering::SeqCst),
+                    "B acquired before A released"
+                );
+                drop(g);
+            });
+        }
+        trace::uninstall();
+        assert_eq!(
+            collector.counter(names::STORE_LOCK_BROKEN),
+            0,
+            "a live holder must never be broken"
+        );
     }
 
     #[test]

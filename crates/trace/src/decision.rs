@@ -58,6 +58,13 @@ pub enum RebuildDecision {
         /// The verdict that would otherwise have caused a compile.
         cause: Box<RebuildDecision>,
     },
+    /// The unit was not attempted: under keep-going scheduling, one or
+    /// more of its (transitive) imports failed, so no trustworthy
+    /// compile inputs exist for it this build.
+    Skipped {
+        /// The direct imports that failed or were themselves skipped.
+        blocked_on: Vec<String>,
+    },
 }
 
 impl RebuildDecision {
@@ -70,7 +77,8 @@ impl RebuildDecision {
             | RebuildDecision::DependencyRebuilt { .. } => true,
             RebuildDecision::CutOff { .. }
             | RebuildDecision::Reused
-            | RebuildDecision::StoreHit { .. } => false,
+            | RebuildDecision::StoreHit { .. }
+            | RebuildDecision::Skipped { .. } => false,
         }
     }
 
@@ -84,6 +92,7 @@ impl RebuildDecision {
             RebuildDecision::CutOff { .. } => "cutoff",
             RebuildDecision::Reused => "reused",
             RebuildDecision::StoreHit { .. } => "store_hit",
+            RebuildDecision::Skipped { .. } => "skipped",
         }
     }
 
@@ -107,6 +116,9 @@ impl RebuildDecision {
             }
             RebuildDecision::StoreHit { key, cause } => {
                 o.str("key", key).str("cause", cause.kind());
+            }
+            RebuildDecision::Skipped { blocked_on } => {
+                o.str("blocked_on", &blocked_on.join(","));
             }
         }
         o.finish()
@@ -135,6 +147,10 @@ impl fmt::Display for RebuildDecision {
             RebuildDecision::Reused => write!(f, "reused: no relevant change"),
             RebuildDecision::StoreHit { key, cause } => {
                 write!(f, "from store (key {key}), instead of: {cause}")
+            }
+            RebuildDecision::Skipped { blocked_on } => {
+                let list: Vec<String> = blocked_on.iter().map(|u| format!("`{u}`")).collect();
+                write!(f, "skipped: blocked on failed import(s) {}", list.join(", "))
             }
         }
     }

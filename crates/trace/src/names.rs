@@ -47,6 +47,26 @@ pub const STORE_QUARANTINE_EVENT: &str = "store.quarantine";
 /// a miss without quarantining.
 pub const STORE_REJECT_EVENT: &str = "store.reject";
 
+/// Units whose compile (or rehydration) failed this build.
+pub const UNITS_FAILED: &str = "irm.units_failed";
+/// Units skipped because a transitive import failed (keep-going mode).
+pub const UNITS_SKIPPED: &str = "irm.units_skipped";
+/// Event: one per unit whose compile panicked; fields `unit`, `payload`.
+/// The panic is caught per unit and surfaced as an internal error —
+/// it fails the unit (and its dependents), never the worker pool.
+pub const UNIT_PANIC_EVENT: &str = "irm.unit_panic";
+/// Corrupt or unreadable bin files skipped by `load_bins` (the unit
+/// recompiles instead of poisoning the whole cache load).
+pub const BIN_CORRUPT: &str = "irm.bin_corrupt";
+
+/// The store flipped into degraded (no-store) mode after repeated IO or
+/// lock failures; builds continue correctly without it.
+pub const STORE_DEGRADED: &str = "store.degraded";
+/// Transient store IO/lock failures that were retried.
+pub const STORE_RETRIES: &str = "store.retry";
+/// Stale (crashed-owner) lock files broken by a later acquirer.
+pub const STORE_LOCK_BROKEN: &str = "store.lock_broken";
+
 /// Nodes visited while dehydrating (pickling) export environments.
 pub const PICKLE_NODES: &str = "pickle.nodes";
 /// Import stubs emitted while dehydrating.

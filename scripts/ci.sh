@@ -53,4 +53,48 @@ fi
 ./target/release/smlsc cache verify --store "$store"
 ./target/release/smlsc cache stats --store "$store"
 
+echo "==> chaos: fault-injection test suites"
+cargo test -q -p smlsc-faults
+cargo test -q -p smlsc-store
+cargo test -q --test chaos
+cargo test -q --test keep_going
+
+echo "==> chaos: seeded storms (--jobs 4, three fixed seeds)"
+c=$(mktemp -d)
+trap 'rm -rf "$d" "$c"' EXIT
+printf 'structure Base = struct val n = 10 end\n' > "$c/base.sml"
+for m in a b c d; do
+  printf 'structure Mid_%s = struct val v = Base.n + 1 end\n' "$m" > "$c/mid_$m.sml"
+done
+printf 'structure Top = struct val s = Mid_a.v + Mid_b.v + Mid_c.v + Mid_d.v end\n' > "$c/top.sml"
+for seed in 11 42 1994; do
+  cstore="$c/store-$seed"
+  rm -rf "$c/.smlsc-bins"
+  SMLSC_FAULTS="seed=$seed;store.publish=torn%25;store.publish=io%20;store.fetch=io%20;store.fetch=torn%20;store.lock=io%10" \
+    ./target/release/smlsc build --keep-going --jobs 4 --store "$cstore" "$c"
+  # The storm may have torn published objects: the first verify
+  # quarantines them (nonzero exit expected), gc purges the
+  # quarantine, and the store must then verify clean.
+  ./target/release/smlsc cache verify --store "$cstore" || true
+  ./target/release/smlsc cache gc --store "$cstore"
+  ./target/release/smlsc cache verify --store "$cstore"
+done
+
+echo "==> chaos: keep-going + exit-code smoke"
+k=$(mktemp -d)
+trap 'rm -rf "$d" "$c" "$k"' EXIT
+printf 'structure Ok = struct val x = 1 end\n' > "$k/ok.sml"
+printf 'structure Bad = struct val y = 1 + "s" end\n' > "$k/bad.sml"
+printf 'structure Uses_bad = struct val z = Bad.y end\n' > "$k/uses_bad.sml"
+set +e
+out=$(./target/release/smlsc build -k --jobs 4 "$k" 2>&1); code=$?
+set -e
+[ "$code" -eq 1 ] || { echo "error: expected exit 1, got $code: $out" >&2; exit 1; }
+echo "$out" | grep -q '1 failed, 1 skipped' \
+  || { echo "error: missing keep-going summary: $out" >&2; exit 1; }
+set +e
+./target/release/smlsc build --inject-faults 'compile.unit=panic(bad)' "$k" 2>/dev/null; code=$?
+set -e
+[ "$code" -eq 3 ] || { echo "error: expected internal-error exit 3, got $code" >&2; exit 1; }
+
 echo "ci: all green"
