@@ -130,7 +130,7 @@ fn main() {
         for &i in &included {
             let name = module_name(i);
             let f = project.file(&name).expect("workload module exists");
-            other.add(name, &f.text);
+            other.add(name, f.read_text().expect("workload sources are inline"));
         }
         let mut irm = Irm::with_store(Strategy::Cutoff, Arc::clone(&store));
         let report = irm.build(&other).expect("cross-project build");

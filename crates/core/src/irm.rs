@@ -71,6 +71,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -84,18 +85,103 @@ use smlsc_trace::{self as trace, names, RebuildDecision};
 
 use crate::compile::{analyze_source, compile_unit, source_pid, CompileTimings, ImportSource};
 use crate::link::{link_and_execute, DynEnv};
-use crate::unit::{BinFile, BIN_FORMAT_VERSION};
+use crate::pack::{PackReader, PackWriter, PACK_FILE};
+use crate::stamps::{StampCache, StampEntry};
+use crate::unit::{BinFile, BinMeta, BIN_FORMAT_VERSION};
 use crate::CoreError;
+
+/// A source file's text: either in memory, or a path read (and cached)
+/// on first use.  Warm builds whose decisions all come from the stamp
+/// cache never force lazy texts at all — that is the whole point: a
+/// no-op build does *zero* source-file reads (the `source.reads`
+/// counter proves it).
+#[derive(Debug, Clone)]
+pub enum SourceText {
+    /// Text supplied directly (tests, workloads, the REPL).
+    Inline(String),
+    /// Text on disk, read lazily and at most once.
+    Lazy {
+        /// The file to read.
+        path: PathBuf,
+        /// Its size in bytes at stat time (a stamp-cache key component).
+        size: u64,
+        /// The cached read result, shared across project clones.
+        cell: Arc<OnceLock<Result<String, String>>>,
+    },
+}
+
+impl SourceText {
+    /// The text, reading it from disk on first use.  Each real read
+    /// bumps the `source.reads` counter; read failures are cached (a
+    /// vanished file fails the same way every time).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] when a lazy read fails.
+    pub fn force(&self) -> Result<&str, CoreError> {
+        match self {
+            SourceText::Inline(s) => Ok(s),
+            SourceText::Lazy { path, cell, .. } => {
+                let res = cell.get_or_init(|| {
+                    trace::counter(names::SOURCE_READS, 1);
+                    std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+                });
+                match res {
+                    Ok(s) => Ok(s.as_str()),
+                    Err(e) => Err(CoreError::Io(e.clone())),
+                }
+            }
+        }
+    }
+
+    /// The text if it is already in memory (inline, or a lazy read that
+    /// has happened) — never triggers a read.
+    pub fn loaded(&self) -> Option<&str> {
+        match self {
+            SourceText::Inline(s) => Some(s),
+            SourceText::Lazy { cell, .. } => cell.get().and_then(|r| r.as_deref().ok()),
+        }
+    }
+}
 
 /// One source file of a project.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Unit name (file stem).
     pub name: Symbol,
-    /// Source text.
-    pub text: String,
+    /// Source text (possibly not yet read from disk).
+    pub text: SourceText,
     /// Virtual modification time.
     pub mtime: u64,
+}
+
+impl SourceFile {
+    /// The source text, reading it from disk on first use.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] when a lazy read fails.
+    pub fn read_text(&self) -> Result<&str, CoreError> {
+        self.text.force()
+    }
+
+    /// The file's size in bytes: the stat-time size for lazy files, the
+    /// in-memory length for inline ones.
+    pub fn size(&self) -> u64 {
+        match &self.text {
+            SourceText::Inline(s) => s.len() as u64,
+            SourceText::Lazy { size, .. } => *size,
+        }
+    }
+
+    /// The on-disk path backing a lazy file (`None` for inline text).
+    /// Only path-backed files participate in the stamp cache.
+    pub fn path(&self) -> Option<&Path> {
+        match &self.text {
+            SourceText::Inline(_) => None,
+            SourceText::Lazy { path, .. } => Some(path),
+        }
+    }
 }
 
 static CLOCK: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
@@ -149,7 +235,7 @@ impl Project {
         let name = Symbol::intern(&name.into());
         let f = SourceFile {
             name,
-            text: text.into(),
+            text: SourceText::Inline(text.into()),
             mtime: tick(),
         };
         if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
@@ -168,7 +254,7 @@ impl Project {
         let name = Symbol::intern(&name.into());
         let f = SourceFile {
             name,
-            text: text.into(),
+            text: SourceText::Inline(text.into()),
             mtime,
         };
         if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
@@ -176,6 +262,75 @@ impl Project {
         } else {
             self.files.push(f);
         }
+    }
+
+    /// Adds a lazily read on-disk file (or replaces one of the same
+    /// name).  Only its metadata (`mtime`, `size`) is touched now; the
+    /// text is read on first use.  See [`Project::from_dir`].
+    pub fn add_lazy(
+        &mut self,
+        name: impl Into<String>,
+        path: impl Into<PathBuf>,
+        mtime_ns: u64,
+        size: u64,
+    ) {
+        observe(mtime_ns);
+        let name = Symbol::intern(&name.into());
+        let f = SourceFile {
+            name,
+            text: SourceText::Lazy {
+                path: path.into(),
+                size,
+                cell: Arc::new(OnceLock::new()),
+            },
+            mtime: mtime_ns,
+        };
+        if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
+            *existing = f;
+        } else {
+            self.files.push(f);
+        }
+    }
+
+    /// Scans `dir` for `*.sml` files and builds a project of *lazy*
+    /// sources: each file is stat'ed (mtime, size) but not read.  A
+    /// warm build against a stamp cache then decides everything from
+    /// stats alone and never opens a source file.  Files are sorted by
+    /// unit name for deterministic ordering.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] when the directory cannot be listed or a file
+    /// cannot be stat'ed.
+    pub fn from_dir(dir: &Path) -> Result<Project, CoreError> {
+        let rd =
+            std::fs::read_dir(dir).map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
+        let mut files: Vec<(String, PathBuf, u64, u64)> = Vec::new();
+        for entry in rd {
+            let entry = entry.map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("sml") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let meta = std::fs::metadata(&path)
+                .map_err(|e| CoreError::Io(format!("{}: {e}", path.display())))?;
+            let mtime_ns = meta
+                .modified()
+                .ok()
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            files.push((stem.to_string(), path, mtime_ns, meta.len()));
+        }
+        files.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut p = Project::new();
+        for (stem, path, mtime_ns, size) in files {
+            p.add_lazy(stem, path, mtime_ns, size);
+        }
+        Ok(p)
     }
 
     /// Removes a file from the project.  Any bins referencing it become
@@ -208,7 +363,7 @@ impl Project {
             .iter_mut()
             .find(|f| f.name == name)
             .ok_or(CoreError::UnknownUnit(name))?;
-        f.text = text.into();
+        f.text = SourceText::Inline(text.into());
         f.mtime = clock;
         Ok(())
     }
@@ -241,9 +396,12 @@ impl Project {
         self.files.iter().find(|f| f.name == name)
     }
 
-    /// Total source lines across the project.
+    /// Total source lines across the project (forces lazy reads).
     pub fn total_lines(&self) -> usize {
-        self.files.iter().map(|f| f.text.lines().count()).sum()
+        self.files
+            .iter()
+            .map(|f| f.read_text().map(|t| t.lines().count()).unwrap_or(0))
+            .sum()
     }
 }
 
@@ -416,26 +574,211 @@ pub struct BinLoadOutcome {
     pub corrupt: Vec<(PathBuf, CoreError)>,
 }
 
+/// A cached bin: decision metadata always resident, the body either in
+/// memory or a lazily forced, digest-verified slice of `bins.pack`.
+/// Rebuild decisions need only [`BinMeta`], so a warm build touches no
+/// bodies at all.
+#[derive(Debug)]
+struct BinEntry {
+    meta: BinMeta,
+    body: BinBody,
+}
+
+#[derive(Debug)]
+enum BinBody {
+    /// The full bin is in memory (fresh compile, legacy `*.bin` load,
+    /// injected by a test).
+    Resident(BinFile),
+    /// The body lives in `bins.pack`; forced (read + digest-verified +
+    /// parsed) at most once, on first real use.
+    Lazy {
+        src: LazyBody,
+        cell: OnceLock<Result<BinFile, CoreError>>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct LazyBody {
+    pack: Arc<PackReader>,
+    offset: u64,
+    len: u64,
+    digest: Pid,
+}
+
+impl BinEntry {
+    fn resident(bin: BinFile) -> BinEntry {
+        BinEntry {
+            meta: bin.meta(),
+            body: BinBody::Resident(bin),
+        }
+    }
+
+    /// The full bin, forcing a lazy body.  The result (success or
+    /// corruption) is cached: a torn body fails identically every time
+    /// until the unit is quarantined.
+    fn force(&self) -> Result<&BinFile, CoreError> {
+        match &self.body {
+            BinBody::Resident(bin) => Ok(bin),
+            BinBody::Lazy { src, cell } => {
+                let unit = self.meta.name;
+                cell.get_or_init(|| {
+                    trace::counter(names::BIN_LAZY_BODIES, 1);
+                    let bytes = src
+                        .pack
+                        .read_body(src.offset, src.len, src.digest)
+                        .map_err(|detail| CoreError::BinBodyCorrupt { unit, detail })?;
+                    BinFile::from_bytes(&bytes).map_err(|e| CoreError::BinBodyCorrupt {
+                        unit,
+                        detail: e.to_string(),
+                    })
+                })
+                .as_ref()
+                .map_err(|e| e.clone())
+            }
+        }
+    }
+
+    /// The full bin if it is already in memory — never forces.
+    fn forced(&self) -> Option<&BinFile> {
+        match &self.body {
+            BinBody::Resident(bin) => Some(bin),
+            BinBody::Lazy { cell, .. } => cell.get().and_then(|r| r.as_ref().ok()),
+        }
+    }
+}
+
 /// The manager.
 #[derive(Debug, Default)]
 pub struct Irm {
     strategy: Option<Strategy>,
-    bins: HashMap<Symbol, BinFile>,
+    bins: HashMap<Symbol, BinEntry>,
     /// Dependency-analysis cache keyed by unit, valid while the source
-    /// digest matches.
-    deps_cache: HashMap<Symbol, CachedAnalysis>,
+    /// digest (or failing that, the token digest) matches.  `Arc` so a
+    /// cache hit shares the analysis instead of cloning its vectors.
+    deps_cache: HashMap<Symbol, Arc<CachedAnalysis>>,
+    /// The persistent `(path, mtime_ns, size) → analysis` stamp cache.
+    stamps: StampCache,
+    /// When set, every stamp- and token-level shortcut is bypassed:
+    /// all sources are read and fully re-digested.
+    paranoid: bool,
     /// The shared artifact store, if attached.
     store: Option<Arc<Store>>,
     /// Units whose in-memory bin differs (or may differ) from what
     /// `save_bins` last persisted; everything else skips its write.
     dirty: HashSet<Symbol>,
+    /// The pack file the current `bins` map was loaded from, if any.
+    pack_path: Option<PathBuf>,
+    /// True while `bins` is byte-equivalent to `pack_path`'s contents,
+    /// letting a no-op save skip rewriting the archive entirely.
+    pack_synced: bool,
 }
 
 #[derive(Debug, Clone)]
 struct CachedAnalysis {
     source_pid: Pid,
+    /// Digest of the token stream: comment/whitespace edits change
+    /// `source_pid` but not this, so the analysis still hits.
+    deps_pid: Pid,
     imports: Vec<Symbol>,
     exports: Vec<Symbol>,
+}
+
+/// How one file's analysis was obtained (drives which counters bump).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AnalysisHit {
+    /// Stamp cache: the file was never even opened.
+    Stamp,
+    /// Deps cache via the source digest (file read + digested, same
+    /// bytes as last time).
+    SourcePid,
+    /// Deps cache via the token digest (comment/whitespace-only edit).
+    TokenPid,
+    /// Fully analyzed (parsed) this build.
+    Fresh,
+}
+
+/// One file's analysis plus how it was obtained; produced (possibly on
+/// a worker thread) by [`analyze_one`], merged deterministically by
+/// [`Irm::analyze_all`].
+#[derive(Debug)]
+struct FileAnalysis {
+    analysis: Arc<CachedAnalysis>,
+    hit: AnalysisHit,
+}
+
+/// The per-file analysis ladder.  Shares `deps_cache` and `stamps`
+/// immutably so it can run on worker threads; all mutation happens in
+/// the caller's merge loop.
+fn analyze_one(
+    f: &SourceFile,
+    deps_cache: &HashMap<Symbol, Arc<CachedAnalysis>>,
+    stamps: &StampCache,
+    paranoid: bool,
+) -> Result<FileAnalysis, CoreError> {
+    // Rung 1: the stamp cache.  Path-backed files whose (unit, mtime,
+    // size) stamp matches reuse the recorded analysis without a read.
+    if !paranoid {
+        if let Some(path) = f.path() {
+            let key = path.to_string_lossy();
+            if let Some(e) = stamps.lookup(&key, f.name, f.mtime, f.size()) {
+                let analysis = match deps_cache.get(&f.name) {
+                    // Share the existing Arc when it matches the stamp.
+                    Some(c) if c.source_pid == e.source_pid => Arc::clone(c),
+                    _ => Arc::new(CachedAnalysis {
+                        source_pid: e.source_pid,
+                        deps_pid: e.deps_pid,
+                        imports: e.imports.clone(),
+                        exports: e.exports.clone(),
+                    }),
+                };
+                return Ok(FileAnalysis {
+                    analysis,
+                    hit: AnalysisHit::Stamp,
+                });
+            }
+        }
+    }
+    let text = f.read_text()?;
+    let sp = source_pid(text);
+    // Rung 2: the deps cache, by source digest.
+    if let Some(c) = deps_cache.get(&f.name) {
+        if c.source_pid == sp {
+            return Ok(FileAnalysis {
+                analysis: Arc::clone(c),
+                hit: AnalysisHit::SourcePid,
+            });
+        }
+        // Rung 3: by token digest — a comment or whitespace edit keeps
+        // the token stream (hence imports/exports) identical.
+        if !paranoid {
+            if let Some(dp) = smlsc_syntax::deps::token_pid(text) {
+                if c.deps_pid == dp {
+                    return Ok(FileAnalysis {
+                        analysis: Arc::new(CachedAnalysis {
+                            source_pid: sp,
+                            deps_pid: dp,
+                            imports: c.imports.clone(),
+                            exports: c.exports.clone(),
+                        }),
+                        hit: AnalysisHit::TokenPid,
+                    });
+                }
+            }
+        }
+    }
+    // Rung 4: a real parse.
+    let _span = trace::span(names::SPAN_ANALYZE).field("unit", f.name.as_str());
+    let a = analyze_source(f.name, text)?;
+    let dp = smlsc_syntax::deps::token_pid(text).unwrap_or(sp);
+    Ok(FileAnalysis {
+        analysis: Arc::new(CachedAnalysis {
+            source_pid: sp,
+            deps_pid: dp,
+            imports: a.imports,
+            exports: a.exports,
+        }),
+        hit: AnalysisHit::Fresh,
+    })
 }
 
 impl Irm {
@@ -472,9 +815,19 @@ impl Irm {
         self.strategy.unwrap_or(Strategy::Cutoff)
     }
 
-    /// The cached bin for a unit, if any.
+    /// The cached bin for a unit, if any — forces a lazily archived
+    /// body.  A corrupt body reads as "no bin" here; builds surface the
+    /// corruption properly and quarantine the unit.
     pub fn bin(&self, name: &str) -> Option<&BinFile> {
-        self.bins.get(&Symbol::intern(name))
+        self.bins
+            .get(&Symbol::intern(name))
+            .and_then(|e| e.force().ok())
+    }
+
+    /// The cached bin *metadata* for a unit, if any — never touches a
+    /// pickle body.
+    pub fn bin_meta(&self, name: &str) -> Option<&BinMeta> {
+        self.bins.get(&Symbol::intern(name)).map(|e| &e.meta)
     }
 
     /// Number of cached bins.
@@ -487,34 +840,198 @@ impl Irm {
         self.bins.clear();
         self.deps_cache.clear();
         self.dirty.clear();
+        self.pack_synced = false;
     }
 
     /// Overwrites a cached bin — used by tests and the linkage experiment
     /// to simulate stale or corrupted bin stores.
     pub fn inject_bin(&mut self, bin: BinFile) {
         self.dirty.insert(bin.unit.name);
-        self.bins.insert(bin.unit.name, bin);
+        self.bins.insert(bin.unit.name, BinEntry::resident(bin));
+        self.pack_synced = false;
     }
 
-    /// Persists every bin file under `dir` as `<unit>.bin`.
-    ///
-    /// Each bin is staged to a temp file and `rename(2)`d into place, so
-    /// a crash mid-save can tear no `.bin`; bins unchanged since they
-    /// were loaded or last saved are skipped entirely, so a no-op save
-    /// after a fully cached build does no per-unit I/O.
+    /// Enables or disables paranoid mode: when on, the stamp cache and
+    /// token-level analysis reuse are bypassed and every source is read
+    /// and fully re-digested.  Decisions must come out identical either
+    /// way — a property test holds the manager to that.
+    pub fn set_paranoid(&mut self, paranoid: bool) {
+        self.paranoid = paranoid;
+    }
+
+    /// True when paranoid mode is on.
+    pub fn paranoid(&self) -> bool {
+        self.paranoid
+    }
+
+    /// Loads the persistent stamp cache from `path` (missing or corrupt
+    /// files degrade silently to an empty cache).
+    pub fn load_stamps(&mut self, path: &Path) {
+        self.stamps = StampCache::load(path);
+    }
+
+    /// Persists the stamp cache to `path` (atomic; no-op when clean).
     ///
     /// # Errors
     ///
     /// [`CoreError::Io`] on filesystem failures.
+    pub fn save_stamps(&mut self, path: &Path) -> Result<(), CoreError> {
+        self.stamps.save(path)
+    }
+
+    /// Number of entries in the stamp cache.
+    pub fn stamp_count(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Drops a unit whose archived body turned out to be corrupt, so
+    /// the next build recompiles it (alone).  Returns true if the unit
+    /// was cached.
+    pub fn quarantine_bin(&mut self, name: Symbol) -> bool {
+        let had = self.bins.remove(&name).is_some();
+        if had {
+            trace::counter(names::BIN_BODY_QUARANTINED, 1);
+            trace::event("irm.bin_body_quarantined").field("unit", name.as_str());
+            self.dirty.remove(&name);
+            self.pack_synced = false;
+        }
+        had
+    }
+
+    /// Persists every bin under `dir` as one indexed archive,
+    /// `bins.pack`, and deletes any legacy per-unit `*.bin` files it
+    /// replaces (the migration path).
+    ///
+    /// The archive is staged to a temp file and `rename(2)`d into place,
+    /// so a crash mid-save can never tear it.  When nothing changed
+    /// since the pack was loaded, the save is a complete no-op.  Bodies
+    /// that are still lazy (never forced this session) are copied
+    /// byte-for-byte from the old archive without parsing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`]/[`CoreError::BinIo`] on filesystem failures.
     pub fn save_bins(&mut self, dir: &Path) -> Result<(), CoreError> {
+        let _span = trace::span("irm.save_bins").field("bins", self.bins.len());
+        let pack_path = dir.join(PACK_FILE);
+        if self.dirty.is_empty()
+            && self.pack_synced
+            && self.pack_path.as_deref() == Some(&pack_path)
+            && pack_path.is_file()
+        {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
+        let mut names_sorted: Vec<Symbol> = self.bins.keys().copied().collect();
+        names_sorted.sort_by_key(|n| n.as_str());
+        let mut writer = PackWriter::create(&pack_path)?;
+        let mut quarantined: Vec<Symbol> = Vec::new();
+        for name in &names_sorted {
+            let entry = &self.bins[name];
+            // Materialize the body bytes: resident/forced bins
+            // serialize; still-lazy bodies copy raw from the old pack.
+            let bytes = match (&entry.body, entry.forced()) {
+                (_, Some(bin)) => bin.to_bytes(),
+                (BinBody::Lazy { src, .. }, None) => {
+                    match src.pack.read_body(src.offset, src.len, src.digest) {
+                        Ok(b) => b,
+                        Err(detail) => {
+                            // The old archive's body is bad (torn,
+                            // digest mismatch, or a forced failure):
+                            // quarantine this unit, keep the rest.
+                            trace::event("irm.bin_body_quarantined")
+                                .field("unit", name.as_str())
+                                .field("error", detail);
+                            quarantined.push(*name);
+                            continue;
+                        }
+                    }
+                }
+                (BinBody::Resident(_), None) => unreachable!("resident bodies are always forced"),
+            };
+            if faults::active() {
+                match faults::check(points::BIN_SAVE, name.as_str()) {
+                    Some(FaultKind::Io) => {
+                        return Err(bin_io(
+                            *name,
+                            &pack_path,
+                            faults::io_error(points::BIN_SAVE, name.as_str()),
+                        ));
+                    }
+                    Some(FaultKind::Torn) => {
+                        // A torn body write: the archive keeps a prefix
+                        // of the real bytes (zero-padded to length)
+                        // under the *true* digest, so only lazy
+                        // verification of this one unit can catch it.
+                        let mut torn = bytes.clone();
+                        let keep = torn.len() / 2;
+                        for b in &mut torn[keep..] {
+                            *b = 0;
+                        }
+                        let digest = Pid::of_bytes(&bytes);
+                        writer.add(&entry.meta, &torn, digest)?;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+            trace::counter(names::BIN_BYTES_WRITTEN, bytes.len() as u64);
+            let digest = Pid::of_bytes(&bytes);
+            writer.add(&entry.meta, &bytes, digest)?;
+        }
+        writer.finish()?;
+        for unit in quarantined {
+            self.bins.remove(&unit);
+            trace::counter(names::BIN_BODY_QUARANTINED, 1);
+        }
+        // Migration: the archive now carries everything; stale per-unit
+        // bin files would shadow it on the next load.
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.extension().is_some_and(|e| e == "bin") {
+                    std::fs::remove_file(&p).ok();
+                }
+            }
+        }
+        self.dirty.clear();
+        self.pack_path = Some(pack_path);
+        self.pack_synced = true;
+        Ok(())
+    }
+
+    /// Persists every bin under `dir` as legacy per-unit `<unit>.bin`
+    /// files (the pre-archive format), deleting any `bins.pack` there.
+    /// Kept as the eager baseline for benchmarks and for tests of the
+    /// per-file crash-safety path; [`Irm::save_bins`] (the archive) is
+    /// what builds use.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`]/[`CoreError::BinIo`] on filesystem failures.
+    pub fn save_bins_files(&mut self, dir: &Path) -> Result<(), CoreError> {
         let _span = trace::span("irm.save_bins").field("bins", self.bins.len());
         std::fs::create_dir_all(dir)
             .map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
-        for (name, bin) in &self.bins {
+        let stale_pack = dir.join(PACK_FILE);
+        if stale_pack.is_file() {
+            std::fs::remove_file(&stale_pack)
+                .map_err(|e| CoreError::Io(format!("{}: {e}", stale_pack.display())))?;
+        }
+        self.pack_path = None;
+        self.pack_synced = false;
+        let mut names_sorted: Vec<Symbol> = self.bins.keys().copied().collect();
+        names_sorted.sort_by_key(|n| n.as_str());
+        for name in &names_sorted {
             let path = dir.join(format!("{name}.bin"));
             if !self.dirty.contains(name) && path.is_file() {
                 continue;
             }
+            let bin = match self.bins[name].force() {
+                Ok(bin) => bin,
+                Err(_) => continue, // corrupt archived body: skip, recompiles next build
+            };
             let bytes = bin.to_bytes();
             if faults::active() {
                 match faults::check(points::BIN_SAVE, name.as_str()) {
@@ -549,10 +1066,16 @@ impl Irm {
         Ok(())
     }
 
-    /// Loads every `*.bin` under `dir` into the bin store.  A corrupt
-    /// or unreadable individual bin does not poison the load: it is
-    /// reported in [`BinLoadOutcome::corrupt`], skipped, and the unit
-    /// simply recompiles on the next build.
+    /// Loads the bin cache under `dir`: the indexed `bins.pack` archive
+    /// if present (reading *only* its footer index — bodies stay on
+    /// disk until first use), plus any legacy per-unit `*.bin` files
+    /// (which override archive entries of the same name and migrate
+    /// into the archive on the next [`Irm::save_bins`]).
+    ///
+    /// A corrupt individual entry — or a corrupt archive — does not
+    /// poison the load: it is reported in [`BinLoadOutcome::corrupt`],
+    /// skipped, and the affected units simply recompile.  In paranoid
+    /// mode every archived body is read and digest-verified eagerly.
     ///
     /// # Errors
     ///
@@ -560,6 +1083,86 @@ impl Irm {
     pub fn load_bins(&mut self, dir: &Path) -> Result<BinLoadOutcome, CoreError> {
         let _span = trace::span("irm.load_bins");
         let mut out = BinLoadOutcome::default();
+        let pack_path = dir.join(PACK_FILE);
+        let mut pack_ok = false;
+        let mut pack_entries = 0usize;
+        if pack_path.is_file() {
+            match PackReader::open(&pack_path) {
+                Ok(Some(reader)) => {
+                    pack_ok = true;
+                    let reader = Arc::new(reader);
+                    pack_entries = reader.entries().len();
+                    for pe in reader.entries() {
+                        let unit = pe.name;
+                        let fault = if faults::active() {
+                            faults::check(points::BIN_LOAD, unit.as_str())
+                        } else {
+                            None
+                        };
+                        if let Some(FaultKind::Io | FaultKind::Torn) = fault {
+                            let e = bin_io(
+                                unit,
+                                &pack_path,
+                                faults::io_error(points::BIN_LOAD, unit.as_str()),
+                            );
+                            trace::counter(names::BIN_CORRUPT, 1);
+                            trace::event("irm.bin_corrupt")
+                                .field("path", pack_path.display())
+                                .field("error", &e);
+                            out.corrupt.push((pack_path.clone(), e));
+                            continue;
+                        }
+                        let src = LazyBody {
+                            pack: Arc::clone(&reader),
+                            offset: pe.offset,
+                            len: pe.len,
+                            digest: pe.digest,
+                        };
+                        if self.paranoid {
+                            // Paranoid mode trusts nothing it has not
+                            // verified: read every body now.
+                            if let Err(detail) = reader.read_body(src.offset, src.len, src.digest) {
+                                let e = CoreError::BinBodyCorrupt { unit, detail };
+                                trace::counter(names::BIN_CORRUPT, 1);
+                                trace::event("irm.bin_corrupt")
+                                    .field("path", pack_path.display())
+                                    .field("error", &e);
+                                out.corrupt.push((pack_path.clone(), e));
+                                continue;
+                            }
+                        } else {
+                            trace::counter(names::BIN_INDEX_ONLY, 1);
+                        }
+                        self.dirty.remove(&unit);
+                        self.bins.insert(
+                            unit,
+                            BinEntry {
+                                meta: pe.meta(),
+                                body: BinBody::Lazy {
+                                    src,
+                                    cell: OnceLock::new(),
+                                },
+                            },
+                        );
+                        out.loaded += 1;
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // Whole-archive corruption (bad footer, torn index):
+                    // every archived unit recompiles, legacy bins still
+                    // load below.
+                    trace::counter(names::BIN_CORRUPT, 1);
+                    trace::event("irm.bin_corrupt")
+                        .field("path", pack_path.display())
+                        .field("error", &e);
+                    out.corrupt.push((pack_path.clone(), e));
+                }
+            }
+        }
+        // Legacy per-unit bin files: still honored, override the
+        // archive, and migrate into it on the next save.
+        let mut legacy = 0usize;
         let entries =
             std::fs::read_dir(dir).map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
         for entry in entries {
@@ -599,18 +1202,34 @@ impl Irm {
                 Ok(bin) => {
                     // What we just read *is* the on-disk state: clean.
                     self.dirty.remove(&bin.unit.name);
-                    self.bins.insert(bin.unit.name, bin);
+                    self.bins.insert(bin.unit.name, BinEntry::resident(bin));
                     out.loaded += 1;
+                    legacy += 1;
                 }
                 Err(e) => {
                     trace::counter(names::BIN_CORRUPT, 1);
                     trace::event("irm.bin_corrupt")
                         .field("path", path.display())
                         .field("error", &e);
+                    // A corrupt legacy bin shadows any archived entry:
+                    // per-unit files are the newer write wherever both
+                    // exist, so the unit's cached state is unknown —
+                    // drop it and let the unit recompile.
+                    if self
+                        .bins
+                        .get(&unit)
+                        .is_some_and(|en| matches!(en.body, BinBody::Lazy { .. }))
+                    {
+                        self.bins.remove(&unit);
+                        out.loaded -= 1;
+                    }
                     out.corrupt.push((path, e));
                 }
             }
         }
+        self.pack_path = pack_ok.then(|| pack_path.clone());
+        self.pack_synced =
+            pack_ok && out.corrupt.is_empty() && legacy == 0 && self.bins.len() == pack_entries;
         Ok(out)
     }
 
@@ -620,38 +1239,101 @@ impl Irm {
     ///
     /// Parse errors, unresolved or duplicate exports, or an import cycle.
     pub fn plan(&mut self, project: &Project) -> Result<Vec<Symbol>, CoreError> {
-        let analyses = self.analyze_all(project)?;
+        let analyses = self.analyze_all(project, 1)?;
         let exporters = exporters(&analyses)?;
         topo_order(project, &analyses, &exporters)
     }
 
+    /// Analyzes every file, cheapest evidence first — stamp cache (no
+    /// read at all), then source digest, then token digest (comment and
+    /// whitespace edits keep the cached analysis), then a real parse.
+    /// With `jobs > 1` the per-file work fans out over a worker pool;
+    /// counters, stamp updates and the returned map merge in file order
+    /// either way, so results and telemetry are deterministic.
     fn analyze_all(
         &mut self,
         project: &Project,
-    ) -> Result<HashMap<Symbol, CachedAnalysis>, CoreError> {
+        jobs: usize,
+    ) -> Result<HashMap<Symbol, Arc<CachedAnalysis>>, CoreError> {
+        let files = project.files();
+        let results: Vec<Result<FileAnalysis, CoreError>> = {
+            let deps_cache = &self.deps_cache;
+            let stamps = &self.stamps;
+            let paranoid = self.paranoid;
+            if jobs <= 1 || files.len() < 2 {
+                files
+                    .iter()
+                    .map(|f| analyze_one(f, deps_cache, stamps, paranoid))
+                    .collect()
+            } else {
+                let next = AtomicUsize::new(0);
+                let slots: Vec<OnceLock<Result<FileAnalysis, CoreError>>> =
+                    files.iter().map(|_| OnceLock::new()).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..jobs.min(files.len()) {
+                        let sink = trace::fork_current();
+                        let next = &next;
+                        let slots = &slots;
+                        scope.spawn(move || {
+                            if let Some(sink) = sink {
+                                trace::install(sink);
+                            }
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= files.len() {
+                                    break;
+                                }
+                                let r = analyze_one(&files[i], deps_cache, stamps, paranoid);
+                                let _ = slots[i].set(r);
+                            }
+                            trace::uninstall();
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.into_inner().expect("every analysis slot is filled"))
+                    .collect()
+            }
+        };
+        // Deterministic merge in file order: counters, stamp records,
+        // deps-cache updates, and the first error (if any) all follow
+        // project order regardless of worker scheduling.
         let mut out = HashMap::new();
-        for f in project.files() {
-            let sp = source_pid(&f.text);
-            let cached = self.deps_cache.get(&f.name);
-            let a = match cached {
-                Some(c) if c.source_pid == sp => {
+        for (f, r) in files.iter().zip(results) {
+            let fa = r?;
+            let stamped = !self.paranoid && f.path().is_some();
+            match fa.hit {
+                AnalysisHit::Stamp => trace::counter(names::STAMP_HITS, 1),
+                AnalysisHit::SourcePid | AnalysisHit::TokenPid => {
+                    if stamped {
+                        trace::counter(names::STAMP_MISSES, 1);
+                    }
                     trace::counter(names::DEPS_CACHE_HITS, 1);
-                    c.clone()
                 }
-                _ => {
+                AnalysisHit::Fresh => {
+                    if stamped {
+                        trace::counter(names::STAMP_MISSES, 1);
+                    }
                     trace::counter(names::DEPS_CACHE_MISSES, 1);
-                    let _span = trace::span(names::SPAN_ANALYZE).field("unit", f.name.as_str());
-                    let a = analyze_source(f.name, &f.text)?;
-                    let c = CachedAnalysis {
-                        source_pid: sp,
-                        imports: a.imports,
-                        exports: a.exports,
-                    };
-                    self.deps_cache.insert(f.name, c.clone());
-                    c
                 }
-            };
-            out.insert(f.name, a);
+            }
+            if let Some(path) = f.path() {
+                self.stamps.record(
+                    path.to_string_lossy().into_owned(),
+                    StampEntry {
+                        unit: f.name,
+                        mtime_ns: f.mtime,
+                        size: f.size(),
+                        source_pid: fa.analysis.source_pid,
+                        deps_pid: fa.analysis.deps_pid,
+                        imports: fa.analysis.imports.clone(),
+                        exports: fa.analysis.exports.clone(),
+                    },
+                );
+            }
+            self.deps_cache.insert(f.name, Arc::clone(&fa.analysis));
+            out.insert(f.name, fa.analysis);
         }
         Ok(out)
     }
@@ -673,7 +1355,7 @@ impl Irm {
         policy: FailurePolicy,
     ) -> Result<BuildReport, CoreError> {
         let strategy = self.strategy();
-        let analyses = self.analyze_all(project)?;
+        let analyses = self.analyze_all(project, 1)?;
         let exporters = exporters(&analyses)?;
         let order = topo_order(project, &analyses, &exporters)?;
         let _build_span = trace::span(names::SPAN_BUILD)
@@ -728,11 +1410,11 @@ impl Irm {
                 file,
                 sp,
                 &import_units,
-                self.bins.get(name),
+                self.bins.get(name).map(|e| &e.meta),
                 &|u| {
-                    self.bins.get(&u).map(|b| ImportFacts {
-                        export_pid: b.unit.export_pid,
-                        mtime: b.mtime,
+                    self.bins.get(&u).map(|e| ImportFacts {
+                        export_pid: e.meta.export_pid,
+                        mtime: e.meta.mtime,
                         rebuilt: recompiled_set.get(&u).copied().unwrap_or(false),
                     })
                 },
@@ -767,7 +1449,7 @@ impl Irm {
                         let pid = self
                             .bins
                             .get(u)
-                            .map(|b| b.unit.export_pid)
+                            .map(|e| e.meta.export_pid)
                             .ok_or(CoreError::UnknownUnit(*u))?;
                         Ok(ImportSource {
                             unit: *u,
@@ -776,7 +1458,7 @@ impl Irm {
                         })
                     })
                     .collect::<Result<_, CoreError>>()?;
-                compile_unit_injected(*name, &file.text, &sources).map(SeqStep::Compiled)
+                compile_unit_injected(*name, file.read_text()?, &sources).map(SeqStep::Compiled)
             });
 
             match step {
@@ -790,7 +1472,7 @@ impl Irm {
                         .field("kind", decision.kind());
                     report.decisions.push((*name, decision));
                     self.dirty.insert(*name);
-                    self.bins.insert(*name, bin);
+                    self.bins.insert(*name, BinEntry::resident(bin));
                     // For dependents a store hit is a rebuild: their
                     // own verdicts compare pids exactly as they would
                     // after a compile.
@@ -833,10 +1515,10 @@ impl Irm {
                     self.dirty.insert(*name);
                     self.bins.insert(
                         *name,
-                        BinFile {
+                        BinEntry::resident(BinFile {
                             mtime: tick(),
                             ..bin
-                        },
+                        }),
                     );
                     envs.insert(*name, out.exports);
                     recompiled_set.insert(*name, true);
@@ -861,7 +1543,7 @@ impl Irm {
     fn store_key_for(&self, sp: Pid, import_units: &[Symbol]) -> Option<Pid> {
         let mut pids = Vec::with_capacity(import_units.len());
         for u in import_units {
-            pids.push(self.bins.get(u)?.unit.export_pid);
+            pids.push(self.bins.get(u)?.meta.export_pid);
         }
         Some(smlsc_store::cache_key(sp, &pids, BIN_FORMAT_VERSION))
     }
@@ -883,7 +1565,7 @@ impl Irm {
         match BinFile::from_bytes(&bytes) {
             Ok(mut bin)
                 if store_bin_matches(&bin, name, sp, import_units, &|u| {
-                    self.bins.get(&u).map(|b| b.unit.export_pid)
+                    self.bins.get(&u).map(|e| e.meta.export_pid)
                 }) =>
             {
                 bin.mtime = tick();
@@ -938,10 +1620,50 @@ impl Irm {
         jobs: usize,
         policy: FailurePolicy,
     ) -> Result<BuildReport, CoreError> {
-        if jobs <= 1 {
-            return self.build_sequential(project, policy);
+        // Quarantine-and-retry: a lazily archived body that turns out
+        // to be corrupt (torn write, bit rot) surfaces as
+        // `BinBodyCorrupt` mid-build.  Drop just that unit's cache
+        // entry and rebuild — it recompiles alone, and since its source
+        // is unchanged its export pid comes out identical, so
+        // dependents cut off.  Each retry removes at least one cached
+        // entry, so the loop is bounded by the cache size.
+        loop {
+            let result = if jobs <= 1 {
+                self.build_sequential(project, policy)
+            } else {
+                self.build_parallel(project, jobs, policy)
+            };
+            match result {
+                Err(CoreError::BinBodyCorrupt { unit, .. }) => {
+                    if !self.quarantine_bin(unit) {
+                        return Err(CoreError::BinBodyCorrupt {
+                            unit,
+                            detail: "corrupt body persisted after quarantine".into(),
+                        });
+                    }
+                }
+                Ok(report)
+                    if report
+                        .failed
+                        .iter()
+                        .any(|(_, e)| matches!(e, CoreError::BinBodyCorrupt { .. })) =>
+                {
+                    // Keep-going: the corrupt bodies are per-unit
+                    // failures in the report.  Quarantine them all and
+                    // retry; bail out if nothing was actually cached.
+                    let mut any = false;
+                    for (u, e) in &report.failed {
+                        if matches!(e, CoreError::BinBodyCorrupt { .. }) {
+                            any |= self.quarantine_bin(*u);
+                        }
+                    }
+                    if !any {
+                        return Ok(report);
+                    }
+                }
+                other => return other,
+            }
         }
-        self.build_parallel(project, jobs, policy)
     }
 
     fn build_parallel(
@@ -951,7 +1673,7 @@ impl Irm {
         policy: FailurePolicy,
     ) -> Result<BuildReport, CoreError> {
         let strategy = self.strategy();
-        let analyses = self.analyze_all(project)?;
+        let analyses = self.analyze_all(project, jobs)?;
         let exporters = exporters(&analyses)?;
         let order = topo_order(project, &analyses, &exporters)?;
         let n = order.len();
@@ -1215,7 +1937,7 @@ impl Irm {
         report.decisions.push((name, decision));
         match new_bin {
             Some(bin) => {
-                self.bins.insert(name, bin);
+                self.bins.insert(name, BinEntry::resident(bin));
                 self.dirty.insert(name);
                 if from_store {
                     report.store_hits.push(name);
@@ -1242,7 +1964,7 @@ impl Irm {
     fn force_env(
         &self,
         unit: Symbol,
-        analyses: &HashMap<Symbol, CachedAnalysis>,
+        analyses: &HashMap<Symbol, Arc<CachedAnalysis>>,
         exporters: &HashMap<Symbol, Symbol>,
         envs: &mut HashMap<Symbol, Arc<Bindings>>,
         report: &mut BuildReport,
@@ -1263,7 +1985,11 @@ impl Irm {
         for u in &import_units {
             ctx_envs.push(self.force_env(*u, analyses, exporters, envs, report)?);
         }
-        let bin = self.bins.get(&unit).ok_or(CoreError::UnknownUnit(unit))?;
+        let bin = self
+            .bins
+            .get(&unit)
+            .ok_or(CoreError::UnknownUnit(unit))?
+            .force()?;
         let t0 = Instant::now();
         let _span = trace::span(names::SPAN_REHYDRATE).field("unit", unit.as_str());
         let ctx = RehydrateContext::with_pervasives(ctx_envs.iter().map(|e| e.as_ref()));
@@ -1298,13 +2024,34 @@ impl Irm {
         project: &Project,
         jobs: usize,
     ) -> Result<(BuildReport, DynEnv), CoreError> {
-        let report = self.build_with_jobs(project, jobs)?;
-        let mut env = DynEnv::new();
-        for name in &report.order {
-            let bin = self.bins.get(name).ok_or(CoreError::UnknownUnit(*name))?;
-            link_and_execute(&bin.unit, &mut env).map_err(CoreError::Link)?;
+        // Linking forces every body.  A corrupt archived body found
+        // here quarantines the unit and rebuilds (it recompiles alone,
+        // pids unchanged), then linking restarts.  Bounded: each retry
+        // removes one cached entry.
+        loop {
+            let report = self.build_with_jobs(project, jobs)?;
+            let mut env = DynEnv::new();
+            let mut bad_unit = None;
+            for name in &report.order {
+                let entry = self.bins.get(name).ok_or(CoreError::UnknownUnit(*name))?;
+                match entry.force() {
+                    Ok(bin) => {
+                        link_and_execute(&bin.unit, &mut env).map_err(CoreError::Link)?;
+                    }
+                    Err(CoreError::BinBodyCorrupt { unit, detail }) => {
+                        bad_unit = Some((unit, detail));
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let Some((unit, detail)) = bad_unit else {
+                return Ok((report, env));
+            };
+            if !self.quarantine_bin(unit) {
+                return Err(CoreError::BinBodyCorrupt { unit, detail });
+            }
         }
-        Ok((report, env))
     }
 }
 
@@ -1335,7 +2082,7 @@ fn decide_unit(
     file: &SourceFile,
     sp: Pid,
     import_units: &[Symbol],
-    own_bin: Option<&BinFile>,
+    own_bin: Option<&BinMeta>,
     facts: &dyn Fn(Symbol) -> Option<ImportFacts>,
 ) -> RebuildDecision {
     let Some(bin) = own_bin else {
@@ -1344,16 +2091,16 @@ fn decide_unit(
     let rebuilt = |u: &Symbol| facts(*u).is_some_and(|f| f.rebuilt);
     match strategy {
         Strategy::Cutoff => {
-            if bin.unit.source_pid != sp {
+            if bin.source_pid != sp {
                 return RebuildDecision::SourceChanged {
-                    old: bin.unit.source_pid.to_string(),
+                    old: bin.source_pid.to_string(),
                     new: sp.to_string(),
                 };
             }
             // Import identity drift: an export moved to a different
             // unit without this source changing.  The slot's pid
             // necessarily refers to something else now.
-            let old_units: Vec<Symbol> = bin.unit.imports.iter().map(|e| e.unit).collect();
+            let old_units: Vec<Symbol> = bin.imports.iter().map(|e| e.unit).collect();
             if old_units != import_units {
                 let n = old_units.len().max(import_units.len());
                 for i in 0..n {
@@ -1364,7 +2111,6 @@ fn decide_unit(
                         return RebuildDecision::ImportPidChanged {
                             import: import.as_str().to_string(),
                             old: bin
-                                .unit
                                 .imports
                                 .get(i)
                                 .map_or_else(|| "none".to_string(), |e| e.pid.to_string()),
@@ -1375,7 +2121,7 @@ fn decide_unit(
                     }
                 }
             }
-            for (e, u) in bin.unit.imports.iter().zip(import_units) {
+            for (e, u) in bin.imports.iter().zip(import_units) {
                 let current = facts(*u).map(|f| f.export_pid);
                 if Some(e.pid) != current {
                     return RebuildDecision::ImportPidChanged {
@@ -1416,9 +2162,9 @@ fn decide_unit(
             RebuildDecision::Reused
         }
         Strategy::Classical => {
-            if bin.unit.source_pid != sp {
+            if bin.source_pid != sp {
                 return RebuildDecision::SourceChanged {
-                    old: bin.unit.source_pid.to_string(),
+                    old: bin.source_pid.to_string(),
                     new: sp.to_string(),
                 };
             }
@@ -1596,13 +2342,13 @@ struct ParallelShared<'a> {
     order: &'a [Symbol],
     file_index: &'a HashMap<Symbol, &'a SourceFile>,
     index_of: &'a HashMap<Symbol, usize>,
-    analyses: &'a HashMap<Symbol, CachedAnalysis>,
+    analyses: &'a HashMap<Symbol, Arc<CachedAnalysis>>,
     import_units: &'a [Vec<Symbol>],
     import_idx: &'a [Vec<usize>],
     /// The bin store as of the start of the build.  New bins live in
     /// `outcomes` until the coordinator merges them, so old state stays
     /// readable (a unit's *own* decision reads its pre-build bin).
-    old_bins: &'a HashMap<Symbol, BinFile>,
+    old_bins: &'a HashMap<Symbol, BinEntry>,
     /// The shared artifact store, probed before compiling and published
     /// to after (same protocol as the sequential loop).
     store: Option<&'a Store>,
@@ -1627,9 +2373,9 @@ impl ParallelShared<'_> {
                 }
             }
         }
-        self.old_bins.get(&u).map(|b| ImportFacts {
-            export_pid: b.unit.export_pid,
-            mtime: b.mtime,
+        self.old_bins.get(&u).map(|e| ImportFacts {
+            export_pid: e.meta.export_pid,
+            mtime: e.meta.mtime,
             rebuilt: false,
         })
     }
@@ -1647,7 +2393,7 @@ impl ParallelShared<'_> {
             file,
             sp,
             units,
-            self.old_bins.get(&name),
+            self.old_bins.get(&name).map(|e| &e.meta),
             &|u| self.facts(u),
         );
         if !decision.requires_recompile() {
@@ -1739,7 +2485,7 @@ impl ParallelShared<'_> {
                 })
             })
             .collect::<Result<_, CoreError>>()?;
-        let out = compile_unit_injected(name, &file.text, &sources)?;
+        let out = compile_unit_injected(name, file.read_text()?, &sources)?;
         trace::counter(names::UNITS_COMPILED, 1);
         // Publish the export environment *before* the completion signal,
         // so a dependent never rehydrates a freshly compiled unit.
@@ -1801,9 +2547,15 @@ impl ParallelShared<'_> {
             Some(Ok(out)) => out.new_bin.as_ref(),
             _ => None,
         };
-        let bin = match new_bin.or_else(|| self.old_bins.get(&unit)) {
+        let bin = match new_bin {
             Some(b) => b,
-            None => return Err(CoreError::UnknownUnit(unit)),
+            None => match self.old_bins.get(&unit) {
+                // Forcing may find a corrupt archived body; the error
+                // propagates up as this unit's failure and the caller's
+                // quarantine-and-retry loop recompiles it.
+                Some(e) => e.force()?,
+                None => return Err(CoreError::UnknownUnit(unit)),
+            },
         };
         let t0 = Instant::now();
         let _span = trace::span(names::SPAN_REHYDRATE).field("unit", unit.as_str());
@@ -1819,7 +2571,7 @@ impl ParallelShared<'_> {
 
 /// Maps each exported top-level name to the unit exporting it.
 fn exporters(
-    analyses: &HashMap<Symbol, CachedAnalysis>,
+    analyses: &HashMap<Symbol, Arc<CachedAnalysis>>,
 ) -> Result<HashMap<Symbol, Symbol>, CoreError> {
     let mut map: HashMap<Symbol, Symbol> = HashMap::new();
     let mut units: Vec<&Symbol> = analyses.keys().collect();
@@ -1843,7 +2595,7 @@ fn exporters(
 /// project unit are errors, cycles are errors.
 fn topo_order(
     project: &Project,
-    analyses: &HashMap<Symbol, CachedAnalysis>,
+    analyses: &HashMap<Symbol, Arc<CachedAnalysis>>,
     exporters: &HashMap<Symbol, Symbol>,
 ) -> Result<Vec<Symbol>, CoreError> {
     // Validate imports first for a precise error.
@@ -1861,7 +2613,7 @@ fn topo_order(
     let mut state: HashMap<Symbol, u8> = HashMap::new(); // 1 = visiting, 2 = done
     fn visit(
         unit: Symbol,
-        analyses: &HashMap<Symbol, CachedAnalysis>,
+        analyses: &HashMap<Symbol, Arc<CachedAnalysis>>,
         exporters: &HashMap<Symbol, Symbol>,
         state: &mut HashMap<Symbol, u8>,
         order: &mut Vec<Symbol>,

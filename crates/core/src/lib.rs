@@ -49,7 +49,9 @@ pub mod groups;
 pub mod hash;
 pub mod irm;
 pub mod link;
+pub mod pack;
 pub mod session;
+pub mod stamps;
 pub mod stdlib;
 pub mod unit;
 
@@ -66,8 +68,9 @@ pub use session::Session;
 pub use smlsc_store as store;
 pub use smlsc_trace as trace;
 pub use smlsc_trace::RebuildDecision;
+pub use stamps::StampCache;
 pub use stdlib::{add_stdlib, stdlib_units};
-pub use unit::{BinFile, CompiledUnit, ImportEdge, BIN_FORMAT_VERSION};
+pub use unit::{BinFile, BinMeta, CompiledUnit, ImportEdge, BIN_FORMAT_VERSION};
 
 /// Any error from the compilation manager.
 #[derive(Debug, Clone)]
@@ -102,6 +105,16 @@ pub enum CoreError {
     },
     /// A bin file is malformed.
     CorruptBin(String),
+    /// A lazily loaded pack body failed digest verification or parsing
+    /// when first forced.  The archive index was fine — only this one
+    /// unit's body is bad — so the manager quarantines the unit (drops
+    /// it from the cache) and recompiles it alone.
+    BinBodyCorrupt {
+        /// The unit whose body is bad.
+        unit: Symbol,
+        /// What the verification found.
+        detail: String,
+    },
     /// A unit imports a name no project unit exports.
     UnresolvedImport {
         /// The importing unit.
@@ -186,6 +199,9 @@ impl fmt::Display for CoreError {
             CoreError::Hash { unit, error } => write!(f, "unit `{unit}`: {error}"),
             CoreError::Pickle { unit, error } => write!(f, "unit `{unit}`: {error}"),
             CoreError::CorruptBin(m) => write!(f, "corrupt bin file: {m}"),
+            CoreError::BinBodyCorrupt { unit, detail } => {
+                write!(f, "unit `{unit}`: corrupt archived bin body: {detail}")
+            }
             CoreError::UnresolvedImport { unit, name } => {
                 write!(f, "unit `{unit}` imports `{name}`, which no unit exports")
             }

@@ -1,0 +1,477 @@
+//! The indexed bin archive: one `bins.pack` instead of N `*.bin` reads.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! +--------------------+  offset 0
+//! | magic  "SMLSPAK1"  |  8 bytes
+//! | version            |  1 byte  (PACK_VERSION)
+//! +--------------------+  offset 9
+//! | body 0             |  each body is one BinFile::to_bytes() blob
+//! | body 1             |
+//! | ...                |
+//! +--------------------+  index_offset
+//! | index (JSON)       |  Vec<PackEntry>: per-unit name, source pid,
+//! |                    |  import edges, export pid, mtime, body
+//! |                    |  offset/len, body digest
+//! +--------------------+  index_offset + index_len
+//! | footer (40 bytes)  |  index_offset u64 | index_len u64 |
+//! |                    |  index_digest u128 | magic "SMLSPKI1"
+//! +--------------------+  EOF
+//! ```
+//!
+//! `load_bins` reads only the footer and index — three small reads no
+//! matter how many units the project has — and every rebuild decision
+//! runs off index metadata alone.  Bodies are sliced out, digest
+//! verified, and parsed lazily on first use (rehydration, linking); a
+//! torn body therefore quarantines exactly one unit, exactly when it is
+//! actually needed.
+//!
+//! Writers stage a temp file, fsync, and `rename(2)` into place (the
+//! store's atomic-publication idiom), so a crash mid-save leaves the
+//! previous pack intact.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+use smlsc_ids::{Pid, Symbol};
+use smlsc_trace::{self as trace, names};
+
+use crate::unit::{BinMeta, ImportEdge};
+use crate::CoreError;
+
+/// The archive's file name inside a bin directory.
+pub const PACK_FILE: &str = "bins.pack";
+
+/// Version byte after the leading magic; a mismatch rejects the pack
+/// (the units then just recompile, or load from legacy `*.bin` files).
+pub const PACK_VERSION: u8 = 1;
+
+const PACK_MAGIC: &[u8; 8] = b"SMLSPAK1";
+const FOOTER_MAGIC: &[u8; 8] = b"SMLSPKI1";
+/// index_offset (8) + index_len (8) + index_digest (16) + magic (8).
+const FOOTER_LEN: u64 = 40;
+/// magic (8) + version (1).
+const HEADER_LEN: u64 = 9;
+
+/// One unit's slot in the footer index: the full decision metadata plus
+/// the location and digest of its serialized body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackEntry {
+    /// The unit's name.
+    pub name: Symbol,
+    /// Digest of the source the unit was compiled from.
+    pub source_pid: Pid,
+    /// Imports in slot order.
+    pub imports: Vec<ImportEdge>,
+    /// The exported interface's intrinsic pid.
+    pub export_pid: Pid,
+    /// Virtual mtime of the bin (timestamp strategy).
+    pub mtime: u64,
+    /// Byte offset of the body within the pack.
+    pub offset: u64,
+    /// Byte length of the body.
+    pub len: u64,
+    /// Digest of the body bytes; verified before the body is parsed.
+    pub digest: Pid,
+}
+
+impl PackEntry {
+    /// The entry's decision metadata.
+    pub fn meta(&self) -> BinMeta {
+        BinMeta {
+            name: self.name,
+            source_pid: self.source_pid,
+            imports: self.imports.clone(),
+            export_pid: self.export_pid,
+            mtime: self.mtime,
+        }
+    }
+}
+
+/// An open pack: the parsed index plus a shared handle for body reads.
+#[derive(Debug)]
+pub struct PackReader {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+    entries: Vec<PackEntry>,
+}
+
+impl PackReader {
+    /// Opens `path`, reading and validating only the header, footer and
+    /// index (never a body).  Returns `Ok(None)` when the file does not
+    /// exist.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::CorruptBin`] when the header, footer, index digest,
+    /// or any entry's bounds are malformed — the whole pack is then
+    /// unusable (callers fall back to recompiling), but this is the only
+    /// failure mode that is not per-unit.
+    pub fn open(path: &Path) -> Result<Option<PackReader>, CoreError> {
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CoreError::Io(format!("{}: {e}", path.display()))),
+        };
+        let total = file
+            .metadata()
+            .map_err(|e| CoreError::Io(format!("{}: {e}", path.display())))?
+            .len();
+        let corrupt = |m: String| CoreError::CorruptBin(format!("{}: {m}", path.display()));
+        if total < HEADER_LEN + FOOTER_LEN {
+            return Err(corrupt(format!("truncated ({total} bytes)")));
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)
+            .map_err(|e| corrupt(e.to_string()))?;
+        if &header[..8] != PACK_MAGIC {
+            return Err(corrupt("bad magic".into()));
+        }
+        if header[8] != PACK_VERSION {
+            return Err(corrupt(format!(
+                "unsupported pack version {} (expected {PACK_VERSION})",
+                header[8]
+            )));
+        }
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))
+            .map_err(|e| corrupt(e.to_string()))?;
+        file.read_exact(&mut footer)
+            .map_err(|e| corrupt(e.to_string()))?;
+        // Footer fields: [0..8) offset, [8..16) len, [16..32) digest,
+        // [32..40) magic.
+        if &footer[32..40] != FOOTER_MAGIC {
+            return Err(corrupt("bad footer magic".into()));
+        }
+        let index_offset = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes"));
+        let index_len = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+        let index_digest = Pid::from_raw(u128::from_le_bytes(
+            footer[16..32].try_into().expect("16 bytes"),
+        ));
+        if index_offset < HEADER_LEN
+            || index_offset
+                .checked_add(index_len)
+                .is_none_or(|end| end != total - FOOTER_LEN)
+        {
+            return Err(corrupt("index bounds out of range".into()));
+        }
+        let mut index_bytes = vec![
+            0u8;
+            usize::try_from(index_len)
+                .map_err(|_| { corrupt("index too large".into()) })?
+        ];
+        file.seek(SeekFrom::Start(index_offset))
+            .map_err(|e| corrupt(e.to_string()))?;
+        file.read_exact(&mut index_bytes)
+            .map_err(|e| corrupt(e.to_string()))?;
+        trace::counter(names::BIN_BYTES_READ, HEADER_LEN + FOOTER_LEN + index_len);
+        if Pid::of_bytes(&index_bytes) != index_digest {
+            return Err(corrupt("index digest mismatch".into()));
+        }
+        let entries: Vec<PackEntry> = serde_json::from_slice(&index_bytes)
+            .map_err(|e| corrupt(format!("index parse: {e}")))?;
+        for e in &entries {
+            if e.offset < HEADER_LEN
+                || e.offset
+                    .checked_add(e.len)
+                    .is_none_or(|end| end > index_offset)
+            {
+                return Err(corrupt(format!("entry `{}` bounds out of range", e.name)));
+            }
+        }
+        Ok(Some(PackReader {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            entries,
+        }))
+    }
+
+    /// The pack's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The parsed index.
+    pub fn entries(&self) -> &[PackEntry] {
+        &self.entries
+    }
+
+    /// Reads and digest-verifies one body slice.  The `Err` string names
+    /// the failure; callers wrap it in [`CoreError::BinBodyCorrupt`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the IO failure or digest mismatch.
+    pub fn read_body(&self, offset: u64, len: u64, digest: Pid) -> Result<Vec<u8>, String> {
+        let mut buf = vec![0u8; usize::try_from(len).map_err(|_| "body too large".to_string())?];
+        {
+            let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            file.seek(SeekFrom::Start(offset))
+                .map_err(|e| e.to_string())?;
+            file.read_exact(&mut buf).map_err(|e| e.to_string())?;
+        }
+        trace::counter(names::BIN_BYTES_READ, len);
+        let got = Pid::of_bytes(&buf);
+        if got != digest {
+            return Err(format!("body digest mismatch (want {digest}, got {got})"));
+        }
+        Ok(buf)
+    }
+}
+
+/// An in-progress pack write: bodies appended one at a time, then the
+/// index and footer sealed by [`PackWriter::finish`].  Dropping an
+/// unfinished writer removes its temp file.
+#[derive(Debug)]
+pub struct PackWriter {
+    tmp: PathBuf,
+    dest: PathBuf,
+    file: Option<std::fs::File>,
+    cursor: u64,
+    entries: Vec<PackEntry>,
+}
+
+impl PackWriter {
+    /// Starts a pack write destined for `dest`, staging to a sibling
+    /// temp file.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] on filesystem failures.
+    pub fn create(dest: &Path) -> Result<PackWriter, CoreError> {
+        let tmp = dest.with_extension(format!("tmp-{}", std::process::id()));
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", tmp.display())))?;
+        file.write_all(PACK_MAGIC)
+            .and_then(|()| file.write_all(&[PACK_VERSION]))
+            .map_err(|e| CoreError::Io(format!("{}: {e}", tmp.display())))?;
+        Ok(PackWriter {
+            tmp,
+            dest: dest.to_path_buf(),
+            file: Some(file),
+            cursor: HEADER_LEN,
+            entries: Vec::new(),
+        })
+    }
+
+    /// Appends one unit's body and records its index entry.  `digest`
+    /// must be the digest of the *intended* bytes — fault-injection
+    /// callers deliberately pass mangled `body` bytes with the true
+    /// digest, simulating a torn non-atomic write that the lazy
+    /// verification must catch later.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] on filesystem failures.
+    pub fn add(&mut self, meta: &BinMeta, body: &[u8], digest: Pid) -> Result<(), CoreError> {
+        let file = self.file.as_mut().expect("writer not finished");
+        file.write_all(body)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", self.tmp.display())))?;
+        self.entries.push(PackEntry {
+            name: meta.name,
+            source_pid: meta.source_pid,
+            imports: meta.imports.clone(),
+            export_pid: meta.export_pid,
+            mtime: meta.mtime,
+            offset: self.cursor,
+            len: body.len() as u64,
+            digest,
+        });
+        self.cursor += body.len() as u64;
+        Ok(())
+    }
+
+    /// Seals the pack: writes the index and footer, fsyncs, and renames
+    /// into place.  Returns the total bytes written.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] on filesystem failures (the temp file is
+    /// removed; the previous pack, if any, is untouched).
+    pub fn finish(mut self) -> Result<u64, CoreError> {
+        let mut file = self.file.take().expect("writer not finished");
+        let index = serde_json::to_vec(&self.entries).expect("pack entries serialize");
+        let index_digest = Pid::of_bytes(&index);
+        let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
+        footer.extend_from_slice(&self.cursor.to_le_bytes());
+        footer.extend_from_slice(&(index.len() as u64).to_le_bytes());
+        footer.extend_from_slice(&index_digest.as_raw().to_le_bytes());
+        footer.extend_from_slice(FOOTER_MAGIC);
+        let total = self.cursor + index.len() as u64 + FOOTER_LEN;
+        let sealed = file
+            .write_all(&index)
+            .and_then(|()| file.write_all(&footer))
+            .and_then(|()| file.sync_all());
+        if let Err(e) = sealed {
+            let msg = format!("{}: {e}", self.tmp.display());
+            drop(file);
+            std::fs::remove_file(&self.tmp).ok();
+            self.tmp.clear(); // Drop must not re-remove
+            return Err(CoreError::Io(msg));
+        }
+        drop(file);
+        if let Err(e) = std::fs::rename(&self.tmp, &self.dest) {
+            let msg = format!("{}: {e}", self.dest.display());
+            std::fs::remove_file(&self.tmp).ok();
+            self.tmp.clear();
+            return Err(CoreError::Io(msg));
+        }
+        self.tmp.clear();
+        Ok(total)
+    }
+}
+
+impl Drop for PackWriter {
+    fn drop(&mut self) {
+        if !self.tmp.as_os_str().is_empty() && self.file.is_some() {
+            self.file = None;
+            std::fs::remove_file(&self.tmp).ok();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::{BinFile, CompiledUnit};
+    use smlsc_dynamics::ir::Ir;
+
+    fn bin(name: &str, mtime: u64) -> BinFile {
+        BinFile {
+            unit: CompiledUnit {
+                name: Symbol::intern(name),
+                source_pid: Pid::of_bytes(name.as_bytes()),
+                imports: vec![ImportEdge {
+                    unit: Symbol::intern("dep"),
+                    pid: Pid::of_bytes(b"dep-exports"),
+                }],
+                export_pid: Pid::of_bytes(b"exports"),
+                env_pickle: vec![7; 64],
+                code: Ir::Int(1),
+            },
+            mtime,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "smlsc-pack-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn write_two(dir: &Path) -> PathBuf {
+        let path = dir.join(PACK_FILE);
+        let mut w = PackWriter::create(&path).unwrap();
+        for (name, mtime) in [("a", 10), ("b", 20)] {
+            let b = bin(name, mtime);
+            let bytes = b.to_bytes();
+            w.add(&b.meta(), &bytes, Pid::of_bytes(&bytes)).unwrap();
+        }
+        w.finish().unwrap();
+        path
+    }
+
+    #[test]
+    fn round_trip_index_and_bodies() {
+        let dir = tmp_dir("roundtrip");
+        let path = write_two(&dir);
+        let r = PackReader::open(&path).unwrap().unwrap();
+        assert_eq!(r.entries().len(), 2);
+        for e in r.entries() {
+            let body = r.read_body(e.offset, e.len, e.digest).unwrap();
+            let back = BinFile::from_bytes(&body).unwrap();
+            assert_eq!(back.unit.name, e.name);
+            assert_eq!(back.mtime, e.mtime);
+            assert_eq!(back.unit.export_pid, e.export_pid);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn absent_pack_is_none() {
+        let dir = tmp_dir("absent");
+        assert!(PackReader::open(&dir.join(PACK_FILE)).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_body_fails_verification_but_index_loads() {
+        let dir = tmp_dir("tornbody");
+        let path = write_two(&dir);
+        // Flip a byte inside the first body: the index (at the tail)
+        // still verifies, only that body's digest check fails.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let r = PackReader::open(&path).unwrap().unwrap();
+        let e0 = r.entries()[0].clone();
+        let e1 = r.entries()[1].clone();
+        drop(r);
+        bytes[e0.offset as usize + 4] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let r = PackReader::open(&path).unwrap().unwrap();
+        assert!(r.read_body(e0.offset, e0.len, e0.digest).is_err());
+        assert!(r.read_body(e1.offset, e1.len, e1.digest).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_footer_or_index_rejects_whole_pack() {
+        let dir = tmp_dir("tornindex");
+        let path = write_two(&dir);
+        let good = std::fs::read(&path).unwrap();
+        // Truncate into the footer.
+        std::fs::write(&path, &good[..good.len() - 10]).unwrap();
+        assert!(matches!(
+            PackReader::open(&path),
+            Err(CoreError::CorruptBin(_))
+        ));
+        // Flip a byte inside the index JSON.
+        let mut bytes = good.clone();
+        let idx = bytes.len() - FOOTER_LEN as usize - 5;
+        bytes[idx] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            PackReader::open(&path),
+            Err(CoreError::CorruptBin(_))
+        ));
+        // Wrong leading magic.
+        let mut bytes = good.clone();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            PackReader::open(&path),
+            Err(CoreError::CorruptBin(_))
+        ));
+        // Wrong version byte.
+        let mut bytes = good;
+        bytes[8] = PACK_VERSION + 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            PackReader::open(&path),
+            Err(CoreError::CorruptBin(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_temp_files_survive() {
+        let dir = tmp_dir("tmpfiles");
+        write_two(&dir);
+        // An aborted writer cleans up too.
+        let w = PackWriter::create(&dir.join("other.pack")).unwrap();
+        drop(w);
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names, vec![PACK_FILE.to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

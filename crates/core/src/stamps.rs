@@ -1,0 +1,272 @@
+//! The persistent stamp cache: `(path, mtime_ns, size) → analysis`.
+//!
+//! The paper's IRM promises that an unchanged project costs only digest
+//! checks — but even digesting requires *reading* every source.  The
+//! stamp cache removes that last O(project) scan: when a file's path,
+//! mtime (nanoseconds) and size all match the recorded stamp, the
+//! manager reuses the recorded source pid and dependency analysis
+//! without opening the file at all.
+//!
+//! Stamps are a *hint*, never the truth (the paper's §4 stance applied
+//! to timestamps): every pid that participates in a rebuild decision was
+//! originally computed from file contents, and `--paranoid` re-reads and
+//! re-digests everything, bypassing the stamp cache entirely.  A
+//! property test asserts stamped and paranoid runs produce identical
+//! pids and identical rebuild decisions.
+//!
+//! The cache persists as one JSON file (`stamps.json` next to the bin
+//! cache), written with the store's tmp + fsync + rename idiom so a
+//! crash mid-save can never tear it.  A missing or corrupt stamp file is
+//! *not* an error — it degrades to "no hints", i.e. the cold path.
+
+use std::collections::HashMap;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use smlsc_ids::{Pid, Symbol};
+
+use crate::CoreError;
+
+/// Version of the stamp-file format; a mismatch discards the file.
+const STAMP_VERSION: u32 = 1;
+
+/// One recorded analysis for a source path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StampEntry {
+    /// The unit the path analyzed as (a rename never matches a stale
+    /// stamp even if mtime and size coincide).
+    pub unit: Symbol,
+    /// File modification time, nanoseconds since the epoch.
+    pub mtime_ns: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Digest of the file contents at stamp time.
+    pub source_pid: Pid,
+    /// Digest of the token stream (comment/whitespace-insensitive).
+    pub deps_pid: Pid,
+    /// Imported module names, sorted.
+    pub imports: Vec<Symbol>,
+    /// Exported module names.
+    pub exports: Vec<Symbol>,
+}
+
+/// One `(path, entry)` pair in the on-disk file (the vendored serde has
+/// no map support, so the file is a vector of records).
+#[derive(Serialize, Deserialize)]
+struct StampRecord {
+    path: String,
+    entry: StampEntry,
+}
+
+#[derive(Serialize, Deserialize)]
+struct StampFile {
+    version: u32,
+    entries: Vec<StampRecord>,
+}
+
+/// The persistent stamp cache.  See the module docs.
+#[derive(Debug, Default)]
+pub struct StampCache {
+    entries: HashMap<String, StampEntry>,
+    dirty: bool,
+}
+
+impl StampCache {
+    /// An empty cache.
+    pub fn new() -> StampCache {
+        StampCache::default()
+    }
+
+    /// Loads a stamp file.  Missing, unreadable, corrupt, or
+    /// version-mismatched files all yield an *empty* cache — stamps are
+    /// hints, so degradation is silent and safe (every miss just reads
+    /// and digests the source the cold way).
+    pub fn load(path: &Path) -> StampCache {
+        let Ok(bytes) = std::fs::read(path) else {
+            return StampCache::default();
+        };
+        match serde_json::from_slice::<StampFile>(&bytes) {
+            Ok(f) if f.version == STAMP_VERSION => StampCache {
+                entries: f.entries.into_iter().map(|r| (r.path, r.entry)).collect(),
+                dirty: false,
+            },
+            _ => StampCache::default(),
+        }
+    }
+
+    /// Persists the cache atomically (tmp + fsync + rename).  A clean
+    /// cache (nothing recorded since load) writes nothing.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] on filesystem failures.
+    pub fn save(&mut self, path: &Path) -> Result<(), CoreError> {
+        if !self.dirty && path.is_file() {
+            return Ok(());
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
+        }
+        // Sort records so repeated saves of the same cache are
+        // byte-identical (diff-friendly, deterministic tests).
+        let mut records: Vec<StampRecord> = self
+            .entries
+            .iter()
+            .map(|(path, entry)| StampRecord {
+                path: path.clone(),
+                entry: entry.clone(),
+            })
+            .collect();
+        records.sort_by(|a, b| a.path.cmp(&b.path));
+        let file = StampFile {
+            version: STAMP_VERSION,
+            entries: records,
+        };
+        let json = serde_json::to_vec(&file).expect("stamp entries serialize");
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&json)?;
+            f.sync_all()
+        };
+        if let Err(e) = write() {
+            std::fs::remove_file(&tmp).ok();
+            return Err(CoreError::Io(format!("{}: {e}", tmp.display())));
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(CoreError::Io(format!("{}: {e}", path.display())));
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// The recorded entry for `path`, but only if the stamp still
+    /// matches: same unit, same mtime (nanoseconds), same size.
+    pub fn lookup(
+        &self,
+        path: &str,
+        unit: Symbol,
+        mtime_ns: u64,
+        size: u64,
+    ) -> Option<&StampEntry> {
+        self.entries
+            .get(path)
+            .filter(|e| e.unit == unit && e.mtime_ns == mtime_ns && e.size == size)
+    }
+
+    /// Records (or refreshes) the entry for `path`.  Recording an
+    /// identical entry does not mark the cache dirty, so a fully warm
+    /// build saves nothing.
+    pub fn record(&mut self, path: String, entry: StampEntry) {
+        if self.entries.get(&path) == Some(&entry) {
+            return;
+        }
+        self.entries.insert(path, entry);
+        self.dirty = true;
+    }
+
+    /// Number of recorded entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(unit: &str, mtime: u64, size: u64) -> StampEntry {
+        StampEntry {
+            unit: Symbol::intern(unit),
+            mtime_ns: mtime,
+            size,
+            source_pid: Pid::of_bytes(b"src"),
+            deps_pid: Pid::of_bytes(b"toks"),
+            imports: vec![Symbol::intern("A")],
+            exports: vec![Symbol::intern("B")],
+        }
+    }
+
+    fn tmp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "smlsc-stamps-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp_path("roundtrip").join("stamps.json");
+        let mut c = StampCache::new();
+        c.record("a.sml".into(), entry("a", 10, 20));
+        c.save(&path).unwrap();
+        let back = StampCache::load(&path);
+        assert_eq!(back.len(), 1);
+        assert!(back.lookup("a.sml", Symbol::intern("a"), 10, 20).is_some());
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn stale_stamp_does_not_match() {
+        let mut c = StampCache::new();
+        c.record("a.sml".into(), entry("a", 10, 20));
+        let a = Symbol::intern("a");
+        assert!(c.lookup("a.sml", a, 11, 20).is_none(), "mtime moved");
+        assert!(c.lookup("a.sml", a, 10, 21).is_none(), "size moved");
+        assert!(
+            c.lookup("a.sml", Symbol::intern("b"), 10, 20).is_none(),
+            "renamed unit must not reuse the old path's analysis"
+        );
+        assert!(c.lookup("b.sml", a, 10, 20).is_none(), "other path");
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_degrade_to_empty() {
+        assert!(StampCache::load(Path::new("/nonexistent/stamps.json")).is_empty());
+        let path = tmp_path("corrupt");
+        std::fs::create_dir_all(&path).unwrap();
+        let f = path.join("stamps.json");
+        std::fs::write(&f, b"{ not json").unwrap();
+        assert!(StampCache::load(&f).is_empty());
+        std::fs::remove_dir_all(&path).ok();
+    }
+
+    #[test]
+    fn clean_save_is_a_no_op() {
+        let dir = tmp_path("clean");
+        let path = dir.join("stamps.json");
+        let mut c = StampCache::new();
+        c.record("a.sml".into(), entry("a", 1, 2));
+        c.save(&path).unwrap();
+        let mtime = std::fs::metadata(&path).unwrap().modified().unwrap();
+        // Re-recording the identical entry keeps the cache clean.
+        c.record("a.sml".into(), entry("a", 1, 2));
+        c.save(&path).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().modified().unwrap(), mtime);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn no_temp_files_survive_a_save() {
+        let dir = tmp_path("tmpfiles");
+        let path = dir.join("stamps.json");
+        let mut c = StampCache::new();
+        c.record("a.sml".into(), entry("a", 1, 2));
+        c.save(&path).unwrap();
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["stamps.json"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

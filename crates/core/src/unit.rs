@@ -49,6 +49,25 @@ pub struct BinFile {
     pub mtime: u64,
 }
 
+/// The decision-relevant metadata of a bin file: everything the
+/// recompilation strategies ([`decide_unit`](crate::irm)) and the store
+/// cache key need, without the pickle body or code object.  This is what
+/// the `bins.pack` footer index carries per unit, so a warm build makes
+/// every rebuild decision without parsing a single pickle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BinMeta {
+    /// The unit's name.
+    pub name: Symbol,
+    /// Digest of the source text the unit was compiled from.
+    pub source_pid: Pid,
+    /// Imports in slot order.
+    pub imports: Vec<ImportEdge>,
+    /// The intrinsic pid of the exported static environment.
+    pub export_pid: Pid,
+    /// Virtual modification time of the bin.
+    pub mtime: u64,
+}
+
 const BIN_MAGIC: &[u8; 8] = b"SMLCBIN1";
 
 /// Version of the bin-file container format (mirrored by the trailing
@@ -58,6 +77,17 @@ const BIN_MAGIC: &[u8; 8] = b"SMLCBIN1";
 pub const BIN_FORMAT_VERSION: u32 = 1;
 
 impl BinFile {
+    /// The bin's decision-relevant metadata (no pickle, no code).
+    pub fn meta(&self) -> BinMeta {
+        BinMeta {
+            name: self.unit.name,
+            source_pid: self.unit.source_pid,
+            imports: self.unit.imports.clone(),
+            export_pid: self.unit.export_pid,
+            mtime: self.mtime,
+        }
+    }
+
     /// Serializes the bin file.
     ///
     /// The container is a tiny magic-prefixed JSON envelope; the inner

@@ -651,9 +651,10 @@ fn build_telemetry_counts_cutoffs_and_cache_traffic() {
     assert_eq!(collector.counter(trace::names::UNITS_COMPILED), 5); // 4 + a
     assert_eq!(collector.counter(trace::names::CUTOFF_HITS), 1); // b
     assert_eq!(collector.counter(trace::names::UNITS_REUSED), 3); // b, c, d
-                                                                  // Second build re-analyzed only the edited source.
-    assert_eq!(collector.counter(trace::names::DEPS_CACHE_MISSES), 5);
-    assert_eq!(collector.counter(trace::names::DEPS_CACHE_HITS), 3);
+                                                                  // Second build re-analyzed nothing: the comment-only edit to `a`
+                                                                  // keeps its token digest, so even its dependency analysis hits.
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_MISSES), 4);
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_HITS), 4);
     // Per-unit compile phases produced histograms.
     assert_eq!(
         collector
@@ -875,4 +876,65 @@ fn session_step_limit_stops_runaway_recursion() {
         .unwrap()
         .join()
         .unwrap();
+}
+
+#[test]
+fn comment_only_edit_keeps_the_cached_dependency_analysis() {
+    use smlsc_core::trace;
+    let collector = trace::Collector::new();
+    collector.install();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = Project::new();
+    p.add("a", "structure A = struct val n = 1 end");
+    p.add("b", "structure B = struct val m = A.n end");
+    irm.build(&p).unwrap();
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_MISSES), 2);
+
+    // A comment-only edit changes the source pid but not the token
+    // stream: the *analysis* is served from cache (`a` by token digest,
+    // `b` by source pid), even though `a` itself still recompiles.
+    p.edit("a", "(* tweak *) structure A = struct val n = 1 end")
+        .unwrap();
+    let report = irm.build(&p).unwrap();
+    trace::uninstall();
+    assert!(report.was_recompiled("a"));
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_MISSES), 2);
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_HITS), 2);
+}
+
+#[test]
+fn import_adding_edit_invalidates_the_cached_dependency_analysis() {
+    use smlsc_core::trace;
+    let collector = trace::Collector::new();
+    collector.install();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let mut p = Project::new();
+    p.add("a", "structure A = struct val n = 1 end");
+    p.add("c", "structure C = struct val k = 5 end");
+    p.add("b", "structure B = struct val m = A.n end");
+    irm.build(&p).unwrap();
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_MISSES), 3);
+
+    // Adding a reference to `C` changes the token stream: `b` must be
+    // re-analyzed (one fresh miss) and the new import edge is live.
+    p.edit("b", "structure B = struct val m = A.n + C.k end")
+        .unwrap();
+    irm.build(&p).unwrap();
+    assert_eq!(collector.counter(trace::names::DEPS_CACHE_MISSES), 4);
+    let imports: Vec<&str> = irm
+        .bin_meta("b")
+        .unwrap()
+        .imports
+        .iter()
+        .map(|i| i.unit.as_str())
+        .collect();
+    assert!(imports.contains(&"c"), "{imports:?}");
+
+    // ... and the edge really is live: an interface change to `c` now
+    // recompiles `b`.
+    p.edit("c", "structure C = struct val k = 5 val extra = 1 end")
+        .unwrap();
+    let report = irm.build(&p).unwrap();
+    trace::uninstall();
+    assert!(report.was_recompiled("b"), "{:?}", report.decisions);
 }

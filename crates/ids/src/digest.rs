@@ -132,15 +132,39 @@ impl Digest128 {
     }
 
     /// Absorbs raw bytes.
+    ///
+    /// The lane recurrences are strictly sequential, so the fast path does
+    /// not change the math — it loads eight bytes as one little-endian word
+    /// (one load, no per-byte bounds checks) and lets the constant-trip
+    /// inner loop unroll.  Output is byte-for-byte identical to the scalar
+    /// loop; the golden-value tests below pin every produced digest.
+    #[inline]
     pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.lane0 = (self.lane0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-            self.lane1 = self
-                .lane1
+        let mut lane0 = self.lane0;
+        let mut lane1 = self.lane1;
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = u64::from_le_bytes(chunk.try_into().unwrap());
+            for _ in 0..8 {
+                let b = word & 0xff;
+                lane0 = (lane0 ^ b).wrapping_mul(FNV_PRIME);
+                lane1 = lane1
+                    .rotate_left(13)
+                    .wrapping_mul(0xff51_afd7_ed55_8ccd)
+                    .wrapping_add(b);
+                word >>= 8;
+            }
+        }
+        for &b in chunks.remainder() {
+            let b = u64::from(b);
+            lane0 = (lane0 ^ b).wrapping_mul(FNV_PRIME);
+            lane1 = lane1
                 .rotate_left(13)
                 .wrapping_mul(0xff51_afd7_ed55_8ccd)
-                .wrapping_add(u64::from(b));
+                .wrapping_add(b);
         }
+        self.lane0 = lane0;
+        self.lane1 = lane1;
         self.len = self.len.wrapping_add(bytes.len() as u64);
     }
 
@@ -302,6 +326,80 @@ mod tests {
     fn display_is_32_hex_digits() {
         let p = Pid::of_bytes(b"x");
         assert_eq!(p.to_string().len(), 32);
+    }
+
+    /// Golden digests captured from the original byte-at-a-time
+    /// `write_bytes` loop.  Any change to these values silently changes
+    /// every pid on disk (bin caches, stamp caches, the shared store), so
+    /// a failure here means "you changed the hash function", not "update
+    /// the constants".
+    #[test]
+    fn golden_values_are_stable() {
+        let cases: [(&[u8], u128); 6] = [
+            (b"", 0xdcecd1ded843e81eaa3841e77928af5e),
+            (b"a", 0xd5b9c5d08c50741baa156805f982cfec),
+            (b"hello, world", 0x0c045df2987eea398ee7b7ef3c72570b),
+            (&BYTES_0_TO_255, 0x482c82ecafd3e187206da9132cd5fa82),
+            (&[0xab; 4096], 0x2b9b7267d3c086b5e9027563bce72230),
+            (
+                b"structure A = struct fun f x = x + 1 end",
+                0x0700508c359a50d92c31e85011ab3318,
+            ),
+        ];
+        for (input, want) in cases {
+            let mut d = Digest128::new();
+            d.write_bytes(input);
+            assert_eq!(
+                d.finish(),
+                want,
+                "digest of {}-byte input changed",
+                input.len()
+            );
+        }
+    }
+
+    const BYTES_0_TO_255: [u8; 256] = {
+        let mut a = [0u8; 256];
+        let mut i = 0;
+        while i < 256 {
+            a[i] = i as u8;
+            i += 1;
+        }
+        a
+    };
+
+    #[test]
+    fn golden_mixed_writes_are_stable() {
+        let mut d = Digest128::new();
+        d.write_str("val sort : t list -> t list");
+        d.write_u64(1994);
+        d.write_tag(7);
+        d.write_u128(0xdead_beef);
+        assert_eq!(d.finish(), 0xa8737134693890eb98f3a14f6d4961d0);
+    }
+
+    /// The word-at-a-time fast path and the byte remainder path must agree
+    /// for every split of the input, including lengths that are not a
+    /// multiple of 8 and writes that straddle chunk boundaries.
+    #[test]
+    fn split_writes_match_single_write() {
+        let data: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(37) & 0xff) as u8)
+            .collect();
+        for len in 0..data.len() {
+            let mut whole = Digest128::new();
+            whole.write_bytes(&data[..len]);
+            for cut in 0..=len {
+                let mut split = Digest128::new();
+                split.write_bytes(&data[..cut]);
+                split.write_bytes(&data[cut..len]);
+                assert_eq!(
+                    whole.finish(),
+                    split.finish(),
+                    "len {len} split at {cut} diverged"
+                );
+            }
+        }
     }
 
     #[test]

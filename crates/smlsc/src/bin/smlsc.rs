@@ -25,6 +25,9 @@
 //!   --inject-faults <spec>  install a deterministic fault plan for
 //!                      chaos testing (or the SMLSC_FAULTS environment
 //!                      variable); see the README for the grammar
+//!   --paranoid         distrust the stamp cache: re-read and re-digest
+//!                      every source file even when its (mtime, size)
+//!                      stamp matches the previous run
 //!   --explain          print why each unit was recompiled or reused
 //!   --stats            print a JSON telemetry report (counters and
 //!                      per-phase duration histograms) to stdout
@@ -55,7 +58,7 @@ use smlsc::core::session::Session;
 use smlsc::core::store::{GcConfig, Store};
 use smlsc::core::{trace, BuildReport, CoreError};
 
-const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --explain  --stats  --trace-out <file>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --paranoid  --explain  --stats  --trace-out <file>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
 
 /// Exit codes (documented in the README): distinguishing "your source
 /// is wrong" from "the compiler broke" from "the disk/store broke".
@@ -125,6 +128,7 @@ struct BuildOpts {
     bin_dir: Option<PathBuf>,
     store: Option<String>,
     inject_faults: Option<String>,
+    paranoid: bool,
     explain: bool,
     stats: bool,
     trace_out: Option<PathBuf>,
@@ -167,6 +171,8 @@ impl BuildOpts {
                 opts.inject_faults = Some(take("--inject-faults")?);
             } else if arg == "--keep-going" || arg == "-k" {
                 opts.keep_going = true;
+            } else if arg == "--paranoid" {
+                opts.paranoid = true;
             } else if arg == "--explain" {
                 opts.explain = true;
             } else if arg == "--stats" {
@@ -219,41 +225,16 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Scans the project directory without reading any source file: each
+/// `*.sml` is stat'ed into a lazy [`SourceFile`], so a warm build whose
+/// stamps all match never opens a source at all.  Real mtimes are
+/// threaded into the project (nanoseconds since the epoch) so
+/// `--strategy timestamp` compares sources against cached bins the way
+/// `make` would.
 fn load_project(dir: &Path) -> Result<Project, String> {
-    let mut files: Vec<(String, String, std::time::SystemTime)> = Vec::new();
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| e.to_string())?;
-        let path = entry.path();
-        if path.extension().is_some_and(|e| e == "sml") {
-            let stem = path
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .ok_or_else(|| format!("bad file name {}", path.display()))?
-                .to_owned();
-            let text = std::fs::read_to_string(&path).map_err(|e| e.to_string())?;
-            let mtime = entry
-                .metadata()
-                .and_then(|m| m.modified())
-                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-            files.push((stem, text, mtime));
-        }
-    }
-    if files.is_empty() {
+    let p = Project::from_dir(dir).map_err(|e| e.to_string())?;
+    if p.files().is_empty() {
         return Err(format!("no .sml files in {}", dir.display()));
-    }
-    // Deterministic order.  Real mtimes are threaded into the project
-    // (nanoseconds since the epoch) so `--strategy timestamp` compares
-    // sources against cached bins the way `make` would; the virtual
-    // clock is advanced past each so later stamps still sort after.
-    files.sort_by(|a, b| a.0.cmp(&b.0));
-    let mut p = Project::new();
-    for (name, text, mtime) in files {
-        let nanos = mtime
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
-            .unwrap_or(0);
-        p.add_with_mtime(name, text, nanos);
     }
     Ok(p)
 }
@@ -287,6 +268,11 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
         .clone()
         .unwrap_or_else(|| dir.join(".smlsc-bins"));
     let mut irm = Irm::new(opts.strategy);
+    irm.set_paranoid(opts.paranoid);
+    // Stamps are a pure accelerator: a missing or corrupt cache only
+    // costs re-digesting, so load failures are silently an empty cache.
+    let stamps_path = bin_dir.join("stamps.json");
+    irm.load_stamps(&stamps_path);
     if let Some(store_dir) = resolve_store(&opts.store) {
         match Store::open(&store_dir) {
             Ok(store) => irm.set_store(Arc::new(store)),
@@ -373,6 +359,8 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
     }
     if let Err(e) = irm.save_bins(&bin_dir) {
         eprintln!("warning: could not persist bins: {e}");
+    } else if let Err(e) = irm.save_stamps(&stamps_path) {
+        eprintln!("warning: could not persist stamps: {e}");
     }
     if run && report.succeeded() {
         let (_, env) = match irm.execute_with_jobs(&project, jobs) {

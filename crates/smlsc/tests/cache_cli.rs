@@ -145,8 +145,7 @@ fn bin_dir_flag_relocates_the_bin_cache() {
         .output()
         .unwrap();
     assert!(out.status.success(), "{out:?}");
-    assert!(bins.join("util.bin").is_file());
-    assert!(bins.join("main.bin").is_file());
+    assert!(bins.join("bins.pack").is_file());
     assert!(!proj.join(".smlsc-bins").exists());
 
     // The relocated cache satisfies the next build.
@@ -165,6 +164,8 @@ fn bin_dir_flag_relocates_the_bin_cache() {
 
 #[test]
 fn corrupt_bin_degrades_to_recompile_with_a_warning() {
+    // A stray legacy `<unit>.bin` that is garbage: warned about,
+    // skipped, and the unit recompiles while the archived one reuses.
     let proj = temp("degrade-proj");
     write_project(&proj);
     let out = smlsc().arg("build").arg(&proj).output().unwrap();
@@ -177,6 +178,27 @@ fn corrupt_bin_degrades_to_recompile_with_a_warning() {
     assert!(stderr.contains("ignoring corrupt bin"), "{stderr}");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("1 recompiled, 1 reused"), "{stdout}");
+
+    std::fs::remove_dir_all(&proj).ok();
+}
+
+#[test]
+fn corrupt_pack_archive_degrades_to_full_recompile_with_a_warning() {
+    let proj = temp("degrade-pack-proj");
+    write_project(&proj);
+    let out = smlsc().arg("build").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(proj.join(".smlsc-bins").join("bins.pack").is_file());
+
+    // Smash the whole archive (bad magic): both units recompile, the
+    // build still succeeds.
+    std::fs::write(proj.join(".smlsc-bins").join("bins.pack"), b"garbage").unwrap();
+    let out = smlsc().arg("build").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("ignoring corrupt bin"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 recompiled, 0 reused"), "{stdout}");
 
     std::fs::remove_dir_all(&proj).ok();
 }

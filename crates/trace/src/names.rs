@@ -78,6 +78,26 @@ pub const REHYDRATE_NODES: &str = "pickle.rehydrate_nodes";
 /// Import stubs resolved while rehydrating.
 pub const REHYDRATE_STUBS: &str = "pickle.rehydrate_stubs";
 
+/// Stamp-cache hits: `(path, mtime_ns, size)` matched, so the source was
+/// neither read nor re-digested (timestamps are a hint; the recorded
+/// digest is the truth and `--paranoid` re-verifies it).
+pub const STAMP_HITS: &str = "stamp.hits";
+/// Stamp-cache misses: a new, touched, or resized file that had to be
+/// read and digested (also counted when running `--paranoid`).
+pub const STAMP_MISSES: &str = "stamp.misses";
+/// Source files actually read from disk (forced lazy texts). A warm
+/// no-op build keeps this at zero.
+pub const SOURCE_READS: &str = "source.reads";
+
+/// Units whose bin metadata was served from the `bins.pack` footer index
+/// alone — no pickle body was read or parsed for the rebuild decision.
+pub const BIN_INDEX_ONLY: &str = "bin.index_only";
+/// Pack bodies lazily sliced, digest-verified, and parsed on first use.
+pub const BIN_LAZY_BODIES: &str = "bin.lazy_bodies";
+/// Pack bodies that failed digest verification when first forced; the
+/// unit is quarantined (dropped from the cache) and rebuilt alone.
+pub const BIN_BODY_QUARANTINED: &str = "bin.body_quarantined";
+
 /// Critical-path length of the analysis DAG (longest import chain, in
 /// units) — with `build.parallelism`, the ceiling on wavefront speedup.
 pub const CRITICAL_PATH: &str = "irm.critical_path";

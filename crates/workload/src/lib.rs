@@ -459,22 +459,25 @@ mod tests {
             funs_per_module: 2,
             reexport_dep_types: false,
         });
-        let before = w.project().file("M0").unwrap().text.clone();
+        let text_of = |w: &Workload| {
+            w.project()
+                .file("M0")
+                .unwrap()
+                .read_text()
+                .unwrap()
+                .to_string()
+        };
+        let before = text_of(&w);
         w.edit(0, EditKind::CommentOnly);
-        let after = w.project().file("M0").unwrap().text.clone();
+        let after = text_of(&w);
         assert_ne!(before, after);
         assert!(after.contains("revision 1"));
 
         w.edit(0, EditKind::InterfaceAdd);
-        assert!(w.project().file("M0").unwrap().text.contains("extra0"));
+        assert!(text_of(&w).contains("extra0"));
 
         w.edit(0, EditKind::InterfaceChangeType);
-        assert!(w
-            .project()
-            .file("M0")
-            .unwrap()
-            .text
-            .contains("tag : string"));
+        assert!(text_of(&w).contains("tag : string"));
     }
 
     #[test]

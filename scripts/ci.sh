@@ -53,6 +53,29 @@ fi
 ./target/release/smlsc cache verify --store "$store"
 ./target/release/smlsc cache stats --store "$store"
 
+echo "==> warm null-build smoke (stamp cache + indexed archive)"
+w=$(mktemp -d)
+trap 'rm -rf "$d" "$w"' EXIT
+printf 'structure Util = struct fun inc x = x + 1 end\n' > "$w/util.sml"
+printf 'structure Main = struct val v = Util.inc 41 end\n' > "$w/main.sml"
+./target/release/smlsc build "$w"
+# The second build of an unchanged project must compile nothing, read
+# no source file (every stamp hits), and parse only the archive index.
+stats=$(./target/release/smlsc build --stats "$w" | grep '^{')
+echo "$stats" | grep -q '"stamp.hits":2' \
+  || { echo "error: warm rebuild did not hit every stamp: $stats" >&2; exit 1; }
+echo "$stats" | grep -q '"bin.index_only":2' \
+  || { echo "error: warm rebuild did not load bins index-only: $stats" >&2; exit 1; }
+for bad in '"source.reads"' '"irm.units_compiled"'; do
+  if echo "$stats" | grep -q "$bad"; then
+    echo "error: warm rebuild did source work ($bad): $stats" >&2; exit 1
+  fi
+done
+
+echo "==> null-build benchmark (smoke)"
+./target/release/null_build --smoke --out "$w/BENCH_null.json"
+cat "$w/BENCH_null.json"; echo
+
 echo "==> chaos: fault-injection test suites"
 cargo test -q -p smlsc-faults
 cargo test -q -p smlsc-store

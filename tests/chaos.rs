@@ -157,9 +157,11 @@ fn unreachable_store_degrades_instead_of_failing_the_build() {
     std::fs::remove_dir_all(&root).ok();
 }
 
-/// Torn bin writes are caught on reload: the corrupt bin is reported
-/// per-file, every healthy bin still loads, and the next build
-/// recompiles exactly the units whose bins were lost.
+/// Torn legacy bin writes are caught on reload: the corrupt bin is
+/// reported per-file, every healthy bin still loads, and the next build
+/// recompiles exactly the units whose bins were lost.  (Torn *archive*
+/// bodies are exercised in tests/warm_builds.rs — those are caught by
+/// lazy digest verification instead.)
 #[test]
 fn torn_bin_save_is_tolerated_per_file_on_reload() {
     let dir = temp_store("tornbin");
@@ -178,7 +180,7 @@ fn torn_bin_save_is_tolerated_per_file_on_reload() {
             FaultPlan::default()
                 .with(FaultRule::new(points::BIN_SAVE, FaultKind::Torn).filtered("chvictim")),
         );
-        irm.save_bins(&dir).unwrap();
+        irm.save_bins_files(&dir).unwrap();
     }
 
     let mut irm2 = Irm::new(Strategy::Cutoff);

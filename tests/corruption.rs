@@ -42,7 +42,7 @@ fn truncated_bin_is_corrupt() {
     let dir = temp_dir("trunc");
     let mut irm = Irm::new(Strategy::Cutoff);
     irm.build(&project()).unwrap();
-    irm.save_bins(&dir).unwrap();
+    irm.save_bins_files(&dir).unwrap();
 
     let bytes = saved_bin(&dir, "mid");
     let truncated = &bytes[..bytes.len() / 2];
@@ -63,7 +63,7 @@ fn bit_flipped_bin_is_corrupt() {
     let dir = temp_dir("flip");
     let mut irm = Irm::new(Strategy::Cutoff);
     irm.build(&project()).unwrap();
-    irm.save_bins(&dir).unwrap();
+    irm.save_bins_files(&dir).unwrap();
 
     let mut bytes = saved_bin(&dir, "base");
     // Flip a byte inside the JSON payload, breaking its syntax.
@@ -94,7 +94,7 @@ fn build_over_a_corrupted_cache_recompiles_and_matches() {
     let p = project();
     let mut irm = Irm::new(Strategy::Cutoff);
     irm.build(&p).unwrap();
-    irm.save_bins(&dir).unwrap();
+    irm.save_bins_files(&dir).unwrap();
     let clean_pids = export_pids(&irm);
 
     // Damage one bin three different ways across three fresh sessions;
@@ -154,7 +154,7 @@ fn atomic_save_leaves_no_temp_files_and_skips_clean_bins() {
     let p = project();
     let mut irm = Irm::new(Strategy::Cutoff);
     irm.build(&p).unwrap();
-    irm.save_bins(&dir).unwrap();
+    irm.save_bins_files(&dir).unwrap();
 
     let entries = || {
         let mut names: Vec<String> = std::fs::read_dir(&dir)
@@ -178,12 +178,53 @@ fn atomic_save_leaves_no_temp_files_and_skips_clean_bins() {
         .iter()
         .map(|n| stamp(n))
         .collect();
-    irm.save_bins(&dir).unwrap();
+    irm.save_bins_files(&dir).unwrap();
     let after: Vec<_> = ["base.bin", "mid.bin", "top.bin"]
         .iter()
         .map(|n| stamp(n))
         .collect();
     assert_eq!(before, after, "no-op save must not rewrite bins");
     assert_eq!(entries(), ["base.bin", "mid.bin", "top.bin"]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn atomic_archive_save_migrates_and_skips_when_clean() {
+    let dir = temp_dir("atomic-pack");
+    let p = project();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(&p).unwrap();
+    irm.save_bins_files(&dir).unwrap();
+
+    // A fresh session loads the legacy files and saves the archive:
+    // the per-unit bins migrate into `bins.pack` and are deleted.
+    let mut session = Irm::new(Strategy::Cutoff);
+    assert_eq!(session.load_bins(&dir).unwrap().loaded, 3);
+    session.save_bins(&dir).unwrap();
+    let entries = || {
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        names
+    };
+    assert_eq!(entries(), ["bins.pack"]);
+
+    // A load + no-op save must not rewrite the archive.
+    let mut warm = Irm::new(Strategy::Cutoff);
+    assert_eq!(warm.load_bins(&dir).unwrap().loaded, 3);
+    warm.build(&p).unwrap();
+    let before = std::fs::metadata(dir.join("bins.pack"))
+        .unwrap()
+        .modified()
+        .unwrap();
+    warm.save_bins(&dir).unwrap();
+    let after = std::fs::metadata(dir.join("bins.pack"))
+        .unwrap()
+        .modified()
+        .unwrap();
+    assert_eq!(before, after, "no-op save must not rewrite the archive");
+    assert_eq!(entries(), ["bins.pack"]);
     std::fs::remove_dir_all(&dir).ok();
 }
