@@ -184,8 +184,10 @@ fn main() {
         std::fs::remove_dir_all(&base).ok();
     }
 
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
-        r#"{{"bench":"null_build","runs_per_point":{RUNS},"smoke":{smoke},"rows":[{}],"noop_speedups":[{}]}}"#,
+        r#"{{"bench":"null_build","runs_per_point":{RUNS},"smoke":{smoke},"host_parallelism":{host},"underpowered_host":{},"rows":[{}],"noop_speedups":[{}]}}"#,
+        host == 1,
         rows.join(","),
         speedups.join(",")
     );

@@ -119,8 +119,12 @@ fn main() {
         ));
     }
 
+    if host == 1 {
+        println!("warning: single-CPU host; speedups are not meaningful");
+    }
     let json = format!(
-        r#"{{"bench":"parallel_wavefront_scaling","funs_per_module":{funs},"runs_per_point":{RUNS},"host_parallelism":{host},"workloads":[{}]}}"#,
+        r#"{{"bench":"parallel_wavefront_scaling","funs_per_module":{funs},"runs_per_point":{RUNS},"host_parallelism":{host},"underpowered_host":{},"workloads":[{}]}}"#,
+        host == 1,
         json_workloads.join(",")
     );
     std::fs::write(&out, &json).expect("write benchmark output");

@@ -1,0 +1,407 @@
+//! The CI perf-regression gate: compares a fresh benchmark JSON
+//! document (`BENCH_null.json`, `BENCH_parallel.json`) against a
+//! committed baseline with explicit tolerances, and checks the build
+//! ledger's warm-build smoke invariant.
+//!
+//! The gate is deliberately row-matched: it only compares measurements
+//! present in *both* documents, so a `--smoke` fresh run (N = 50 only)
+//! gates against a full committed baseline without false alarms, and a
+//! baseline regenerated on a bigger machine does not fail a smaller
+//! host's run on rows it never measured.  Tolerances are a
+//! multiplicative factor plus an absolute slack, so microsecond-scale
+//! rows are not gated to CI timer noise.
+
+use std::fmt;
+
+use serde::Value;
+
+/// How much slower a fresh measurement may be before it is a
+/// regression: `fresh <= baseline * factor + slack_ms`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Multiplicative allowance (2.0 = may take twice as long).
+    pub factor: f64,
+    /// Absolute allowance in milliseconds, absorbing scheduler noise on
+    /// sub-millisecond rows.
+    pub slack_ms: f64,
+}
+
+impl Default for Tolerance {
+    /// CI defaults: generous enough for shared-runner noise, tight
+    /// enough to catch a real algorithmic regression.
+    fn default() -> Tolerance {
+        Tolerance {
+            factor: 2.0,
+            slack_ms: 200.0,
+        }
+    }
+}
+
+impl Tolerance {
+    /// The limit a fresh measurement must stay under for `baseline_ms`.
+    pub fn limit_ms(&self, baseline_ms: f64) -> f64 {
+        baseline_ms * self.factor + self.slack_ms
+    }
+}
+
+/// One regression: a row that measured over its limit.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Which row (bench kind + matching key + metric name).
+    pub what: String,
+    /// The committed baseline measurement, ms.
+    pub baseline_ms: f64,
+    /// The fresh measurement, ms.
+    pub fresh_ms: f64,
+    /// The limit the fresh measurement broke, ms.
+    pub limit_ms: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.2}ms -> {:.2}ms (limit {:.2}ms)",
+            self.what, self.baseline_ms, self.fresh_ms, self.limit_ms
+        )
+    }
+}
+
+/// The gate's verdict over one baseline/fresh pair.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Metrics compared.
+    pub checked: usize,
+    /// Baseline metrics with no fresh counterpart (or vice versa) —
+    /// reported, never failed.
+    pub skipped: usize,
+    /// Rows that broke their limit.
+    pub regressions: Vec<Regression>,
+}
+
+impl GateOutcome {
+    /// True when nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    match v {
+        Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn text(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn seq(v: &Value) -> Option<&[Value]> {
+    match v {
+        Value::Seq(items) => Some(items.as_slice()),
+        _ => None,
+    }
+}
+
+fn field_num(v: &Value, key: &str) -> Option<f64> {
+    get(v, key).and_then(num)
+}
+
+/// Compares a fresh benchmark document against its baseline.
+///
+/// Dispatches on the document's `"bench"` field; both documents must be
+/// the same kind.  Only rows present in both are gated.
+///
+/// # Errors
+///
+/// A message when either document is not a known benchmark shape (a
+/// malformed document must fail CI loudly, not pass silently).
+pub fn compare(baseline: &Value, fresh: &Value, tol: &Tolerance) -> Result<GateOutcome, String> {
+    let kind = get(baseline, "bench")
+        .and_then(text)
+        .ok_or("baseline has no \"bench\" field")?;
+    let fresh_kind = get(fresh, "bench")
+        .and_then(text)
+        .ok_or("fresh output has no \"bench\" field")?;
+    if kind != fresh_kind {
+        return Err(format!(
+            "benchmark kind mismatch: baseline is `{kind}`, fresh is `{fresh_kind}`"
+        ));
+    }
+    match kind {
+        "null_build" => Ok(compare_null(baseline, fresh, tol)),
+        "parallel_wavefront_scaling" => Ok(compare_parallel(baseline, fresh, tol)),
+        other => Err(format!("unknown benchmark kind `{other}`")),
+    }
+}
+
+/// A row's identity in `BENCH_null.json`: (units, mode, jobs).
+fn null_key(row: &Value) -> Option<(u64, String, u64)> {
+    Some((
+        field_num(row, "units")? as u64,
+        get(row, "mode").and_then(text)?.to_string(),
+        field_num(row, "jobs")? as u64,
+    ))
+}
+
+fn check_metric(
+    outcome: &mut GateOutcome,
+    tol: &Tolerance,
+    what: String,
+    baseline_ms: Option<f64>,
+    fresh_ms: Option<f64>,
+) {
+    // A metric absent on either side (an older baseline, a smoke run)
+    // is skipped: the gate compares what both documents measured.
+    let (Some(base), Some(fresh)) = (baseline_ms, fresh_ms) else {
+        outcome.skipped += 1;
+        return;
+    };
+    outcome.checked += 1;
+    let limit = tol.limit_ms(base);
+    if fresh > limit {
+        outcome.regressions.push(Regression {
+            what,
+            baseline_ms: base,
+            fresh_ms: fresh,
+            limit_ms: limit,
+        });
+    }
+}
+
+fn compare_null(baseline: &Value, fresh: &Value, tol: &Tolerance) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    let base_rows = get(baseline, "rows").and_then(seq).unwrap_or(&[]);
+    let fresh_rows = get(fresh, "rows").and_then(seq).unwrap_or(&[]);
+    for frow in fresh_rows {
+        let Some(key) = null_key(frow) else {
+            outcome.skipped += 1;
+            continue;
+        };
+        let Some(brow) = base_rows
+            .iter()
+            .find(|r| null_key(r).as_ref() == Some(&key))
+        else {
+            outcome.skipped += 1;
+            continue;
+        };
+        let (units, mode, jobs) = &key;
+        for metric in ["noop_ms", "leaf_edit_ms"] {
+            check_metric(
+                &mut outcome,
+                tol,
+                format!("null_build units={units} mode={mode} jobs={jobs} {metric}"),
+                field_num(brow, metric),
+                field_num(frow, metric),
+            );
+        }
+    }
+    outcome
+}
+
+fn compare_parallel(baseline: &Value, fresh: &Value, tol: &Tolerance) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    let base_wls = get(baseline, "workloads").and_then(seq).unwrap_or(&[]);
+    let fresh_wls = get(fresh, "workloads").and_then(seq).unwrap_or(&[]);
+    for fwl in fresh_wls {
+        let Some(name) = get(fwl, "name").and_then(text) else {
+            outcome.skipped += 1;
+            continue;
+        };
+        let Some(bwl) = base_wls
+            .iter()
+            .find(|w| get(w, "name").and_then(text) == Some(name))
+        else {
+            outcome.skipped += 1;
+            continue;
+        };
+        let base_rows = get(bwl, "results").and_then(seq).unwrap_or(&[]);
+        for frow in get(fwl, "results").and_then(seq).unwrap_or(&[]) {
+            let Some(jobs) = field_num(frow, "jobs").map(|j| j as u64) else {
+                outcome.skipped += 1;
+                continue;
+            };
+            let brow = base_rows
+                .iter()
+                .find(|r| field_num(r, "jobs").map(|j| j as u64) == Some(jobs));
+            let Some(brow) = brow else {
+                outcome.skipped += 1;
+                continue;
+            };
+            check_metric(
+                &mut outcome,
+                tol,
+                format!("parallel_scaling workload={name} jobs={jobs} cold_ms"),
+                field_num(brow, "cold_ms"),
+                field_num(frow, "cold_ms"),
+            );
+        }
+    }
+    outcome
+}
+
+/// CI's warm-build ledger smoke: the newest record in `builds.jsonl`
+/// must be a clean zero-compile build (the project was just built, so a
+/// second build must hit every cache).
+///
+/// # Errors
+///
+/// A message when the ledger is empty or its newest record compiled
+/// anything or exited non-zero.
+pub fn check_warm_ledger(ledger_path: &std::path::Path) -> Result<(), String> {
+    let records = smlsc_core::Ledger::new(ledger_path).read();
+    let last = records
+        .last()
+        .ok_or_else(|| format!("{}: no ledger records", ledger_path.display()))?;
+    if last.compiled != 0 {
+        return Err(format!(
+            "{}: newest build compiled {} unit(s); a warm build must compile 0",
+            ledger_path.display(),
+            last.compiled
+        ));
+    }
+    if last.exit_code != 0 {
+        return Err(format!(
+            "{}: newest build exited {}",
+            ledger_path.display(),
+            last.exit_code
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        serde_json::parse_value(s.as_bytes()).expect("fixture parses")
+    }
+
+    fn null_doc(noop: f64, leaf: f64) -> Value {
+        parse(&format!(
+            r#"{{"bench":"null_build","runs_per_point":3,"smoke":true,"host_parallelism":4,"underpowered_host":false,"rows":[
+                {{"units":50,"mode":"stamped","jobs":1,"noop_ms":{noop},"leaf_edit_ms":{leaf}}},
+                {{"units":50,"mode":"paranoid","jobs":1,"noop_ms":{n2},"leaf_edit_ms":{l2}}}],
+              "noop_speedups":[{{"units":50,"jobs":1,"noop_speedup":4.0}}]}}"#,
+            n2 = noop * 4.0,
+            l2 = leaf * 2.0,
+        ))
+    }
+
+    #[test]
+    fn identical_output_passes() {
+        let base = null_doc(10.0, 20.0);
+        let outcome = compare(&base, &null_doc(10.0, 20.0), &Tolerance::default()).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.checked, 4);
+        assert_eq!(outcome.skipped, 0);
+    }
+
+    #[test]
+    fn synthetic_2x_slowdown_fails() {
+        // The acceptance fixture: a 2x slowdown against a strict-factor
+        // tolerance must be a regression on every matched metric.
+        let base = null_doc(100.0, 200.0);
+        let slow = null_doc(200.0, 400.0);
+        let tol = Tolerance {
+            factor: 1.5,
+            slack_ms: 0.0,
+        };
+        let outcome = compare(&base, &slow, &tol).unwrap();
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 4);
+        let msg = outcome.regressions[0].to_string();
+        assert!(msg.contains("null_build units=50"), "{msg}");
+        assert!(msg.contains("limit"), "{msg}");
+        // The same slowdown passes under the default (2x + slack) CI
+        // tolerance only because of the absolute slack; drop the slack
+        // and 2.0x sits exactly at the limit (not over), so it passes.
+        let exactly = Tolerance {
+            factor: 2.0,
+            slack_ms: 0.0,
+        };
+        assert!(compare(&base, &slow, &exactly).unwrap().passed());
+    }
+
+    #[test]
+    fn rows_missing_from_either_side_are_skipped_not_failed() {
+        let base = null_doc(10.0, 20.0);
+        // Fresh run measured a row (units=800) the baseline lacks.
+        let fresh = parse(
+            r#"{"bench":"null_build","rows":[
+                {"units":800,"mode":"stamped","jobs":1,"noop_ms":999.0,"leaf_edit_ms":999.0},
+                {"units":50,"mode":"stamped","jobs":1,"noop_ms":10.0,"leaf_edit_ms":20.0}],
+              "noop_speedups":[]}"#,
+        );
+        let outcome = compare(&base, &fresh, &Tolerance::default()).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.checked, 2);
+        assert_eq!(outcome.skipped, 1);
+    }
+
+    #[test]
+    fn parallel_scaling_gates_cold_ms_by_workload_and_jobs() {
+        let doc = |ms: f64| {
+            parse(&format!(
+                r#"{{"bench":"parallel_wavefront_scaling","funs_per_module":4,"runs_per_point":3,"host_parallelism":4,"underpowered_host":false,"workloads":[
+                    {{"name":"diamond(8x4)","units":34,"lines":1000,"critical_path":6,"dag_ceiling":5.67,"results":[
+                        {{"jobs":1,"cold_ms":{ms},"speedup":1.0}},
+                        {{"jobs":4,"cold_ms":{q},"speedup":3.1}}]}}]}}"#,
+                q = ms / 3.0
+            ))
+        };
+        let tol = Tolerance {
+            factor: 1.5,
+            slack_ms: 0.0,
+        };
+        assert!(compare(&doc(90.0), &doc(90.0), &tol).unwrap().passed());
+        let outcome = compare(&doc(90.0), &doc(180.0), &tol).unwrap();
+        assert_eq!(outcome.regressions.len(), 2);
+        assert!(outcome.regressions[0].what.contains("diamond(8x4)"));
+    }
+
+    #[test]
+    fn kind_mismatch_and_garbage_are_errors() {
+        let base = null_doc(1.0, 1.0);
+        let other = parse(r#"{"bench":"parallel_wavefront_scaling","workloads":[]}"#);
+        assert!(compare(&base, &other, &Tolerance::default()).is_err());
+        let junk = parse(r#"{"rows":[]}"#);
+        assert!(compare(&junk, &base, &Tolerance::default()).is_err());
+        let unknown = parse(r#"{"bench":"mystery"}"#);
+        assert!(compare(&unknown, &unknown, &Tolerance::default()).is_err());
+    }
+
+    #[test]
+    fn warm_ledger_check() {
+        let dir = std::env::temp_dir().join(format!("smlsc-gate-ledger-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("builds.jsonl");
+        assert!(check_warm_ledger(&path).is_err(), "empty ledger fails");
+        // A cold record then a warm record: the gate looks at the newest.
+        let cold = r#"{"version":1,"build_id":1,"timestamp_ms":1,"strategy":"cutoff","jobs":4,"host_parallelism":4,"wall_us":1000,"parse_us":1,"elaborate_us":1,"hash_us":1,"dehydrate_us":1,"rehydrate_us":1,"compiled":3,"reused":0,"cutoff":0,"store_hits":0,"skipped":0,"failed":0,"stamp_hits":0,"stamp_misses":3,"store_misses":0,"deps_cache_hits":0,"deps_cache_misses":3,"source_reads":3,"critical_path":3,"exit_code":0}"#;
+        let warm = cold.replace(r#""compiled":3"#, r#""compiled":0"#);
+        std::fs::write(&path, format!("{cold}\n")).unwrap();
+        assert!(check_warm_ledger(&path).is_err(), "cold newest fails");
+        std::fs::write(&path, format!("{cold}\n{warm}\n")).unwrap();
+        check_warm_ledger(&path).expect("warm newest passes");
+        let failed = warm.replace(r#""exit_code":0"#, r#""exit_code":1"#);
+        std::fs::write(&path, format!("{cold}\n{failed}\n")).unwrap();
+        assert!(check_warm_ledger(&path).is_err(), "non-zero exit fails");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -5,6 +5,8 @@
 //! `EXPERIMENTS.md`); the criterion suite in `benches/micro.rs` covers the
 //! micro costs (digesting, hashing, pickling, compiling).
 
+pub mod gate;
+
 use std::time::{Duration, Instant};
 
 use smlsc_core::irm::{Irm, Strategy};

@@ -1244,6 +1244,37 @@ impl Irm {
         topo_order(project, &analyses, &exporters)
     }
 
+    /// The resolved import DAG in topological order: for every unit,
+    /// the deduplicated units it imports — exactly the edges the
+    /// wavefront scheduler dispatches over, so a critical path computed
+    /// from this graph matches the `irm.critical_path` counter.  Served
+    /// from the same caches as [`Irm::plan`], so calling it after a
+    /// build re-reads no sources.
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, unresolved or duplicate exports, or an import cycle.
+    pub fn import_graph(
+        &mut self,
+        project: &Project,
+    ) -> Result<Vec<(Symbol, Vec<Symbol>)>, CoreError> {
+        let analyses = self.analyze_all(project, 1)?;
+        let exporters = exporters(&analyses)?;
+        let order = topo_order(project, &analyses, &exporters)?;
+        Ok(order
+            .into_iter()
+            .map(|unit| {
+                let imports = analyses[&unit]
+                    .imports
+                    .iter()
+                    .map(|n| exporters[n])
+                    .collect::<Vec<_>>()
+                    .dedup_stable();
+                (unit, imports)
+            })
+            .collect())
+    }
+
     /// Analyzes every file, cheapest evidence first — stamp cache (no
     /// read at all), then source digest, then token digest (comment and
     /// whitespace edits keep the cached analysis), then a real parse.

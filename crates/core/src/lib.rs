@@ -48,8 +48,10 @@ pub mod compile;
 pub mod groups;
 pub mod hash;
 pub mod irm;
+pub mod ledger;
 pub mod link;
 pub mod pack;
+pub mod profile;
 pub mod session;
 pub mod stamps;
 pub mod stdlib;
@@ -63,7 +65,9 @@ pub use compile::{compile_unit, CompileOutput, CompileTimings, ImportSource};
 pub use groups::{Group, GroupedProject};
 pub use hash::{hash_exports, HashError, HashResult};
 pub use irm::{BuildReport, FailurePolicy, Irm, Project, Strategy, UnitOutcome};
+pub use ledger::{build_report_json, Ledger, LedgerRecord, LEDGER_VERSION};
 pub use link::{link_and_execute, DynEnv, LinkError};
+pub use profile::BuildProfile;
 pub use session::Session;
 pub use smlsc_store as store;
 pub use smlsc_trace as trace;

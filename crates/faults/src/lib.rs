@@ -22,6 +22,7 @@
 //!          | point '=' action
 //! point   := 'store.publish' | 'store.fetch' | 'store.lock'
 //!          | 'bin.save' | 'bin.load' | 'compile.unit'
+//!          | 'ledger.append'
 //! action  := kind [ '(' filter ')' ] [ '@' nth ] [ '%' percent ] [ '*' count ]
 //! kind    := 'io' | 'torn' | 'delay:' millis | 'panic'
 //! ```
@@ -69,6 +70,10 @@ pub mod points {
     pub const BIN_LOAD: &str = "bin.load";
     /// One unit's compile (after the rebuild decision and store probe).
     pub const COMPILE_UNIT: &str = "compile.unit";
+    /// `Ledger::append`: the single `O_APPEND` write of one build
+    /// record to `builds.jsonl` (`io` fails the write, `torn` truncates
+    /// the record mid-line, modelling a crash during the append).
+    pub const LEDGER_APPEND: &str = "ledger.append";
     /// Every fault point, for specs that want blanket coverage.
     pub const ALL: &[&str] = &[
         STORE_PUBLISH,
@@ -77,6 +82,7 @@ pub mod points {
         BIN_SAVE,
         BIN_LOAD,
         COMPILE_UNIT,
+        LEDGER_APPEND,
     ];
 }
 

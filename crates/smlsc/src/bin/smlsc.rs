@@ -4,6 +4,13 @@
 //! smlsc build <dir>    incrementally compile every *.sml file in <dir>
 //!                      (bins cached in <dir>/.smlsc-bins by default)
 //! smlsc run <dir>      build, link, execute, and print the exports
+//! smlsc profile <dir>  build, then print a critical-path profile: the
+//!                      top-k slowest units with per-phase breakdown,
+//!                      the import-DAG critical path, and the wall time
+//!                      the caches saved vs a rebuild-everything build
+//! smlsc history <dir>  query the persistent build ledger
+//!                      (<bin-dir>/builds.jsonl): median/p95 wall time,
+//!                      cache hit-rate drift, regression flags
 //! smlsc repl           interactive compile-and-execute session (§7);
 //!                      terminate each input with a line ending in `;;`
 //! smlsc cache <op>     manage a shared artifact store: stats | gc |
@@ -33,6 +40,9 @@
 //!                      per-phase duration histograms) to stdout
 //!   --trace-out <f>    write a Chrome trace-event JSON file (load it in
 //!                      chrome://tracing or https://ui.perfetto.dev)
+//!   --report-json <f>  write the full machine-readable build report
+//!                      (ledger record + per-unit decisions + counters)
+//!   --top <n>          profile: how many units to show (default 10)
 //!
 //! Exit codes: 0 success; 1 source/compile failure; 2 usage error;
 //! 3 internal error (a caught compiler panic); 4 store or filesystem
@@ -58,7 +68,7 @@ use smlsc::core::session::Session;
 use smlsc::core::store::{GcConfig, Store};
 use smlsc::core::{trace, BuildReport, CoreError};
 
-const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --paranoid  --explain  --stats  --trace-out <file>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc profile [options] <dir> | smlsc history [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --paranoid  --explain  --stats  --trace-out <file>  --report-json <file>  --top <n>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
 
 /// Exit codes (documented in the README): distinguishing "your source
 /// is wrong" from "the compiler broke" from "the disk/store broke".
@@ -132,6 +142,8 @@ struct BuildOpts {
     explain: bool,
     stats: bool,
     trace_out: Option<PathBuf>,
+    report_json: Option<PathBuf>,
+    top: Option<usize>,
 }
 
 impl BuildOpts {
@@ -163,6 +175,14 @@ impl BuildOpts {
                 opts.jobs = Some(n);
             } else if arg == "--trace-out" || arg.starts_with("--trace-out=") {
                 opts.trace_out = Some(PathBuf::from(take("--trace-out")?));
+            } else if arg == "--report-json" || arg.starts_with("--report-json=") {
+                opts.report_json = Some(PathBuf::from(take("--report-json")?));
+            } else if arg == "--top" || arg.starts_with("--top=") {
+                let v = take("--top")?;
+                opts.top = Some(
+                    v.parse()
+                        .map_err(|_| format!("--top expects a positive integer, got `{v}`"))?,
+                );
             } else if arg == "--bin-dir" || arg.starts_with("--bin-dir=") {
                 opts.bin_dir = Some(PathBuf::from(take("--bin-dir")?));
             } else if arg == "--store" || arg.starts_with("--store=") {
@@ -188,11 +208,6 @@ impl BuildOpts {
         Ok(opts)
     }
 
-    /// Telemetry is collected only when an exporter will consume it.
-    fn wants_collector(&self) -> bool {
-        self.stats || self.trace_out.is_some()
-    }
-
     /// The worker count: `--jobs` if given, else the machine's available
     /// parallelism (1 when that cannot be determined).
     fn effective_jobs(&self) -> usize {
@@ -207,8 +222,23 @@ impl BuildOpts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
-        Some(cmd @ ("build" | "run")) => match BuildOpts::parse(&args[1..]) {
-            Ok(opts) => build(opts, cmd == "run"),
+        Some(cmd @ ("build" | "run" | "profile")) => match BuildOpts::parse(&args[1..]) {
+            Ok(opts) => build(
+                opts,
+                match cmd {
+                    "run" => Mode::Run,
+                    "profile" => Mode::Profile,
+                    _ => Mode::Build,
+                },
+            ),
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                2
+            }
+        },
+        Some("history") => match BuildOpts::parse(&args[1..]) {
+            Ok(opts) => history(&opts),
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("{USAGE}");
@@ -239,11 +269,27 @@ fn load_project(dir: &Path) -> Result<Project, String> {
     Ok(p)
 }
 
-fn build(opts: BuildOpts, run: bool) -> i32 {
+/// What `build()` does after the build finishes.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Compile only.
+    Build,
+    /// Compile, then link and execute.
+    Run,
+    /// Compile, then print the critical-path profile.
+    Profile,
+}
+
+fn build(opts: BuildOpts, mode: Mode) -> i32 {
+    let run = mode == Mode::Run;
     let Some(dir) = &opts.dir else {
         eprintln!(
             "usage: smlsc {} [options] <dir>",
-            if run { "run" } else { "build" }
+            match mode {
+                Mode::Run => "run",
+                Mode::Profile => "profile",
+                Mode::Build => "build",
+            }
         );
         return EXIT_USAGE;
     };
@@ -251,11 +297,14 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
         eprintln!("error: {e}");
         return EXIT_USAGE;
     }
+    let started = std::time::Instant::now();
     let dir = PathBuf::from(dir);
-    let collector = opts.wants_collector().then(trace::Collector::new);
-    if let Some(c) = &collector {
-        c.install();
-    }
+    // The collector is always on: the ledger record appended after every
+    // build reads its counters, and `--stats`/`--trace-out`/`profile`
+    // consume the rest.  Collection is a few Vec pushes per unit —
+    // noise against a compile.
+    let collector = trace::Collector::new();
+    collector.install();
     let project = match load_project(&dir) {
         Ok(p) => p,
         Err(e) => {
@@ -362,6 +411,40 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
     } else if let Err(e) = irm.save_stamps(&stamps_path) {
         eprintln!("warning: could not persist stamps: {e}");
     }
+    // Every finished build appends one flight-recorder line to the
+    // ledger.  The ledger never fails a build: append errors (including
+    // injected `ledger.append=io` faults) are warnings.
+    let exit_code = exit_code_for_report(&report);
+    let wall_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let ledger = smlsc::core::Ledger::for_bin_dir(&bin_dir);
+    let record =
+        smlsc::core::LedgerRecord::from_build(&report, &collector, jobs, wall_us, exit_code);
+    if let Err(e) = ledger.append(&record) {
+        eprintln!("warning: could not append to build ledger: {e}");
+    }
+    if let Some(path) = &opts.report_json {
+        let json = smlsc::core::build_report_json(&record, &report, &collector);
+        match std::fs::write(path, json) {
+            Ok(()) => println!("report written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                return EXIT_IO;
+            }
+        }
+    }
+    if mode == Mode::Profile {
+        match irm.import_graph(&project) {
+            Ok(graph) => {
+                // A warm build compiles nothing, so it cannot measure a
+                // per-compile cost; history supplies one.
+                let hint = mean_compile_us_from_history(&ledger);
+                let profile =
+                    smlsc::core::BuildProfile::compute(&collector.spans(), &graph, &report, hint);
+                print!("{}", profile.render(opts.top.unwrap_or(10)));
+            }
+            Err(e) => eprintln!("warning: no profile: {e}"),
+        }
+    }
     if run && report.succeeded() {
         let (_, env) = match irm.execute_with_jobs(&project, jobs) {
             Ok(x) => x,
@@ -377,22 +460,107 @@ fn build(opts: BuildOpts, run: bool) -> i32 {
     } else if run {
         eprintln!("error: not running: the build did not complete");
     }
-    if let Some(c) = &collector {
-        trace::uninstall();
-        if let Some(path) = &opts.trace_out {
-            match std::fs::write(path, c.chrome_trace_json()) {
-                Ok(()) => println!("trace written to {}", path.display()),
-                Err(e) => {
-                    eprintln!("error: could not write {}: {e}", path.display());
-                    return EXIT_IO;
-                }
+    trace::uninstall();
+    if let Some(path) = &opts.trace_out {
+        match std::fs::write(path, collector.chrome_trace_json()) {
+            Ok(()) => println!("trace written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: could not write {}: {e}", path.display());
+                return EXIT_IO;
             }
         }
-        if opts.stats {
-            println!("{}", c.stats_json());
-        }
     }
-    exit_code_for_report(&report)
+    if opts.stats {
+        println!("{}", collector.stats_json());
+    }
+    exit_code
+}
+
+/// The median per-compile cost over ledger history, microseconds — the
+/// hint `smlsc profile` uses to price avoided compiles when the profiled
+/// build itself compiled nothing.
+fn mean_compile_us_from_history(ledger: &smlsc::core::Ledger) -> Option<u64> {
+    let costs: Vec<u64> = ledger
+        .read()
+        .iter()
+        .filter(|r| r.compiled > 0)
+        .map(|r| (r.parse_us + r.elaborate_us + r.hash_us + r.dehydrate_us) / r.compiled)
+        .collect();
+    (!costs.is_empty()).then(|| smlsc::core::ledger::quantile(&costs, 0.5))
+}
+
+/// `smlsc history <dir>`: wall-time and hit-rate trends from the
+/// persistent ledger, plus a flag when the last build regressed to at
+/// least twice the median wall time.
+fn history(opts: &BuildOpts) -> i32 {
+    let Some(dir) = &opts.dir else {
+        eprintln!("usage: smlsc history [--bin-dir <dir>] <dir>");
+        return EXIT_USAGE;
+    };
+    let dir = PathBuf::from(dir);
+    let bin_dir = opts
+        .bin_dir
+        .clone()
+        .unwrap_or_else(|| dir.join(".smlsc-bins"));
+    let ledger = smlsc::core::Ledger::for_bin_dir(&bin_dir);
+    let records = ledger.read();
+    if records.is_empty() {
+        println!("history: no builds recorded in {}", ledger.path().display());
+        return EXIT_OK;
+    }
+    let walls: Vec<u64> = records.iter().map(|r| r.wall_us).collect();
+    let median = smlsc::core::ledger::quantile(&walls, 0.5);
+    let p95 = smlsc::core::ledger::quantile(&walls, 0.95);
+    let ms = |us: u64| us as f64 / 1e3;
+    println!(
+        "history: {} build(s) in {}",
+        records.len(),
+        ledger.path().display()
+    );
+    println!(
+        "  wall time: median {:.2}ms, p95 {:.2}ms, last {:.2}ms",
+        ms(median),
+        ms(p95),
+        ms(walls[walls.len() - 1])
+    );
+    let hit_rate = |r: &smlsc::core::LedgerRecord| -> Option<f64> {
+        let total = r.stamp_hits + r.stamp_misses;
+        (total > 0).then(|| 100.0 * r.stamp_hits as f64 / total as f64)
+    };
+    let rates: Vec<f64> = records.iter().filter_map(hit_rate).collect();
+    if let (Some(last), Some(&first)) = (rates.last(), rates.first()) {
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        println!(
+            "  stamp hit rate: first {first:.0}%, mean {mean:.0}%, last {last:.0}%{}",
+            if *last + 25.0 < mean {
+                "  (drifting down)"
+            } else {
+                ""
+            }
+        );
+    }
+    let last = records.last().expect("non-empty");
+    println!(
+        "  last build: {} compiled, {} reused, {} cutoff, {} from store, critical path {}, exit {}",
+        last.compiled,
+        last.reused,
+        last.cutoff,
+        last.store_hits,
+        last.critical_path,
+        last.exit_code
+    );
+    if records.len() >= 3 && median > 0 && last.wall_us >= 2 * median {
+        println!(
+            "  regression: last build took {:.2}ms, >= 2x the median {:.2}ms",
+            ms(last.wall_us),
+            ms(median)
+        );
+    }
+    let failures = records.iter().filter(|r| r.exit_code != 0).count();
+    if failures > 0 {
+        println!("  {failures} build(s) exited non-zero");
+    }
+    EXIT_OK
 }
 
 /// `smlsc cache <stats|gc|verify|clear>`: operate on a shared store.

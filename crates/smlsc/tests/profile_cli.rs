@@ -1,0 +1,153 @@
+//! End-to-end tests of the observability layer through the `smlsc`
+//! CLI: the persistent build ledger (`builds.jsonl`), `smlsc profile`,
+//! `smlsc history`, `--report-json`, and torn-ledger fault injection.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn smlsc() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_smlsc"));
+    cmd.env_remove("SMLSC_STORE");
+    cmd.env_remove("SMLSC_FAULTS");
+    cmd
+}
+
+fn temp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smlsc-profcli-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A three-deep chain, so the critical path is unambiguous.
+fn write_project(dir: &Path) {
+    std::fs::write(
+        dir.join("a.sml"),
+        "structure A = struct fun f x = x + 1 end",
+    )
+    .unwrap();
+    std::fs::write(dir.join("b.sml"), "structure B = struct val y = A.f 41 end").unwrap();
+    std::fs::write(dir.join("c.sml"), "structure C = struct val z = B.y end").unwrap();
+}
+
+fn ledger_lines(proj: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(proj.join(".smlsc-bins/builds.jsonl")).unwrap_or_default();
+    text.lines().map(str::to_string).collect()
+}
+
+fn field(line: &str, key: &str) -> Option<u64> {
+    let at = line.find(&format!("\"{key}\":"))?;
+    let rest = &line[at + key.len() + 3..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].parse().ok()
+}
+
+#[test]
+fn two_builds_append_two_records_and_the_second_compiles_nothing() {
+    let proj = temp("two-builds");
+    write_project(&proj);
+    for _ in 0..2 {
+        let out = smlsc().arg("build").arg(&proj).output().unwrap();
+        assert!(out.status.success(), "{out:?}");
+    }
+    let lines = ledger_lines(&proj);
+    assert_eq!(lines.len(), 2, "one ledger record per build: {lines:?}");
+    assert_eq!(field(&lines[0], "compiled"), Some(3), "{}", lines[0]);
+    assert_eq!(field(&lines[1], "compiled"), Some(0), "{}", lines[1]);
+    assert_eq!(field(&lines[1], "reused"), Some(3));
+    assert_eq!(field(&lines[1], "exit_code"), Some(0));
+    assert_eq!(field(&lines[1], "stamp_hits"), Some(3), "warm stamps hit");
+
+    // `smlsc history` sees both builds and the warm second build.
+    let out = smlsc().arg("history").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("history: 2 build(s)"), "{stdout}");
+    assert!(
+        stdout.contains("last build: 0 compiled, 3 reused"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn profile_reports_the_wavefront_schedulers_critical_path() {
+    let proj = temp("profile-cp");
+    write_project(&proj);
+    let out = smlsc()
+        .args(["profile", "--jobs", "4", "--stats"])
+        .arg(&proj)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // a -> b -> c: the profiler's DAG walk and the parallel scheduler's
+    // `irm.critical_path` counter must agree.
+    assert!(stdout.contains("critical path 3 unit(s)"), "{stdout}");
+    assert!(stdout.contains(r#""irm.critical_path":3"#), "{stdout}");
+    assert!(stdout.contains("critical chain"), "{stdout}");
+    // The ledger record mirrors the same number.
+    let lines = ledger_lines(&proj);
+    assert_eq!(field(&lines[0], "critical_path"), Some(3));
+    assert_eq!(field(&lines[0], "jobs"), Some(4));
+}
+
+#[test]
+fn report_json_holds_record_decisions_and_stats() {
+    let proj = temp("report-json");
+    write_project(&proj);
+    let report = proj.join("report.json");
+    let out = smlsc()
+        .args(["build", "--report-json"])
+        .arg(&report)
+        .arg(&proj)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&report).unwrap();
+    assert!(text.starts_with(r#"{"record":{"version":1"#), "{text}");
+    assert!(text.contains(r#""decisions":["#), "{text}");
+    assert!(text.contains(r#""kind":"new_unit""#), "{text}");
+    assert!(text.contains(r#""counters":"#), "{text}");
+    assert!(text.ends_with('}'), "{text}");
+}
+
+#[test]
+fn torn_ledger_append_keeps_the_build_green_and_the_prefix_valid() {
+    let proj = temp("torn-ledger");
+    write_project(&proj);
+    let out = smlsc().arg("build").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+
+    // A crash mid-append (torn fault): the build itself still exits 0.
+    let out = smlsc()
+        .args(["build", "--inject-faults", "ledger.append=torn"])
+        .arg(&proj)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "torn ledger must not fail the build: {out:?}"
+    );
+
+    // The valid prefix (build 1) survives; the torn tail is discarded
+    // by readers and healed by the next append.
+    let out = smlsc().arg("history").arg(&proj).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("history: 1 build(s)"), "{stdout}");
+
+    let out = smlsc().arg("build").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = smlsc().arg("history").arg(&proj).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("history: 2 build(s)"), "{stdout}");
+
+    // An IO failure on append is only a warning: the build stays green.
+    let out = smlsc()
+        .args(["build", "--inject-faults", "ledger.append=io"])
+        .arg(&proj)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning: could not append"), "{stderr}");
+}

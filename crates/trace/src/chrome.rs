@@ -45,14 +45,17 @@ fn event_json(e: &CollectedEvent) -> String {
 }
 
 /// Renders spans and events as one Chrome trace-event JSON array, sorted
-/// by timestamp so viewers need no preprocessing.
+/// by timestamp so viewers need no preprocessing.  Entries with equal
+/// timestamps tie-break on their rendered JSON, so the output is a pure
+/// function of the collected data — parallel builds whose workers
+/// finish in a different order serialize identically.
 pub(crate) fn trace_json(spans: &[CollectedSpan], events: &[CollectedEvent]) -> String {
     let mut entries: Vec<(u64, String)> = spans
         .iter()
         .map(|s| (s.ts_us, span_json(s)))
         .chain(events.iter().map(|e| (e.ts_us, event_json(e))))
         .collect();
-    entries.sort_by_key(|(ts, _)| *ts);
+    entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     json::array(entries.into_iter().map(|(_, j)| j))
 }
 
@@ -92,5 +95,32 @@ mod tests {
     #[test]
     fn empty_trace_is_empty_array() {
         assert_eq!(trace_json(&[], &[]), "[]");
+    }
+
+    #[test]
+    fn equal_timestamps_serialize_deterministically() {
+        // Two spans completing at the same tick on different workers:
+        // whatever order the collector recorded them in, the rendered
+        // trace is byte-identical.
+        let span = |name: &'static str, tid: u64| CollectedSpan {
+            name,
+            ts_us: 7,
+            dur_us: 2,
+            depth: 1,
+            tid,
+            fields: vec![],
+        };
+        let forward = vec![span("compile.parse", 1), span("compile.elaborate", 2)];
+        let reversed: Vec<CollectedSpan> = forward.iter().rev().cloned().collect();
+        let event = CollectedEvent {
+            name: "decided",
+            ts_us: 7,
+            tid: 3,
+            fields: vec![],
+        };
+        assert_eq!(
+            trace_json(&forward, std::slice::from_ref(&event)),
+            trace_json(&reversed, std::slice::from_ref(&event))
+        );
     }
 }

@@ -102,6 +102,11 @@ pub const BIN_BODY_QUARANTINED: &str = "bin.body_quarantined";
 /// units) — with `build.parallelism`, the ceiling on wavefront speedup.
 pub const CRITICAL_PATH: &str = "irm.critical_path";
 
+/// Build records appended to the persistent ledger (`builds.jsonl`).
+pub const LEDGER_APPENDS: &str = "ledger.appends";
+/// Ledger rotations (compactions to the newest records).
+pub const LEDGER_ROTATIONS: &str = "ledger.rotations";
+
 /// Event: one per parallel build, with `critical_path`, `units` and
 /// `jobs` fields — total units over critical-path length is the maximum
 /// parallel speedup the DAG admits.

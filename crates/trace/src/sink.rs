@@ -380,4 +380,27 @@ mod tests {
         assert!(s.contains(r#""phase":{"count":1"#), "{s}");
         assert!(s.ends_with('}'));
     }
+
+    #[test]
+    fn stats_json_keys_are_sorted_regardless_of_bump_order() {
+        // Counters and histograms live in BTreeMaps, so the report is a
+        // pure function of the collected data — whatever order a
+        // parallel build's workers bumped them in.
+        let c = Collector::new();
+        for name in ["zeta", "alpha", "mid"] {
+            Sink::counter(&c, name, 1);
+            Sink::duration(&c, name, Duration::from_micros(5));
+        }
+        let d = Collector::new();
+        for name in ["mid", "zeta", "alpha"] {
+            Sink::counter(&d, name, 1);
+            Sink::duration(&d, name, Duration::from_micros(5));
+        }
+        let s = c.stats_json();
+        assert_eq!(s, d.stats_json());
+        assert!(
+            s.contains(r#""counters":{"alpha":1,"mid":1,"zeta":1}"#),
+            "{s}"
+        );
+    }
 }

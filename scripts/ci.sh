@@ -76,6 +76,31 @@ echo "==> null-build benchmark (smoke)"
 ./target/release/null_build --smoke --out "$w/BENCH_null.json"
 cat "$w/BENCH_null.json"; echo
 
+echo "==> perf: ledger + profiler test suites"
+cargo test -q -p smlsc-core --lib
+cargo test -q -p smlsc-bench --lib
+cargo test -q -p smlsc --test profile_cli
+cargo test -q --test telemetry
+
+echo "==> perf: warm-build ledger smoke (profile + history)"
+p=$(mktemp -d)
+trap 'rm -rf "$d" "$w" "$p"' EXIT
+printf 'structure Util = struct fun inc x = x + 1 end\n' > "$p/util.sml"
+printf 'structure Main = struct val v = Util.inc 41 end\n' > "$p/main.sml"
+./target/release/smlsc build --jobs 4 "$p"
+./target/release/smlsc profile --jobs 4 "$p"
+./target/release/smlsc history "$p"
+ledger="$p/.smlsc-bins/builds.jsonl"
+# Two builds (build + profile's build), two records; the second
+# compiled nothing.
+[ "$(wc -l < "$ledger")" -eq 2 ] \
+  || { echo "error: expected 2 ledger records:" >&2; cat "$ledger" >&2; exit 1; }
+tail -1 "$ledger" | grep -q '"compiled":0' \
+  || { echo "error: warm build compiled units:" >&2; tail -1 "$ledger" >&2; exit 1; }
+
+echo "==> perf: regression gate vs committed baselines"
+scripts/check_bench
+
 echo "==> chaos: fault-injection test suites"
 cargo test -q -p smlsc-faults
 cargo test -q -p smlsc-store

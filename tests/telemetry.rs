@@ -1,0 +1,139 @@
+//! Telemetry integrity under failure: a worker panicking mid-span must
+//! not lose or corrupt the parent [`Collector`]'s data, and the Chrome
+//! trace exported afterwards must still be well-formed and balanced.
+//!
+//! The collector is installed on the main thread and *forked* onto
+//! every wavefront worker; these tests drive a panic through a forked
+//! sink (via the deterministic `compile.unit=panic` fault point) and
+//! assert the shared store behind the forks survives intact.
+
+use serde::Value;
+use smlsc::core::irm::{FailurePolicy, Irm, Project, Strategy};
+use smlsc::core::trace::{self, names};
+use smlsc_faults::{install_scoped, points, FaultKind, FaultPlan, FaultRule};
+
+/// A diamond: one base, four mids, one top over all mids.
+fn project() -> Project {
+    let mut p = Project::new();
+    p.add("base", "structure Base = struct val n = 10 end");
+    for m in ["a", "b", "c", "d"] {
+        p.add(
+            format!("mid_{m}"),
+            format!("structure Mid_{m} = struct val v = Base.n + 1 end"),
+        );
+    }
+    p.add(
+        "top",
+        "structure Top = struct val s = Mid_a.v + Mid_b.v + Mid_c.v + Mid_d.v end",
+    );
+    p
+}
+
+#[test]
+fn worker_panic_mid_span_keeps_the_parent_collector_consistent() {
+    let p = project();
+    let collector = trace::Collector::new();
+    collector.install();
+    let report = {
+        let _guard = install_scoped(
+            FaultPlan::default()
+                .with(FaultRule::new(points::COMPILE_UNIT, FaultKind::Panic).filtered("mid_b")),
+        );
+        let mut irm = Irm::new(Strategy::Cutoff);
+        irm.build_with(&p, 4, FailurePolicy::KeepGoing)
+            .expect("keep-going survives a unit panic")
+    };
+    trace::uninstall();
+
+    // The panic was confined to its unit: the other four compiled.
+    assert!(report.failed.iter().any(|(u, _)| u.as_str() == "mid_b"));
+    assert!(report.skipped.iter().any(|u| u.as_str() == "top"));
+    assert_eq!(collector.counter(names::UNITS_COMPILED), 4);
+    assert_eq!(collector.counter(names::UNITS_FAILED), 1);
+
+    // Healthy workers' spans all reached the parent store through their
+    // forked sinks, and the panicking unit's own span was completed by
+    // unwinding — nothing is lost, nothing dangles.
+    let spans = collector.spans();
+    let parse_units: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.name == names::SPAN_PARSE)
+        .filter_map(|s| s.fields.iter().find(|(k, _)| k == "unit"))
+        .map(|(_, v)| v.as_str())
+        .collect();
+    for unit in ["base", "mid_a", "mid_c", "mid_d"] {
+        assert!(parse_units.contains(&unit), "missing parse span: {unit}");
+    }
+    let task_units: Vec<&str> = spans
+        .iter()
+        .filter(|s| s.name == names::SPAN_TASK)
+        .filter_map(|s| s.fields.iter().find(|(k, _)| k == "unit"))
+        .map(|(_, v)| v.as_str())
+        .collect();
+    assert!(
+        task_units.contains(&"mid_b"),
+        "the panicking unit's task span must be closed by unwinding, got {task_units:?}"
+    );
+    assert!(
+        collector
+            .events()
+            .iter()
+            .any(|e| e.name == names::UNIT_PANIC_EVENT
+                && e.fields.iter().any(|(k, v)| k == "unit" && v == "mid_b")),
+        "the panic must be recorded as an event"
+    );
+}
+
+#[test]
+fn chrome_trace_after_a_worker_panic_is_well_formed_and_balanced() {
+    let p = project();
+    let collector = trace::Collector::new();
+    collector.install();
+    {
+        let _guard = install_scoped(
+            FaultPlan::default()
+                .with(FaultRule::new(points::COMPILE_UNIT, FaultKind::Panic).filtered("mid_c")),
+        );
+        let mut irm = Irm::new(Strategy::Cutoff);
+        irm.build_with(&p, 4, FailurePolicy::KeepGoing)
+            .expect("keep-going survives a unit panic");
+    }
+    trace::uninstall();
+
+    let json = collector.chrome_trace_json();
+    let value = serde_json::parse_value(json.as_bytes()).expect("trace must parse as JSON");
+    let Value::Seq(entries) = value else {
+        panic!("chrome trace must be a JSON array");
+    };
+    // Every span serializes as one self-balanced `ph:"X"` complete
+    // event (begin + duration), every event as `ph:"i"` — so the
+    // begin/end bookkeeping balances exactly when the entry counts
+    // match the collector's.
+    let mut complete = 0usize;
+    let mut instants = 0usize;
+    for entry in &entries {
+        let Value::Map(fields) = entry else {
+            panic!("trace entries must be objects");
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        match get("ph") {
+            Some(Value::Str(ph)) if ph == "X" => {
+                complete += 1;
+                assert!(matches!(get("ts"), Some(Value::UInt(_))), "X needs ts");
+                assert!(matches!(get("dur"), Some(Value::UInt(_))), "X needs dur");
+            }
+            Some(Value::Str(ph)) if ph == "i" => instants += 1,
+            other => panic!("unexpected ph: {other:?}"),
+        }
+        assert!(
+            matches!(get("name"), Some(Value::Str(_))),
+            "entries are named"
+        );
+    }
+    assert_eq!(complete, collector.spans().len(), "one X per span");
+    assert_eq!(instants, collector.events().len(), "one i per event");
+    assert!(complete > 0 && instants > 0, "the trace is not empty");
+
+    // The exporter is deterministic: serializing again is byte-identical.
+    assert_eq!(json, collector.chrome_trace_json());
+}
