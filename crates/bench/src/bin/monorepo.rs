@@ -1,0 +1,153 @@
+//! Monorepo-scale warm-build latency: the binary pack index, the
+//! allocation-free rehydration path, and the binary stamp cache under a
+//! 50,000-unit module graph.
+//!
+//! ```text
+//! cargo run --release -p smlsc-bench --bin monorepo
+//! cargo run --release -p smlsc-bench --bin monorepo -- --smoke --out BENCH_monorepo.json
+//! ```
+//!
+//! Each point measures full *cold-process* pipelines over real on-disk
+//! sources at N ∈ {5,000, 20,000, 50,000} units (`--smoke`: N = 5,000
+//! only) of the [`Topology::Monorepo`] shape — hub interfaces, deep
+//! functor chains, wide leaf fans:
+//!
+//! * `cold_ms` — first-ever build: everything compiles (timed once; a
+//!   50k-unit cold build is too slow for best-of-N);
+//! * `noop_ms` — nothing changed: the zero-copy warm path end to end
+//!   (binary index, binary stamps, zero bodies parsed), best of `RUNS`;
+//! * `leaf_edit_ms` — one leaf body edit: exactly one unit recompiles,
+//!   best of `RUNS`.
+//!
+//! Results land in `BENCH_monorepo.json`, gated by `scripts/check_bench`
+//! with the same row-matched tolerances as `BENCH_null.json`.
+
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use smlsc_bench::{ms, workload};
+use smlsc_core::irm::{Irm, Project, Strategy};
+use smlsc_workload::{module_name, EditKind, Topology, Workload};
+
+const RUNS: usize = 3;
+const JOBS: usize = 4;
+
+fn write_sources(src: &Path, w: &Workload) {
+    for i in 0..w.module_count() {
+        let name = module_name(i);
+        let text = w.project().file(&name).unwrap().read_text().unwrap();
+        std::fs::write(src.join(format!("{name}.sml")), text).unwrap();
+    }
+}
+
+/// One cold-process warm build over the stamped fast path: load the
+/// binary stamp cache and the indexed archive, scan sources, build.
+fn pipeline(src: &Path, bin_dir: &Path) -> (Duration, usize, Irm) {
+    let t0 = Instant::now();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.load_stamps(&bin_dir.join("stamps.json"));
+    if bin_dir.is_dir() {
+        let outcome = irm.load_bins(bin_dir).expect("bench bins load");
+        assert!(outcome.corrupt.is_empty(), "{:?}", outcome.corrupt);
+    }
+    let project = Project::from_dir(src).expect("bench sources scan");
+    let report = irm.build_with_jobs(&project, JOBS).expect("bench build");
+    (t0.elapsed(), report.recompiled.len(), irm)
+}
+
+fn persist(irm: &mut Irm, bin_dir: &Path) {
+    irm.save_bins(bin_dir).expect("save archive");
+    irm.save_stamps(&bin_dir.join("stamps.json"))
+        .expect("save stamps");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out = String::from("BENCH_monorepo.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out <file>").clone(),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let sizes: &[usize] = if smoke {
+        &[5_000]
+    } else {
+        &[5_000, 20_000, 50_000]
+    };
+
+    println!(
+        "== monorepo warm-build latency (cold-process pipelines, warm points best of {RUNS}) =="
+    );
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut w = workload(
+            Topology::Monorepo {
+                units: n,
+                seed: 1994,
+            },
+            2,
+            false,
+        );
+        assert_eq!(w.module_count(), n);
+        let base =
+            std::env::temp_dir().join(format!("smlsc-bench-mono-{n}-{}", std::process::id()));
+        std::fs::remove_dir_all(&base).ok();
+        let src = base.join("src");
+        let bin_dir = base.join("bins");
+        std::fs::create_dir_all(&src).unwrap();
+        write_sources(&src, &w);
+
+        let (cold, compiled, mut irm) = pipeline(&src, &bin_dir);
+        assert_eq!(compiled, n, "cold build compiles everything");
+        persist(&mut irm, &bin_dir);
+
+        let mut noop = Duration::MAX;
+        for _ in 0..RUNS {
+            let (dt, recompiled, _) = pipeline(&src, &bin_dir);
+            assert_eq!(recompiled, 0, "no-op build must recompile nothing");
+            noop = noop.min(dt);
+        }
+
+        // The last module is a fan leaf by construction: no dependents,
+        // so a body edit recompiles exactly one of the N units.
+        let victim = n - 1;
+        let mut leaf = Duration::MAX;
+        for _ in 0..RUNS {
+            w.edit(victim, EditKind::BodyOnly);
+            let name = module_name(victim);
+            let text = w.project().file(&name).unwrap().read_text().unwrap();
+            std::fs::write(src.join(format!("{name}.sml")), text).unwrap();
+            let (dt, recompiled, mut irm) = pipeline(&src, &bin_dir);
+            assert_eq!(recompiled, 1, "leaf body edit must recompile one unit");
+            leaf = leaf.min(dt);
+            persist(&mut irm, &bin_dir);
+        }
+
+        println!(
+            "  N={n} jobs={JOBS}: cold {} ms | no-op {} ms | one-leaf-edit {} ms",
+            ms(cold),
+            ms(noop),
+            ms(leaf)
+        );
+        rows.push(format!(
+            r#"{{"units":{n},"jobs":{JOBS},"cold_ms":{},"noop_ms":{},"leaf_edit_ms":{}}}"#,
+            ms(cold),
+            ms(noop),
+            ms(leaf)
+        ));
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        r#"{{"bench":"monorepo","runs_per_point":{RUNS},"smoke":{smoke},"host_parallelism":{host},"underpowered_host":{},"rows":[{}]}}"#,
+        host == 1,
+        rows.join(",")
+    );
+    std::fs::write(&out, &json).expect("write benchmark output");
+    println!("\nresults written to {out}");
+}

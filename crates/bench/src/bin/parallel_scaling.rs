@@ -100,6 +100,13 @@ fn main() {
                 base.as_secs_f64() / r.best.as_secs_f64().max(1e-9)
             );
         }
+        if host == 1 {
+            // The caveat must sit next to the numbers it qualifies, not
+            // only in the JSON `underpowered_host` field: on a 1-CPU
+            // host every speedup above reads ≤ 1.0x, and without this
+            // line those rows look like scheduler regressions.
+            println!("  (underpowered host: 1 CPU — jobs>1 adds coordination cost, no parallelism; speedups here are not regressions)");
+        }
 
         let results: Vec<String> = rows
             .iter()
@@ -120,7 +127,7 @@ fn main() {
     }
 
     if host == 1 {
-        println!("warning: single-CPU host; speedups are not meaningful");
+        println!("\nwarning: single-CPU host; speedups above are not meaningful (underpowered_host=true in the JSON)");
     }
     let json = format!(
         r#"{{"bench":"parallel_wavefront_scaling","funs_per_module":{funs},"runs_per_point":{RUNS},"host_parallelism":{host},"underpowered_host":{},"workloads":[{}]}}"#,

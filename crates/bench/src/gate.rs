@@ -144,6 +144,7 @@ pub fn compare(baseline: &Value, fresh: &Value, tol: &Tolerance) -> Result<GateO
     match kind {
         "null_build" => Ok(compare_null(baseline, fresh, tol)),
         "parallel_wavefront_scaling" => Ok(compare_parallel(baseline, fresh, tol)),
+        "monorepo" => Ok(compare_monorepo(baseline, fresh, tol)),
         other => Err(format!("unknown benchmark kind `{other}`")),
     }
 }
@@ -253,6 +254,44 @@ fn compare_parallel(baseline: &Value, fresh: &Value, tol: &Tolerance) -> GateOut
     outcome
 }
 
+/// A row's identity in `BENCH_monorepo.json`: (units, jobs).
+fn monorepo_key(row: &Value) -> Option<(u64, u64)> {
+    Some((
+        field_num(row, "units")? as u64,
+        field_num(row, "jobs")? as u64,
+    ))
+}
+
+fn compare_monorepo(baseline: &Value, fresh: &Value, tol: &Tolerance) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    let base_rows = get(baseline, "rows").and_then(seq).unwrap_or(&[]);
+    let fresh_rows = get(fresh, "rows").and_then(seq).unwrap_or(&[]);
+    for frow in fresh_rows {
+        let Some(key) = monorepo_key(frow) else {
+            outcome.skipped += 1;
+            continue;
+        };
+        let Some(brow) = base_rows
+            .iter()
+            .find(|r| monorepo_key(r).as_ref() == Some(&key))
+        else {
+            outcome.skipped += 1;
+            continue;
+        };
+        let (units, jobs) = &key;
+        for metric in ["cold_ms", "noop_ms", "leaf_edit_ms"] {
+            check_metric(
+                &mut outcome,
+                tol,
+                format!("monorepo units={units} jobs={jobs} {metric}"),
+                field_num(brow, metric),
+                field_num(frow, metric),
+            );
+        }
+    }
+    outcome
+}
+
 /// CI's warm-build ledger smoke: the newest record in `builds.jsonl`
 /// must be a clean zero-compile build (the project was just built, so a
 /// second build must hit every cache).
@@ -262,8 +301,10 @@ fn compare_parallel(baseline: &Value, fresh: &Value, tol: &Tolerance) -> GateOut
 /// A message when the ledger is empty or its newest record compiled
 /// anything or exited non-zero.
 pub fn check_warm_ledger(ledger_path: &std::path::Path) -> Result<(), String> {
-    let records = smlsc_core::Ledger::new(ledger_path).read();
-    let last = records
+    // Streamed, not collected: the gate needs one record's worth of
+    // memory no matter how long the build history is.
+    let last = smlsc_core::Ledger::new(ledger_path)
+        .stream()
         .last()
         .ok_or_else(|| format!("{}: no ledger records", ledger_path.display()))?;
     if last.compiled != 0 {
@@ -372,6 +413,38 @@ mod tests {
         let outcome = compare(&doc(90.0), &doc(180.0), &tol).unwrap();
         assert_eq!(outcome.regressions.len(), 2);
         assert!(outcome.regressions[0].what.contains("diamond(8x4)"));
+    }
+
+    #[test]
+    fn monorepo_gates_all_three_metrics_by_units_and_jobs() {
+        let doc = |noop: f64| {
+            parse(&format!(
+                r#"{{"bench":"monorepo","runs_per_point":3,"smoke":true,"host_parallelism":4,"underpowered_host":false,"rows":[
+                    {{"units":5000,"jobs":4,"cold_ms":{c},"noop_ms":{noop},"leaf_edit_ms":{l}}}]}}"#,
+                c = noop * 100.0,
+                l = noop * 2.0,
+            ))
+        };
+        let tol = Tolerance {
+            factor: 1.5,
+            slack_ms: 0.0,
+        };
+        let outcome = compare(&doc(100.0), &doc(100.0), &tol).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.checked, 3);
+        let outcome = compare(&doc(100.0), &doc(200.0), &tol).unwrap();
+        assert_eq!(outcome.regressions.len(), 3);
+        assert!(outcome.regressions[0].what.contains("monorepo units=5000"));
+        // A full fresh run gates a smoke baseline only on shared rows.
+        let full = parse(
+            r#"{"bench":"monorepo","rows":[
+                {"units":5000,"jobs":4,"cold_ms":10000.0,"noop_ms":100.0,"leaf_edit_ms":200.0},
+                {"units":50000,"jobs":4,"cold_ms":99999.0,"noop_ms":999.0,"leaf_edit_ms":999.0}]}"#,
+        );
+        let outcome = compare(&doc(100.0), &full, &tol).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.checked, 3);
+        assert_eq!(outcome.skipped, 1);
     }
 
     #[test]

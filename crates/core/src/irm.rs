@@ -85,7 +85,7 @@ use smlsc_trace::{self as trace, names, RebuildDecision};
 
 use crate::compile::{analyze_source, compile_unit, source_pid, CompileTimings, ImportSource};
 use crate::link::{link_and_execute, DynEnv};
-use crate::pack::{PackReader, PackWriter, PACK_FILE};
+use crate::pack::{PackReader, PackWriter, PACK_FILE, PACK_VERSION};
 use crate::stamps::{StampCache, StampEntry};
 use crate::unit::{BinFile, BinMeta, BIN_FORMAT_VERSION};
 use crate::CoreError;
@@ -930,11 +930,24 @@ impl Irm {
         for name in &names_sorted {
             let entry = &self.bins[name];
             // Materialize the body bytes: resident/forced bins
-            // serialize; still-lazy bodies copy raw from the old pack.
+            // serialize; still-lazy bodies copy raw from the old pack —
+            // unless that pack is a legacy format, in which case the
+            // body is parsed and re-encoded so the migrated archive
+            // carries only current-format bodies.
             let bytes = match (&entry.body, entry.forced()) {
                 (_, Some(bin)) => bin.to_bytes(),
                 (BinBody::Lazy { src, .. }, None) => {
-                    match src.pack.read_body(src.offset, src.len, src.digest) {
+                    let raw = src.pack.read_body(src.offset, src.len, src.digest);
+                    let upgraded = raw.and_then(|b| {
+                        if src.pack.version() == PACK_VERSION {
+                            Ok(b)
+                        } else {
+                            BinFile::from_bytes(&b)
+                                .map(|bin| bin.to_bytes())
+                                .map_err(|e| e.to_string())
+                        }
+                    });
+                    match upgraded {
                         Ok(b) => b,
                         Err(detail) => {
                             // The old archive's body is bad (torn,
@@ -1085,11 +1098,16 @@ impl Irm {
         let mut out = BinLoadOutcome::default();
         let pack_path = dir.join(PACK_FILE);
         let mut pack_ok = false;
+        let mut pack_current = true;
         let mut pack_entries = 0usize;
         if pack_path.is_file() {
             match PackReader::open(&pack_path) {
                 Ok(Some(reader)) => {
                     pack_ok = true;
+                    // A legacy-format archive loads fine, but must not
+                    // count as synced: the next save rewrites it in the
+                    // current format.
+                    pack_current = reader.version() == PACK_VERSION;
                     let reader = Arc::new(reader);
                     pack_entries = reader.entries().len();
                     for pe in reader.entries() {
@@ -1228,8 +1246,11 @@ impl Irm {
             }
         }
         self.pack_path = pack_ok.then(|| pack_path.clone());
-        self.pack_synced =
-            pack_ok && out.corrupt.is_empty() && legacy == 0 && self.bins.len() == pack_entries;
+        self.pack_synced = pack_ok
+            && pack_current
+            && out.corrupt.is_empty()
+            && legacy == 0
+            && self.bins.len() == pack_entries;
         Ok(out)
     }
 

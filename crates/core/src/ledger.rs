@@ -266,17 +266,28 @@ impl Ledger {
         f.seek(SeekFrom::End(-1)).is_ok() && f.read_exact(&mut last).is_ok() && last[0] != b'\n'
     }
 
-    /// All parseable current-version records, oldest first.  Malformed
-    /// lines (torn tails, other versions, foreign garbage) are skipped,
-    /// never an error — a missing file is simply an empty history.
+    /// Lazily streams every parseable current-version record, oldest
+    /// first, one buffered line at a time — memory stays O(1 record)
+    /// however long the history is, so `smlsc history`/`profile` and the
+    /// CI ledger gate never materialize the whole file.  Malformed lines
+    /// (torn tails, other versions, foreign garbage) are skipped, never
+    /// an error — a missing file is simply an empty stream.
+    pub fn stream(&self) -> impl Iterator<Item = LedgerRecord> {
+        use std::io::BufRead;
+        let lines = std::fs::File::open(&self.path)
+            .ok()
+            .map(|f| std::io::BufReader::new(f).lines());
+        lines.into_iter().flatten().filter_map(|line| {
+            let line = line.ok()?;
+            let r = serde_json::from_str::<LedgerRecord>(&line).ok()?;
+            (r.version == LEDGER_VERSION).then_some(r)
+        })
+    }
+
+    /// All records of [`Self::stream`], collected.  Prefer `stream` when
+    /// a running aggregate is enough.
     pub fn read(&self) -> Vec<LedgerRecord> {
-        let Ok(text) = std::fs::read_to_string(&self.path) else {
-            return Vec::new();
-        };
-        text.lines()
-            .filter_map(|line| serde_json::from_str::<LedgerRecord>(line).ok())
-            .filter(|r| r.version == LEDGER_VERSION)
-            .collect()
+        self.stream().collect()
     }
 
     /// Size of the ledger file in bytes (0 when missing).
@@ -442,6 +453,20 @@ mod tests {
             back.iter().map(|r| r.build_id).collect::<Vec<_>>(),
             vec![1, 3]
         );
+        cleanup(&l);
+    }
+
+    #[test]
+    fn stream_is_incremental_and_matches_read() {
+        let l = tmp_ledger("stream");
+        for i in 0..5 {
+            l.append(&record(i, i * 10)).unwrap();
+        }
+        let mut it = l.stream();
+        assert_eq!(it.next().unwrap().build_id, 0, "oldest first");
+        assert_eq!(it.count(), 4, "remaining records stream on demand");
+        assert_eq!(l.stream().last().unwrap().build_id, 4);
+        assert_eq!(l.read().len(), 5, "read is stream, collected");
         cleanup(&l);
     }
 

@@ -47,6 +47,7 @@
 pub mod compile;
 pub mod groups;
 pub mod hash;
+pub mod ircodec;
 pub mod irm;
 pub mod ledger;
 pub mod link;

@@ -4,39 +4,54 @@
 //!
 //! ```text
 //! +--------------------+  offset 0
-//! | magic  "SMLSPAK1"  |  8 bytes
+//! | magic  "SMLSPAK2"  |  8 bytes
 //! | version            |  1 byte  (PACK_VERSION)
 //! +--------------------+  offset 9
 //! | body 0             |  each body is one BinFile::to_bytes() blob
 //! | body 1             |
 //! | ...                |
 //! +--------------------+  index_offset
-//! | index (JSON)       |  Vec<PackEntry>: per-unit name, source pid,
-//! |                    |  import edges, export pid, mtime, body
-//! |                    |  offset/len, body digest
+//! | index (binary)     |  string table + flat import-edge table +
+//! |                    |  fixed-width entry table (see below)
 //! +--------------------+  index_offset + index_len
 //! | footer (40 bytes)  |  index_offset u64 | index_len u64 |
 //! |                    |  index_digest u128 | magic "SMLSPKI1"
 //! +--------------------+  EOF
 //! ```
 //!
-//! `load_bins` reads only the footer and index — three small reads no
-//! matter how many units the project has — and every rebuild decision
-//! runs off index metadata alone.  Bodies are sliced out, digest
+//! The index is the `pickle::wire` little-endian format, not JSON:
+//!
+//! ```text
+//! u32 nstrings; nstrings × (u32 len | bytes)     -- interned name table
+//! u32 nedges;   nedges   × (u32 name_ix | u128 pid)
+//! u32 nentries; nentries × entry                 -- 84 bytes each, fixed
+//!   entry = u32 name_ix | u128 source_pid | u128 export_pid | u64 mtime
+//!         | u64 offset | u64 len | u128 digest
+//!         | u32 edges_start | u32 edges_count
+//! ```
+//!
+//! `load_bins` reads only the footer and index — two small positioned
+//! reads no matter how many units the project has — and every rebuild
+//! decision runs off index metadata alone; symbols are interned straight
+//! from the index buffer.  Bodies are `pread` out lock-free, digest
 //! verified, and parsed lazily on first use (rehydration, linking); a
 //! torn body therefore quarantines exactly one unit, exactly when it is
 //! actually needed.
+//!
+//! Version 1 packs (`SMLSPAK1`, JSON index) are still readable; a loader
+//! that sees one reports `version() < PACK_VERSION` so the caller can
+//! rewrite the archive in the current format on the next save.
 //!
 //! Writers stage a temp file, fsync, and `rename(2)` into place (the
 //! store's atomic-publication idiom), so a crash mid-save leaves the
 //! previous pack intact.
 
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 use smlsc_ids::{Pid, Symbol};
+use smlsc_pickle::wire::{Reader, Writer};
 use smlsc_trace::{self as trace, names};
 
 use crate::unit::{BinMeta, ImportEdge};
@@ -45,11 +60,15 @@ use crate::CoreError;
 /// The archive's file name inside a bin directory.
 pub const PACK_FILE: &str = "bins.pack";
 
-/// Version byte after the leading magic; a mismatch rejects the pack
-/// (the units then just recompile, or load from legacy `*.bin` files).
-pub const PACK_VERSION: u8 = 1;
+/// Current version byte after the leading magic.  Readers also accept
+/// [`LEGACY_PACK_VERSION`]; anything else rejects the pack (the units
+/// then just recompile, or load from legacy `*.bin` files).
+pub const PACK_VERSION: u8 = 2;
+/// The JSON-index format this repo shipped first; still readable.
+pub const LEGACY_PACK_VERSION: u8 = 1;
 
-const PACK_MAGIC: &[u8; 8] = b"SMLSPAK1";
+const PACK_MAGIC: &[u8; 8] = b"SMLSPAK2";
+const LEGACY_PACK_MAGIC: &[u8; 8] = b"SMLSPAK1";
 const FOOTER_MAGIC: &[u8; 8] = b"SMLSPKI1";
 /// index_offset (8) + index_len (8) + index_digest (16) + magic (8).
 const FOOTER_LEN: u64 = 40;
@@ -57,7 +76,9 @@ const FOOTER_LEN: u64 = 40;
 const HEADER_LEN: u64 = 9;
 
 /// One unit's slot in the footer index: the full decision metadata plus
-/// the location and digest of its serialized body.
+/// the location and digest of its serialized body.  The serde derives
+/// exist only for the version-1 JSON index; version 2 encodes entries
+/// with the fixed-width wire layout above.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PackEntry {
     /// The unit's name.
@@ -91,11 +112,144 @@ impl PackEntry {
     }
 }
 
+/// Encodes the version-2 binary index: string table, flat edge table,
+/// fixed-width entry table.
+fn encode_index(entries: &[PackEntry]) -> Vec<u8> {
+    let mut strings: Vec<Symbol> = Vec::new();
+    let mut string_ix: std::collections::HashMap<Symbol, u32> = std::collections::HashMap::new();
+    let mut intern = |s: Symbol| -> u32 {
+        *string_ix.entry(s).or_insert_with(|| {
+            strings.push(s);
+            (strings.len() - 1) as u32
+        })
+    };
+    // First-appearance order: entry names, then their import names.
+    let mut edges: Vec<(u32, Pid)> = Vec::new();
+    let mut slots: Vec<(u32, u32, u32)> = Vec::with_capacity(entries.len());
+    for e in entries {
+        let name_ix = intern(e.name);
+        let start = edges.len() as u32;
+        for i in &e.imports {
+            edges.push((intern(i.unit), i.pid));
+        }
+        slots.push((name_ix, start, e.imports.len() as u32));
+    }
+    let mut w = Writer::new();
+    w.u32(strings.len() as u32);
+    for s in &strings {
+        w.str(s.as_str());
+    }
+    w.u32(edges.len() as u32);
+    for (ix, pid) in &edges {
+        w.u32(*ix);
+        w.u128(pid.as_raw());
+    }
+    w.u32(entries.len() as u32);
+    for (e, (name_ix, start, count)) in entries.iter().zip(&slots) {
+        w.u32(*name_ix);
+        w.u128(e.source_pid.as_raw());
+        w.u128(e.export_pid.as_raw());
+        w.u64(e.mtime);
+        w.u64(e.offset);
+        w.u64(e.len);
+        w.u128(e.digest.as_raw());
+        w.u32(*start);
+        w.u32(*count);
+    }
+    w.into_bytes()
+}
+
+/// Decodes the version-2 binary index.  Symbols intern straight from the
+/// buffer; nothing else allocates beyond the entry vector itself.
+fn decode_index(bytes: &[u8]) -> Result<Vec<PackEntry>, String> {
+    let mut r = Reader::new(bytes);
+    let err = |e: smlsc_pickle::PickleError| e.to_string();
+    let nstrings = r.u32().map_err(err)? as usize;
+    let mut strings = Vec::with_capacity(nstrings);
+    for _ in 0..nstrings {
+        strings.push(Symbol::intern(r.str_ref().map_err(err)?));
+    }
+    let nedges = r.u32().map_err(err)? as usize;
+    let mut edges = Vec::with_capacity(nedges);
+    for _ in 0..nedges {
+        let ix = r.u32().map_err(err)? as usize;
+        let pid = Pid::from_raw(r.u128().map_err(err)?);
+        let unit = *strings
+            .get(ix)
+            .ok_or_else(|| format!("edge name index {ix} out of range"))?;
+        edges.push(ImportEdge { unit, pid });
+    }
+    let nentries = r.u32().map_err(err)? as usize;
+    let mut entries = Vec::with_capacity(nentries);
+    for _ in 0..nentries {
+        let name_ix = r.u32().map_err(err)? as usize;
+        let source_pid = Pid::from_raw(r.u128().map_err(err)?);
+        let export_pid = Pid::from_raw(r.u128().map_err(err)?);
+        let mtime = r.u64().map_err(err)?;
+        let offset = r.u64().map_err(err)?;
+        let len = r.u64().map_err(err)?;
+        let digest = Pid::from_raw(r.u128().map_err(err)?);
+        let edges_start = r.u32().map_err(err)? as usize;
+        let edges_count = r.u32().map_err(err)? as usize;
+        let name = *strings
+            .get(name_ix)
+            .ok_or_else(|| format!("entry name index {name_ix} out of range"))?;
+        let end = edges_start
+            .checked_add(edges_count)
+            .filter(|&end| end <= edges.len())
+            .ok_or_else(|| format!("entry `{name}` edge range out of bounds"))?;
+        entries.push(PackEntry {
+            name,
+            source_pid,
+            imports: edges[edges_start..end].to_vec(),
+            export_pid,
+            mtime,
+            offset,
+            len,
+            digest,
+        });
+    }
+    if !r.at_end() {
+        return Err("trailing bytes after entry table".into());
+    }
+    Ok(entries)
+}
+
+/// Positioned read without seeking — lock-free body slicing.
+#[cfg(unix)]
+fn read_exact_at(file: &std::fs::File, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(windows)]
+fn read_exact_at(file: &std::fs::File, mut buf: &mut [u8], mut offset: u64) -> std::io::Result<()> {
+    use std::os::windows::fs::FileExt;
+    while !buf.is_empty() {
+        match file.seek_read(buf, offset) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "failed to fill whole buffer",
+                ))
+            }
+            Ok(n) => {
+                buf = &mut buf[n..];
+                offset += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 /// An open pack: the parsed index plus a shared handle for body reads.
 #[derive(Debug)]
 pub struct PackReader {
     path: PathBuf,
-    file: Mutex<std::fs::File>,
+    file: std::fs::File,
+    version: u8,
     entries: Vec<PackEntry>,
 }
 
@@ -111,7 +265,7 @@ impl PackReader {
     /// unusable (callers fall back to recompiling), but this is the only
     /// failure mode that is not per-unit.
     pub fn open(path: &Path) -> Result<Option<PackReader>, CoreError> {
-        let mut file = match std::fs::File::open(path) {
+        let file = match std::fs::File::open(path) {
             Ok(f) => f,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(CoreError::Io(format!("{}: {e}", path.display()))),
@@ -125,21 +279,19 @@ impl PackReader {
             return Err(corrupt(format!("truncated ({total} bytes)")));
         }
         let mut header = [0u8; HEADER_LEN as usize];
-        file.read_exact(&mut header)
-            .map_err(|e| corrupt(e.to_string()))?;
-        if &header[..8] != PACK_MAGIC {
-            return Err(corrupt("bad magic".into()));
-        }
-        if header[8] != PACK_VERSION {
-            return Err(corrupt(format!(
-                "unsupported pack version {} (expected {PACK_VERSION})",
-                header[8]
-            )));
-        }
+        read_exact_at(&file, &mut header, 0).map_err(|e| corrupt(e.to_string()))?;
+        let version = match (&header[..8], header[8]) {
+            (m, PACK_VERSION) if m == PACK_MAGIC => PACK_VERSION,
+            (m, LEGACY_PACK_VERSION) if m == LEGACY_PACK_MAGIC => LEGACY_PACK_VERSION,
+            (m, v) if m == PACK_MAGIC || m == LEGACY_PACK_MAGIC => {
+                return Err(corrupt(format!(
+                    "unsupported pack version {v} (expected {PACK_VERSION})"
+                )))
+            }
+            _ => return Err(corrupt("bad magic".into())),
+        };
         let mut footer = [0u8; FOOTER_LEN as usize];
-        file.seek(SeekFrom::End(-(FOOTER_LEN as i64)))
-            .map_err(|e| corrupt(e.to_string()))?;
-        file.read_exact(&mut footer)
+        read_exact_at(&file, &mut footer, total - FOOTER_LEN)
             .map_err(|e| corrupt(e.to_string()))?;
         // Footer fields: [0..8) offset, [8..16) len, [16..32) digest,
         // [32..40) magic.
@@ -163,16 +315,17 @@ impl PackReader {
             usize::try_from(index_len)
                 .map_err(|_| { corrupt("index too large".into()) })?
         ];
-        file.seek(SeekFrom::Start(index_offset))
-            .map_err(|e| corrupt(e.to_string()))?;
-        file.read_exact(&mut index_bytes)
-            .map_err(|e| corrupt(e.to_string()))?;
+        read_exact_at(&file, &mut index_bytes, index_offset).map_err(|e| corrupt(e.to_string()))?;
         trace::counter(names::BIN_BYTES_READ, HEADER_LEN + FOOTER_LEN + index_len);
         if Pid::of_bytes(&index_bytes) != index_digest {
             return Err(corrupt("index digest mismatch".into()));
         }
-        let entries: Vec<PackEntry> = serde_json::from_slice(&index_bytes)
-            .map_err(|e| corrupt(format!("index parse: {e}")))?;
+        let entries: Vec<PackEntry> = if version == PACK_VERSION {
+            decode_index(&index_bytes).map_err(|e| corrupt(format!("index parse: {e}")))?
+        } else {
+            serde_json::from_slice(&index_bytes)
+                .map_err(|e| corrupt(format!("index parse: {e}")))?
+        };
         for e in &entries {
             if e.offset < HEADER_LEN
                 || e.offset
@@ -184,7 +337,8 @@ impl PackReader {
         }
         Ok(Some(PackReader {
             path: path.to_path_buf(),
-            file: Mutex::new(file),
+            file,
+            version,
             entries,
         }))
     }
@@ -194,25 +348,29 @@ impl PackReader {
         &self.path
     }
 
+    /// The on-disk format version ([`PACK_VERSION`] or
+    /// [`LEGACY_PACK_VERSION`]).  A legacy pack still loads; callers use
+    /// this to schedule a rewrite in the current format on the next save.
+    pub fn version(&self) -> u8 {
+        self.version
+    }
+
     /// The parsed index.
     pub fn entries(&self) -> &[PackEntry] {
         &self.entries
     }
 
-    /// Reads and digest-verifies one body slice.  The `Err` string names
-    /// the failure; callers wrap it in [`CoreError::BinBodyCorrupt`].
+    /// Reads and digest-verifies one body slice with a positioned read —
+    /// no seek, no lock, safe to call from many workers at once.  The
+    /// `Err` string names the failure; callers wrap it in
+    /// [`CoreError::BinBodyCorrupt`].
     ///
     /// # Errors
     ///
     /// A description of the IO failure or digest mismatch.
     pub fn read_body(&self, offset: u64, len: u64, digest: Pid) -> Result<Vec<u8>, String> {
         let mut buf = vec![0u8; usize::try_from(len).map_err(|_| "body too large".to_string())?];
-        {
-            let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
-            file.seek(SeekFrom::Start(offset))
-                .map_err(|e| e.to_string())?;
-            file.read_exact(&mut buf).map_err(|e| e.to_string())?;
-        }
+        read_exact_at(&self.file, &mut buf, offset).map_err(|e| e.to_string())?;
         trace::counter(names::BIN_BYTES_READ, len);
         let got = Pid::of_bytes(&buf);
         if got != digest {
@@ -293,7 +451,7 @@ impl PackWriter {
     /// removed; the previous pack, if any, is untouched).
     pub fn finish(mut self) -> Result<u64, CoreError> {
         let mut file = self.file.take().expect("writer not finished");
-        let index = serde_json::to_vec(&self.entries).expect("pack entries serialize");
+        let index = encode_index(&self.entries);
         let index_digest = Pid::of_bytes(&index);
         let mut footer = Vec::with_capacity(FOOTER_LEN as usize);
         footer.extend_from_slice(&self.cursor.to_le_bytes());
@@ -331,6 +489,43 @@ impl Drop for PackWriter {
             std::fs::remove_file(&self.tmp).ok();
         }
     }
+}
+
+/// Writes a version-1 pack (`SMLSPAK1`, JSON index) for migration tests.
+/// Not used by any production path — the writer always emits the current
+/// format.
+#[doc(hidden)]
+pub fn write_legacy_v1_pack(dest: &Path, items: &[(BinMeta, Vec<u8>)]) -> Result<(), CoreError> {
+    let io_err = |e: std::io::Error| CoreError::Io(format!("{}: {e}", dest.display()));
+    let mut out: Vec<u8> = Vec::new();
+    out.extend_from_slice(LEGACY_PACK_MAGIC);
+    out.push(LEGACY_PACK_VERSION);
+    let mut entries = Vec::with_capacity(items.len());
+    for (meta, body) in items {
+        let offset = out.len() as u64;
+        out.extend_from_slice(body);
+        entries.push(PackEntry {
+            name: meta.name,
+            source_pid: meta.source_pid,
+            imports: meta.imports.clone(),
+            export_pid: meta.export_pid,
+            mtime: meta.mtime,
+            offset,
+            len: body.len() as u64,
+            digest: Pid::of_bytes(body),
+        });
+    }
+    let index = serde_json::to_vec(&entries).expect("pack entries serialize");
+    let index_offset = out.len() as u64;
+    out.extend_from_slice(&index);
+    out.extend_from_slice(&index_offset.to_le_bytes());
+    out.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    out.extend_from_slice(&Pid::of_bytes(&index).as_raw().to_le_bytes());
+    out.extend_from_slice(FOOTER_MAGIC);
+    let tmp = dest.with_extension(format!("tmp-{}", std::process::id()));
+    std::fs::write(&tmp, &out).map_err(io_err)?;
+    std::fs::rename(&tmp, dest).map_err(io_err)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -383,6 +578,7 @@ mod tests {
         let dir = tmp_dir("roundtrip");
         let path = write_two(&dir);
         let r = PackReader::open(&path).unwrap().unwrap();
+        assert_eq!(r.version(), PACK_VERSION);
         assert_eq!(r.entries().len(), 2);
         for e in r.entries() {
             let body = r.read_body(e.offset, e.len, e.digest).unwrap();
@@ -390,6 +586,7 @@ mod tests {
             assert_eq!(back.unit.name, e.name);
             assert_eq!(back.mtime, e.mtime);
             assert_eq!(back.unit.export_pid, e.export_pid);
+            assert_eq!(back.unit.imports, e.imports);
         }
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -399,6 +596,128 @@ mod tests {
         let dir = tmp_dir("absent");
         assert!(PackReader::open(&dir.join(PACK_FILE)).unwrap().is_none());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_v1_pack_still_loads() {
+        let dir = tmp_dir("legacyv1");
+        let path = dir.join(PACK_FILE);
+        let items: Vec<(BinMeta, Vec<u8>)> = [("a", 10), ("b", 20)]
+            .into_iter()
+            .map(|(name, mtime)| {
+                let b = bin(name, mtime);
+                (b.meta(), b.to_bytes())
+            })
+            .collect();
+        write_legacy_v1_pack(&path, &items).unwrap();
+        let r = PackReader::open(&path).unwrap().unwrap();
+        assert_eq!(r.version(), LEGACY_PACK_VERSION);
+        assert_eq!(r.entries().len(), 2);
+        for (e, (meta, body)) in r.entries().iter().zip(&items) {
+            assert_eq!(e.name, meta.name);
+            assert_eq!(e.imports, meta.imports);
+            assert_eq!(&r.read_body(e.offset, e.len, e.digest).unwrap(), body);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn index_encoding_round_trips_shared_names() {
+        let a = bin("a", 10);
+        let entries = vec![
+            PackEntry {
+                name: a.unit.name,
+                source_pid: a.unit.source_pid,
+                imports: a.unit.imports.clone(),
+                export_pid: a.unit.export_pid,
+                mtime: 10,
+                offset: HEADER_LEN,
+                len: 64,
+                digest: Pid::of_bytes(b"body-a"),
+            },
+            PackEntry {
+                // "dep" also appears as an import of `a`: the string
+                // table must share it.
+                name: Symbol::intern("dep"),
+                source_pid: Pid::of_bytes(b"dep-src"),
+                imports: Vec::new(),
+                export_pid: Pid::of_bytes(b"dep-exports"),
+                mtime: 20,
+                offset: HEADER_LEN + 64,
+                len: 32,
+                digest: Pid::of_bytes(b"body-dep"),
+            },
+        ];
+        let bytes = encode_index(&entries);
+        let back = decode_index(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        for (e, b) in entries.iter().zip(&back) {
+            assert_eq!(e.name, b.name);
+            assert_eq!(e.source_pid, b.source_pid);
+            assert_eq!(e.imports, b.imports);
+            assert_eq!(e.export_pid, b.export_pid);
+            assert_eq!(e.mtime, b.mtime);
+            assert_eq!(e.offset, b.offset);
+            assert_eq!(e.len, b.len);
+            assert_eq!(e.digest, b.digest);
+        }
+        // Three distinct strings: a, dep (shared), and nothing else.
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u32().unwrap(), 2, "string table must dedupe `dep`");
+    }
+
+    /// Golden bytes for the binary index encoder, mirroring the
+    /// `Digest128` golden tests: a failure here means "you changed the
+    /// on-disk index layout", not "update the constants" — bump
+    /// `PACK_VERSION` instead.
+    #[test]
+    fn golden_index_bytes_are_stable() {
+        let entries = vec![PackEntry {
+            name: Symbol::intern("M0"),
+            source_pid: Pid::from_raw(0x1111),
+            imports: vec![ImportEdge {
+                unit: Symbol::intern("M1"),
+                pid: Pid::from_raw(0x2222),
+            }],
+            export_pid: Pid::from_raw(0x3333),
+            mtime: 7,
+            offset: 9,
+            len: 5,
+            digest: Pid::from_raw(0x4444),
+        }];
+        let got = encode_index(&entries);
+        let want: Vec<u8> = {
+            let mut w = Vec::new();
+            w.extend_from_slice(&2u32.to_le_bytes()); // 2 strings
+            w.extend_from_slice(&2u32.to_le_bytes());
+            w.extend_from_slice(b"M0");
+            w.extend_from_slice(&2u32.to_le_bytes());
+            w.extend_from_slice(b"M1");
+            w.extend_from_slice(&1u32.to_le_bytes()); // 1 edge
+            w.extend_from_slice(&1u32.to_le_bytes()); // -> "M1"
+            w.extend_from_slice(&0x2222u128.to_le_bytes());
+            w.extend_from_slice(&1u32.to_le_bytes()); // 1 entry
+            w.extend_from_slice(&0u32.to_le_bytes()); // name "M0"
+            w.extend_from_slice(&0x1111u128.to_le_bytes());
+            w.extend_from_slice(&0x3333u128.to_le_bytes());
+            w.extend_from_slice(&7u64.to_le_bytes());
+            w.extend_from_slice(&9u64.to_le_bytes());
+            w.extend_from_slice(&5u64.to_le_bytes());
+            w.extend_from_slice(&0x4444u128.to_le_bytes());
+            w.extend_from_slice(&0u32.to_le_bytes()); // edges_start
+            w.extend_from_slice(&1u32.to_le_bytes()); // edges_count
+            w
+        };
+        assert_eq!(got, want, "binary index layout changed");
+        // Entry table width is part of the format: 84 bytes per entry.
+        let strings_len = 4 + (4 + 2) + (4 + 2);
+        let edges_len = 4 + (4 + 16);
+        assert_eq!(got.len(), strings_len + edges_len + 4 + 84);
+    }
+
+    #[test]
+    fn golden_empty_index_bytes_are_stable() {
+        assert_eq!(encode_index(&[]), vec![0u8; 12], "empty index layout");
     }
 
     #[test]
@@ -431,7 +750,7 @@ mod tests {
             PackReader::open(&path),
             Err(CoreError::CorruptBin(_))
         ));
-        // Flip a byte inside the index JSON.
+        // Flip a byte inside the binary index.
         let mut bytes = good.clone();
         let idx = bytes.len() - FOOTER_LEN as usize - 5;
         bytes[idx] ^= 0xff;

@@ -14,21 +14,34 @@
 //! property test asserts stamped and paranoid runs produce identical
 //! pids and identical rebuild decisions.
 //!
-//! The cache persists as one JSON file (`stamps.json` next to the bin
-//! cache), written with the store's tmp + fsync + rename idiom so a
-//! crash mid-save can never tear it.  A missing or corrupt stamp file is
-//! *not* an error — it degrades to "no hints", i.e. the cold path.
+//! The cache persists as one binary file (historically named
+//! `stamps.json`, kept for compatibility; the content is the
+//! `pickle::wire` little-endian format with a digest-checked payload),
+//! written with the store's tmp + fsync + rename idiom so a crash
+//! mid-save can never tear it.  Warm analysis therefore does one bulk
+//! parse instead of serde over thousands of entries.  Version-1 JSON
+//! stamp files are still readable and are rewritten in the binary
+//! format by the next save.  A missing or corrupt stamp file is *not*
+//! an error — it degrades to "no hints", i.e. the cold path.
 
 use std::collections::HashMap;
 use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 use smlsc_ids::{Pid, Symbol};
+use smlsc_pickle::wire::{Reader, Writer};
 
 use crate::CoreError;
 
 /// Version of the stamp-file format; a mismatch discards the file.
-const STAMP_VERSION: u32 = 1;
+const STAMP_VERSION: u32 = 2;
+/// The JSON format this repo shipped first; still readable, migrated on
+/// the next save.
+const LEGACY_STAMP_VERSION: u32 = 1;
+
+/// Leading magic of the binary stamp file; a `u32` version field
+/// follows it inside the digest-checked payload.
+const STAMP_MAGIC: &[u8; 8] = b"SMLSSTM2";
 
 /// One recorded analysis for a source path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,18 +93,80 @@ impl StampCache {
     /// Loads a stamp file.  Missing, unreadable, corrupt, or
     /// version-mismatched files all yield an *empty* cache — stamps are
     /// hints, so degradation is silent and safe (every miss just reads
-    /// and digests the source the cold way).
+    /// and digests the source the cold way).  A legacy JSON stamp file
+    /// loads fine but comes back *dirty*, so the next save rewrites it
+    /// in the binary format.
     pub fn load(path: &Path) -> StampCache {
         let Ok(bytes) = std::fs::read(path) else {
             return StampCache::default();
         };
+        if let Some(payload) = bytes.strip_prefix(STAMP_MAGIC.as_slice()) {
+            return Self::parse_binary(payload).unwrap_or_default();
+        }
+        // Legacy JSON: readable, but schedule a rewrite.
         match serde_json::from_slice::<StampFile>(&bytes) {
-            Ok(f) if f.version == STAMP_VERSION => StampCache {
+            Ok(f) if f.version == LEGACY_STAMP_VERSION => StampCache {
                 entries: f.entries.into_iter().map(|r| (r.path, r.entry)).collect(),
-                dirty: false,
+                dirty: true,
             },
             _ => StampCache::default(),
         }
+    }
+
+    /// Parses the digest-checked binary payload (everything after the
+    /// magic).  `None` on any corruption.
+    fn parse_binary(payload: &[u8]) -> Option<StampCache> {
+        if payload.len() < 16 {
+            return None;
+        }
+        let (body, tail) = payload.split_at(payload.len() - 16);
+        let digest = Pid::from_raw(u128::from_le_bytes(tail.try_into().ok()?));
+        if Pid::of_bytes(body) != digest {
+            return None;
+        }
+        let mut r = Reader::new(body);
+        if r.u32().ok()? != STAMP_VERSION {
+            return None;
+        }
+        let count = r.u32().ok()? as usize;
+        let mut entries = HashMap::with_capacity(count);
+        for _ in 0..count {
+            let path = r.str().ok()?;
+            let unit = Symbol::intern(r.str_ref().ok()?);
+            let mtime_ns = r.u64().ok()?;
+            let size = r.u64().ok()?;
+            let source_pid = Pid::from_raw(r.u128().ok()?);
+            let deps_pid = Pid::from_raw(r.u128().ok()?);
+            let nimports = r.u32().ok()? as usize;
+            let mut imports = Vec::with_capacity(nimports);
+            for _ in 0..nimports {
+                imports.push(Symbol::intern(r.str_ref().ok()?));
+            }
+            let nexports = r.u32().ok()? as usize;
+            let mut exports = Vec::with_capacity(nexports);
+            for _ in 0..nexports {
+                exports.push(Symbol::intern(r.str_ref().ok()?));
+            }
+            entries.insert(
+                path,
+                StampEntry {
+                    unit,
+                    mtime_ns,
+                    size,
+                    source_pid,
+                    deps_pid,
+                    imports,
+                    exports,
+                },
+            );
+        }
+        if !r.at_end() {
+            return None;
+        }
+        Some(StampCache {
+            entries,
+            dirty: false,
+        })
     }
 
     /// Persists the cache atomically (tmp + fsync + rename).  A clean
@@ -110,25 +185,38 @@ impl StampCache {
         }
         // Sort records so repeated saves of the same cache are
         // byte-identical (diff-friendly, deterministic tests).
-        let mut records: Vec<StampRecord> = self
-            .entries
-            .iter()
-            .map(|(path, entry)| StampRecord {
-                path: path.clone(),
-                entry: entry.clone(),
-            })
-            .collect();
-        records.sort_by(|a, b| a.path.cmp(&b.path));
-        let file = StampFile {
-            version: STAMP_VERSION,
-            entries: records,
-        };
-        let json = serde_json::to_vec(&file).expect("stamp entries serialize");
+        let mut paths: Vec<&String> = self.entries.keys().collect();
+        paths.sort();
+        let mut w = Writer::new();
+        w.u32(STAMP_VERSION);
+        w.u32(paths.len() as u32);
+        for p in paths {
+            let e = &self.entries[p];
+            w.str(p);
+            w.str(e.unit.as_str());
+            w.u64(e.mtime_ns);
+            w.u64(e.size);
+            w.u128(e.source_pid.as_raw());
+            w.u128(e.deps_pid.as_raw());
+            w.u32(e.imports.len() as u32);
+            for i in &e.imports {
+                w.str(i.as_str());
+            }
+            w.u32(e.exports.len() as u32);
+            for x in &e.exports {
+                w.str(x.as_str());
+            }
+        }
+        let body = w.into_bytes();
+        let mut out = Vec::with_capacity(STAMP_MAGIC.len() + body.len() + 16);
+        out.extend_from_slice(STAMP_MAGIC);
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&Pid::of_bytes(&body).as_raw().to_le_bytes());
         let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
         let write = || -> std::io::Result<()> {
             use std::io::Write;
             let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&json)?;
+            f.write_all(&out)?;
             f.sync_all()
         };
         if let Err(e) = write() {
@@ -166,6 +254,35 @@ impl StampCache {
         }
         self.entries.insert(path, entry);
         self.dirty = true;
+    }
+
+    /// Writes the legacy version-1 JSON format.  Only for migration
+    /// tests; production saves always emit the binary format.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] on filesystem failures.
+    #[doc(hidden)]
+    pub fn save_legacy_v1_json(&self, path: &Path) -> Result<(), CoreError> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
+        }
+        let mut records: Vec<StampRecord> = self
+            .entries
+            .iter()
+            .map(|(path, entry)| StampRecord {
+                path: path.clone(),
+                entry: entry.clone(),
+            })
+            .collect();
+        records.sort_by(|a, b| a.path.cmp(&b.path));
+        let file = StampFile {
+            version: LEGACY_STAMP_VERSION,
+            entries: records,
+        };
+        let json = serde_json::to_vec(&file).expect("stamp entries serialize");
+        std::fs::write(path, &json).map_err(|e| CoreError::Io(format!("{}: {e}", path.display())))
     }
 
     /// Number of recorded entries.
@@ -237,7 +354,54 @@ mod tests {
         let f = path.join("stamps.json");
         std::fs::write(&f, b"{ not json").unwrap();
         assert!(StampCache::load(&f).is_empty());
+        // A torn binary file (flipped payload byte) fails the digest
+        // check and degrades the same way.
+        let mut c = StampCache::new();
+        c.record("a.sml".into(), entry("a", 10, 20));
+        c.save(&f).unwrap();
+        let mut bytes = std::fs::read(&f).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&f, &bytes).unwrap();
+        assert!(StampCache::load(&f).is_empty());
         std::fs::remove_dir_all(&path).ok();
+    }
+
+    #[test]
+    fn saved_file_is_binary_not_json() {
+        let dir = tmp_path("binfmt");
+        let path = dir.join("stamps.json");
+        let mut c = StampCache::new();
+        c.record("a.sml".into(), entry("a", 10, 20));
+        c.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(STAMP_MAGIC));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_json_loads_and_migrates_on_save() {
+        let dir = tmp_path("legacy");
+        let path = dir.join("stamps.json");
+        let mut c = StampCache::new();
+        c.record("a.sml".into(), entry("a", 10, 20));
+        c.record("b.sml".into(), entry("b", 30, 40));
+        c.save_legacy_v1_json(&path).unwrap();
+        assert!(std::fs::read(&path).unwrap().starts_with(b"{"));
+
+        // Loads with full fidelity...
+        let mut back = StampCache::load(&path);
+        assert_eq!(back.len(), 2);
+        let e = back.lookup("a.sml", Symbol::intern("a"), 10, 20).unwrap();
+        assert_eq!(e, &entry("a", 10, 20));
+        // ...and comes back dirty, so the very next save (with nothing
+        // newly recorded) rewrites the file in the binary format.
+        back.save(&path).unwrap();
+        assert!(std::fs::read(&path).unwrap().starts_with(STAMP_MAGIC));
+        let again = StampCache::load(&path);
+        assert_eq!(again.len(), 2);
+        assert!(again.lookup("b.sml", Symbol::intern("b"), 30, 40).is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -68,13 +68,14 @@ pub struct BinMeta {
     pub mtime: u64,
 }
 
-const BIN_MAGIC: &[u8; 8] = b"SMLCBIN1";
+const BIN_MAGIC: &[u8; 8] = b"SMLCBIN2";
+const LEGACY_BIN_MAGIC: &[u8; 8] = b"SMLCBIN1";
 
 /// Version of the bin-file container format (mirrored by the trailing
 /// digit of the magic).  Artifact-store cache keys fold this in, so
 /// bumping it when [`BinFile`]'s serialization changes invalidates
 /// every shared-store entry instead of misreading it.
-pub const BIN_FORMAT_VERSION: u32 = 1;
+pub const BIN_FORMAT_VERSION: u32 = 2;
 
 impl BinFile {
     /// The bin's decision-relevant metadata (no pickle, no code).
@@ -90,27 +91,98 @@ impl BinFile {
 
     /// Serializes the bin file.
     ///
-    /// The container is a tiny magic-prefixed JSON envelope; the inner
-    /// static-environment pickle is the custom byte format of
-    /// `smlsc-pickle` (where sharing and stub structure matter).
+    /// The container is the `pickle::wire` little-endian format end to
+    /// end: metadata fields, the raw static-environment pickle bytes
+    /// (already the custom byte format of `smlsc-pickle`), then the code
+    /// object via [`crate::ircodec`], sealed by a 16-byte self-digest of
+    /// the payload (a bit flip anywhere is detected even for standalone
+    /// `*.bin` files that no archive index covers).  No JSON anywhere on
+    /// the warm path.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.unit.env_pickle.len() + 256);
         out.extend_from_slice(BIN_MAGIC);
-        let json = serde_json::to_vec(self).expect("bin files serialize");
-        out.extend_from_slice(&json);
+        let mut w = smlsc_pickle::wire::Writer::new();
+        w.str(self.unit.name.as_str());
+        w.u128(self.unit.source_pid.as_raw());
+        w.u128(self.unit.export_pid.as_raw());
+        w.u64(self.mtime);
+        w.u32(self.unit.imports.len() as u32);
+        for i in &self.unit.imports {
+            w.str(i.unit.as_str());
+            w.u128(i.pid.as_raw());
+        }
+        w.bytes(&self.unit.env_pickle);
+        crate::ircodec::write_ir(&mut w, &self.unit.code);
+        let payload = w.into_bytes();
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&Pid::of_bytes(&payload).as_raw().to_le_bytes());
         out
     }
 
-    /// Deserializes a bin file.
+    /// Deserializes a bin file.  The previous JSON container
+    /// (`SMLCBIN1`) is still readable, so bodies copied forward from a
+    /// version-1 archive parse fine until the archive is rewritten.
     ///
     /// # Errors
     ///
-    /// [`CoreError::CorruptBin`] when the magic or payload is malformed.
+    /// [`CoreError::CorruptBin`] when the magic, self-digest, or payload
+    /// is malformed.
     pub fn from_bytes(bytes: &[u8]) -> Result<BinFile, CoreError> {
-        let payload = bytes
+        if let Some(payload) = bytes.strip_prefix(LEGACY_BIN_MAGIC.as_slice()) {
+            return serde_json::from_slice(payload)
+                .map_err(|e| CoreError::CorruptBin(e.to_string()));
+        }
+        let sealed = bytes
             .strip_prefix(BIN_MAGIC.as_slice())
             .ok_or_else(|| CoreError::CorruptBin("bad magic".into()))?;
-        serde_json::from_slice(payload).map_err(|e| CoreError::CorruptBin(e.to_string()))
+        if sealed.len() < 16 {
+            return Err(CoreError::CorruptBin("truncated bin file".into()));
+        }
+        let (payload, tail) = sealed.split_at(sealed.len() - 16);
+        let digest = Pid::from_raw(u128::from_le_bytes(tail.try_into().expect("16 bytes")));
+        if Pid::of_bytes(payload) != digest {
+            return Err(CoreError::CorruptBin("bin self-digest mismatch".into()));
+        }
+        let corrupt = |e: smlsc_pickle::PickleError| CoreError::CorruptBin(e.to_string());
+        let mut r = smlsc_pickle::wire::Reader::new(payload);
+        let name = Symbol::intern(r.str_ref().map_err(corrupt)?);
+        let source_pid = Pid::from_raw(r.u128().map_err(corrupt)?);
+        let export_pid = Pid::from_raw(r.u128().map_err(corrupt)?);
+        let mtime = r.u64().map_err(corrupt)?;
+        let nimports = r.u32().map_err(corrupt)? as usize;
+        let mut imports = Vec::with_capacity(nimports);
+        for _ in 0..nimports {
+            let unit = Symbol::intern(r.str_ref().map_err(corrupt)?);
+            let pid = Pid::from_raw(r.u128().map_err(corrupt)?);
+            imports.push(ImportEdge { unit, pid });
+        }
+        let env_pickle = r.bytes().map_err(corrupt)?;
+        let code = crate::ircodec::read_ir(&mut r).map_err(corrupt)?;
+        if !r.at_end() {
+            return Err(CoreError::CorruptBin("trailing bytes in bin file".into()));
+        }
+        Ok(BinFile {
+            unit: CompiledUnit {
+                name,
+                source_pid,
+                imports,
+                export_pid,
+                env_pickle,
+                code,
+            },
+            mtime,
+        })
+    }
+
+    /// Serializes in the legacy `SMLCBIN1` JSON container.  Only for
+    /// migration tests; production saves always emit the current format.
+    #[doc(hidden)]
+    pub fn to_legacy_v1_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.unit.env_pickle.len() + 256);
+        out.extend_from_slice(LEGACY_BIN_MAGIC);
+        let json = serde_json::to_vec(self).expect("bin files serialize");
+        out.extend_from_slice(&json);
+        out
     }
 }
 
@@ -139,6 +211,14 @@ mod tests {
         assert_eq!(back.mtime, 42);
         assert_eq!(back.unit.name, Symbol::intern("a"));
         assert_eq!(back.unit.imports, bin.unit.imports);
+        assert_eq!(back.unit.env_pickle, vec![1, 2, 3]);
+        assert_eq!(back.unit.code, Ir::Int(7));
+
+        // The legacy JSON container still parses identically.
+        let legacy = bin.to_legacy_v1_bytes();
+        let back = BinFile::from_bytes(&legacy).unwrap();
+        assert_eq!(back.unit.name, Symbol::intern("a"));
+        assert_eq!(back.unit.env_pickle, vec![1, 2, 3]);
         assert_eq!(back.unit.code, Ir::Int(7));
     }
 

@@ -31,6 +31,14 @@ pub struct RehydrateStats {
     pub nodes: usize,
     /// Stubs resolved through the context.
     pub stubs: usize,
+    /// Owned heap allocations made for string/byte payloads. The reader
+    /// borrows every string straight from the pickle buffer and interns
+    /// symbols from the borrowed slice, so this stays zero on the warm
+    /// path; the `rehydrate.allocs` counter mirrors it.
+    pub allocs: usize,
+    /// Pickle bytes decoded (the input length; mirrored by the
+    /// `pickle.bytes` counter).
+    pub bytes: usize,
 }
 
 /// Rehydrates a pickled environment.
@@ -62,9 +70,15 @@ pub fn rehydrate(
         return Err(PickleError::Corrupt("unsupported version".into()));
     }
     let b = r.bindings()?;
+    r.stats.bytes = bytes.len();
+    smlsc_trace::counter(smlsc_trace::names::PICKLE_BYTES, bytes.len() as u64);
+    if r.stats.allocs > 0 {
+        smlsc_trace::counter(smlsc_trace::names::REHYDRATE_ALLOCS, r.stats.allocs as u64);
+    }
     drop(
         span.field("nodes", r.stats.nodes)
-            .field("stubs", r.stats.stubs),
+            .field("stubs", r.stats.stubs)
+            .field("allocs", r.stats.allocs),
     );
     Ok((Arc::new(b), r.stats))
 }
@@ -97,7 +111,8 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
     }
 
     fn sym(&mut self) -> Result<Symbol, PickleError> {
-        Ok(Symbol::intern(&self.r.str()?))
+        // Interns straight from the borrowed pickle slice — no String.
+        Ok(Symbol::intern(self.r.str_ref()?))
     }
 
     fn tycon(&mut self) -> Result<Arc<Tycon>, PickleError> {
@@ -351,8 +366,8 @@ impl<'a, 'b> Rehydrator<'a, 'b> {
             KIND_PLAIN => ValKind::Plain,
             KIND_EXN => ValKind::Exn,
             KIND_PRIM => {
-                let name = self.r.str()?;
-                let op = smlsc_syntax::ast::PrimOp::from_name(&name)
+                let name = self.r.str_ref()?;
+                let op = smlsc_syntax::ast::PrimOp::from_name(name)
                     .ok_or_else(|| PickleError::Corrupt(format!("unknown primitive `{name}`")))?;
                 ValKind::Prim(op)
             }

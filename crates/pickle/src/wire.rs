@@ -134,16 +134,28 @@ impl<'b> Reader<'b> {
 
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<String, PickleError> {
+        Ok(self.str_ref()?.to_owned())
+    }
+
+    /// Reads a length-prefixed UTF-8 string as a slice borrowed from the
+    /// underlying buffer — no allocation. This is the hot-path variant:
+    /// rehydration interns symbols straight from these slices.
+    pub fn str_ref(&mut self) -> Result<&'b str, PickleError> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
-        String::from_utf8(bytes.to_vec())
+        std::str::from_utf8(bytes)
             .map_err(|_| PickleError::Corrupt("invalid UTF-8 in string".into()))
     }
 
     /// Reads length-prefixed raw bytes.
     pub fn bytes(&mut self) -> Result<Vec<u8>, PickleError> {
+        Ok(self.bytes_ref()?.to_vec())
+    }
+
+    /// Reads length-prefixed raw bytes as a borrowed slice — no copy.
+    pub fn bytes_ref(&mut self) -> Result<&'b [u8], PickleError> {
         let n = self.u32()? as usize;
-        Ok(self.take(n)?.to_vec())
+        self.take(n)
     }
 }
 
@@ -170,6 +182,24 @@ mod tests {
         assert_eq!(r.u128().unwrap(), u128::MAX / 3);
         assert_eq!(r.str().unwrap(), "héllo");
         assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn borrowed_reads_alias_the_input_buffer() {
+        let mut w = Writer::new();
+        w.str("alpha");
+        w.bytes(&[9, 8, 7]);
+        let buf = w.into_bytes();
+        let mut r = Reader::new(&buf);
+        let s = r.str_ref().unwrap();
+        let b = r.bytes_ref().unwrap();
+        assert_eq!(s, "alpha");
+        assert_eq!(b, &[9, 8, 7]);
+        // The returned slices point into `buf` itself.
+        let range = buf.as_ptr() as usize..buf.as_ptr() as usize + buf.len();
+        assert!(range.contains(&(s.as_ptr() as usize)));
+        assert!(range.contains(&(b.as_ptr() as usize)));
         assert!(r.at_end());
     }
 

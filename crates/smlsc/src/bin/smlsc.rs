@@ -480,9 +480,10 @@ fn build(opts: BuildOpts, mode: Mode) -> i32 {
 /// hint `smlsc profile` uses to price avoided compiles when the profiled
 /// build itself compiled nothing.
 fn mean_compile_us_from_history(ledger: &smlsc::core::Ledger) -> Option<u64> {
+    // Streamed: the ledger is read one record at a time, and only the
+    // 8-byte per-build cost sample is retained for the median.
     let costs: Vec<u64> = ledger
-        .read()
-        .iter()
+        .stream()
         .filter(|r| r.compiled > 0)
         .map(|r| (r.parse_us + r.elaborate_us + r.hash_us + r.dehydrate_us) / r.compiled)
         .collect();
@@ -503,18 +504,39 @@ fn history(opts: &BuildOpts) -> i32 {
         .clone()
         .unwrap_or_else(|| dir.join(".smlsc-bins"));
     let ledger = smlsc::core::Ledger::for_bin_dir(&bin_dir);
-    let records = ledger.read();
-    if records.is_empty() {
+    // One streaming pass: full records are never collected.  Only the
+    // newest record survives the pass whole; everything else folds into
+    // running aggregates (plus one u64 wall sample per build for the
+    // quantiles), so memory is O(1) per record however long the history.
+    let mut walls: Vec<u64> = Vec::new();
+    let mut rates = (None::<f64>, None::<f64>, 0.0f64, 0usize); // first, last, sum, count
+    let mut failures = 0usize;
+    let mut last: Option<smlsc::core::LedgerRecord> = None;
+    for r in ledger.stream() {
+        walls.push(r.wall_us);
+        let total = r.stamp_hits + r.stamp_misses;
+        if total > 0 {
+            let rate = 100.0 * r.stamp_hits as f64 / total as f64;
+            rates.0.get_or_insert(rate);
+            rates.1 = Some(rate);
+            rates.2 += rate;
+            rates.3 += 1;
+        }
+        if r.exit_code != 0 {
+            failures += 1;
+        }
+        last = Some(r);
+    }
+    let Some(last) = last else {
         println!("history: no builds recorded in {}", ledger.path().display());
         return EXIT_OK;
-    }
-    let walls: Vec<u64> = records.iter().map(|r| r.wall_us).collect();
+    };
     let median = smlsc::core::ledger::quantile(&walls, 0.5);
     let p95 = smlsc::core::ledger::quantile(&walls, 0.95);
     let ms = |us: u64| us as f64 / 1e3;
     println!(
         "history: {} build(s) in {}",
-        records.len(),
+        walls.len(),
         ledger.path().display()
     );
     println!(
@@ -523,23 +545,17 @@ fn history(opts: &BuildOpts) -> i32 {
         ms(p95),
         ms(walls[walls.len() - 1])
     );
-    let hit_rate = |r: &smlsc::core::LedgerRecord| -> Option<f64> {
-        let total = r.stamp_hits + r.stamp_misses;
-        (total > 0).then(|| 100.0 * r.stamp_hits as f64 / total as f64)
-    };
-    let rates: Vec<f64> = records.iter().filter_map(hit_rate).collect();
-    if let (Some(last), Some(&first)) = (rates.last(), rates.first()) {
-        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+    if let (Some(first), Some(newest)) = (rates.0, rates.1) {
+        let mean = rates.2 / rates.3 as f64;
         println!(
-            "  stamp hit rate: first {first:.0}%, mean {mean:.0}%, last {last:.0}%{}",
-            if *last + 25.0 < mean {
+            "  stamp hit rate: first {first:.0}%, mean {mean:.0}%, last {newest:.0}%{}",
+            if newest + 25.0 < mean {
                 "  (drifting down)"
             } else {
                 ""
             }
         );
     }
-    let last = records.last().expect("non-empty");
     println!(
         "  last build: {} compiled, {} reused, {} cutoff, {} from store, critical path {}, exit {}",
         last.compiled,
@@ -549,14 +565,13 @@ fn history(opts: &BuildOpts) -> i32 {
         last.critical_path,
         last.exit_code
     );
-    if records.len() >= 3 && median > 0 && last.wall_us >= 2 * median {
+    if walls.len() >= 3 && median > 0 && last.wall_us >= 2 * median {
         println!(
             "  regression: last build took {:.2}ms, >= 2x the median {:.2}ms",
             ms(last.wall_us),
             ms(median)
         );
     }
-    let failures = records.iter().filter(|r| r.exit_code != 0).count();
     if failures > 0 {
         println!("  {failures} build(s) exited non-zero");
     }

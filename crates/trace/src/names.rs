@@ -77,6 +77,13 @@ pub const PICKLE_BACKREFS: &str = "pickle.backrefs";
 pub const REHYDRATE_NODES: &str = "pickle.rehydrate_nodes";
 /// Import stubs resolved while rehydrating.
 pub const REHYDRATE_STUBS: &str = "pickle.rehydrate_stubs";
+/// Owned heap allocations made for string or byte payloads while
+/// rehydrating. The zero-copy reader interns symbols straight from the
+/// pickle buffer, so a healthy warm build keeps this at zero; any
+/// nonzero value means a copy crept back onto the hot path.
+pub const REHYDRATE_ALLOCS: &str = "rehydrate.allocs";
+/// Pickle bytes decoded by rehydration (borrowed, not copied).
+pub const PICKLE_BYTES: &str = "pickle.bytes";
 
 /// Stamp-cache hits: `(path, mtime_ns, size)` matched, so the source was
 /// neither read nor re-digested (timestamps are a hint; the recorded

@@ -70,6 +70,76 @@ pub enum Topology {
         /// RNG seed.
         seed: u64,
     },
+    /// A monorepo-shaped graph mixing the three structures large SML
+    /// trees actually exhibit (see [`monorepo_plan`] for the layout):
+    ///
+    /// * **hub interfaces** — a handful of base modules imported from
+    ///   everywhere (the `Basis`-like layer);
+    /// * **deep functor chains** — runs of modules where each link is a
+    ///   `functor` applied to its predecessor (the compiler-as-a-library
+    ///   pattern the paper's SML/NJ corpus is full of);
+    /// * **wide leaf fans** — the long tail of client modules, each
+    ///   importing a hub or two plus one chain tail, and imported by
+    ///   nobody.
+    ///
+    /// Editing a leaf (any index past the chain section, e.g.
+    /// `units - 1`) touches a module with zero dependents, so a cutoff
+    /// build recompiles exactly one unit no matter how large `units` is.
+    Monorepo {
+        /// Total module count.
+        units: usize,
+        /// RNG seed for the leaf fan wiring.
+        seed: u64,
+    },
+}
+
+/// The deterministic section layout of a [`Topology::Monorepo`] graph:
+/// indices `0..hubs` are hub interfaces, the next `chains * depth` are
+/// functor chains (consecutive runs of `depth`), and the rest are leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonorepoPlan {
+    /// Number of hub interface modules (graph indices `0..hubs`).
+    pub hubs: usize,
+    /// Number of functor-chain runs.
+    pub chains: usize,
+    /// Links per chain run.
+    pub depth: usize,
+    /// Total modules.
+    pub units: usize,
+}
+
+impl MonorepoPlan {
+    /// First index of the leaf section.
+    pub fn leaf_base(&self) -> usize {
+        self.hubs + self.chains * self.depth
+    }
+
+    /// True when index `i` is a non-head chain link — rendered as a
+    /// functor applied to its predecessor.
+    pub fn is_chain_link(&self, i: usize) -> bool {
+        i >= self.hubs && i < self.leaf_base() && !(i - self.hubs).is_multiple_of(self.depth)
+    }
+
+    /// The last link of chain run `c` (what leaf fans import).
+    pub fn chain_tail(&self, c: usize) -> usize {
+        self.hubs + (c + 1) * self.depth - 1
+    }
+}
+
+/// Computes the section layout for a `units`-module monorepo: up to 16
+/// hubs, ~25% of the remainder in functor chains of depth 16, leaves for
+/// the rest.  Deterministic in `units` alone so the source renderer can
+/// classify an index without carrying extra state.
+pub fn monorepo_plan(units: usize) -> MonorepoPlan {
+    let hubs = (units / 8).clamp(1, 16).min(units);
+    let depth = 16;
+    let chains = (units - hubs) / 4 / depth;
+    MonorepoPlan {
+        hubs,
+        chains,
+        depth,
+        units,
+    }
 }
 
 /// Generation parameters.
@@ -296,6 +366,47 @@ fn dependencies(topology: Topology) -> Vec<Vec<usize>> {
             }
             deps
         }
+        Topology::Monorepo { units, seed } => {
+            let plan = monorepo_plan(units);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut deps: Vec<Vec<usize>> = Vec::with_capacity(units);
+            // Hub interfaces: no imports.
+            for _ in 0..plan.hubs {
+                deps.push(vec![]);
+            }
+            // Functor chains: each head imports one hub; each link
+            // imports exactly its predecessor (the functor argument).
+            for c in 0..plan.chains {
+                for k in 0..plan.depth {
+                    let i = plan.hubs + c * plan.depth + k;
+                    if k == 0 {
+                        deps.push(vec![c % plan.hubs]);
+                    } else {
+                        deps.push(vec![i - 1]);
+                    }
+                }
+            }
+            // Leaf fans: a hub, usually a chain tail, sometimes a second
+            // hub.  Nothing ever imports a leaf.
+            for _ in plan.leaf_base()..units {
+                let mut d = vec![rng.gen_range(0..plan.hubs)];
+                if plan.chains > 0 {
+                    let t = plan.chain_tail(rng.gen_range(0..plan.chains));
+                    if !d.contains(&t) {
+                        d.push(t);
+                    }
+                }
+                if plan.hubs > 1 && rng.gen_range(0..3) == 0 {
+                    let h = rng.gen_range(0..plan.hubs);
+                    if !d.contains(&h) {
+                        d.push(h);
+                    }
+                }
+                d.sort_unstable();
+                deps.push(d);
+            }
+            deps
+        }
     }
 }
 
@@ -344,8 +455,25 @@ fn module_source(i: usize, deps: &[usize], spec: &WorkloadSpec, st: &ModState) -
         s.push_str(&format!("  val extra{e} : int\n"));
     }
     s.push_str("end\n");
-    // Structure.
-    s.push_str(&format!("structure {name} : {name}_SIG = struct\n"));
+    // Structure — or, for monorepo chain links, a functor over the
+    // predecessor's interface applied immediately, so the chain is a
+    // chain of functor applications (the shape §2's CM discussion and
+    // the SML/NJ corpus are built from).  The param sig pins `tag : int`,
+    // so an `InterfaceChangeType` edit inside a chain makes the next
+    // link ill-typed — exactly what such an edit does to real consumers.
+    let functor_link = match spec.topology {
+        Topology::Monorepo { units, .. } => {
+            monorepo_plan(units).is_chain_link(i) && !deps.is_empty()
+        }
+        _ => false,
+    };
+    if functor_link {
+        s.push_str(&format!(
+            "functor {name}_F (P : sig val tag : int end) = struct\n"
+        ));
+    } else {
+        s.push_str(&format!("structure {name} : {name}_SIG = struct\n"));
+    }
     s.push_str("  type t = int\n");
     if spec.reexport_dep_types {
         s.push_str(&format!("  type tagty = {tag_ty}\n"));
@@ -365,7 +493,8 @@ fn module_source(i: usize, deps: &[usize], spec: &WorkloadSpec, st: &ModState) -
             .iter()
             .map(|d| format!("{}.get ({}.mk 1)", module_name(*d), module_name(*d)))
             .collect();
-        s.push_str(&format!("  val sumDeps = {}\n", terms.join(" + ")));
+        let param = if functor_link { "P.tag + " } else { "" };
+        s.push_str(&format!("  val sumDeps = {param}{}\n", terms.join(" + ")));
     }
     for f in 0..spec.funs_per_module {
         let salt = (st.body_salt + f as u64) % 23;
@@ -382,6 +511,12 @@ fn module_source(i: usize, deps: &[usize], spec: &WorkloadSpec, st: &ModState) -
         s.push_str(&format!("  val extra{e} = {e}\n"));
     }
     s.push_str("end\n");
+    if functor_link {
+        s.push_str(&format!(
+            "structure {name} : {name}_SIG = {name}_F({})\n",
+            module_name(deps[0])
+        ));
+    }
     s
 }
 
@@ -450,6 +585,72 @@ mod tests {
                 assert!(*d < 10, "client {i} must import library modules only");
             }
         }
+    }
+
+    #[test]
+    fn monorepo_plan_sections() {
+        let p = monorepo_plan(80);
+        assert_eq!(p.hubs, 10);
+        assert_eq!((p.chains, p.depth), (1, 16));
+        assert_eq!(p.leaf_base(), 26);
+        assert!(!p.is_chain_link(10), "chain heads are plain structures");
+        assert!(p.is_chain_link(11));
+        assert!(p.is_chain_link(25));
+        assert!(!p.is_chain_link(26), "leaves are plain structures");
+        assert_eq!(p.chain_tail(0), 25);
+        // Monorepo scale: the sections keep their intended proportions.
+        let big = monorepo_plan(50_000);
+        assert_eq!(big.hubs, 16);
+        assert!(big.chains * big.depth >= 10_000, "{big:?}");
+        assert!(big.leaf_base() < 40_000, "{big:?}");
+    }
+
+    #[test]
+    fn monorepo_is_seeded_and_links_are_functor_applications() {
+        let spec = WorkloadSpec::with_topology(Topology::Monorepo { units: 80, seed: 7 });
+        let a = Workload::new(spec);
+        let b = Workload::new(spec);
+        assert_eq!(a.deps(), b.deps(), "same seed, same graph");
+        let link = a.project().file("M11").unwrap().read_text().unwrap();
+        assert!(link.contains("functor M11_F"), "{link}");
+        assert!(
+            link.contains("structure M11 : M11_SIG = M11_F(M10)"),
+            "{link}"
+        );
+        let head = a.project().file("M10").unwrap().read_text().unwrap();
+        assert!(!head.contains("functor"), "chain heads are structures");
+        let plan = monorepo_plan(80);
+        for i in plan.leaf_base()..80 {
+            assert!(
+                !a.deps().iter().any(|d| d.contains(&i)),
+                "leaf {i} must have no dependents"
+            );
+            assert!(!a.deps()[i].is_empty(), "leaf {i} imports something");
+        }
+        let hub_dependents = a.deps().iter().filter(|d| d.contains(&0)).count();
+        assert!(hub_dependents >= 2, "hub 0 is widely imported");
+    }
+
+    #[test]
+    fn monorepo_builds_and_edits_cut_off() {
+        use smlsc_core::irm::{Irm, Strategy};
+        let mut w = Workload::new(WorkloadSpec {
+            topology: Topology::Monorepo { units: 80, seed: 7 },
+            funs_per_module: 2,
+            reexport_dep_types: false,
+        });
+        let mut irm = Irm::new(Strategy::Cutoff);
+        let report = irm.build(w.project()).expect("monorepo elaborates");
+        assert_eq!(report.recompiled.len(), 80);
+        // A leaf body edit recompiles exactly that leaf.
+        w.edit(79, EditKind::BodyOnly);
+        let report = irm.build(w.project()).expect("leaf edit builds");
+        assert_eq!(report.recompiled.len(), 1);
+        // A body edit *inside* a functor chain is cut off at the next
+        // link: the link's interface did not change.
+        w.edit(12, EditKind::BodyOnly);
+        let report = irm.build(w.project()).expect("chain edit builds");
+        assert_eq!(report.recompiled.len(), 1);
     }
 
     #[test]

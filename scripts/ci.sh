@@ -76,6 +76,10 @@ echo "==> null-build benchmark (smoke)"
 ./target/release/null_build --smoke --out "$w/BENCH_null.json"
 cat "$w/BENCH_null.json"; echo
 
+echo "==> monorepo benchmark (smoke, N=5k)"
+./target/release/monorepo --smoke --out "$w/BENCH_monorepo.json"
+cat "$w/BENCH_monorepo.json"; echo
+
 echo "==> perf: ledger + profiler test suites"
 cargo test -q -p smlsc-core --lib
 cargo test -q -p smlsc-bench --lib

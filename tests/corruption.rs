@@ -66,7 +66,7 @@ fn bit_flipped_bin_is_corrupt() {
     irm.save_bins_files(&dir).unwrap();
 
     let mut bytes = saved_bin(&dir, "base");
-    // Flip a byte inside the JSON payload, breaking its syntax.
+    // Flip a byte inside the payload; the container self-digest catches it.
     let k = bytes.len() - 2;
     bytes[k] = 0x00;
     assert!(matches!(

@@ -108,7 +108,7 @@ fn corrupt_archive_index_degrades_to_full_recompile() {
             "truncated-footer" => bytes.truncate(bytes.len() - 8),
             _ => {
                 // Last byte before the 40-byte footer sits inside the
-                // index JSON: flipping it breaks the index digest.
+                // binary index: flipping it breaks the index digest.
                 let k = bytes.len() - 41;
                 bytes[k] ^= 0xff;
             }
@@ -124,6 +124,212 @@ fn corrupt_archive_index_degrades_to_full_recompile() {
         assert_eq!(export_pids(&session), clean, "{what}");
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// Transcribes a session's saved v2 archive into a `SMLSPAK1` archive
+/// with `SMLCBIN1` JSON bodies — the on-disk state a project last built
+/// before the binary-index format existed.  `mutate` may corrupt a
+/// body's bytes *before* the (matching) digest is computed, modelling a
+/// torn write under the true digest.
+fn transcribe_to_v1(v2_pack: &Path, v1_pack: &Path, mutate: impl Fn(&str, &mut Vec<u8>)) {
+    use smlsc_core::pack::PackReader;
+    let reader = PackReader::open(v2_pack).unwrap().expect("archive exists");
+    let items: Vec<(smlsc_core::BinMeta, Vec<u8>)> = reader
+        .entries()
+        .iter()
+        .map(|e| {
+            let body = reader.read_body(e.offset, e.len, e.digest).unwrap();
+            let bin = smlsc_core::BinFile::from_bytes(&body).unwrap();
+            let mut legacy = bin.to_legacy_v1_bytes();
+            mutate(e.name.as_str(), &mut legacy);
+            (e.meta(), legacy)
+        })
+        .collect();
+    smlsc_core::pack::write_legacy_v1_pack(v1_pack, &items).unwrap();
+}
+
+/// A project last saved under the version-1 pack format (JSON index,
+/// JSON bodies) must load, build warm with zero recompiles, and have its
+/// archive rewritten in the current binary format by the next save —
+/// even a save with nothing newly compiled.
+#[test]
+fn legacy_v1_archive_loads_builds_warm_and_is_rewritten_as_v2() {
+    use smlsc_core::pack::PACK_FILE;
+    let base = temp_dir("v1-migrate");
+    let p = project();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(&p).unwrap();
+    let clean = export_pids(&irm);
+    let v2 = base.join("v2");
+    irm.save_bins(&v2).unwrap();
+
+    let v1 = base.join("v1");
+    std::fs::create_dir_all(&v1).unwrap();
+    transcribe_to_v1(&v2.join(PACK_FILE), &v1.join(PACK_FILE), |_, _| {});
+    let head = std::fs::read(v1.join(PACK_FILE)).unwrap();
+    assert_eq!(&head[..8], b"SMLSPAK1");
+
+    // A warm session over the v1 archive: everything loads, nothing
+    // recompiles, pids match the original build exactly.
+    let mut warm = Irm::new(Strategy::Cutoff);
+    let outcome = warm.load_bins(&v1).unwrap();
+    assert_eq!(outcome.loaded, 3, "{:?}", outcome.corrupt);
+    assert!(outcome.corrupt.is_empty(), "{:?}", outcome.corrupt);
+    let report = warm.build(&p).unwrap();
+    assert_eq!(report.recompiled.len(), 0, "{:?}", report.decisions);
+    assert_eq!(export_pids(&warm), clean);
+
+    // The clean no-op save must still rewrite: a legacy-format archive
+    // never counts as synced.
+    warm.save_bins(&v1).unwrap();
+    let head = std::fs::read(v1.join(PACK_FILE)).unwrap();
+    assert_eq!(&head[..8], b"SMLSPAK2", "archive upgraded on save");
+
+    // And the upgraded archive round-trips.
+    let mut again = Irm::new(Strategy::Cutoff);
+    let outcome = again.load_bins(&v1).unwrap();
+    assert_eq!(outcome.loaded, 3, "{:?}", outcome.corrupt);
+    let report = again.build(&p).unwrap();
+    assert_eq!(report.recompiled.len(), 0, "{:?}", report.decisions);
+    assert_eq!(export_pids(&again), clean);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// Torn-body quarantine behaves identically across pack versions: a v1
+/// body corrupted under its true digest is caught on first force, the
+/// unit alone recompiles, and the save that follows writes a clean v2
+/// archive.
+#[test]
+fn torn_v1_body_quarantines_and_upgrade_save_heals() {
+    use smlsc_core::pack::PACK_FILE;
+    let base = temp_dir("v1-torn");
+    let p = project();
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(&p).unwrap();
+    let clean = export_pids(&irm);
+    let v2 = base.join("v2");
+    irm.save_bins(&v2).unwrap();
+
+    let v1 = base.join("v1");
+    std::fs::create_dir_all(&v1).unwrap();
+    transcribe_to_v1(&v2.join(PACK_FILE), &v1.join(PACK_FILE), |name, body| {
+        if name == "mid" {
+            // Inside the JSON payload, past the SMLCBIN1 magic.
+            let k = body.len() / 2;
+            body[k] ^= 0xff;
+        }
+    });
+
+    let collector = trace::Collector::new();
+    collector.install();
+    let mut session = Irm::new(Strategy::Cutoff);
+    let outcome = session.load_bins(&v1).unwrap();
+    assert_eq!(outcome.loaded, 3, "index loads; bodies verify lazily");
+    // Linking forces every body; the corrupt v1 body is caught there.
+    let (report, env) = session.execute(&p).unwrap();
+    trace::uninstall();
+    assert_eq!(env.len(), 3);
+    assert_eq!(collector.counter(trace::names::BIN_BODY_QUARANTINED), 1);
+    assert!(report.was_recompiled("mid"), "{:?}", report.decisions);
+    assert_eq!(report.recompiled.len(), 1, "{:?}", report.decisions);
+    assert_eq!(export_pids(&session), clean);
+
+    session.save_bins(&v1).unwrap();
+    let head = std::fs::read(v1.join(PACK_FILE)).unwrap();
+    assert_eq!(&head[..8], b"SMLSPAK2");
+    let mut again = Irm::new(Strategy::Cutoff);
+    let outcome = again.load_bins(&v1).unwrap();
+    assert_eq!(outcome.loaded, 3, "{:?}", outcome.corrupt);
+    let report = again.build(&p).unwrap();
+    assert_eq!(report.recompiled.len(), 0, "{:?}", report.decisions);
+    std::fs::remove_dir_all(&base).ok();
+}
+
+/// The PR's acceptance property: a no-op warm build touches *no JSON
+/// and no source text* on the hot path.  Stamps, pack index, and bin
+/// bodies are all the binary wire format (checked by magic), the build
+/// reads zero sources, and when bodies do rehydrate (execute), the
+/// pickles stream through borrowed slices: `pickle.bytes` counts real
+/// work while `rehydrate.allocs` stays zero.
+#[test]
+fn noop_warm_build_is_binary_end_to_end_and_allocation_free() {
+    use smlsc_core::pack::PACK_FILE;
+    let base = temp_dir("zero-json");
+    let src = base.join("src");
+    let bins = base.join("bins");
+    std::fs::create_dir_all(&src).unwrap();
+    std::fs::write(
+        src.join("base.sml"),
+        "structure Base = struct val n = 10 end",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("mid.sml"),
+        "structure Mid = struct val v = Base.n + 1 end",
+    )
+    .unwrap();
+    std::fs::write(
+        src.join("top.sml"),
+        "structure Top = struct val t = Mid.v * 2 end",
+    )
+    .unwrap();
+
+    let mut irm = Irm::new(Strategy::Cutoff);
+    let p = Project::from_dir(&src).unwrap();
+    irm.build(&p).unwrap();
+    irm.save_bins(&bins).unwrap();
+    irm.save_stamps(&bins.join("stamps.json")).unwrap();
+
+    // Every persisted cache leads with its binary magic, not JSON.
+    let stamps = std::fs::read(bins.join("stamps.json")).unwrap();
+    assert_eq!(&stamps[..8], b"SMLSSTM2", "stamp cache is binary");
+    let pack = std::fs::read(bins.join(PACK_FILE)).unwrap();
+    assert_eq!(&pack[..8], b"SMLSPAK2", "pack index is binary");
+
+    let collector = trace::Collector::new();
+    collector.install();
+    let mut warm = Irm::new(Strategy::Cutoff);
+    warm.load_stamps(&bins.join("stamps.json"));
+    warm.load_bins(&bins).unwrap();
+    let p2 = Project::from_dir(&src).unwrap();
+    let report = warm.build(&p2).unwrap();
+    trace::uninstall();
+
+    assert_eq!(report.recompiled.len(), 0, "{:?}", report.decisions);
+    assert_eq!(collector.counter(trace::names::STAMP_HITS), 3);
+    assert_eq!(collector.counter(trace::names::SOURCE_READS), 0);
+    assert_eq!(collector.counter(trace::names::BIN_INDEX_ONLY), 3);
+    assert_eq!(collector.counter(trace::names::BIN_LAZY_BODIES), 0);
+    assert_eq!(
+        collector.counter(trace::names::REHYDRATE_ALLOCS),
+        0,
+        "nothing rehydrated, nothing copied"
+    );
+
+    // A leaf edit makes `top` recompile, which rehydrates its import's
+    // pickled env — still without copying a single string or byte
+    // buffer out of the pickle.
+    std::fs::write(
+        src.join("top.sml"),
+        "structure Top = struct val t = Mid.v * 3 end",
+    )
+    .unwrap();
+    let collector = trace::Collector::new();
+    collector.install();
+    let p3 = Project::from_dir(&src).unwrap();
+    let report = warm.build(&p3).unwrap();
+    trace::uninstall();
+    assert_eq!(report.recompiled.len(), 1, "{:?}", report.decisions);
+    assert!(
+        collector.counter(trace::names::PICKLE_BYTES) > 0,
+        "pickles were actually parsed"
+    );
+    assert_eq!(
+        collector.counter(trace::names::REHYDRATE_ALLOCS),
+        0,
+        "rehydration is allocation-free over borrowed slices"
+    );
+    std::fs::remove_dir_all(&base).ok();
 }
 
 /// A rename preserves (mtime, size) and content exactly — the
