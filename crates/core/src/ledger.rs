@@ -48,7 +48,7 @@ const DEFAULT_KEEP_RECORDS: usize = 512;
 
 /// One build's flight-recorder entry.  All durations are microseconds;
 /// all tallies are unit counts.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct LedgerRecord {
     /// Record-format version ([`LEDGER_VERSION`]).
     pub version: u32,
@@ -104,6 +104,53 @@ pub struct LedgerRecord {
     /// The process exit code the build mapped to (0 ok, 1 compile,
     /// 3 internal, 4 store/IO).
     pub exit_code: u32,
+    /// 1 when the build was served by the resident daemon, 0 for an
+    /// in-process CLI build.  Absent in pre-daemon ledgers (read as 0).
+    pub daemon: u64,
+}
+
+// Deserialization is hand-written, not derived, so `daemon` can default
+// when absent: the vendored serde derive hard-errors on missing fields,
+// and a derived impl would silently drop every record written before
+// the field existed from `smlsc history`, rotation, and the CI gate.
+impl<'de> Deserialize<'de> for LedgerRecord {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v.as_map("LedgerRecord")?;
+        let field = |key: &str| serde::Value::map_get(m, key);
+        let num = |key: &str| -> Result<u64, serde::Error> { u64::from_value(field(key)?) };
+        Ok(LedgerRecord {
+            version: u32::from_value(field("version")?)?,
+            build_id: num("build_id")?,
+            timestamp_ms: num("timestamp_ms")?,
+            strategy: String::from_value(field("strategy")?)?,
+            jobs: num("jobs")?,
+            host_parallelism: num("host_parallelism")?,
+            wall_us: num("wall_us")?,
+            parse_us: num("parse_us")?,
+            elaborate_us: num("elaborate_us")?,
+            hash_us: num("hash_us")?,
+            dehydrate_us: num("dehydrate_us")?,
+            rehydrate_us: num("rehydrate_us")?,
+            compiled: num("compiled")?,
+            reused: num("reused")?,
+            cutoff: num("cutoff")?,
+            store_hits: num("store_hits")?,
+            skipped: num("skipped")?,
+            failed: num("failed")?,
+            stamp_hits: num("stamp_hits")?,
+            stamp_misses: num("stamp_misses")?,
+            store_misses: num("store_misses")?,
+            deps_cache_hits: num("deps_cache_hits")?,
+            deps_cache_misses: num("deps_cache_misses")?,
+            source_reads: num("source_reads")?,
+            critical_path: num("critical_path")?,
+            exit_code: u32::from_value(field("exit_code")?)?,
+            daemon: match field("daemon") {
+                Ok(v) => u64::from_value(v)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 impl LedgerRecord {
@@ -155,7 +202,15 @@ impl LedgerRecord {
             source_reads: collector.counter(names::SOURCE_READS),
             critical_path: collector.counter(names::CRITICAL_PATH),
             exit_code: u32::try_from(exit_code).unwrap_or(u32::MAX),
+            daemon: 0,
         }
+    }
+
+    /// The same record tagged as daemon-served (see the `daemon` field).
+    #[must_use]
+    pub fn tagged_daemon(mut self) -> LedgerRecord {
+        self.daemon = 1;
+        self
     }
 }
 
@@ -403,6 +458,7 @@ mod tests {
             source_reads: 0,
             critical_path: 2,
             exit_code: 0,
+            daemon: 0,
         }
     }
 
@@ -453,6 +509,26 @@ mod tests {
             back.iter().map(|r| r.build_id).collect::<Vec<_>>(),
             vec![1, 3]
         );
+        cleanup(&l);
+    }
+
+    #[test]
+    fn pre_daemon_records_parse_with_daemon_defaulted() {
+        let l = tmp_ledger("predaemon");
+        // A record as serialized before the `daemon` field existed.
+        let json = serde_json::to_string(&record(7, 70)).unwrap();
+        let stripped = json.replace(",\"daemon\":0", "");
+        assert_ne!(json, stripped, "the field must actually be stripped");
+        std::fs::create_dir_all(l.path().parent().unwrap()).unwrap();
+        std::fs::write(l.path(), format!("{stripped}\n")).unwrap();
+        let back = l.read();
+        assert_eq!(back.len(), 1, "pre-daemon ledgers keep parsing");
+        assert_eq!(back[0].daemon, 0);
+        assert_eq!(back[0].build_id, 7);
+        // And a daemon-tagged record round-trips with the tag intact.
+        l.append(&record(8, 80).tagged_daemon()).unwrap();
+        let back = l.read();
+        assert_eq!(back[1].daemon, 1);
         cleanup(&l);
     }
 

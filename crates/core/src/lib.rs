@@ -16,7 +16,11 @@
 //!   recompilation, plus `make`-timestamp and classical baselines
 //!   (§1, §6, §8);
 //! * [`session`] — the Visible Compiler's interactive
-//!   compile-and-execute loop as a client of the same primitives (§7).
+//!   compile-and-execute loop as a client of the same primitives (§7);
+//! * [`resident`] — the long-lived build session behind the `smlsc`
+//!   daemon: project state held hot in memory, file-event deltas
+//!   instead of rescans, serialized builds, snapshot-consistent
+//!   reports.
 //!
 //! # Examples
 //!
@@ -53,6 +57,7 @@ pub mod ledger;
 pub mod link;
 pub mod pack;
 pub mod profile;
+pub mod resident;
 pub mod session;
 pub mod stamps;
 pub mod stdlib;
@@ -69,6 +74,7 @@ pub use irm::{BuildReport, FailurePolicy, Irm, Project, Strategy, UnitOutcome};
 pub use ledger::{build_report_json, Ledger, LedgerRecord, LEDGER_VERSION};
 pub use link::{link_and_execute, DynEnv, LinkError};
 pub use profile::BuildProfile;
+pub use resident::{BuildSnapshot, FileEvent, Resident};
 pub use session::Session;
 pub use smlsc_store as store;
 pub use smlsc_trace as trace;

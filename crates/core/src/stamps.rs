@@ -96,20 +96,49 @@ impl StampCache {
     /// and digests the source the cold way).  A legacy JSON stamp file
     /// loads fine but comes back *dirty*, so the next save rewrites it
     /// in the binary format.
+    ///
+    /// Entries whose recorded `mtime_ns` is at or after the stamp file's
+    /// own mtime (the last save instant) are *racy* and dropped: a file
+    /// edited within the same mtime tick and to the same byte size as
+    /// its stamp would otherwise be served as a hit with stale analysis.
+    /// Dropping the entry forces one re-digest, whose `record` marks the
+    /// cache dirty so the following save moves the trust boundary past
+    /// the file's mtime and restores hits.
     pub fn load(path: &Path) -> StampCache {
         let Ok(bytes) = std::fs::read(path) else {
             return StampCache::default();
         };
-        if let Some(payload) = bytes.strip_prefix(STAMP_MAGIC.as_slice()) {
-            return Self::parse_binary(payload).unwrap_or_default();
+        let saved_at_ns = std::fs::metadata(path)
+            .ok()
+            .and_then(|m| m.modified().ok())
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        let mut cache = if let Some(payload) = bytes.strip_prefix(STAMP_MAGIC.as_slice()) {
+            Self::parse_binary(payload).unwrap_or_default()
+        } else {
+            // Legacy JSON: readable, but schedule a rewrite.
+            match serde_json::from_slice::<StampFile>(&bytes) {
+                Ok(f) if f.version == LEGACY_STAMP_VERSION => StampCache {
+                    entries: f.entries.into_iter().map(|r| (r.path, r.entry)).collect(),
+                    dirty: true,
+                },
+                _ => StampCache::default(),
+            }
+        };
+        if let Some(cutoff_ns) = saved_at_ns {
+            cache.drop_racy_entries(cutoff_ns);
         }
-        // Legacy JSON: readable, but schedule a rewrite.
-        match serde_json::from_slice::<StampFile>(&bytes) {
-            Ok(f) if f.version == LEGACY_STAMP_VERSION => StampCache {
-                entries: f.entries.into_iter().map(|r| (r.path, r.entry)).collect(),
-                dirty: true,
-            },
-            _ => StampCache::default(),
+        cache
+    }
+
+    /// Drops entries stamped at or after `cutoff_ns` (see [`Self::load`]);
+    /// dropping any marks the cache dirty so re-digested replacements are
+    /// persisted even when their analysis comes out byte-identical.
+    fn drop_racy_entries(&mut self, cutoff_ns: u64) {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.mtime_ns < cutoff_ns);
+        if self.entries.len() != before {
+            self.dirty = true;
         }
     }
 
@@ -344,6 +373,51 @@ mod tests {
             "renamed unit must not reuse the old path's analysis"
         );
         assert!(c.lookup("b.sml", a, 10, 20).is_none(), "other path");
+    }
+
+    #[test]
+    fn racy_entries_are_dropped_on_load_and_heal_on_save() {
+        let dir = tmp_path("racy");
+        let path = dir.join("stamps.json");
+        let now_ns = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos() as u64;
+        let mut c = StampCache::new();
+        c.record("old.sml".into(), entry("old", 10, 20));
+        // A stamp at (or after) the save instant is indistinguishable
+        // from a same-tick, same-size edit that landed just after the
+        // digest: it must not be served as a hit.
+        c.record(
+            "racy.sml".into(),
+            entry("racy", now_ns + 1_000_000_000_000, 20),
+        );
+        c.save(&path).unwrap();
+
+        let mut back = StampCache::load(&path);
+        assert_eq!(back.len(), 1, "racy entry dropped, settled entry kept");
+        assert!(back
+            .lookup(
+                "racy.sml",
+                Symbol::intern("racy"),
+                now_ns + 1_000_000_000_000,
+                20
+            )
+            .is_none());
+        assert!(back
+            .lookup("old.sml", Symbol::intern("old"), 10, 20)
+            .is_some());
+
+        // Re-digesting yields the same analysis; recording it must still
+        // dirty the cache so the save advances the trust boundary.
+        back.record("racy.sml".into(), entry("racy", 30, 20));
+        back.save(&path).unwrap();
+        let healed = StampCache::load(&path);
+        assert_eq!(healed.len(), 2, "healed file trusts the re-digested entry");
+        assert!(healed
+            .lookup("racy.sml", Symbol::intern("racy"), 30, 20)
+            .is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

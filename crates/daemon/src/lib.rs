@@ -1,0 +1,41 @@
+//! `smlsc-daemon`: the resident build server (DESIGN §6j).
+//!
+//! A cold `smlsc build` on a warm 50k-unit tree spends its time on
+//! process startup and cache loading, not on rebuild decisions.  The
+//! daemon pays those costs once: a [`Resident`] session — stamps, deps
+//! cache, the lazily indexed `bins.pack`, statenvs — stays hot in one
+//! long-lived process, a debounced polling watcher feeds file-event
+//! deltas into targeted invalidation, and CLI clients get build,
+//! stats and status answers over a per-project Unix-domain socket.
+//!
+//! The crate splits along the obvious seams:
+//!
+//! * [`protocol`] — versioned handshake plus length-prefixed JSON
+//!   frames ([`Hello`]/[`HelloAck`], [`Request`]/[`Response`]);
+//! * [`lock`] — one daemon per project: pid lockfile with stale-owner
+//!   takeover;
+//! * [`watcher`] — the debounced polling sweep and the daemon-lifetime
+//!   [`DaemonCounters`];
+//! * [`server`] — socket lifecycle and request dispatch ([`run`] for
+//!   the real daemon, [`ServerHandle`] for in-process tests/benches);
+//! * [`client`] — connect/handshake/request; every failure is the
+//!   CLI's cue to fall back to an in-process build.
+//!
+//! [`Resident`]: smlsc_core::resident::Resident
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod lock;
+pub mod protocol;
+pub mod server;
+pub mod watcher;
+
+pub use client::{alive, connect, Client};
+pub use lock::LockGuard;
+pub use protocol::{
+    lock_path, socket_path, Hello, HelloAck, Request, Response, MAGIC, PROTOCOL_VERSION,
+};
+pub use server::{run, ServerConfig, ServerHandle};
+pub use watcher::DaemonCounters;

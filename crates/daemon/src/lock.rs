@@ -1,0 +1,169 @@
+//! Single-daemon-per-project lockfile with stale-owner takeover.
+//!
+//! The lockfile (in the project's bin directory, next to the socket)
+//! holds the owning daemon's pid, created with `O_EXCL` so two daemons
+//! racing for the same project resolve to exactly one winner.  A lock
+//! whose recorded pid is no longer alive (crashed daemon, `kill -9`) is
+//! *stale*: the next `acquire` removes the dead owner's lock and socket
+//! and takes over.
+
+use std::io::{Error, ErrorKind, Write};
+use std::path::{Path, PathBuf};
+
+use crate::protocol;
+
+/// Ownership of a project's daemon lock; dropping it releases the
+/// lockfile (the server also removes it explicitly on clean shutdown).
+#[derive(Debug)]
+pub struct LockGuard {
+    path: PathBuf,
+    released: bool,
+}
+
+impl LockGuard {
+    /// The lockfile path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Removes the lockfile now (idempotent with drop).
+    pub fn release(&mut self) {
+        if !self.released {
+            std::fs::remove_file(&self.path).ok();
+            self.released = true;
+        }
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        self.release();
+    }
+}
+
+/// Is the process alive?  Linux: its `/proc/<pid>/stat` exists and the
+/// state field is not `Z` — a zombie (killed but not yet reaped, e.g. a
+/// SIGKILLed daemon whose parent already exited) is dead for lock
+/// purposes: it will never serve the socket again.
+fn pid_alive(pid: u64) -> bool {
+    let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
+        return false;
+    };
+    // The state is the first field after the parenthesised comm.
+    !matches!(
+        stat.rfind(')')
+            .and_then(|i| stat[i + 1..].trim_start().chars().next()),
+        Some('Z') | None
+    )
+}
+
+/// Acquires the daemon lock for `bin_dir`, taking over from a dead
+/// owner (removing its lockfile and stale socket) when needed.
+///
+/// # Errors
+///
+/// [`ErrorKind::AddrInUse`] when a live daemon already owns the lock;
+/// other IO errors when the bin directory is unusable.
+pub fn acquire(bin_dir: &Path) -> std::io::Result<LockGuard> {
+    std::fs::create_dir_all(bin_dir)?;
+    let path = protocol::lock_path(bin_dir);
+    for _ in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                writeln!(f, "{}", std::process::id())?;
+                return Ok(LockGuard {
+                    path,
+                    released: false,
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::AlreadyExists => {
+                match owner(&path) {
+                    Some(pid) if pid_alive(pid) => {
+                        return Err(Error::new(
+                            ErrorKind::AddrInUse,
+                            format!("daemon already running (pid {pid})"),
+                        ));
+                    }
+                    // Dead owner or unreadable lock: stale. Remove the
+                    // corpse's lock and socket and retry the O_EXCL
+                    // create (a concurrent acquirer may still win it).
+                    _ => {
+                        std::fs::remove_file(&path).ok();
+                        std::fs::remove_file(protocol::socket_path(bin_dir)).ok();
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(Error::new(
+        ErrorKind::AddrInUse,
+        "daemon lock contended during takeover",
+    ))
+}
+
+/// The pid recorded in a lockfile, if it parses.
+pub fn owner(path: &Path) -> Option<u64> {
+    std::fs::read_to_string(path)
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smlsc-lock-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn second_acquire_fails_while_owner_lives() {
+        let dir = temp("live");
+        let guard = acquire(&dir).unwrap();
+        // Our own pid is alive, so a second acquire must refuse.
+        let err = acquire(&dir).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::AddrInUse);
+        drop(guard);
+        // Released: now it succeeds again.
+        acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_of_a_dead_pid_is_taken_over() {
+        let dir = temp("stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Pid u32::MAX is above Linux's pid_max; certainly dead.
+        std::fs::write(protocol::lock_path(&dir), format!("{}\n", u32::MAX)).unwrap();
+        std::fs::write(protocol::socket_path(&dir), b"stale socket").unwrap();
+        let guard = acquire(&dir).unwrap();
+        assert_eq!(owner(guard.path()), Some(u64::from(std::process::id())));
+        assert!(
+            !protocol::socket_path(&dir).exists(),
+            "takeover removes the dead owner's socket"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_lockfile_is_treated_as_stale() {
+        let dir = temp("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(protocol::lock_path(&dir), b"not a pid").unwrap();
+        acquire(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,322 @@
+//! The daemon server: socket lifecycle, handshake, request dispatch.
+//!
+//! One [`Resident`] session per server; any number of concurrent
+//! clients.  Each accepted connection gets its own handler thread, so
+//! a slow client never blocks another's frames; the resident session's
+//! internal lock serializes the actual build runs (the bin and stamp
+//! caches are single-writer) while overlapped `status`/`stats` reads
+//! are served from snapshot-consistent state.
+//!
+//! Shutdown: a `stop` request (or [`ServerHandle::stop`]) flips the
+//! shutdown flag and self-connects once to wake the blocking accept;
+//! the server then joins its watcher, removes the socket, and releases
+//! the lockfile.
+
+use std::io::Write;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use smlsc_core::irm::{FailurePolicy, Strategy};
+use smlsc_core::resident::Resident;
+use smlsc_faults::points;
+use smlsc_trace::names;
+
+use crate::protocol::{self, Hello, HelloAck, Request, Response, PROTOCOL_VERSION};
+use crate::watcher::{self, DaemonCounters};
+use crate::{client, lock};
+
+/// How to run a daemon over one project.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The source directory to watch and build.
+    pub dir: PathBuf,
+    /// The bin directory: bins, stamps, ledger, socket, lockfile.
+    pub bin_dir: PathBuf,
+    /// Rebuild strategy for served builds.
+    pub strategy: Strategy,
+    /// Default worker count for requests that leave `jobs` at 0.
+    pub jobs: usize,
+    /// Watcher poll interval.
+    pub watch_interval: Duration,
+}
+
+impl ServerConfig {
+    /// A default configuration over `dir` with bins in `bin_dir`.
+    pub fn new(dir: impl Into<PathBuf>, bin_dir: impl Into<PathBuf>) -> ServerConfig {
+        ServerConfig {
+            dir: dir.into(),
+            bin_dir: bin_dir.into(),
+            strategy: Strategy::Cutoff,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            watch_interval: Duration::from_millis(150),
+        }
+    }
+}
+
+/// Runs a daemon to completion (until a `stop` request): acquires the
+/// project lock, opens the resident session, binds the socket, serves.
+///
+/// # Errors
+///
+/// `AddrInUse` when a live daemon already owns the project; any IO or
+/// [`smlsc_core::CoreError`] failure opening the session or socket.
+pub fn run(config: ServerConfig) -> std::io::Result<()> {
+    Server::bind(config)?.serve()
+}
+
+struct Server {
+    config: ServerConfig,
+    listener: UnixListener,
+    socket: PathBuf,
+    lock: lock::LockGuard,
+    resident: Arc<Resident>,
+    counters: Arc<DaemonCounters>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let lock = lock::acquire(&config.bin_dir)?;
+        let resident = Resident::open(&config.dir, &config.bin_dir, config.strategy, None)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let socket = protocol::socket_path(&config.bin_dir);
+        // We hold the lock, so any existing socket file is a leftover.
+        std::fs::remove_file(&socket).ok();
+        let listener = UnixListener::bind(&socket)?;
+        Ok(Server {
+            config,
+            listener,
+            socket,
+            lock,
+            resident: Arc::new(resident),
+            counters: Arc::new(DaemonCounters::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    fn serve(mut self) -> std::io::Result<()> {
+        let watcher = watcher::spawn(
+            Arc::clone(&self.resident),
+            Arc::clone(&self.counters),
+            Arc::clone(&self.shutdown),
+            self.config.watch_interval,
+        );
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            if matches!(
+                smlsc_faults::check(points::DAEMON_ACCEPT, "conn"),
+                Some(smlsc_faults::FaultKind::Io | smlsc_faults::FaultKind::Torn)
+            ) {
+                // Injected fault: drop the connection before any frame;
+                // the client's handshake fails and it falls back to an
+                // in-process build.
+                drop(stream);
+                continue;
+            }
+            let ctx = HandlerCtx {
+                resident: Arc::clone(&self.resident),
+                counters: Arc::clone(&self.counters),
+                shutdown: Arc::clone(&self.shutdown),
+                socket: self.socket.clone(),
+                default_jobs: self.config.jobs,
+            };
+            std::thread::Builder::new()
+                .name("smlsc-daemon-conn".to_string())
+                .spawn(move || handle_connection(stream, &ctx))
+                .ok();
+        }
+        watcher.join().ok();
+        std::fs::remove_file(&self.socket).ok();
+        self.lock.release();
+        Ok(())
+    }
+}
+
+struct HandlerCtx {
+    resident: Arc<Resident>,
+    counters: Arc<DaemonCounters>,
+    shutdown: Arc<AtomicBool>,
+    socket: PathBuf,
+    default_jobs: usize,
+}
+
+fn handle_connection(mut stream: UnixStream, ctx: &HandlerCtx) {
+    // Handshake: refuse (with a parseable ack) rather than misparse.
+    let hello: Hello = match protocol::recv(&mut stream) {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    let ok = hello.magic == protocol::MAGIC && hello.version == PROTOCOL_VERSION;
+    let ack = HelloAck {
+        ok,
+        version: PROTOCOL_VERSION,
+        pid: u64::from(std::process::id()),
+    };
+    if protocol::send(&mut stream, &ack).is_err() || !ok {
+        return;
+    }
+    let request: Request = match protocol::recv(&mut stream) {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    ctx.counters.requests.fetch_add(1, Ordering::SeqCst);
+    let response = dispatch(&request, ctx);
+    protocol::send(&mut stream, &response).ok();
+    stream.flush().ok();
+    if request.kind == "stop" {
+        initiate_shutdown(ctx);
+    }
+}
+
+fn dispatch(request: &Request, ctx: &HandlerCtx) -> Response {
+    match request.kind.as_str() {
+        "build" => build(request, ctx),
+        "stats" => match ctx.resident.last() {
+            Some(snap) => {
+                let mut r = Response::new();
+                r.seq = snap.seq;
+                r.stats_json = snap.stats_json.clone();
+                r.summary = snap.summary.clone();
+                r.exit_code = snap.exit_code;
+                r
+            }
+            None => Response::refuse("no builds served yet"),
+        },
+        "status" => {
+            let mut r = Response::new();
+            r.status_json = status_json(ctx);
+            r
+        }
+        "stop" => Response::new(),
+        other => Response::refuse(format!("unknown request kind `{other}`")),
+    }
+}
+
+fn build(request: &Request, ctx: &HandlerCtx) -> Response {
+    let jobs = match usize::try_from(request.jobs) {
+        Ok(0) | Err(_) => ctx.default_jobs,
+        Ok(n) => n,
+    };
+    let policy = if request.keep_going {
+        FailurePolicy::KeepGoing
+    } else {
+        FailurePolicy::FailFast
+    };
+    match ctx.resident.build(jobs, policy, request.fresh) {
+        Ok((snap, cached)) => {
+            let mut r = Response::new();
+            r.exit_code = snap.exit_code;
+            r.cached = cached;
+            r.seq = snap.seq;
+            r.summary = snap.summary.clone();
+            r.notes = snap.notes.clone();
+            if request.explain {
+                r.explain = snap.explain.clone();
+            }
+            r.stats_json = snap.stats_json.clone();
+            r
+        }
+        Err(e) => {
+            let mut r = Response::refuse(e.to_string());
+            r.exit_code = if e.is_io() {
+                4
+            } else if e.is_internal() {
+                3
+            } else {
+                1
+            };
+            r
+        }
+    }
+}
+
+fn status_json(ctx: &HandlerCtx) -> String {
+    let builds = ctx.resident.last().map_or(0, |s| s.seq);
+    format!(
+        "{{\"pid\":{},\"protocol\":{},\"units\":{},\"builds\":{},\"building_high_water\":{},\"{}\":{},\"{}\":{},\"{}\":{}}}",
+        std::process::id(),
+        PROTOCOL_VERSION,
+        ctx.resident.unit_count(),
+        builds,
+        ctx.resident.building_high_water(),
+        names::DAEMON_REQUESTS,
+        ctx.counters.requests.load(Ordering::SeqCst),
+        names::DAEMON_WATCH_EVENTS,
+        ctx.counters.watch_events.load(Ordering::SeqCst),
+        names::DAEMON_INVALIDATIONS,
+        ctx.counters.invalidations.load(Ordering::SeqCst),
+    )
+}
+
+fn initiate_shutdown(ctx: &HandlerCtx) {
+    ctx.shutdown.store(true, Ordering::SeqCst);
+    // Wake the blocking accept so the loop observes the flag.
+    UnixStream::connect(&ctx.socket).ok();
+}
+
+/// An in-process daemon for tests and benches: same lock, socket and
+/// serve loop as [`run`], on a background thread.
+#[derive(Debug)]
+pub struct ServerHandle {
+    socket: PathBuf,
+    thread: Option<JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// Binds and starts serving; returns once the socket is ready (so
+    /// a client can connect immediately).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`]'s bind phase.
+    pub fn spawn(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let server = Server::bind(config)?;
+        let socket = server.socket.clone();
+        let thread = std::thread::Builder::new()
+            .name("smlsc-daemon-serve".to_string())
+            .spawn(move || server.serve())?;
+        Ok(ServerHandle {
+            socket,
+            thread: Some(thread),
+        })
+    }
+
+    /// The socket clients should connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket
+    }
+
+    /// Requests a clean stop and joins the serve loop.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors reaching the daemon (it may already be gone — the
+    /// serve thread is still joined).
+    pub fn stop(mut self) -> std::io::Result<()> {
+        let result = client::request(&self.socket, &Request::simple("stop")).map(|_| ());
+        if let Some(thread) = self.thread.take() {
+            thread.join().ok();
+        }
+        result
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            // Best effort: ask the daemon to stop, then join.
+            client::request(&self.socket, &Request::simple("stop")).ok();
+            thread.join().ok();
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The daemon's filesystem watcher: a debounced polling sweep feeding
+//! targeted invalidation into the resident session.
+//!
+//! Each tick stat-scans the project directory (never reading a source
+//! body) and diffs against the in-memory project.  A change is applied
+//! only after **two consecutive ticks observe the identical candidate
+//! event set** — the debounce: an editor mid-save (truncate, write,
+//! rename) produces differing snapshots across ticks and is left alone
+//! until it settles.  Applied events replace or remove individual
+//! in-memory units; there is no rescan on the build path.
+//!
+//! The `daemon.watch` fault point can skip a sweep (chaos testing);
+//! a skipped sweep only defers the edit to the next sweep — or to the
+//! next `fresh` build, which re-stats on its own — it is never lost.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use smlsc_core::resident::{FileEvent, Resident};
+use smlsc_faults::points;
+
+/// Daemon-lifetime counters, surfaced in `status` responses keyed by
+/// the canonical `smlsc_trace::names::DAEMON_*` names.
+#[derive(Debug, Default)]
+pub struct DaemonCounters {
+    /// Requests served (handshake excluded): build, stats, status, stop.
+    pub requests: AtomicU64,
+    /// Filesystem change events observed post-debounce.
+    pub watch_events: AtomicU64,
+    /// Project deltas applied to the resident session.
+    pub invalidations: AtomicU64,
+}
+
+/// Spawns the polling watcher thread; it exits when `shutdown` flips.
+pub fn spawn(
+    resident: Arc<Resident>,
+    counters: Arc<DaemonCounters>,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("smlsc-daemon-watch".to_string())
+        .spawn(move || watch_loop(&resident, &counters, &shutdown, interval))
+        .expect("spawn watcher thread")
+}
+
+fn watch_loop(
+    resident: &Resident,
+    counters: &DaemonCounters,
+    shutdown: &AtomicBool,
+    interval: Duration,
+) {
+    let mut pending: Option<Vec<FileEvent>> = None;
+    while !shutdown.load(Ordering::SeqCst) {
+        // Sleep in short slices so a stop request is honoured promptly
+        // however long the poll interval is.
+        let mut remaining = interval;
+        while !remaining.is_zero() {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining -= slice;
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        if smlsc_faults::check(points::DAEMON_WATCH, "sweep").is_some() {
+            // Injected fault: this sweep is skipped (and any half-seen
+            // candidate discarded); the edit surfaces next sweep.
+            pending = None;
+            continue;
+        }
+        let events = match resident.diff_from_disk() {
+            Ok(events) => events,
+            // Transient scan failure (e.g. the directory mid-rename):
+            // treat like an unsettled tick and try again.
+            Err(_) => {
+                pending = None;
+                continue;
+            }
+        };
+        if events.is_empty() {
+            pending = None;
+            continue;
+        }
+        if pending.as_deref() == Some(&events[..]) {
+            counters
+                .watch_events
+                .fetch_add(events.len() as u64, Ordering::SeqCst);
+            let applied = resident.apply_events(&events);
+            counters
+                .invalidations
+                .fetch_add(applied as u64, Ordering::SeqCst);
+            pending = None;
+        } else {
+            // First sighting (or still changing): wait for it to settle.
+            pending = Some(events);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smlsc_core::irm::{FailurePolicy, Strategy};
+    use std::path::{Path, PathBuf};
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smlsc-watch-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        dir
+    }
+
+    fn write(dir: &Path, name: &str, text: &str) {
+        std::fs::write(dir.join("src").join(format!("{name}.sml")), text).unwrap();
+    }
+
+    #[test]
+    fn settled_edits_are_applied_after_two_identical_ticks() {
+        let dir = temp("settle");
+        write(&dir, "a", "structure A = struct val x = 1 end");
+        let resident = Arc::new(
+            Resident::open(&dir.join("src"), &dir.join("bins"), Strategy::Cutoff, None).unwrap(),
+        );
+        resident.build(1, FailurePolicy::FailFast, false).unwrap();
+        let counters = Arc::new(DaemonCounters::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let watcher = spawn(
+            Arc::clone(&resident),
+            Arc::clone(&counters),
+            Arc::clone(&shutdown),
+            Duration::from_millis(10),
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        write(&dir, "a", "structure A = struct val x = 2 end");
+        // Give the watcher time for two settled ticks.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counters.invalidations.load(Ordering::SeqCst) == 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        shutdown.store(true, Ordering::SeqCst);
+        watcher.join().unwrap();
+        assert_eq!(counters.watch_events.load(Ordering::SeqCst), 1);
+        assert_eq!(counters.invalidations.load(Ordering::SeqCst), 1);
+        // The watcher already applied the delta, so a trusted (non-
+        // fresh) build sees the edit without any rescan.
+        let (snap, cached) = resident.build(1, FailurePolicy::FailFast, false).unwrap();
+        assert!(!cached);
+        assert_eq!(snap.recompiled, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -74,6 +74,14 @@ pub mod points {
     /// record to `builds.jsonl` (`io` fails the write, `torn` truncates
     /// the record mid-line, modelling a crash during the append).
     pub const LEDGER_APPEND: &str = "ledger.append";
+    /// The daemon's accept loop: one client connection being accepted
+    /// (`io` drops the connection before any frame is exchanged, so
+    /// clients must fall back to an in-process build).
+    pub const DAEMON_ACCEPT: &str = "daemon.accept";
+    /// One poll sweep of the daemon's filesystem watcher (`io` skips the
+    /// sweep; invalidation is deferred, never lost, because the next
+    /// sweep re-diffs against the same snapshot).
+    pub const DAEMON_WATCH: &str = "daemon.watch";
     /// Every fault point, for specs that want blanket coverage.
     pub const ALL: &[&str] = &[
         STORE_PUBLISH,
@@ -83,6 +91,8 @@ pub mod points {
         BIN_LOAD,
         COMPILE_UNIT,
         LEDGER_APPEND,
+        DAEMON_ACCEPT,
+        DAEMON_WATCH,
     ];
 }
 

@@ -15,6 +15,14 @@
 //!                      terminate each input with a line ending in `;;`
 //! smlsc cache <op>     manage a shared artifact store: stats | gc |
 //!                      verify | clear
+//! smlsc daemon <op>    resident build server for <dir>: start | stop |
+//!                      status | run.  While one is running, plain
+//!                      `smlsc build` requests are served over its
+//!                      socket from the in-memory analysis — a warm
+//!                      no-op answers without reloading any cache.
+//!                      `run` serves in the foreground (`start` uses it
+//!                      internally); `stop` and `status` talk to the
+//!                      socket in <bin-dir>
 //!
 //! build/run options:
 //!   --strategy <s>     recompilation strategy: cutoff (default),
@@ -35,6 +43,8 @@
 //!   --paranoid         distrust the stamp cache: re-read and re-digest
 //!                      every source file even when its (mtime, size)
 //!                      stamp matches the previous run
+//!   --no-daemon        never dispatch this build to a running daemon,
+//!                      even when one is serving the project
 //!   --explain          print why each unit was recompiled or reused
 //!   --stats            print a JSON telemetry report (counters and
 //!                      per-phase duration histograms) to stdout
@@ -68,7 +78,7 @@ use smlsc::core::session::Session;
 use smlsc::core::store::{GcConfig, Store};
 use smlsc::core::{trace, BuildReport, CoreError};
 
-const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc profile [options] <dir> | smlsc history [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options]\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --paranoid  --explain  --stats  --trace-out <file>  --report-json <file>  --top <n>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc profile [options] <dir> | smlsc history [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options] | smlsc daemon <start|stop|status|run> [options] <dir>\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --paranoid  --no-daemon  --explain  --stats  --trace-out <file>  --report-json <file>  --top <n>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
 
 /// Exit codes (documented in the README): distinguishing "your source
 /// is wrong" from "the compiler broke" from "the disk/store broke".
@@ -139,6 +149,7 @@ struct BuildOpts {
     store: Option<String>,
     inject_faults: Option<String>,
     paranoid: bool,
+    no_daemon: bool,
     explain: bool,
     stats: bool,
     trace_out: Option<PathBuf>,
@@ -193,6 +204,8 @@ impl BuildOpts {
                 opts.keep_going = true;
             } else if arg == "--paranoid" {
                 opts.paranoid = true;
+            } else if arg == "--no-daemon" {
+                opts.no_daemon = true;
             } else if arg == "--explain" {
                 opts.explain = true;
             } else if arg == "--stats" {
@@ -247,6 +260,7 @@ fn main() {
         },
         Some("repl") => repl(),
         Some("cache") => cache(&args[1..]),
+        Some("daemon") => daemon_cmd(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             2
@@ -297,8 +311,23 @@ fn build(opts: BuildOpts, mode: Mode) -> i32 {
         eprintln!("error: {e}");
         return EXIT_USAGE;
     }
-    let started = std::time::Instant::now();
     let dir = PathBuf::from(dir);
+    let bin_dir = opts
+        .bin_dir
+        .clone()
+        .unwrap_or_else(|| dir.join(".smlsc-bins"));
+    // Transparent daemon dispatch: a plain build against a project with
+    // a live daemon is served over the socket from the in-memory
+    // analysis.  Any client-side failure — no daemon, stale socket, a
+    // daemon killed mid-request — falls through to the in-process build
+    // below: the daemon is a latency optimization, never a correctness
+    // dependency.
+    if mode == Mode::Build && daemon_eligible(&opts) {
+        if let Some(code) = daemon_dispatch(&opts, &bin_dir) {
+            return code;
+        }
+    }
+    let started = std::time::Instant::now();
     // The collector is always on: the ledger record appended after every
     // build reads its counters, and `--stats`/`--trace-out`/`profile`
     // consume the rest.  Collection is a few Vec pushes per unit —
@@ -312,10 +341,6 @@ fn build(opts: BuildOpts, mode: Mode) -> i32 {
             return EXIT_COMPILE;
         }
     };
-    let bin_dir = opts
-        .bin_dir
-        .clone()
-        .unwrap_or_else(|| dir.join(".smlsc-bins"));
     let mut irm = Irm::new(opts.strategy);
     irm.set_paranoid(opts.paranoid);
     // Stamps are a pure accelerator: a missing or corrupt cache only
@@ -474,6 +499,219 @@ fn build(opts: BuildOpts, mode: Mode) -> i32 {
         println!("{}", collector.stats_json());
     }
     exit_code
+}
+
+/// Whether this build may be dispatched to a daemon.  Only "plain"
+/// cutoff builds qualify: a store, paranoia, fault injection, or a
+/// trace/report output file all select in-process semantics the daemon
+/// does not carry.
+fn daemon_eligible(opts: &BuildOpts) -> bool {
+    !opts.no_daemon
+        && opts.strategy == Strategy::Cutoff
+        && !opts.paranoid
+        && opts.inject_faults.is_none()
+        && std::env::var("SMLSC_FAULTS").map_or(true, |s| s.is_empty())
+        && resolve_store(&opts.store).is_none()
+        && opts.trace_out.is_none()
+        && opts.report_json.is_none()
+}
+
+/// Tries to serve this build from a running daemon.  `None` means "no
+/// daemon answered" (no socket, handshake failed, or it died
+/// mid-request) and the caller builds in-process instead; `Some` is a
+/// final exit code whose output already mirrors the in-process CLI.
+fn daemon_dispatch(opts: &BuildOpts, bin_dir: &Path) -> Option<i32> {
+    let socket = smlsc::daemon::socket_path(bin_dir);
+    if !socket.exists() {
+        return None;
+    }
+    // `fresh`: the daemon re-stats the sources before deciding, so an
+    // edit its watcher has not polled yet is still seen — dispatch is
+    // never less correct than building in-process.
+    let mut request = smlsc::daemon::Request::build(true);
+    request.jobs = opts.jobs.unwrap_or(0) as u64;
+    request.keep_going = opts.keep_going;
+    request.explain = opts.explain;
+    let response = smlsc::daemon::client::request(&socket, &request).ok()?;
+    if !response.ok {
+        // The daemon answered but the build failed before producing a
+        // report (fail-fast): same stderr and exit code as in-process.
+        eprintln!("error: {}", response.error);
+        return Some(if response.exit_code == 0 {
+            EXIT_COMPILE
+        } else {
+            response.exit_code
+        });
+    }
+    for note in &response.notes {
+        eprintln!("{note}");
+    }
+    println!("{}", response.summary);
+    for line in &response.explain {
+        println!("{line}");
+    }
+    if opts.stats {
+        println!("{}", response.stats_json);
+    }
+    Some(response.exit_code)
+}
+
+/// `smlsc daemon <start|stop|status|run>`: manage the resident build
+/// server for a project.
+fn daemon_cmd(args: &[String]) -> i32 {
+    const DAEMON_USAGE: &str = "usage: smlsc daemon <start|stop|status|run> [options] <dir>";
+    let Some(verb) = args.first().map(String::as_str) else {
+        eprintln!("{DAEMON_USAGE}");
+        return EXIT_USAGE;
+    };
+    let opts = match BuildOpts::parse(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{DAEMON_USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+    let Some(dir) = &opts.dir else {
+        eprintln!("{DAEMON_USAGE}");
+        return EXIT_USAGE;
+    };
+    let dir = PathBuf::from(dir);
+    let bin_dir = opts
+        .bin_dir
+        .clone()
+        .unwrap_or_else(|| dir.join(".smlsc-bins"));
+    let socket = smlsc::daemon::socket_path(&bin_dir);
+    match verb {
+        // The foreground server; `start` re-invokes the binary with
+        // this verb to get a detached daemon process.
+        "run" => {
+            if let Err(e) = install_faults(&opts.inject_faults) {
+                eprintln!("error: {e}");
+                return EXIT_USAGE;
+            }
+            let mut config = smlsc::daemon::ServerConfig::new(&dir, &bin_dir);
+            config.strategy = opts.strategy;
+            if let Some(jobs) = opts.jobs {
+                config.jobs = jobs;
+            }
+            if let Some(ms) = std::env::var("SMLSC_DAEMON_POLL_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                config.watch_interval = Duration::from_millis(ms.max(1));
+            }
+            match smlsc::daemon::run(config) {
+                Ok(()) => EXIT_OK,
+                Err(e) => {
+                    eprintln!("error: daemon: {e}");
+                    EXIT_IO
+                }
+            }
+        }
+        "start" => {
+            if smlsc::daemon::alive(&socket) {
+                println!("daemon already serving {}", dir.display());
+                return EXIT_OK;
+            }
+            let exe = match std::env::current_exe() {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return EXIT_IO;
+                }
+            };
+            let mut cmd = std::process::Command::new(exe);
+            cmd.arg("daemon")
+                .arg("run")
+                .arg(&dir)
+                .arg("--bin-dir")
+                .arg(&bin_dir)
+                .arg("--strategy")
+                .arg(opts.strategy.to_string())
+                .stdin(std::process::Stdio::null())
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null());
+            if let Some(jobs) = opts.jobs {
+                cmd.arg("--jobs").arg(jobs.to_string());
+            }
+            if let Some(spec) = &opts.inject_faults {
+                cmd.arg("--inject-faults").arg(spec);
+            }
+            let mut child = match cmd.spawn() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: could not spawn daemon: {e}");
+                    return EXIT_IO;
+                }
+            };
+            // Readiness: the child owns the lockfile and has bound the
+            // socket.  Deliberately not a handshake probe — injected
+            // `daemon.accept` faults drop connections, and a readiness
+            // probe must not consume (or be confused by) them.
+            let lockfile = smlsc::daemon::lock_path(&bin_dir);
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            while std::time::Instant::now() < deadline {
+                if socket.exists()
+                    && smlsc::daemon::lock::owner(&lockfile) == Some(u64::from(child.id()))
+                {
+                    println!(
+                        "daemon started (pid {}) serving {} on {}",
+                        child.id(),
+                        dir.display(),
+                        socket.display()
+                    );
+                    return EXIT_OK;
+                }
+                // A child that already exited (project unreadable, lock
+                // contended) will never come up: fail fast.
+                if let Ok(Some(status)) = child.try_wait() {
+                    eprintln!("error: daemon exited during startup ({status})");
+                    return EXIT_IO;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            eprintln!("error: daemon did not come up within 60s");
+            EXIT_IO
+        }
+        // Idempotent: stopping an already-stopped daemon succeeds.
+        "stop" => {
+            match smlsc::daemon::client::request(&socket, &smlsc::daemon::Request::simple("stop")) {
+                Ok(_) => {
+                    // The daemon removes its socket and lockfile on the
+                    // way out; wait so "stopped" means "released".
+                    let lockfile = smlsc::daemon::lock_path(&bin_dir);
+                    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                    while (socket.exists() || lockfile.exists())
+                        && std::time::Instant::now() < deadline
+                    {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    println!("daemon stopped");
+                }
+                Err(_) => println!("daemon not running for {}", dir.display()),
+            }
+            EXIT_OK
+        }
+        "status" => {
+            match smlsc::daemon::client::request(&socket, &smlsc::daemon::Request::simple("status"))
+            {
+                Ok(resp) if resp.ok => {
+                    println!("{}", resp.status_json);
+                    EXIT_OK
+                }
+                _ => {
+                    eprintln!("daemon not running for {}", dir.display());
+                    EXIT_COMPILE
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown daemon operation `{other}`");
+            eprintln!("{DAEMON_USAGE}");
+            EXIT_USAGE
+        }
+    }
 }
 
 /// The median per-compile cost over ledger history, microseconds — the

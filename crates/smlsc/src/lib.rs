@@ -16,6 +16,7 @@
 //! | [`core`] | Intrinsic-pid hashing, units, type-safe linkage, the IRM, sessions |
 //! | [`trace`] | Structured spans, build telemetry, rebuild-decision records |
 //! | [`faults`] | Deterministic fault injection for chaos testing |
+//! | [`daemon`] | Resident build server: filesystem watch, socket protocol |
 //! | [`workload`] | Synthetic module-graph generation for experiments |
 //!
 //! # Quickstart
@@ -45,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub use smlsc_core as core;
+pub use smlsc_daemon as daemon;
 pub use smlsc_dynamics as dynamics;
 pub use smlsc_faults as faults;
 pub use smlsc_ids as ids;

@@ -112,6 +112,51 @@ fn report_json_holds_record_decisions_and_stats() {
 }
 
 #[test]
+fn history_is_friendly_and_exits_zero_on_an_empty_ledger() {
+    let proj = temp("empty-ledger");
+    write_project(&proj);
+    // No builds at all: no bin dir, no ledger file.
+    let out = smlsc().arg("history").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("history: no builds recorded in"),
+        "{stdout}"
+    );
+
+    // A ledger that exists but is empty (e.g. just rotated away every
+    // record) gets the same friendly answer, not a crash or exit 1.
+    std::fs::create_dir_all(proj.join(".smlsc-bins")).unwrap();
+    std::fs::write(proj.join(".smlsc-bins/builds.jsonl"), "").unwrap();
+    let out = smlsc().arg("history").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("history: no builds recorded in"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn profile_exits_zero_when_the_ledger_has_no_cost_history() {
+    let proj = temp("profile-empty-ledger");
+    write_project(&proj);
+    let out = smlsc().arg("build").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Drop the ledger (as a rotation that kept zero records would):
+    // a warm profile now has no per-compile cost hint to price avoided
+    // compiles with, and must degrade gracefully.
+    std::fs::remove_file(proj.join(".smlsc-bins/builds.jsonl")).unwrap();
+    let out = smlsc().arg("profile").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no per-compile cost measured yet"),
+        "{stdout}"
+    );
+}
+
+#[test]
 fn torn_ledger_append_keeps_the_build_green_and_the_prefix_valid() {
     let proj = temp("torn-ledger");
     write_project(&proj);

@@ -109,6 +109,16 @@ pub const BIN_BODY_QUARANTINED: &str = "bin.body_quarantined";
 /// units) — with `build.parallelism`, the ceiling on wavefront speedup.
 pub const CRITICAL_PATH: &str = "irm.critical_path";
 
+/// Requests served by the resident build daemon (handshake excluded):
+/// build, stats, status, stop.
+pub const DAEMON_REQUESTS: &str = "daemon.requests";
+/// Filesystem change events observed by the daemon's watcher (one per
+/// added/modified/removed source file, post-debounce).
+pub const DAEMON_WATCH_EVENTS: &str = "daemon.watch_events";
+/// Project deltas the watcher fed into the resident session (units whose
+/// in-memory stat was replaced or removed without a directory rescan).
+pub const DAEMON_INVALIDATIONS: &str = "daemon.invalidations";
+
 /// Build records appended to the persistent ledger (`builds.jsonl`).
 pub const LEDGER_APPENDS: &str = "ledger.appends";
 /// Ledger rotations (compactions to the newest records).

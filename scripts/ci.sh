@@ -149,4 +149,53 @@ set +e
 set -e
 [ "$code" -eq 3 ] || { echo "error: expected internal-error exit 3, got $code" >&2; exit 1; }
 
+echo "==> daemon: resident-session + socket test suites"
+cargo test -q -p smlsc-daemon
+cargo test -q -p smlsc-core resident
+cargo test -q --test daemon_concurrency
+cargo test -q -p smlsc --test daemon_cli
+
+echo "==> daemon: warm no-op + one-leaf-edit smoke"
+g=$(mktemp -d)
+trap './target/release/smlsc daemon stop "$g" >/dev/null 2>&1 || true; rm -rf "$d" "$c" "$k" "$g"' EXIT
+printf 'structure Util = struct fun inc x = x + 1 end\n' > "$g/util.sml"
+printf 'structure Main = struct val v = Util.inc 41 end\n' > "$g/main.sml"
+./target/release/smlsc build "$g"
+SMLSC_DAEMON_POLL_MS=20 ./target/release/smlsc daemon start "$g"
+./target/release/smlsc daemon status "$g"
+# A no-op build dispatches to the daemon's resident session: every
+# rebuild decision is a stamp hit, no source is re-read, and the pack
+# index is not reopened (it lives in daemon memory).
+stats=$(./target/release/smlsc build --stats "$g" | grep '^{')
+echo "$stats" | grep -q '"stamp.hits":2' \
+  || { echo "error: daemon no-op did not hit every stamp: $stats" >&2; exit 1; }
+for bad in '"source.reads"' '"bin.index_only"' '"irm.units_compiled"'; do
+  if echo "$stats" | grep -q "$bad"; then
+    echo "error: daemon no-op re-read state ($bad): $stats" >&2; exit 1
+  fi
+done
+# Edit one leaf; the watcher feeds the delta into the resident session.
+printf 'structure Util = struct fun inc x = x + 2 end\n' > "$g/util.sml"
+for _ in $(seq 1 100); do
+  ./target/release/smlsc daemon status "$g" | grep -q '"daemon.invalidations":1' && break
+  sleep 0.1
+done
+./target/release/smlsc daemon status "$g" | grep -q '"daemon.invalidations":1' \
+  || { echo "error: watcher never applied the one-leaf delta" >&2; exit 1; }
+out=$(./target/release/smlsc build --stats "$g")
+echo "$out" | grep -q '1 recompiled, 1 reused' \
+  || { echo "error: one-leaf edit did not recompile exactly one unit: $out" >&2; exit 1; }
+stats=$(echo "$out" | grep '^{')
+echo "$stats" | grep -q '"source.reads":1' \
+  || { echo "error: daemon re-read untouched sources: $stats" >&2; exit 1; }
+./target/release/smlsc daemon stop "$g"
+[ ! -e "$g/.smlsc-bins/daemon.sock" ] \
+  || { echo "error: daemon stop left the socket behind" >&2; exit 1; }
+[ ! -e "$g/.smlsc-bins/daemon.lock" ] \
+  || { echo "error: daemon stop left the lockfile behind" >&2; exit 1; }
+
+echo "==> daemon-latency benchmark (smoke)"
+./target/release/daemon_latency --smoke --out "$g/BENCH_daemon.json"
+cat "$g/BENCH_daemon.json"; echo
+
 echo "ci: all green"
