@@ -1,0 +1,186 @@
+//! Durable filesystem idioms shared by every on-disk state writer.
+//!
+//! Three promises, one place:
+//!
+//! * **Unique staging names.**  [`unique_tmp`] derives a tmp path from
+//!   the destination plus the process id *and* a process-global
+//!   sequence number, so two saves — across processes or across
+//!   threads of one process — can never clobber each other's staging
+//!   file.
+//! * **Atomic, durable publication.**  [`commit_atomic`] is the full
+//!   tmp + write + fsync + rename + **fsync(parent dir)** sequence.
+//!   The final directory fsync is the step the rest of the codebase
+//!   historically skipped: `rename(2)` alone orders nothing — after a
+//!   power loss the directory entry may still point at the old file,
+//!   or at nothing.  Syncing the parent makes the rename itself
+//!   durable.
+//! * **Crash-point instrumentation.**  Every commit checks its fault
+//!   point at three stages — `begin` (nothing written), `staged` (tmp
+//!   complete, not yet renamed), `renamed` (renamed, parent not yet
+//!   synced) — so the crash-recovery harness can kill the process in
+//!   each distinct half-finished state and prove the next build
+//!   recovers.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smlsc_faults::{self as faults, FaultKind};
+
+/// Process-global staging counter: tmp names stay unique even when two
+/// threads of one process save the same destination concurrently.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A staging path for `dest`, unique per process *and* per call:
+/// `<stem>.tmp-<pid>-<seq>`.  Always in `dest`'s directory, so the
+/// final rename never crosses a filesystem.
+pub fn unique_tmp(dest: &Path) -> PathBuf {
+    dest.with_extension(format!(
+        "tmp-{}-{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// True when `name` looks like one of our staging files (`*.tmp-*`):
+/// the litter an interrupted save leaves behind, safe to sweep.
+pub fn is_tmp_litter(name: &str) -> bool {
+    name.rsplit_once('.')
+        .is_some_and(|(_, ext)| ext.starts_with("tmp-"))
+}
+
+/// Opens `dir` and fsyncs it, making a just-completed rename within it
+/// durable.  Errors are real: a caller that ignores them is back to
+/// rename-only semantics.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+/// Publishes `bytes` at `path` atomically and durably:
+/// tmp + write + fsync + rename + fsync(parent).
+///
+/// `point` is the fault point checked at each stage with a
+/// `"<stage> <filename>"` detail (stages `begin`, `staged`,
+/// `renamed`), so specs can select a precise half-finished state:
+/// `io` fails the commit, `torn` writes only the first half of
+/// `bytes` (the file-level corruption readers must detect), `crash`
+/// aborts the process on the spot.
+///
+/// # Errors
+///
+/// Any IO failure along the sequence; the staging file is removed on
+/// the failure paths that can still run code.
+pub fn commit_atomic(path: &Path, bytes: &[u8], point: &'static str) -> io::Result<()> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut payload = bytes;
+    match faults::check(point, &format!("begin {name}")) {
+        Some(FaultKind::Io) => return Err(faults::io_error(point, &name)),
+        Some(FaultKind::Torn) => payload = &bytes[..bytes.len() / 2],
+        _ => {}
+    }
+    let tmp = unique_tmp(path);
+    let write = || -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(payload)?;
+        f.sync_all()
+    };
+    if let Err(e) = write() {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Some(FaultKind::Io) = faults::check(point, &format!("staged {name}")) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(faults::io_error(point, &name));
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    faults::check(point, &format!("renamed {name}"));
+    if let Some(dir) = path.parent() {
+        fsync_dir(dir)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smlsc_faults::{install_scoped, points, FaultPlan, FaultRule};
+
+    fn temp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "smlsc-fsutil-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn tmp_names_are_unique_per_call() {
+        let dest = Path::new("/x/stamps.json");
+        let a = unique_tmp(dest);
+        let b = unique_tmp(dest);
+        assert_ne!(a, b);
+        assert!(a.to_string_lossy().contains("tmp-"));
+        assert!(is_tmp_litter(&a.file_name().unwrap().to_string_lossy()));
+        assert!(!is_tmp_litter("stamps.json"));
+        assert!(!is_tmp_litter("bins.pack"));
+    }
+
+    #[test]
+    fn commit_replaces_the_destination_and_leaves_no_litter() {
+        let dir = temp("commit");
+        let path = dir.join("state.bin");
+        commit_atomic(&path, b"first", points::STAMP_SAVE).unwrap();
+        commit_atomic(&path, b"second", points::STAMP_SAVE).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["state.bin"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_io_fails_the_commit_and_keeps_the_old_file() {
+        let dir = temp("io");
+        let path = dir.join("state.bin");
+        commit_atomic(&path, b"good", points::STAMP_SAVE).unwrap();
+        for stage in ["begin", "staged"] {
+            let _g = install_scoped(
+                FaultPlan::default()
+                    .with(FaultRule::new(points::STAMP_SAVE, FaultKind::Io).filtered(stage)),
+            );
+            assert!(commit_atomic(&path, b"bad", points::STAMP_SAVE).is_err());
+            assert_eq!(std::fs::read(&path).unwrap(), b"good", "stage {stage}");
+        }
+        // No staging litter survives either failure.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["state.bin"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_torn_writes_half_the_payload() {
+        let dir = temp("torn");
+        let path = dir.join("state.bin");
+        let _g = install_scoped(
+            FaultPlan::default().with(FaultRule::new(points::STAMP_SAVE, FaultKind::Torn)),
+        );
+        commit_atomic(&path, b"12345678", points::STAMP_SAVE).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"1234");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

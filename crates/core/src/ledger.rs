@@ -218,6 +218,24 @@ fn us(d: std::time::Duration) -> u64 {
     u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
 }
 
+/// What [`Ledger::audit`] found: the doctor's view of one ledger file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerAudit {
+    /// Raw newline-terminated lines in the file.
+    pub lines: usize,
+    /// Lines that parse as current-version records.
+    pub valid: usize,
+    /// True when the file ends mid-line (crash during an append).
+    pub torn_tail: bool,
+}
+
+impl LedgerAudit {
+    /// True when every line is a valid record and the tail is whole.
+    pub fn is_healthy(&self) -> bool {
+        self.lines == self.valid && !self.torn_tail
+    }
+}
+
 /// Handle on one `builds.jsonl` file.
 #[derive(Debug, Clone)]
 pub struct Ledger {
@@ -269,7 +287,7 @@ impl Ledger {
         use std::io::Write;
         let json = serde_json::to_string(record).expect("ledger record serializes");
         let detail = self.path.to_string_lossy();
-        let fault = faults::check(faults::points::LEDGER_APPEND, &detail);
+        let fault = faults::check(faults::points::LEDGER_APPEND, &format!("begin {detail}"));
         if matches!(fault, Some(faults::FaultKind::Io)) {
             return Err(CoreError::Io(
                 faults::io_error(faults::points::LEDGER_APPEND, &detail).to_string(),
@@ -297,8 +315,22 @@ impl Ledger {
             .append(true)
             .open(&self.path)
             .map_err(|e| CoreError::Io(format!("{}: {e}", self.path.display())))?;
-        f.write_all(line.as_bytes())
-            .map_err(|e| CoreError::Io(format!("{}: {e}", self.path.display())))?;
+        if faults::active() {
+            // Under an installed plan only, the append splits in two so
+            // a `ledger.append=crash(mid)` rule can kill the process
+            // with half a record on disk — the *real* torn tail the
+            // next append's heal must recover from.  Production appends
+            // stay a single `O_APPEND` write.
+            let split = line.len() / 2;
+            f.write_all(&line.as_bytes()[..split])
+                .map_err(|e| CoreError::Io(format!("{}: {e}", self.path.display())))?;
+            faults::check(faults::points::LEDGER_APPEND, &format!("mid {detail}"));
+            f.write_all(&line.as_bytes()[split..])
+                .map_err(|e| CoreError::Io(format!("{}: {e}", self.path.display())))?;
+        } else {
+            f.write_all(line.as_bytes())
+                .map_err(|e| CoreError::Io(format!("{}: {e}", self.path.display())))?;
+        }
         trace::counter(names::LEDGER_APPENDS, 1);
         drop(f);
         self.rotate_if_needed()
@@ -351,10 +383,10 @@ impl Ledger {
     }
 
     /// Compacts to the newest [`Self::keep_records`] records when the
-    /// file exceeds its byte cap, atomically (tmp + rename) so readers
-    /// never observe a half-rotated ledger.
+    /// file exceeds its byte cap, atomically and durably
+    /// ([`crate::fsutil::commit_atomic`], fault point `ledger.rotate`)
+    /// so readers never observe a half-rotated ledger.
     fn rotate_if_needed(&self) -> Result<(), CoreError> {
-        use std::io::Write;
         if self.size_bytes() <= self.max_bytes {
             return Ok(());
         }
@@ -365,24 +397,58 @@ impl Ledger {
             out.push_str(&serde_json::to_string(r).expect("ledger record serializes"));
             out.push('\n');
         }
-        let tmp = self
-            .path
-            .with_extension(format!("tmp-{}", std::process::id()));
-        let write = || -> std::io::Result<()> {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(out.as_bytes())?;
-            f.sync_all()
-        };
-        if let Err(e) = write() {
-            std::fs::remove_file(&tmp).ok();
-            return Err(CoreError::Io(format!("{}: {e}", tmp.display())));
-        }
-        if let Err(e) = std::fs::rename(&tmp, &self.path) {
-            std::fs::remove_file(&tmp).ok();
-            return Err(CoreError::Io(format!("{}: {e}", self.path.display())));
-        }
+        crate::fsutil::commit_atomic(&self.path, out.as_bytes(), faults::points::LEDGER_ROTATE)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", self.path.display())))?;
         trace::counter(names::LEDGER_ROTATIONS, 1);
         Ok(())
+    }
+
+    /// Audits the file for the doctor: raw line count, parseable
+    /// current-version records, and whether the tail is torn (a
+    /// previous crash's unterminated last line).
+    pub fn audit(&self) -> LedgerAudit {
+        use std::io::BufRead;
+        let mut lines = 0usize;
+        let mut valid = 0usize;
+        if let Ok(f) = std::fs::File::open(&self.path) {
+            for line in std::io::BufReader::new(f).lines() {
+                let Ok(line) = line else { break };
+                lines += 1;
+                if serde_json::from_str::<LedgerRecord>(&line)
+                    .is_ok_and(|r| r.version == LEDGER_VERSION)
+                {
+                    valid += 1;
+                }
+            }
+        }
+        LedgerAudit {
+            lines,
+            valid,
+            torn_tail: self.tail_is_torn(),
+        }
+    }
+
+    /// Rewrites the file keeping only parseable current-version records
+    /// (atomic + durable): the doctor's repair for torn tails and
+    /// foreign garbage.  Returns how many lines were dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Io`] on filesystem failures.
+    pub fn compact_valid(&self) -> Result<usize, CoreError> {
+        let audit = self.audit();
+        let dropped = audit.lines.saturating_sub(audit.valid);
+        if dropped == 0 && !audit.torn_tail {
+            return Ok(0);
+        }
+        let mut out = String::new();
+        for r in self.stream() {
+            out.push_str(&serde_json::to_string(&r).expect("ledger record serializes"));
+            out.push('\n');
+        }
+        crate::fsutil::commit_atomic(&self.path, out.as_bytes(), faults::points::LEDGER_ROTATE)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", self.path.display())))?;
+        Ok(dropped.max(1))
     }
 }
 
@@ -598,6 +664,36 @@ mod tests {
         assert_eq!(
             l.read().iter().map(|r| r.build_id).collect::<Vec<_>>(),
             vec![1, 3]
+        );
+        cleanup(&l);
+    }
+
+    #[test]
+    fn audit_and_compact_repair_a_mangled_ledger() {
+        use std::io::Write;
+        let l = tmp_ledger("audit");
+        l.append(&record(1, 100)).unwrap();
+        l.append(&record(2, 200)).unwrap();
+        assert!(l.audit().is_healthy());
+        assert_eq!(l.compact_valid().unwrap(), 0, "healthy file untouched");
+        // Mangle: a garbage line plus a torn (unterminated) tail.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(l.path())
+            .unwrap();
+        f.write_all(b"not a record\n{\"version\":1,\"trunc")
+            .unwrap();
+        drop(f);
+        let audit = l.audit();
+        assert!(!audit.is_healthy());
+        assert!(audit.torn_tail);
+        assert_eq!(audit.lines - audit.valid, 2);
+        assert!(l.compact_valid().unwrap() >= 2);
+        let healed = l.audit();
+        assert!(healed.is_healthy(), "{healed:?}");
+        assert_eq!(
+            l.read().iter().map(|r| r.build_id).collect::<Vec<_>>(),
+            vec![1, 2]
         );
         cleanup(&l);
     }

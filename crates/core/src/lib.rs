@@ -49,6 +49,8 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod doctor;
+pub mod fsutil;
 pub mod groups;
 pub mod hash;
 pub mod ircodec;
@@ -68,10 +70,11 @@ use std::fmt;
 use smlsc_ids::Symbol;
 
 pub use compile::{compile_unit, CompileOutput, CompileTimings, ImportSource};
+pub use doctor::{DoctorReport, DoctorVerdict};
 pub use groups::{Group, GroupedProject};
 pub use hash::{hash_exports, HashError, HashResult};
 pub use irm::{BuildReport, FailurePolicy, Irm, Project, Strategy, UnitOutcome};
-pub use ledger::{build_report_json, Ledger, LedgerRecord, LEDGER_VERSION};
+pub use ledger::{build_report_json, Ledger, LedgerAudit, LedgerRecord, LEDGER_VERSION};
 pub use link::{link_and_execute, DynEnv, LinkError};
 pub use profile::BuildProfile;
 pub use resident::{BuildSnapshot, FileEvent, Resident};

@@ -42,9 +42,12 @@
 //! that sees one reports `version() < PACK_VERSION` so the caller can
 //! rewrite the archive in the current format on the next save.
 //!
-//! Writers stage a temp file, fsync, and `rename(2)` into place (the
-//! store's atomic-publication idiom), so a crash mid-save leaves the
-//! previous pack intact.
+//! Writers stage a temp file (pid- and sequence-unique, see
+//! [`crate::fsutil::unique_tmp`]), fsync, `rename(2)` into place, and
+//! fsync the parent directory, so a crash mid-save leaves the previous
+//! pack intact and a completed save survives power loss.  The seal is
+//! instrumented with the `pack.save` fault point (stages `begin`,
+//! `staged`, `renamed`) for the crash-recovery harness.
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -400,7 +403,7 @@ impl PackWriter {
     ///
     /// [`CoreError::Io`] on filesystem failures.
     pub fn create(dest: &Path) -> Result<PackWriter, CoreError> {
-        let tmp = dest.with_extension(format!("tmp-{}", std::process::id()));
+        let tmp = crate::fsutil::unique_tmp(dest);
         let mut file = std::fs::File::create(&tmp)
             .map_err(|e| CoreError::Io(format!("{}: {e}", tmp.display())))?;
         file.write_all(PACK_MAGIC)
@@ -450,6 +453,28 @@ impl PackWriter {
     /// [`CoreError::Io`] on filesystem failures (the temp file is
     /// removed; the previous pack, if any, is untouched).
     pub fn finish(mut self) -> Result<u64, CoreError> {
+        use smlsc_faults::{self as faults, points, FaultKind};
+        let name = self
+            .dest
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let fail = |msg: String, tmp: &mut PathBuf, file: Option<std::fs::File>| {
+            drop(file);
+            std::fs::remove_file(&*tmp).ok();
+            tmp.clear(); // Drop must not re-remove
+            CoreError::Io(msg)
+        };
+        // A crash here leaves a body-only tmp file: litter, never
+        // visible at the destination.
+        if let Some(FaultKind::Io) = faults::check(points::PACK_SAVE, &format!("begin {name}")) {
+            let file = self.file.take();
+            return Err(fail(
+                faults::io_error(points::PACK_SAVE, &name).to_string(),
+                &mut self.tmp,
+                file,
+            ));
+        }
         let mut file = self.file.take().expect("writer not finished");
         let index = encode_index(&self.entries);
         let index_digest = Pid::of_bytes(&index);
@@ -465,17 +490,27 @@ impl PackWriter {
             .and_then(|()| file.sync_all());
         if let Err(e) = sealed {
             let msg = format!("{}: {e}", self.tmp.display());
-            drop(file);
-            std::fs::remove_file(&self.tmp).ok();
-            self.tmp.clear(); // Drop must not re-remove
-            return Err(CoreError::Io(msg));
+            return Err(fail(msg, &mut self.tmp, Some(file)));
         }
         drop(file);
+        // A crash here leaves a *complete* tmp pack, never renamed.
+        if let Some(FaultKind::Io) = faults::check(points::PACK_SAVE, &format!("staged {name}")) {
+            return Err(fail(
+                faults::io_error(points::PACK_SAVE, &name).to_string(),
+                &mut self.tmp,
+                None,
+            ));
+        }
         if let Err(e) = std::fs::rename(&self.tmp, &self.dest) {
             let msg = format!("{}: {e}", self.dest.display());
-            std::fs::remove_file(&self.tmp).ok();
-            self.tmp.clear();
-            return Err(CoreError::Io(msg));
+            return Err(fail(msg, &mut self.tmp, None));
+        }
+        // A crash here dies after the rename but before the parent
+        // directory fsync makes it durable.
+        faults::check(points::PACK_SAVE, &format!("renamed {name}"));
+        if let Some(dir) = self.dest.parent() {
+            crate::fsutil::fsync_dir(dir)
+                .map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
         }
         self.tmp.clear();
         Ok(total)
@@ -522,7 +557,7 @@ pub fn write_legacy_v1_pack(dest: &Path, items: &[(BinMeta, Vec<u8>)]) -> Result
     out.extend_from_slice(&(index.len() as u64).to_le_bytes());
     out.extend_from_slice(&Pid::of_bytes(&index).as_raw().to_le_bytes());
     out.extend_from_slice(FOOTER_MAGIC);
-    let tmp = dest.with_extension(format!("tmp-{}", std::process::id()));
+    let tmp = crate::fsutil::unique_tmp(dest);
     std::fs::write(&tmp, &out).map_err(io_err)?;
     std::fs::rename(&tmp, dest).map_err(io_err)?;
     Ok(())

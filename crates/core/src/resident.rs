@@ -98,6 +98,14 @@ pub struct BuildSnapshot {
     gen: u64,
 }
 
+impl BuildSnapshot {
+    /// The delta generation this snapshot reflects; current while it
+    /// equals [`Resident::generation`].
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
+}
+
 struct State {
     irm: Irm,
     project: Project,
@@ -235,6 +243,13 @@ impl Resident {
     /// The last completed build's snapshot, if any.
     pub fn last(&self) -> Option<Arc<BuildSnapshot>> {
         self.last.read().expect("snapshot lock").clone()
+    }
+
+    /// The session's current delta generation: bumped once per applied
+    /// [`FileEvent`].  A last-build snapshot whose
+    /// [`BuildSnapshot::generation`] equals this is up to date.
+    pub fn generation(&self) -> u64 {
+        self.state.lock().expect("resident state lock").gen
     }
 
     /// Units currently in the project.

@@ -17,8 +17,9 @@
 //! The cache persists as one binary file (historically named
 //! `stamps.json`, kept for compatibility; the content is the
 //! `pickle::wire` little-endian format with a digest-checked payload),
-//! written with the store's tmp + fsync + rename idiom so a crash
-//! mid-save can never tear it.  Warm analysis therefore does one bulk
+//! written with the durable tmp + fsync + rename + fsync(parent)
+//! idiom ([`crate::fsutil::commit_atomic`], fault point `stamp.save`)
+//! so a crash mid-save can never tear it.  Warm analysis therefore does one bulk
 //! parse instead of serde over thousands of entries.  Version-1 JSON
 //! stamp files are still readable and are rewritten in the binary
 //! format by the next save.  A missing or corrupt stamp file is *not*
@@ -131,6 +132,31 @@ impl StampCache {
         cache
     }
 
+    /// Classifies a stamp file on disk without loading it: `None` when
+    /// the file is absent, `Some(Ok(n))` for a well-formed file with
+    /// `n` entries (binary or legacy JSON), `Some(Err(reason))` when
+    /// the bytes are corrupt.  [`Self::load`] silently degrades corrupt
+    /// files to an empty cache; `smlsc doctor` uses this to tell the
+    /// difference and report what `load` would quietly discard.
+    pub fn audit(path: &Path) -> Option<Result<usize, String>> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => return Some(Err(format!("unreadable: {e}"))),
+        };
+        if let Some(payload) = bytes.strip_prefix(STAMP_MAGIC.as_slice()) {
+            match Self::parse_binary(payload) {
+                Some(cache) => Some(Ok(cache.entries.len())),
+                None => Some(Err("binary stamp payload fails digest or decode".into())),
+            }
+        } else {
+            match serde_json::from_slice::<StampFile>(&bytes) {
+                Ok(f) if f.version == LEGACY_STAMP_VERSION => Some(Ok(f.entries.len())),
+                _ => Some(Err("neither binary magic nor legacy JSON".into())),
+            }
+        }
+    }
+
     /// Drops entries stamped at or after `cutoff_ns` (see [`Self::load`]);
     /// dropping any marks the cache dirty so re-digested replacements are
     /// persisted even when their analysis comes out byte-identical.
@@ -241,21 +267,8 @@ impl StampCache {
         out.extend_from_slice(STAMP_MAGIC);
         out.extend_from_slice(&body);
         out.extend_from_slice(&Pid::of_bytes(&body).as_raw().to_le_bytes());
-        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
-        let write = || -> std::io::Result<()> {
-            use std::io::Write;
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&out)?;
-            f.sync_all()
-        };
-        if let Err(e) = write() {
-            std::fs::remove_file(&tmp).ok();
-            return Err(CoreError::Io(format!("{}: {e}", tmp.display())));
-        }
-        if let Err(e) = std::fs::rename(&tmp, path) {
-            std::fs::remove_file(&tmp).ok();
-            return Err(CoreError::Io(format!("{}: {e}", path.display())));
-        }
+        crate::fsutil::commit_atomic(path, &out, smlsc_faults::points::STAMP_SAVE)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", path.display())))?;
         self.dirty = false;
         Ok(())
     }

@@ -19,17 +19,22 @@
 //! * [`server`] — socket lifecycle and request dispatch ([`run`] for
 //!   the real daemon, [`ServerHandle`] for in-process tests/benches);
 //! * [`client`] — connect/handshake/request; every failure is the
-//!   CLI's cue to fall back to an in-process build.
+//!   CLI's cue to fall back to an in-process build;
+//! * [`signal`] — SIGTERM/SIGINT flag for the graceful-shutdown path
+//!   (drain in-flight builds, release socket and lockfile).
 //!
 //! [`Resident`]: smlsc_core::resident::Resident
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is the signal(2)
+// binding in [`signal`], scoped under its own `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod lock;
 pub mod protocol;
 pub mod server;
+pub mod signal;
 pub mod watcher;
 
 pub use client::{alive, connect, Client};

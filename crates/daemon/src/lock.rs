@@ -44,8 +44,10 @@ impl Drop for LockGuard {
 /// Is the process alive?  Linux: its `/proc/<pid>/stat` exists and the
 /// state field is not `Z` — a zombie (killed but not yet reaped, e.g. a
 /// SIGKILLed daemon whose parent already exited) is dead for lock
-/// purposes: it will never serve the socket again.
-fn pid_alive(pid: u64) -> bool {
+/// purposes: it will never serve the socket again.  Public so the CLI's
+/// restart-once dispatch applies the same liveness rule before deciding
+/// a resident daemon is dead.
+pub fn pid_alive(pid: u64) -> bool {
     let Ok(stat) = std::fs::read_to_string(format!("/proc/{pid}/stat")) else {
         return false;
     };
@@ -75,6 +77,24 @@ pub fn acquire(bin_dir: &Path) -> std::io::Result<LockGuard> {
         {
             Ok(mut f) => {
                 writeln!(f, "{}", std::process::id())?;
+                // `daemon.lock` fault point: a crash here dies owning a
+                // freshly written lockfile — exactly the stale-lock
+                // debris the next acquire (and `smlsc doctor`) must
+                // clear; an io fault backs the lock out instead.
+                if matches!(
+                    smlsc_faults::check(
+                        smlsc_faults::points::DAEMON_LOCK,
+                        &path.display().to_string()
+                    ),
+                    Some(smlsc_faults::FaultKind::Io)
+                ) {
+                    drop(f);
+                    std::fs::remove_file(&path).ok();
+                    return Err(smlsc_faults::io_error(
+                        smlsc_faults::points::DAEMON_LOCK,
+                        &path.display().to_string(),
+                    ));
+                }
                 return Ok(LockGuard {
                     path,
                     released: false,

@@ -19,7 +19,8 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire protocol; bumped on any incompatible change.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 added `Request::timeout_ms` and `Response::timed_out`.
+pub const PROTOCOL_VERSION: u32 = 2;
 /// Handshake magic — catches a non-smlsc peer before any parsing.
 pub const MAGIC: &str = "smlsc-daemon";
 /// Socket filename inside the project's bin directory.
@@ -88,6 +89,12 @@ pub struct Request {
     pub keep_going: bool,
     /// Build: include per-unit rebuild decisions in the response.
     pub explain: bool,
+    /// Build: per-request deadline in milliseconds; `0` takes the
+    /// server's configured default.  A build still running at the
+    /// deadline is answered with a typed timeout reply
+    /// ([`Response::timed_out`]) while the build itself runs on to
+    /// completion inside the daemon.
+    pub timeout_ms: u64,
 }
 
 impl Request {
@@ -99,6 +106,7 @@ impl Request {
             jobs: 0,
             keep_going: false,
             explain: false,
+            timeout_ms: 0,
         }
     }
 
@@ -110,6 +118,7 @@ impl Request {
             jobs: 0,
             keep_going: false,
             explain: false,
+            timeout_ms: 0,
         }
     }
 }
@@ -122,6 +131,10 @@ pub struct Response {
     pub ok: bool,
     /// Why not, when `ok` is false.
     pub error: String,
+    /// The request's deadline expired before the build finished (a
+    /// typed refusal, distinct from a build failure; the build keeps
+    /// running inside the daemon).
+    pub timed_out: bool,
     /// Build: the CLI exit code the build maps to.
     pub exit_code: i32,
     /// Build: served from the no-change snapshot without running the
@@ -147,6 +160,7 @@ impl Response {
         Response {
             ok: true,
             error: String::new(),
+            timed_out: false,
             exit_code: 0,
             cached: false,
             seq: 0,

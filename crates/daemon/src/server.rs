@@ -15,10 +15,10 @@
 use std::io::Write;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use smlsc_core::irm::{FailurePolicy, Strategy};
 use smlsc_core::resident::Resident;
@@ -42,6 +42,13 @@ pub struct ServerConfig {
     pub jobs: usize,
     /// Watcher poll interval.
     pub watch_interval: Duration,
+    /// Default per-request build deadline (a request may pass its own
+    /// via `timeout_ms`).  At the deadline the client gets a typed
+    /// timeout reply; the build runs on inside the daemon.
+    pub request_deadline: Duration,
+    /// Shut down after this long without a served request (and no
+    /// in-flight connection).  `None` means serve forever.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl ServerConfig {
@@ -53,6 +60,8 @@ impl ServerConfig {
             strategy: Strategy::Cutoff,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get()),
             watch_interval: Duration::from_millis(150),
+            request_deadline: Duration::from_secs(600),
+            idle_timeout: None,
         }
     }
 }
@@ -65,8 +74,17 @@ impl ServerConfig {
 /// `AddrInUse` when a live daemon already owns the project; any IO or
 /// [`smlsc_core::CoreError`] failure opening the session or socket.
 pub fn run(config: ServerConfig) -> std::io::Result<()> {
+    // The real daemon entrypoint hooks SIGTERM/SIGINT so `kill <pid>`
+    // takes the same orderly shutdown as a `stop` request (handlers are
+    // process-global, so the in-process ServerHandle never installs
+    // them).
+    crate::signal::install();
     Server::bind(config)?.serve()
 }
+
+/// How long a shutting-down server waits for in-flight connections
+/// (including a running build) to finish before exiting anyway.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(30);
 
 struct Server {
     config: ServerConfig,
@@ -105,6 +123,15 @@ impl Server {
             Arc::clone(&self.shutdown),
             self.config.watch_interval,
         );
+        let active = Arc::new(AtomicUsize::new(0));
+        let last_activity = Arc::new(Mutex::new(Instant::now()));
+        let supervisor = spawn_supervisor(
+            Arc::clone(&self.shutdown),
+            Arc::clone(&active),
+            Arc::clone(&last_activity),
+            self.socket.clone(),
+            self.config.idle_timeout,
+        );
         for stream in self.listener.incoming() {
             if self.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -129,17 +156,84 @@ impl Server {
                 shutdown: Arc::clone(&self.shutdown),
                 socket: self.socket.clone(),
                 default_jobs: self.config.jobs,
+                deadline: self.config.request_deadline,
             };
-            std::thread::Builder::new()
+            // Count the connection before the thread exists, so the
+            // drain below can never miss one that was accepted but not
+            // yet running.
+            *last_activity.lock().expect("activity lock") = Instant::now();
+            active.fetch_add(1, Ordering::SeqCst);
+            let done = ConnectionDone {
+                active: Arc::clone(&active),
+                last_activity: Arc::clone(&last_activity),
+            };
+            if std::thread::Builder::new()
                 .name("smlsc-daemon-conn".to_string())
-                .spawn(move || handle_connection(stream, &ctx))
-                .ok();
+                .spawn(move || {
+                    let _done = done;
+                    handle_connection(stream, &ctx);
+                })
+                .is_err()
+            {
+                active.fetch_sub(1, Ordering::SeqCst);
+            }
         }
+        supervisor.join().ok();
         watcher.join().ok();
+        // Graceful drain: an in-flight build finishes and its client
+        // gets a real response (or the typed deadline reply) before the
+        // socket disappears.
+        let deadline = Instant::now() + SHUTDOWN_DRAIN;
+        while active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         std::fs::remove_file(&self.socket).ok();
         self.lock.release();
         Ok(())
     }
+}
+
+/// Decrements the active-connection count (and stamps activity) when a
+/// handler thread finishes, however it exits.
+struct ConnectionDone {
+    active: Arc<AtomicUsize>,
+    last_activity: Arc<Mutex<Instant>>,
+}
+
+impl Drop for ConnectionDone {
+    fn drop(&mut self) {
+        *self.last_activity.lock().expect("activity lock") = Instant::now();
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The supervisor thread: polls for a termination signal and for idle
+/// expiry, and wakes the blocking accept when either fires.
+fn spawn_supervisor(
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    last_activity: Arc<Mutex<Instant>>,
+    socket: PathBuf,
+    idle_timeout: Option<Duration>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("smlsc-daemon-supervisor".to_string())
+        .spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+                let signalled = crate::signal::requested();
+                let idle = idle_timeout.is_some_and(|limit| {
+                    active.load(Ordering::SeqCst) == 0
+                        && last_activity.lock().expect("activity lock").elapsed() >= limit
+                });
+                if signalled || idle {
+                    shutdown.store(true, Ordering::SeqCst);
+                    // Wake the blocking accept so the loop observes it.
+                    UnixStream::connect(&socket).ok();
+                }
+            }
+        })
+        .expect("spawn supervisor thread")
 }
 
 struct HandlerCtx {
@@ -148,6 +242,7 @@ struct HandlerCtx {
     shutdown: Arc<AtomicBool>,
     socket: PathBuf,
     default_jobs: usize,
+    deadline: Duration,
 }
 
 fn handle_connection(mut stream: UnixStream, ctx: &HandlerCtx) {
@@ -212,7 +307,44 @@ fn build(request: &Request, ctx: &HandlerCtx) -> Response {
     } else {
         FailurePolicy::FailFast
     };
-    match ctx.resident.build(jobs, policy, request.fresh) {
+    // A degraded watcher (its last sweep failed) cannot vouch for the
+    // in-memory project, so the build re-stats the sources itself — a
+    // full stat-rescan fallback, never a silently stale answer.
+    let fresh = request.fresh
+        || ctx
+            .counters
+            .watch_degraded
+            .load(std::sync::atomic::Ordering::SeqCst);
+    let deadline = if request.timeout_ms > 0 {
+        Duration::from_millis(request.timeout_ms)
+    } else {
+        ctx.deadline
+    };
+    // The build runs on its own thread so this handler can answer the
+    // client at the deadline; a timed-out build continues to completion
+    // (the resident lock serializes it against later requests) and its
+    // snapshot serves the next build instantly.
+    let resident = Arc::clone(&ctx.resident);
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::Builder::new()
+        .name("smlsc-daemon-build".to_string())
+        .spawn(move || {
+            tx.send(resident.build(jobs, policy, fresh)).ok();
+        })
+        .ok();
+    let result = match rx.recv_timeout(deadline) {
+        Ok(result) => result,
+        Err(_) => {
+            let mut r = Response::refuse(format!(
+                "build exceeded its {}ms deadline (still running in the daemon)",
+                deadline.as_millis()
+            ));
+            r.timed_out = true;
+            r.exit_code = 4;
+            return r;
+        }
+    };
+    match result {
         Ok((snap, cached)) => {
             let mut r = Response::new();
             r.exit_code = snap.exit_code;
@@ -242,13 +374,20 @@ fn build(request: &Request, ctx: &HandlerCtx) -> Response {
 
 fn status_json(ctx: &HandlerCtx) -> String {
     let builds = ctx.resident.last().map_or(0, |s| s.seq);
+    // Watcher health plus the generation pair: a last-build generation
+    // equal to the session generation means the served snapshot is
+    // current; a degraded watcher means builds re-stat for themselves.
     format!(
-        "{{\"pid\":{},\"protocol\":{},\"units\":{},\"builds\":{},\"building_high_water\":{},\"{}\":{},\"{}\":{},\"{}\":{}}}",
+        "{{\"pid\":{},\"protocol\":{},\"units\":{},\"builds\":{},\"building_high_water\":{},\"watch_healthy\":{},\"watch_errors\":{},\"generation\":{},\"last_build_generation\":{},\"{}\":{},\"{}\":{},\"{}\":{}}}",
         std::process::id(),
         PROTOCOL_VERSION,
         ctx.resident.unit_count(),
         builds,
         ctx.resident.building_high_water(),
+        !ctx.counters.watch_degraded.load(Ordering::SeqCst),
+        ctx.counters.watch_errors.load(Ordering::SeqCst),
+        ctx.resident.generation(),
+        ctx.resident.last().map_or(0, |s| s.generation()),
         names::DAEMON_REQUESTS,
         ctx.counters.requests.load(Ordering::SeqCst),
         names::DAEMON_WATCH_EVENTS,

@@ -31,6 +31,13 @@ pub struct DaemonCounters {
     pub watch_events: AtomicU64,
     /// Project deltas applied to the resident session.
     pub invalidations: AtomicU64,
+    /// Sweeps that failed to scan the project directory.
+    pub watch_errors: AtomicU64,
+    /// True while the most recent sweep failed.  A degraded watcher can
+    /// no longer vouch for the in-memory project, so the server forces
+    /// every served build onto the full stat-rescan path until a sweep
+    /// succeeds again — the session is never silently stale.
+    pub watch_degraded: AtomicBool,
 }
 
 /// Spawns the polling watcher thread; it exits when `shutdown` flips.
@@ -72,10 +79,19 @@ fn watch_loop(
             continue;
         }
         let events = match resident.diff_from_disk() {
-            Ok(events) => events,
-            // Transient scan failure (e.g. the directory mid-rename):
-            // treat like an unsettled tick and try again.
+            Ok(events) => {
+                // A successful sweep is a complete stat-scan of the
+                // project: the watcher can vouch for the session again.
+                counters.watch_degraded.store(false, Ordering::SeqCst);
+                events
+            }
+            // Scan failure (the directory mid-rename, permissions,
+            // disk trouble): mark the watcher degraded — served builds
+            // re-stat for themselves until a sweep succeeds — and try
+            // again next tick.
             Err(_) => {
+                counters.watch_errors.fetch_add(1, Ordering::SeqCst);
+                counters.watch_degraded.store(true, Ordering::SeqCst);
                 pending = None;
                 continue;
             }

@@ -22,9 +22,11 @@
 //!          | point '=' action
 //! point   := 'store.publish' | 'store.fetch' | 'store.lock'
 //!          | 'bin.save' | 'bin.load' | 'compile.unit'
-//!          | 'ledger.append'
+//!          | 'ledger.append' | 'ledger.rotate' | 'stamp.save'
+//!          | 'pack.save' | 'daemon.accept' | 'daemon.watch'
+//!          | 'daemon.lock'
 //! action  := kind [ '(' filter ')' ] [ '@' nth ] [ '%' percent ] [ '*' count ]
-//! kind    := 'io' | 'torn' | 'delay:' millis | 'panic'
+//! kind    := 'io' | 'torn' | 'delay:' millis | 'panic' | 'crash'
 //! ```
 //!
 //! * `filter` — fire only when the call's detail string (unit name,
@@ -36,14 +38,24 @@
 //!
 //! Examples: `compile.unit=panic(M3)@1*1` panics the first compile of
 //! unit `M3`; `seed=42;store.publish=torn%30;store.fetch=io%25` tears
-//! 30% of store writes and fails 25% of store reads, reproducibly.
+//! 30% of store writes and fails 25% of store reads, reproducibly;
+//! `stamp.save=crash(staged)@1` aborts the process the first time a
+//! stamp save has staged its tmp file but not yet renamed it.
 //!
 //! # Semantics at the point
 //!
-//! [`check`] executes `Delay` (sleeps) and `Panic` (panics with an
-//! `"injected fault"` message) itself; `Io` and `Torn` are returned to
-//! the caller, which interprets them in context — an injected IO error
-//! for `Io`, a deliberately truncated write (or read) for `Torn`.
+//! [`check`] executes `Delay` (sleeps), `Panic` (panics with an
+//! `"injected fault"` message), and `Crash` (calls
+//! `std::process::abort()`, skipping every destructor — exactly the
+//! debris a SIGKILL or power loss leaves) itself; `Io` and `Torn` are
+//! returned to the caller, which interprets them in context — an
+//! injected IO error for `Io`, a deliberately truncated write (or
+//! read) for `Torn`.
+//!
+//! Durable-write points check several times per operation with a
+//! *stage* detail string (`begin`, `staged`, `renamed`, and for ledger
+//! appends `mid`), so a `crash(<stage>)` filter selects exactly which
+//! half-finished state the process dies in.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -82,6 +94,21 @@ pub mod points {
     /// sweep; invalidation is deferred, never lost, because the next
     /// sweep re-diffs against the same snapshot).
     pub const DAEMON_WATCH: &str = "daemon.watch";
+    /// `StampCache::save`: the tmp+fsync+rename publication of
+    /// `stamps.json`.  Checked at stages `begin`, `staged`, `renamed`.
+    pub const STAMP_SAVE: &str = "stamp.save";
+    /// `PackWriter::finish`: sealing and renaming `bins.pack` into
+    /// place.  Checked at stages `begin`, `staged`, `renamed`.
+    pub const PACK_SAVE: &str = "pack.save";
+    /// `Ledger::rotate_if_needed`: the tmp+rename that truncates an
+    /// over-long `builds.jsonl`.  Checked at stages `begin`, `staged`,
+    /// `renamed`.
+    pub const LEDGER_ROTATE: &str = "ledger.rotate";
+    /// Daemon lockfile acquisition (fires after the lockfile is
+    /// created, so a `crash` here models a daemon that dies holding
+    /// the lock — the stale state `doctor` and lock takeover must
+    /// clear).
+    pub const DAEMON_LOCK: &str = "daemon.lock";
     /// Every fault point, for specs that want blanket coverage.
     pub const ALL: &[&str] = &[
         STORE_PUBLISH,
@@ -91,8 +118,12 @@ pub mod points {
         BIN_LOAD,
         COMPILE_UNIT,
         LEDGER_APPEND,
+        LEDGER_ROTATE,
+        STAMP_SAVE,
+        PACK_SAVE,
         DAEMON_ACCEPT,
         DAEMON_WATCH,
+        DAEMON_LOCK,
     ];
 }
 
@@ -107,6 +138,10 @@ pub enum FaultKind {
     Delay(Duration),
     /// The call panics, as an internal compiler bug would.
     Panic,
+    /// The process aborts on the spot (`std::process::abort()`): no
+    /// unwinding, no destructors — the state a SIGKILL or power loss
+    /// leaves behind.  Only meaningful in a subprocess under test.
+    Crash,
 }
 
 /// One armed fault: a kind plus its firing conditions.
@@ -233,7 +268,13 @@ fn parse_action(point: &'static str, action: &str) -> Result<FaultRule, String> 
     // kind.  Modifiers never contain '(' so the filter is unambiguous.
     let mut rest = action;
     let mut rule_kind: Option<FaultKind> = None;
-    for (name, prefix_len) in [("io", 2), ("torn", 4), ("panic", 5), ("delay:", 6)] {
+    for (name, prefix_len) in [
+        ("io", 2),
+        ("torn", 4),
+        ("panic", 5),
+        ("crash", 5),
+        ("delay:", 6),
+    ] {
         if rest.starts_with(name) {
             if name == "delay:" {
                 let tail = &rest[prefix_len..];
@@ -249,6 +290,7 @@ fn parse_action(point: &'static str, action: &str) -> Result<FaultRule, String> 
                 rule_kind = Some(match name {
                     "io" => FaultKind::Io,
                     "torn" => FaultKind::Torn,
+                    "crash" => FaultKind::Crash,
                     _ => FaultKind::Panic,
                 });
                 rest = &rest[prefix_len..];
@@ -257,7 +299,7 @@ fn parse_action(point: &'static str, action: &str) -> Result<FaultRule, String> 
         }
     }
     let kind = rule_kind.ok_or_else(|| {
-        format!("unknown fault kind in `{action}` (expected io, torn, delay:<ms>, or panic)")
+        format!("unknown fault kind in `{action}` (expected io, torn, delay:<ms>, panic, or crash)")
     })?;
     let mut rule = FaultRule::new(point, kind);
     if let Some(after_paren) = rest.strip_prefix('(') {
@@ -408,6 +450,14 @@ pub fn check(point: &'static str, detail: &str) -> Option<FaultKind> {
                 return None;
             }
             FaultKind::Panic => panic!("injected fault: panic at {point} ({detail})"),
+            FaultKind::Crash => {
+                // Announce the kill on stderr so a harness can tell an
+                // injected crash from an organic abort, then die
+                // without unwinding — no Drop handler runs, exactly as
+                // if the process had been SIGKILLed here.
+                eprintln!("injected fault: crash at {point} ({detail})");
+                std::process::abort();
+            }
             k @ (FaultKind::Io | FaultKind::Torn) => return Some(k),
         }
     }
@@ -425,6 +475,7 @@ fn kind_name(k: FaultKind) -> &'static str {
         FaultKind::Torn => "torn",
         FaultKind::Delay(_) => "delay",
         FaultKind::Panic => "panic",
+        FaultKind::Crash => "crash",
     }
 }
 
@@ -479,6 +530,26 @@ mod tests {
             FaultKind::Delay(Duration::from_millis(50))
         );
         assert_eq!(plan.rules[3].kind, FaultKind::Io);
+    }
+
+    #[test]
+    fn parse_crash_rules_at_every_durable_write_point() {
+        let plan = FaultPlan::parse(
+            "stamp.save=crash(staged)@1; pack.save=crash(renamed); ledger.rotate=crash; \
+             ledger.append=crash(mid)@2*1; store.publish=crash(begin); daemon.lock=crash",
+        )
+        .unwrap();
+        assert_eq!(plan.rules.len(), 6);
+        assert!(plan.rules.iter().all(|r| r.kind == FaultKind::Crash));
+        assert_eq!(plan.rules[0].point, points::STAMP_SAVE);
+        assert_eq!(plan.rules[0].filter.as_deref(), Some("staged"));
+        assert_eq!(plan.rules[1].point, points::PACK_SAVE);
+        assert_eq!(plan.rules[2].point, points::LEDGER_ROTATE);
+        assert_eq!(plan.rules[3].point, points::LEDGER_APPEND);
+        assert_eq!(plan.rules[3].from_nth, 2);
+        assert_eq!(plan.rules[3].max_fires, 1);
+        assert_eq!(plan.rules[4].point, points::STORE_PUBLISH);
+        assert_eq!(plan.rules[5].point, points::DAEMON_LOCK);
     }
 
     #[test]

@@ -15,14 +15,26 @@
 //!                      terminate each input with a line ending in `;;`
 //! smlsc cache <op>     manage a shared artifact store: stats | gc |
 //!                      verify | clear
+//! smlsc doctor <dir>   audit every kind of durable build state (stamps,
+//!                      pack, ledger, store, daemon socket/lock, commit
+//!                      litter) and print a JSON report; with --fix,
+//!                      repair what the audit finds.  Exit 0 when
+//!                      healthy or fully repaired, 4 when issues were
+//!                      found without --fix, 3 when a repair failed
 //! smlsc daemon <op>    resident build server for <dir>: start | stop |
-//!                      status | run.  While one is running, plain
-//!                      `smlsc build` requests are served over its
+//!                      restart | status | run.  While one is running,
+//!                      plain `smlsc build` requests are served over its
 //!                      socket from the in-memory analysis — a warm
 //!                      no-op answers without reloading any cache.
 //!                      `run` serves in the foreground (`start` uses it
 //!                      internally); `stop` and `status` talk to the
-//!                      socket in <bin-dir>
+//!                      socket in <bin-dir>; `restart` is stop-then-
+//!                      start (idempotent — works with no daemon up).
+//!                      Env knobs for `run`/`start`:
+//!                      SMLSC_DAEMON_POLL_MS (watcher poll interval),
+//!                      SMLSC_DAEMON_IDLE_SECS (auto-shutdown after
+//!                      this long idle), SMLSC_DAEMON_DEADLINE_SECS
+//!                      (per-request build deadline)
 //!
 //! build/run options:
 //!   --strategy <s>     recompilation strategy: cutoff (default),
@@ -78,7 +90,7 @@ use smlsc::core::session::Session;
 use smlsc::core::store::{GcConfig, Store};
 use smlsc::core::{trace, BuildReport, CoreError};
 
-const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc profile [options] <dir> | smlsc history [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options] | smlsc daemon <start|stop|status|run> [options] <dir>\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --paranoid  --no-daemon  --explain  --stats  --trace-out <file>  --report-json <file>  --top <n>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
+const USAGE: &str = "usage: smlsc build [options] <dir> | smlsc run [options] <dir> | smlsc profile [options] <dir> | smlsc history [options] <dir> | smlsc repl | smlsc cache <stats|gc|verify|clear> [options] | smlsc doctor [--fix] [options] <dir> | smlsc daemon <start|stop|restart|status|run> [options] <dir>\noptions: --strategy <cutoff|timestamp|classical>  --jobs <n>  --keep-going|-k  --bin-dir <dir>  --store <dir>  --inject-faults <spec>  --paranoid  --no-daemon  --explain  --stats  --trace-out <file>  --report-json <file>  --top <n>\ncache options: --store <dir>  --max-bytes <n>  --max-age-secs <n>\nexit codes: 0 ok, 1 compile failure, 2 usage, 3 internal error, 4 store/io error";
 
 /// Exit codes (documented in the README): distinguishing "your source
 /// is wrong" from "the compiler broke" from "the disk/store broke".
@@ -260,6 +272,7 @@ fn main() {
         },
         Some("repl") => repl(),
         Some("cache") => cache(&args[1..]),
+        Some("doctor") => doctor_cmd(&args[1..]),
         Some("daemon") => daemon_cmd(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
@@ -520,6 +533,12 @@ fn daemon_eligible(opts: &BuildOpts) -> bool {
 /// daemon answered" (no socket, handshake failed, or it died
 /// mid-request) and the caller builds in-process instead; `Some` is a
 /// final exit code whose output already mirrors the in-process CLI.
+///
+/// Self-healing: when the socket exists but no daemon answers *and*
+/// the lockfile's owner is dead (SIGKILLed daemon, reboot debris), the
+/// client restarts the daemon once — stale-owner takeover clears the
+/// corpse — and retries the request a single time before falling back
+/// to an in-process build.
 fn daemon_dispatch(opts: &BuildOpts, bin_dir: &Path) -> Option<i32> {
     let socket = smlsc::daemon::socket_path(bin_dir);
     if !socket.exists() {
@@ -532,16 +551,31 @@ fn daemon_dispatch(opts: &BuildOpts, bin_dir: &Path) -> Option<i32> {
     request.jobs = opts.jobs.unwrap_or(0) as u64;
     request.keep_going = opts.keep_going;
     request.explain = opts.explain;
-    let response = smlsc::daemon::client::request(&socket, &request).ok()?;
+    match smlsc::daemon::client::request(&socket, &request) {
+        Ok(response) => Some(render_daemon_response(opts, &response)),
+        Err(_) => {
+            if !restart_dead_daemon(opts, bin_dir, &socket) {
+                return None;
+            }
+            let response = smlsc::daemon::client::request(&socket, &request).ok()?;
+            Some(render_daemon_response(opts, &response))
+        }
+    }
+}
+
+/// Prints a daemon build response exactly as the in-process CLI would
+/// and returns its exit code.
+fn render_daemon_response(opts: &BuildOpts, response: &smlsc::daemon::Response) -> i32 {
     if !response.ok {
         // The daemon answered but the build failed before producing a
-        // report (fail-fast): same stderr and exit code as in-process.
+        // report (fail-fast) — or timed out: same stderr shape and exit
+        // code class as in-process.
         eprintln!("error: {}", response.error);
-        return Some(if response.exit_code == 0 {
+        return if response.exit_code == 0 {
             EXIT_COMPILE
         } else {
             response.exit_code
-        });
+        };
     }
     for note in &response.notes {
         eprintln!("{note}");
@@ -553,13 +587,110 @@ fn daemon_dispatch(opts: &BuildOpts, bin_dir: &Path) -> Option<i32> {
     if opts.stats {
         println!("{}", response.stats_json);
     }
-    Some(response.exit_code)
+    response.exit_code
 }
 
-/// `smlsc daemon <start|stop|status|run>`: manage the resident build
-/// server for a project.
+/// Restarts a daemon whose socket is present but whose lockfile owner
+/// is dead.  Quiet (dispatch is transparent); `false` means "do not
+/// retry, fall back in-process" — including when the owner is alive
+/// (a live daemon that refused a request is not ours to replace).
+fn restart_dead_daemon(opts: &BuildOpts, bin_dir: &Path, socket: &Path) -> bool {
+    let lockfile = smlsc::daemon::lock_path(bin_dir);
+    let owner = smlsc::daemon::lock::owner(&lockfile);
+    if owner.is_some_and(smlsc::daemon::lock::pid_alive) {
+        return false;
+    }
+    let Some(dir) = &opts.dir else { return false };
+    let Ok(exe) = std::env::current_exe() else {
+        return false;
+    };
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("daemon")
+        .arg("run")
+        .arg(dir)
+        .arg("--bin-dir")
+        .arg(bin_dir)
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    let Ok(mut child) = cmd.spawn() else {
+        return false;
+    };
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        if socket.exists() && smlsc::daemon::lock::owner(&lockfile) == Some(u64::from(child.id())) {
+            return true;
+        }
+        if let Ok(Some(_)) = child.try_wait() {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    false
+}
+
+/// `smlsc doctor [--fix] [--bin-dir <dir>] [--store <dir>] <dir>`:
+/// audit (and with `--fix`, repair) every kind of durable build state.
+/// Shares its store audit with `smlsc cache verify`.
+fn doctor_cmd(args: &[String]) -> i32 {
+    const DOCTOR_USAGE: &str =
+        "usage: smlsc doctor [--fix] [--bin-dir <dir>] [--store <dir>] <dir>";
+    let mut fix = false;
+    let mut dir: Option<String> = None;
+    let mut bin_dir: Option<PathBuf> = None;
+    let mut store_flag: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            match arg.strip_prefix(&format!("{flag}=")) {
+                Some(v) => Ok(v.to_string()),
+                None => it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} requires a value")),
+            }
+        };
+        let parsed = if arg == "--fix" {
+            fix = true;
+            Ok(())
+        } else if arg == "--bin-dir" || arg.starts_with("--bin-dir=") {
+            take("--bin-dir").map(|v| bin_dir = Some(PathBuf::from(v)))
+        } else if arg == "--store" || arg.starts_with("--store=") {
+            take("--store").map(|v| store_flag = Some(v))
+        } else if arg.starts_with('-') {
+            Err(format!("unknown option `{arg}`"))
+        } else if dir.is_none() {
+            dir = Some(arg.clone());
+            Ok(())
+        } else {
+            Err(format!("unexpected argument `{arg}`"))
+        };
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            eprintln!("{DOCTOR_USAGE}");
+            return EXIT_USAGE;
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{DOCTOR_USAGE}");
+        return EXIT_USAGE;
+    };
+    let dir = PathBuf::from(dir);
+    let opts = smlsc::core::doctor::DoctorOptions {
+        bin_dir: bin_dir.unwrap_or_else(|| dir.join(".smlsc-bins")),
+        store: resolve_store(&store_flag),
+        fix,
+    };
+    let report = smlsc::core::doctor::run(&opts);
+    println!("{}", report.to_json());
+    report.exit_code()
+}
+
+/// `smlsc daemon <start|stop|restart|status|run>`: manage the resident
+/// build server for a project.
 fn daemon_cmd(args: &[String]) -> i32 {
-    const DAEMON_USAGE: &str = "usage: smlsc daemon <start|stop|status|run> [options] <dir>";
+    const DAEMON_USAGE: &str =
+        "usage: smlsc daemon <start|stop|restart|status|run> [options] <dir>";
     let Some(verb) = args.first().map(String::as_str) else {
         eprintln!("{DAEMON_USAGE}");
         return EXIT_USAGE;
@@ -601,6 +732,20 @@ fn daemon_cmd(args: &[String]) -> i32 {
             {
                 config.watch_interval = Duration::from_millis(ms.max(1));
             }
+            if let Some(secs) = std::env::var("SMLSC_DAEMON_IDLE_SECS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&s| s > 0)
+            {
+                config.idle_timeout = Some(Duration::from_secs(secs));
+            }
+            if let Some(secs) = std::env::var("SMLSC_DAEMON_DEADLINE_SECS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&s| s > 0)
+            {
+                config.request_deadline = Duration::from_secs(secs);
+            }
             match smlsc::daemon::run(config) {
                 Ok(()) => EXIT_OK,
                 Err(e) => {
@@ -609,89 +754,17 @@ fn daemon_cmd(args: &[String]) -> i32 {
                 }
             }
         }
-        "start" => {
-            if smlsc::daemon::alive(&socket) {
-                println!("daemon already serving {}", dir.display());
-                return EXIT_OK;
-            }
-            let exe = match std::env::current_exe() {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return EXIT_IO;
-                }
-            };
-            let mut cmd = std::process::Command::new(exe);
-            cmd.arg("daemon")
-                .arg("run")
-                .arg(&dir)
-                .arg("--bin-dir")
-                .arg(&bin_dir)
-                .arg("--strategy")
-                .arg(opts.strategy.to_string())
-                .stdin(std::process::Stdio::null())
-                .stdout(std::process::Stdio::null())
-                .stderr(std::process::Stdio::null());
-            if let Some(jobs) = opts.jobs {
-                cmd.arg("--jobs").arg(jobs.to_string());
-            }
-            if let Some(spec) = &opts.inject_faults {
-                cmd.arg("--inject-faults").arg(spec);
-            }
-            let mut child = match cmd.spawn() {
-                Ok(c) => c,
-                Err(e) => {
-                    eprintln!("error: could not spawn daemon: {e}");
-                    return EXIT_IO;
-                }
-            };
-            // Readiness: the child owns the lockfile and has bound the
-            // socket.  Deliberately not a handshake probe — injected
-            // `daemon.accept` faults drop connections, and a readiness
-            // probe must not consume (or be confused by) them.
-            let lockfile = smlsc::daemon::lock_path(&bin_dir);
-            let deadline = std::time::Instant::now() + Duration::from_secs(60);
-            while std::time::Instant::now() < deadline {
-                if socket.exists()
-                    && smlsc::daemon::lock::owner(&lockfile) == Some(u64::from(child.id()))
-                {
-                    println!(
-                        "daemon started (pid {}) serving {} on {}",
-                        child.id(),
-                        dir.display(),
-                        socket.display()
-                    );
-                    return EXIT_OK;
-                }
-                // A child that already exited (project unreadable, lock
-                // contended) will never come up: fail fast.
-                if let Ok(Some(status)) = child.try_wait() {
-                    eprintln!("error: daemon exited during startup ({status})");
-                    return EXIT_IO;
-                }
-                std::thread::sleep(Duration::from_millis(25));
-            }
-            eprintln!("error: daemon did not come up within 60s");
-            EXIT_IO
-        }
+        "start" => daemon_start(&opts, &dir, &bin_dir, &socket),
         // Idempotent: stopping an already-stopped daemon succeeds.
-        "stop" => {
-            match smlsc::daemon::client::request(&socket, &smlsc::daemon::Request::simple("stop")) {
-                Ok(_) => {
-                    // The daemon removes its socket and lockfile on the
-                    // way out; wait so "stopped" means "released".
-                    let lockfile = smlsc::daemon::lock_path(&bin_dir);
-                    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-                    while (socket.exists() || lockfile.exists())
-                        && std::time::Instant::now() < deadline
-                    {
-                        std::thread::sleep(Duration::from_millis(25));
-                    }
-                    println!("daemon stopped");
-                }
-                Err(_) => println!("daemon not running for {}", dir.display()),
+        "stop" => daemon_stop(&dir, &bin_dir, &socket),
+        // Stop-then-start; just as idempotent as its halves, so it
+        // doubles as "make sure a fresh daemon is up".
+        "restart" => {
+            let stopped = daemon_stop(&dir, &bin_dir, &socket);
+            if stopped != EXIT_OK {
+                return stopped;
             }
-            EXIT_OK
+            daemon_start(&opts, &dir, &bin_dir, &socket)
         }
         "status" => {
             match smlsc::daemon::client::request(&socket, &smlsc::daemon::Request::simple("status"))
@@ -712,6 +785,93 @@ fn daemon_cmd(args: &[String]) -> i32 {
             EXIT_USAGE
         }
     }
+}
+
+/// `daemon start`: spawn a detached `daemon run` and wait for it to
+/// own the lockfile and bind the socket.  A live daemon already
+/// serving the project is success, not an error.
+fn daemon_start(opts: &BuildOpts, dir: &Path, bin_dir: &Path, socket: &Path) -> i32 {
+    if smlsc::daemon::alive(socket) {
+        println!("daemon already serving {}", dir.display());
+        return EXIT_OK;
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return EXIT_IO;
+        }
+    };
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("daemon")
+        .arg("run")
+        .arg(dir)
+        .arg("--bin-dir")
+        .arg(bin_dir)
+        .arg("--strategy")
+        .arg(opts.strategy.to_string())
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null());
+    if let Some(jobs) = opts.jobs {
+        cmd.arg("--jobs").arg(jobs.to_string());
+    }
+    if let Some(spec) = &opts.inject_faults {
+        cmd.arg("--inject-faults").arg(spec);
+    }
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: could not spawn daemon: {e}");
+            return EXIT_IO;
+        }
+    };
+    // Readiness: the child owns the lockfile and has bound the
+    // socket.  Deliberately not a handshake probe — injected
+    // `daemon.accept` faults drop connections, and a readiness
+    // probe must not consume (or be confused by) them.
+    let lockfile = smlsc::daemon::lock_path(bin_dir);
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while std::time::Instant::now() < deadline {
+        if socket.exists() && smlsc::daemon::lock::owner(&lockfile) == Some(u64::from(child.id())) {
+            println!(
+                "daemon started (pid {}) serving {} on {}",
+                child.id(),
+                dir.display(),
+                socket.display()
+            );
+            return EXIT_OK;
+        }
+        // A child that already exited (project unreadable, lock
+        // contended) will never come up: fail fast.
+        if let Ok(Some(status)) = child.try_wait() {
+            eprintln!("error: daemon exited during startup ({status})");
+            return EXIT_IO;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("error: daemon did not come up within 60s");
+    EXIT_IO
+}
+
+/// `daemon stop`: ask the resident to shut down and wait until the
+/// socket and lockfile are actually released.  Idempotent — stopping
+/// an already-stopped daemon succeeds.
+fn daemon_stop(dir: &Path, bin_dir: &Path, socket: &Path) -> i32 {
+    match smlsc::daemon::client::request(socket, &smlsc::daemon::Request::simple("stop")) {
+        Ok(_) => {
+            // The daemon removes its socket and lockfile on the
+            // way out; wait so "stopped" means "released".
+            let lockfile = smlsc::daemon::lock_path(bin_dir);
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while (socket.exists() || lockfile.exists()) && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            println!("daemon stopped");
+        }
+        Err(_) => println!("daemon not running for {}", dir.display()),
+    }
+    EXIT_OK
 }
 
 /// The median per-compile cost over ledger history, microseconds — the

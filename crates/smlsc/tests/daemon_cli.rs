@@ -217,13 +217,13 @@ fn watched_leaf_edit_recompiles_exactly_one_unit() {
 }
 
 #[test]
-fn killed_daemon_mid_request_falls_back_to_in_process() {
+fn killed_daemon_is_restarted_once_and_serves_the_build() {
     let proj = temp("killed");
     write_project(&proj);
     let out = smlsc().arg("build").arg(&proj).output().unwrap();
     assert!(out.status.success(), "{out:?}");
 
-    let _daemon = DaemonGuard::start(&proj, &[]);
+    let daemon = DaemonGuard::start(&proj, &[]);
     let pid = daemon_pid(&proj);
     // SIGKILL: no cleanup runs, so the socket and lockfile both linger
     // — exactly the state a client sees when a daemon dies mid-request.
@@ -234,27 +234,60 @@ fn killed_daemon_mid_request_falls_back_to_in_process() {
     assert!(killed.success());
     assert!(proj.join(".smlsc-bins/daemon.sock").exists());
 
-    // The dispatch path finds the stale socket, fails to handshake, and
-    // silently builds in-process: same summary, same exit code.
+    // The dispatch path finds the stale socket, sees the lockfile owner
+    // is dead, restarts the daemon once, and the retried request is
+    // served over the new socket — no in-process cache-load banner.
     let out = smlsc()
         .args(["build", "--stats"])
         .arg(&proj)
         .output()
         .unwrap();
-    assert!(out.status.success(), "fallback build must succeed: {out:?}");
+    assert!(
+        out.status.success(),
+        "restarted build must succeed: {out:?}"
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         stdout.contains("built 2 unit(s) [cutoff]: 0 recompiled, 2 reused"),
         "{stdout}"
     );
-    // In-process evidence: the bin cache was loaded by this very build.
-    assert!(stdout.contains("loaded 2 cached bin(s)"), "{stdout}");
+    assert!(
+        !stdout.contains("loaded"),
+        "served by the restarted daemon, not in-process: {stdout}"
+    );
+    let new_pid = daemon_pid(&proj);
+    assert_ne!(new_pid, pid, "restart wrote a fresh lockfile");
 
-    // The stale lock names a dead pid, so a fresh daemon takes over.
-    let daemon = DaemonGuard::start(&proj, &[]);
-    assert_ne!(daemon_pid(&proj), pid, "takeover wrote a fresh lockfile");
     let out = daemon.stop();
     assert!(out.status.success(), "{out:?}");
+    assert!(
+        !proj.join(".smlsc-bins/daemon.sock").exists(),
+        "stop reaches the restarted daemon"
+    );
+}
+
+#[test]
+fn stale_socket_without_dir_context_still_falls_back_in_process() {
+    // Same stale-socket debris, but dispatched with `--no-daemon`:
+    // the in-process path must still work with the corpse in place.
+    let proj = temp("stale-fallback");
+    write_project(&proj);
+    let out = smlsc().arg("build").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    std::fs::write(proj.join(".smlsc-bins/daemon.sock"), b"stale").unwrap();
+    std::fs::write(
+        proj.join(".smlsc-bins/daemon.lock"),
+        format!("{}\n", u32::MAX),
+    )
+    .unwrap();
+    let out = smlsc()
+        .args(["build", "--no-daemon"])
+        .arg(&proj)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("loaded 2 cached bin(s)"), "{stdout}");
 }
 
 #[test]
@@ -311,8 +344,12 @@ fn stop_is_idempotent_and_status_reports_a_missing_daemon() {
         .unwrap();
     assert!(out.status.success(), "{out:?}");
     let status = String::from_utf8_lossy(&out.stdout);
-    assert!(status.contains(r#""protocol":1"#), "{status}");
+    assert!(status.contains(r#""protocol":2"#), "{status}");
     assert!(status.contains(r#""units":2"#), "{status}");
+    // Watcher health and the generation pair are part of status.
+    assert!(status.contains(r#""watch_healthy":true"#), "{status}");
+    assert!(status.contains(r#""generation":"#), "{status}");
+    assert!(status.contains(r#""last_build_generation":"#), "{status}");
 
     let out = daemon.stop();
     assert!(out.status.success(), "{out:?}");

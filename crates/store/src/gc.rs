@@ -223,6 +223,40 @@ impl Store {
         Ok(report)
     }
 
+    /// Removes staging litter in `tmp/` — the files a publisher that
+    /// crashed between staging and rename leaves behind.  Only files
+    /// older than `min_age` are touched, so a concurrent live publish
+    /// (which holds its staging file for milliseconds) is never raced.
+    /// Returns the number of files removed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the tmp directory cannot be read.
+    pub fn sweep_tmp(&self, min_age: Duration) -> Result<usize, StoreError> {
+        let tmp_dir = self.root().join("tmp");
+        let entries = match std::fs::read_dir(&tmp_dir) {
+            Ok(r) => r,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(io_err(&tmp_dir, e)),
+        };
+        let now = now_nanos();
+        let cutoff = now.saturating_sub(u64::try_from(min_age.as_nanos()).unwrap_or(u64::MAX));
+        let mut removed = 0;
+        for entry in entries.flatten() {
+            let mtime = entry
+                .metadata()
+                .ok()
+                .and_then(|m| m.modified().ok())
+                .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+                .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            if mtime <= cutoff && std::fs::remove_file(entry.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+
     /// Removes every object, quarantined file, and the journal.
     /// Returns the number of objects removed.
     ///

@@ -15,9 +15,10 @@
 //! * **Fanout layout**: objects live at `objects/<aa>/<rest>.obj` where
 //!   `aa` is the first two hex digits of the key — bounded directory
 //!   sizes at production object counts.
-//! * **Atomic publication**: writers stage into `tmp/` and `rename(2)`
-//!   into place, so readers never observe a torn object and concurrent
-//!   identical publishes are idempotent.
+//! * **Atomic publication**: writers stage into `tmp/`, fsync,
+//!   `rename(2)` into place, and fsync the fan directory, so readers
+//!   never observe a torn object, concurrent identical publishes are
+//!   idempotent, and a completed publish survives power loss.
 //! * **Advisory locking** ([`lock`]): per-key lock files serialize
 //!   publish/evict races across processes; stale locks (crashed owners)
 //!   are broken by age.
@@ -461,7 +462,7 @@ impl Store {
     fn publish_once(&self, key: Pid, hex: &str, payload: &[u8]) -> Result<bool, StoreError> {
         let final_path = self.object_path(key);
         if faults::active() {
-            match faults::check(points::STORE_PUBLISH, hex) {
+            match faults::check(points::STORE_PUBLISH, &format!("begin {hex}")) {
                 Some(FaultKind::Io) => {
                     return Err(io_err(
                         &final_path,
@@ -494,10 +495,30 @@ impl Store {
             f.write_all(payload).map_err(|e| io_err(&tmp, e))?;
             f.sync_all().map_err(|e| io_err(&tmp, e))?;
         }
+        // A `crash(staged)` rule kills the process here: a complete
+        // object sits in `tmp/`, invisible to readers — litter the
+        // doctor sweeps, never corruption.
+        if faults::active() {
+            if let Some(FaultKind::Io) =
+                faults::check(points::STORE_PUBLISH, &format!("staged {hex}"))
+            {
+                std::fs::remove_file(&tmp).ok();
+                return Err(io_err(
+                    &final_path,
+                    faults::io_error(points::STORE_PUBLISH, hex),
+                ));
+            }
+        }
         if let Err(e) = std::fs::rename(&tmp, &final_path) {
             std::fs::remove_file(&tmp).ok();
             return Err(io_err(&final_path, e));
         }
+        // A `crash(renamed)` rule dies between the rename and the fan
+        // directory fsync that makes it durable.
+        if faults::active() {
+            faults::check(points::STORE_PUBLISH, &format!("renamed {hex}"));
+        }
+        fsync_dir(fan_dir).map_err(|e| io_err(fan_dir, e))?;
         trace::counter(names::STORE_BYTES_WRITTEN, payload.len() as u64);
         self.journal
             .append(JournalOp::Put, hex, payload.len() as u64);
@@ -564,6 +585,12 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// threads publish concurrently).
 fn tmp_seq() -> u64 {
     TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Fsyncs a directory so a rename within it is durable across power
+/// loss — `rename(2)` alone only updates the in-memory dentry.
+pub(crate) fn fsync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
 }
 
 /// Validates an object envelope, returning the payload iff the magic

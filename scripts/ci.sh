@@ -149,6 +149,47 @@ set +e
 set -e
 [ "$code" -eq 3 ] || { echo "error: expected internal-error exit 3, got $code" >&2; exit 1; }
 
+echo "==> crash: crash-point recovery test suites"
+cargo test -q --test crash_recovery
+cargo test -q -p smlsc --test crash_recovery
+cargo test -q -p smlsc --test daemon_signals
+
+echo "==> crash: kill-at-pack-save + doctor --fix smoke"
+x=$(mktemp -d)
+trap 'rm -rf "$d" "$c" "$k" "$x"' EXIT
+printf 'structure Util = struct fun inc x = x + 1 end\n' > "$x/util.sml"
+printf 'structure Main = struct val v = Util.inc 41 end\n' > "$x/main.sml"
+# The injected crash aborts the build mid-pack-rename (SIGABRT = 134).
+set +e
+./target/release/smlsc build --no-daemon --inject-faults 'pack.save=crash(staged)' "$x" 2>/dev/null
+code=$?
+set -e
+[ "$code" -eq 134 ] || { echo "error: expected SIGABRT exit 134, got $code" >&2; exit 1; }
+# The next plain build recovers without any manual cleanup.
+./target/release/smlsc build --no-daemon "$x"
+# Mangle every state kind the doctor audits, then assert its exit
+# codes: 4 on detection, 0 after --fix, 0 (healthy) on re-audit.
+printf 'SMLSSTM2 then garbage' > "$x/.smlsc-bins/stamps.json"
+printf '{"v":1,"torn' >> "$x/.smlsc-bins/builds.jsonl"
+printf 'half-staged' > "$x/.smlsc-bins/bins.tmp-99-0"
+printf '4294967295\n' > "$x/.smlsc-bins/daemon.lock"
+set +e
+./target/release/smlsc doctor "$x" > "$x/doctor.json"; code=$?
+set -e
+[ "$code" -eq 4 ] || { echo "error: doctor on mangled state: expected 4, got $code" >&2; cat "$x/doctor.json" >&2; exit 1; }
+grep -q '"verdict":"issues-found"' "$x/doctor.json" \
+  || { echo "error: doctor verdict not issues-found:" >&2; cat "$x/doctor.json" >&2; exit 1; }
+./target/release/smlsc doctor --fix "$x" > "$x/doctor-fix.json" \
+  || { echo "error: doctor --fix failed" >&2; cat "$x/doctor-fix.json" >&2; exit 1; }
+grep -q '"verdict":"repaired"' "$x/doctor-fix.json" \
+  || { echo "error: doctor --fix verdict not repaired:" >&2; cat "$x/doctor-fix.json" >&2; exit 1; }
+./target/release/smlsc doctor "$x" > "$x/doctor-clean.json" \
+  || { echo "error: post-fix audit not clean" >&2; cat "$x/doctor-clean.json" >&2; exit 1; }
+grep -q '"verdict":"healthy"' "$x/doctor-clean.json" \
+  || { echo "error: post-fix verdict not healthy:" >&2; cat "$x/doctor-clean.json" >&2; exit 1; }
+# The repaired project still builds warm.
+./target/release/smlsc build --no-daemon "$x"
+
 echo "==> daemon: resident-session + socket test suites"
 cargo test -q -p smlsc-daemon
 cargo test -q -p smlsc-core resident
@@ -157,7 +198,7 @@ cargo test -q -p smlsc --test daemon_cli
 
 echo "==> daemon: warm no-op + one-leaf-edit smoke"
 g=$(mktemp -d)
-trap './target/release/smlsc daemon stop "$g" >/dev/null 2>&1 || true; rm -rf "$d" "$c" "$k" "$g"' EXIT
+trap './target/release/smlsc daemon stop "$g" >/dev/null 2>&1 || true; rm -rf "$d" "$c" "$k" "$x" "$g"' EXIT
 printf 'structure Util = struct fun inc x = x + 1 end\n' > "$g/util.sml"
 printf 'structure Main = struct val v = Util.inc 41 end\n' > "$g/main.sml"
 ./target/release/smlsc build "$g"
