@@ -289,7 +289,55 @@ fn compare_monorepo(baseline: &Value, fresh: &Value, tol: &Tolerance) -> GateOut
             );
         }
     }
+    check_monorepo_scaling(fresh_rows, &mut outcome);
     outcome
+}
+
+/// How much faster than linear growth the warm no-op may fall short:
+/// doubling the unit count may cost at most 2.5x the time (growing
+/// 10x may cost at most 12.5x).  A superlinear warm path — the
+/// classic O(n^2) accident — blows through this on the first doubling.
+const SCALING_HEADROOM: f64 = 1.25;
+/// Absolute slack for the scaling check: sub-10ms rows are dominated
+/// by scheduler noise, not algorithmic growth.
+const SCALING_SLACK_MS: f64 = 10.0;
+
+/// The within-document scaling gate: for every pair of adjacent unit
+/// counts measured at the same job count, the no-op time must grow at
+/// most ~linearly in the unit count.  Unlike the row-matched baseline
+/// comparison this self-check needs no committed history — a fresh
+/// superlinear curve fails even against an equally bad baseline.
+fn check_monorepo_scaling(rows: &[Value], outcome: &mut GateOutcome) {
+    let mut points: Vec<(u64, u64, f64)> = rows
+        .iter()
+        .filter_map(|r| {
+            let (units, jobs) = monorepo_key(r)?;
+            Some((jobs, units, field_num(r, "noop_ms")?))
+        })
+        .collect();
+    points.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    for pair in points.windows(2) {
+        let (jobs_lo, units_lo, noop_lo) = pair[0];
+        let (jobs_hi, units_hi, noop_hi) = pair[1];
+        if jobs_lo != jobs_hi || units_lo == 0 || units_hi <= units_lo {
+            continue;
+        }
+        outcome.checked += 1;
+        let ratio = units_hi as f64 / units_lo as f64;
+        let limit = noop_lo * ratio * SCALING_HEADROOM + SCALING_SLACK_MS;
+        if noop_hi > limit {
+            outcome.regressions.push(Regression {
+                what: format!(
+                    "monorepo scaling jobs={jobs_hi} noop_ms {units_lo}->{units_hi} units \
+                     ({ratio:.1}x units may cost at most {:.1}x time)",
+                    ratio * SCALING_HEADROOM
+                ),
+                baseline_ms: noop_lo,
+                fresh_ms: noop_hi,
+                limit_ms: limit,
+            });
+        }
+    }
 }
 
 /// CI's warm-build ledger smoke: the newest record in `builds.jsonl`
@@ -443,8 +491,48 @@ mod tests {
         );
         let outcome = compare(&doc(100.0), &full, &tol).unwrap();
         assert!(outcome.passed());
-        assert_eq!(outcome.checked, 3);
+        // Three baseline-matched metrics plus one within-document
+        // scaling pair (5000 -> 50000 units).
+        assert_eq!(outcome.checked, 4);
         assert_eq!(outcome.skipped, 1);
+    }
+
+    #[test]
+    fn monorepo_superlinear_noop_fails_the_scaling_gate() {
+        // 10x the units costing 45x the time is the superlinear warm
+        // path this gate exists to catch — even when the committed
+        // baseline shows the same bad curve (row-matched comparison
+        // alone would pass it).
+        let bad = parse(
+            r#"{"bench":"monorepo","rows":[
+                {"units":5000,"jobs":4,"cold_ms":1000.0,"noop_ms":52.0,"leaf_edit_ms":60.0},
+                {"units":50000,"jobs":4,"cold_ms":12000.0,"noop_ms":2356.0,"leaf_edit_ms":2400.0}]}"#,
+        );
+        let outcome = compare(&bad, &bad, &Tolerance::default()).unwrap();
+        assert_eq!(outcome.regressions.len(), 1, "{:?}", outcome.regressions);
+        let msg = outcome.regressions[0].to_string();
+        assert!(msg.contains("monorepo scaling"), "{msg}");
+        assert!(msg.contains("5000->50000"), "{msg}");
+
+        // A near-linear curve passes: 10x units, 10x time.
+        let good = parse(
+            r#"{"bench":"monorepo","rows":[
+                {"units":5000,"jobs":4,"cold_ms":1000.0,"noop_ms":20.0,"leaf_edit_ms":30.0},
+                {"units":50000,"jobs":4,"cold_ms":11000.0,"noop_ms":205.0,"leaf_edit_ms":300.0}]}"#,
+        );
+        assert!(compare(&good, &good, &Tolerance::default())
+            .unwrap()
+            .passed());
+
+        // Rows at different job counts are never compared to each other.
+        let cross = parse(
+            r#"{"bench":"monorepo","rows":[
+                {"units":5000,"jobs":1,"cold_ms":1000.0,"noop_ms":10.0,"leaf_edit_ms":30.0},
+                {"units":50000,"jobs":4,"cold_ms":11000.0,"noop_ms":9999.0,"leaf_edit_ms":300.0}]}"#,
+        );
+        assert!(compare(&cross, &cross, &Tolerance::default())
+            .unwrap()
+            .passed());
     }
 
     #[test]

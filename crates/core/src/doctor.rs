@@ -14,6 +14,7 @@
 //! |---------------------|-----------------------------------------|--------------------------------|
 //! | `stamps.json`       | magic + digest + decode                 | delete (stamps are hints)      |
 //! | `bins.pack`         | index decode, per-body digest           | rewrite keeping valid bodies   |
+//! | `deps.pack`         | magic + digest + structural decode      | delete (re-derived next build) |
 //! | `builds.jsonl`      | [`Ledger::audit`]                       | [`Ledger::compact_valid`]      |
 //! | CAS store           | [`Store::verify`] + `tmp/` litter scan  | quarantine + sweep litter      |
 //! | daemon sock + lock  | lockfile pid liveness                   | remove stale sock + lock       |
@@ -155,6 +156,8 @@ pub fn run(opts: &DoctorOptions) -> DoctorReport {
     audit_stamps(&opts.bin_dir, opts.fix, &mut findings);
     checked.push("pack".to_string());
     audit_pack(&opts.bin_dir, opts.fix, &mut findings);
+    checked.push("deps".to_string());
+    audit_deps(&opts.bin_dir, opts.fix, &mut findings);
     checked.push("ledger".to_string());
     audit_ledger(&opts.bin_dir, opts.fix, &mut findings);
     if let Some(root) = &opts.store {
@@ -287,6 +290,27 @@ fn audit_pack(bin_dir: &Path, fix: bool, findings: &mut Vec<DoctorFinding>) {
                 rewrite_pack(&path, &good).map_err(|e| e.to_string())
             }));
         }
+    }
+}
+
+/// The import-DAG sidecar is pure derived state: a corrupt `deps.pack`
+/// is simply deleted and the next build re-derives the graph from the
+/// per-unit analyses (then republishes the sidecar).
+fn audit_deps(bin_dir: &Path, fix: bool, findings: &mut Vec<DoctorFinding>) {
+    let path = bin_dir.join(crate::depgraph::DEPS_FILE);
+    if !path.is_file() {
+        return;
+    }
+    if let Err(reason) = crate::depgraph::DepGraph::audit(&path) {
+        let f = finding(
+            "deps",
+            &path,
+            format!("corrupt import-DAG sidecar: {reason}"),
+            "delete (next build re-derives the graph from analyses)",
+        );
+        findings.push(apply_fix(f, fix, || {
+            std::fs::remove_file(&path).map_err(|e| e.to_string())
+        }));
     }
 }
 
@@ -497,6 +521,8 @@ mod tests {
         let dir = temp("repair");
         // Corrupt stamps: right magic, garbage payload.
         std::fs::write(dir.join("stamps.json"), b"SMLSSTM2garbage").unwrap();
+        // Corrupt import-DAG sidecar: right magic, garbage payload.
+        std::fs::write(dir.join("deps.pack"), b"SMLSDEP1garbage").unwrap();
         // Torn ledger tail.
         std::fs::write(dir.join("builds.jsonl"), b"{\"v\":9,\"truncated").unwrap();
         // Commit litter.
@@ -509,7 +535,7 @@ mod tests {
         assert_eq!(report.verdict(), DoctorVerdict::IssuesFound);
         assert_eq!(report.exit_code(), 4);
         let states: Vec<&str> = report.findings.iter().map(|f| f.state.as_str()).collect();
-        for want in ["stamps", "ledger", "daemon", "litter"] {
+        for want in ["stamps", "deps", "ledger", "daemon", "litter"] {
             assert!(states.contains(&want), "missing finding for {want}");
         }
         // The report is valid JSON naming the verdict.

@@ -84,6 +84,7 @@ use smlsc_store::Store;
 use smlsc_trace::{self as trace, names, RebuildDecision};
 
 use crate::compile::{analyze_source, compile_unit, source_pid, CompileTimings, ImportSource};
+use crate::depgraph::{self, DepGraph};
 use crate::link::{link_and_execute, DynEnv};
 use crate::pack::{PackReader, PackWriter, PACK_FILE, PACK_VERSION};
 use crate::stamps::{StampCache, StampEntry};
@@ -218,9 +219,15 @@ pub fn observe(mtime: u64) {
 }
 
 /// A project: named source files with virtual mtimes.
+///
+/// Lookups and replacements go through a name→slot index, so building a
+/// project of N files (and re-stating it, as the daemon's watcher does)
+/// is O(N), not O(N²) — at monorepo scale the linear scan per `add` was
+/// the single largest term in the warm no-op wall time.
 #[derive(Debug, Clone, Default)]
 pub struct Project {
     files: Vec<SourceFile>,
+    index: HashMap<Symbol, usize>,
 }
 
 impl Project {
@@ -229,20 +236,28 @@ impl Project {
         Project::default()
     }
 
+    /// Inserts `f`, replacing any existing file of the same name.
+    fn upsert(&mut self, f: SourceFile) {
+        match self.index.entry(f.name) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.files[*slot.get()] = f;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.files.len());
+                self.files.push(f);
+            }
+        }
+    }
+
     /// Adds a file (or replaces one of the same name), stamping it with a
     /// fresh mtime.
     pub fn add(&mut self, name: impl Into<String>, text: impl Into<String>) {
         let name = Symbol::intern(&name.into());
-        let f = SourceFile {
+        self.upsert(SourceFile {
             name,
             text: SourceText::Inline(text.into()),
             mtime: tick(),
-        };
-        if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
-            *existing = f;
-        } else {
-            self.files.push(f);
-        }
+        });
     }
 
     /// Adds a file stamped with an externally observed mtime (nanoseconds
@@ -252,16 +267,11 @@ impl Project {
     pub fn add_with_mtime(&mut self, name: impl Into<String>, text: impl Into<String>, mtime: u64) {
         observe(mtime);
         let name = Symbol::intern(&name.into());
-        let f = SourceFile {
+        self.upsert(SourceFile {
             name,
             text: SourceText::Inline(text.into()),
             mtime,
-        };
-        if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
-            *existing = f;
-        } else {
-            self.files.push(f);
-        }
+        });
     }
 
     /// Adds a lazily read on-disk file (or replaces one of the same
@@ -276,7 +286,7 @@ impl Project {
     ) {
         observe(mtime_ns);
         let name = Symbol::intern(&name.into());
-        let f = SourceFile {
+        self.upsert(SourceFile {
             name,
             text: SourceText::Lazy {
                 path: path.into(),
@@ -284,12 +294,7 @@ impl Project {
                 cell: Arc::new(OnceLock::new()),
             },
             mtime: mtime_ns,
-        };
-        if let Some(existing) = self.files.iter_mut().find(|f| f.name == name) {
-            *existing = f;
-        } else {
-            self.files.push(f);
-        }
+        });
     }
 
     /// Scans `dir` for `*.sml` files and builds a project of *lazy*
@@ -303,6 +308,7 @@ impl Project {
     /// [`CoreError::Io`] when the directory cannot be listed or a file
     /// cannot be stat'ed.
     pub fn from_dir(dir: &Path) -> Result<Project, CoreError> {
+        let _span = trace::span(names::SPAN_SCAN);
         let rd =
             std::fs::read_dir(dir).map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
         let mut files: Vec<(String, PathBuf, u64, u64)> = Vec::new();
@@ -342,10 +348,15 @@ impl Project {
     /// [`CoreError::UnknownUnit`] when no such file exists.
     pub fn remove(&mut self, name: &str) -> Result<(), CoreError> {
         let name = Symbol::intern(name);
-        let before = self.files.len();
-        self.files.retain(|f| f.name != name);
-        if self.files.len() == before {
+        let Some(slot) = self.index.remove(&name) else {
             return Err(CoreError::UnknownUnit(name));
+        };
+        self.files.remove(slot);
+        // Removal shifts every later slot down one; repair the index.
+        for f in &self.files[slot..] {
+            if let Some(ix) = self.index.get_mut(&f.name) {
+                *ix -= 1;
+            }
         }
         Ok(())
     }
@@ -358,11 +369,8 @@ impl Project {
     pub fn edit(&mut self, name: &str, text: impl Into<String>) -> Result<(), CoreError> {
         let name = Symbol::intern(name);
         let clock = tick();
-        let f = self
-            .files
-            .iter_mut()
-            .find(|f| f.name == name)
-            .ok_or(CoreError::UnknownUnit(name))?;
+        let slot = *self.index.get(&name).ok_or(CoreError::UnknownUnit(name))?;
+        let f = &mut self.files[slot];
         f.text = SourceText::Inline(text.into());
         f.mtime = clock;
         Ok(())
@@ -376,12 +384,8 @@ impl Project {
     pub fn touch(&mut self, name: &str) -> Result<(), CoreError> {
         let name = Symbol::intern(name);
         let clock = tick();
-        let f = self
-            .files
-            .iter_mut()
-            .find(|f| f.name == name)
-            .ok_or(CoreError::UnknownUnit(name))?;
-        f.mtime = clock;
+        let slot = *self.index.get(&name).ok_or(CoreError::UnknownUnit(name))?;
+        self.files[slot].mtime = clock;
         Ok(())
     }
 
@@ -393,7 +397,7 @@ impl Project {
     /// Looks up a file.
     pub fn file(&self, name: &str) -> Option<&SourceFile> {
         let name = Symbol::intern(name);
-        self.files.iter().find(|f| f.name == name)
+        self.index.get(&name).map(|&slot| &self.files[slot])
     }
 
     /// Total source lines across the project (forces lazy reads).
@@ -671,17 +675,21 @@ pub struct Irm {
     /// True while `bins` is byte-equivalent to `pack_path`'s contents,
     /// letting a no-op save skip rewriting the archive entirely.
     pack_synced: bool,
+    /// The resolved import DAG from the previous build or the
+    /// `deps.pack` sidecar.  Never trusted blindly: every build
+    /// revalidates it against fresh analyses (per-unit `deps_pid`)
+    /// before reuse, so a stale or torn sidecar costs a re-derivation,
+    /// never a wrong schedule.
+    graph: Option<Arc<DepGraph>>,
+    /// True while `graph` matches what `deps.pack` on disk holds,
+    /// letting a no-op save skip rewriting the sidecar.
+    graph_synced: bool,
 }
 
-#[derive(Debug, Clone)]
-struct CachedAnalysis {
-    source_pid: Pid,
-    /// Digest of the token stream: comment/whitespace edits change
-    /// `source_pid` but not this, so the analysis still hits.
-    deps_pid: Pid,
-    imports: Vec<Symbol>,
-    exports: Vec<Symbol>,
-}
+/// The per-file analysis record — digests plus import/export lists.
+/// This is [`crate::stamps::Analysis`] so a stamp hit shares the stamp
+/// cache's `Arc` directly instead of cloning the vectors per build.
+type CachedAnalysis = crate::stamps::Analysis;
 
 /// How one file's analysis was obtained (drives which counters bump).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -721,18 +729,10 @@ fn analyze_one(
         if let Some(path) = f.path() {
             let key = path.to_string_lossy();
             if let Some(e) = stamps.lookup(&key, f.name, f.mtime, f.size()) {
-                let analysis = match deps_cache.get(&f.name) {
-                    // Share the existing Arc when it matches the stamp.
-                    Some(c) if c.source_pid == e.source_pid => Arc::clone(c),
-                    _ => Arc::new(CachedAnalysis {
-                        source_pid: e.source_pid,
-                        deps_pid: e.deps_pid,
-                        imports: e.imports.clone(),
-                        exports: e.exports.clone(),
-                    }),
-                };
+                // The stamp cache shares its analysis by Arc: a hit is
+                // a refcount bump, never a clone of the vectors.
                 return Ok(FileAnalysis {
-                    analysis,
+                    analysis: Arc::clone(&e.analysis),
                     hit: AnalysisHit::Stamp,
                 });
             }
@@ -867,6 +867,7 @@ impl Irm {
     /// Loads the persistent stamp cache from `path` (missing or corrupt
     /// files degrade silently to an empty cache).
     pub fn load_stamps(&mut self, path: &Path) {
+        let _span = trace::span(names::SPAN_LOAD_STAMPS);
         self.stamps = StampCache::load(path);
     }
 
@@ -919,6 +920,10 @@ impl Irm {
             && self.pack_path.as_deref() == Some(&pack_path)
             && pack_path.is_file()
         {
+            // The archive stands; the import-DAG sidecar may still need
+            // its first write (e.g. a warm build over a pre-sidecar
+            // cache directory).
+            self.save_deps(dir)?;
             return Ok(());
         }
         std::fs::create_dir_all(dir)
@@ -1011,6 +1016,24 @@ impl Irm {
         self.dirty.clear();
         self.pack_path = Some(pack_path);
         self.pack_synced = true;
+        self.save_deps(dir)?;
+        Ok(())
+    }
+
+    /// Persists the import-DAG sidecar next to the pack when the graph
+    /// changed (was derived fresh this session); a no-op when the
+    /// on-disk sidecar already matches or no build has produced a graph.
+    fn save_deps(&mut self, dir: &Path) -> Result<(), CoreError> {
+        let Some(g) = &self.graph else {
+            return Ok(());
+        };
+        if self.graph_synced {
+            return Ok(());
+        }
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", dir.display())))?;
+        depgraph::save_sidecar(g, dir)?;
+        self.graph_synced = true;
         Ok(())
     }
 
@@ -1094,7 +1117,7 @@ impl Irm {
     ///
     /// [`CoreError::Io`] when `dir` itself cannot be listed.
     pub fn load_bins(&mut self, dir: &Path) -> Result<BinLoadOutcome, CoreError> {
-        let _span = trace::span("irm.load_bins");
+        let _span = trace::span(names::SPAN_LOAD_BINS);
         let mut out = BinLoadOutcome::default();
         let pack_path = dir.join(PACK_FILE);
         let mut pack_ok = false;
@@ -1251,6 +1274,13 @@ impl Irm {
             && out.corrupt.is_empty()
             && legacy == 0
             && self.bins.len() == pack_entries;
+        // The import-DAG sidecar rides along with the pack.  Missing or
+        // corrupt reads as absent — the next build derives the graph
+        // from analyses and rewrites it.
+        if let Some(g) = depgraph::load_sidecar(dir) {
+            self.graph = Some(Arc::new(g));
+            self.graph_synced = true;
+        }
         Ok(out)
     }
 
@@ -1261,8 +1291,8 @@ impl Irm {
     /// Parse errors, unresolved or duplicate exports, or an import cycle.
     pub fn plan(&mut self, project: &Project) -> Result<Vec<Symbol>, CoreError> {
         let analyses = self.analyze_all(project, 1)?;
-        let exporters = exporters(&analyses)?;
-        topo_order(project, &analyses, &exporters)
+        let graph = self.dep_graph(project, &analyses)?;
+        Ok(graph.order().to_vec())
     }
 
     /// The resolved import DAG in topological order: for every unit,
@@ -1280,20 +1310,110 @@ impl Irm {
         project: &Project,
     ) -> Result<Vec<(Symbol, Vec<Symbol>)>, CoreError> {
         let analyses = self.analyze_all(project, 1)?;
-        let exporters = exporters(&analyses)?;
-        let order = topo_order(project, &analyses, &exporters)?;
-        Ok(order
-            .into_iter()
-            .map(|unit| {
-                let imports = analyses[&unit]
-                    .imports
-                    .iter()
-                    .map(|n| exporters[n])
-                    .collect::<Vec<_>>()
-                    .dedup_stable();
-                (unit, imports)
-            })
+        let graph = self.dep_graph(project, &analyses)?;
+        Ok((0..graph.len())
+            .map(|i| (graph.order()[i], graph.import_units(i).to_vec()))
             .collect())
+    }
+
+    /// The resolved import DAG for this build.  Reused from the
+    /// previous build or the `deps.pack` sidecar whenever every unit's
+    /// `deps_pid` still matches its fresh analysis — imports and
+    /// exports are functions of the token stream, so equal pids imply
+    /// the identical graph *and* the identical topological order.
+    /// Anything else (first build, edited interface, added or removed
+    /// unit, stale or torn sidecar) re-derives from the analyses.
+    fn dep_graph(
+        &mut self,
+        project: &Project,
+        analyses: &HashMap<Symbol, Arc<CachedAnalysis>>,
+    ) -> Result<Arc<DepGraph>, CoreError> {
+        let _span = trace::span(names::SPAN_GRAPH).field("units", analyses.len());
+        if let Some(g) = &self.graph {
+            if graph_is_current(g, analyses) {
+                trace::counter(names::DEPS_PACK_HITS, 1);
+                return Ok(Arc::clone(g));
+            }
+        }
+        trace::counter(names::DEPS_PACK_MISSES, 1);
+        let exporters = exporters(analyses)?;
+        let order = topo_order(project, analyses, &exporters)?;
+        let index_of: HashMap<Symbol, usize> =
+            order.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+        let mut deps_pids = Vec::with_capacity(order.len());
+        let mut import_idx = Vec::with_capacity(order.len());
+        for name in &order {
+            let a = &analyses[name];
+            deps_pids.push(a.deps_pid);
+            let units: Vec<Symbol> = a
+                .imports
+                .iter()
+                .map(|n| exporters[n])
+                .collect::<Vec<_>>()
+                .dedup_stable();
+            import_idx.push(units.iter().map(|u| index_of[u]).collect());
+        }
+        let g = Arc::new(DepGraph::new(order, deps_pids, import_idx));
+        self.graph = Some(Arc::clone(&g));
+        self.graph_synced = false;
+        Ok(g)
+    }
+
+    /// The dirty cone: which topological slots this build must actually
+    /// schedule.  One cheap pre-pass decides every unit against its
+    /// *old* bins (no import treated as rebuilt); units that require a
+    /// recompile on that evidence **seed** the cone, and the cone is
+    /// the seed plus its transitive dependents.  A unit outside the
+    /// cone has an unchanged source, identical import pids, and no
+    /// rebuilt import, so its final decision is exactly
+    /// [`RebuildDecision::Reused`] — the build synthesizes it without
+    /// dispatching, making scheduler work proportional to the edit's
+    /// cone rather than the project size.
+    fn dirty_cone(
+        &self,
+        graph: &DepGraph,
+        analyses: &HashMap<Symbol, Arc<CachedAnalysis>>,
+        file_index: &HashMap<Symbol, &SourceFile>,
+    ) -> Vec<bool> {
+        let _span = trace::span(names::SPAN_DIRTY).field("units", graph.len());
+        let strategy = self.strategy();
+        let order = graph.order();
+        let mut in_cone = vec![false; order.len()];
+        let mut seed = 0u64;
+        for (i, name) in order.iter().enumerate() {
+            // A dirty import puts the unit in the cone regardless of
+            // its own state; its real decision happens at dispatch.
+            if graph.import_idx(i).iter().any(|&j| in_cone[j]) {
+                in_cone[i] = true;
+                continue;
+            }
+            let decision = decide_unit(
+                strategy,
+                file_index[name],
+                analyses[name].source_pid,
+                graph.import_units(i),
+                self.bins.get(name).map(|e| &e.meta),
+                &|u| {
+                    self.bins.get(&u).map(|e| ImportFacts {
+                        export_pid: e.meta.export_pid,
+                        mtime: e.meta.mtime,
+                        rebuilt: false,
+                    })
+                },
+            );
+            if decision.requires_recompile() {
+                in_cone[i] = true;
+                seed += 1;
+            }
+        }
+        let cone = in_cone.iter().filter(|b| **b).count() as u64;
+        if seed > 0 {
+            trace::counter(names::SCHED_DIRTY_SEED, seed);
+        }
+        if cone > 0 {
+            trace::counter(names::SCHED_DIRTY_CONE, cone);
+        }
+        in_cone
     }
 
     /// Analyzes every file, cheapest evidence first — stamp cache (no
@@ -1307,6 +1427,9 @@ impl Irm {
         project: &Project,
         jobs: usize,
     ) -> Result<HashMap<Symbol, Arc<CachedAnalysis>>, CoreError> {
+        let _span = trace::span(names::SPAN_ANALYZE_ALL)
+            .field("files", project.files().len())
+            .field("jobs", jobs);
         let files = project.files();
         let results: Vec<Result<FileAnalysis, CoreError>> = {
             let deps_cache = &self.deps_cache;
@@ -1350,8 +1473,12 @@ impl Irm {
         };
         // Deterministic merge in file order: counters, stamp records,
         // deps-cache updates, and the first error (if any) all follow
-        // project order regardless of worker scheduling.
-        let mut out = HashMap::new();
+        // project order regardless of worker scheduling.  Capacity
+        // hints up front: growing two 100k-entry maps through repeated
+        // rehashes is real, cache-hostile work at monorepo scale.
+        let mut out = HashMap::with_capacity(files.len());
+        self.deps_cache
+            .reserve(files.len().saturating_sub(self.deps_cache.len()));
         for (f, r) in files.iter().zip(results) {
             let fa = r?;
             let stamped = !self.paranoid && f.path().is_some();
@@ -1370,19 +1497,21 @@ impl Irm {
                     trace::counter(names::DEPS_CACHE_MISSES, 1);
                 }
             }
-            if let Some(path) = f.path() {
-                self.stamps.record(
-                    path.to_string_lossy().into_owned(),
-                    StampEntry {
-                        unit: f.name,
-                        mtime_ns: f.mtime,
-                        size: f.size(),
-                        source_pid: fa.analysis.source_pid,
-                        deps_pid: fa.analysis.deps_pid,
-                        imports: fa.analysis.imports.clone(),
-                        exports: fa.analysis.exports.clone(),
-                    },
-                );
+            // A stamp hit *is* the recorded entry (same unit, mtime,
+            // size, and the analysis it produced); re-recording it would
+            // only clone the import/export vectors per file per build.
+            if fa.hit != AnalysisHit::Stamp {
+                if let Some(path) = f.path() {
+                    self.stamps.record(
+                        path.to_string_lossy().into_owned(),
+                        StampEntry {
+                            unit: f.name,
+                            mtime_ns: f.mtime,
+                            size: f.size(),
+                            analysis: Arc::clone(&fa.analysis),
+                        },
+                    );
+                }
             }
             self.deps_cache.insert(f.name, Arc::clone(&fa.analysis));
             out.insert(f.name, fa.analysis);
@@ -1408,8 +1537,8 @@ impl Irm {
     ) -> Result<BuildReport, CoreError> {
         let strategy = self.strategy();
         let analyses = self.analyze_all(project, 1)?;
-        let exporters = exporters(&analyses)?;
-        let order = topo_order(project, &analyses, &exporters)?;
+        let graph = self.dep_graph(project, &analyses)?;
+        let order = graph.order();
         let _build_span = trace::span(names::SPAN_BUILD)
             .field("strategy", strategy)
             .field("units", order.len());
@@ -1417,10 +1546,11 @@ impl Irm {
         // per unit (that made large builds quadratic).
         let file_index: HashMap<Symbol, &SourceFile> =
             project.files().iter().map(|f| (f.name, f)).collect();
+        let in_cone = self.dirty_cone(&graph, &analyses, &file_index);
 
         let mut report = BuildReport {
             strategy,
-            order: order.clone(),
+            order: order.to_vec(),
             ..BuildReport::default()
         };
         // Environments materialized this build (fresh or rehydrated).
@@ -1432,17 +1562,19 @@ impl Irm {
         // transitive dependent closure.
         let mut failed_or_skipped: HashSet<Symbol> = HashSet::new();
 
-        for name in &order {
+        for (i, name) in order.iter().enumerate() {
+            if !in_cone[i] {
+                // The pre-pass proved this unit's final decision is
+                // `Reused` (unchanged source, identical import pids,
+                // no import in the cone): record it without touching
+                // the store, the stamp machinery, or the panic guard.
+                synthesize_reused(&mut report, *name);
+                continue;
+            }
             let file = file_index[name];
-            let analysis = &analyses[name];
-            let sp = analysis.source_pid;
+            let sp = analyses[name].source_pid;
             // Import units in deterministic (sorted-name) slot order.
-            let import_units: Vec<Symbol> = analysis
-                .imports
-                .iter()
-                .map(|n| exporters[n])
-                .collect::<Vec<_>>()
-                .dedup_stable();
+            let import_units = graph.import_units(i);
 
             if !failed_or_skipped.is_empty() {
                 let blocked_on: Vec<Symbol> = import_units
@@ -1461,7 +1593,7 @@ impl Irm {
                 strategy,
                 file,
                 sp,
-                &import_units,
+                import_units,
                 self.bins.get(name).map(|e| &e.meta),
                 &|u| {
                     self.bins.get(&u).map(|e| ImportFacts {
@@ -1477,7 +1609,7 @@ impl Irm {
             // store: the cache key is the unit's exact compile inputs,
             // so a verified object under it is the compile result.
             let store_key = match (&self.store, needs) {
-                (Some(_), true) => self.store_key_for(sp, &import_units),
+                (Some(_), true) => self.store_key_for(sp, import_units),
                 _ => None,
             };
 
@@ -1486,7 +1618,7 @@ impl Irm {
             // compiler bug fails this unit, not the whole build.
             let step = isolate_unit(*name, || {
                 if let Some(key) = store_key {
-                    if let Some(bin) = self.try_store_fetch(key, *name, sp, &import_units) {
+                    if let Some(bin) = self.try_store_fetch(key, *name, sp, import_units) {
                         return Ok(SeqStep::FromStore { key, bin });
                     }
                 }
@@ -1496,8 +1628,7 @@ impl Irm {
                 let sources: Vec<ImportSource> = import_units
                     .iter()
                     .map(|u| {
-                        let exports =
-                            self.force_env(*u, &analyses, &exporters, &mut envs, &mut report)?;
+                        let exports = self.force_env(*u, &graph, &mut envs, &mut report)?;
                         let pid = self
                             .bins
                             .get(u)
@@ -1726,8 +1857,8 @@ impl Irm {
     ) -> Result<BuildReport, CoreError> {
         let strategy = self.strategy();
         let analyses = self.analyze_all(project, jobs)?;
-        let exporters = exporters(&analyses)?;
-        let order = topo_order(project, &analyses, &exporters)?;
+        let graph = self.dep_graph(project, &analyses)?;
+        let order = graph.order();
         let n = order.len();
         let workers = jobs.min(n.max(1));
         let _build_span = trace::span(names::SPAN_BUILD)
@@ -1737,63 +1868,86 @@ impl Irm {
 
         let file_index: HashMap<Symbol, &SourceFile> =
             project.files().iter().map(|f| (f.name, f)).collect();
-        let index_of: HashMap<Symbol, usize> =
-            order.iter().enumerate().map(|(i, s)| (*s, i)).collect();
-        // Deduped import units per topo slot, and the same as indices.
-        let import_units: Vec<Vec<Symbol>> = order
-            .iter()
-            .map(|name| {
-                analyses[name]
-                    .imports
-                    .iter()
-                    .map(|n| exporters[n])
-                    .collect::<Vec<_>>()
-                    .dedup_stable()
-            })
-            .collect();
-        let import_idx: Vec<Vec<usize>> = import_units
-            .iter()
-            .map(|us| us.iter().map(|u| index_of[u]).collect())
-            .collect();
+        let in_cone = self.dirty_cone(&graph, &analyses, &file_index);
 
-        // The longest import chain bounds wall-clock time no matter how
-        // many workers run; total/critical is the DAG's speedup ceiling.
-        let mut chain = vec![1usize; n];
-        for i in 0..n {
-            for &d in &import_idx[i] {
-                chain[i] = chain[i].max(chain[d] + 1);
+        if !in_cone.contains(&true) {
+            // Nothing to schedule: the whole report is synthesized
+            // reuses.  No workers, no channels, no per-unit slots.
+            let mut report = BuildReport {
+                strategy,
+                order: order.to_vec(),
+                ..BuildReport::default()
+            };
+            for name in order {
+                synthesize_reused(&mut report, *name);
             }
+            return Ok(report);
         }
-        let critical_path = chain.into_iter().max().unwrap_or(0);
+
+        // The longest *scheduled* import chain bounds wall-clock time no
+        // matter how many workers run; units outside the cone are
+        // settled before the wavefront starts, so only cone edges count.
+        let mut chain = vec![0usize; n];
+        let mut critical_path = 0usize;
+        let mut scheduled = 0usize;
+        for i in 0..n {
+            if !in_cone[i] {
+                continue;
+            }
+            scheduled += 1;
+            chain[i] = 1;
+            for &d in graph.import_idx(i) {
+                if in_cone[d] {
+                    chain[i] = chain[i].max(chain[d] + 1);
+                }
+            }
+            critical_path = critical_path.max(chain[i]);
+        }
         trace::counter(names::CRITICAL_PATH, critical_path as u64);
         trace::event(names::BUILD_PARALLELISM)
             .field("critical_path", critical_path)
-            .field("units", n)
+            .field("units", scheduled)
             .field("jobs", workers);
 
         let outcomes: Vec<OnceLock<Result<TaskOutcome, CoreError>>> =
             (0..n).map(|_| OnceLock::new()).collect();
         {
+            // Env slots exist for *every* unit, not just the cone: a
+            // cone unit may rehydrate an out-of-cone import's exports.
             let envs: Vec<EnvSlot> = (0..n).map(|_| OnceLock::new()).collect();
             let shared = ParallelShared {
                 strategy,
-                order: &order,
+                graph: &graph,
                 file_index: &file_index,
-                index_of: &index_of,
                 analyses: &analyses,
-                import_units: &import_units,
-                import_idx: &import_idx,
                 old_bins: &self.bins,
                 store: self.store.as_deref(),
                 envs: &envs,
                 outcomes: &outcomes,
             };
 
-            let mut indegree: Vec<usize> = import_idx.iter().map(Vec::len).collect();
+            // Scheduling state covers cone units only; an out-of-cone
+            // unit is never dispatched (its slot stays empty and the
+            // merge phase synthesizes its reuse).  The cone is
+            // dependent-closed, so a non-cone unit never has a cone
+            // import and needs no in-degree.
+            let mut indegree: Vec<usize> = (0..n)
+                .map(|i| {
+                    if !in_cone[i] {
+                        return usize::MAX; // never reaches zero
+                    }
+                    graph.import_idx(i).iter().filter(|&&d| in_cone[d]).count()
+                })
+                .collect();
             let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
-            for (i, deps) in import_idx.iter().enumerate() {
-                for &d in deps {
-                    dependents[d].push(i);
+            for i in 0..n {
+                if !in_cone[i] {
+                    continue;
+                }
+                for &d in graph.import_idx(i) {
+                    if in_cone[d] {
+                        dependents[d].push(i);
+                    }
                 }
             }
 
@@ -1822,7 +1976,8 @@ impl Irm {
                                 // The per-unit panic guard: a panicking
                                 // compiler fails this unit, never the
                                 // worker (the pool survives and drains).
-                                let res = isolate_unit(shared.order[i], || shared.run_task(i));
+                                let res =
+                                    isolate_unit(shared.graph.order()[i], || shared.run_task(i));
                                 let ok = res.is_ok();
                                 let _ = shared.outcomes[i].set(res);
                                 if done_tx.send((i, ok)).is_err() {
@@ -1907,7 +2062,7 @@ impl Irm {
         // matter which worker finished when.
         let mut report = BuildReport {
             strategy,
-            order: order.clone(),
+            order: order.to_vec(),
             ..BuildReport::default()
         };
         match policy {
@@ -1921,6 +2076,14 @@ impl Irm {
                     .position(|slot| matches!(slot.get(), Some(Err(_))))
                     .unwrap_or(n);
                 for (i, slot) in outcomes.into_iter().enumerate() {
+                    if !in_cone[i] {
+                        // The sequential loop would have recorded the
+                        // synthesized reuse up to its stopping point.
+                        if i < limit {
+                            synthesize_reused(&mut report, order[i]);
+                        }
+                        continue;
+                    }
                     let Some(res) = slot.into_inner() else {
                         continue; // gated off by an earlier failure
                     };
@@ -1953,6 +2116,13 @@ impl Irm {
                 let mut failed_or_skipped: HashSet<Symbol> = HashSet::new();
                 for (i, slot) in outcomes.into_iter().enumerate() {
                     let name = order[i];
+                    if !in_cone[i] {
+                        // Never dispatched *and* never poisoned: the
+                        // cone is dependent-closed, so a failure can
+                        // only block units inside it.
+                        synthesize_reused(&mut report, name);
+                        continue;
+                    }
                     match slot.into_inner() {
                         Some(Ok(out)) => self.merge_outcome(name, out, &mut report),
                         Some(Err(e)) => {
@@ -1960,7 +2130,8 @@ impl Irm {
                             failed_or_skipped.insert(name);
                         }
                         None => {
-                            let blocked_on: Vec<Symbol> = import_units[i]
+                            let blocked_on: Vec<Symbol> = graph
+                                .import_units(i)
                                 .iter()
                                 .copied()
                                 .filter(|u| failed_or_skipped.contains(u))
@@ -2016,8 +2187,7 @@ impl Irm {
     fn force_env(
         &self,
         unit: Symbol,
-        analyses: &HashMap<Symbol, Arc<CachedAnalysis>>,
-        exporters: &HashMap<Symbol, Symbol>,
+        graph: &DepGraph,
         envs: &mut HashMap<Symbol, Arc<Bindings>>,
         report: &mut BuildReport,
     ) -> Result<Arc<Bindings>, CoreError> {
@@ -2027,15 +2197,10 @@ impl Irm {
         }
         trace::counter(names::ENV_CACHE_MISSES, 1);
         // Rehydrate against the unit's own imports, recursively.
-        let import_units: Vec<Symbol> = analyses[&unit]
-            .imports
-            .iter()
-            .map(|n| exporters[n])
-            .collect::<Vec<_>>()
-            .dedup_stable();
+        let slot = graph.index_of(unit).ok_or(CoreError::UnknownUnit(unit))?;
         let mut ctx_envs = Vec::new();
-        for u in &import_units {
-            ctx_envs.push(self.force_env(*u, analyses, exporters, envs, report)?);
+        for &d in graph.import_idx(slot) {
+            ctx_envs.push(self.force_env(graph.order()[d], graph, envs, report)?);
         }
         let bin = self
             .bins
@@ -2151,13 +2316,19 @@ fn decide_unit(
             }
             // Import identity drift: an export moved to a different
             // unit without this source changing.  The slot's pid
-            // necessarily refers to something else now.
-            let old_units: Vec<Symbol> = bin.imports.iter().map(|e| e.unit).collect();
-            if old_units != import_units {
-                let n = old_units.len().max(import_units.len());
+            // necessarily refers to something else now.  (Checked
+            // without allocating — this runs once per unit per build.)
+            if bin.imports.len() != import_units.len()
+                || bin
+                    .imports
+                    .iter()
+                    .zip(import_units)
+                    .any(|(e, u)| e.unit != *u)
+            {
+                let n = bin.imports.len().max(import_units.len());
                 for i in 0..n {
-                    let old = old_units.get(i);
-                    let new = import_units.get(i);
+                    let old = bin.imports.get(i).map(|e| e.unit);
+                    let new = import_units.get(i).copied();
                     if old != new {
                         let import = new.or(old).expect("one side exists");
                         return RebuildDecision::ImportPidChanged {
@@ -2167,7 +2338,7 @@ fn decide_unit(
                                 .get(i)
                                 .map_or_else(|| "none".to_string(), |e| e.pid.to_string()),
                             new: new
-                                .and_then(|u| facts(*u))
+                                .and_then(facts)
                                 .map_or_else(|| "none".to_string(), |f| f.export_pid.to_string()),
                         };
                     }
@@ -2316,6 +2487,34 @@ fn compile_unit_injected(
     compile_unit(name, source, sources)
 }
 
+/// Records a unit the dirty-cone pre-pass proved reusable, without
+/// dispatching it: same decision, counters and report entries the full
+/// decide path would have produced (the pre-pass guarantees the final
+/// decision is exactly `Reused` — never `CutOff`, which needs a rebuilt
+/// import, impossible outside the cone).
+fn synthesize_reused(report: &mut BuildReport, name: Symbol) {
+    trace::event("irm.decision")
+        .field("unit", name.as_str())
+        .field("kind", RebuildDecision::Reused.kind());
+    trace::counter(names::UNITS_REUSED, 1);
+    report.decisions.push((name, RebuildDecision::Reused));
+    report.reused.push(name);
+    report.outcomes.push((name, UnitOutcome::Reused));
+}
+
+/// True when `g` still describes exactly this set of analyses: same
+/// unit set, and every unit's token digest unchanged.  Imports and
+/// exports are functions of the token stream, so equal `deps_pid`s
+/// imply the same export map, the same resolved imports, and (the
+/// derivation being deterministic) the same topological order.
+fn graph_is_current(g: &DepGraph, analyses: &HashMap<Symbol, Arc<CachedAnalysis>>) -> bool {
+    g.len() == analyses.len()
+        && g.order()
+            .iter()
+            .enumerate()
+            .all(|(i, u)| analyses.get(u).is_some_and(|a| a.deps_pid == g.deps_pid(i)))
+}
+
 /// Records one failed unit (keep-going): counter, event, report entry.
 fn record_failure(report: &mut BuildReport, name: Symbol, error: CoreError) {
     trace::counter(names::UNITS_FAILED, 1);
@@ -2391,12 +2590,10 @@ struct TaskOutcome {
 /// Read-only build state shared by every wavefront worker.
 struct ParallelShared<'a> {
     strategy: Strategy,
-    order: &'a [Symbol],
+    /// Topological order and resolved imports, by slot and by name.
+    graph: &'a DepGraph,
     file_index: &'a HashMap<Symbol, &'a SourceFile>,
-    index_of: &'a HashMap<Symbol, usize>,
     analyses: &'a HashMap<Symbol, Arc<CachedAnalysis>>,
-    import_units: &'a [Vec<Symbol>],
-    import_idx: &'a [Vec<usize>],
     /// The bin store as of the start of the build.  New bins live in
     /// `outcomes` until the coordinator merges them, so old state stays
     /// readable (a unit's *own* decision reads its pre-build bin).
@@ -2414,7 +2611,7 @@ impl ParallelShared<'_> {
     /// scheduler dispatches a unit after all its imports finish), so the
     /// outcome slot read is never racy.
     fn facts(&self, u: Symbol) -> Option<ImportFacts> {
-        if let Some(&j) = self.index_of.get(&u) {
+        if let Some(j) = self.graph.index_of(u) {
             if let Some(Ok(out)) = self.outcomes[j].get() {
                 if let Some(b) = &out.new_bin {
                     return Some(ImportFacts {
@@ -2434,10 +2631,10 @@ impl ParallelShared<'_> {
 
     /// Decide-then-maybe-compile for one unit, on a worker thread.
     fn run_task(&self, i: usize) -> Result<TaskOutcome, CoreError> {
-        let name = self.order[i];
+        let name = self.graph.order()[i];
         let file = self.file_index[&name];
         let sp = self.analyses[&name].source_pid;
-        let units = &self.import_units[i];
+        let units = self.graph.import_units(i);
         let _task = trace::span(names::SPAN_TASK).field("unit", name.as_str());
 
         let decision = decide_unit(
@@ -2515,7 +2712,9 @@ impl ParallelShared<'_> {
             .field("unit", name.as_str())
             .field("kind", decision.kind());
         let mut rehydrate = Duration::ZERO;
-        let sources: Vec<ImportSource> = self.import_idx[i]
+        let sources: Vec<ImportSource> = self
+            .graph
+            .import_idx(i)
             .iter()
             .zip(units)
             .map(|(&j, &u)| {
@@ -2590,9 +2789,9 @@ impl ParallelShared<'_> {
     /// slot (on a cold session there is no old bin at all), which is
     /// safe to read because dependents only dispatch after it settles.
     fn rehydrate_env(&self, j: usize, acc: &mut Duration) -> Result<Arc<Bindings>, CoreError> {
-        let unit = self.order[j];
+        let unit = self.graph.order()[j];
         let mut ctx_envs = Vec::new();
-        for &d in &self.import_idx[j] {
+        for &d in self.graph.import_idx(j) {
             ctx_envs.push(self.force_env(d, acc)?);
         }
         let new_bin = match self.outcomes[j].get() {

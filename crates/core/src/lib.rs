@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod depgraph;
 pub mod doctor;
 pub mod fsutil;
 pub mod groups;
@@ -70,6 +71,7 @@ use std::fmt;
 use smlsc_ids::Symbol;
 
 pub use compile::{compile_unit, CompileOutput, CompileTimings, ImportSource};
+pub use depgraph::{DepGraph, DEPS_FILE};
 pub use doctor::{DoctorReport, DoctorVerdict};
 pub use groups::{Group, GroupedProject};
 pub use hash::{hash_exports, HashError, HashResult};

@@ -248,10 +248,19 @@ fn read_exact_at(file: &std::fs::File, mut buf: &mut [u8], mut offset: u64) -> s
 }
 
 /// An open pack: the parsed index plus a shared handle for body reads.
+///
+/// When the platform supports it the whole file is memory-mapped
+/// read-only ([`smlsc_mmap::Mapping`]): the index decodes straight out
+/// of the page cache with no heap copy of the raw bytes, and body
+/// slices are borrowed from the map instead of `pread`.  Every byte is
+/// still digest-verified exactly as on the fallback path, so torn and
+/// corrupt packs quarantine identically either way (`SMLSC_NO_MMAP=1`
+/// forces the fallback to prove it).
 #[derive(Debug)]
 pub struct PackReader {
     path: PathBuf,
     file: std::fs::File,
+    map: Option<smlsc_mmap::Mapping>,
     version: u8,
     entries: Vec<PackEntry>,
 }
@@ -281,8 +290,17 @@ impl PackReader {
         if total < HEADER_LEN + FOOTER_LEN {
             return Err(corrupt(format!("truncated ({total} bytes)")));
         }
+        let map = smlsc_mmap::Mapping::map(&file, total);
         let mut header = [0u8; HEADER_LEN as usize];
-        read_exact_at(&file, &mut header, 0).map_err(|e| corrupt(e.to_string()))?;
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        if let Some(m) = &map {
+            header.copy_from_slice(&m.bytes()[..HEADER_LEN as usize]);
+            footer.copy_from_slice(&m.bytes()[(total - FOOTER_LEN) as usize..]);
+        } else {
+            read_exact_at(&file, &mut header, 0).map_err(|e| corrupt(e.to_string()))?;
+            read_exact_at(&file, &mut footer, total - FOOTER_LEN)
+                .map_err(|e| corrupt(e.to_string()))?;
+        }
         let version = match (&header[..8], header[8]) {
             (m, PACK_VERSION) if m == PACK_MAGIC => PACK_VERSION,
             (m, LEGACY_PACK_VERSION) if m == LEGACY_PACK_MAGIC => LEGACY_PACK_VERSION,
@@ -293,9 +311,6 @@ impl PackReader {
             }
             _ => return Err(corrupt("bad magic".into())),
         };
-        let mut footer = [0u8; FOOTER_LEN as usize];
-        read_exact_at(&file, &mut footer, total - FOOTER_LEN)
-            .map_err(|e| corrupt(e.to_string()))?;
         // Footer fields: [0..8) offset, [8..16) len, [16..32) digest,
         // [32..40) magic.
         if &footer[32..40] != FOOTER_MAGIC {
@@ -313,21 +328,29 @@ impl PackReader {
         {
             return Err(corrupt("index bounds out of range".into()));
         }
-        let mut index_bytes = vec![
-            0u8;
-            usize::try_from(index_len)
-                .map_err(|_| { corrupt("index too large".into()) })?
-        ];
-        read_exact_at(&file, &mut index_bytes, index_offset).map_err(|e| corrupt(e.to_string()))?;
+        // Mapped: the index is decoded in place, page-cache-resident,
+        // with no heap copy of the raw bytes.  Fallback: one positioned
+        // read into a scratch vector.
+        let mut scratch;
+        let index_bytes: &[u8] = if let Some(m) = &map {
+            &m.bytes()[index_offset as usize..(index_offset + index_len) as usize]
+        } else {
+            scratch = vec![
+                0u8;
+                usize::try_from(index_len)
+                    .map_err(|_| { corrupt("index too large".into()) })?
+            ];
+            read_exact_at(&file, &mut scratch, index_offset).map_err(|e| corrupt(e.to_string()))?;
+            &scratch
+        };
         trace::counter(names::BIN_BYTES_READ, HEADER_LEN + FOOTER_LEN + index_len);
-        if Pid::of_bytes(&index_bytes) != index_digest {
+        if Pid::of_bytes(index_bytes) != index_digest {
             return Err(corrupt("index digest mismatch".into()));
         }
         let entries: Vec<PackEntry> = if version == PACK_VERSION {
-            decode_index(&index_bytes).map_err(|e| corrupt(format!("index parse: {e}")))?
+            decode_index(index_bytes).map_err(|e| corrupt(format!("index parse: {e}")))?
         } else {
-            serde_json::from_slice(&index_bytes)
-                .map_err(|e| corrupt(format!("index parse: {e}")))?
+            serde_json::from_slice(index_bytes).map_err(|e| corrupt(format!("index parse: {e}")))?
         };
         for e in &entries {
             if e.offset < HEADER_LEN
@@ -341,6 +364,7 @@ impl PackReader {
         Ok(Some(PackReader {
             path: path.to_path_buf(),
             file,
+            map,
             version,
             entries,
         }))
@@ -372,8 +396,23 @@ impl PackReader {
     ///
     /// A description of the IO failure or digest mismatch.
     pub fn read_body(&self, offset: u64, len: u64, digest: Pid) -> Result<Vec<u8>, String> {
-        let mut buf = vec![0u8; usize::try_from(len).map_err(|_| "body too large".to_string())?];
-        read_exact_at(&self.file, &mut buf, offset).map_err(|e| e.to_string())?;
+        let buf = if let Some(m) = &self.map {
+            let start = usize::try_from(offset).map_err(|_| "body too large".to_string())?;
+            let n = usize::try_from(len).map_err(|_| "body too large".to_string())?;
+            // Bounds were validated against the index at open time, but
+            // re-check against the map so a logic slip can never read
+            // out of the mapping.
+            let end = start
+                .checked_add(n)
+                .filter(|&end| end <= m.len())
+                .ok_or_else(|| "body out of mapped range".to_string())?;
+            m.bytes()[start..end].to_vec()
+        } else {
+            let mut buf =
+                vec![0u8; usize::try_from(len).map_err(|_| "body too large".to_string())?];
+            read_exact_at(&self.file, &mut buf, offset).map_err(|e| e.to_string())?;
+            buf
+        };
         trace::counter(names::BIN_BYTES_READ, len);
         let got = Pid::of_bytes(&buf);
         if got != digest {

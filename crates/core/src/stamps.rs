@@ -27,10 +27,12 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 use smlsc_ids::{Pid, Symbol};
 use smlsc_pickle::wire::{Reader, Writer};
+use smlsc_trace::{self as trace, names};
 
 use crate::CoreError;
 
@@ -44,16 +46,14 @@ const LEGACY_STAMP_VERSION: u32 = 1;
 /// follows it inside the digest-checked payload.
 const STAMP_MAGIC: &[u8; 8] = b"SMLSSTM2";
 
-/// One recorded analysis for a source path.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct StampEntry {
-    /// The unit the path analyzed as (a rename never matches a stale
-    /// stamp even if mtime and size coincide).
-    pub unit: Symbol,
-    /// File modification time, nanoseconds since the epoch.
-    pub mtime_ns: u64,
-    /// File size in bytes.
-    pub size: u64,
+/// The dependency analysis recorded for one source: its content and
+/// token digests plus the import/export lists.  Shared by [`Arc`]
+/// between the stamp cache and the manager's in-memory deps cache, so
+/// a warm stamp hit costs a refcount bump — never a clone of the
+/// vectors (at monorepo scale those per-unit clones dominated the
+/// no-op analyze phase).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Analysis {
     /// Digest of the file contents at stamp time.
     pub source_pid: Pid,
     /// Digest of the token stream (comment/whitespace-insensitive).
@@ -64,12 +64,69 @@ pub struct StampEntry {
     pub exports: Vec<Symbol>,
 }
 
+/// One recorded analysis for a source path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampEntry {
+    /// The unit the path analyzed as (a rename never matches a stale
+    /// stamp even if mtime and size coincide).
+    pub unit: Symbol,
+    /// File modification time, nanoseconds since the epoch.
+    pub mtime_ns: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// The recorded analysis, shareable with the deps cache.
+    pub analysis: Arc<Analysis>,
+}
+
+/// The legacy version-1 JSON shape of a stamp entry (flat fields; the
+/// Arc-shared [`Analysis`] split postdates the JSON format).
+#[derive(Serialize, Deserialize)]
+struct LegacyStampEntry {
+    unit: Symbol,
+    mtime_ns: u64,
+    size: u64,
+    source_pid: Pid,
+    deps_pid: Pid,
+    imports: Vec<Symbol>,
+    exports: Vec<Symbol>,
+}
+
+impl From<LegacyStampEntry> for StampEntry {
+    fn from(e: LegacyStampEntry) -> StampEntry {
+        StampEntry {
+            unit: e.unit,
+            mtime_ns: e.mtime_ns,
+            size: e.size,
+            analysis: Arc::new(Analysis {
+                source_pid: e.source_pid,
+                deps_pid: e.deps_pid,
+                imports: e.imports,
+                exports: e.exports,
+            }),
+        }
+    }
+}
+
+impl From<&StampEntry> for LegacyStampEntry {
+    fn from(e: &StampEntry) -> LegacyStampEntry {
+        LegacyStampEntry {
+            unit: e.unit,
+            mtime_ns: e.mtime_ns,
+            size: e.size,
+            source_pid: e.analysis.source_pid,
+            deps_pid: e.analysis.deps_pid,
+            imports: e.analysis.imports.clone(),
+            exports: e.analysis.exports.clone(),
+        }
+    }
+}
+
 /// One `(path, entry)` pair in the on-disk file (the vendored serde has
 /// no map support, so the file is a vector of records).
 #[derive(Serialize, Deserialize)]
 struct StampRecord {
     path: String,
-    entry: StampEntry,
+    entry: LegacyStampEntry,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -120,7 +177,11 @@ impl StampCache {
             // Legacy JSON: readable, but schedule a rewrite.
             match serde_json::from_slice::<StampFile>(&bytes) {
                 Ok(f) if f.version == LEGACY_STAMP_VERSION => StampCache {
-                    entries: f.entries.into_iter().map(|r| (r.path, r.entry)).collect(),
+                    entries: f
+                        .entries
+                        .into_iter()
+                        .map(|r| (r.path, r.entry.into()))
+                        .collect(),
                     dirty: true,
                 },
                 _ => StampCache::default(),
@@ -208,10 +269,12 @@ impl StampCache {
                     unit,
                     mtime_ns,
                     size,
-                    source_pid,
-                    deps_pid,
-                    imports,
-                    exports,
+                    analysis: Arc::new(Analysis {
+                        source_pid,
+                        deps_pid,
+                        imports,
+                        exports,
+                    }),
                 },
             );
         }
@@ -232,6 +295,7 @@ impl StampCache {
     /// [`CoreError::Io`] on filesystem failures.
     pub fn save(&mut self, path: &Path) -> Result<(), CoreError> {
         if !self.dirty && path.is_file() {
+            trace::counter(names::STAMP_SAVES_SKIPPED, 1);
             return Ok(());
         }
         if let Some(dir) = path.parent() {
@@ -251,14 +315,14 @@ impl StampCache {
             w.str(e.unit.as_str());
             w.u64(e.mtime_ns);
             w.u64(e.size);
-            w.u128(e.source_pid.as_raw());
-            w.u128(e.deps_pid.as_raw());
-            w.u32(e.imports.len() as u32);
-            for i in &e.imports {
+            w.u128(e.analysis.source_pid.as_raw());
+            w.u128(e.analysis.deps_pid.as_raw());
+            w.u32(e.analysis.imports.len() as u32);
+            for i in &e.analysis.imports {
                 w.str(i.as_str());
             }
-            w.u32(e.exports.len() as u32);
-            for x in &e.exports {
+            w.u32(e.analysis.exports.len() as u32);
+            for x in &e.analysis.exports {
                 w.str(x.as_str());
             }
         }
@@ -315,7 +379,7 @@ impl StampCache {
             .iter()
             .map(|(path, entry)| StampRecord {
                 path: path.clone(),
-                entry: entry.clone(),
+                entry: entry.into(),
             })
             .collect();
         records.sort_by(|a, b| a.path.cmp(&b.path));
@@ -347,10 +411,12 @@ mod tests {
             unit: Symbol::intern(unit),
             mtime_ns: mtime,
             size,
-            source_pid: Pid::of_bytes(b"src"),
-            deps_pid: Pid::of_bytes(b"toks"),
-            imports: vec![Symbol::intern("A")],
-            exports: vec![Symbol::intern("B")],
+            analysis: Arc::new(Analysis {
+                source_pid: Pid::of_bytes(b"src"),
+                deps_pid: Pid::of_bytes(b"toks"),
+                imports: vec![Symbol::intern("A")],
+                exports: vec![Symbol::intern("B")],
+            }),
         }
     }
 

@@ -23,8 +23,8 @@
 //! point   := 'store.publish' | 'store.fetch' | 'store.lock'
 //!          | 'bin.save' | 'bin.load' | 'compile.unit'
 //!          | 'ledger.append' | 'ledger.rotate' | 'stamp.save'
-//!          | 'pack.save' | 'daemon.accept' | 'daemon.watch'
-//!          | 'daemon.lock'
+//!          | 'pack.save' | 'deps.save' | 'daemon.accept'
+//!          | 'daemon.watch' | 'daemon.lock'
 //! action  := kind [ '(' filter ')' ] [ '@' nth ] [ '%' percent ] [ '*' count ]
 //! kind    := 'io' | 'torn' | 'delay:' millis | 'panic' | 'crash'
 //! ```
@@ -104,6 +104,10 @@ pub mod points {
     /// over-long `builds.jsonl`.  Checked at stages `begin`, `staged`,
     /// `renamed`.
     pub const LEDGER_ROTATE: &str = "ledger.rotate";
+    /// `DepGraph::save`: the tmp+fsync+rename publication of the
+    /// `deps.pack` import-DAG sidecar.  Checked at stages `begin`,
+    /// `staged`, `renamed`.
+    pub const DEPS_SAVE: &str = "deps.save";
     /// Daemon lockfile acquisition (fires after the lockfile is
     /// created, so a `crash` here models a daemon that dies holding
     /// the lock — the stale state `doctor` and lock takeover must
@@ -121,6 +125,7 @@ pub mod points {
         LEDGER_ROTATE,
         STAMP_SAVE,
         PACK_SAVE,
+        DEPS_SAVE,
         DAEMON_ACCEPT,
         DAEMON_WATCH,
         DAEMON_LOCK,

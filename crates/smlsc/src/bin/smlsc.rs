@@ -890,7 +890,8 @@ fn mean_compile_us_from_history(ledger: &smlsc::core::Ledger) -> Option<u64> {
 
 /// `smlsc history <dir>`: wall-time and hit-rate trends from the
 /// persistent ledger, plus a flag when the last build regressed to at
-/// least twice the median wall time.
+/// least twice the median wall time, and a scaling flag when warm
+/// no-op builds grew superlinearly in the project's unit count.
 fn history(opts: &BuildOpts) -> i32 {
     let Some(dir) = &opts.dir else {
         eprintln!("usage: smlsc history [--bin-dir <dir>] <dir>");
@@ -910,8 +911,17 @@ fn history(opts: &BuildOpts) -> i32 {
     let mut rates = (None::<f64>, None::<f64>, 0.0f64, 0usize); // first, last, sum, count
     let mut failures = 0usize;
     let mut last: Option<smlsc::core::LedgerRecord> = None;
+    // Warm (zero-compile) samples as (units, wall_us): the material for
+    // the scaling check below.  Two u64s per record, like `walls`.
+    let mut warm: Vec<(u64, u64)> = Vec::new();
     for r in ledger.stream() {
         walls.push(r.wall_us);
+        if r.compiled == 0 && r.exit_code == 0 {
+            let units = r.reused + r.cutoff + r.store_hits + r.skipped;
+            if units > 0 {
+                warm.push((units, r.wall_us));
+            }
+        }
         let total = r.stamp_hits + r.stamp_misses;
         if total > 0 {
             let rate = 100.0 * r.stamp_hits as f64 / total as f64;
@@ -969,6 +979,27 @@ fn history(opts: &BuildOpts) -> i32 {
             ms(last.wall_us),
             ms(median)
         );
+    }
+    // Scaling: a warm no-op's wall time should grow at most ~linearly
+    // with the project's unit count.  Compare the newest warm build
+    // against the smallest project on record — 2x the units may cost at
+    // most ~2.5x the time (10ms slack absorbs timer noise on tiny
+    // projects).  A superlinear warm path shows up here long before the
+    // same-size regression check above can see it.
+    if let (Some(&(u0, w0)), Some(&(u1, w1))) = (warm.iter().min(), warm.last()) {
+        if u1 >= 2 * u0 {
+            let ratio = u1 as f64 / u0 as f64;
+            let limit = w0 as f64 * ratio * 1.25 + 10_000.0;
+            if w1 as f64 > limit {
+                println!(
+                    "  scaling regression: no-op at {u1} units took {:.2}ms, but {u0} units took \
+                     {:.2}ms — {ratio:.1}x the units may cost at most {:.1}x the time",
+                    ms(w1),
+                    ms(w0),
+                    ratio * 1.25
+                );
+            }
+        }
     }
     if failures > 0 {
         println!("  {failures} build(s) exited non-zero");

@@ -206,6 +206,9 @@ fn crash_at_every_local_durable_write_stage_recovers_n50() {
         "pack.save=crash(begin)",
         "pack.save=crash(staged)",
         "pack.save=crash(renamed)",
+        "deps.save=crash(begin)",
+        "deps.save=crash(staged)",
+        "deps.save=crash(renamed)",
         "ledger.append=crash(begin)",
         "ledger.append=crash(mid)",
     ]
@@ -239,6 +242,7 @@ fn crash_recovery_holds_at_monorepo_scale_n200() {
     for (i, rule) in [
         "stamp.save=crash(staged)",
         "pack.save=crash(renamed)",
+        "deps.save=crash(staged)",
         "ledger.append=crash(mid)",
     ]
     .iter()

@@ -137,6 +137,45 @@ fn history_is_friendly_and_exits_zero_on_an_empty_ledger() {
     );
 }
 
+/// One warm (zero-compile) ledger record with the given unit count and
+/// wall time, for fabricating scaling histories.
+fn warm_record(id: u64, units: u64, wall_us: u64) -> String {
+    format!(
+        r#"{{"version":1,"build_id":{id},"timestamp_ms":{id},"strategy":"cutoff","jobs":1,"host_parallelism":4,"wall_us":{wall_us},"parse_us":0,"elaborate_us":0,"hash_us":0,"dehydrate_us":0,"rehydrate_us":0,"compiled":0,"reused":{units},"cutoff":0,"store_hits":0,"skipped":0,"failed":0,"stamp_hits":{units},"stamp_misses":0,"store_misses":0,"deps_cache_hits":{units},"deps_cache_misses":0,"source_reads":0,"critical_path":0,"exit_code":0,"daemon":0}}"#
+    )
+}
+
+#[test]
+fn history_flags_superlinear_warm_scaling() {
+    let proj = temp("history-scaling");
+    write_project(&proj);
+    std::fs::create_dir_all(proj.join(".smlsc-bins")).unwrap();
+    // 10x the units costing 45x the time: the superlinear warm path.
+    let bad = [
+        warm_record(1, 5000, 52_000),
+        warm_record(2, 50_000, 2_356_000),
+    ]
+    .join("\n");
+    std::fs::write(proj.join(".smlsc-bins/builds.jsonl"), format!("{bad}\n")).unwrap();
+    let out = smlsc().arg("history").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scaling regression"), "{stdout}");
+    assert!(stdout.contains("50000 units"), "{stdout}");
+
+    // A near-linear history (10x units, ~10x time) raises no flag.
+    let good = [
+        warm_record(1, 5000, 52_000),
+        warm_record(2, 50_000, 540_000),
+    ]
+    .join("\n");
+    std::fs::write(proj.join(".smlsc-bins/builds.jsonl"), format!("{good}\n")).unwrap();
+    let out = smlsc().arg("history").arg(&proj).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("scaling regression"), "{stdout}");
+}
+
 #[test]
 fn profile_exits_zero_when_the_ledger_has_no_cost_history() {
     let proj = temp("profile-empty-ledger");

@@ -71,6 +71,11 @@ fn warm_rebuild_reads_no_sources_and_only_the_index() {
     assert!(!json.contains(r#""stamp.misses""#), "{json}");
     assert!(!json.contains(r#""irm.units_compiled""#), "{json}");
     assert!(!json.contains(r#""bin.lazy_bodies""#), "{json}");
+    // Nothing changed, so the stamp cache skips its rewrite, the import
+    // DAG rehydrates from the sidecar, and the dirty set stays empty.
+    assert!(json.contains(r#""stamp.saves_skipped":1"#), "{json}");
+    assert!(json.contains(r#""deps.pack_hits":1"#), "{json}");
+    assert!(!json.contains(r#""sched.dirty_seed""#), "{json}");
 
     std::fs::remove_dir_all(&proj).ok();
 }
@@ -128,6 +133,10 @@ fn editing_one_leaf_recompiles_only_it_on_the_warm_path() {
     assert!(json.contains(r#""stamp.hits":1"#), "{json}");
     assert!(json.contains(r#""stamp.misses":1"#), "{json}");
     assert!(json.contains(r#""source.reads":1"#), "{json}");
+    // Dirty-set scheduling: the edited leaf seeds the wavefront and its
+    // cone is just itself (no dependents).
+    assert!(json.contains(r#""sched.dirty_seed":1"#), "{json}");
+    assert!(json.contains(r#""sched.dirty_cone":1"#), "{json}");
 
     std::fs::remove_dir_all(&proj).ok();
 }

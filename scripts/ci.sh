@@ -105,6 +105,13 @@ tail -1 "$ledger" | grep -q '"compiled":0' \
 echo "==> perf: regression gate vs committed baselines"
 scripts/check_bench
 
+echo "==> perf: monorepo scale smoke (N=100k, counters asserted)"
+# Cold + no-op + one-leaf edit at 100,000 units, gated on counters:
+# the no-op reads zero sources and schedules an empty dirty set, the
+# import DAG rehydrates from its deps.pack sidecar, and the leaf
+# edit's dirty seed and cone are both exactly the one edited unit.
+./target/release/monorepo --scale-smoke
+
 echo "==> chaos: fault-injection test suites"
 cargo test -q -p smlsc-faults
 cargo test -q -p smlsc-store
@@ -170,6 +177,7 @@ set -e
 # Mangle every state kind the doctor audits, then assert its exit
 # codes: 4 on detection, 0 after --fix, 0 (healthy) on re-audit.
 printf 'SMLSSTM2 then garbage' > "$x/.smlsc-bins/stamps.json"
+printf 'SMLSDEP1garbage' > "$x/.smlsc-bins/deps.pack"
 printf '{"v":1,"torn' >> "$x/.smlsc-bins/builds.jsonl"
 printf 'half-staged' > "$x/.smlsc-bins/bins.tmp-99-0"
 printf '4294967295\n' > "$x/.smlsc-bins/daemon.lock"

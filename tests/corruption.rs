@@ -211,7 +211,9 @@ fn atomic_archive_save_migrates_and_skips_when_clean() {
     };
     assert_eq!(entries(), ["bins.pack"]);
 
-    // A load + no-op save must not rewrite the archive.
+    // A load + no-op save must not rewrite the archive.  The first warm
+    // save publishes the import-DAG sidecar next to the archive; a second
+    // no-op save must leave both files untouched.
     let mut warm = Irm::new(Strategy::Cutoff);
     assert_eq!(warm.load_bins(&dir).unwrap().loaded, 3);
     warm.build(&p).unwrap();
@@ -225,6 +227,19 @@ fn atomic_archive_save_migrates_and_skips_when_clean() {
         .modified()
         .unwrap();
     assert_eq!(before, after, "no-op save must not rewrite the archive");
-    assert_eq!(entries(), ["bins.pack"]);
+    assert_eq!(entries(), ["bins.pack", "deps.pack"]);
+    let deps_before = std::fs::metadata(dir.join("deps.pack"))
+        .unwrap()
+        .modified()
+        .unwrap();
+    warm.save_bins(&dir).unwrap();
+    let deps_after = std::fs::metadata(dir.join("deps.pack"))
+        .unwrap()
+        .modified()
+        .unwrap();
+    assert_eq!(
+        deps_before, deps_after,
+        "no-op save must not rewrite the sidecar"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

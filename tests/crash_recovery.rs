@@ -424,6 +424,102 @@ fn corrupt_stamps_are_deleted_by_fix() {
     std::fs::remove_dir_all(&bin).ok();
 }
 
+/// A torn `deps.pack` sidecar (crash mid-commit caught by the payload
+/// digest) reads as absent: the next build silently re-derives the
+/// import DAG from the per-unit analyses and rebuilds exactly the
+/// edited cone — never a wrong build.  The doctor reports the torn
+/// sidecar and `--fix` deletes it.
+#[test]
+fn torn_deps_sidecar_is_rederived_and_repaired() {
+    let bin = temp("depstorn");
+    let mut w = Workload::new(WorkloadSpec::with_topology(Topology::Monorepo {
+        units: 40,
+        seed: 11,
+    }));
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(w.project()).unwrap();
+    {
+        let _f = install_scoped(
+            FaultPlan::seeded(1).with(FaultRule::new(points::DEPS_SAVE, FaultKind::Torn)),
+        );
+        irm.save_bins(&bin).unwrap();
+    }
+    let deps_path = bin.join("deps.pack");
+    assert!(deps_path.exists(), "torn commit still publishes a file");
+    assert!(
+        smlsc::core::depgraph::DepGraph::audit(&deps_path).is_err(),
+        "half-written sidecar fails its digest"
+    );
+
+    // A fresh session tolerates the torn sidecar: the warm no-op build
+    // re-derives the graph from analyses and reuses every unit.
+    let mut warm = Irm::new(Strategy::Cutoff);
+    warm.load_bins(&bin).unwrap();
+    let report = warm.build(w.project()).unwrap();
+    assert!(report.succeeded());
+    assert_eq!(report.reused.len(), 40, "no-op over torn sidecar");
+
+    // And a leaf edit over the torn sidecar recompiles exactly its cone.
+    w.edit(39, smlsc::workload::EditKind::BodyOnly);
+    let mut warm = Irm::new(Strategy::Cutoff);
+    warm.load_bins(&bin).unwrap();
+    let report = warm.build(w.project()).unwrap();
+    assert!(report.succeeded());
+    assert_eq!(
+        report.recompiled.len(),
+        1,
+        "exactly the edited leaf rebuilt"
+    );
+
+    // Doctor: reported without --fix, deleted with it.
+    let dr = doctor_on(&bin, None, false);
+    assert_eq!(dr.verdict(), DoctorVerdict::IssuesFound);
+    assert!(dr.findings.iter().any(|f| f.state == "deps"));
+    let dr = doctor_on(&bin, None, true);
+    assert_eq!(dr.verdict(), DoctorVerdict::Repaired, "{}", dr.to_json());
+    assert!(!deps_path.exists(), "corrupt sidecar deleted");
+
+    // A clean save republishes a valid sidecar.
+    warm.save_bins(&bin).unwrap();
+    let n = smlsc::core::depgraph::DepGraph::audit(&deps_path).unwrap();
+    assert_eq!(n, 40, "republished sidecar covers every unit");
+    std::fs::remove_dir_all(&bin).ok();
+}
+
+/// An IO failure while publishing the sidecar fails the save without
+/// touching the already-committed pack; retrying with the fault gone
+/// completes the publication.
+#[test]
+fn failed_deps_save_keeps_pack_intact() {
+    let bin = temp("depsio");
+    let w = Workload::new(WorkloadSpec::with_topology(Topology::Monorepo {
+        units: 30,
+        seed: 11,
+    }));
+    let mut irm = Irm::new(Strategy::Cutoff);
+    irm.build(w.project()).unwrap();
+    {
+        let _f = install_scoped(
+            FaultPlan::seeded(1)
+                .with(FaultRule::new(points::DEPS_SAVE, FaultKind::Io).filtered("begin")),
+        );
+        irm.save_bins(&bin).unwrap_err();
+    }
+    let pack = PackReader::open(&bin.join("bins.pack")).unwrap().unwrap();
+    assert_eq!(
+        pack.entries().len(),
+        30,
+        "pack committed before the sidecar"
+    );
+    drop(pack);
+    assert!(!bin.join("deps.pack").exists());
+
+    irm.save_bins(&bin).unwrap();
+    let n = smlsc::core::depgraph::DepGraph::audit(&bin.join("deps.pack")).unwrap();
+    assert_eq!(n, 30);
+    std::fs::remove_dir_all(&bin).ok();
+}
+
 fn walk_files(dir: &Path) -> Vec<PathBuf> {
     let mut out = Vec::new();
     let Ok(entries) = std::fs::read_dir(dir) else {
